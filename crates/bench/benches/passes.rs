@@ -1,0 +1,61 @@
+//! Criterion microbenchmarks: cost of each convergent-scheduling pass
+//! on a representative workload (mxm on 16-tile Raw).
+
+use convergent_core::passes::{
+    Comm, EmphCp, InitTime, LevelDistribute, LoadBalance, Noise, Path, PathProp, Place, PlaceProp,
+};
+use convergent_core::{Pass, PassContext, PreferenceMap};
+use convergent_ir::{DistanceOracle, TimeAnalysis};
+use convergent_machine::Machine;
+use convergent_workloads::{mxm, MxmParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_passes(c: &mut Criterion) {
+    let machine = Machine::raw(16);
+    let unit = mxm(MxmParams::for_banks(16));
+    let dag = unit.dag();
+    let time = TimeAnalysis::compute(dag, |i| machine.latency_of(i));
+    let slots = time.critical_path_length().max(1) as usize;
+
+    let passes: Vec<Box<dyn Pass>> = vec![
+        Box::new(InitTime::new()),
+        Box::new(Noise::new()),
+        Box::new(Place::new()),
+        Box::new(PlaceProp::new()),
+        Box::new(LoadBalance::new()),
+        Box::new(Path::new()),
+        Box::new(Comm::new()),
+        Box::new(LevelDistribute::new()),
+        Box::new(PathProp::new()),
+        Box::new(EmphCp::new()),
+    ];
+
+    let mut group = c.benchmark_group("passes_mxm16");
+    for pass in passes {
+        group.bench_function(pass.name(), |b| {
+            b.iter(|| {
+                let mut weights = PreferenceMap::new(dag.len(), machine.n_clusters(), slots);
+                let mut dist = DistanceOracle::new();
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut ctx = PassContext {
+                    dag,
+                    machine: &machine,
+                    time: &time,
+                    dist: &mut dist,
+                    rng: &mut rng,
+                    weights: &mut weights,
+                };
+                pass.run(&mut ctx);
+                weights.normalize_all();
+                black_box(&weights);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_passes);
+criterion_main!(benches);

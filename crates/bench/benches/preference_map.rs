@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks of the preference map's basic
+//! operations — the inner loop of every pass, which the paper requires
+//! to be cheap ("the system incrementally keeps track of the sums of
+//! the weights over both space and time").
+
+use convergent_core::PreferenceMap;
+use convergent_ir::{ClusterId, InstrId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preference_map");
+    for &(n, clusters, slots) in &[(100usize, 4usize, 32usize), (500, 16, 64)] {
+        let label = format!("{n}x{clusters}x{slots}");
+        group.bench_function(BenchmarkId::new("scale_cluster_all", &label), |b| {
+            let mut w = PreferenceMap::new(n, clusters, slots);
+            b.iter(|| {
+                for i in 0..n {
+                    w.scale_cluster(
+                        InstrId::new(i as u32),
+                        ClusterId::new((i % clusters) as u16),
+                        black_box(1.01),
+                    );
+                }
+            });
+        });
+        group.bench_function(BenchmarkId::new("normalize_all", &label), |b| {
+            let mut w = PreferenceMap::new(n, clusters, slots);
+            for i in 0..n {
+                w.scale_cluster(InstrId::new(i as u32), ClusterId::new(0), 3.0);
+            }
+            b.iter(|| {
+                w.normalize_all();
+                black_box(&w);
+            });
+        });
+        group.bench_function(BenchmarkId::new("preferred_and_confidence", &label), |b| {
+            let w = PreferenceMap::new(n, clusters, slots);
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..n {
+                    let id = InstrId::new(i as u32);
+                    acc += w.confidence(id) + f64::from(w.preferred_cluster(id).raw());
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion end-to-end scheduling-time benchmarks — the microdata
+//! behind the paper's Figure 10 compile-time comparison.
+
+use convergent_core::ConvergentScheduler;
+use convergent_machine::Machine;
+use convergent_schedulers::{PccScheduler, RawccScheduler, Scheduler, UasScheduler};
+use convergent_workloads::{layered, LayeredParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let machine = Machine::chorus_vliw(4);
+    let mut group = c.benchmark_group("schedulers");
+    group.sample_size(10);
+    for &n in &[100usize, 400] {
+        let unit = layered(LayeredParams::new(n, 7).with_preplacement(0.5, 4));
+        let dag = unit.dag();
+        group.bench_function(BenchmarkId::new("uas", n), |b| {
+            let s = UasScheduler::new();
+            b.iter(|| black_box(s.schedule(dag, &machine).unwrap().makespan()));
+        });
+        group.bench_function(BenchmarkId::new("rawcc", n), |b| {
+            let s = RawccScheduler::new();
+            b.iter(|| black_box(s.schedule(dag, &machine).unwrap().makespan()));
+        });
+        group.bench_function(BenchmarkId::new("pcc", n), |b| {
+            let s = PccScheduler::new();
+            b.iter(|| black_box(s.schedule(dag, &machine).unwrap().makespan()));
+        });
+        group.bench_function(BenchmarkId::new("convergent", n), |b| {
+            let s = ConvergentScheduler::vliw_tuned();
+            b.iter(|| black_box(Scheduler::schedule(&s, dag, &machine).unwrap().makespan()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

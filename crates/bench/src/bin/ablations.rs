@@ -1,0 +1,139 @@
+//! Ablations beyond the paper: how sensitive is convergent scheduling
+//! to its design choices? Each section isolates one knob DESIGN.md
+//! calls out and sweeps it over the Raw suite at 16 tiles.
+//!
+//! ```text
+//! cargo run --release -p convergent-bench --bin ablations
+//! ```
+
+use convergent_bench::{geomean, speedup};
+use convergent_core::passes::{
+    Comm, EmphCp, InitTime, LevelDistribute, LoadBalance, Path, PathProp, Place, PlaceProp,
+};
+use convergent_core::{ConvergentScheduler, Sequence};
+use convergent_machine::Machine;
+use convergent_workloads::{layered, raw_suite, LayeredParams};
+
+fn raw_seq_with_place_factor(place: f64) -> Sequence {
+    Sequence::new()
+        .with(InitTime::new())
+        .with(PlaceProp::new())
+        .with(LoadBalance::new())
+        .with(Place::new().with_factor(place))
+        .with(Path::new())
+        .with(PathProp::new())
+        .with(LevelDistribute::new())
+        .with(PathProp::new())
+        .with(Comm::new())
+        .with(PathProp::new())
+        .with(EmphCp::new())
+}
+
+fn suite_geomean(sched: &ConvergentScheduler, machine: &Machine) -> f64 {
+    let sp: Vec<f64> = raw_suite(16)
+        .iter()
+        .map(|u| speedup(sched, u, machine).expect("suite schedules"))
+        .collect();
+    geomean(&sp)
+}
+
+fn main() {
+    let machine = Machine::raw(16);
+
+    println!("== ablation 1: PLACE boost factor (paper: 100) ==");
+    for factor in [2.0, 10.0, 100.0, 1000.0] {
+        let sched =
+            ConvergentScheduler::new(raw_seq_with_place_factor(factor)).with_time_priorities(false);
+        println!("  factor {factor:>6}: geomean speedup {:.3}", suite_geomean(&sched, &machine));
+    }
+
+    println!();
+    println!("== ablation 2: drop one pass from the Raw sequence ==");
+    let full = ConvergentScheduler::raw_default().with_time_priorities(false);
+    println!("  full sequence : {:.3}", suite_geomean(&full, &machine));
+    let droppable = [
+        "PLACEPROP", "LOAD", "PLACE", "PATH", "LEVEL", "COMM", "PATHPROP",
+    ];
+    for drop_name in &droppable {
+        let mut seq = Sequence::new();
+        for name in Sequence::raw().names() {
+            if name == *drop_name {
+                continue;
+            }
+            match name {
+                "INITTIME" => seq.push(InitTime::new()),
+                "PLACEPROP" => seq.push(PlaceProp::new()),
+                "LOAD" => seq.push(LoadBalance::new()),
+                "PLACE" => seq.push(Place::new()),
+                "PATH" => seq.push(Path::new()),
+                "PATHPROP" => seq.push(PathProp::new()),
+                "LEVEL" => seq.push(LevelDistribute::new()),
+                "COMM" => seq.push(Comm::new()),
+                "EMPHCP" => seq.push(EmphCp::new()),
+                other => unreachable!("unknown pass {other}"),
+            }
+        }
+        let sched = ConvergentScheduler::new(seq).with_time_priorities(false);
+        println!(
+            "  drop {drop_name:<10}: {:.3}",
+            suite_geomean(&sched, &machine)
+        );
+    }
+
+    println!();
+    println!("== ablation 3: preplacement density (random layered DAGs, 16 tiles) ==");
+    println!("  (speedup of the convergent scheduler as congruence information grows)");
+    for density in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let unit = layered(
+            LayeredParams::new(600, 11)
+                .with_width(16)
+                .with_preplacement(density, 16),
+        );
+        let sched = ConvergentScheduler::raw_default();
+        let sp = speedup(&sched, &unit, &machine).expect("schedules");
+        println!("  density {density:>4.2}: speedup {sp:.3}");
+    }
+
+    println!();
+    println!("== ablation 4: iterating the COMM/LOAD tail (paper feature 5) ==");
+    println!("  (\"the framework allows a heuristic to be applied multiple times\")");
+    for repeats in [1usize, 2, 3, 4] {
+        let mut seq = Sequence::new()
+            .with(InitTime::new())
+            .with(PlaceProp::new())
+            .with(LoadBalance::new())
+            .with(Place::new())
+            .with(Path::new())
+            .with(PathProp::new())
+            .with(LevelDistribute::new());
+        for _ in 0..repeats {
+            seq.push(Comm::new());
+            seq.push(LoadBalance::new());
+        }
+        seq.push(EmphCp::new());
+        let sched = ConvergentScheduler::new(seq).with_time_priorities(false);
+        println!(
+            "  {repeats}× COMM+LOAD: geomean speedup {:.3}",
+            suite_geomean(&sched, &machine)
+        );
+    }
+
+    println!();
+    println!("== ablation 5: LEVEL granularity g (paper: 4 on Raw) ==");
+    for g in [1u32, 2, 4, 8, 16] {
+        let seq = Sequence::new()
+            .with(InitTime::new())
+            .with(PlaceProp::new())
+            .with(LoadBalance::new())
+            .with(Place::new())
+            .with(Path::new())
+            .with(PathProp::new())
+            .with(LevelDistribute::new().with_granularity(g))
+            .with(PathProp::new())
+            .with(Comm::new())
+            .with(PathProp::new())
+            .with(EmphCp::new());
+        let sched = ConvergentScheduler::new(seq).with_time_priorities(false);
+        println!("  g = {g:>2}: geomean speedup {:.3}", suite_geomean(&sched, &machine));
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 10: compile-time scalability — scheduling time vs input
+//! size for PCC, UAS, and convergent scheduling on the Chorus VLIW,
+//! including time spent in the list scheduler (as the paper measures).
+//!
+//! The paper sweeps scheduling regions up to ~2000 instructions and
+//! finds convergent and UAS scale comparably while PCC blows up
+//! (its iterative descent re-runs a full schedule per probe).
+//!
+//! ```text
+//! cargo run --release -p convergent-bench --bin figure10
+//! ```
+
+use std::time::Instant;
+
+use convergent_core::ConvergentScheduler;
+use convergent_machine::Machine;
+use convergent_schedulers::{PccScheduler, Scheduler, UasScheduler};
+use convergent_workloads::{layered, LayeredParams};
+
+fn main() {
+    let machine = Machine::chorus_vliw(4);
+    let sizes = [50usize, 100, 200, 400, 800, 1200, 1600, 2000];
+    println!(
+        "{:>8}{:>14}{:>14}{:>14}",
+        "instrs", "pcc (s)", "uas (s)", "conv (s)"
+    );
+    for &n in &sizes {
+        let unit = layered(LayeredParams::new(n, 0xF16).with_width(8).with_preplacement(0.5, 4));
+        let pcc = time(|| {
+            PccScheduler::new()
+                .schedule(unit.dag(), &machine)
+                .expect("pcc schedules")
+                .makespan()
+        });
+        let uas = time(|| {
+            UasScheduler::new()
+                .schedule(unit.dag(), &machine)
+                .expect("uas schedules")
+                .makespan()
+        });
+        let conv = time(|| {
+            Scheduler::schedule(&ConvergentScheduler::vliw_default(), unit.dag(), &machine)
+                .expect("convergent schedules")
+                .makespan()
+        });
+        println!("{n:>8}{pcc:>14.4}{uas:>14.4}{conv:>14.4}");
+    }
+    println!();
+    println!("(paper: convergent and UAS take about the same time; both scale");
+    println!(" considerably better than PCC)");
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> f64 {
+    let start = Instant::now();
+    let _ = f();
+    start.elapsed().as_secs_f64()
+}

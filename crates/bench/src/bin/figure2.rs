@@ -1,0 +1,57 @@
+//! Figure 2: the graph-shape taxonomy — "some [dependence graphs] are
+//! thin and dominated by a few critical paths (a), while others are
+//! fat and parallel (b)."
+//!
+//! Prints shape statistics for every reconstructed benchmark so the
+//! two ends of the spectrum are visible: fpppp-kernel/sha on the
+//! narrow end, the unrolled dense-matrix loops on the fat end.
+//!
+//! ```text
+//! cargo run -p convergent-bench --bin figure2
+//! ```
+
+use convergent_ir::ShapeStats;
+use convergent_machine::Machine;
+use convergent_workloads::raw_suite;
+
+fn main() {
+    let machine = Machine::raw(16);
+    println!(
+        "{:<14}{:>8}{:>8}{:>8}{:>8}{:>10}{:>11}{:>11}",
+        "benchmark", "instrs", "edges", "height", "width", "parallel", "%critical", "%preplaced"
+    );
+    let mut rows: Vec<(String, ShapeStats)> = raw_suite(16)
+        .iter()
+        .map(|u| {
+            (
+                u.name().to_string(),
+                ShapeStats::compute(u.dag(), |i| machine.latency_of(i)),
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        a.1.avg_parallelism()
+            .partial_cmp(&b.1.avg_parallelism())
+            .expect("finite")
+    });
+    for (name, s) in rows {
+        let kind = if s.is_fat() {
+            " (fat, Fig 2b)"
+        } else if s.is_narrow() {
+            " (narrow, Fig 2a)"
+        } else {
+            ""
+        };
+        println!(
+            "{:<14}{:>8}{:>8}{:>8}{:>8}{:>10.2}{:>10.0}%{:>10.0}%{kind}",
+            name,
+            s.instr_count(),
+            s.edge_count(),
+            s.height(),
+            s.max_width(),
+            s.avg_parallelism(),
+            s.critical_fraction() * 100.0,
+            s.preplaced_fraction() * 100.0,
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 9: convergence of spatial assignments on Chorus — the
+//! fraction of instructions whose preferred clusters change per pass
+//! on the four-cluster VLIW (time-only passes excluded).
+//!
+//! ```text
+//! cargo run --release -p convergent-bench --bin figure9
+//! ```
+
+use convergent_core::ConvergentScheduler;
+use convergent_machine::Machine;
+use convergent_workloads::vliw_suite;
+
+fn main() {
+    let machine = Machine::chorus_vliw(4);
+    let scheduler = ConvergentScheduler::vliw_default();
+    let suite = vliw_suite(4);
+
+    let first = scheduler
+        .assign(suite[0].dag(), &machine)
+        .expect("suite schedules");
+    let pass_names: Vec<&str> = first.trace().spatial().map(|r| r.name).collect();
+    print!("{:<14}", "benchmark");
+    for n in &pass_names {
+        print!("{n:>11}");
+    }
+    println!();
+
+    for unit in &suite {
+        let outcome = scheduler
+            .assign(unit.dag(), &machine)
+            .unwrap_or_else(|e| panic!("{}: {e}", unit.name()));
+        print!("{:<14}", unit.name());
+        for r in outcome.trace().spatial() {
+            print!("{:>10.0}%", r.changed_fraction * 100.0);
+        }
+        println!();
+    }
+}

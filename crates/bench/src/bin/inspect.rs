@@ -1,0 +1,52 @@
+//! Assignment-quality inspector: for each Raw-suite benchmark, compare
+//! the Rawcc baseline and the convergent scheduler on cut edges,
+//! transfer counts, executed cycles, and network stalls. Useful when
+//! studying *why* one scheduler wins a benchmark.
+//!
+//! ```text
+//! cargo run --release -p convergent-bench --bin inspect [-- --tiles N]
+//! ```
+
+use convergent_core::ConvergentScheduler;
+use convergent_machine::Machine;
+use convergent_schedulers::{RawccScheduler, Scheduler};
+use convergent_sim::{evaluate, validate};
+use convergent_workloads::raw_suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiles: u16 = args
+        .iter()
+        .position(|a| a == "--tiles")
+        .and_then(|k| args.get(k + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let machine = Machine::raw(tiles);
+    println!(
+        "{:<14}{:>8}{:>8}{:>8}{:>9}{:>9}{:>8}{:>8}{:>8}",
+        "bench", "instrs", "cutR", "cutC", "commR", "commC", "cycR", "cycC", "stallC"
+    );
+    for unit in raw_suite(tiles) {
+        let r = RawccScheduler::new()
+            .schedule(unit.dag(), &machine)
+            .expect("rawcc schedules the suite");
+        validate(unit.dag(), &machine, &r).expect("valid");
+        let c = Scheduler::schedule(&ConvergentScheduler::raw_default(), unit.dag(), &machine)
+            .expect("convergent schedules the suite");
+        validate(unit.dag(), &machine, &c).expect("valid");
+        let er = evaluate(unit.dag(), &machine, &r);
+        let ec = evaluate(unit.dag(), &machine, &c);
+        println!(
+            "{:<14}{:>8}{:>8}{:>8}{:>9}{:>9}{:>8}{:>8}{:>8}",
+            unit.name(),
+            unit.dag().len(),
+            r.assignment().cut_edges(unit.dag()),
+            c.assignment().cut_edges(unit.dag()),
+            r.comm_count(),
+            c.comm_count(),
+            er.makespan.get(),
+            ec.makespan.get(),
+            ec.network.stall_cycles,
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Register-pressure study (extension beyond the paper's evaluation).
+//!
+//! The paper names register pressure as part of its combined problem
+//! ("cluster assignment, scheduling, and register pressure") but only
+//! evaluates assignment quality. This harness measures the pressure
+//! side: for each Raw-suite benchmark, the peak number of
+//! simultaneously live values and the Belady-estimated spills under
+//! (a) the Rawcc baseline, (b) the stock convergent sequence, and
+//! (c) the convergent sequence with the REGPRESS pass appended and
+//! converged times used as priorities.
+//!
+//! ```text
+//! cargo run --release -p convergent-bench --bin regpressure [-- --regs N]
+//! ```
+
+use convergent_core::passes::{
+    Comm, EmphCp, InitTime, LevelDistribute, LoadBalance, Path, PathProp, Place, PlaceProp,
+    RegPressure,
+};
+use convergent_core::{ConvergentScheduler, Sequence};
+use convergent_machine::Machine;
+use convergent_schedulers::{RawccScheduler, Scheduler};
+use convergent_sim::{analyze_pressure, validate};
+use convergent_workloads::raw_suite;
+
+fn raw_seq_with_regpress() -> Sequence {
+    Sequence::new()
+        .with(InitTime::new())
+        .with(PlaceProp::new())
+        .with(LoadBalance::new())
+        .with(Place::new())
+        .with(Path::new())
+        .with(PathProp::new())
+        .with(LevelDistribute::new())
+        .with(PathProp::new())
+        .with(Comm::new())
+        .with(PathProp::new())
+        .with(RegPressure::new())
+        .with(EmphCp::new())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let regs: u32 = args
+        .iter()
+        .position(|a| a == "--regs")
+        .and_then(|k| args.get(k + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    let machine = Machine::raw(16).with_registers_per_cluster(regs);
+    println!("register file: {regs} per tile\n");
+    println!(
+        "{:<14}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        "bench", "peakR", "spillR", "peakC", "spillC", "peakC+RP", "spillC+RP"
+    );
+    for unit in raw_suite(16) {
+        let r = RawccScheduler::new()
+            .schedule(unit.dag(), &machine)
+            .expect("rawcc schedules");
+        validate(unit.dag(), &machine, &r).expect("valid");
+        let pr = analyze_pressure(unit.dag(), &machine, &r);
+
+        let c = Scheduler::schedule(
+            &ConvergentScheduler::raw_default(),
+            unit.dag(),
+            &machine,
+        )
+        .expect("convergent schedules");
+        validate(unit.dag(), &machine, &c).expect("valid");
+        let pc = analyze_pressure(unit.dag(), &machine, &c);
+
+        let crp = Scheduler::schedule(
+            &ConvergentScheduler::new(raw_seq_with_regpress()).with_time_priorities(true),
+            unit.dag(),
+            &machine,
+        )
+        .expect("convergent+regpress schedules");
+        validate(unit.dag(), &machine, &crp).expect("valid");
+        let prp = analyze_pressure(unit.dag(), &machine, &crp);
+
+        println!(
+            "{:<14}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
+            unit.name(),
+            pr.max_peak(),
+            pr.total_spills(),
+            pc.max_peak(),
+            pc.total_spills(),
+            prp.max_peak(),
+            prp.total_spills(),
+        );
+    }
+}

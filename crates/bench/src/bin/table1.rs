@@ -1,0 +1,20 @@
+//! Table 1: the pass sequences used by the convergent scheduler for
+//! (a) the Raw machine and (b) the clustered VLIW.
+//!
+//! ```text
+//! cargo run -p convergent-bench --bin table1
+//! ```
+
+use convergent_core::Sequence;
+
+fn main() {
+    println!("Table 1(a): Raw sequence");
+    for name in Sequence::raw().names() {
+        println!("  {name}");
+    }
+    println!();
+    println!("Table 1(b): clustered VLIW sequence");
+    for name in Sequence::vliw().names() {
+        println!("  {name}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Systematic heuristic selection in action — the paper's future-work
+//! section, run as an experiment.
+//!
+//! Starting from the Table 1(a) Raw sequence, hill-climb pass
+//! sequences against total executed cycles on a small training set,
+//! then evaluate the winner on the full Raw suite (held-out sizes).
+//!
+//! ```text
+//! cargo run --release -p convergent-bench --bin tune [-- --iters N]
+//! ```
+
+use convergent_bench::{executed_cycles, geomean, speedup};
+use convergent_core::tuner::{to_sequence, tune, PassSpec, TunerConfig};
+use convergent_core::ConvergentScheduler;
+use convergent_machine::Machine;
+use convergent_workloads::{jacobi, mxm, sha, MxmParams, ShaParams, StencilParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters: usize = args
+        .iter()
+        .position(|a| a == "--iters")
+        .and_then(|k| args.get(k + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(80);
+
+    // Training set: three small, structurally different kernels.
+    let machine = Machine::raw(4);
+    let training = vec![
+        mxm(MxmParams::for_banks(4)),
+        jacobi(StencilParams::for_banks(4)),
+        sha(ShaParams { rounds: 12 }),
+    ];
+
+    // Start from Table 1(a) (minus the INITTIME anchor the tuner adds).
+    let table1a = [
+        PassSpec::PlaceProp,
+        PassSpec::Load,
+        PassSpec::Place,
+        PassSpec::Path,
+        PassSpec::PathProp,
+        PassSpec::Level,
+        PassSpec::PathProp,
+        PassSpec::Comm,
+        PassSpec::PathProp,
+        PassSpec::EmphCp,
+    ];
+
+    let mut evals = 0usize;
+    let result = tune(
+        &table1a,
+        TunerConfig {
+            iterations: iters,
+            max_len: 14,
+            seed: 2002,
+        },
+        |seq| {
+            evals += 1;
+            let sched = scheduler_from(seq);
+            let mut total = 0f64;
+            for unit in &training {
+                match executed_cycles(&sched, unit, &machine) {
+                    Ok(c) => total += f64::from(c),
+                    Err(_) => return f64::INFINITY,
+                }
+            }
+            total
+        },
+    );
+
+    println!("training objective (total cycles over 3 kernels @ 4 tiles):");
+    println!("  Table 1(a): {:.0}", result.initial_score);
+    println!(
+        "  tuned     : {:.0}  ({} accepted mutations, {evals} evaluations)",
+        result.best_score, result.accepted
+    );
+    println!("  tuned sequence: {:?}", to_sequence(&result.best).names());
+
+    // Held-out check on the full 16-tile suite.
+    let machine16 = Machine::raw(16);
+    let stock = ConvergentScheduler::raw_default().with_time_priorities(false);
+    let tuned =
+        ConvergentScheduler::new(to_sequence(&result.best)).with_time_priorities(false);
+    let mut stock_sp = Vec::new();
+    let mut tuned_sp = Vec::new();
+    for unit in convergent_workloads::raw_suite(16) {
+        stock_sp.push(speedup(&stock, &unit, &machine16).expect("suite schedules"));
+        tuned_sp.push(speedup(&tuned, &unit, &machine16).expect("suite schedules"));
+    }
+    println!();
+    println!("held-out Raw suite @ 16 tiles (geomean speedup):");
+    println!("  Table 1(a): {:.3}", geomean(&stock_sp));
+    println!("  tuned     : {:.3}", geomean(&tuned_sp));
+}
+
+/// Rebuilds a scheduler around an already-built sequence by cloning
+/// its pass roster through the spec vocabulary.
+fn scheduler_from(seq: &convergent_core::Sequence) -> ConvergentScheduler {
+    let specs: Vec<PassSpec> = seq
+        .names()
+        .iter()
+        .filter_map(|name| match *name {
+            "INITTIME" => None, // to_sequence re-anchors it
+            "NOISE" => Some(PassSpec::Noise),
+            "FIRST" => Some(PassSpec::First),
+            "PATH" => Some(PassSpec::Path),
+            "COMM" => Some(PassSpec::Comm),
+            "PLACE" => Some(PassSpec::Place),
+            "PLACEPROP" => Some(PassSpec::PlaceProp),
+            "LOAD" => Some(PassSpec::Load),
+            "LEVEL" => Some(PassSpec::Level),
+            "PATHPROP" => Some(PassSpec::PathProp),
+            "EMPHCP" => Some(PassSpec::EmphCp),
+            "REGPRESS" => Some(PassSpec::RegPress),
+            other => unreachable!("unknown pass {other}"),
+        })
+        .collect();
+    ConvergentScheduler::new(to_sequence(&specs)).with_time_priorities(false)
+}

@@ -1,0 +1,125 @@
+//! Experiment harness shared by the `table*` / `figure*` binaries.
+//!
+//! Every experiment follows the same recipe: build a workload, run a
+//! scheduler, *validate* the schedule (no experiment ever reports an
+//! illegal schedule), execute it cycle-by-cycle on the simulator —
+//! including static-network contention on Raw — and report the
+//! resulting makespans as speedups relative to a single-cluster run of
+//! the same graph.
+
+use convergent_ir::{ClusterId, SchedulingUnit};
+use convergent_machine::Machine;
+use convergent_schedulers::{ListScheduler, ScheduleError, Scheduler};
+use convergent_sim::{evaluate, validate, Assignment};
+use convergent_workloads::rebank;
+
+/// Executed cycles of `scheduler` on `unit`×`machine` (validated,
+/// contention-adjusted).
+///
+/// # Errors
+///
+/// Propagates any [`ScheduleError`]; validation failures surface as
+/// [`ScheduleError::ProducedInvalid`].
+pub fn executed_cycles(
+    scheduler: &dyn Scheduler,
+    unit: &SchedulingUnit,
+    machine: &Machine,
+) -> Result<u32, ScheduleError> {
+    let schedule = scheduler.schedule(unit.dag(), machine)?;
+    validate(unit.dag(), machine, &schedule)
+        .map_err(|e| ScheduleError::ProducedInvalid(format!("{}: {e}", unit.name())))?;
+    Ok(evaluate(unit.dag(), machine, &schedule).makespan.get())
+}
+
+/// Executed cycles of `unit` on a single cluster of the same flavour
+/// as `machine` — the paper's speedup baseline. Preplacements fold
+/// onto the single bank, so total work is identical.
+///
+/// # Errors
+///
+/// Propagates any [`ScheduleError`].
+pub fn baseline_cycles(unit: &SchedulingUnit, machine: &Machine) -> Result<u32, ScheduleError> {
+    let single = if machine.comm().register_mapped {
+        Machine::raw(1)
+    } else {
+        Machine::chorus_vliw(1)
+    };
+    let folded = rebank(unit, 1);
+    let assignment = Assignment::uniform(folded.dag().len(), ClusterId::new(0));
+    let schedule = ListScheduler::new().schedule_with_cp(folded.dag(), &single, &assignment)?;
+    validate(folded.dag(), &single, &schedule)
+        .map_err(|e| ScheduleError::ProducedInvalid(format!("{} baseline: {e}", unit.name())))?;
+    Ok(evaluate(folded.dag(), &single, &schedule).makespan.get())
+}
+
+/// Speedup of `scheduler` on `unit`×`machine` over the single-cluster
+/// baseline.
+///
+/// # Errors
+///
+/// Propagates any [`ScheduleError`].
+pub fn speedup(
+    scheduler: &dyn Scheduler,
+    unit: &SchedulingUnit,
+    machine: &Machine,
+) -> Result<f64, ScheduleError> {
+    let base = baseline_cycles(unit, machine)?;
+    let cycles = executed_cycles(scheduler, unit, machine)?;
+    Ok(f64::from(base) / f64::from(cycles))
+}
+
+/// Geometric mean (the right average for speedup ratios).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-positive entries.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean needs positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Prints a row of fixed-width cells (simple table formatting shared
+/// by the harness binaries).
+pub fn print_row(label: &str, cells: &[String]) {
+    print!("{label:<14}");
+    for cell in cells {
+        print!("{cell:>11}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convergent_schedulers::RawccScheduler;
+    use convergent_workloads::{mxm, MxmParams};
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn speedup_pipeline_runs() {
+        let unit = mxm(MxmParams::for_banks(2));
+        let m = Machine::raw(2);
+        let s = speedup(&RawccScheduler::new(), &unit, &m).unwrap();
+        assert!(s > 0.5, "speedup {s} suspiciously low");
+        assert!(s <= 2.5, "speedup {s} exceeds machine width");
+    }
+}

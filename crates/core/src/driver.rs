@@ -1,0 +1,524 @@
+//! The convergent-scheduling driver.
+//!
+//! The driver runs a [`Sequence`] over a fresh [`PreferenceMap`],
+//! normalizing after every pass, then reads off the converged
+//! decisions: each instruction's *preferred cluster* becomes its
+//! spatial assignment and its *preferred time* becomes its priority
+//! for the shared list scheduler — exactly the interface Section 5
+//! describes between the convergent scheduler and the existing Rawcc
+//! and Chorus back ends.
+//!
+//! A [`ConvergenceTrace`] records, for every pass, the fraction of
+//! instructions whose preferred cluster changed — the quantity plotted
+//! in the paper's Figures 7 and 9.
+
+use convergent_ir::{ClusterId, Dag, DistanceOracle, TimeAnalysis};
+use convergent_machine::Machine;
+use convergent_schedulers::{ListScheduler, ScheduleError, Scheduler};
+use convergent_sim::{Assignment, SpaceTimeSchedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{PassContext, PreferenceMap, Sequence};
+
+/// Per-pass convergence measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PassRecord {
+    /// Pass name (paper spelling).
+    pub name: &'static str,
+    /// Fraction of instructions whose preferred cluster changed
+    /// during this pass.
+    pub changed_fraction: f64,
+    /// `true` for passes that only adjust temporal preferences
+    /// (excluded from the paper's Figures 7 and 9).
+    pub time_only: bool,
+}
+
+/// The per-pass convergence history of one scheduling run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ConvergenceTrace {
+    records: Vec<PassRecord>,
+}
+
+impl ConvergenceTrace {
+    /// All records, in pass order.
+    #[must_use]
+    pub fn records(&self) -> &[PassRecord] {
+        &self.records
+    }
+
+    /// Records for space-affecting passes only (what Figures 7 and 9
+    /// plot).
+    pub fn spatial(&self) -> impl Iterator<Item = &PassRecord> + '_ {
+        self.records.iter().filter(|r| !r.time_only)
+    }
+}
+
+/// Result of running the passes: an assignment plus time priorities.
+#[derive(Clone, Debug)]
+pub struct AssignOutcome {
+    assignment: Assignment,
+    priorities: Vec<u32>,
+    trace: ConvergenceTrace,
+}
+
+impl AssignOutcome {
+    /// The converged instruction→cluster assignment.
+    #[must_use]
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Preferred times, used as list-scheduling priorities.
+    #[must_use]
+    pub fn priorities(&self) -> &[u32] {
+        &self.priorities
+    }
+
+    /// The convergence history.
+    #[must_use]
+    pub fn trace(&self) -> &ConvergenceTrace {
+        &self.trace
+    }
+}
+
+/// Result of a full schedule: assignment, priorities, and the final
+/// space-time schedule.
+#[derive(Clone, Debug)]
+pub struct ScheduleOutcome {
+    schedule: SpaceTimeSchedule,
+    assignment: Assignment,
+    trace: ConvergenceTrace,
+}
+
+impl ScheduleOutcome {
+    /// The final space-time schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &SpaceTimeSchedule {
+        &self.schedule
+    }
+
+    /// The converged assignment.
+    #[must_use]
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// The convergence history.
+    #[must_use]
+    pub fn trace(&self) -> &ConvergenceTrace {
+        &self.trace
+    }
+
+    /// Extracts the schedule, discarding the rest.
+    #[must_use]
+    pub fn into_schedule(self) -> SpaceTimeSchedule {
+        self.schedule
+    }
+}
+
+/// The convergent scheduler: a [`Sequence`] plus a noise seed.
+///
+/// # Example
+///
+/// ```
+/// use convergent_core::ConvergentScheduler;
+/// use convergent_ir::{DagBuilder, Opcode};
+/// use convergent_machine::Machine;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DagBuilder::new();
+/// let x = b.instr(Opcode::Load);
+/// let y = b.instr(Opcode::FMul);
+/// b.edge(x, y)?;
+/// let dag = b.build()?;
+///
+/// let machine = Machine::chorus_vliw(4);
+/// let outcome = ConvergentScheduler::vliw_default().schedule(&dag, &machine)?;
+/// convergent_sim::validate(&dag, &machine, outcome.schedule())?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ConvergentScheduler {
+    sequence: Sequence,
+    seed: u64,
+    use_time_priorities: bool,
+}
+
+impl ConvergentScheduler {
+    /// Creates a scheduler running `sequence`.
+    #[must_use]
+    pub fn new(sequence: Sequence) -> Self {
+        ConvergentScheduler {
+            sequence,
+            seed: 42,
+            use_time_priorities: true,
+        }
+    }
+
+    /// The paper's Raw configuration (Table 1a).
+    ///
+    /// Matching Section 5 — "For Rawcc, however, the temporal
+    /// assignments are computed independently by its own instruction
+    /// scheduler" — this preset takes only the *spatial* assignment
+    /// from the preference map and lets the list scheduler use its own
+    /// critical-path priorities.
+    #[must_use]
+    pub fn raw_default() -> Self {
+        let mut s = ConvergentScheduler::new(Sequence::raw());
+        s.use_time_priorities = false;
+        s
+    }
+
+    /// The paper's clustered-VLIW configuration (Table 1b).
+    ///
+    /// "Chorus uses the temporal assignments as priorities for the
+    /// list scheduler", so this preset keeps the converged times.
+    #[must_use]
+    pub fn vliw_default() -> Self {
+        ConvergentScheduler::new(Sequence::vliw())
+    }
+
+    /// The clustered-VLIW configuration re-tuned for this workspace's
+    /// cost model ([`Sequence::vliw_tuned`]); used by the Figure 8
+    /// experiment.
+    #[must_use]
+    pub fn vliw_tuned() -> Self {
+        ConvergentScheduler::new(Sequence::vliw_tuned())
+    }
+
+    /// Chooses whether the converged preferred times drive the list
+    /// scheduler (`true`, Chorus-style) or the list scheduler computes
+    /// its own critical-path priorities (`false`, Rawcc-style).
+    #[must_use]
+    pub fn with_time_priorities(mut self, on: bool) -> Self {
+        self.use_time_priorities = on;
+        self
+    }
+
+    /// Sets the seed for the NOISE pass (runs are deterministic for a
+    /// fixed seed).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured sequence.
+    #[must_use]
+    pub fn sequence(&self) -> &Sequence {
+        &self.sequence
+    }
+
+    /// Runs the passes and reads off assignment + priorities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::BadHomeCluster`] for preplacements
+    /// referencing nonexistent clusters and
+    /// [`ScheduleError::NoCapableCluster`] when an operation cannot
+    /// execute anywhere on the machine.
+    pub fn assign(&self, dag: &Dag, machine: &Machine) -> Result<AssignOutcome, ScheduleError> {
+        self.assign_with_observer(dag, machine, |_, _, _| {})
+    }
+
+    /// Like [`ConvergentScheduler::assign`], invoking `observer` after
+    /// the initial map is built (pass index 0, name `"<init>"`) and
+    /// after each pass completes — the hook behind the paper's
+    /// Figure 4 visualization.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ConvergentScheduler::assign`].
+    pub fn assign_with_observer(
+        &self,
+        dag: &Dag,
+        machine: &Machine,
+        mut observer: impl FnMut(usize, &str, &PreferenceMap),
+    ) -> Result<AssignOutcome, ScheduleError> {
+        for i in dag.ids() {
+            let instr = dag.instr(i);
+            if let Some(home) = instr.preplacement() {
+                if home.index() >= machine.n_clusters() {
+                    return Err(ScheduleError::BadHomeCluster { instr: i, home });
+                }
+            }
+            if !machine
+                .cluster_ids()
+                .any(|c| machine.cluster_can_execute(c, instr.class()))
+            {
+                return Err(ScheduleError::NoCapableCluster(i));
+            }
+        }
+
+        let time = TimeAnalysis::compute(dag, |i| machine.latency_of(i));
+        let n_slots = (time.critical_path_length().max(1)) as usize;
+        let mut weights = PreferenceMap::new(dag.len(), machine.n_clusters(), n_slots);
+        let mut dist = DistanceOracle::new();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trace = ConvergenceTrace::default();
+        observer(0, "<init>", &weights);
+
+        let mut preferred: Vec<ClusterId> =
+            dag.ids().map(|i| weights.preferred_cluster(i)).collect();
+        for (k, pass) in self.sequence.passes().iter().enumerate() {
+            {
+                let mut ctx = PassContext {
+                    dag,
+                    machine,
+                    time: &time,
+                    dist: &mut dist,
+                    rng: &mut rng,
+                    weights: &mut weights,
+                };
+                pass.run(&mut ctx);
+            }
+            weights.normalize_all();
+            let mut changed = 0usize;
+            for i in dag.ids() {
+                let now = weights.preferred_cluster(i);
+                if now != preferred[i.index()] {
+                    changed += 1;
+                    preferred[i.index()] = now;
+                }
+            }
+            trace.records.push(PassRecord {
+                name: pass.name(),
+                changed_fraction: changed as f64 / dag.len() as f64,
+                time_only: pass.is_time_only(),
+            });
+            observer(k + 1, pass.name(), &weights);
+        }
+
+        // Read off the converged decisions. Preplacement is a
+        // correctness constraint: on hard-memory machines the final
+        // assignment is forced home no matter what the heuristics
+        // said (PLACE's ×100 makes disagreement rare).
+        let hard = machine.memory().preplacement_is_hard();
+        let assignment: Assignment = dag
+            .ids()
+            .map(|i| match (dag.instr(i).preplacement(), hard) {
+                (Some(home), true) => home,
+                _ => weights.preferred_cluster(i),
+            })
+            .collect();
+        let priorities: Vec<u32> = dag.ids().map(|i| weights.preferred_time(i).get()).collect();
+        Ok(AssignOutcome {
+            assignment,
+            priorities,
+            trace,
+        })
+    }
+
+    /// Runs the passes and list-schedules the result.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ConvergentScheduler::assign`], plus any
+    /// [`ScheduleError`] from the list scheduler.
+    pub fn schedule(
+        &self,
+        dag: &Dag,
+        machine: &Machine,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        let outcome = self.assign(dag, machine)?;
+        let schedule = if self.use_time_priorities {
+            ListScheduler::new().schedule(dag, machine, &outcome.assignment, &outcome.priorities)?
+        } else {
+            ListScheduler::new().schedule_with_cp(dag, machine, &outcome.assignment)?
+        };
+        Ok(ScheduleOutcome {
+            schedule,
+            assignment: outcome.assignment,
+            trace: outcome.trace,
+        })
+    }
+}
+
+impl Scheduler for ConvergentScheduler {
+    fn name(&self) -> &str {
+        "convergent"
+    }
+
+    fn schedule(&self, dag: &Dag, machine: &Machine) -> Result<SpaceTimeSchedule, ScheduleError> {
+        ConvergentScheduler::schedule(self, dag, machine).map(ScheduleOutcome::into_schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convergent_ir::{DagBuilder, InstrId, Opcode};
+    use convergent_sim::validate;
+
+    fn c(k: u16) -> ClusterId {
+        ClusterId::new(k)
+    }
+
+    fn star_with_preplacement() -> Dag {
+        // Four banked loads feeding a reduction tree.
+        let mut b = DagBuilder::new();
+        let mut muls = Vec::new();
+        for k in 0..4u16 {
+            let ld = b.preplaced_instr(Opcode::Load, c(k));
+            let mu = b.instr(Opcode::FMul);
+            b.edge(ld, mu).unwrap();
+            muls.push(mu);
+        }
+        let a1 = b.instr(Opcode::FAdd);
+        let a2 = b.instr(Opcode::FAdd);
+        let a3 = b.instr(Opcode::FAdd);
+        b.edge(muls[0], a1).unwrap();
+        b.edge(muls[1], a1).unwrap();
+        b.edge(muls[2], a2).unwrap();
+        b.edge(muls[3], a2).unwrap();
+        b.edge(a1, a3).unwrap();
+        b.edge(a2, a3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn raw_schedule_validates_and_honors_preplacement() {
+        let dag = star_with_preplacement();
+        let m = Machine::raw(4);
+        let out = ConvergentScheduler::raw_default().schedule(&dag, &m).unwrap();
+        validate(&dag, &m, out.schedule()).unwrap();
+        assert!(out.assignment().respects_preplacement(&dag));
+        // Each multiply follows its load's home tile.
+        for k in 0..4u32 {
+            let ld = InstrId::new(k * 2);
+            let mu = InstrId::new(k * 2 + 1);
+            assert_eq!(out.assignment().cluster(mu), out.assignment().cluster(ld));
+        }
+    }
+
+    #[test]
+    fn vliw_schedule_validates() {
+        let dag = star_with_preplacement();
+        let m = Machine::chorus_vliw(4);
+        let out = ConvergentScheduler::vliw_default().schedule(&dag, &m).unwrap();
+        validate(&dag, &m, out.schedule()).unwrap();
+    }
+
+    #[test]
+    fn trace_covers_every_pass() {
+        let dag = star_with_preplacement();
+        let m = Machine::raw(4);
+        let out = ConvergentScheduler::raw_default().assign(&dag, &m).unwrap();
+        assert_eq!(out.trace().records().len(), Sequence::raw().len());
+        // EMPHCP is time-only and excluded from the spatial trace.
+        assert_eq!(
+            out.trace().spatial().count(),
+            Sequence::raw().len() - 1
+        );
+        for r in out.trace().records() {
+            assert!((0.0..=1.0).contains(&r.changed_fraction), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let dag = star_with_preplacement();
+        let m = Machine::chorus_vliw(4);
+        let s1 = ConvergentScheduler::vliw_default().with_seed(9);
+        let s2 = ConvergentScheduler::vliw_default().with_seed(9);
+        let a = s1.assign(&dag, &m).unwrap();
+        let b = s2.assign(&dag, &m).unwrap();
+        assert_eq!(a.assignment(), b.assignment());
+        assert_eq!(a.priorities(), b.priorities());
+    }
+
+    #[test]
+    fn observer_sees_init_plus_each_pass() {
+        let dag = star_with_preplacement();
+        let m = Machine::chorus_vliw(4);
+        let mut names = Vec::new();
+        ConvergentScheduler::vliw_default()
+            .assign_with_observer(&dag, &m, |_, name, w| {
+                w.assert_invariants(1e-6);
+                names.push(name.to_string());
+            })
+            .unwrap();
+        assert_eq!(names.len(), Sequence::vliw().len() + 1);
+        assert_eq!(names[0], "<init>");
+        assert_eq!(names[1], "INITTIME");
+    }
+
+    #[test]
+    fn bad_home_rejected() {
+        let mut b = DagBuilder::new();
+        b.preplaced_instr(Opcode::Load, c(9));
+        let dag = b.build().unwrap();
+        let m = Machine::chorus_vliw(2);
+        assert!(matches!(
+            ConvergentScheduler::vliw_default().assign(&dag, &m),
+            Err(ScheduleError::BadHomeCluster { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_sequence_still_schedules() {
+        // With no passes everything defaults to cluster 0 — legal,
+        // just serial.
+        let dag = star_with_preplacement();
+        let m = Machine::chorus_vliw(4);
+        let out = ConvergentScheduler::new(Sequence::new())
+            .schedule(&dag, &m)
+            .unwrap();
+        validate(&dag, &m, out.schedule()).unwrap();
+    }
+
+    #[test]
+    fn single_cluster_machine_degenerates_gracefully() {
+        // With one cluster there is no spatial choice; confidence is
+        // infinite everywhere and the pipeline still produces a valid,
+        // serial-resource-bound schedule.
+        let dag = star_with_preplacement();
+        let folded = {
+            // Fold homes onto cluster 0 for the 1-cluster machine.
+            let mut b = convergent_ir::DagBuilder::new();
+            for instr in dag.instrs() {
+                let new = match instr.preplacement() {
+                    Some(_) => convergent_ir::Instruction::preplaced(
+                        instr.opcode(),
+                        ClusterId::new(0),
+                    ),
+                    None => convergent_ir::Instruction::new(instr.opcode()),
+                };
+                b.push(new);
+            }
+            for e in dag.edges() {
+                b.edge(e.src, e.dst).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let m = Machine::raw(1);
+        let out = ConvergentScheduler::raw_default().schedule(&folded, &m).unwrap();
+        validate(&folded, &m, out.schedule()).unwrap();
+        // Single-issue tile: makespan at least the instruction count.
+        assert!(out.schedule().makespan().get() >= folded.len() as u32);
+    }
+
+    #[test]
+    fn single_instruction_graph_schedules() {
+        let mut b = convergent_ir::DagBuilder::new();
+        b.instr(convergent_ir::Opcode::FDiv);
+        let dag = b.build().unwrap();
+        for m in [Machine::raw(4), Machine::chorus_vliw(4)] {
+            let out = ConvergentScheduler::raw_default().schedule(&dag, &m).unwrap();
+            validate(&dag, &m, out.schedule()).unwrap();
+            assert_eq!(out.schedule().op(InstrId::new(0)).start.get(), 0);
+        }
+    }
+
+    #[test]
+    fn scheduler_trait_is_implemented() {
+        let s = ConvergentScheduler::raw_default();
+        assert_eq!(Scheduler::name(&s), "convergent");
+        let dag = star_with_preplacement();
+        let m = Machine::raw(4);
+        let schedule = Scheduler::schedule(&s, &dag, &m).unwrap();
+        validate(&dag, &m, &schedule).unwrap();
+    }
+}

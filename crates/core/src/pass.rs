@@ -1,0 +1,81 @@
+//! The pass interface.
+//!
+//! "All phases in the convergent scheduler share a common interface.
+//! The input or output to each phase is a collection of spatial and
+//! temporal preferences of instructions. A phase operates by analyzing
+//! the current preferences and modifying them." — Section 1.
+//!
+//! A [`Pass`] sees the world through [`PassContext`]: the dependence
+//! graph, the machine, precomputed timing analysis, a distance oracle,
+//! a deterministic RNG (for NOISE), and the mutable [`PreferenceMap`].
+//! Passes must not assume anything about which passes ran before them;
+//! that independence is the framework's point.
+
+use convergent_ir::{Dag, DistanceOracle, TimeAnalysis};
+use convergent_machine::Machine;
+use rand::rngs::StdRng;
+
+use crate::PreferenceMap;
+
+/// Everything a pass may look at or change.
+#[derive(Debug)]
+pub struct PassContext<'a> {
+    /// The dependence graph being scheduled.
+    pub dag: &'a Dag,
+    /// The target machine.
+    pub machine: &'a Machine,
+    /// Latency-weighted timing analysis of `dag` on `machine`.
+    pub time: &'a TimeAnalysis,
+    /// Cached undirected graph distances.
+    pub dist: &'a mut DistanceOracle,
+    /// Deterministic randomness (seeded by the driver).
+    pub rng: &'a mut StdRng,
+    /// The shared preference map.
+    pub weights: &'a mut PreferenceMap,
+}
+
+/// One convergent-scheduling heuristic.
+///
+/// Implementations read and nudge `ctx.weights`; the driver normalizes
+/// after every pass ("we run normalization at the end of every pass to
+/// ensure the invariants"), so passes may scale weights freely.
+///
+/// # Example
+///
+/// A custom pass that biases even-numbered instructions toward
+/// cluster 0:
+///
+/// ```
+/// use convergent_core::{Pass, PassContext};
+/// use convergent_ir::ClusterId;
+///
+/// struct EvenToZero;
+///
+/// impl Pass for EvenToZero {
+///     fn name(&self) -> &'static str {
+///         "even-to-zero"
+///     }
+///     fn run(&self, ctx: &mut PassContext<'_>) {
+///         for i in ctx.dag.ids() {
+///             if i.raw() % 2 == 0 {
+///                 ctx.weights.scale_cluster(i, ClusterId::new(0), 2.0);
+///             }
+///         }
+///     }
+/// }
+/// ```
+pub trait Pass {
+    /// Short upper-case name matching the paper ("INITTIME", "NOISE",
+    /// ...); used in convergence traces and reports.
+    fn name(&self) -> &'static str;
+
+    /// Returns `true` if this pass only adjusts temporal preferences.
+    /// The paper's convergence plots (Figures 7 and 9) exclude such
+    /// passes.
+    fn is_time_only(&self) -> bool {
+        false
+    }
+
+    /// Reads and nudges the preference map.
+    fn run(&self, ctx: &mut PassContext<'_>);
+}

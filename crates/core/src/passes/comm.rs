@@ -1,0 +1,223 @@
+//! COMM — communication minimization.
+//!
+//! "This pass reduces communication load by increasing the weight for
+//! an instruction to be in the same clusters where most of [its]
+//! neighbors (successors and predecessors in the dependence graph)
+//! are. This is done by summing the weights of all the neighbors in a
+//! specific cluster, and using that to skew weights in the correct
+//! direction."
+//!
+//! The paper's formula multiplies `W[i,t,c]` by `Σ_n W[n,t,c]` —
+//! literally the neighbors' weight in the *same time slot*. Dependent
+//! neighbors never share a time slot, so (as the prose says) we sum
+//! each neighbor's weight "in a specific cluster", i.e. its cluster
+//! marginal, and use that as the skew factor (plus a small floor so a
+//! cluster no neighbor currently favours is dampened, not
+//! obliterated). This interpretation is flagged in DESIGN.md.
+//!
+//! Two extras from the paper, both on by default:
+//!
+//! * "a variant … that considers grand-parents and grand-children,
+//!   and we usually run it together with COMM" — grand-neighbors
+//!   contribute with half weight;
+//! * "for each i: W[i, tᵢ, cᵢ] ← 2 · W[i, tᵢ, cᵢ]" — the preferred
+//!   slot is reinforced, sharpening the map.
+
+use std::collections::HashSet;
+
+use convergent_ir::{ClusterId, InstrId};
+
+use crate::{Pass, PassContext};
+
+/// Floor added to neighbor skew factors so unvisited clusters are
+/// dampened rather than zeroed (keeps the map recoverable, feature 3
+/// of Section 2).
+const SKEW_FLOOR: f64 = 0.05;
+
+/// The COMM pass. See the module docs.
+#[derive(Clone, Copy, Debug)]
+pub struct Comm {
+    grand_neighbors: bool,
+    reinforce_preferred: bool,
+}
+
+impl Comm {
+    /// Creates the pass with grand-neighbors and preferred-slot
+    /// reinforcement enabled, the configuration the paper runs.
+    #[must_use]
+    pub fn new() -> Self {
+        Comm {
+            grand_neighbors: true,
+            reinforce_preferred: true,
+        }
+    }
+
+    /// Enables or disables the grand-parent/grand-child variant.
+    #[must_use]
+    pub fn with_grand_neighbors(mut self, on: bool) -> Self {
+        self.grand_neighbors = on;
+        self
+    }
+
+    /// Enables or disables the `W[i,tᵢ,cᵢ] ← 2W[i,tᵢ,cᵢ]`
+    /// reinforcement step.
+    #[must_use]
+    pub fn with_reinforcement(mut self, on: bool) -> Self {
+        self.reinforce_preferred = on;
+        self
+    }
+}
+
+impl Default for Comm {
+    fn default() -> Self {
+        Comm::new()
+    }
+}
+
+impl Pass for Comm {
+    fn name(&self) -> &'static str {
+        "COMM"
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) {
+        let n_clusters = ctx.weights.n_clusters();
+        // Snapshot normalized cluster marginals so the pass result
+        // does not depend on instruction iteration order.
+        let marginal: Vec<Vec<f64>> = ctx
+            .dag
+            .ids()
+            .map(|i| {
+                let tot = ctx.weights.total(i).max(f64::MIN_POSITIVE);
+                (0..n_clusters)
+                    .map(|c| ctx.weights.cluster_weight(i, ClusterId::new(c as u16)) / tot)
+                    .collect()
+            })
+            .collect();
+
+        for i in ctx.dag.ids() {
+            let mut skew = vec![SKEW_FLOOR; n_clusters];
+            for n in ctx.dag.neighbors(i) {
+                for c in 0..n_clusters {
+                    skew[c] += marginal[n.index()][c];
+                }
+            }
+            if self.grand_neighbors {
+                let direct: HashSet<InstrId> = ctx.dag.neighbors(i).collect();
+                let mut seen: HashSet<InstrId> = HashSet::new();
+                for n in ctx.dag.neighbors(i) {
+                    for g in ctx.dag.neighbors(n) {
+                        if g != i && !direct.contains(&g) && seen.insert(g) {
+                            for c in 0..n_clusters {
+                                skew[c] += 0.5 * marginal[g.index()][c];
+                            }
+                        }
+                    }
+                }
+            }
+            for c in 0..n_clusters {
+                ctx.weights
+                    .scale_cluster(i, ClusterId::new(c as u16), skew[c]);
+            }
+        }
+
+        if self.reinforce_preferred {
+            for i in ctx.dag.ids() {
+                let ci = ctx.weights.preferred_cluster(i);
+                let ti = ctx.weights.preferred_time(i);
+                ctx.weights.scale(i, ci, ti.get(), 2.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::testutil::Rig;
+    use convergent_ir::{DagBuilder, Opcode};
+    use convergent_machine::Machine;
+
+    fn c(k: u16) -> ClusterId {
+        ClusterId::new(k)
+    }
+
+    #[test]
+    fn instruction_follows_its_neighbors() {
+        // y's only neighbor x is strongly on cluster 1.
+        let mut b = DagBuilder::new();
+        let x = b.instr(Opcode::IntAlu);
+        let y = b.instr(Opcode::IntAlu);
+        b.edge(x, y).unwrap();
+        let dag = b.build().unwrap();
+        let mut rig = Rig::new(dag, Machine::raw(4));
+        rig.weights.scale_cluster(x, c(1), 100.0);
+        rig.weights.normalize_all();
+        rig.run(&Comm::new());
+        rig.weights.assert_invariants(1e-9);
+        assert_eq!(rig.weights.preferred_cluster(y), c(1));
+        assert!(rig.weights.confidence(y) > 2.0);
+    }
+
+    #[test]
+    fn grand_neighbors_reach_two_hops() {
+        // chain x -> m -> y; x pinned to cluster 2; with the
+        // grand-neighbor variant y hears about it in one COMM run.
+        let mut b = DagBuilder::new();
+        let x = b.instr(Opcode::IntAlu);
+        let m = b.instr(Opcode::IntAlu);
+        let y = b.instr(Opcode::IntAlu);
+        b.edge(x, m).unwrap();
+        b.edge(m, y).unwrap();
+        let dag = b.build().unwrap();
+
+        let mut with = Rig::new(dag.clone(), Machine::raw(4));
+        with.weights.scale_cluster(x, c(2), 100.0);
+        with.weights.normalize_all();
+        with.run(&Comm::new().with_reinforcement(false));
+        let conf_with = with.weights.cluster_weight(y, c(2));
+
+        let mut without = Rig::new(dag, Machine::raw(4));
+        without.weights.scale_cluster(x, c(2), 100.0);
+        without.weights.normalize_all();
+        without.run(
+            &Comm::new()
+                .with_grand_neighbors(false)
+                .with_reinforcement(false),
+        );
+        let conf_without = without.weights.cluster_weight(y, c(2));
+        assert!(
+            conf_with > conf_without,
+            "grand-neighbors must strengthen the pull: {conf_with} vs {conf_without}"
+        );
+    }
+
+    #[test]
+    fn reinforcement_sharpens_preferred_slot() {
+        let mut b = DagBuilder::new();
+        let x = b.instr(Opcode::IntAlu);
+        let dag = b.build().unwrap();
+        let mut rig = Rig::new(dag, Machine::raw(2));
+        rig.weights.scale_cluster(x, c(1), 3.0);
+        rig.weights.normalize_all();
+        let before = rig.weights.confidence(x);
+        rig.run(&Comm::new());
+        // An isolated instruction has no neighbors: only the
+        // reinforcement step applies, and it must increase confidence.
+        assert!(rig.weights.confidence(x) > before);
+    }
+
+    #[test]
+    fn symmetric_inputs_stay_symmetric() {
+        // Without reinforcement, an unbiased pair stays unbiased.
+        let mut b = DagBuilder::new();
+        let x = b.instr(Opcode::IntAlu);
+        let y = b.instr(Opcode::IntAlu);
+        b.edge(x, y).unwrap();
+        let dag = b.build().unwrap();
+        let mut rig = Rig::new(dag, Machine::raw(2));
+        rig.run(&Comm::new().with_reinforcement(false));
+        rig.weights.assert_invariants(1e-9);
+        assert!((rig.weights.confidence(x) - 1.0).abs() < 1e-9);
+        assert!((rig.weights.confidence(y) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,95 @@
+//! INITTIME — initial time assignment.
+//!
+//! "An instruction in the middle of the dependence graph cannot be
+//! scheduled before its predecessors, nor after its successors. … This
+//! pass squashes to zero all the weights outside this range." The
+//! paper also notes "a pass similar to this one can address the fact
+//! that some instructions cannot be scheduled in all clusters … simply
+//! by squashing the weights for the unfeasible clusters" — we fold
+//! that in here, since both are hard feasibility facts.
+
+use crate::{Pass, PassContext};
+
+/// The INITTIME pass. See the module docs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InitTime;
+
+impl InitTime {
+    /// Creates the pass.
+    #[must_use]
+    pub fn new() -> Self {
+        InitTime
+    }
+}
+
+impl Pass for InitTime {
+    fn name(&self) -> &'static str {
+        "INITTIME"
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) {
+        let last_slot = ctx.weights.n_slots() as u32 - 1;
+        for i in ctx.dag.ids() {
+            let lo = ctx.time.earliest_start(i).min(last_slot);
+            let hi = ctx.time.latest_start(i).clamp(lo, last_slot);
+            ctx.weights.set_window(i, lo, hi);
+            for c in ctx.machine.cluster_ids() {
+                if !ctx.machine.cluster_can_execute(c, ctx.dag.instr(i).class()) {
+                    ctx.weights.forbid_cluster(i, c);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::testutil::Rig;
+    use convergent_ir::{DagBuilder, InstrId, Opcode};
+    use convergent_machine::Machine;
+
+    #[test]
+    fn windows_match_time_analysis() {
+        // load(3) -> add(1), island mul(2). CPL = 4.
+        let mut b = DagBuilder::new();
+        let ld = b.instr(Opcode::Load);
+        let ad = b.instr(Opcode::IntAlu);
+        let mu = b.instr(Opcode::IntMul);
+        b.edge(ld, ad).unwrap();
+        let dag = b.build().unwrap();
+        let mut rig = Rig::new(dag, Machine::chorus_vliw(2));
+        rig.run(&InitTime::new());
+        rig.weights.assert_invariants(1e-9);
+        assert_eq!(rig.weights.window(ld), (0, 0));
+        assert_eq!(rig.weights.window(ad), (3, 3));
+        // Island: latest start = CPL - lat = 2.
+        assert_eq!(rig.weights.window(mu), (0, 2));
+        // Weight outside the window is gone.
+        assert_eq!(rig.weights.time_weight(ad, 0), 0.0);
+        assert!(rig.weights.time_weight(ad, 3) > 0.99);
+    }
+
+    #[test]
+    fn critical_instructions_get_single_slot() {
+        let mut b = DagBuilder::new();
+        let x = b.instr(Opcode::IntAlu);
+        let y = b.instr(Opcode::IntAlu);
+        b.edge(x, y).unwrap();
+        let dag = b.build().unwrap();
+        let mut rig = Rig::new(dag, Machine::raw(2));
+        rig.run(&InitTime::new());
+        let (lo, hi) = rig.weights.window(x);
+        assert_eq!((lo, hi), (0, 0));
+        assert_eq!(rig.weights.window(y), (1, 1));
+        assert_eq!(rig.weights.preferred_time(InstrId::new(1)).get(), 1);
+    }
+
+    #[test]
+    fn is_a_space_affecting_pass() {
+        // INITTIME also squashes infeasible clusters, so it is not
+        // time-only.
+        assert!(!InitTime::new().is_time_only());
+        assert_eq!(InitTime::new().name(), "INITTIME");
+    }
+}

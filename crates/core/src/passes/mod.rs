@@ -1,0 +1,100 @@
+//! The collection of heuristics from Section 4 of the paper.
+//!
+//! Each pass addresses exactly one constraint and communicates with
+//! the others only through the preference map:
+//!
+//! | pass | constraint |
+//! |---|---|
+//! | [`InitTime`] | feasible time windows (and executable clusters) |
+//! | [`Noise`] | symmetry breaking for parallelism |
+//! | [`Place`] | preplaced instructions on their home clusters |
+//! | [`First`] | the Chorus "data lives on cluster 1" invariant |
+//! | [`Path`] | critical paths stay together |
+//! | [`Comm`] | communication minimization |
+//! | [`PlaceProp`] | propagating preplacement to neighbors |
+//! | [`LoadBalance`] | balancing expected load |
+//! | [`LevelDistribute`] | spreading level-parallelism across clusters |
+//! | [`PathProp`] | propagating confident assignments along paths |
+//! | [`EmphCp`] | sharpening temporal preferences toward levels |
+//! | [`RegPressure`] | register pressure (the paper's §1 constraint) |
+//!
+//! There are no restrictions on the order or the number of times each
+//! is applied; [`crate::Sequence`] holds the composition.
+
+mod comm;
+mod emphcp;
+mod first;
+mod inittime;
+mod level;
+mod load;
+mod noise;
+mod path;
+mod pathprop;
+mod place;
+mod placeprop;
+mod regpress;
+
+pub use comm::Comm;
+pub use emphcp::EmphCp;
+pub use first::First;
+pub use inittime::InitTime;
+pub use level::LevelDistribute;
+pub use load::LoadBalance;
+pub use noise::Noise;
+pub use path::Path;
+pub use pathprop::PathProp;
+pub use place::Place;
+pub use placeprop::PlaceProp;
+pub use regpress::RegPressure;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared scaffolding for pass unit tests.
+
+    use convergent_ir::{Dag, DistanceOracle, TimeAnalysis};
+    use convergent_machine::Machine;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::{Pass, PassContext, PreferenceMap};
+
+    /// Bundles everything needed to run passes over one graph.
+    pub(crate) struct Rig {
+        pub dag: Dag,
+        pub machine: Machine,
+        pub time: TimeAnalysis,
+        pub weights: PreferenceMap,
+        pub dist: DistanceOracle,
+        pub rng: StdRng,
+    }
+
+    impl Rig {
+        pub(crate) fn new(dag: Dag, machine: Machine) -> Self {
+            let time = TimeAnalysis::compute(&dag, |i| machine.latency_of(i));
+            let slots = time.critical_path_length().max(1) as usize;
+            let weights = PreferenceMap::new(dag.len(), machine.n_clusters(), slots);
+            Rig {
+                dag,
+                machine,
+                time,
+                weights,
+                dist: DistanceOracle::new(),
+                rng: StdRng::seed_from_u64(7),
+            }
+        }
+
+        /// Runs `pass` followed by the driver's normalization step.
+        pub(crate) fn run(&mut self, pass: &dyn Pass) {
+            let mut ctx = PassContext {
+                dag: &self.dag,
+                machine: &self.machine,
+                time: &self.time,
+                dist: &mut self.dist,
+                rng: &mut self.rng,
+                weights: &mut self.weights,
+            };
+            pass.run(&mut ctx);
+            self.weights.normalize_all();
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! NOISE — noise introduction.
+//!
+//! "This pass introduces a small amount of noise in the weight
+//! distribution. The noise helps break symmetry and spreads
+//! instructions around to facilitate scheduling for parallelism."
+//!
+//! The paper's formula adds `rand()/RAND_MAX` (a uniform value in the
+//! unit interval) to every slot, which, with weights normalized to sum
+//! to one, makes the noise the *dominant* component of the map until
+//! later passes multiply their preferences in. That dominance is the
+//! point: with an instruction's feasible window holding `k` cells, its
+//! post-NOISE cluster marginals carry roughly `1/sqrt(12k)` relative
+//! jitter, enough to overcome mild deterministic biases like FIRST's
+//! 1.2 factor for a healthy fraction of instructions, which is how
+//! work spreads off the first cluster. We reproduce the formula with
+//! one refinement: noise is only added inside each instruction's
+//! feasible window and clusters, so INITTIME's correctness squash
+//! survives (documented in DESIGN.md).
+
+use rand::Rng;
+
+use crate::{Pass, PassContext};
+
+/// The NOISE pass. See the module docs.
+#[derive(Clone, Copy, Debug)]
+pub struct Noise {
+    amplitude: f64,
+}
+
+impl Noise {
+    /// Creates the pass with the paper's amplitude: uniform noise in
+    /// `[0, 1]` per feasible cell (weights are normalized, so this
+    /// dominates until later passes assert their preferences).
+    #[must_use]
+    pub fn new() -> Self {
+        Noise { amplitude: 1.0 }
+    }
+
+    /// Sets the noise amplitude (the upper bound of the per-cell
+    /// uniform addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitude` is negative or not finite.
+    #[must_use]
+    pub fn with_amplitude(mut self, amplitude: f64) -> Self {
+        assert!(
+            amplitude.is_finite() && amplitude >= 0.0,
+            "amplitude must be a non-negative finite number"
+        );
+        self.amplitude = amplitude;
+        self
+    }
+}
+
+impl Default for Noise {
+    fn default() -> Self {
+        Noise::new()
+    }
+}
+
+impl Pass for Noise {
+    fn name(&self) -> &'static str {
+        "NOISE"
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) {
+        for i in ctx.dag.ids() {
+            let (lo, hi) = ctx.weights.window(i);
+            for c in ctx.machine.cluster_ids() {
+                if !ctx.weights.cluster_feasible(i, c) {
+                    continue;
+                }
+                for t in lo..=hi {
+                    let u: f64 = ctx.rng.gen();
+                    ctx.weights.add(i, c, t, self.amplitude * u);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::testutil::Rig;
+    use crate::passes::InitTime;
+    use convergent_ir::{ClusterId, DagBuilder, InstrId, Opcode};
+    use convergent_machine::Machine;
+
+    fn flat_dag(n: usize) -> convergent_ir::Dag {
+        let mut b = DagBuilder::new();
+        for _ in 0..n {
+            b.instr(Opcode::IntAlu);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn noise_breaks_cluster_symmetry() {
+        let mut rig = Rig::new(flat_dag(8), Machine::raw(4));
+        rig.run(&Noise::new());
+        rig.weights.assert_invariants(1e-9);
+        // At least one instruction must now prefer a non-zero cluster
+        // (with all-uniform weights, ties all break to cluster 0).
+        let prefs: Vec<ClusterId> = rig
+            .dag
+            .ids()
+            .map(|i| rig.weights.preferred_cluster(i))
+            .collect();
+        assert!(prefs.iter().any(|&c| c != ClusterId::new(0)), "{prefs:?}");
+    }
+
+    #[test]
+    fn noise_respects_feasibility() {
+        let mut b = DagBuilder::new();
+        let x = b.instr(Opcode::IntAlu);
+        let y = b.instr(Opcode::IntAlu);
+        b.edge(x, y).unwrap();
+        let dag = b.build().unwrap();
+        let mut rig = Rig::new(dag, Machine::raw(2));
+        rig.run(&InitTime::new());
+        rig.run(&Noise::new());
+        rig.weights.assert_invariants(1e-9);
+        // y's window is [1,1]; noise must not leak into slot 0.
+        assert_eq!(rig.weights.time_weight(InstrId::new(1), 0), 0.0);
+    }
+
+    #[test]
+    fn zero_amplitude_is_identity() {
+        let mut rig = Rig::new(flat_dag(4), Machine::raw(4));
+        let before = rig.weights.clone();
+        rig.run(&Noise::new().with_amplitude(0.0));
+        for i in rig.dag.ids() {
+            for c in rig.machine.cluster_ids() {
+                assert!(
+                    (rig.weights.cluster_weight(i, c) - before.cluster_weight(i, c)).abs()
+                        < 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let mut a = Rig::new(flat_dag(6), Machine::raw(4));
+        let mut b = Rig::new(flat_dag(6), Machine::raw(4));
+        a.run(&Noise::new());
+        b.run(&Noise::new());
+        for i in a.dag.ids() {
+            assert_eq!(
+                a.weights.preferred_cluster(i),
+                b.weights.preferred_cluster(i)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn negative_amplitude_panics() {
+        let _ = Noise::new().with_amplitude(-1.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! PLACE — preplacement.
+//!
+//! "This pass increases the weight for preplaced instructions to be
+//! placed in their home cluster. Since this condition is required for
+//! correctness, the weight increase is large":
+//!
+//! ```text
+//! ∀ (i ∈ PREPLACED, t):  W[i, t, cp(i)] ← 100 · W[i, t, cp(i)]
+//! ```
+
+use crate::{Pass, PassContext};
+
+/// The PLACE pass. See the module docs.
+#[derive(Clone, Copy, Debug)]
+pub struct Place {
+    factor: f64,
+}
+
+impl Place {
+    /// Creates the pass with the paper's factor of 100.
+    #[must_use]
+    pub fn new() -> Self {
+        Place { factor: 100.0 }
+    }
+
+    /// Overrides the boost factor (used by ablation benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not a positive finite number.
+    #[must_use]
+    pub fn with_factor(mut self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        self.factor = factor;
+        self
+    }
+}
+
+impl Default for Place {
+    fn default() -> Self {
+        Place::new()
+    }
+}
+
+impl Pass for Place {
+    fn name(&self) -> &'static str {
+        "PLACE"
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) {
+        for i in ctx.dag.preplaced() {
+            let home = ctx
+                .dag
+                .instr(i)
+                .preplacement()
+                .expect("preplaced() yields preplaced instructions");
+            if home.index() < ctx.weights.n_clusters() {
+                ctx.weights.scale_cluster(i, home, self.factor);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::testutil::Rig;
+    use convergent_ir::{ClusterId, DagBuilder, Opcode};
+    use convergent_machine::Machine;
+
+    #[test]
+    fn preplaced_instructions_snap_to_home() {
+        let mut b = DagBuilder::new();
+        let p = b.preplaced_instr(Opcode::Load, ClusterId::new(3));
+        let q = b.instr(Opcode::IntAlu);
+        b.edge(p, q).unwrap();
+        let dag = b.build().unwrap();
+        let mut rig = Rig::new(dag, Machine::raw(4));
+        rig.run(&Place::new());
+        rig.weights.assert_invariants(1e-9);
+        assert_eq!(rig.weights.preferred_cluster(p), ClusterId::new(3));
+        // ×100 over 3 competitors: confidence ≈ 100.
+        assert!(rig.weights.confidence(p) > 50.0);
+        // Non-preplaced instructions untouched.
+        assert!((rig.weights.confidence(q) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn factor_is_configurable() {
+        let mut b = DagBuilder::new();
+        let p = b.preplaced_instr(Opcode::Load, ClusterId::new(1));
+        let dag = b.build().unwrap();
+        let mut rig = Rig::new(dag, Machine::raw(2));
+        rig.run(&Place::new().with_factor(2.0));
+        assert!((rig.weights.confidence(p) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_preplacement_means_identity() {
+        let mut b = DagBuilder::new();
+        b.instr(Opcode::IntAlu);
+        let dag = b.build().unwrap();
+        let mut rig = Rig::new(dag, Machine::raw(2));
+        let before = rig.weights.clone();
+        rig.run(&Place::new());
+        let i = convergent_ir::InstrId::new(0);
+        assert_eq!(
+            rig.weights.cluster_weight(i, ClusterId::new(0)),
+            before.cluster_weight(i, ClusterId::new(0))
+        );
+    }
+}

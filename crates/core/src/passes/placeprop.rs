@@ -1,0 +1,176 @@
+//! PLACEPROP — preplacement propagation.
+//!
+//! "This pass propagates preplacement information to all instructions.
+//! For each non-preplaced instruction `i`, we divide its weight for
+//! each cluster `c` by its distance to the closest preplaced
+//! instruction in `c`":
+//!
+//! ```text
+//! ∀ (i ∉ PREPLACED, t, c):  W[i, t, c] ← W[i, t, c] / dist(i, c)
+//! ```
+//!
+//! Distances are undirected graph distances (multi-source BFS from
+//! each cluster's preplaced set). Two boundary cases the paper leaves
+//! implicit: clusters with no preplaced instruction at all, and
+//! instructions in a different connected component from every
+//! preplaced instruction of a cluster. Both are charged the worst
+//! finite distance plus one, so "no information" is strictly worse
+//! than "far". If the unit has no preplaced instructions the pass is a
+//! no-op (sha, fpppp-kernel).
+
+use std::collections::VecDeque;
+
+use convergent_ir::{ClusterId, Dag, UNREACHABLE};
+
+use crate::{Pass, PassContext};
+
+/// The PLACEPROP pass. See the module docs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlaceProp;
+
+impl PlaceProp {
+    /// Creates the pass.
+    #[must_use]
+    pub fn new() -> Self {
+        PlaceProp
+    }
+}
+
+impl Pass for PlaceProp {
+    fn name(&self) -> &'static str {
+        "PLACEPROP"
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) {
+        if ctx.dag.preplaced_count() == 0 {
+            return;
+        }
+        let n_clusters = ctx.weights.n_clusters();
+        let dist = preplacement_distance_fields(ctx.dag, n_clusters);
+        let worst = dist
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+            .unwrap_or(0)
+            + 1;
+        for i in ctx.dag.ids() {
+            if ctx.dag.instr(i).is_preplaced() {
+                continue;
+            }
+            for c in 0..n_clusters {
+                let d = dist[c][i.index()];
+                let divisor = if d == UNREACHABLE {
+                    worst
+                } else {
+                    d.max(1)
+                };
+                ctx.weights
+                    .scale_cluster(i, ClusterId::new(c as u16), 1.0 / f64::from(divisor));
+            }
+        }
+    }
+}
+
+/// `dist[c][i]` = undirected distance from `i` to the nearest
+/// instruction preplaced on cluster `c`.
+fn preplacement_distance_fields(dag: &Dag, n_clusters: usize) -> Vec<Vec<u32>> {
+    let mut out = vec![vec![UNREACHABLE; dag.len()]; n_clusters];
+    for (c, dist) in out.iter_mut().enumerate() {
+        let mut q = VecDeque::new();
+        for i in dag.preplaced() {
+            if dag.instr(i).preplacement() == Some(ClusterId::new(c as u16)) {
+                dist[i.index()] = 0;
+                q.push_back(i);
+            }
+        }
+        while let Some(i) = q.pop_front() {
+            let d = dist[i.index()];
+            for nb in dag.neighbors(i) {
+                if dist[nb.index()] == UNREACHABLE {
+                    dist[nb.index()] = d + 1;
+                    q.push_back(nb);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::testutil::Rig;
+    use convergent_ir::{DagBuilder, Opcode};
+    use convergent_machine::Machine;
+
+    fn c(k: u16) -> ClusterId {
+        ClusterId::new(k)
+    }
+
+    #[test]
+    fn neighbors_pulled_toward_nearest_home() {
+        // ld@c0 -> a -> b -> st@c1 : a leans to 0, b leans to 1.
+        let mut bld = DagBuilder::new();
+        let ld = bld.preplaced_instr(Opcode::Load, c(0));
+        let a = bld.instr(Opcode::IntAlu);
+        let b = bld.instr(Opcode::IntAlu);
+        let st = bld.preplaced_instr(Opcode::Store, c(1));
+        bld.edge(ld, a).unwrap();
+        bld.edge(a, b).unwrap();
+        bld.edge(b, st).unwrap();
+        let dag = bld.build().unwrap();
+        let mut rig = Rig::new(dag, Machine::raw(2));
+        rig.run(&PlaceProp::new());
+        rig.weights.assert_invariants(1e-9);
+        assert_eq!(rig.weights.preferred_cluster(a), c(0));
+        assert_eq!(rig.weights.preferred_cluster(b), c(1));
+        // a is 1 away from c0's load, 2 away from c1's store:
+        // weights divided by 1 vs 2 → confidence 2.
+        assert!((rig.weights.confidence(a) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preplaced_instructions_are_left_alone() {
+        let mut bld = DagBuilder::new();
+        let ld = bld.preplaced_instr(Opcode::Load, c(0));
+        let a = bld.instr(Opcode::IntAlu);
+        bld.edge(ld, a).unwrap();
+        let dag = bld.build().unwrap();
+        let mut rig = Rig::new(dag, Machine::raw(2));
+        rig.run(&PlaceProp::new());
+        // PLACEPROP itself does not bias the preplaced instruction
+        // (that is PLACE's job).
+        assert!((rig.weights.confidence(ld) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clusters_without_preplacement_are_penalized() {
+        let mut bld = DagBuilder::new();
+        let ld = bld.preplaced_instr(Opcode::Load, c(0));
+        let a = bld.instr(Opcode::IntAlu);
+        bld.edge(ld, a).unwrap();
+        let dag = bld.build().unwrap();
+        let mut rig = Rig::new(dag, Machine::raw(4));
+        rig.run(&PlaceProp::new());
+        // Cluster 0 (divisor 1) beats clusters 1..3 (divisor worst=2).
+        assert_eq!(rig.weights.preferred_cluster(a), c(0));
+        for k in 1..4 {
+            assert!(
+                rig.weights.cluster_weight(a, c(k))
+                    < rig.weights.cluster_weight(a, c(0))
+            );
+        }
+    }
+
+    #[test]
+    fn no_preplacement_is_identity() {
+        let mut bld = DagBuilder::new();
+        let x = bld.instr(Opcode::IntAlu);
+        let dag = bld.build().unwrap();
+        let mut rig = Rig::new(dag, Machine::raw(4));
+        rig.run(&PlaceProp::new());
+        assert!((rig.weights.confidence(x) - 1.0).abs() < 1e-9);
+    }
+}

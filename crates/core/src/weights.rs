@@ -1,0 +1,638 @@
+//! The preference map — the paper's central data structure.
+//!
+//! Section 3 of the paper: preferences are "a three dimensional matrix
+//! `W[i,c,t]`, where `i` spans over all instructions in the scheduling
+//! unit, `c` spans over the clusters in the architecture, and `t` spans
+//! over time", with "as many time slots as the critical-path length".
+//! Two invariants are maintained:
+//!
+//! ```text
+//! ∀ i,t,c : 0 ≤ W[i,t,c] ≤ 1
+//! ∀ i     : Σ_{t,c} W[i,t,c] = 1
+//! ```
+//!
+//! Passes talk to each other exclusively by reading and nudging these
+//! weights; [`PreferenceMap`] provides the basic operations the paper
+//! lists (scaling, normalization, per-dimension combination) plus the
+//! derived quantities (`preferred_cluster`, `preferred_time`,
+//! `runnerup_cluster`, `confidence`). Marginal sums over time and
+//! clusters are maintained incrementally so the derived quantities are
+//! cheap, as the paper prescribes.
+//!
+//! In addition to raw weights, the map records each instruction's
+//! *feasibility*: the `[earliest, latest]` time window established by
+//! INITTIME and the set of clusters that can execute the instruction.
+//! Passes that (re)introduce weight — noise injection, marginal
+//! blending — respect feasibility so that a correctness decision, once
+//! made, cannot be silently undone by a later heuristic.
+
+use convergent_ir::{ClusterId, Cycle, InstrId};
+
+/// Weights below this threshold are treated as zero when normalizing.
+const EPS: f64 = 1e-12;
+
+/// A dense `instructions × clusters × time` preference map.
+///
+/// # Example
+///
+/// ```
+/// use convergent_core::PreferenceMap;
+/// use convergent_ir::{ClusterId, InstrId};
+///
+/// let mut w = PreferenceMap::new(2, 4, 10);
+/// let i = InstrId::new(0);
+/// // Initially uniform: no preference, confidence 1.
+/// assert_eq!(w.confidence(i), 1.0);
+/// // Nudge instruction 0 toward cluster 2 and re-normalize.
+/// w.scale_cluster(i, ClusterId::new(2), 5.0);
+/// w.normalize(i);
+/// assert_eq!(w.preferred_cluster(i), ClusterId::new(2));
+/// assert!(w.confidence(i) > 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PreferenceMap {
+    n_instrs: usize,
+    n_clusters: usize,
+    n_slots: usize,
+    w: Vec<f64>,
+    cluster_sum: Vec<f64>,
+    time_sum: Vec<f64>,
+    total: Vec<f64>,
+    window: Vec<(u32, u32)>,
+    cluster_ok: Vec<bool>,
+}
+
+impl PreferenceMap {
+    /// Creates a map with uniform preferences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(n_instrs: usize, n_clusters: usize, n_slots: usize) -> Self {
+        assert!(n_instrs > 0, "need at least one instruction");
+        assert!(n_clusters > 0, "need at least one cluster");
+        assert!(n_slots > 0, "need at least one time slot");
+        let per = 1.0 / (n_clusters * n_slots) as f64;
+        PreferenceMap {
+            n_instrs,
+            n_clusters,
+            n_slots,
+            w: vec![per; n_instrs * n_clusters * n_slots],
+            cluster_sum: vec![per * n_slots as f64; n_instrs * n_clusters],
+            time_sum: vec![per * n_clusters as f64; n_instrs * n_slots],
+            total: vec![1.0; n_instrs],
+            window: vec![(0, n_slots as u32 - 1); n_instrs],
+            cluster_ok: vec![true; n_instrs * n_clusters],
+        }
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn n_instrs(&self) -> usize {
+        self.n_instrs
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    /// Number of time slots (the critical-path length).
+    #[must_use]
+    pub fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+
+    #[inline]
+    fn idx(&self, i: InstrId, c: ClusterId, t: u32) -> usize {
+        debug_assert!(i.index() < self.n_instrs);
+        debug_assert!(c.index() < self.n_clusters);
+        debug_assert!((t as usize) < self.n_slots);
+        (i.index() * self.n_clusters + c.index()) * self.n_slots + t as usize
+    }
+
+    /// The weight `W[i, c, t]`.
+    #[must_use]
+    pub fn get(&self, i: InstrId, c: ClusterId, t: u32) -> f64 {
+        self.w[self.idx(i, c, t)]
+    }
+
+    /// Sets `W[i, c, t]`, updating marginals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or not finite.
+    pub fn set(&mut self, i: InstrId, c: ClusterId, t: u32, value: f64) {
+        assert!(value.is_finite() && value >= 0.0, "weights are ≥ 0");
+        let k = self.idx(i, c, t);
+        let delta = value - self.w[k];
+        self.w[k] = value;
+        self.cluster_sum[i.index() * self.n_clusters + c.index()] += delta;
+        self.time_sum[i.index() * self.n_slots + t as usize] += delta;
+        self.total[i.index()] += delta;
+    }
+
+    /// Adds `delta` to `W[i, c, t]`, clamping at zero.
+    pub fn add(&mut self, i: InstrId, c: ClusterId, t: u32, delta: f64) {
+        let cur = self.get(i, c, t);
+        self.set(i, c, t, (cur + delta).max(0.0));
+    }
+
+    /// Multiplies `W[i, c, t]` by `factor` (≥ 0).
+    pub fn scale(&mut self, i: InstrId, c: ClusterId, t: u32, factor: f64) {
+        let cur = self.get(i, c, t);
+        self.set(i, c, t, cur * factor);
+    }
+
+    /// Multiplies every time slot of `(i, c)` by `factor`.
+    pub fn scale_cluster(&mut self, i: InstrId, c: ClusterId, factor: f64) {
+        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
+        let base = self.idx(i, c, 0);
+        let mut delta = 0.0;
+        for t in 0..self.n_slots {
+            let old = self.w[base + t];
+            let new = old * factor;
+            self.w[base + t] = new;
+            self.time_sum[i.index() * self.n_slots + t] += new - old;
+            delta += new - old;
+        }
+        self.cluster_sum[i.index() * self.n_clusters + c.index()] += delta;
+        self.total[i.index()] += delta;
+    }
+
+    /// Multiplies every cluster's weight at time `t` by `factor`.
+    pub fn scale_time(&mut self, i: InstrId, t: u32, factor: f64) {
+        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
+        let mut delta = 0.0;
+        for c in 0..self.n_clusters {
+            let k = self.idx(i, ClusterId::new(c as u16), t);
+            let old = self.w[k];
+            let new = old * factor;
+            self.w[k] = new;
+            self.cluster_sum[i.index() * self.n_clusters + c] += new - old;
+            delta += new - old;
+        }
+        self.time_sum[i.index() * self.n_slots + t as usize] += delta;
+        self.total[i.index()] += delta;
+    }
+
+    /// Restricts `i` to time slots `[lo, hi]`, zeroing all weight
+    /// outside and recording the window (INITTIME's squash).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi` is out of range.
+    pub fn set_window(&mut self, i: InstrId, lo: u32, hi: u32) {
+        assert!(lo <= hi, "window must be non-empty");
+        assert!((hi as usize) < self.n_slots, "window exceeds time slots");
+        self.window[i.index()] = (lo, hi);
+        for t in 0..self.n_slots as u32 {
+            if t < lo || t > hi {
+                for c in 0..self.n_clusters {
+                    self.set(i, ClusterId::new(c as u16), t, 0.0);
+                }
+            }
+        }
+    }
+
+    /// The feasible `[lo, hi]` window of `i`.
+    #[must_use]
+    pub fn window(&self, i: InstrId) -> (u32, u32) {
+        self.window[i.index()]
+    }
+
+    /// Marks cluster `c` as unable to execute `i`, zeroing its weight.
+    pub fn forbid_cluster(&mut self, i: InstrId, c: ClusterId) {
+        self.cluster_ok[i.index() * self.n_clusters + c.index()] = false;
+        self.scale_cluster(i, c, 0.0);
+    }
+
+    /// Returns `true` if cluster `c` may execute `i`.
+    #[must_use]
+    pub fn cluster_feasible(&self, i: InstrId, c: ClusterId) -> bool {
+        self.cluster_ok[i.index() * self.n_clusters + c.index()]
+    }
+
+    /// The cluster marginal `Σ_t W[i, c, t]`.
+    #[must_use]
+    pub fn cluster_weight(&self, i: InstrId, c: ClusterId) -> f64 {
+        self.cluster_sum[i.index() * self.n_clusters + c.index()]
+    }
+
+    /// The time marginal `Σ_c W[i, c, t]`.
+    #[must_use]
+    pub fn time_weight(&self, i: InstrId, t: u32) -> f64 {
+        self.time_sum[i.index() * self.n_slots + t as usize]
+    }
+
+    /// Total weight of `i` (1 when normalized).
+    #[must_use]
+    pub fn total(&self, i: InstrId) -> f64 {
+        self.total[i.index()]
+    }
+
+    /// `argmax_c Σ_t W[i, c, t]` — the paper's `preferred_cluster`.
+    /// Ties break toward the lowest cluster id.
+    #[must_use]
+    pub fn preferred_cluster(&self, i: InstrId) -> ClusterId {
+        let base = i.index() * self.n_clusters;
+        let mut best = 0usize;
+        for c in 1..self.n_clusters {
+            if self.cluster_sum[base + c] > self.cluster_sum[base + best] + EPS {
+                best = c;
+            }
+        }
+        ClusterId::new(best as u16)
+    }
+
+    /// The second-best cluster, or `None` on single-cluster machines.
+    #[must_use]
+    pub fn runnerup_cluster(&self, i: InstrId) -> Option<ClusterId> {
+        if self.n_clusters < 2 {
+            return None;
+        }
+        let pref = self.preferred_cluster(i).index();
+        let base = i.index() * self.n_clusters;
+        let mut best: Option<usize> = None;
+        for c in 0..self.n_clusters {
+            if c == pref {
+                continue;
+            }
+            match best {
+                Some(b) if self.cluster_sum[base + c] <= self.cluster_sum[base + b] + EPS => {}
+                _ => best = Some(c),
+            }
+        }
+        best.map(|c| ClusterId::new(c as u16))
+    }
+
+    /// `argmax_t Σ_c W[i, c, t]` — the paper's `preferred_time`.
+    /// Ties break toward the earliest slot.
+    #[must_use]
+    pub fn preferred_time(&self, i: InstrId) -> Cycle {
+        let base = i.index() * self.n_slots;
+        let mut best = 0usize;
+        for t in 1..self.n_slots {
+            if self.time_sum[base + t] > self.time_sum[base + best] + EPS {
+                best = t;
+            }
+        }
+        Cycle::new(best as u32)
+    }
+
+    /// The paper's confidence: the ratio of the top two cluster
+    /// marginals. Returns `f64::INFINITY` when there is no runner-up
+    /// or its weight is (numerically) zero.
+    #[must_use]
+    pub fn confidence(&self, i: InstrId) -> f64 {
+        let top = self.cluster_weight(i, self.preferred_cluster(i));
+        match self.runnerup_cluster(i) {
+            Some(r) => {
+                let second = self.cluster_weight(i, r);
+                if second <= EPS {
+                    f64::INFINITY
+                } else {
+                    top / second
+                }
+            }
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Renormalizes `i` so its weights sum to 1. If every weight was
+    /// squashed to (numerical) zero, the distribution resets to
+    /// uniform over the instruction's feasible window and clusters, so
+    /// feasibility decisions survive aggressive scaling.
+    pub fn normalize(&mut self, i: InstrId) {
+        let tot = self.total[i.index()];
+        if tot > EPS {
+            let inv = 1.0 / tot;
+            let base = self.idx(i, ClusterId::new(0), 0);
+            for k in 0..self.n_clusters * self.n_slots {
+                self.w[base + k] *= inv;
+            }
+            for c in 0..self.n_clusters {
+                self.cluster_sum[i.index() * self.n_clusters + c] *= inv;
+            }
+            for t in 0..self.n_slots {
+                self.time_sum[i.index() * self.n_slots + t] *= inv;
+            }
+            self.total[i.index()] = 1.0;
+        } else {
+            self.reset_uniform(i);
+        }
+    }
+
+    /// Resets `i` to a uniform distribution over its feasible window
+    /// and clusters.
+    pub fn reset_uniform(&mut self, i: InstrId) {
+        let (lo, hi) = self.window[i.index()];
+        let feasible: Vec<usize> = (0..self.n_clusters)
+            .filter(|&c| self.cluster_ok[i.index() * self.n_clusters + c])
+            .collect();
+        // A machine mismatch could leave no feasible cluster; fall back
+        // to all clusters rather than a degenerate all-zero row.
+        let clusters: Vec<usize> = if feasible.is_empty() {
+            (0..self.n_clusters).collect()
+        } else {
+            feasible
+        };
+        let slots = (hi - lo + 1) as usize;
+        let per = 1.0 / (clusters.len() * slots) as f64;
+        // Clear, then fill.
+        let base = self.idx(i, ClusterId::new(0), 0);
+        for k in 0..self.n_clusters * self.n_slots {
+            self.w[base + k] = 0.0;
+        }
+        for c in 0..self.n_clusters {
+            self.cluster_sum[i.index() * self.n_clusters + c] = 0.0;
+        }
+        for t in 0..self.n_slots {
+            self.time_sum[i.index() * self.n_slots + t] = 0.0;
+        }
+        for &c in &clusters {
+            for t in lo..=hi {
+                let k = self.idx(i, ClusterId::new(c as u16), t);
+                self.w[k] = per;
+            }
+            self.cluster_sum[i.index() * self.n_clusters + c] = per * slots as f64;
+        }
+        for t in lo..=hi {
+            self.time_sum[i.index() * self.n_slots + t as usize] = per * clusters.len() as f64;
+        }
+        self.total[i.index()] = 1.0;
+    }
+
+    /// Renormalizes every instruction.
+    pub fn normalize_all(&mut self) {
+        for i in 0..self.n_instrs {
+            self.normalize(InstrId::new(i as u32));
+        }
+    }
+
+    /// Reshapes `i`'s cluster marginal to `target` (one entry per
+    /// cluster; will be normalized internally), preserving each
+    /// cluster's time profile. Clusters whose current weight is zero
+    /// but whose target is positive receive a uniform time profile
+    /// over the feasible window. Infeasible clusters stay at zero.
+    ///
+    /// This is the paper's "linear combination … only along the space
+    /// dimension", used by PATHPROP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target.len() != n_clusters`.
+    pub fn set_cluster_marginal(&mut self, i: InstrId, target: &[f64]) {
+        assert_eq!(target.len(), self.n_clusters, "one target per cluster");
+        let masked: Vec<f64> = (0..self.n_clusters)
+            .map(|c| {
+                if self.cluster_ok[i.index() * self.n_clusters + c] {
+                    target[c].max(0.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let sum: f64 = masked.iter().sum();
+        if sum <= EPS {
+            return; // nothing expressible: leave unchanged
+        }
+        let (lo, hi) = self.window[i.index()];
+        let slots = (hi - lo + 1) as f64;
+        for c in 0..self.n_clusters {
+            let cid = ClusterId::new(c as u16);
+            let want = masked[c] / sum;
+            let cur = self.cluster_weight(i, cid);
+            if cur > EPS {
+                self.scale_cluster(i, cid, want / cur);
+            } else if want > EPS {
+                for t in lo..=hi {
+                    self.set(i, cid, t, want / slots);
+                }
+            }
+        }
+        self.normalize(i);
+    }
+
+    /// Checks both paper invariants to `tolerance`; used by tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with context) if an invariant is broken.
+    pub fn assert_invariants(&self, tolerance: f64) {
+        for i in 0..self.n_instrs {
+            let mut sum = 0.0;
+            for c in 0..self.n_clusters {
+                for t in 0..self.n_slots {
+                    let v = self.get(
+                        InstrId::new(i as u32),
+                        ClusterId::new(c as u16),
+                        t as u32,
+                    );
+                    assert!(
+                        (0.0 - tolerance..=1.0 + tolerance).contains(&v),
+                        "W[i{i},c{c},t{t}] = {v} out of [0,1]"
+                    );
+                    sum += v;
+                }
+            }
+            assert!(
+                (sum - 1.0).abs() <= tolerance,
+                "Σ W[i{i}] = {sum}, expected 1"
+            );
+            // Marginal bookkeeping must agree with the dense data.
+            let tot = self.total[i];
+            assert!(
+                (tot - sum).abs() <= tolerance,
+                "cached total {tot} != recomputed {sum} for i{i}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(k: u32) -> InstrId {
+        InstrId::new(k)
+    }
+
+    fn c(k: u16) -> ClusterId {
+        ClusterId::new(k)
+    }
+
+    #[test]
+    fn uniform_initialization() {
+        let w = PreferenceMap::new(3, 4, 5);
+        w.assert_invariants(1e-9);
+        assert_eq!(w.get(i(0), c(0), 0), 1.0 / 20.0);
+        assert_eq!(w.cluster_weight(i(1), c(2)), 0.25);
+        assert_eq!(w.time_weight(i(2), 3), 0.2);
+        assert_eq!(w.confidence(i(0)), 1.0);
+        assert_eq!(w.preferred_cluster(i(0)), c(0)); // tie → lowest
+        assert_eq!(w.preferred_time(i(0)), Cycle::ZERO);
+    }
+
+    #[test]
+    fn scaling_updates_marginals() {
+        let mut w = PreferenceMap::new(1, 2, 2);
+        w.scale_cluster(i(0), c(1), 3.0);
+        assert!((w.cluster_weight(i(0), c(1)) - 1.5).abs() < 1e-9);
+        assert!((w.total(i(0)) - 2.0).abs() < 1e-9);
+        assert_eq!(w.preferred_cluster(i(0)), c(1));
+        w.normalize(i(0));
+        w.assert_invariants(1e-9);
+        assert!((w.cluster_weight(i(0), c(1)) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_time_updates_marginals() {
+        let mut w = PreferenceMap::new(1, 2, 3);
+        w.scale_time(i(0), 2, 4.0);
+        assert!((w.time_weight(i(0), 2) - 4.0 / 3.0).abs() < 1e-9);
+        assert_eq!(w.preferred_time(i(0)), Cycle::new(2));
+        w.normalize(i(0));
+        w.assert_invariants(1e-9);
+    }
+
+    #[test]
+    fn window_squash_and_reset() {
+        let mut w = PreferenceMap::new(1, 2, 10);
+        w.set_window(i(0), 3, 5);
+        w.normalize(i(0));
+        w.assert_invariants(1e-9);
+        assert_eq!(w.time_weight(i(0), 0), 0.0);
+        assert!(w.time_weight(i(0), 4) > 0.0);
+        assert_eq!(w.window(i(0)), (3, 5));
+        // Squash everything; normalize must resurrect only the window.
+        w.scale_cluster(i(0), c(0), 0.0);
+        w.scale_cluster(i(0), c(1), 0.0);
+        w.normalize(i(0));
+        w.assert_invariants(1e-9);
+        assert_eq!(w.time_weight(i(0), 2), 0.0);
+        assert!(w.time_weight(i(0), 3) > 0.0);
+    }
+
+    #[test]
+    fn forbidden_cluster_stays_dead() {
+        let mut w = PreferenceMap::new(1, 3, 4);
+        w.forbid_cluster(i(0), c(1));
+        w.normalize(i(0));
+        assert_eq!(w.cluster_weight(i(0), c(1)), 0.0);
+        assert!(!w.cluster_feasible(i(0), c(1)));
+        // Even a full reset keeps it dead.
+        w.scale_cluster(i(0), c(0), 0.0);
+        w.scale_cluster(i(0), c(2), 0.0);
+        w.normalize(i(0));
+        assert_eq!(w.cluster_weight(i(0), c(1)), 0.0);
+        w.assert_invariants(1e-9);
+    }
+
+    #[test]
+    fn confidence_ratio() {
+        let mut w = PreferenceMap::new(1, 2, 1);
+        // 0.8 vs 0.2 → confidence 4.
+        w.set(i(0), c(0), 0, 0.8);
+        w.set(i(0), c(1), 0, 0.2);
+        assert!((w.confidence(i(0)) - 4.0).abs() < 1e-9);
+        assert_eq!(w.runnerup_cluster(i(0)), Some(c(1)));
+        // Zero runner-up → infinite confidence.
+        w.set(i(0), c(1), 0, 0.0);
+        assert!(w.confidence(i(0)).is_infinite());
+    }
+
+    #[test]
+    fn single_cluster_confidence_is_infinite() {
+        let w = PreferenceMap::new(1, 1, 4);
+        assert!(w.confidence(i(0)).is_infinite());
+        assert_eq!(w.runnerup_cluster(i(0)), None);
+    }
+
+    #[test]
+    fn set_cluster_marginal_preserves_time_shape() {
+        let mut w = PreferenceMap::new(1, 2, 2);
+        // Give cluster 0 a skewed time profile: 0.4 at t0, 0.1 at t1.
+        w.set(i(0), c(0), 0, 0.4);
+        w.set(i(0), c(0), 1, 0.1);
+        w.set(i(0), c(1), 0, 0.25);
+        w.set(i(0), c(1), 1, 0.25);
+        w.set_cluster_marginal(i(0), &[0.9, 0.1]);
+        w.assert_invariants(1e-9);
+        assert!((w.cluster_weight(i(0), c(0)) - 0.9).abs() < 1e-9);
+        // Time shape inside cluster 0 unchanged: 4:1 ratio.
+        let r = w.get(i(0), c(0), 0) / w.get(i(0), c(0), 1);
+        assert!((r - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_cluster_marginal_revives_cluster_uniformly() {
+        let mut w = PreferenceMap::new(1, 2, 4);
+        w.set_window(i(0), 1, 2);
+        w.scale_cluster(i(0), c(1), 0.0);
+        w.normalize(i(0));
+        assert_eq!(w.cluster_weight(i(0), c(1)), 0.0);
+        w.set_cluster_marginal(i(0), &[0.5, 0.5]);
+        w.assert_invariants(1e-9);
+        assert!((w.cluster_weight(i(0), c(1)) - 0.5).abs() < 1e-9);
+        // Revived uniformly inside the window only.
+        assert_eq!(w.get(i(0), c(1), 0), 0.0);
+        assert!(w.get(i(0), c(1), 1) > 0.0);
+        assert_eq!(w.get(i(0), c(1), 3), 0.0);
+    }
+
+    #[test]
+    fn set_cluster_marginal_respects_feasibility() {
+        let mut w = PreferenceMap::new(1, 3, 2);
+        w.forbid_cluster(i(0), c(2));
+        w.normalize(i(0));
+        w.set_cluster_marginal(i(0), &[0.2, 0.2, 0.6]);
+        w.assert_invariants(1e-9);
+        assert_eq!(w.cluster_weight(i(0), c(2)), 0.0);
+        // Remaining mass split evenly between the feasible clusters.
+        assert!((w.cluster_weight(i(0), c(0)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_clamps_at_zero() {
+        let mut w = PreferenceMap::new(1, 1, 1);
+        w.add(i(0), c(0), 0, -5.0);
+        assert_eq!(w.get(i(0), c(0), 0), 0.0);
+        w.add(i(0), c(0), 0, 0.25);
+        assert_eq!(w.get(i(0), c(0), 0), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn bad_window_panics() {
+        let mut w = PreferenceMap::new(1, 1, 4);
+        w.set_window(i(0), 3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights are ≥ 0")]
+    fn negative_weight_panics() {
+        let mut w = PreferenceMap::new(1, 1, 1);
+        w.set(i(0), c(0), 0, -0.1);
+    }
+
+    #[test]
+    fn normalize_all_is_idempotent() {
+        let mut w = PreferenceMap::new(3, 2, 4);
+        w.scale_cluster(i(1), c(0), 7.0);
+        w.normalize_all();
+        let snapshot = w.clone();
+        w.normalize_all();
+        for k in 0..3 {
+            for cc in 0..2 {
+                for t in 0..4 {
+                    let a = snapshot.get(i(k), c(cc), t);
+                    let b = w.get(i(k), c(cc), t);
+                    assert!((a - b).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Graph analyses used by the scheduling heuristics.
+//!
+//! All timing analyses are latency-weighted: the earliest start of an
+//! instruction is the longest chain of predecessor latencies leading to
+//! it, exactly the `lp` of the paper's INITTIME pass, and the latest
+//! start is `CPL − ls` where `ls` is the longest latency chain to any
+//! leaf. The *level* of an instruction — "its distance from the furthest
+//! root", used by LEVEL and EMPHCP — is its earliest start: the time it
+//! would issue on a machine with infinite resources.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::{Dag, InstrId, Instruction};
+
+/// Latency-weighted timing facts about every instruction in a DAG.
+///
+/// # Example
+///
+/// ```
+/// use convergent_ir::{DagBuilder, Opcode, TimeAnalysis};
+///
+/// # fn main() -> Result<(), convergent_ir::IrError> {
+/// let mut b = DagBuilder::new();
+/// let a = b.instr(Opcode::Load);      // latency 3 below
+/// let c = b.instr(Opcode::IntAlu);    // latency 1
+/// b.edge(a, c)?;
+/// let dag = b.build()?;
+/// let t = TimeAnalysis::compute(&dag, |i| match i.opcode() {
+///     Opcode::Load => 3,
+///     _ => 1,
+/// });
+/// assert_eq!(t.earliest_start(a), 0);
+/// assert_eq!(t.earliest_start(c), 3);
+/// assert_eq!(t.critical_path_length(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct TimeAnalysis {
+    est: Vec<u32>,
+    lst: Vec<u32>,
+    lat: Vec<u32>,
+    cpl: u32,
+}
+
+impl TimeAnalysis {
+    /// Computes timing facts for `dag` under the given per-instruction
+    /// latency function (normally `machine.latency_of(...)`).
+    pub fn compute<F>(dag: &Dag, latency: F) -> Self
+    where
+        F: Fn(&Instruction) -> u32,
+    {
+        let n = dag.len();
+        let lat: Vec<u32> = dag.instrs().iter().map(&latency).collect();
+        let mut est = vec![0u32; n];
+        for &i in dag.topo_order() {
+            let mut e = 0;
+            for &p in dag.preds(i) {
+                e = e.max(est[p.index()] + lat[p.index()]);
+            }
+            est[i.index()] = e;
+        }
+        let cpl = dag
+            .ids()
+            .map(|i| est[i.index()] + lat[i.index()])
+            .max()
+            .unwrap_or(0);
+        let mut lst = vec![0u32; n];
+        for &i in dag.topo_order().iter().rev() {
+            let l = if dag.succs(i).is_empty() {
+                cpl - lat[i.index()]
+            } else {
+                dag.succs(i)
+                    .iter()
+                    .map(|&s| lst[s.index()])
+                    .min()
+                    .expect("non-leaf has successors")
+                    .saturating_sub(lat[i.index()])
+            };
+            lst[i.index()] = l;
+        }
+        TimeAnalysis { est, lst, lat, cpl }
+    }
+
+    /// Earliest feasible issue time (`lp` in the paper): the longest
+    /// latency chain from any root to `i`.
+    #[must_use]
+    pub fn earliest_start(&self, i: InstrId) -> u32 {
+        self.est[i.index()]
+    }
+
+    /// Latest issue time that still permits a schedule of length
+    /// [`Self::critical_path_length`] (`CPL − ls` in the paper).
+    #[must_use]
+    pub fn latest_start(&self, i: InstrId) -> u32 {
+        self.lst[i.index()]
+    }
+
+    /// Latency of `i` as supplied at construction.
+    #[must_use]
+    pub fn latency(&self, i: InstrId) -> u32 {
+        self.lat[i.index()]
+    }
+
+    /// Length of the critical path in cycles: the minimum possible
+    /// makespan on a machine with unlimited resources and free
+    /// communication.
+    #[must_use]
+    pub fn critical_path_length(&self) -> u32 {
+        self.cpl
+    }
+
+    /// Scheduling freedom of `i`: `latest_start − earliest_start`.
+    #[must_use]
+    pub fn slack(&self, i: InstrId) -> u32 {
+        self.lst[i.index()] - self.est[i.index()]
+    }
+
+    /// Returns `true` if `i` lies on a critical path (zero slack).
+    #[must_use]
+    pub fn is_critical(&self, i: InstrId) -> bool {
+        self.slack(i) == 0
+    }
+
+    /// The paper's `level(i)`: issue time with infinite resources.
+    /// Alias of [`Self::earliest_start`], kept for readability at call
+    /// sites that mirror the paper's pseudocode (LEVEL, EMPHCP).
+    #[must_use]
+    pub fn level(&self, i: InstrId) -> u32 {
+        self.earliest_start(i)
+    }
+}
+
+/// One maximal critical path through a DAG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CriticalPath {
+    instrs: Vec<InstrId>,
+}
+
+impl CriticalPath {
+    /// Extracts one critical path (a chain of zero-slack instructions
+    /// whose latencies sum to the critical-path length).
+    ///
+    /// Ties are broken toward the lowest instruction id, so extraction
+    /// is deterministic.
+    #[must_use]
+    pub fn extract(dag: &Dag, time: &TimeAnalysis) -> Self {
+        let start = dag
+            .roots()
+            .filter(|&r| time.is_critical(r))
+            .min()
+            .unwrap_or_else(|| {
+                dag.roots()
+                    .next()
+                    .expect("non-empty dag has at least one root")
+            });
+        let mut instrs = vec![start];
+        let mut cur = start;
+        loop {
+            let finish = time.earliest_start(cur) + time.latency(cur);
+            let next = dag
+                .succs(cur)
+                .iter()
+                .copied()
+                .filter(|&s| time.is_critical(s) && time.earliest_start(s) == finish)
+                .min();
+            match next {
+                Some(s) => {
+                    instrs.push(s);
+                    cur = s;
+                }
+                None => break,
+            }
+        }
+        CriticalPath { instrs }
+    }
+
+    /// Instructions along the path, in dependence order.
+    #[must_use]
+    pub fn instrs(&self) -> &[InstrId] {
+        &self.instrs
+    }
+
+    /// Number of instructions on the path.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if the path is empty (never the case for paths
+    /// extracted from a valid DAG).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+/// Lazily-computed undirected shortest-path distances between
+/// instructions, measured in edges.
+///
+/// The paper's PLACEPROP divides cluster weights by the distance to the
+/// nearest preplaced instruction of that cluster, and LEVEL measures the
+/// distance between an instruction and a bin. Both treat the dependence
+/// graph as undirected. BFS results are cached per source, so repeated
+/// queries from the same instruction are `O(1)` after the first.
+#[derive(Clone, Debug, Default)]
+pub struct DistanceOracle {
+    cache: HashMap<InstrId, Vec<u32>>,
+}
+
+/// Distance reported for unreachable instruction pairs (distinct weakly
+/// connected components).
+pub const UNREACHABLE: u32 = u32::MAX;
+
+impl DistanceOracle {
+    /// Creates an empty oracle.
+    #[must_use]
+    pub fn new() -> Self {
+        DistanceOracle::default()
+    }
+
+    /// Undirected distance in edges from `a` to `b`;
+    /// [`UNREACHABLE`] if they lie in different components.
+    pub fn distance(&mut self, dag: &Dag, a: InstrId, b: InstrId) -> u32 {
+        self.distances_from(dag, a)[b.index()]
+    }
+
+    /// All undirected distances from `src`, indexed by instruction id.
+    pub fn distances_from(&mut self, dag: &Dag, src: InstrId) -> &[u32] {
+        self.cache
+            .entry(src)
+            .or_insert_with(|| Self::bfs(dag, src))
+    }
+
+    fn bfs(dag: &Dag, src: InstrId) -> Vec<u32> {
+        let mut dist = vec![UNREACHABLE; dag.len()];
+        let mut q = VecDeque::new();
+        dist[src.index()] = 0;
+        q.push_back(src);
+        while let Some(i) = q.pop_front() {
+            let d = dist[i.index()];
+            for n in dag.neighbors(i) {
+                if dist[n.index()] == UNREACHABLE {
+                    dist[n.index()] = d + 1;
+                    q.push_back(n);
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DagBuilder, Opcode};
+
+    fn unit_latency(_: &Instruction) -> u32 {
+        1
+    }
+
+    /// chain: 0 -> 1 -> 2, plus independent 3
+    fn chain_plus_island() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.instr(Opcode::IntAlu);
+        let c = b.instr(Opcode::IntAlu);
+        let d = b.instr(Opcode::IntAlu);
+        b.instr(Opcode::IntAlu); // island
+        b.edge(a, c).unwrap();
+        b.edge(c, d).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn earliest_latest_on_chain() {
+        let dag = chain_plus_island();
+        let t = TimeAnalysis::compute(&dag, unit_latency);
+        assert_eq!(t.critical_path_length(), 3);
+        assert_eq!(t.earliest_start(InstrId::new(0)), 0);
+        assert_eq!(t.earliest_start(InstrId::new(1)), 1);
+        assert_eq!(t.earliest_start(InstrId::new(2)), 2);
+        // Island may be scheduled anywhere in [0, CPL-1].
+        assert_eq!(t.earliest_start(InstrId::new(3)), 0);
+        assert_eq!(t.latest_start(InstrId::new(3)), 2);
+        assert_eq!(t.slack(InstrId::new(3)), 2);
+        assert!(t.is_critical(InstrId::new(0)));
+        assert!(!t.is_critical(InstrId::new(3)));
+    }
+
+    #[test]
+    fn latency_weighted_timing() {
+        // load(3) -> mul(2) -> add(1); CPL = 6.
+        let mut b = DagBuilder::new();
+        let ld = b.instr(Opcode::Load);
+        let mu = b.instr(Opcode::IntMul);
+        let ad = b.instr(Opcode::IntAlu);
+        b.edge(ld, mu).unwrap();
+        b.edge(mu, ad).unwrap();
+        let dag = b.build().unwrap();
+        let t = TimeAnalysis::compute(&dag, |i| match i.opcode() {
+            Opcode::Load => 3,
+            Opcode::IntMul => 2,
+            _ => 1,
+        });
+        assert_eq!(t.critical_path_length(), 6);
+        assert_eq!(t.earliest_start(mu), 3);
+        assert_eq!(t.earliest_start(ad), 5);
+        assert_eq!(t.latest_start(ld), 0);
+        assert_eq!(t.level(mu), 3);
+    }
+
+    #[test]
+    fn critical_path_extraction() {
+        // diamond with one long arm: 0 -> 1(mul, lat 3) -> 3; 0 -> 2(add) -> 3
+        let mut b = DagBuilder::new();
+        let s = b.instr(Opcode::Load);
+        let long = b.instr(Opcode::IntMul);
+        let short = b.instr(Opcode::IntAlu);
+        let t = b.instr(Opcode::Store);
+        b.edge(s, long).unwrap();
+        b.edge(s, short).unwrap();
+        b.edge(long, t).unwrap();
+        b.edge(short, t).unwrap();
+        let dag = b.build().unwrap();
+        let ta = TimeAnalysis::compute(&dag, |i| match i.opcode() {
+            Opcode::IntMul => 3,
+            _ => 1,
+        });
+        let cp = CriticalPath::extract(&dag, &ta);
+        assert_eq!(cp.instrs(), &[s, long, t]);
+        assert_eq!(cp.len(), 3);
+        assert!(!cp.is_empty());
+    }
+
+    #[test]
+    fn critical_path_latencies_sum_to_cpl() {
+        let dag = chain_plus_island();
+        let ta = TimeAnalysis::compute(&dag, unit_latency);
+        let cp = CriticalPath::extract(&dag, &ta);
+        let total: u32 = cp.instrs().iter().map(|&i| ta.latency(i)).sum();
+        assert_eq!(total, ta.critical_path_length());
+    }
+
+    #[test]
+    fn distances_undirected_and_cached() {
+        let dag = chain_plus_island();
+        let mut o = DistanceOracle::new();
+        assert_eq!(o.distance(&dag, InstrId::new(0), InstrId::new(2)), 2);
+        // Undirected: distance is symmetric.
+        assert_eq!(o.distance(&dag, InstrId::new(2), InstrId::new(0)), 2);
+        // Island unreachable.
+        assert_eq!(
+            o.distance(&dag, InstrId::new(0), InstrId::new(3)),
+            UNREACHABLE
+        );
+        assert_eq!(o.distance(&dag, InstrId::new(1), InstrId::new(1)), 0);
+    }
+
+    #[test]
+    fn island_latest_start_uses_cpl() {
+        let dag = chain_plus_island();
+        let t = TimeAnalysis::compute(&dag, |_| 2);
+        // CPL = 6; island latency 2 => latest start 4.
+        assert_eq!(t.critical_path_length(), 6);
+        assert_eq!(t.latest_start(InstrId::new(3)), 4);
+    }
+}

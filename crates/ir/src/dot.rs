@@ -1,0 +1,89 @@
+//! Graphviz DOT export for dependence graphs.
+//!
+//! Useful for eyeballing reconstructed workloads against the paper's
+//! Figure 2 and for debugging pass behaviour. Preplaced instructions are
+//! drawn as triangles (matching Figure 4's convention) and colored by
+//! home cluster.
+
+use std::fmt::Write as _;
+
+use crate::Dag;
+
+/// Renders `dag` as a Graphviz DOT digraph.
+///
+/// # Example
+///
+/// ```
+/// use convergent_ir::{DagBuilder, Opcode, to_dot};
+/// # fn main() -> Result<(), convergent_ir::IrError> {
+/// let mut b = DagBuilder::new();
+/// let a = b.instr(Opcode::Load);
+/// let c = b.instr(Opcode::IntAlu);
+/// b.edge(a, c)?;
+/// let dot = to_dot(&b.build()?, "example");
+/// assert!(dot.starts_with("digraph"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_dot(dag: &Dag, name: &str) -> String {
+    const PALETTE: [&str; 8] = [
+        "#e6f2ff", "#ffe6e6", "#e6ffe6", "#fff2cc", "#f2e6ff", "#e6ffff", "#ffe6f7", "#f5f5dc",
+    ];
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", name.replace('"', "'"));
+    let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+    for i in dag.ids() {
+        let instr = dag.instr(i);
+        let label = match instr.name() {
+            Some(n) => format!("{i}: {} {}", instr.opcode(), n),
+            None => format!("{i}: {}", instr.opcode()),
+        };
+        match instr.preplacement() {
+            Some(c) => {
+                let fill = PALETTE[c.index() % PALETTE.len()];
+                let _ = writeln!(
+                    out,
+                    "  {} [label=\"{label}\\n@{c}\", shape=triangle, style=filled, fillcolor=\"{fill}\"];",
+                    i.index()
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  {} [label=\"{label}\", shape=box];", i.index());
+            }
+        }
+    }
+    for e in dag.edges() {
+        let _ = writeln!(out, "  {} -> {};", e.src.index(), e.dst.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterId, DagBuilder, Opcode};
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut b = DagBuilder::new();
+        let a = b.preplaced_instr(Opcode::Load, ClusterId::new(2));
+        let c = b.instr(Opcode::IntAlu);
+        b.edge(a, c).unwrap();
+        let dot = to_dot(&b.build().unwrap(), "t");
+        assert!(dot.contains("digraph \"t\""));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.contains("triangle")); // preplaced marker
+        assert!(dot.contains("@c2"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn quotes_in_names_are_sanitized() {
+        let mut b = DagBuilder::new();
+        b.instr(Opcode::IntAlu);
+        let dot = to_dot(&b.build().unwrap(), "a\"b");
+        assert!(dot.contains("digraph \"a'b\""));
+    }
+}

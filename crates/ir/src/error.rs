@@ -1,0 +1,70 @@
+//! Error type for IR construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::InstrId;
+
+/// Errors produced while building or validating dependence graphs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// An edge referenced an instruction id that does not exist.
+    UnknownInstr(InstrId),
+    /// A self-edge was requested; dependence graphs have no self-loops.
+    SelfEdge(InstrId),
+    /// The same edge was added twice.
+    DuplicateEdge(InstrId, InstrId),
+    /// The edge set contains a cycle, so the graph is not a DAG.
+    Cycle {
+        /// An instruction known to participate in the cycle.
+        witness: InstrId,
+    },
+    /// The graph is empty; schedulers need at least one instruction.
+    Empty,
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnknownInstr(i) => write!(f, "unknown instruction {i}"),
+            IrError::SelfEdge(i) => write!(f, "self-edge on instruction {i}"),
+            IrError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            IrError::Cycle { witness } => {
+                write!(f, "dependence edges form a cycle through {witness}")
+            }
+            IrError::Empty => write!(f, "dependence graph has no instructions"),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            IrError::UnknownInstr(InstrId::new(1)),
+            IrError::SelfEdge(InstrId::new(2)),
+            IrError::DuplicateEdge(InstrId::new(1), InstrId::new(2)),
+            IrError::Cycle {
+                witness: InstrId::new(3),
+            },
+            IrError::Empty,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<IrError>();
+    }
+}

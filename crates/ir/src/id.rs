@@ -1,0 +1,197 @@
+//! Newtype identifiers used throughout the workspace.
+//!
+//! Instructions, clusters, and cycles are all "just integers", but mixing
+//! them up is the classic scheduling bug. Newtypes keep them statically
+//! distinct (C-NEWTYPE) at zero runtime cost.
+
+use std::fmt;
+
+/// Identifier of an instruction within one [`crate::Dag`].
+///
+/// Instruction ids are dense: a DAG with `n` instructions uses ids
+/// `0..n`, which lets analyses and preference maps index plain vectors.
+///
+/// # Example
+///
+/// ```
+/// use convergent_ir::InstrId;
+/// let i = InstrId::new(3);
+/// assert_eq!(i.index(), 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct InstrId(u32);
+
+impl InstrId {
+    /// Creates an instruction id from a dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        InstrId(index)
+    }
+
+    /// Returns the dense index as a `usize` suitable for vector indexing.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for InstrId {
+    fn from(v: u32) -> Self {
+        InstrId(v)
+    }
+}
+
+impl fmt::Display for InstrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// Identifier of a cluster (a VLIW cluster or a Raw tile).
+///
+/// Clusters are dense `0..n` within one machine model. On a Raw mesh of
+/// width `w`, cluster `c` sits at coordinates `(c % w, c / w)`; the
+/// machine model owns that mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClusterId(u16);
+
+impl ClusterId {
+    /// Creates a cluster id from a dense index.
+    #[must_use]
+    pub const fn new(index: u16) -> Self {
+        ClusterId(index)
+    }
+
+    /// Returns the dense index as a `usize` suitable for vector indexing.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u16` value.
+    #[must_use]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl From<u16> for ClusterId {
+    fn from(v: u16) -> Self {
+        ClusterId(v)
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A machine cycle (time slot) within one scheduling unit.
+///
+/// Cycle arithmetic saturates at zero on subtraction, because schedules
+/// never reach back before cycle 0.
+///
+/// # Example
+///
+/// ```
+/// use convergent_ir::Cycle;
+/// let t = Cycle::new(5);
+/// assert_eq!((t + 2).get(), 7);
+/// assert_eq!(t.saturating_sub(9), Cycle::ZERO);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u32);
+
+impl Cycle {
+    /// Cycle zero, the first time slot of a scheduling unit.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle from a raw count.
+    #[must_use]
+    pub const fn new(v: u32) -> Self {
+        Cycle(v)
+    }
+
+    /// Returns the raw cycle count.
+    #[must_use]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the cycle as a `usize` suitable for vector indexing.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Subtracts `rhs` cycles, saturating at [`Cycle::ZERO`].
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: u32) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs))
+    }
+}
+
+impl From<u32> for Cycle {
+    fn from(v: u32) -> Self {
+        Cycle(v)
+    }
+}
+
+impl std::ops::Add<u32> for Cycle {
+    type Output = Cycle;
+
+    fn add(self, rhs: u32) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instr_id_roundtrip() {
+        let i = InstrId::new(42);
+        assert_eq!(i.index(), 42);
+        assert_eq!(i.raw(), 42);
+        assert_eq!(InstrId::from(42u32), i);
+        assert_eq!(i.to_string(), "i42");
+    }
+
+    #[test]
+    fn cluster_id_roundtrip() {
+        let c = ClusterId::new(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(ClusterId::from(7u16), c);
+        assert_eq!(c.to_string(), "c7");
+    }
+
+    #[test]
+    fn cycle_arithmetic() {
+        let t = Cycle::new(10);
+        assert_eq!((t + 5).get(), 15);
+        assert_eq!(t.saturating_sub(3).get(), 7);
+        assert_eq!(t.saturating_sub(100), Cycle::ZERO);
+        assert_eq!(Cycle::default(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(InstrId::new(1) < InstrId::new(2));
+        assert!(Cycle::new(1) < Cycle::new(2));
+        assert!(ClusterId::new(0) < ClusterId::new(1));
+    }
+}

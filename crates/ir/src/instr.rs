@@ -1,0 +1,328 @@
+//! Instructions and operation classification.
+//!
+//! The schedulers never interpret instruction *semantics*; they only need
+//! to know which functional unit an operation occupies, how long it takes
+//! (both supplied by the machine model, keyed on [`OpClass`]), and whether
+//! it is *preplaced* — pinned to a specific cluster for correctness, as
+//! produced by the congruence analysis described in Section 5 of the
+//! paper.
+
+use std::fmt;
+
+use crate::ClusterId;
+
+/// Concrete operation of an instruction.
+///
+/// The set mirrors the MIPS R4000-flavoured ISA both evaluation platforms
+/// of the paper use, plus the pseudo-ops the schedulers themselves insert
+/// ([`Opcode::Copy`] for inter-cluster register transfers on a clustered
+/// VLIW, [`Opcode::Send`]/[`Opcode::Recv`] for Raw's static network).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Integer add/subtract/compare.
+    IntAlu,
+    /// Integer shift.
+    Shift,
+    /// Bitwise logic (and/or/xor/not).
+    Logic,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide/modulo.
+    IntDiv,
+    /// Load from memory.
+    Load,
+    /// Store to memory.
+    Store,
+    /// Floating-point add/subtract/compare.
+    FAdd,
+    /// Floating-point multiply.
+    FMul,
+    /// Floating-point divide.
+    FDiv,
+    /// Floating-point square root.
+    FSqrt,
+    /// Materialize a constant.
+    Const,
+    /// Conditional or unconditional branch.
+    Branch,
+    /// Inter-cluster register copy (inserted by schedulers on VLIW).
+    Copy,
+    /// Inject a value into the static network (inserted on Raw).
+    Send,
+    /// Consume a value from the static network (inserted on Raw).
+    Recv,
+}
+
+impl Opcode {
+    /// Returns the coarse [`OpClass`] used for latency and
+    /// functional-unit lookup in machine models.
+    #[must_use]
+    pub const fn class(self) -> OpClass {
+        match self {
+            Opcode::IntAlu | Opcode::Shift | Opcode::Logic | Opcode::Const => OpClass::IntAlu,
+            Opcode::IntMul => OpClass::IntMul,
+            Opcode::IntDiv => OpClass::IntDiv,
+            Opcode::Load => OpClass::Load,
+            Opcode::Store => OpClass::Store,
+            Opcode::FAdd => OpClass::FAdd,
+            Opcode::FMul => OpClass::FMul,
+            Opcode::FDiv | Opcode::FSqrt => OpClass::FDiv,
+            Opcode::Branch => OpClass::Branch,
+            Opcode::Copy => OpClass::Copy,
+            Opcode::Send => OpClass::Send,
+            Opcode::Recv => OpClass::Recv,
+        }
+    }
+
+    /// Returns `true` for loads and stores, the opcodes that congruence
+    /// analysis may preplace on a specific memory bank.
+    #[must_use]
+    pub const fn is_memory(self) -> bool {
+        matches!(self, Opcode::Load | Opcode::Store)
+    }
+
+    /// Returns `true` for the pseudo-ops inserted by schedulers rather
+    /// than present in input programs.
+    #[must_use]
+    pub const fn is_communication(self) -> bool {
+        matches!(self, Opcode::Copy | Opcode::Send | Opcode::Recv)
+    }
+
+    /// Returns `true` for floating-point arithmetic.
+    #[must_use]
+    pub const fn is_float(self) -> bool {
+        matches!(
+            self,
+            Opcode::FAdd | Opcode::FMul | Opcode::FDiv | Opcode::FSqrt
+        )
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Opcode::IntAlu => "add",
+            Opcode::Shift => "sll",
+            Opcode::Logic => "and",
+            Opcode::IntMul => "mul",
+            Opcode::IntDiv => "div",
+            Opcode::Load => "lw",
+            Opcode::Store => "sw",
+            Opcode::FAdd => "fadd",
+            Opcode::FMul => "fmul",
+            Opcode::FDiv => "fdiv",
+            Opcode::FSqrt => "fsqrt",
+            Opcode::Const => "li",
+            Opcode::Branch => "br",
+            Opcode::Copy => "copy",
+            Opcode::Send => "send",
+            Opcode::Recv => "recv",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Coarse operation class: the key machine models use to report latency
+/// and functional-unit requirements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Single-cycle integer ALU work (add, shift, logic, constants).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide.
+    IntDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// FP add/subtract/compare.
+    FAdd,
+    /// FP multiply.
+    FMul,
+    /// FP divide/sqrt.
+    FDiv,
+    /// Control transfer.
+    Branch,
+    /// Inter-cluster register copy.
+    Copy,
+    /// Static-network send.
+    Send,
+    /// Static-network receive.
+    Recv,
+}
+
+impl OpClass {
+    /// All operation classes, for exhaustive latency tables.
+    pub const ALL: [OpClass; 12] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::FAdd,
+        OpClass::FMul,
+        OpClass::FDiv,
+        OpClass::Branch,
+        OpClass::Copy,
+        OpClass::Send,
+        OpClass::Recv,
+    ];
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// One instruction of a scheduling unit.
+///
+/// Instructions are created through [`crate::DagBuilder`], which assigns
+/// dense ids. The optional *preplacement* pins the instruction to a home
+/// cluster; the paper treats honoring it as a correctness requirement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Instruction {
+    opcode: Opcode,
+    preplacement: Option<ClusterId>,
+    name: Option<String>,
+}
+
+impl Instruction {
+    /// Creates an ordinary (non-preplaced, unnamed) instruction.
+    #[must_use]
+    pub const fn new(opcode: Opcode) -> Self {
+        Instruction {
+            opcode,
+            preplacement: None,
+            name: None,
+        }
+    }
+
+    /// Creates an instruction pinned to `home` — a *preplaced*
+    /// instruction in the paper's terminology.
+    #[must_use]
+    pub const fn preplaced(opcode: Opcode, home: ClusterId) -> Self {
+        Instruction {
+            opcode,
+            preplacement: Some(home),
+            name: None,
+        }
+    }
+
+    /// Attaches a debug name (shown in DOT dumps and error messages).
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Returns the opcode.
+    #[must_use]
+    pub const fn opcode(&self) -> Opcode {
+        self.opcode
+    }
+
+    /// Returns the operation class (shorthand for `opcode().class()`).
+    #[must_use]
+    pub const fn class(&self) -> OpClass {
+        self.opcode.class()
+    }
+
+    /// Returns the home cluster if this instruction is preplaced.
+    #[must_use]
+    pub const fn preplacement(&self) -> Option<ClusterId> {
+        self.preplacement
+    }
+
+    /// Returns `true` if this instruction is preplaced.
+    #[must_use]
+    pub const fn is_preplaced(&self) -> bool {
+        self.preplacement.is_some()
+    }
+
+    /// Returns the debug name, if one was attached.
+    #[must_use]
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.name, self.preplacement) {
+            (Some(n), Some(c)) => write!(f, "{} [{}@{}]", self.opcode, n, c),
+            (Some(n), None) => write!(f, "{} [{}]", self.opcode, n),
+            (None, Some(c)) => write!(f, "{} [@{}]", self.opcode, c),
+            (None, None) => write!(f, "{}", self.opcode),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_classes_are_consistent() {
+        assert_eq!(Opcode::IntAlu.class(), OpClass::IntAlu);
+        assert_eq!(Opcode::Shift.class(), OpClass::IntAlu);
+        assert_eq!(Opcode::Const.class(), OpClass::IntAlu);
+        assert_eq!(Opcode::FSqrt.class(), OpClass::FDiv);
+        assert_eq!(Opcode::Load.class(), OpClass::Load);
+    }
+
+    #[test]
+    fn memory_and_comm_predicates() {
+        assert!(Opcode::Load.is_memory());
+        assert!(Opcode::Store.is_memory());
+        assert!(!Opcode::IntAlu.is_memory());
+        assert!(Opcode::Copy.is_communication());
+        assert!(Opcode::Send.is_communication());
+        assert!(Opcode::Recv.is_communication());
+        assert!(!Opcode::Load.is_communication());
+        assert!(Opcode::FMul.is_float());
+        assert!(!Opcode::IntMul.is_float());
+    }
+
+    #[test]
+    fn instruction_preplacement() {
+        let i = Instruction::new(Opcode::Load);
+        assert!(!i.is_preplaced());
+        let p = Instruction::preplaced(Opcode::Load, ClusterId::new(2));
+        assert_eq!(p.preplacement(), Some(ClusterId::new(2)));
+        assert!(p.is_preplaced());
+    }
+
+    #[test]
+    fn instruction_display() {
+        let i = Instruction::preplaced(Opcode::Load, ClusterId::new(1)).with_name("a[i]");
+        assert_eq!(i.to_string(), "lw [a[i]@c1]");
+        assert_eq!(Instruction::new(Opcode::FMul).to_string(), "fmul");
+    }
+
+    #[test]
+    fn all_opclasses_listed() {
+        // Every opcode's class must appear in OpClass::ALL.
+        for op in [
+            Opcode::IntAlu,
+            Opcode::Shift,
+            Opcode::Logic,
+            Opcode::IntMul,
+            Opcode::IntDiv,
+            Opcode::Load,
+            Opcode::Store,
+            Opcode::FAdd,
+            Opcode::FMul,
+            Opcode::FDiv,
+            Opcode::FSqrt,
+            Opcode::Const,
+            Opcode::Branch,
+            Opcode::Copy,
+            Opcode::Send,
+            Opcode::Recv,
+        ] {
+            assert!(OpClass::ALL.contains(&op.class()), "{op:?}");
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Multi-region programs and cross-region values.
+//!
+//! The paper (Section 5): "when a value is live across multiple
+//! scheduling regions, its definitions and uses must be mapped to a
+//! consistent cluster. On Rawcc, this cluster is the cluster of the
+//! first definition/use encountered by the compiler; subsequent
+//! definitions and uses become preplaced instructions. On Chorus, all
+//! values that are live across multiple scheduling regions are mapped
+//! to the first cluster."
+//!
+//! A [`Program`] is an ordered list of scheduling units plus the
+//! [`CrossValue`]s that connect them; the multi-region driver in the
+//! schedulers crate turns those links into preplacement constraints.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{InstrId, SchedulingUnit};
+
+/// A value live across scheduling regions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrossValue {
+    name: String,
+    def: (usize, InstrId),
+    uses: Vec<(usize, InstrId)>,
+}
+
+impl CrossValue {
+    /// The value's name (for reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `(unit index, instruction)` producing the value.
+    #[must_use]
+    pub fn def(&self) -> (usize, InstrId) {
+        self.def
+    }
+
+    /// `(unit index, instruction)` pairs consuming the value in later
+    /// regions.
+    #[must_use]
+    pub fn uses(&self) -> &[(usize, InstrId)] {
+        &self.uses
+    }
+}
+
+/// Errors building a [`Program`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProgramError {
+    /// A link referenced a unit index that does not exist.
+    UnknownUnit(usize),
+    /// A link referenced an instruction outside its unit.
+    UnknownInstr {
+        /// Offending unit index.
+        unit: usize,
+        /// Offending instruction id.
+        instr: InstrId,
+    },
+    /// A use appears at or before its definition's region.
+    UseBeforeDef {
+        /// The cross-value's name.
+        name: String,
+    },
+    /// A cross-value has no uses.
+    Unused {
+        /// The cross-value's name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UnknownUnit(u) => write!(f, "program has no unit {u}"),
+            ProgramError::UnknownInstr { unit, instr } => {
+                write!(f, "unit {unit} has no instruction {instr}")
+            }
+            ProgramError::UseBeforeDef { name } => {
+                write!(f, "cross-region value '{name}' is used at or before its definition region")
+            }
+            ProgramError::Unused { name } => {
+                write!(f, "cross-region value '{name}' has no uses")
+            }
+        }
+    }
+}
+
+impl Error for ProgramError {}
+
+/// An ordered sequence of scheduling units linked by cross-region
+/// values.
+///
+/// # Example
+///
+/// ```
+/// use convergent_ir::{DagBuilder, Opcode, Program, SchedulingUnit};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Region 0 defines an accumulator; region 1 consumes it.
+/// let mut b0 = DagBuilder::new();
+/// let acc = b0.instr(Opcode::FAdd);
+/// let mut b1 = DagBuilder::new();
+/// let use_acc = b1.instr(Opcode::FMul);
+/// let mut program = Program::new(vec![
+///     SchedulingUnit::new("r0", b0.build()?),
+///     SchedulingUnit::new("r1", b1.build()?),
+/// ]);
+/// program.link("acc", (0, acc), vec![(1, use_acc)])?;
+/// assert_eq!(program.values().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Program {
+    units: Vec<SchedulingUnit>,
+    values: Vec<CrossValue>,
+}
+
+impl Program {
+    /// Creates a program from ordered scheduling units.
+    #[must_use]
+    pub fn new(units: Vec<SchedulingUnit>) -> Self {
+        Program {
+            units,
+            values: Vec::new(),
+        }
+    }
+
+    /// Declares a value defined by `def` and consumed by `uses` in
+    /// later regions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] for out-of-range units/instructions,
+    /// uses at or before the definition region, or an empty use list.
+    pub fn link(
+        &mut self,
+        name: impl Into<String>,
+        def: (usize, InstrId),
+        uses: Vec<(usize, InstrId)>,
+    ) -> Result<(), ProgramError> {
+        let name = name.into();
+        if uses.is_empty() {
+            return Err(ProgramError::Unused { name });
+        }
+        self.check_site(def)?;
+        for &u in &uses {
+            self.check_site(u)?;
+            if u.0 <= def.0 {
+                return Err(ProgramError::UseBeforeDef { name });
+            }
+        }
+        self.values.push(CrossValue { name, def, uses });
+        Ok(())
+    }
+
+    fn check_site(&self, (unit, instr): (usize, InstrId)) -> Result<(), ProgramError> {
+        let u = self
+            .units
+            .get(unit)
+            .ok_or(ProgramError::UnknownUnit(unit))?;
+        if instr.index() >= u.dag().len() {
+            return Err(ProgramError::UnknownInstr { unit, instr });
+        }
+        Ok(())
+    }
+
+    /// The scheduling units, in execution order.
+    #[must_use]
+    pub fn units(&self) -> &[SchedulingUnit] {
+        &self.units
+    }
+
+    /// The declared cross-region values.
+    #[must_use]
+    pub fn values(&self) -> &[CrossValue] {
+        &self.values
+    }
+
+    /// Total instruction count across all regions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.units.iter().map(|u| u.dag().len()).sum()
+    }
+
+    /// Returns `true` if the program has no units.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DagBuilder, Opcode};
+
+    fn two_region_program() -> Program {
+        let mut b0 = DagBuilder::new();
+        b0.instr(Opcode::FAdd);
+        let mut b1 = DagBuilder::new();
+        b1.instr(Opcode::FMul);
+        Program::new(vec![
+            SchedulingUnit::new("r0", b0.build().unwrap()),
+            SchedulingUnit::new("r1", b1.build().unwrap()),
+        ])
+    }
+
+    #[test]
+    fn link_accepts_forward_uses() {
+        let mut p = two_region_program();
+        p.link("v", (0, InstrId::new(0)), vec![(1, InstrId::new(0))])
+            .unwrap();
+        assert_eq!(p.values()[0].name(), "v");
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn link_rejects_backward_and_same_region_uses() {
+        let mut p = two_region_program();
+        let err = p
+            .link("v", (1, InstrId::new(0)), vec![(1, InstrId::new(0))])
+            .unwrap_err();
+        assert!(matches!(err, ProgramError::UseBeforeDef { .. }));
+    }
+
+    #[test]
+    fn link_rejects_bad_sites() {
+        let mut p = two_region_program();
+        assert!(matches!(
+            p.link("v", (5, InstrId::new(0)), vec![(1, InstrId::new(0))]),
+            Err(ProgramError::UnknownUnit(5))
+        ));
+        assert!(matches!(
+            p.link("v", (0, InstrId::new(9)), vec![(1, InstrId::new(0))]),
+            Err(ProgramError::UnknownInstr { .. })
+        ));
+        assert!(matches!(
+            p.link("v", (0, InstrId::new(0)), vec![]),
+            Err(ProgramError::Unused { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ProgramError::UseBeforeDef { name: "x".into() };
+        assert!(e.to_string().contains('x'));
+    }
+}

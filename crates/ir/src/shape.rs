@@ -1,0 +1,191 @@
+//! Graph-shape statistics.
+//!
+//! Figure 2 of the paper contrasts "long, narrow graphs dominated by a
+//! few critical paths" (non-numeric code, e.g. the fpppp kernel) with
+//! "fat, parallel graphs" (unrolled numeric loops). [`ShapeStats`]
+//! quantifies that taxonomy so the workload generators and the
+//! `figure2` harness can verify each reconstructed benchmark sits on
+//! the intended end of the spectrum.
+
+use crate::{Dag, Instruction, TimeAnalysis};
+
+/// Structural summary of a dependence graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShapeStats {
+    n_instrs: usize,
+    n_edges: usize,
+    height: u32,
+    max_width: usize,
+    avg_parallelism: f64,
+    critical_fraction: f64,
+    preplaced_fraction: f64,
+}
+
+impl ShapeStats {
+    /// Computes shape statistics using the given latency function.
+    pub fn compute<F>(dag: &Dag, latency: F) -> Self
+    where
+        F: Fn(&Instruction) -> u32,
+    {
+        let time = TimeAnalysis::compute(dag, latency);
+        Self::from_time(dag, &time)
+    }
+
+    /// Computes shape statistics from an existing [`TimeAnalysis`].
+    #[must_use]
+    pub fn from_time(dag: &Dag, time: &TimeAnalysis) -> Self {
+        let cpl = time.critical_path_length();
+        let mut width = vec![0usize; cpl.max(1) as usize];
+        let mut critical = 0usize;
+        for i in dag.ids() {
+            width[time.earliest_start(i) as usize] += 1;
+            if time.is_critical(i) {
+                critical += 1;
+            }
+        }
+        let n = dag.len();
+        ShapeStats {
+            n_instrs: n,
+            n_edges: dag.edge_count(),
+            height: cpl,
+            max_width: width.iter().copied().max().unwrap_or(0),
+            avg_parallelism: n as f64 / f64::from(cpl.max(1)),
+            critical_fraction: critical as f64 / n as f64,
+            preplaced_fraction: dag.preplaced_count() as f64 / n as f64,
+        }
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn instr_count(&self) -> usize {
+        self.n_instrs
+    }
+
+    /// Number of dependence edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Critical-path length in cycles (graph "height").
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Maximum number of instructions sharing an earliest-start time
+    /// (graph "width").
+    #[must_use]
+    pub fn max_width(&self) -> usize {
+        self.max_width
+    }
+
+    /// Instructions divided by height: the available parallelism on an
+    /// infinitely wide machine.
+    #[must_use]
+    pub fn avg_parallelism(&self) -> f64 {
+        self.avg_parallelism
+    }
+
+    /// Fraction of instructions with zero slack.
+    #[must_use]
+    pub fn critical_fraction(&self) -> f64 {
+        self.critical_fraction
+    }
+
+    /// Fraction of instructions that are preplaced.
+    #[must_use]
+    pub fn preplaced_fraction(&self) -> f64 {
+        self.preplaced_fraction
+    }
+
+    /// `true` for graphs on the "fat, parallel" end of Figure 2's
+    /// spectrum (average parallelism of at least four).
+    #[must_use]
+    pub fn is_fat(&self) -> bool {
+        self.avg_parallelism >= 4.0
+    }
+
+    /// `true` for "long, narrow" graphs dominated by critical paths.
+    #[must_use]
+    pub fn is_narrow(&self) -> bool {
+        self.avg_parallelism < 2.0
+    }
+}
+
+impl std::fmt::Display for ShapeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} instrs, {} edges, height {}, width {}, parallelism {:.2}, {:.0}% critical, {:.0}% preplaced",
+            self.n_instrs,
+            self.n_edges,
+            self.height,
+            self.max_width,
+            self.avg_parallelism,
+            self.critical_fraction * 100.0,
+            self.preplaced_fraction * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterId, DagBuilder, Opcode};
+
+    #[test]
+    fn chain_is_narrow() {
+        let mut b = DagBuilder::new();
+        let mut prev = b.instr(Opcode::IntAlu);
+        for _ in 0..9 {
+            let next = b.instr(Opcode::IntAlu);
+            b.edge(prev, next).unwrap();
+            prev = next;
+        }
+        let dag = b.build().unwrap();
+        let s = ShapeStats::compute(&dag, |_| 1);
+        assert_eq!(s.height(), 10);
+        assert_eq!(s.max_width(), 1);
+        assert!(s.is_narrow());
+        assert!(!s.is_fat());
+        assert!((s.critical_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wide_graph_is_fat() {
+        let mut b = DagBuilder::new();
+        for _ in 0..16 {
+            b.instr(Opcode::FMul);
+        }
+        let dag = b.build().unwrap();
+        let s = ShapeStats::compute(&dag, |_| 1);
+        assert_eq!(s.height(), 1);
+        assert_eq!(s.max_width(), 16);
+        assert!(s.is_fat());
+        assert_eq!(s.avg_parallelism(), 16.0);
+    }
+
+    #[test]
+    fn preplaced_fraction_counted() {
+        let mut b = DagBuilder::new();
+        b.preplaced_instr(Opcode::Load, ClusterId::new(0));
+        b.instr(Opcode::IntAlu);
+        b.instr(Opcode::IntAlu);
+        b.preplaced_instr(Opcode::Store, ClusterId::new(1));
+        let dag = b.build().unwrap();
+        let s = ShapeStats::compute(&dag, |_| 1);
+        assert!((s.preplaced_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let mut b = DagBuilder::new();
+        b.instr(Opcode::IntAlu);
+        let dag = b.build().unwrap();
+        let s = ShapeStats::compute(&dag, |_| 1);
+        let text = s.to_string();
+        assert!(text.contains("1 instrs"));
+        assert!(text.contains("height 1"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Scheduling units: the granule of work a scheduler consumes.
+//!
+//! The paper: "Convergent scheduling operates on individual scheduling
+//! units, which may be basic blocks, traces, superblocks, hyperblocks,
+//! or treegions." A [`SchedulingUnit`] bundles a dependence graph with a
+//! name and the kind of region it came from.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::Dag;
+
+/// The compiler region a scheduling unit was formed from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum RegionKind {
+    /// A single basic block.
+    #[default]
+    BasicBlock,
+    /// A trace (Fisher-style, the paper's Rawcc default).
+    Trace,
+    /// A superblock.
+    Superblock,
+    /// A hyperblock.
+    Hyperblock,
+}
+
+impl fmt::Display for RegionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RegionKind::BasicBlock => "basic block",
+            RegionKind::Trace => "trace",
+            RegionKind::Superblock => "superblock",
+            RegionKind::Hyperblock => "hyperblock",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named dependence graph ready for scheduling.
+///
+/// The graph is held behind an [`Arc`] so suites and experiment
+/// harnesses can share one unit across many scheduler runs cheaply.
+#[derive(Clone, Debug)]
+pub struct SchedulingUnit {
+    name: String,
+    kind: RegionKind,
+    dag: Arc<Dag>,
+}
+
+impl SchedulingUnit {
+    /// Wraps a graph as a scheduling unit.
+    #[must_use]
+    pub fn new(name: impl Into<String>, dag: Dag) -> Self {
+        SchedulingUnit {
+            name: name.into(),
+            kind: RegionKind::default(),
+            dag: Arc::new(dag),
+        }
+    }
+
+    /// Sets the region kind this unit was formed from.
+    #[must_use]
+    pub fn with_kind(mut self, kind: RegionKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// The unit's name (benchmark name or trace label).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The region kind.
+    #[must_use]
+    pub fn kind(&self) -> RegionKind {
+        self.kind
+    }
+
+    /// The dependence graph.
+    #[must_use]
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// A shared handle to the dependence graph.
+    #[must_use]
+    pub fn dag_arc(&self) -> Arc<Dag> {
+        Arc::clone(&self.dag)
+    }
+}
+
+impl fmt::Display for SchedulingUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {} instrs, {} edges)",
+            self.name,
+            self.kind,
+            self.dag.len(),
+            self.dag.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DagBuilder, Opcode};
+
+    #[test]
+    fn unit_wraps_graph() {
+        let mut b = DagBuilder::new();
+        b.instr(Opcode::IntAlu);
+        let unit = SchedulingUnit::new("t", b.build().unwrap()).with_kind(RegionKind::Trace);
+        assert_eq!(unit.name(), "t");
+        assert_eq!(unit.kind(), RegionKind::Trace);
+        assert_eq!(unit.dag().len(), 1);
+        let shared = unit.dag_arc();
+        assert_eq!(shared.len(), 1);
+        assert!(unit.to_string().contains("trace"));
+    }
+
+    #[test]
+    fn region_kind_display() {
+        assert_eq!(RegionKind::BasicBlock.to_string(), "basic block");
+        assert_eq!(RegionKind::Hyperblock.to_string(), "hyperblock");
+        assert_eq!(RegionKind::default(), RegionKind::BasicBlock);
+    }
+}

@@ -1,0 +1,121 @@
+//! Functional-unit kinds and the opcode classes each can execute.
+
+use std::fmt;
+
+use convergent_ir::OpClass;
+
+/// A kind of functional unit within a cluster.
+///
+/// The Chorus VLIW cluster of the paper has one [`FuKind::IntAlu`], one
+/// [`FuKind::IntAluMem`], one [`FuKind::Fpu`], and one
+/// [`FuKind::Transfer`]. A Raw tile is a single-issue processor modeled
+/// as one [`FuKind::Universal`] unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FuKind {
+    /// Integer ALU: add/shift/logic/mul/div/branch.
+    IntAlu,
+    /// Integer ALU that can also issue loads and stores.
+    IntAluMem,
+    /// Floating-point unit.
+    Fpu,
+    /// Inter-cluster transfer unit (executes register copies).
+    Transfer,
+    /// Executes every operation class (a whole single-issue core).
+    Universal,
+}
+
+impl FuKind {
+    /// Returns `true` if this unit kind can execute operations of
+    /// class `class`.
+    ///
+    /// Static-network [`OpClass::Send`]/[`OpClass::Recv`] are
+    /// register-mapped on Raw — they piggyback on the producing or
+    /// consuming instruction — so only [`FuKind::Universal`] "executes"
+    /// them, and the simulator gives them zero occupancy.
+    #[must_use]
+    pub fn can_execute(self, class: OpClass) -> bool {
+        match self {
+            FuKind::Universal => true,
+            FuKind::IntAlu => matches!(
+                class,
+                OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv | OpClass::Branch
+            ),
+            FuKind::IntAluMem => matches!(
+                class,
+                OpClass::IntAlu
+                    | OpClass::IntMul
+                    | OpClass::IntDiv
+                    | OpClass::Branch
+                    | OpClass::Load
+                    | OpClass::Store
+            ),
+            FuKind::Fpu => matches!(class, OpClass::FAdd | OpClass::FMul | OpClass::FDiv),
+            FuKind::Transfer => matches!(class, OpClass::Copy),
+        }
+    }
+}
+
+impl fmt::Display for FuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuKind::IntAlu => "int-alu",
+            FuKind::IntAluMem => "int-alu/mem",
+            FuKind::Fpu => "fpu",
+            FuKind::Transfer => "transfer",
+            FuKind::Universal => "universal",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chorus_unit_capabilities() {
+        assert!(FuKind::IntAlu.can_execute(OpClass::IntAlu));
+        assert!(!FuKind::IntAlu.can_execute(OpClass::Load));
+        assert!(FuKind::IntAluMem.can_execute(OpClass::Load));
+        assert!(FuKind::IntAluMem.can_execute(OpClass::Store));
+        assert!(!FuKind::IntAluMem.can_execute(OpClass::FAdd));
+        assert!(FuKind::Fpu.can_execute(OpClass::FMul));
+        assert!(!FuKind::Fpu.can_execute(OpClass::IntAlu));
+        assert!(FuKind::Transfer.can_execute(OpClass::Copy));
+        assert!(!FuKind::Transfer.can_execute(OpClass::IntAlu));
+    }
+
+    #[test]
+    fn universal_runs_everything() {
+        for class in OpClass::ALL {
+            assert!(FuKind::Universal.can_execute(class), "{class:?}");
+        }
+    }
+
+    #[test]
+    fn every_real_class_has_a_chorus_home() {
+        // On a Chorus cluster, every non-network op class must map to
+        // at least one of the four units.
+        let cluster = [
+            FuKind::IntAlu,
+            FuKind::IntAluMem,
+            FuKind::Fpu,
+            FuKind::Transfer,
+        ];
+        for class in OpClass::ALL {
+            if matches!(class, OpClass::Send | OpClass::Recv) {
+                continue; // Raw-only pseudo-ops
+            }
+            assert!(
+                cluster.iter().any(|fu| fu.can_execute(class)),
+                "{class:?} has no executing unit"
+            );
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(FuKind::IntAluMem.to_string(), "int-alu/mem");
+        assert_eq!(FuKind::Universal.to_string(), "universal");
+    }
+}

@@ -1,0 +1,134 @@
+//! Operation latency tables.
+
+use convergent_ir::{Instruction, OpClass};
+
+/// Per-operation-class latencies in cycles.
+///
+/// The default table follows the MIPS R4000 regime both the Raw
+/// prototype and the Chorus simulator base their instruction sets on:
+/// single-cycle integer ALU, 2-cycle multiply, long divides, 3-cycle
+/// loads, and multi-cycle floating point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyTable {
+    entries: [u32; OpClass::ALL.len()],
+}
+
+impl LatencyTable {
+    /// The R4000-flavoured default used by both machine presets.
+    #[must_use]
+    pub const fn r4000() -> Self {
+        let mut entries = [1u32; OpClass::ALL.len()];
+        // Indices follow OpClass::ALL order.
+        entries[Self::idx(OpClass::IntAlu)] = 1;
+        entries[Self::idx(OpClass::IntMul)] = 2;
+        entries[Self::idx(OpClass::IntDiv)] = 12;
+        entries[Self::idx(OpClass::Load)] = 3;
+        entries[Self::idx(OpClass::Store)] = 1;
+        entries[Self::idx(OpClass::FAdd)] = 4;
+        entries[Self::idx(OpClass::FMul)] = 7;
+        entries[Self::idx(OpClass::FDiv)] = 23;
+        entries[Self::idx(OpClass::Branch)] = 1;
+        entries[Self::idx(OpClass::Copy)] = 1;
+        entries[Self::idx(OpClass::Send)] = 0;
+        entries[Self::idx(OpClass::Recv)] = 0;
+        LatencyTable { entries }
+    }
+
+    /// A table where every class takes one cycle — convenient for unit
+    /// tests and for reproducing the paper's Figure 1 example, where
+    /// all operations are single-cycle.
+    #[must_use]
+    pub const fn uniform(cycles: u32) -> Self {
+        LatencyTable {
+            entries: [cycles; OpClass::ALL.len()],
+        }
+    }
+
+    const fn idx(class: OpClass) -> usize {
+        // OpClass::ALL order; kept in sync by the exhaustiveness test.
+        match class {
+            OpClass::IntAlu => 0,
+            OpClass::IntMul => 1,
+            OpClass::IntDiv => 2,
+            OpClass::Load => 3,
+            OpClass::Store => 4,
+            OpClass::FAdd => 5,
+            OpClass::FMul => 6,
+            OpClass::FDiv => 7,
+            OpClass::Branch => 8,
+            OpClass::Copy => 9,
+            OpClass::Send => 10,
+            OpClass::Recv => 11,
+        }
+    }
+
+    /// Latency of operation class `class` in cycles.
+    #[must_use]
+    pub const fn get(&self, class: OpClass) -> u32 {
+        self.entries[Self::idx(class)]
+    }
+
+    /// Overrides the latency of one class (builder-style).
+    #[must_use]
+    pub const fn with(mut self, class: OpClass, cycles: u32) -> Self {
+        self.entries[Self::idx(class)] = cycles;
+        self
+    }
+
+    /// Latency of a concrete instruction.
+    #[must_use]
+    pub fn of(&self, instr: &Instruction) -> u32 {
+        self.get(instr.class())
+    }
+}
+
+impl Default for LatencyTable {
+    fn default() -> Self {
+        LatencyTable::r4000()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convergent_ir::Opcode;
+
+    #[test]
+    fn r4000_values() {
+        let t = LatencyTable::r4000();
+        assert_eq!(t.get(OpClass::IntAlu), 1);
+        assert_eq!(t.get(OpClass::IntMul), 2);
+        assert_eq!(t.get(OpClass::Load), 3);
+        assert_eq!(t.get(OpClass::FAdd), 4);
+        assert_eq!(t.get(OpClass::FMul), 7);
+        assert_eq!(t.get(OpClass::FDiv), 23);
+        assert_eq!(t.get(OpClass::Send), 0);
+    }
+
+    #[test]
+    fn idx_covers_all_classes_in_order() {
+        for (k, class) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(LatencyTable::idx(*class), k, "{class:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_and_with() {
+        let t = LatencyTable::uniform(1).with(OpClass::FDiv, 10);
+        assert_eq!(t.get(OpClass::IntAlu), 1);
+        assert_eq!(t.get(OpClass::FDiv), 10);
+    }
+
+    #[test]
+    fn of_instruction() {
+        let t = LatencyTable::r4000();
+        assert_eq!(t.of(&Instruction::new(Opcode::Load)), 3);
+        assert_eq!(t.of(&Instruction::new(Opcode::FSqrt)), 23);
+        assert_eq!(t.of(&Instruction::new(Opcode::Const)), 1);
+    }
+
+    #[test]
+    fn default_is_r4000() {
+        assert_eq!(LatencyTable::default(), LatencyTable::r4000());
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! Machine models for spatial architectures.
+//!
+//! The paper evaluates convergent scheduling on two spatial machines:
+//!
+//! * **Raw** — a mesh of single-issue MIPS-like tiles connected by a
+//!   register-mapped, compiler-routed static network (3-cycle latency
+//!   between neighbors, +1 cycle per extra hop).
+//! * **Chorus clustered VLIW** — four identical clusters, each with one
+//!   integer ALU, one integer ALU/memory unit, one floating-point unit,
+//!   and one transfer unit; moving a register value between clusters
+//!   costs one cycle on a transfer unit; memory is interleaved across
+//!   clusters with a one-cycle remote-access penalty.
+//!
+//! [`Machine`] is a data-driven description covering both (and any
+//! machine in between): clusters with functional-unit mixes, a topology,
+//! a communication model, an operation-latency table, and a memory
+//! model. Schedulers interact with hardware *only* through this type.
+//!
+//! # Example
+//!
+//! ```
+//! use convergent_machine::Machine;
+//! use convergent_ir::{ClusterId, OpClass};
+//!
+//! let raw = Machine::raw(16);
+//! assert_eq!(raw.n_clusters(), 16);
+//! // Opposite mesh corners on a 4x4: 6 hops, 3 + (6-1) = 8 cycles.
+//! let d = raw.comm_latency(ClusterId::new(0), ClusterId::new(15));
+//! assert_eq!(d, 8);
+//!
+//! let vliw = Machine::chorus_vliw(4);
+//! assert_eq!(vliw.comm_latency(ClusterId::new(0), ClusterId::new(3)), 1);
+//! assert_eq!(vliw.latency(OpClass::FMul), 7);
+//! ```
+
+mod fu;
+mod latency;
+mod model;
+mod topology;
+
+pub use fu::FuKind;
+pub use latency::LatencyTable;
+pub use model::{Cluster, CommModel, Machine, MemoryModel};
+pub use topology::Topology;

@@ -1,0 +1,501 @@
+//! The machine model proper.
+
+use std::fmt;
+
+use convergent_ir::{ClusterId, Instruction, OpClass};
+
+use crate::{FuKind, LatencyTable, Topology};
+
+/// One cluster (or Raw tile): a set of functional units that can each
+/// issue one operation per cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cluster {
+    fus: Vec<FuKind>,
+}
+
+impl Cluster {
+    /// Creates a cluster with the given functional units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fus` is empty — a cluster must issue something.
+    #[must_use]
+    pub fn new(fus: Vec<FuKind>) -> Self {
+        assert!(!fus.is_empty(), "cluster must have at least one FU");
+        Cluster { fus }
+    }
+
+    /// The Chorus VLIW cluster: int ALU, int ALU/mem, FPU, transfer.
+    #[must_use]
+    pub fn chorus() -> Self {
+        Cluster::new(vec![
+            FuKind::IntAlu,
+            FuKind::IntAluMem,
+            FuKind::Fpu,
+            FuKind::Transfer,
+        ])
+    }
+
+    /// A Raw tile: one single-issue universal pipeline.
+    #[must_use]
+    pub fn raw_tile() -> Self {
+        Cluster::new(vec![FuKind::Universal])
+    }
+
+    /// Functional units in issue-slot order.
+    #[must_use]
+    pub fn fus(&self) -> &[FuKind] {
+        &self.fus
+    }
+
+    /// Number of issue slots (functional units).
+    #[must_use]
+    pub fn issue_width(&self) -> usize {
+        self.fus.len()
+    }
+
+    /// Returns `true` if any unit here can execute `class`.
+    #[must_use]
+    pub fn can_execute(&self, class: OpClass) -> bool {
+        self.fus.iter().any(|fu| fu.can_execute(class))
+    }
+}
+
+/// Cost model for moving a register value between clusters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommModel {
+    /// Latency between adjacent clusters.
+    pub base_latency: u32,
+    /// Extra latency per hop beyond the first.
+    pub per_hop: u32,
+    /// `true` if network ports are register-mapped (Raw): sends and
+    /// receives piggyback on producer/consumer instructions instead of
+    /// occupying issue slots. `false` means an explicit copy occupies a
+    /// transfer unit (clustered VLIW).
+    pub register_mapped: bool,
+}
+
+impl CommModel {
+    /// Raw's static network: 3 cycles to a neighbor, +1 per extra hop,
+    /// register-mapped ports.
+    #[must_use]
+    pub const fn raw_static() -> Self {
+        CommModel {
+            base_latency: 3,
+            per_hop: 1,
+            register_mapped: true,
+        }
+    }
+
+    /// Chorus transfer units: one cycle to any other cluster, occupying
+    /// a transfer-unit issue slot.
+    #[must_use]
+    pub const fn vliw_transfer() -> Self {
+        CommModel {
+            base_latency: 1,
+            per_hop: 0,
+            register_mapped: false,
+        }
+    }
+
+    /// Latency of a transfer crossing `hops` hops (0 hops = same
+    /// cluster = free).
+    #[must_use]
+    pub const fn latency_for_hops(&self, hops: u32) -> u32 {
+        if hops == 0 {
+            0
+        } else {
+            self.base_latency + (hops - 1) * self.per_hop
+        }
+    }
+}
+
+/// Memory-system behaviour relevant to scheduling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryModel {
+    /// Extra cycles for a memory operation executing on a cluster other
+    /// than the bank's home cluster (Chorus: 1). `None` means remote
+    /// access is illegal and preplacement is a hard correctness
+    /// constraint (Raw).
+    pub remote_penalty: Option<u32>,
+}
+
+impl MemoryModel {
+    /// Raw: banked memory, accesses must run on the home tile.
+    #[must_use]
+    pub const fn raw() -> Self {
+        MemoryModel {
+            remote_penalty: None,
+        }
+    }
+
+    /// Chorus: interleaved memory, remote accesses cost one extra cycle.
+    #[must_use]
+    pub const fn chorus() -> Self {
+        MemoryModel {
+            remote_penalty: Some(1),
+        }
+    }
+
+    /// Returns `true` if memory preplacement is a hard constraint.
+    #[must_use]
+    pub const fn preplacement_is_hard(&self) -> bool {
+        self.remote_penalty.is_none()
+    }
+}
+
+/// A complete spatial-machine description.
+///
+/// Use the presets ([`Machine::raw`], [`Machine::chorus_vliw`],
+/// [`Machine::single_cluster`]) or assemble a custom machine with
+/// [`Machine::new`].
+#[derive(Clone, Debug)]
+pub struct Machine {
+    name: String,
+    clusters: Vec<Cluster>,
+    topology: Topology,
+    comm: CommModel,
+    latencies: LatencyTable,
+    memory: MemoryModel,
+    /// Cluster where all live-in data resides at region entry, if the
+    /// architecture has such an invariant (Chorus: cluster 0).
+    data_home: Option<ClusterId>,
+    /// General-purpose registers available per cluster.
+    registers_per_cluster: u32,
+}
+
+impl Machine {
+    /// Assembles a custom machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is empty or its length disagrees with the
+    /// topology's capacity.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        clusters: Vec<Cluster>,
+        topology: Topology,
+        comm: CommModel,
+        latencies: LatencyTable,
+        memory: MemoryModel,
+    ) -> Self {
+        assert!(!clusters.is_empty(), "machine must have clusters");
+        if let Some(cap) = topology.capacity() {
+            assert_eq!(
+                clusters.len(),
+                cap,
+                "topology capacity must match cluster count"
+            );
+        }
+        Machine {
+            name: name.into(),
+            clusters,
+            topology,
+            comm,
+            latencies,
+            memory,
+            data_home: None,
+            registers_per_cluster: 32,
+        }
+    }
+
+    /// A Raw machine with `n_tiles` tiles.
+    ///
+    /// Tile counts map to the mesh shapes of the paper's Table 2:
+    /// 1 → 1×1, 2 → 2×1, 4 → 2×2, 8 → 4×2, 16 → 4×4. Other counts use
+    /// the most square mesh whose area is `n_tiles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tiles` is zero.
+    #[must_use]
+    pub fn raw(n_tiles: u16) -> Self {
+        assert!(n_tiles > 0, "raw machine needs at least one tile");
+        let (width, height) = squarest_mesh(n_tiles);
+        Machine::new(
+            format!("raw-{n_tiles}"),
+            (0..n_tiles).map(|_| Cluster::raw_tile()).collect(),
+            Topology::Mesh { width, height },
+            CommModel::raw_static(),
+            LatencyTable::r4000(),
+            MemoryModel::raw(),
+        )
+    }
+
+    /// A Chorus-style clustered VLIW with `n_clusters` identical
+    /// clusters (the paper evaluates 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_clusters` is zero.
+    #[must_use]
+    pub fn chorus_vliw(n_clusters: u16) -> Self {
+        assert!(n_clusters > 0, "vliw machine needs at least one cluster");
+        let mut m = Machine::new(
+            format!("chorus-vliw-{n_clusters}"),
+            (0..n_clusters).map(|_| Cluster::chorus()).collect(),
+            Topology::PointToPoint,
+            CommModel::vliw_transfer(),
+            LatencyTable::r4000(),
+            MemoryModel::chorus(),
+        );
+        // Chorus invariant: all data are available in the first cluster
+        // at the beginning of every scheduling unit (paper, FIRST pass).
+        m.data_home = Some(ClusterId::new(0));
+        m
+    }
+
+    /// A single Chorus cluster — the speedup baseline for Figure 8.
+    #[must_use]
+    pub fn single_cluster() -> Self {
+        Machine::chorus_vliw(1)
+    }
+
+    /// Machine name (used in reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Iterates over all cluster ids.
+    pub fn cluster_ids(&self) -> impl Iterator<Item = ClusterId> {
+        (0..self.clusters.len() as u16).map(ClusterId::new)
+    }
+
+    /// The cluster description for `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn cluster(&self, c: ClusterId) -> &Cluster {
+        &self.clusters[c.index()]
+    }
+
+    /// The interconnect topology.
+    #[must_use]
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// The communication cost model.
+    #[must_use]
+    pub fn comm(&self) -> CommModel {
+        self.comm
+    }
+
+    /// The memory model.
+    #[must_use]
+    pub fn memory(&self) -> MemoryModel {
+        self.memory
+    }
+
+    /// The latency table.
+    #[must_use]
+    pub fn latencies(&self) -> &LatencyTable {
+        &self.latencies
+    }
+
+    /// Replaces the latency table (builder-style).
+    #[must_use]
+    pub fn with_latencies(mut self, latencies: LatencyTable) -> Self {
+        self.latencies = latencies;
+        self
+    }
+
+    /// Latency in cycles of operation class `class`.
+    #[must_use]
+    pub fn latency(&self, class: OpClass) -> u32 {
+        self.latencies.get(class)
+    }
+
+    /// Latency in cycles of a concrete instruction.
+    #[must_use]
+    pub fn latency_of(&self, instr: &Instruction) -> u32 {
+        self.latencies.of(instr)
+    }
+
+    /// Cycles for a value produced on `from` to become usable on `to`.
+    #[must_use]
+    pub fn comm_latency(&self, from: ClusterId, to: ClusterId) -> u32 {
+        self.comm.latency_for_hops(self.topology.hops(from, to))
+    }
+
+    /// Network hops between two clusters.
+    #[must_use]
+    pub fn hops(&self, from: ClusterId, to: ClusterId) -> u32 {
+        self.topology.hops(from, to)
+    }
+
+    /// Returns `true` if cluster `c` can execute `class`.
+    #[must_use]
+    pub fn cluster_can_execute(&self, c: ClusterId, class: OpClass) -> bool {
+        self.clusters[c.index()].can_execute(class)
+    }
+
+    /// The cluster holding all live-in data at region entry, if the
+    /// architecture defines one (the target of the FIRST pass).
+    #[must_use]
+    pub fn data_home(&self) -> Option<ClusterId> {
+        self.data_home
+    }
+
+    /// Sets the data-home cluster (builder-style).
+    #[must_use]
+    pub fn with_data_home(mut self, home: Option<ClusterId>) -> Self {
+        self.data_home = home;
+        self
+    }
+
+    /// General-purpose registers per cluster (default 32, the MIPS
+    /// R4000 integer register file both evaluation platforms build
+    /// on).
+    #[must_use]
+    pub fn registers_per_cluster(&self) -> u32 {
+        self.registers_per_cluster
+    }
+
+    /// Sets the per-cluster register count (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers` is zero.
+    #[must_use]
+    pub fn with_registers_per_cluster(mut self, registers: u32) -> Self {
+        assert!(registers > 0, "clusters need at least one register");
+        self.registers_per_cluster = registers;
+        self
+    }
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} clusters)", self.name, self.n_clusters())
+    }
+}
+
+/// The most square `width × height` factorization of `n`, widest first,
+/// matching Raw's published configurations (2 → 2×1, 8 → 4×2, 16 → 4×4).
+fn squarest_mesh(n: u16) -> (u16, u16) {
+    let mut best = (n, 1);
+    let mut h = 1u16;
+    while u32::from(h) * u32::from(h) <= u32::from(n) {
+        if n.is_multiple_of(h) {
+            best = (n / h, h);
+        }
+        h += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_mesh_shapes_match_paper() {
+        assert_eq!(squarest_mesh(1), (1, 1));
+        assert_eq!(squarest_mesh(2), (2, 1));
+        assert_eq!(squarest_mesh(4), (2, 2));
+        assert_eq!(squarest_mesh(8), (4, 2));
+        assert_eq!(squarest_mesh(16), (4, 4));
+    }
+
+    #[test]
+    fn raw_comm_latency() {
+        let m = Machine::raw(16);
+        let c = |i| ClusterId::new(i);
+        // Same tile: free.
+        assert_eq!(m.comm_latency(c(3), c(3)), 0);
+        // Neighbors: 3 cycles.
+        assert_eq!(m.comm_latency(c(0), c(1)), 3);
+        assert_eq!(m.comm_latency(c(0), c(4)), 3);
+        // Each extra hop: +1.
+        assert_eq!(m.comm_latency(c(0), c(2)), 4);
+        assert_eq!(m.comm_latency(c(0), c(15)), 8);
+    }
+
+    #[test]
+    fn vliw_comm_is_one_cycle() {
+        let m = Machine::chorus_vliw(4);
+        let c = |i| ClusterId::new(i);
+        assert_eq!(m.comm_latency(c(0), c(0)), 0);
+        assert_eq!(m.comm_latency(c(0), c(1)), 1);
+        assert_eq!(m.comm_latency(c(0), c(3)), 1);
+        assert!(!m.comm().register_mapped);
+        assert!(m.comm().register_mapped != Machine::raw(4).comm().register_mapped);
+    }
+
+    #[test]
+    fn chorus_cluster_mix() {
+        let m = Machine::chorus_vliw(4);
+        let c0 = ClusterId::new(0);
+        assert_eq!(m.cluster(c0).issue_width(), 4);
+        assert!(m.cluster_can_execute(c0, OpClass::Load));
+        assert!(m.cluster_can_execute(c0, OpClass::FMul));
+        assert!(m.cluster_can_execute(c0, OpClass::Copy));
+        assert_eq!(m.data_home(), Some(c0));
+        assert_eq!(m.memory().remote_penalty, Some(1));
+        assert!(!m.memory().preplacement_is_hard());
+    }
+
+    #[test]
+    fn raw_tiles_are_single_issue_universal() {
+        let m = Machine::raw(4);
+        for c in m.cluster_ids() {
+            assert_eq!(m.cluster(c).issue_width(), 1);
+            for class in OpClass::ALL {
+                assert!(m.cluster_can_execute(c, class));
+            }
+        }
+        assert_eq!(m.data_home(), None);
+        assert!(m.memory().preplacement_is_hard());
+    }
+
+    #[test]
+    fn latency_passthrough() {
+        let m = Machine::raw(2);
+        assert_eq!(m.latency(OpClass::FMul), 7);
+        let m = m.with_latencies(LatencyTable::uniform(1));
+        assert_eq!(m.latency(OpClass::FMul), 1);
+    }
+
+    #[test]
+    fn display_and_name() {
+        let m = Machine::chorus_vliw(4);
+        assert_eq!(m.name(), "chorus-vliw-4");
+        assert!(m.to_string().contains("4 clusters"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tile")]
+    fn zero_tiles_rejected() {
+        let _ = Machine::raw(0);
+    }
+
+    #[test]
+    fn register_file_is_configurable() {
+        let m = Machine::raw(2);
+        assert_eq!(m.registers_per_cluster(), 32);
+        let m = m.with_registers_per_cluster(8);
+        assert_eq!(m.registers_per_cluster(), 8);
+    }
+
+    #[test]
+    fn comm_model_latency_for_hops() {
+        let raw = CommModel::raw_static();
+        assert_eq!(raw.latency_for_hops(0), 0);
+        assert_eq!(raw.latency_for_hops(1), 3);
+        assert_eq!(raw.latency_for_hops(4), 6);
+        let vliw = CommModel::vliw_transfer();
+        assert_eq!(vliw.latency_for_hops(1), 1);
+        assert_eq!(vliw.latency_for_hops(3), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Interconnect topologies.
+
+use convergent_ir::ClusterId;
+
+/// How clusters are physically connected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// All clusters are one hop apart (a clustered VLIW's copy bus).
+    PointToPoint,
+    /// A 2-D mesh of `width × height` tiles (Raw). Cluster `c` sits at
+    /// `(c % width, c / width)`.
+    Mesh {
+        /// Mesh width in tiles.
+        width: u16,
+        /// Mesh height in tiles.
+        height: u16,
+    },
+}
+
+impl Topology {
+    /// Number of clusters this topology connects, if it constrains the
+    /// count (meshes do; point-to-point does not).
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        match self {
+            Topology::PointToPoint => None,
+            Topology::Mesh { width, height } => Some(usize::from(*width) * usize::from(*height)),
+        }
+    }
+
+    /// Mesh coordinates of a cluster.
+    ///
+    /// For [`Topology::PointToPoint`] every cluster is at `(c, 0)`.
+    #[must_use]
+    pub fn coords(&self, c: ClusterId) -> (u16, u16) {
+        match self {
+            Topology::PointToPoint => (c.raw(), 0),
+            Topology::Mesh { width, .. } => (c.raw() % width, c.raw() / width),
+        }
+    }
+
+    /// Number of network hops between two clusters (Manhattan distance
+    /// on a mesh; 0 for identical clusters; 1 between any two distinct
+    /// clusters on point-to-point).
+    #[must_use]
+    pub fn hops(&self, a: ClusterId, b: ClusterId) -> u32 {
+        if a == b {
+            return 0;
+        }
+        match self {
+            Topology::PointToPoint => 1,
+            Topology::Mesh { .. } => {
+                let (ax, ay) = self.coords(a);
+                let (bx, by) = self.coords(b);
+                u32::from(ax.abs_diff(bx)) + u32::from(ay.abs_diff(by))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_coords_and_hops() {
+        let m = Topology::Mesh {
+            width: 4,
+            height: 4,
+        };
+        assert_eq!(m.capacity(), Some(16));
+        assert_eq!(m.coords(ClusterId::new(0)), (0, 0));
+        assert_eq!(m.coords(ClusterId::new(5)), (1, 1));
+        assert_eq!(m.coords(ClusterId::new(15)), (3, 3));
+        assert_eq!(m.hops(ClusterId::new(0), ClusterId::new(15)), 6);
+        assert_eq!(m.hops(ClusterId::new(0), ClusterId::new(1)), 1);
+        assert_eq!(m.hops(ClusterId::new(7), ClusterId::new(7)), 0);
+        // Symmetric.
+        assert_eq!(
+            m.hops(ClusterId::new(2), ClusterId::new(9)),
+            m.hops(ClusterId::new(9), ClusterId::new(2))
+        );
+    }
+
+    #[test]
+    fn point_to_point_is_flat() {
+        let p = Topology::PointToPoint;
+        assert_eq!(p.capacity(), None);
+        assert_eq!(p.hops(ClusterId::new(0), ClusterId::new(3)), 1);
+        assert_eq!(p.hops(ClusterId::new(2), ClusterId::new(2)), 0);
+    }
+
+    #[test]
+    fn rectangular_mesh() {
+        let m = Topology::Mesh {
+            width: 4,
+            height: 2,
+        };
+        assert_eq!(m.capacity(), Some(8));
+        assert_eq!(m.coords(ClusterId::new(6)), (2, 1));
+        assert_eq!(m.hops(ClusterId::new(0), ClusterId::new(7)), 4);
+    }
+}

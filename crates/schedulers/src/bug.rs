@@ -1,0 +1,225 @@
+//! Bottom-Up Greedy (BUG) assignment.
+//!
+//! Ellis's Bulldog compiler (1986) pioneered cluster assignment with a
+//! two-phase algorithm: a bottom-up traversal propagates information
+//! about preplaced instructions through the graph, then a top-down
+//! greedy pass maps each instruction to the cluster that can execute
+//! it earliest. It is the ancestor of every baseline in this crate and
+//! one of only two prior techniques (with Rawcc) that directly support
+//! preplaced instructions — we include it for ablations.
+
+use convergent_ir::{ClusterId, Dag, UNREACHABLE};
+use convergent_machine::Machine;
+use convergent_sim::{Assignment, SpaceTimeSchedule};
+
+use crate::list::check_assignment;
+use crate::{ListScheduler, ScheduleError, Scheduler};
+
+/// The BUG scheduler. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct BugScheduler {
+    _private: (),
+}
+
+impl BugScheduler {
+    /// Creates a BUG scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        BugScheduler::default()
+    }
+
+    /// Computes the greedy assignment without the final
+    /// list-scheduling pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] when the graph cannot be mapped to the
+    /// machine.
+    pub fn assign(&self, dag: &Dag, machine: &Machine) -> Result<Assignment, ScheduleError> {
+        let n = dag.len();
+        let n_clusters = machine.n_clusters();
+        for i in dag.ids() {
+            if let Some(home) = dag.instr(i).preplacement() {
+                if home.index() >= n_clusters {
+                    return Err(ScheduleError::BadHomeCluster { instr: i, home });
+                }
+            }
+            if !machine
+                .cluster_ids()
+                .any(|c| machine.cluster_can_execute(c, dag.instr(i).class()))
+            {
+                return Err(ScheduleError::NoCapableCluster(i));
+            }
+        }
+
+        // Bottom-up phase: distance to the nearest preplaced
+        // instruction of each cluster (multi-source BFS over the
+        // undirected graph) — the propagated preplacement information.
+        let pull = preplacement_distances(dag, n_clusters);
+
+        // Top-down phase: greedy earliest-completion placement.
+        let hard = machine.memory().preplacement_is_hard();
+        let mut cluster_of: Vec<ClusterId> = vec![ClusterId::new(0); n];
+        let mut est_finish: Vec<u32> = vec![0; n];
+        let mut load: Vec<u32> = vec![0; n_clusters];
+        for &i in dag.topo_order() {
+            let instr = dag.instr(i);
+            let chosen = match (instr.preplacement(), hard) {
+                (Some(h), true) => h,
+                (pre, _) => {
+                    let best = machine
+                        .cluster_ids()
+                        .filter(|&c| machine.cluster_can_execute(c, instr.class()))
+                        .min_by_key(|&c| {
+                            let ready: u32 = dag
+                                .preds(i)
+                                .iter()
+                                .map(|&p| {
+                                    let pc = cluster_of[p.index()];
+                                    est_finish[p.index()] + machine.comm_latency(pc, c)
+                                })
+                                .max()
+                                .unwrap_or(0);
+                            let home_rank = u32::from(pre != Some(c));
+                            let d = pull[c.index()][i.index()];
+                            let affinity = if d == UNREACHABLE { u32::MAX } else { d };
+                            (home_rank, ready, load[c.index()], affinity, c)
+                        })
+                        .expect("capable cluster checked above");
+                    best
+                }
+            };
+            let ready: u32 = dag
+                .preds(i)
+                .iter()
+                .map(|&p| {
+                    est_finish[p.index()] + machine.comm_latency(cluster_of[p.index()], chosen)
+                })
+                .max()
+                .unwrap_or(0);
+            cluster_of[i.index()] = chosen;
+            est_finish[i.index()] = ready + machine.latency_of(instr);
+            load[chosen.index()] += 1;
+        }
+        let assignment = Assignment::from_vec(cluster_of);
+        check_assignment(dag, machine, &assignment)?;
+        Ok(assignment)
+    }
+}
+
+impl Scheduler for BugScheduler {
+    fn name(&self) -> &str {
+        "bug"
+    }
+
+    fn schedule(&self, dag: &Dag, machine: &Machine) -> Result<SpaceTimeSchedule, ScheduleError> {
+        let assignment = self.assign(dag, machine)?;
+        ListScheduler::new().schedule_with_cp(dag, machine, &assignment)
+    }
+}
+
+/// For each cluster, the undirected distance from every instruction to
+/// the nearest instruction preplaced on that cluster
+/// ([`UNREACHABLE`] when the cluster has none).
+fn preplacement_distances(dag: &Dag, n_clusters: usize) -> Vec<Vec<u32>> {
+    use std::collections::VecDeque;
+    let mut out = vec![vec![UNREACHABLE; dag.len()]; n_clusters];
+    for (c, dist) in out.iter_mut().enumerate() {
+        let mut q = VecDeque::new();
+        for i in dag.preplaced() {
+            if dag.instr(i).preplacement() == Some(ClusterId::new(c as u16)) {
+                dist[i.index()] = 0;
+                q.push_back(i);
+            }
+        }
+        while let Some(i) = q.pop_front() {
+            let d = dist[i.index()];
+            for nb in dag.neighbors(i) {
+                if dist[nb.index()] == UNREACHABLE {
+                    dist[nb.index()] = d + 1;
+                    q.push_back(nb);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convergent_ir::{DagBuilder, Opcode};
+    use convergent_sim::validate;
+
+    fn c(i: u16) -> ClusterId {
+        ClusterId::new(i)
+    }
+
+    #[test]
+    fn preplacement_distance_field() {
+        let mut b = DagBuilder::new();
+        let ld = b.preplaced_instr(Opcode::Load, c(1));
+        let a1 = b.instr(Opcode::IntAlu);
+        let a2 = b.instr(Opcode::IntAlu);
+        b.edge(ld, a1).unwrap();
+        b.edge(a1, a2).unwrap();
+        let dag = b.build().unwrap();
+        let d = preplacement_distances(&dag, 2);
+        assert_eq!(d[1][ld.index()], 0);
+        assert_eq!(d[1][a1.index()], 1);
+        assert_eq!(d[1][a2.index()], 2);
+        assert_eq!(d[0][ld.index()], UNREACHABLE); // cluster 0 has none
+    }
+
+    #[test]
+    fn neighbors_pulled_toward_home() {
+        let mut b = DagBuilder::new();
+        let ld = b.preplaced_instr(Opcode::Load, c(2));
+        let a1 = b.instr(Opcode::IntAlu);
+        b.edge(ld, a1).unwrap();
+        let dag = b.build().unwrap();
+        let m = Machine::raw(4);
+        let asg = BugScheduler::new().assign(&dag, &m).unwrap();
+        assert_eq!(asg.cluster(ld), c(2));
+        // Greedy earliest-completion keeps the consumer local.
+        assert_eq!(asg.cluster(a1), c(2));
+    }
+
+    #[test]
+    fn parallel_chains_balance() {
+        let mut b = DagBuilder::new();
+        for _ in 0..4 {
+            let mut prev = b.instr(Opcode::IntAlu);
+            for _ in 0..3 {
+                let n = b.instr(Opcode::IntAlu);
+                b.edge(prev, n).unwrap();
+                prev = n;
+            }
+        }
+        let dag = b.build().unwrap();
+        let m = Machine::raw(4);
+        let asg = BugScheduler::new().assign(&dag, &m).unwrap();
+        assert_eq!(asg.cut_edges(&dag), 0);
+        assert_eq!(asg.loads(4), vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn schedule_validates() {
+        let mut b = DagBuilder::new();
+        let x = b.preplaced_instr(Opcode::Load, c(0));
+        let y = b.preplaced_instr(Opcode::Load, c(1));
+        let z = b.instr(Opcode::FMul);
+        b.edge(x, z).unwrap();
+        b.edge(y, z).unwrap();
+        let dag = b.build().unwrap();
+        for m in [Machine::raw(2), Machine::chorus_vliw(2)] {
+            let s = BugScheduler::new().schedule(&dag, &m).unwrap();
+            validate(&dag, &m, &s).unwrap();
+        }
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(BugScheduler::new().name(), "bug");
+    }
+}

@@ -1,0 +1,104 @@
+//! Scheduler error type.
+
+use std::error::Error;
+use std::fmt;
+
+use convergent_ir::{ClusterId, InstrId};
+
+/// Errors a scheduler can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// No cluster on the machine can execute this instruction.
+    NoCapableCluster(InstrId),
+    /// A preplaced instruction references a cluster the machine does
+    /// not have.
+    BadHomeCluster {
+        /// The preplaced instruction.
+        instr: InstrId,
+        /// Its (out-of-range) home cluster.
+        home: ClusterId,
+    },
+    /// An externally supplied assignment puts a hard-preplaced
+    /// instruction away from its home.
+    PreplacementConflict {
+        /// The misassigned instruction.
+        instr: InstrId,
+        /// Required home.
+        home: ClusterId,
+        /// Assigned cluster.
+        assigned: ClusterId,
+    },
+    /// An externally supplied assignment or priority vector has the
+    /// wrong length.
+    LengthMismatch {
+        /// Expected number of instructions.
+        expected: usize,
+        /// Supplied length.
+        actual: usize,
+    },
+    /// The scheduler failed to converge (internal guard tripped).
+    NoProgress {
+        /// Cycle at which progress stopped.
+        cycle: u32,
+    },
+    /// The produced schedule failed validation (internal bug guard).
+    ProducedInvalid(String),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NoCapableCluster(i) => {
+                write!(f, "no cluster can execute instruction {i}")
+            }
+            ScheduleError::BadHomeCluster { instr, home } => {
+                write!(f, "instruction {instr} is preplaced on nonexistent cluster {home}")
+            }
+            ScheduleError::PreplacementConflict {
+                instr,
+                home,
+                assigned,
+            } => write!(
+                f,
+                "instruction {instr} must run on {home} but the assignment puts it on {assigned}"
+            ),
+            ScheduleError::LengthMismatch { expected, actual } => {
+                write!(f, "expected {expected} entries, got {actual}")
+            }
+            ScheduleError::NoProgress { cycle } => {
+                write!(f, "scheduler made no progress by cycle {cycle}")
+            }
+            ScheduleError::ProducedInvalid(msg) => {
+                write!(f, "scheduler produced an invalid schedule: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_meaningful() {
+        let e = ScheduleError::PreplacementConflict {
+            instr: InstrId::new(3),
+            home: ClusterId::new(1),
+            assigned: ClusterId::new(2),
+        };
+        let s = e.to_string();
+        assert!(s.contains("i3") && s.contains("c1") && s.contains("c2"));
+        assert!(!ScheduleError::NoCapableCluster(InstrId::new(0))
+            .to_string()
+            .is_empty());
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<ScheduleError>();
+    }
+}

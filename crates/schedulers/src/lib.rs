@@ -1,0 +1,87 @@
+#![warn(missing_docs)]
+//! Instruction schedulers for spatial architectures.
+//!
+//! This crate provides the temporal engine every technique shares — a
+//! resource-accurate, communication-inserting [`ListScheduler`] — and
+//! the spatial-assignment baselines the paper compares convergent
+//! scheduling against:
+//!
+//! * [`UasScheduler`] — Unified Assign-and-Schedule (Özer, Banerjia,
+//!   Conte, MICRO-31), extended as in the paper to give preplaced
+//!   instructions' home clusters top priority.
+//! * [`PccScheduler`] — Desoli's Partial Component Clustering
+//!   (HPL-98-13): capped partial components, load-balanced initial
+//!   assignment, and iterative-descent improvement driven by real
+//!   schedule-length measurements (hence its compile-time profile in
+//!   the paper's Figure 10).
+//! * [`RawccScheduler`] — the Rawcc space-time baseline of Table 2:
+//!   clustering, cluster merging, and placement with preplacement
+//!   constraints.
+//! * [`BugScheduler`] — Bulldog-style bottom-up-greedy assignment
+//!   (Ellis, 1986), the ancestor of all of the above.
+//!
+//! Every scheduler consumes a [`convergent_ir::Dag`] plus a
+//! [`convergent_machine::Machine`] and produces a
+//! [`convergent_sim::SpaceTimeSchedule`] that passes
+//! [`convergent_sim::validate`].
+//!
+//! # Example
+//!
+//! ```
+//! use convergent_ir::{DagBuilder, Opcode};
+//! use convergent_machine::Machine;
+//! use convergent_schedulers::{Scheduler, UasScheduler};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = DagBuilder::new();
+//! let a = b.instr(Opcode::Load);
+//! let c = b.instr(Opcode::FMul);
+//! b.edge(a, c)?;
+//! let dag = b.build()?;
+//!
+//! let machine = Machine::chorus_vliw(4);
+//! let schedule = UasScheduler::new().schedule(&dag, &machine)?;
+//! convergent_sim::validate(&dag, &machine, &schedule)?;
+//! # Ok(())
+//! # }
+//! ```
+
+mod bug;
+mod error;
+mod list;
+mod pcc;
+mod priority;
+mod program;
+mod rawcc;
+mod uas;
+
+pub use bug::BugScheduler;
+pub use error::ScheduleError;
+pub use list::ListScheduler;
+pub use pcc::PccScheduler;
+pub use priority::cp_priorities;
+pub use program::{schedule_program, CrossRegionPolicy, ProgramSchedule};
+pub use rawcc::RawccScheduler;
+pub use uas::UasScheduler;
+
+use convergent_ir::Dag;
+use convergent_machine::Machine;
+use convergent_sim::SpaceTimeSchedule;
+
+/// A complete space-time scheduling technique.
+///
+/// Implementors pick clusters *and* cycles; the experiment harness
+/// treats all of them uniformly.
+pub trait Scheduler {
+    /// Short machine-readable name ("uas", "pcc", "rawcc", ...).
+    fn name(&self) -> &str;
+
+    /// Produces a legal space-time schedule of `dag` on `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] when the graph cannot be scheduled on
+    /// the machine (e.g. an operation no cluster can execute, or a
+    /// hard preplacement referencing a nonexistent cluster).
+    fn schedule(&self, dag: &Dag, machine: &Machine) -> Result<SpaceTimeSchedule, ScheduleError>;
+}

@@ -1,0 +1,600 @@
+//! The shared, resource-accurate list scheduler.
+//!
+//! Every assignment technique in the workspace (convergent scheduling,
+//! PCC, Rawcc-style, BUG) delegates temporal scheduling to this engine,
+//! mirroring the paper's setup where "both Chorus and Rawcc use the
+//! spatial assignments given by the convergent scheduler" and a
+//! conventional list scheduler orders instructions in time.
+//!
+//! Given a fixed instruction→cluster assignment and a priority vector,
+//! the scheduler walks cycles forward, issuing ready instructions in
+//! priority order onto free, capable functional units, and inserts the
+//! communication each cross-cluster dependence needs:
+//!
+//! * on register-mapped machines (Raw) a route is injected the cycle
+//!   the producer finishes, and the consumer may start after the
+//!   network latency;
+//! * on clustered VLIWs an explicit copy is placed on the earliest free
+//!   transfer unit of the producer's cluster, and the consumer may
+//!   start one cycle after the copy issues.
+
+use std::collections::{HashMap, HashSet};
+
+use convergent_ir::{ClusterId, Cycle, Dag, InstrId, OpClass};
+use convergent_machine::Machine;
+use convergent_sim::{effective_latency_in, Assignment, ScheduleBuilder, SpaceTimeSchedule};
+
+use crate::ScheduleError;
+
+/// Per-functional-unit issue-slot occupancy.
+#[derive(Clone, Debug)]
+pub(crate) struct ResourceState {
+    busy: Vec<Vec<HashSet<u32>>>,
+}
+
+impl ResourceState {
+    pub(crate) fn new(machine: &Machine) -> Self {
+        ResourceState {
+            busy: machine
+                .cluster_ids()
+                .map(|c| vec![HashSet::new(); machine.cluster(c).issue_width()])
+                .collect(),
+        }
+    }
+
+    /// A free functional unit on `cluster` capable of `class` at cycle
+    /// `t`, if any (lowest index wins, so VLIW ops prefer the most
+    /// specialized capable unit listed first).
+    pub(crate) fn free_fu(
+        &self,
+        machine: &Machine,
+        cluster: ClusterId,
+        class: OpClass,
+        t: u32,
+    ) -> Option<usize> {
+        machine
+            .cluster(cluster)
+            .fus()
+            .iter()
+            .enumerate()
+            .find(|(fu, kind)| {
+                kind.can_execute(class) && !self.busy[cluster.index()][*fu].contains(&t)
+            })
+            .map(|(fu, _)| fu)
+    }
+
+    /// Earliest `(fu, cycle)` at or after `from` where `class` can
+    /// issue on `cluster`. Returns `None` if the cluster cannot
+    /// execute the class at all.
+    pub(crate) fn earliest_slot(
+        &self,
+        machine: &Machine,
+        cluster: ClusterId,
+        class: OpClass,
+        from: u32,
+    ) -> Option<(usize, u32)> {
+        if !machine.cluster_can_execute(cluster, class) {
+            return None;
+        }
+        let mut t = from;
+        loop {
+            if let Some(fu) = self.free_fu(machine, cluster, class, t) {
+                return Some((fu, t));
+            }
+            t += 1;
+        }
+    }
+
+    pub(crate) fn reserve(&mut self, cluster: ClusterId, fu: usize, t: u32) {
+        let inserted = self.busy[cluster.index()][fu].insert(t);
+        debug_assert!(inserted, "double-booked {cluster} fu{fu} at {t}");
+    }
+
+}
+
+/// Tracks inserted communication and cross-cluster value arrivals.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct CommTracker {
+    /// (producer, destination cluster) → first cycle the value is
+    /// usable there.
+    arrival: HashMap<(InstrId, usize), u32>,
+    /// Recorded comm ops: (producer, from, to, start, fu).
+    ops: Vec<(InstrId, ClusterId, ClusterId, u32, Option<usize>)>,
+}
+
+impl CommTracker {
+    pub(crate) fn new() -> Self {
+        CommTracker::default()
+    }
+
+    pub(crate) fn arrival(&self, producer: InstrId, to: ClusterId) -> Option<u32> {
+        self.arrival.get(&(producer, to.index())).copied()
+    }
+
+    pub(crate) fn record(
+        &mut self,
+        producer: InstrId,
+        from: ClusterId,
+        to: ClusterId,
+        start: u32,
+        fu: Option<usize>,
+        arrival: u32,
+    ) {
+        self.ops.push((producer, from, to, start, fu));
+        let slot = self.arrival.entry((producer, to.index())).or_insert(arrival);
+        *slot = (*slot).min(arrival);
+    }
+
+    pub(crate) fn emit_into(&self, builder: &mut ScheduleBuilder<'_>) {
+        for &(producer, from, to, start, fu) in &self.ops {
+            builder.comm(producer, from, to, Cycle::new(start), fu);
+        }
+    }
+}
+
+/// Ensures the value of `producer` (already placed, finishing at
+/// `finish` on `from`) reaches cluster `to`, inserting a transfer if
+/// none exists. Returns the arrival cycle.
+pub(crate) fn ensure_comm(
+    machine: &Machine,
+    resources: &mut ResourceState,
+    comms: &mut CommTracker,
+    producer: InstrId,
+    from: ClusterId,
+    finish: u32,
+    to: ClusterId,
+) -> u32 {
+    debug_assert_ne!(from, to);
+    if let Some(a) = comms.arrival(producer, to) {
+        return a;
+    }
+    let latency = machine.comm_latency(from, to);
+    if machine.comm().register_mapped {
+        let arrival = finish + latency;
+        comms.record(producer, from, to, finish, None, arrival);
+        arrival
+    } else {
+        let (fu, start) = resources
+            .earliest_slot(machine, from, OpClass::Copy, finish)
+            .expect("transfer unit exists on every cluster of a copy-based machine");
+        resources.reserve(from, fu, start);
+        let arrival = start + latency;
+        comms.record(producer, from, to, start, Some(fu), arrival);
+        arrival
+    }
+}
+
+/// Checks an externally supplied assignment for machine legality.
+pub(crate) fn check_assignment(
+    dag: &Dag,
+    machine: &Machine,
+    assignment: &Assignment,
+) -> Result<(), ScheduleError> {
+    if assignment.len() != dag.len() {
+        return Err(ScheduleError::LengthMismatch {
+            expected: dag.len(),
+            actual: assignment.len(),
+        });
+    }
+    let hard = machine.memory().preplacement_is_hard();
+    for i in dag.ids() {
+        let instr = dag.instr(i);
+        if let Some(home) = instr.preplacement() {
+            if home.index() >= machine.n_clusters() {
+                return Err(ScheduleError::BadHomeCluster { instr: i, home });
+            }
+            if hard && assignment.cluster(i) != home {
+                return Err(ScheduleError::PreplacementConflict {
+                    instr: i,
+                    home,
+                    assigned: assignment.cluster(i),
+                });
+            }
+        }
+        if !machine.cluster_can_execute(assignment.cluster(i), instr.class()) {
+            return Err(ScheduleError::NoCapableCluster(i));
+        }
+    }
+    Ok(())
+}
+
+/// A conservative upper bound on schedule length, used as a
+/// no-progress guard.
+pub(crate) fn cycle_limit(dag: &Dag, machine: &Machine) -> u32 {
+    let total_lat: u32 = dag.instrs().iter().map(|i| machine.latency_of(i) + 1).sum();
+    let max_comm = machine
+        .cluster_ids()
+        .map(|c| machine.comm_latency(ClusterId::new(0), c))
+        .max()
+        .unwrap_or(0);
+    total_lat + (dag.edge_count() as u32 + 1) * (max_comm + 1) + 64
+}
+
+/// The shared cycle-driven list scheduler.
+///
+/// # Example
+///
+/// ```
+/// use convergent_ir::{ClusterId, DagBuilder, Opcode};
+/// use convergent_machine::Machine;
+/// use convergent_schedulers::ListScheduler;
+/// use convergent_sim::Assignment;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DagBuilder::new();
+/// let a = b.instr(Opcode::Load);
+/// let c = b.instr(Opcode::IntAlu);
+/// b.edge(a, c)?;
+/// let dag = b.build()?;
+/// let machine = Machine::chorus_vliw(2);
+/// let assignment = Assignment::uniform(dag.len(), ClusterId::new(0));
+///
+/// let schedule = ListScheduler::new().schedule_with_cp(&dag, &machine, &assignment)?;
+/// assert_eq!(schedule.makespan().get(), 4); // load(3) then add(1)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ListScheduler {
+    _private: (),
+}
+
+impl ListScheduler {
+    /// Creates a list scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        ListScheduler::default()
+    }
+
+    /// Schedules `dag` under a fixed `assignment`, ordering the ready
+    /// list by `priorities` (lower value = scheduled earlier; ties
+    /// break on instruction id).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::LengthMismatch`] for wrong-sized
+    /// inputs, [`ScheduleError::PreplacementConflict`] /
+    /// [`ScheduleError::BadHomeCluster`] /
+    /// [`ScheduleError::NoCapableCluster`] for illegal assignments, and
+    /// [`ScheduleError::NoProgress`] if the internal guard trips.
+    pub fn schedule(
+        &self,
+        dag: &Dag,
+        machine: &Machine,
+        assignment: &Assignment,
+        priorities: &[u32],
+    ) -> Result<SpaceTimeSchedule, ScheduleError> {
+        if priorities.len() != dag.len() {
+            return Err(ScheduleError::LengthMismatch {
+                expected: dag.len(),
+                actual: priorities.len(),
+            });
+        }
+        check_assignment(dag, machine, assignment)?;
+
+        // Secondary key: urgency (latest start). Caller priorities
+        // rank first; among equals the zero-slack instruction goes
+        // ahead of the relaxed one.
+        let time = convergent_ir::TimeAnalysis::compute(dag, |i| machine.latency_of(i));
+        let urgency: Vec<u32> = dag.ids().map(|i| time.latest_start(i)).collect();
+
+        let n = dag.len();
+        let mut resources = ResourceState::new(machine);
+        let mut comms = CommTracker::new();
+        let mut start: Vec<Option<u32>> = vec![None; n];
+        let mut finish: Vec<u32> = vec![0; n];
+        let mut fu_of: Vec<usize> = vec![0; n];
+        let mut unsched_preds: Vec<usize> = dag.ids().map(|i| dag.preds(i).len()).collect();
+        // Instructions whose predecessors are all scheduled, with the
+        // cycle their operands arrive at their assigned cluster.
+        let mut pending: Vec<(InstrId, u32)> = dag
+            .ids()
+            .filter(|&i| unsched_preds[i.index()] == 0)
+            .map(|i| (i, 0))
+            .collect();
+        let mut n_placed = 0usize;
+        let limit = cycle_limit(dag, machine);
+
+        let mut t: u32 = 0;
+        while n_placed < n {
+            if t > limit {
+                return Err(ScheduleError::NoProgress { cycle: t });
+            }
+            // Issue as many ready instructions as resources allow.
+            pending.sort_by_key(|&(i, _)| (priorities[i.index()], urgency[i.index()], i));
+            let mut k = 0;
+            while k < pending.len() {
+                let (i, ready_at) = pending[k];
+                if ready_at > t {
+                    k += 1;
+                    continue;
+                }
+                let cluster = assignment.cluster(i);
+                let class = dag.instr(i).class();
+                match resources.free_fu(machine, cluster, class, t) {
+                    Some(fu) => {
+                        resources.reserve(cluster, fu, t);
+                        start[i.index()] = Some(t);
+                        fu_of[i.index()] = fu;
+                        finish[i.index()] =
+                            t + effective_latency_in(dag, machine, i, cluster);
+                        n_placed += 1;
+                        pending.swap_remove(k);
+                        // Move the produced value toward every consumer
+                        // cluster as soon as it exists.
+                        let mut dest_seen: HashSet<usize> = HashSet::new();
+                        for &s in dag.succs(i) {
+                            let sc = assignment.cluster(s);
+                            if sc != cluster && dest_seen.insert(sc.index()) {
+                                ensure_comm(
+                                    machine,
+                                    &mut resources,
+                                    &mut comms,
+                                    i,
+                                    cluster,
+                                    finish[i.index()],
+                                    sc,
+                                );
+                            }
+                        }
+                        // Release consumers whose last producer this was.
+                        for &s in dag.succs(i) {
+                            unsched_preds[s.index()] -= 1;
+                            if unsched_preds[s.index()] == 0 {
+                                let sc = assignment.cluster(s);
+                                let ready = dag
+                                    .preds(s)
+                                    .iter()
+                                    .map(|&p| {
+                                        let pc = assignment.cluster(p);
+                                        if pc == sc {
+                                            finish[p.index()]
+                                        } else {
+                                            comms
+                                                .arrival(p, sc)
+                                                .expect("comm inserted when producer placed")
+                                        }
+                                    })
+                                    .max()
+                                    .unwrap_or(0);
+                                pending.push((s, ready));
+                            }
+                        }
+                        // Restart the scan: swap_remove disturbed order
+                        // and new arrivals may now be issueable.
+                        pending
+                            .sort_by_key(|&(i, _)| (priorities[i.index()], urgency[i.index()], i));
+                        k = 0;
+                    }
+                    None => k += 1,
+                }
+            }
+            t += 1;
+        }
+
+        let mut builder = ScheduleBuilder::new(dag);
+        for i in dag.ids() {
+            builder.place(
+                i,
+                assignment.cluster(i),
+                fu_of[i.index()],
+                Cycle::new(start[i.index()].expect("all placed")),
+            );
+        }
+        comms.emit_into(&mut builder);
+        builder
+            .build(machine)
+            .map_err(|e| ScheduleError::ProducedInvalid(e.to_string()))
+    }
+
+    /// Schedules with classic critical-path priorities
+    /// ([`crate::cp_priorities`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ListScheduler::schedule`].
+    pub fn schedule_with_cp(
+        &self,
+        dag: &Dag,
+        machine: &Machine,
+        assignment: &Assignment,
+    ) -> Result<SpaceTimeSchedule, ScheduleError> {
+        let p = crate::cp_priorities(dag, machine);
+        self.schedule(dag, machine, assignment, &p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convergent_ir::{DagBuilder, Opcode};
+    use convergent_sim::validate;
+
+    fn c(i: u16) -> ClusterId {
+        ClusterId::new(i)
+    }
+
+    #[test]
+    fn serial_chain_on_one_cluster() {
+        let mut b = DagBuilder::new();
+        let a = b.instr(Opcode::Load);
+        let d = b.instr(Opcode::IntAlu);
+        b.edge(a, d).unwrap();
+        let dag = b.build().unwrap();
+        let m = Machine::chorus_vliw(2);
+        let asg = Assignment::uniform(2, c(0));
+        let s = ListScheduler::new().schedule_with_cp(&dag, &m, &asg).unwrap();
+        validate(&dag, &m, &s).unwrap();
+        assert_eq!(s.makespan().get(), 4);
+        assert_eq!(s.comm_count(), 0);
+    }
+
+    #[test]
+    fn cross_cluster_copy_inserted_on_vliw() {
+        let mut b = DagBuilder::new();
+        let a = b.instr(Opcode::IntAlu);
+        let d = b.instr(Opcode::IntAlu);
+        b.edge(a, d).unwrap();
+        let dag = b.build().unwrap();
+        let m = Machine::chorus_vliw(2);
+        let asg = Assignment::from_vec(vec![c(0), c(1)]);
+        let s = ListScheduler::new().schedule_with_cp(&dag, &m, &asg).unwrap();
+        validate(&dag, &m, &s).unwrap();
+        // a: 0..1, copy at 1 arrives 2, d: 2..3.
+        assert_eq!(s.makespan().get(), 3);
+        assert_eq!(s.comm_count(), 1);
+        assert_eq!(s.comms()[0].fu, Some(3)); // the transfer unit
+    }
+
+    #[test]
+    fn raw_route_inserted() {
+        let mut b = DagBuilder::new();
+        let a = b.instr(Opcode::IntAlu);
+        let d = b.instr(Opcode::IntAlu);
+        b.edge(a, d).unwrap();
+        let dag = b.build().unwrap();
+        let m = Machine::raw(4);
+        let asg = Assignment::from_vec(vec![c(0), c(1)]);
+        let s = ListScheduler::new().schedule_with_cp(&dag, &m, &asg).unwrap();
+        validate(&dag, &m, &s).unwrap();
+        // a: 0..1, route arrives 1+3=4, d: 4..5.
+        assert_eq!(s.makespan().get(), 5);
+        assert_eq!(s.comms()[0].fu, None);
+    }
+
+    #[test]
+    fn one_copy_serves_multiple_consumers_on_one_cluster() {
+        let mut b = DagBuilder::new();
+        let a = b.instr(Opcode::IntAlu);
+        let d1 = b.instr(Opcode::IntAlu);
+        let d2 = b.instr(Opcode::IntAlu);
+        b.edge(a, d1).unwrap();
+        b.edge(a, d2).unwrap();
+        let dag = b.build().unwrap();
+        let m = Machine::chorus_vliw(2);
+        let asg = Assignment::from_vec(vec![c(0), c(1), c(1)]);
+        let s = ListScheduler::new().schedule_with_cp(&dag, &m, &asg).unwrap();
+        validate(&dag, &m, &s).unwrap();
+        assert_eq!(s.comm_count(), 1);
+    }
+
+    #[test]
+    fn priorities_order_contending_instructions() {
+        // Two independent ops contend for the single int-alu... use Raw
+        // single-issue so only one issues per cycle.
+        let mut b = DagBuilder::new();
+        let x = b.instr(Opcode::IntAlu);
+        let y = b.instr(Opcode::IntAlu);
+        let dag = b.build().unwrap();
+        let m = Machine::raw(1);
+        let asg = Assignment::uniform(2, c(0));
+        // Favor y.
+        let s = ListScheduler::new()
+            .schedule(&dag, &m, &asg, &[5, 0])
+            .unwrap();
+        assert_eq!(s.op(y).start.get(), 0);
+        assert_eq!(s.op(x).start.get(), 1);
+        // Favor x.
+        let s = ListScheduler::new()
+            .schedule(&dag, &m, &asg, &[0, 5])
+            .unwrap();
+        assert_eq!(s.op(x).start.get(), 0);
+        assert_eq!(s.op(y).start.get(), 1);
+    }
+
+    #[test]
+    fn fu_capability_respected() {
+        // FMul and IntAlu on a chorus cluster can co-issue (different
+        // units); two FMuls cannot.
+        let mut b = DagBuilder::new();
+        let f1 = b.instr(Opcode::FMul);
+        let f2 = b.instr(Opcode::FMul);
+        let a = b.instr(Opcode::IntAlu);
+        let dag = b.build().unwrap();
+        let m = Machine::chorus_vliw(1);
+        let asg = Assignment::uniform(3, c(0));
+        let s = ListScheduler::new().schedule_with_cp(&dag, &m, &asg).unwrap();
+        validate(&dag, &m, &s).unwrap();
+        let starts: Vec<u32> = [f1, f2, a].iter().map(|&i| s.op(i).start.get()).collect();
+        assert_eq!(starts[2], 0); // int op co-issues
+        assert_eq!(starts.iter().filter(|&&t| t == 0).count(), 2); // one fmul waits
+    }
+
+    #[test]
+    fn hard_preplacement_conflict_rejected() {
+        let mut b = DagBuilder::new();
+        b.preplaced_instr(Opcode::Load, c(1));
+        let dag = b.build().unwrap();
+        let m = Machine::raw(4);
+        let asg = Assignment::uniform(1, c(0));
+        let err = ListScheduler::new()
+            .schedule_with_cp(&dag, &m, &asg)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::PreplacementConflict { .. }));
+    }
+
+    #[test]
+    fn bad_home_cluster_rejected() {
+        let mut b = DagBuilder::new();
+        b.preplaced_instr(Opcode::Load, c(7));
+        let dag = b.build().unwrap();
+        let m = Machine::chorus_vliw(2);
+        let asg = Assignment::uniform(1, c(0));
+        let err = ListScheduler::new()
+            .schedule_with_cp(&dag, &m, &asg)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::BadHomeCluster { .. }));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut b = DagBuilder::new();
+        b.instr(Opcode::IntAlu);
+        let dag = b.build().unwrap();
+        let m = Machine::raw(1);
+        let asg = Assignment::uniform(2, c(0));
+        assert!(matches!(
+            ListScheduler::new().schedule_with_cp(&dag, &m, &asg),
+            Err(ScheduleError::LengthMismatch { .. })
+        ));
+        let asg = Assignment::uniform(1, c(0));
+        assert!(matches!(
+            ListScheduler::new().schedule(&dag, &m, &asg, &[]),
+            Err(ScheduleError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wide_parallel_graph_saturates_machine() {
+        // 8 independent int ops on 4 Raw tiles: 2 cycles.
+        let mut b = DagBuilder::new();
+        for _ in 0..8 {
+            b.instr(Opcode::IntAlu);
+        }
+        let dag = b.build().unwrap();
+        let m = Machine::raw(4);
+        let asg: Assignment = (0..8).map(|k| c(k % 4)).collect();
+        let s = ListScheduler::new().schedule_with_cp(&dag, &m, &asg).unwrap();
+        validate(&dag, &m, &s).unwrap();
+        assert_eq!(s.makespan().get(), 2);
+    }
+
+    #[test]
+    fn remote_memory_pays_penalty_in_schedule() {
+        let mut b = DagBuilder::new();
+        let ld = b.preplaced_instr(Opcode::Load, c(1));
+        let use_ = b.instr(Opcode::IntAlu);
+        b.edge(ld, use_).unwrap();
+        let dag = b.build().unwrap();
+        let m = Machine::chorus_vliw(2);
+        // Both on cluster 0: load runs remotely (latency 4).
+        let asg = Assignment::uniform(2, c(0));
+        let s = ListScheduler::new().schedule_with_cp(&dag, &m, &asg).unwrap();
+        validate(&dag, &m, &s).unwrap();
+        assert_eq!(s.makespan().get(), 5);
+        // Both on home cluster 1: local load (latency 3).
+        let asg = Assignment::uniform(2, c(1));
+        let s = ListScheduler::new().schedule_with_cp(&dag, &m, &asg).unwrap();
+        assert_eq!(s.makespan().get(), 4);
+    }
+}

@@ -1,0 +1,539 @@
+//! Partial Component Clustering (PCC).
+//!
+//! Desoli (HP Labs technical report HPL-98-13) assigns clusters in
+//! three steps:
+//!
+//! 1. **Partial components** — walk the dependence graph bottom-up,
+//!    critical-path first, growing chains of instructions; component
+//!    size is capped by a threshold θ.
+//! 2. **Initial assignment** — components are placed on clusters by
+//!    simple load-balancing and communication-affinity criteria.
+//! 3. **Iterative descent** — repeatedly try moving a component to
+//!    another cluster, keeping any move that shortens the *measured*
+//!    schedule (a full list-scheduler run per probe). This measurement
+//!    loop is what makes PCC's compile time balloon in the paper's
+//!    Figure 10, and we reproduce it faithfully.
+//!
+//! As in the paper's comparison, preplacement is accounted for through
+//! cost: on soft-memory machines (Chorus) the schedule probes price
+//! remote accesses; on hard machines (Raw) components containing
+//! preplaced instructions are pinned to the home cluster.
+
+use convergent_ir::{ClusterId, Dag, InstrId, TimeAnalysis};
+use convergent_machine::Machine;
+use convergent_sim::{Assignment, SpaceTimeSchedule};
+
+use crate::list::check_assignment;
+use crate::{ListScheduler, ScheduleError, Scheduler};
+
+/// The PCC scheduler. See the module docs.
+#[derive(Clone, Debug)]
+pub struct PccScheduler {
+    theta: usize,
+    max_rounds: usize,
+}
+
+impl PccScheduler {
+    /// Creates a PCC scheduler with the default component cap (θ = 12)
+    /// and up to 4 descent rounds.
+    #[must_use]
+    pub fn new() -> Self {
+        PccScheduler {
+            theta: 12,
+            max_rounds: 4,
+        }
+    }
+
+    /// Sets the maximum component size θ. Desoli notes the tradeoff:
+    /// small θ → more components → better assignments but longer
+    /// compile times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is zero.
+    #[must_use]
+    pub fn with_theta(mut self, theta: usize) -> Self {
+        assert!(theta > 0, "component cap must be positive");
+        self.theta = theta;
+        self
+    }
+
+    /// Sets the maximum number of iterative-descent rounds.
+    #[must_use]
+    pub fn with_max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Computes the cluster assignment (steps 1–3) without the final
+    /// list-scheduling pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] for graphs that cannot be mapped to
+    /// the machine (bad home clusters, inexecutable operations).
+    pub fn assign(&self, dag: &Dag, machine: &Machine) -> Result<Assignment, ScheduleError> {
+        let components = build_components(dag, machine, self.theta)?;
+        let mut assignment = initial_assignment(dag, machine, &components);
+        check_assignment(dag, machine, &assignment)?;
+
+        // Iterative descent on *estimated* schedule length — Desoli's
+        // algorithm "for estimating schedule lengths and communication
+        // costs" rather than a full scheduler run per probe. The
+        // estimate combines the dependence-height bound (with
+        // communication charged on cross-cluster edges) and the
+        // per-cluster resource bound; its misalignment with the real
+        // makespan is PCC's published weakness, while the sheer number
+        // of probes is its published compile-time cost (Figure 10).
+        let hard = machine.memory().preplacement_is_hard();
+        let mut best = estimate_length(dag, machine, &assignment);
+        for _ in 0..self.max_rounds {
+            let mut improved = false;
+            for comp in &components {
+                if hard && comp.home.is_some() {
+                    continue; // pinned
+                }
+                let current = assignment.cluster(comp.members[0]);
+                let mut best_move: Option<(ClusterId, u32)> = None;
+                for c in machine.cluster_ids() {
+                    if c == current {
+                        continue;
+                    }
+                    if comp
+                        .members
+                        .iter()
+                        .any(|&i| !machine.cluster_can_execute(c, dag.instr(i).class()))
+                    {
+                        continue;
+                    }
+                    for &i in &comp.members {
+                        assignment.set(i, c);
+                    }
+                    let m = estimate_length(dag, machine, &assignment);
+                    if m < best && best_move.is_none_or(|(_, bm)| m < bm) {
+                        best_move = Some((c, m));
+                    }
+                    for &i in &comp.members {
+                        assignment.set(i, current);
+                    }
+                }
+                if let Some((c, m)) = best_move {
+                    for &i in &comp.members {
+                        assignment.set(i, c);
+                    }
+                    best = m;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        Ok(assignment)
+    }
+}
+
+impl Default for PccScheduler {
+    fn default() -> Self {
+        PccScheduler::new()
+    }
+}
+
+impl Scheduler for PccScheduler {
+    fn name(&self) -> &str {
+        "pcc"
+    }
+
+    fn schedule(&self, dag: &Dag, machine: &Machine) -> Result<SpaceTimeSchedule, ScheduleError> {
+        let assignment = self.assign(dag, machine)?;
+        ListScheduler::new().schedule_with_cp(dag, machine, &assignment)
+    }
+}
+
+/// Desoli-style schedule-length estimate for an assignment: the larger
+/// of (a) the dependence height where every cross-cluster edge pays
+/// the transfer latency and remote memory ops pay their penalty, and
+/// (b) the busiest cluster's resource bound (operations per capable
+/// functional unit, counting inserted copies on transfer units).
+fn estimate_length(dag: &Dag, machine: &Machine, assignment: &Assignment) -> u32 {
+    let n_clusters = machine.n_clusters();
+    // (a) height with communication.
+    let mut finish = vec![0u32; dag.len()];
+    let mut height = 0u32;
+    for &i in dag.topo_order() {
+        let c = assignment.cluster(i);
+        let ready = dag
+            .preds(i)
+            .iter()
+            .map(|&p| finish[p.index()] + machine.comm_latency(assignment.cluster(p), c))
+            .max()
+            .unwrap_or(0);
+        let lat = convergent_sim::effective_latency_in(dag, machine, i, c);
+        finish[i.index()] = ready + lat;
+        height = height.max(finish[i.index()]);
+    }
+    // (b) resource bound per cluster: ops per capable unit, plus one
+    // transfer-unit slot per distinct (producer, consumer-cluster).
+    let mut bound = 0u32;
+    for c in machine.cluster_ids() {
+        let cluster = machine.cluster(c);
+        let mut per_fu = vec![0u32; cluster.issue_width()];
+        for i in dag.ids() {
+            if assignment.cluster(i) != c {
+                continue;
+            }
+            // Charge the least-loaded capable unit (optimistic).
+            let class = dag.instr(i).class();
+            if let Some(k) = (0..cluster.issue_width())
+                .filter(|&k| cluster.fus()[k].can_execute(class))
+                .min_by_key(|&k| per_fu[k])
+            {
+                per_fu[k] += 1;
+            }
+        }
+        if !machine.comm().register_mapped {
+            let mut dests: std::collections::HashSet<(u32, usize)> = std::collections::HashSet::new();
+            for e in dag.edges() {
+                let (pc, uc) = (assignment.cluster(e.src), assignment.cluster(e.dst));
+                if pc == c && uc != c {
+                    dests.insert((e.src.raw(), uc.index()));
+                }
+            }
+            if let Some(k) = (0..cluster.issue_width())
+                .filter(|&k| cluster.fus()[k].can_execute(convergent_ir::OpClass::Copy))
+                .min_by_key(|&k| per_fu[k])
+            {
+                per_fu[k] += dests.len() as u32;
+            }
+        }
+        bound = bound.max(per_fu.into_iter().max().unwrap_or(0));
+    }
+    let _ = n_clusters;
+    height.max(bound)
+}
+
+/// A partial component: a chain-ish group of instructions assigned as
+/// one unit.
+#[derive(Clone, Debug)]
+struct Component {
+    members: Vec<InstrId>,
+    home: Option<ClusterId>,
+}
+
+/// Step 1: grow components bottom-up, critical-path first, capped at θ.
+fn build_components(
+    dag: &Dag,
+    machine: &Machine,
+    theta: usize,
+) -> Result<Vec<Component>, ScheduleError> {
+    for i in dag.ids() {
+        if let Some(home) = dag.instr(i).preplacement() {
+            if home.index() >= machine.n_clusters() {
+                return Err(ScheduleError::BadHomeCluster { instr: i, home });
+            }
+        }
+        if !machine
+            .cluster_ids()
+            .any(|c| machine.cluster_can_execute(c, dag.instr(i).class()))
+        {
+            return Err(ScheduleError::NoCapableCluster(i));
+        }
+    }
+    let time = TimeAnalysis::compute(dag, |i| machine.latency_of(i));
+    // Bottom-up: consider instructions from the leaves, most critical
+    // first (deepest finish = latest on the critical path).
+    let mut order: Vec<InstrId> = dag.ids().collect();
+    order.sort_by_key(|&i| {
+        (
+            std::cmp::Reverse(time.earliest_start(i) + time.latency(i)),
+            time.slack(i),
+            i,
+        )
+    });
+    let mut comp_of: Vec<Option<usize>> = vec![None; dag.len()];
+    let mut components: Vec<Component> = Vec::new();
+    for seed in order {
+        if comp_of[seed.index()].is_some() {
+            continue;
+        }
+        let id = components.len();
+        let mut comp = Component {
+            members: vec![seed],
+            home: dag.instr(seed).preplacement(),
+        };
+        comp_of[seed.index()] = Some(id);
+        // Extend upward through the most critical unassigned
+        // predecessor while the cap and home compatibility allow.
+        let mut cur = seed;
+        while comp.members.len() < theta {
+            let next = dag
+                .preds(cur)
+                .iter()
+                .copied()
+                .filter(|&p| comp_of[p.index()].is_none())
+                .filter(|&p| match (comp.home, dag.instr(p).preplacement()) {
+                    (Some(h), Some(ph)) => h == ph,
+                    _ => true,
+                })
+                .max_by_key(|&p| {
+                    (
+                        time.earliest_start(p) + time.latency(p),
+                        std::cmp::Reverse(time.slack(p)),
+                        std::cmp::Reverse(p),
+                    )
+                });
+            let Some(p) = next else { break };
+            comp_of[p.index()] = Some(id);
+            comp.members.push(p);
+            if comp.home.is_none() {
+                comp.home = dag.instr(p).preplacement();
+            }
+            cur = p;
+        }
+        components.push(comp);
+    }
+    Ok(components)
+}
+
+/// Step 2: load/communication-balanced initial placement.
+fn initial_assignment(dag: &Dag, machine: &Machine, components: &[Component]) -> Assignment {
+    let n_clusters = machine.n_clusters();
+    let mut assignment = Assignment::uniform(dag.len(), ClusterId::new(0));
+    let mut assigned: Vec<bool> = vec![false; dag.len()];
+    let mut load = vec![0usize; n_clusters];
+
+    let mut order: Vec<usize> = (0..components.len()).collect();
+    // Homed components first (their cluster is forced or strongly
+    // preferred), then big ones.
+    order.sort_by_key(|&k| {
+        (
+            components[k].home.is_none(),
+            std::cmp::Reverse(components[k].members.len()),
+            k,
+        )
+    });
+    for k in order {
+        let comp = &components[k];
+        let chosen = match comp.home {
+            Some(h) => h,
+            None => {
+                // Affinity: edges from this component to already
+                // assigned instructions, per cluster.
+                let mut aff = vec![0usize; n_clusters];
+                let mut total = 0usize;
+                for &i in &comp.members {
+                    for n in dag.neighbors(i) {
+                        if assigned[n.index()] {
+                            aff[assignment.cluster(n).index()] += 1;
+                            total += 1;
+                        }
+                    }
+                }
+                machine
+                    .cluster_ids()
+                    .filter(|&c| {
+                        comp.members
+                            .iter()
+                            .all(|&i| machine.cluster_can_execute(c, dag.instr(i).class()))
+                    })
+                    .min_by_key(|&c| {
+                        let cut = total - aff[c.index()];
+                        (cut + load[c.index()], c)
+                    })
+                    .unwrap_or(ClusterId::new(0))
+            }
+        };
+        for &i in &comp.members {
+            assignment.set(i, chosen);
+            assigned[i.index()] = true;
+        }
+        load[chosen.index()] += comp.members.len();
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convergent_ir::{DagBuilder, Opcode};
+    use convergent_sim::validate;
+
+    fn c(i: u16) -> ClusterId {
+        ClusterId::new(i)
+    }
+
+    #[test]
+    fn components_respect_theta() {
+        let mut b = DagBuilder::new();
+        let mut prev = b.instr(Opcode::IntAlu);
+        for _ in 0..19 {
+            let nxt = b.instr(Opcode::IntAlu);
+            b.edge(prev, nxt).unwrap();
+            prev = nxt;
+        }
+        let dag = b.build().unwrap();
+        let m = Machine::chorus_vliw(4);
+        let comps = build_components(&dag, &m, 5).unwrap();
+        assert!(comps.iter().all(|cm| cm.members.len() <= 5));
+        let total: usize = comps.iter().map(|cm| cm.members.len()).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn chain_forms_one_component() {
+        let mut b = DagBuilder::new();
+        let mut prev = b.instr(Opcode::IntAlu);
+        for _ in 0..4 {
+            let nxt = b.instr(Opcode::IntAlu);
+            b.edge(prev, nxt).unwrap();
+            prev = nxt;
+        }
+        let dag = b.build().unwrap();
+        let m = Machine::chorus_vliw(4);
+        let comps = build_components(&dag, &m, 12).unwrap();
+        assert_eq!(comps.len(), 1);
+    }
+
+    #[test]
+    fn components_never_mix_homes() {
+        let mut b = DagBuilder::new();
+        let l0 = b.preplaced_instr(Opcode::Load, c(0));
+        let l1 = b.preplaced_instr(Opcode::Load, c(1));
+        let add = b.instr(Opcode::IntAlu);
+        b.edge(l0, add).unwrap();
+        b.edge(l1, add).unwrap();
+        let dag = b.build().unwrap();
+        let m = Machine::raw(4);
+        let comps = build_components(&dag, &m, 12).unwrap();
+        for comp in &comps {
+            let homes: std::collections::HashSet<_> = comp
+                .members
+                .iter()
+                .filter_map(|&i| dag.instr(i).preplacement())
+                .collect();
+            assert!(homes.len() <= 1, "{comp:?}");
+        }
+    }
+
+    #[test]
+    fn schedules_validate_on_both_machines() {
+        let mut b = DagBuilder::new();
+        let mut leaves = Vec::new();
+        for k in 0..4u16 {
+            let ld = b.preplaced_instr(Opcode::Load, c(k));
+            let m1 = b.instr(Opcode::IntMul);
+            b.edge(ld, m1).unwrap();
+            leaves.push(m1);
+        }
+        let s1 = b.instr(Opcode::IntAlu);
+        let s2 = b.instr(Opcode::IntAlu);
+        let s3 = b.instr(Opcode::IntAlu);
+        b.edge(leaves[0], s1).unwrap();
+        b.edge(leaves[1], s1).unwrap();
+        b.edge(leaves[2], s2).unwrap();
+        b.edge(leaves[3], s2).unwrap();
+        b.edge(s1, s3).unwrap();
+        b.edge(s2, s3).unwrap();
+        let dag = b.build().unwrap();
+
+        for m in [Machine::raw(4), Machine::chorus_vliw(4)] {
+            let s = PccScheduler::new().schedule(&dag, &m).unwrap();
+            validate(&dag, &m, &s).unwrap();
+            assert!(s.assignment().respects_preplacement(&dag) || !m.memory().preplacement_is_hard());
+        }
+    }
+
+    #[test]
+    fn descent_never_worsens() {
+        // Random-ish mesh of work; descent result must be <= initial.
+        let mut b = DagBuilder::new();
+        let mut ids = Vec::new();
+        for k in 0..24 {
+            let op = if k % 3 == 0 { Opcode::FMul } else { Opcode::IntAlu };
+            ids.push(b.instr(op));
+        }
+        for k in 4..24 {
+            b.edge(ids[k - 4], ids[k]).unwrap();
+            if k % 5 == 0 {
+                b.edge(ids[k - 3], ids[k]).unwrap();
+            }
+        }
+        let dag = b.build().unwrap();
+        let m = Machine::chorus_vliw(4);
+        let pcc = PccScheduler::new();
+        let comps = build_components(&dag, &m, pcc.theta).unwrap();
+        let initial = initial_assignment(&dag, &m, &comps);
+        let init_len = ListScheduler::new()
+            .schedule_with_cp(&dag, &m, &initial)
+            .unwrap()
+            .makespan();
+        let final_len = pcc.schedule(&dag, &m).unwrap().makespan();
+        assert!(final_len <= init_len);
+    }
+
+    #[test]
+    fn estimate_tracks_height_and_resources() {
+        // A pure chain: estimate equals the latency-weighted height.
+        let mut b = DagBuilder::new();
+        let mut prev = b.instr(Opcode::FMul); // 7 cycles each
+        for _ in 0..3 {
+            let nxt = b.instr(Opcode::FMul);
+            b.edge(prev, nxt).unwrap();
+            prev = nxt;
+        }
+        let dag = b.build().unwrap();
+        let m = Machine::chorus_vliw(2);
+        let all0 = Assignment::uniform(dag.len(), c(0));
+        assert_eq!(estimate_length(&dag, &m, &all0), 28);
+        // Splitting the chain across clusters adds transfer latency to
+        // the height estimate.
+        let split = Assignment::from_vec(vec![c(0), c(1), c(0), c(1)]);
+        assert_eq!(estimate_length(&dag, &m, &split), 31);
+        // Wide independent work: the resource bound dominates when one
+        // cluster holds everything (8 fmuls on one FPU = 8 slots).
+        let mut b = DagBuilder::new();
+        for _ in 0..8 {
+            b.instr(Opcode::FMul);
+        }
+        let wide = b.build().unwrap();
+        let all0 = Assignment::uniform(wide.len(), c(0));
+        assert_eq!(estimate_length(&wide, &m, &all0), 8);
+        // Balanced: resource bound halves (4 per FPU); the height is
+        // one fmul plus the live-in fetch for roots off the data-home
+        // cluster (7 + 1).
+        let bal: Assignment = (0..8u16).map(|k| c(k % 2)).collect();
+        assert_eq!(estimate_length(&wide, &m, &bal), 8);
+    }
+
+    #[test]
+    fn estimate_counts_transfer_unit_occupancy() {
+        // One producer on c0 feeding 6 consumers on c1: the producer
+        // cluster's transfer unit carries one copy (deduped per
+        // destination cluster), so the bound stays small; but with 6
+        // distinct producers the copies pile onto the transfer unit.
+        let mut b = DagBuilder::new();
+        let producers: Vec<_> = (0..6).map(|_| b.instr(Opcode::IntAlu)).collect();
+        let sink = b.instr(Opcode::IntAlu);
+        for &p in &producers {
+            b.edge(p, sink).unwrap();
+        }
+        let dag = b.build().unwrap();
+        let m = Machine::chorus_vliw(2);
+        let mut asg = Assignment::uniform(dag.len(), c(0));
+        asg.set(sink, c(1));
+        // 6 copies on c0's transfer unit dominate the estimate's
+        // resource bound.
+        assert!(estimate_length(&dag, &m, &asg) >= 6);
+    }
+
+    #[test]
+    fn theta_zero_panics() {
+        let r = std::panic::catch_unwind(|| PccScheduler::new().with_theta(0));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(PccScheduler::new().name(), "pcc");
+    }
+}

@@ -1,0 +1,37 @@
+//! Scheduling priorities.
+
+use convergent_ir::{Dag, TimeAnalysis};
+use convergent_machine::Machine;
+
+/// Classic critical-path list-scheduling priorities: each instruction's
+/// *latest start time*, so zero-slack instructions come first and the
+/// ready list is processed in order of urgency. Lower value = higher
+/// priority.
+#[must_use]
+pub fn cp_priorities(dag: &Dag, machine: &Machine) -> Vec<u32> {
+    let time = TimeAnalysis::compute(dag, |i| machine.latency_of(i));
+    dag.ids().map(|i| time.latest_start(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convergent_ir::{DagBuilder, Opcode};
+
+    #[test]
+    fn critical_instrs_get_lowest_priority_values() {
+        // chain a -> b (critical), island c.
+        let mut bld = DagBuilder::new();
+        let a = bld.instr(Opcode::FMul); // 7 cycles
+        let b = bld.instr(Opcode::IntAlu);
+        let c = bld.instr(Opcode::IntAlu);
+        bld.edge(a, b).unwrap();
+        let dag = bld.build().unwrap();
+        let m = Machine::chorus_vliw(2);
+        let p = cp_priorities(&dag, &m);
+        assert_eq!(p[a.index()], 0);
+        assert_eq!(p[b.index()], 7);
+        // Island can wait until the last cycle.
+        assert_eq!(p[c.index()], 7);
+    }
+}

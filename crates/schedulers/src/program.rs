@@ -1,0 +1,336 @@
+//! Multi-region scheduling: turning cross-region liveness into
+//! preplacement.
+//!
+//! Regions execute back-to-back, so a value live across regions must
+//! sit on one agreed cluster. The paper describes both policies we
+//! implement:
+//!
+//! * [`CrossRegionPolicy::FirstDefinition`] (Rawcc): "this cluster is
+//!   the cluster of the first definition/use encountered by the
+//!   compiler; subsequent definitions and uses become preplaced
+//!   instructions" — the first region schedules freely and its choice
+//!   pins the later regions.
+//! * [`CrossRegionPolicy::DataHome`] (Chorus): "all values that are
+//!   live across multiple scheduling regions are mapped to the first
+//!   cluster" — definitions and uses alike are pinned to the
+//!   machine's data-home cluster.
+
+use std::collections::HashMap;
+
+use convergent_ir::{ClusterId, Dag, DagBuilder, InstrId, Instruction, Program};
+use convergent_machine::Machine;
+use convergent_sim::SpaceTimeSchedule;
+
+use crate::{ScheduleError, Scheduler};
+
+/// How cross-region values pick their consistent cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CrossRegionPolicy {
+    /// Rawcc's rule: the first definition's cluster wins; later
+    /// regions see preplaced instructions.
+    #[default]
+    FirstDefinition,
+    /// Chorus's rule: everything maps to the machine's data-home
+    /// cluster (cluster 0 when the machine declares none).
+    DataHome,
+}
+
+/// The result of scheduling a whole program.
+#[derive(Clone, Debug)]
+pub struct ProgramSchedule {
+    schedules: Vec<SpaceTimeSchedule>,
+    bindings: HashMap<String, ClusterId>,
+}
+
+impl ProgramSchedule {
+    /// Per-region schedules, in execution order.
+    #[must_use]
+    pub fn schedules(&self) -> &[SpaceTimeSchedule] {
+        &self.schedules
+    }
+
+    /// The cluster each cross-region value was bound to.
+    #[must_use]
+    pub fn binding(&self, name: &str) -> Option<ClusterId> {
+        self.bindings.get(name).copied()
+    }
+
+    /// Total cycles with regions executed back-to-back.
+    #[must_use]
+    pub fn total_cycles(&self) -> u32 {
+        self.schedules.iter().map(|s| s.makespan().get()).sum()
+    }
+}
+
+/// Schedules every region of `program` with `scheduler`, threading
+/// cross-region values through `policy`.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::PreplacementConflict`] when a cross-region
+/// pin contradicts an existing preplacement (e.g. a banked load that
+/// is also a cross-region definition under [`CrossRegionPolicy::DataHome`]),
+/// and propagates any per-region scheduling error.
+pub fn schedule_program(
+    program: &Program,
+    machine: &Machine,
+    scheduler: &dyn Scheduler,
+    policy: CrossRegionPolicy,
+) -> Result<ProgramSchedule, ScheduleError> {
+    let home = machine.data_home().unwrap_or(ClusterId::new(0));
+    let mut pins: Vec<HashMap<InstrId, (ClusterId, String)>> =
+        vec![HashMap::new(); program.units().len()];
+    // DataHome pins everything up front.
+    if policy == CrossRegionPolicy::DataHome {
+        for v in program.values() {
+            let (du, di) = v.def();
+            pins[du].insert(di, (home, v.name().to_string()));
+            for &(uu, ui) in v.uses() {
+                pins[uu].insert(ui, (home, v.name().to_string()));
+            }
+        }
+    }
+
+    let mut bindings: HashMap<String, ClusterId> = HashMap::new();
+    let mut schedules = Vec::with_capacity(program.units().len());
+    for (k, unit) in program.units().iter().enumerate() {
+        let dag = apply_pins(unit.dag(), &pins[k])?;
+        let schedule = scheduler.schedule(&dag, machine)?;
+        // Record bindings for values defined here; pin later regions.
+        for v in program.values() {
+            let (du, di) = v.def();
+            if du != k {
+                continue;
+            }
+            let cluster = match policy {
+                CrossRegionPolicy::FirstDefinition => schedule.op(di).cluster,
+                CrossRegionPolicy::DataHome => home,
+            };
+            bindings.insert(v.name().to_string(), cluster);
+            for &(uu, ui) in v.uses() {
+                pins[uu].insert(ui, (cluster, v.name().to_string()));
+            }
+        }
+        schedules.push(schedule);
+    }
+    Ok(ProgramSchedule {
+        schedules,
+        bindings,
+    })
+}
+
+/// Rebuilds `dag` with the given cross-region pins as preplacements.
+fn apply_pins(
+    dag: &Dag,
+    pins: &HashMap<InstrId, (ClusterId, String)>,
+) -> Result<Dag, ScheduleError> {
+    if pins.is_empty() {
+        return Ok(dag.clone());
+    }
+    let mut b = DagBuilder::with_capacity(dag.len());
+    for i in dag.ids() {
+        let instr = dag.instr(i);
+        let mut new = match (pins.get(&i), instr.preplacement()) {
+            (Some(&(pin, _)), Some(existing)) if pin != existing => {
+                return Err(ScheduleError::PreplacementConflict {
+                    instr: i,
+                    home: existing,
+                    assigned: pin,
+                });
+            }
+            (Some(&(pin, _)), _) => Instruction::preplaced(instr.opcode(), pin),
+            (None, Some(existing)) => Instruction::preplaced(instr.opcode(), existing),
+            (None, None) => Instruction::new(instr.opcode()),
+        };
+        if let Some(name) = instr.name() {
+            new = new.with_name(name);
+        }
+        b.push(new);
+    }
+    for e in dag.edges() {
+        b.edge(e.src, e.dst).expect("copying a valid graph");
+    }
+    Ok(b.build().expect("copy of a valid graph"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RawccScheduler, UasScheduler};
+    use convergent_ir::{DagBuilder, Opcode, SchedulingUnit};
+    use convergent_sim::validate;
+
+    fn c(k: u16) -> ClusterId {
+        ClusterId::new(k)
+    }
+
+    /// Two regions: region 0 computes per-bank accumulators, region 1
+    /// combines them.
+    fn accumulator_program() -> (Program, Vec<InstrId>, Vec<InstrId>) {
+        let mut b0 = DagBuilder::new();
+        let mut defs = Vec::new();
+        for k in 0..4u16 {
+            let ld = b0.preplaced_instr(Opcode::Load, c(k));
+            let acc = b0.instr(Opcode::FAdd);
+            b0.edge(ld, acc).unwrap();
+            defs.push(acc);
+        }
+        let mut b1 = DagBuilder::new();
+        let mut uses = Vec::new();
+        for _ in 0..4 {
+            uses.push(b1.instr(Opcode::FMul));
+        }
+        let sink = b1.instr(Opcode::FAdd);
+        for &u in &uses {
+            b1.edge(u, sink).unwrap();
+        }
+        let mut program = Program::new(vec![
+            SchedulingUnit::new("produce", b0.build().unwrap()),
+            SchedulingUnit::new("consume", b1.build().unwrap()),
+        ]);
+        for (k, (&d, &u)) in defs.iter().zip(&uses).enumerate() {
+            program
+                .link(format!("acc{k}"), (0, d), vec![(1, u)])
+                .unwrap();
+        }
+        (program, defs, uses)
+    }
+
+    #[test]
+    fn first_definition_pins_later_uses() {
+        let (program, _, uses) = accumulator_program();
+        let machine = Machine::raw(4);
+        let ps = schedule_program(
+            &program,
+            &machine,
+            &RawccScheduler::new(),
+            CrossRegionPolicy::FirstDefinition,
+        )
+        .unwrap();
+        assert_eq!(ps.schedules().len(), 2);
+        for (k, &u) in uses.iter().enumerate() {
+            let bound = ps.binding(&format!("acc{k}")).expect("bound");
+            assert_eq!(ps.schedules()[1].op(u).cluster, bound);
+        }
+        assert!(ps.total_cycles() > 0);
+    }
+
+    #[test]
+    fn schedules_validate_region_by_region() {
+        let (program, _, _) = accumulator_program();
+        let machine = Machine::raw(4);
+        let ps = schedule_program(
+            &program,
+            &machine,
+            &RawccScheduler::new(),
+            CrossRegionPolicy::FirstDefinition,
+        )
+        .unwrap();
+        // Region 1's pinned dag must be revalidated against its pins.
+        let mut pins = HashMap::new();
+        for v in program.values() {
+            for &(uu, ui) in v.uses() {
+                if uu == 1 {
+                    pins.insert(ui, (ps.binding(v.name()).unwrap(), v.name().to_string()));
+                }
+            }
+        }
+        let pinned = apply_pins(program.units()[1].dag(), &pins).unwrap();
+        validate(&pinned, &machine, &ps.schedules()[1]).unwrap();
+    }
+
+    #[test]
+    fn data_home_binds_everything_to_cluster_zero() {
+        let (program, _defs, _uses) = accumulator_program();
+        let machine = Machine::chorus_vliw(4);
+        let ps = schedule_program(
+            &program,
+            &machine,
+            &UasScheduler::new(),
+            CrossRegionPolicy::DataHome,
+        )
+        .unwrap();
+        // Every cross-region value is bound to the data-home cluster.
+        // (On Chorus preplacement is *soft*, so an individual def may
+        // still execute remotely for a penalty — the binding, not the
+        // issue slot, is the cross-region contract.)
+        for k in 0..4 {
+            assert_eq!(ps.binding(&format!("acc{k}")), Some(c(0)));
+        }
+        assert_eq!(ps.schedules().len(), 2);
+    }
+
+    #[test]
+    fn data_home_is_hard_on_raw() {
+        // On Raw preplacement is a hard constraint, so under the
+        // DataHome policy every def and use really executes on tile 0.
+        let (program, defs, uses) = accumulator_program();
+        // Rebuild without banked loads so the pins cannot conflict.
+        let mut b0 = DagBuilder::new();
+        let mut new_defs = Vec::new();
+        for _ in 0..defs.len() {
+            let ld = b0.instr(Opcode::Load);
+            let acc = b0.instr(Opcode::FAdd);
+            b0.edge(ld, acc).unwrap();
+            new_defs.push(acc);
+        }
+        let mut b1 = DagBuilder::new();
+        let mut new_uses = Vec::new();
+        for _ in 0..uses.len() {
+            new_uses.push(b1.instr(Opcode::FMul));
+        }
+        let sink = b1.instr(Opcode::FAdd);
+        for &u in &new_uses {
+            b1.edge(u, sink).unwrap();
+        }
+        let mut program2 = Program::new(vec![
+            SchedulingUnit::new("produce", b0.build().unwrap()),
+            SchedulingUnit::new("consume", b1.build().unwrap()),
+        ]);
+        for (k, (&d, &u)) in new_defs.iter().zip(&new_uses).enumerate() {
+            program2
+                .link(format!("acc{k}"), (0, d), vec![(1, u)])
+                .unwrap();
+        }
+        let _ = program;
+        let machine = Machine::raw(4);
+        let ps = schedule_program(
+            &program2,
+            &machine,
+            &RawccScheduler::new(),
+            CrossRegionPolicy::DataHome,
+        )
+        .unwrap();
+        for &d in &new_defs {
+            assert_eq!(ps.schedules()[0].op(d).cluster, c(0));
+        }
+        for &u in &new_uses {
+            assert_eq!(ps.schedules()[1].op(u).cluster, c(0));
+        }
+    }
+
+    #[test]
+    fn conflicting_pins_are_rejected() {
+        // A cross-region def that is itself a banked load away from the
+        // data home conflicts under DataHome on a hard machine... on
+        // chorus (soft) apply_pins still rejects the contradiction.
+        let mut b0 = DagBuilder::new();
+        let ld = b0.preplaced_instr(Opcode::Load, c(2));
+        let mut b1 = DagBuilder::new();
+        let u = b1.instr(Opcode::FMul);
+        let mut program = Program::new(vec![
+            SchedulingUnit::new("r0", b0.build().unwrap()),
+            SchedulingUnit::new("r1", b1.build().unwrap()),
+        ]);
+        program.link("v", (0, ld), vec![(1, u)]).unwrap();
+        let machine = Machine::chorus_vliw(4);
+        let err = schedule_program(
+            &program,
+            &machine,
+            &UasScheduler::new(),
+            CrossRegionPolicy::DataHome,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScheduleError::PreplacementConflict { .. }));
+    }
+}

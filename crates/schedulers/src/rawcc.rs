@@ -1,0 +1,429 @@
+//! Rawcc-style space-time scheduling: the Table 2 baseline.
+//!
+//! Rawcc (Lee et al., ASPLOS 1998) leverages multiprocessor task-graph
+//! techniques and assigns instructions in three steps:
+//!
+//! 1. **Clustering** — group instructions with little parallelism
+//!    between them into *virtual clusters*, zeroing the communication
+//!    cost inside a cluster (a dominant-sequence-clustering flavour:
+//!    each instruction joins the predecessor cluster that minimizes its
+//!    estimated start time, or starts a new cluster).
+//! 2. **Merging** — reduce the number of virtual clusters to the
+//!    machine's tile count, merging by edge affinity and load, and
+//!    never merging two clusters pinned to different homes.
+//! 3. **Placement** — map virtual clusters to tiles: pinned clusters
+//!    go to their home tile, the rest greedily minimize
+//!    communication-weighted hop distance.
+//!
+//! Temporal scheduling is the shared [`ListScheduler`], as in Rawcc.
+
+use convergent_ir::{ClusterId, Dag, InstrId};
+use convergent_machine::Machine;
+use convergent_sim::{Assignment, SpaceTimeSchedule};
+
+use crate::list::check_assignment;
+use crate::{ListScheduler, ScheduleError, Scheduler};
+
+/// The Rawcc-style baseline scheduler. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct RawccScheduler {
+    _private: (),
+}
+
+impl RawccScheduler {
+    /// Creates a Rawcc-style scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        RawccScheduler::default()
+    }
+
+    /// Computes the three-step cluster assignment without the final
+    /// list-scheduling pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] when the graph cannot be mapped to
+    /// the machine.
+    pub fn assign(&self, dag: &Dag, machine: &Machine) -> Result<Assignment, ScheduleError> {
+        let mut vcs = cluster_step(dag, machine)?;
+        merge_step(machine, &mut vcs);
+        let assignment = place_step(dag, machine, &vcs);
+        check_assignment(dag, machine, &assignment)?;
+        Ok(assignment)
+    }
+}
+
+impl Scheduler for RawccScheduler {
+    fn name(&self) -> &str {
+        "rawcc"
+    }
+
+    fn schedule(&self, dag: &Dag, machine: &Machine) -> Result<SpaceTimeSchedule, ScheduleError> {
+        let assignment = self.assign(dag, machine)?;
+        ListScheduler::new().schedule_with_cp(dag, machine, &assignment)
+    }
+}
+
+/// Virtual clusters under construction.
+#[derive(Clone, Debug)]
+struct VirtualClusters {
+    /// Virtual-cluster id per instruction.
+    of: Vec<usize>,
+    /// Live cluster ids (merging tombstones the losers).
+    alive: Vec<bool>,
+    /// Home tile constraint per virtual cluster, if any.
+    home: Vec<Option<ClusterId>>,
+    /// Member count per virtual cluster.
+    load: Vec<usize>,
+}
+
+impl VirtualClusters {
+    fn n_alive(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+}
+
+/// Step 1: DSC-flavoured clustering.
+///
+/// Joining a predecessor's cluster zeroes the communication cost but
+/// serializes with that cluster's other work, so the start-time
+/// estimate accounts for single-issue occupancy (`free[vc]`): a
+/// cluster that is already busy at the instruction's data-ready time
+/// is less attractive than paying for communication — this is what
+/// lets clustering *discover* parallelism (DSC's core idea) instead of
+/// greedily collapsing everything onto one tile.
+fn cluster_step(dag: &Dag, machine: &Machine) -> Result<VirtualClusters, ScheduleError> {
+    // Estimated communication cost between clusters (the clustering
+    // abstraction: uniform cost, zero inside a cluster).
+    let comm = machine
+        .comm()
+        .latency_for_hops(1);
+    let n = dag.len();
+    let mut vc_of: Vec<usize> = vec![usize::MAX; n];
+    let mut home: Vec<Option<ClusterId>> = Vec::new();
+    let mut load: Vec<usize> = Vec::new();
+    let mut est: Vec<u32> = vec![0; n];
+    // Earliest issue slot still free on each virtual cluster, under a
+    // one-op-per-cycle occupancy approximation.
+    let mut free: Vec<u32> = Vec::new();
+
+    for &i in dag.topo_order() {
+        let instr = dag.instr(i);
+        if let Some(h) = instr.preplacement() {
+            if h.index() >= machine.n_clusters() {
+                return Err(ScheduleError::BadHomeCluster { instr: i, home: h });
+            }
+        }
+        if !machine
+            .cluster_ids()
+            .any(|c| machine.cluster_can_execute(c, instr.class()))
+        {
+            return Err(ScheduleError::NoCapableCluster(i));
+        }
+        let my_home = instr.preplacement();
+        let finish =
+            |p: InstrId, est: &[u32]| est[p.index()] + machine.latency_of(dag.instr(p));
+        // Start time if i joins virtual cluster vc: data arrival plus
+        // waiting for the cluster's issue slot.
+        let est_in = |vc: usize, est: &[u32], free: &[u32]| -> u32 {
+            let data = dag
+                .preds(i)
+                .iter()
+                .map(|&p| {
+                    let cost = if vc_of[p.index()] == vc { 0 } else { comm };
+                    finish(p, est) + cost
+                })
+                .max()
+                .unwrap_or(0);
+            data.max(free[vc])
+        };
+        let est_new: u32 = dag
+            .preds(i)
+            .iter()
+            .map(|&p| finish(p, &est) + comm)
+            .max()
+            .unwrap_or(0);
+
+        let compatible = |vc: usize| match (home[vc], my_home) {
+            (Some(a), Some(b)) => a == b,
+            _ => true,
+        };
+        // Candidate clusters: those of predecessors (joining anything
+        // else is never better than a fresh cluster).
+        let mut cand: Vec<usize> = dag
+            .preds(i)
+            .iter()
+            .map(|&p| vc_of[p.index()])
+            .filter(|&vc| compatible(vc))
+            .collect();
+        cand.sort_unstable();
+        cand.dedup();
+        let best = cand
+            .into_iter()
+            .map(|vc| (est_in(vc, &est, &free), load[vc], vc))
+            .min();
+        match best {
+            Some((e, _, vc)) if e <= est_new => {
+                vc_of[i.index()] = vc;
+                est[i.index()] = e;
+                load[vc] += 1;
+                free[vc] = e + 1;
+                if home[vc].is_none() {
+                    home[vc] = my_home;
+                }
+            }
+            _ => {
+                let vc = home.len();
+                home.push(my_home);
+                load.push(1);
+                free.push(est_new + 1);
+                vc_of[i.index()] = vc;
+                est[i.index()] = est_new;
+            }
+        }
+    }
+    let alive = vec![true; home.len()];
+    Ok(VirtualClusters {
+        of: vc_of,
+        alive,
+        home,
+        load,
+    })
+}
+
+/// Edge counts between virtual clusters.
+fn affinity(dag: &Dag, vcs: &VirtualClusters, a: usize, b: usize) -> usize {
+    dag.edges()
+        .filter(|e| {
+            let (x, y) = (vcs.of[e.src.index()], vcs.of[e.dst.index()]);
+            (x == a && y == b) || (x == b && y == a)
+        })
+        .count()
+}
+
+fn merge_into(vcs: &mut VirtualClusters, winner: usize, loser: usize) {
+    for slot in &mut vcs.of {
+        if *slot == loser {
+            *slot = winner;
+        }
+    }
+    vcs.load[winner] += vcs.load[loser];
+    vcs.load[loser] = 0;
+    vcs.alive[loser] = false;
+    if vcs.home[winner].is_none() {
+        vcs.home[winner] = vcs.home[loser];
+    }
+}
+
+/// Step 2: merge to at most the machine's cluster count.
+fn merge_step(machine: &Machine, vcs: &mut VirtualClusters) {
+    let target = machine.n_clusters();
+    // First merge clusters sharing the same home: on hard machines
+    // they must coexist on one tile anyway.
+    for c in machine.cluster_ids() {
+        let mut homed: Vec<usize> = (0..vcs.home.len())
+            .filter(|&vc| vcs.alive[vc] && vcs.home[vc] == Some(c))
+            .collect();
+        if let Some(&first) = homed.first() {
+            for &other in &homed[1..] {
+                merge_into(vcs, first, other);
+            }
+            homed.truncate(1);
+        }
+    }
+    while vcs.n_alive() > target {
+        // Rawcc's merging phase "reduces the number of clusters
+        // through merging" driven by load balance: the two smallest
+        // compatible clusters merge. (Communication between clusters
+        // is placement's problem in Rawcc's phase ordering — this is
+        // precisely the kind of early, locally-blind decision the
+        // convergent-scheduling paper contrasts itself against.)
+        let alive: Vec<usize> = (0..vcs.home.len()).filter(|&vc| vcs.alive[vc]).collect();
+        let &small = alive
+            .iter()
+            .min_by_key(|&&vc| (vcs.load[vc], vc))
+            .expect("n_alive > target >= 1");
+        let partner = alive
+            .iter()
+            .copied()
+            .filter(|&vc| vc != small)
+            .filter(|&vc| match (vcs.home[vc], vcs.home[small]) {
+                (Some(a), Some(b)) => a == b,
+                _ => true,
+            })
+            .min_by_key(|&vc| (vcs.load[vc], vc));
+        match partner {
+            Some(p) => {
+                // Keep the homed one as winner so the pin survives.
+                if vcs.home[small].is_some() && vcs.home[p].is_none() {
+                    merge_into(vcs, small, p);
+                } else {
+                    merge_into(vcs, p, small);
+                }
+            }
+            None => break, // everything left is pinned apart
+        }
+    }
+}
+
+/// Step 3: map virtual clusters to physical clusters.
+fn place_step(dag: &Dag, machine: &Machine, vcs: &VirtualClusters) -> Assignment {
+    let n_phys = machine.n_clusters();
+    let alive: Vec<usize> = (0..vcs.home.len()).filter(|&vc| vcs.alive[vc]).collect();
+    let mut phys_of: Vec<Option<ClusterId>> = vec![None; vcs.home.len()];
+    let mut used = vec![false; n_phys];
+    // Pinned clusters first.
+    for &vc in &alive {
+        if let Some(h) = vcs.home[vc] {
+            phys_of[vc] = Some(h);
+            used[h.index()] = true;
+        }
+    }
+    // Others: heaviest first, minimizing hop-weighted affinity to the
+    // already placed.
+    let mut rest: Vec<usize> = alive
+        .iter()
+        .copied()
+        .filter(|&vc| phys_of[vc].is_none())
+        .collect();
+    rest.sort_by_key(|&vc| (std::cmp::Reverse(vcs.load[vc]), vc));
+    for vc in rest {
+        let candidates: Vec<ClusterId> = machine
+            .cluster_ids()
+            .filter(|c| !used[c.index()])
+            .collect();
+        let pool = if candidates.is_empty() {
+            machine.cluster_ids().collect::<Vec<_>>()
+        } else {
+            candidates
+        };
+        let best = pool
+            .into_iter()
+            .min_by_key(|&c| {
+                let cost: u32 = alive
+                    .iter()
+                    .filter_map(|&other| phys_of[other].map(|pc| (other, pc)))
+                    .map(|(other, pc)| {
+                        affinity(dag, vcs, vc, other) as u32 * machine.hops(c, pc)
+                    })
+                    .sum();
+                (cost, c)
+            })
+            .expect("machine has clusters");
+        phys_of[vc] = Some(best);
+        used[best.index()] = true;
+    }
+    dag.ids()
+        .map(|i| phys_of[vcs.of[i.index()]].expect("all virtual clusters placed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convergent_ir::{DagBuilder, Opcode};
+    use convergent_sim::validate;
+
+    fn c(i: u16) -> ClusterId {
+        ClusterId::new(i)
+    }
+
+    #[test]
+    fn chain_collapses_to_one_cluster() {
+        let mut b = DagBuilder::new();
+        let mut prev = b.instr(Opcode::IntAlu);
+        for _ in 0..7 {
+            let nxt = b.instr(Opcode::IntAlu);
+            b.edge(prev, nxt).unwrap();
+            prev = nxt;
+        }
+        let dag = b.build().unwrap();
+        let m = Machine::raw(4);
+        let asg = RawccScheduler::new().assign(&dag, &m).unwrap();
+        assert_eq!(asg.cut_edges(&dag), 0);
+    }
+
+    #[test]
+    fn independent_chains_get_separate_tiles() {
+        let mut b = DagBuilder::new();
+        for _ in 0..4 {
+            let mut prev = b.instr(Opcode::IntAlu);
+            for _ in 0..5 {
+                let nxt = b.instr(Opcode::IntAlu);
+                b.edge(prev, nxt).unwrap();
+                prev = nxt;
+            }
+        }
+        let dag = b.build().unwrap();
+        let m = Machine::raw(4);
+        let asg = RawccScheduler::new().assign(&dag, &m).unwrap();
+        let loads = asg.loads(4);
+        assert_eq!(loads, vec![6, 6, 6, 6]);
+        assert_eq!(asg.cut_edges(&dag), 0);
+    }
+
+    #[test]
+    fn preplacement_pins_virtual_clusters() {
+        let mut b = DagBuilder::new();
+        let l0 = b.preplaced_instr(Opcode::Load, c(0));
+        let l3 = b.preplaced_instr(Opcode::Load, c(3));
+        let a0 = b.instr(Opcode::IntAlu);
+        let a3 = b.instr(Opcode::IntAlu);
+        b.edge(l0, a0).unwrap();
+        b.edge(l3, a3).unwrap();
+        let dag = b.build().unwrap();
+        let m = Machine::raw(4);
+        let asg = RawccScheduler::new().assign(&dag, &m).unwrap();
+        assert!(asg.respects_preplacement(&dag));
+        // Dependents follow their producers' home tiles.
+        assert_eq!(asg.cluster(a0), c(0));
+        assert_eq!(asg.cluster(a3), c(3));
+    }
+
+    #[test]
+    fn merging_reaches_machine_size() {
+        // 10 independent instructions = 10 virtual clusters on a
+        // 2-tile machine: merging must get down to <= 2.
+        let mut b = DagBuilder::new();
+        for _ in 0..10 {
+            b.instr(Opcode::IntAlu);
+        }
+        let dag = b.build().unwrap();
+        let m = Machine::raw(2);
+        let asg = RawccScheduler::new().assign(&dag, &m).unwrap();
+        let loads = asg.loads(2);
+        assert_eq!(loads.iter().sum::<usize>(), 10);
+        assert!(loads.iter().all(|&l| l > 0));
+    }
+
+    #[test]
+    fn full_schedule_validates() {
+        let mut b = DagBuilder::new();
+        let mut sums = Vec::new();
+        for k in 0..4u16 {
+            let ld = b.preplaced_instr(Opcode::Load, c(k));
+            let mu = b.instr(Opcode::FMul);
+            b.edge(ld, mu).unwrap();
+            sums.push(mu);
+        }
+        let s1 = b.instr(Opcode::FAdd);
+        b.edge(sums[0], s1).unwrap();
+        b.edge(sums[1], s1).unwrap();
+        let s2 = b.instr(Opcode::FAdd);
+        b.edge(sums[2], s2).unwrap();
+        b.edge(sums[3], s2).unwrap();
+        let s3 = b.instr(Opcode::FAdd);
+        b.edge(s1, s3).unwrap();
+        b.edge(s2, s3).unwrap();
+        let dag = b.build().unwrap();
+        for m in [Machine::raw(4), Machine::chorus_vliw(4)] {
+            let s = RawccScheduler::new().schedule(&dag, &m).unwrap();
+            validate(&dag, &m, &s).unwrap();
+        }
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(RawccScheduler::new().name(), "rawcc");
+    }
+}

@@ -1,0 +1,155 @@
+//! Spatial assignments: instruction → cluster maps.
+
+use convergent_ir::{ClusterId, Dag, InstrId};
+
+/// A complete instruction-to-cluster assignment for one DAG.
+///
+/// This is the interface between assignment techniques (convergent
+/// scheduling, PCC, Rawcc clustering, BUG) and the shared list
+/// scheduler: whoever produces the `Assignment`, the same machinery
+/// turns it into a [`crate::SpaceTimeSchedule`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    clusters: Vec<ClusterId>,
+}
+
+impl Assignment {
+    /// Creates an assignment placing every instruction on `cluster`.
+    #[must_use]
+    pub fn uniform(n_instrs: usize, cluster: ClusterId) -> Self {
+        Assignment {
+            clusters: vec![cluster; n_instrs],
+        }
+    }
+
+    /// Creates an assignment from a per-instruction cluster vector
+    /// (indexed by instruction id).
+    #[must_use]
+    pub fn from_vec(clusters: Vec<ClusterId>) -> Self {
+        Assignment { clusters }
+    }
+
+    /// Number of instructions covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Returns `true` if the assignment covers no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The cluster assigned to instruction `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn cluster(&self, i: InstrId) -> ClusterId {
+        self.clusters[i.index()]
+    }
+
+    /// Reassigns instruction `i` to `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: InstrId, cluster: ClusterId) {
+        self.clusters[i.index()] = cluster;
+    }
+
+    /// Per-instruction clusters, indexed by instruction id.
+    #[must_use]
+    pub fn as_slice(&self) -> &[ClusterId] {
+        &self.clusters
+    }
+
+    /// Number of instructions assigned to each cluster, indexed by
+    /// cluster id (length `n_clusters`).
+    #[must_use]
+    pub fn loads(&self, n_clusters: usize) -> Vec<usize> {
+        let mut loads = vec![0usize; n_clusters];
+        for c in &self.clusters {
+            loads[c.index()] += 1;
+        }
+        loads
+    }
+
+    /// Number of dependence edges that cross clusters under this
+    /// assignment — the communication volume a schedule will pay for.
+    #[must_use]
+    pub fn cut_edges(&self, dag: &Dag) -> usize {
+        dag.edges()
+            .filter(|e| self.cluster(e.src) != self.cluster(e.dst))
+            .count()
+    }
+
+    /// Returns `true` if every preplaced instruction in `dag` sits on
+    /// its home cluster.
+    #[must_use]
+    pub fn respects_preplacement(&self, dag: &Dag) -> bool {
+        dag.preplaced().all(|i| {
+            dag.instr(i)
+                .preplacement()
+                .is_some_and(|home| self.cluster(i) == home)
+        })
+    }
+}
+
+impl FromIterator<ClusterId> for Assignment {
+    fn from_iter<T: IntoIterator<Item = ClusterId>>(iter: T) -> Self {
+        Assignment {
+            clusters: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convergent_ir::{DagBuilder, Opcode};
+
+    fn pair_dag() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.preplaced_instr(Opcode::Load, ClusterId::new(1));
+        let c = b.instr(Opcode::IntAlu);
+        b.edge(a, c).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn uniform_and_set() {
+        let mut a = Assignment::uniform(3, ClusterId::new(0));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        a.set(InstrId::new(1), ClusterId::new(2));
+        assert_eq!(a.cluster(InstrId::new(1)), ClusterId::new(2));
+        assert_eq!(a.loads(3), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn cut_edges_counts_cross_cluster_deps() {
+        let dag = pair_dag();
+        let same = Assignment::uniform(2, ClusterId::new(1));
+        assert_eq!(same.cut_edges(&dag), 0);
+        let split = Assignment::from_vec(vec![ClusterId::new(1), ClusterId::new(0)]);
+        assert_eq!(split.cut_edges(&dag), 1);
+    }
+
+    #[test]
+    fn preplacement_check() {
+        let dag = pair_dag();
+        let good = Assignment::uniform(2, ClusterId::new(1));
+        assert!(good.respects_preplacement(&dag));
+        let bad = Assignment::uniform(2, ClusterId::new(0));
+        assert!(!bad.respects_preplacement(&dag));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let a: Assignment = (0..4u16).map(ClusterId::new).collect();
+        assert_eq!(a.cluster(InstrId::new(3)), ClusterId::new(3));
+    }
+}

@@ -1,0 +1,191 @@
+//! Errors and validation violations.
+
+use std::error::Error;
+use std::fmt;
+
+use convergent_ir::{ClusterId, Cycle, InstrId};
+
+/// A single way a schedule breaks the rules of its machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// An instruction was never placed.
+    Unplaced(InstrId),
+    /// A consumer starts before its producer's value can reach it.
+    DependenceViolated {
+        /// Producer instruction.
+        producer: InstrId,
+        /// Consumer instruction.
+        consumer: InstrId,
+        /// Earliest cycle the value is available at the consumer.
+        available: Cycle,
+        /// Cycle the consumer actually starts.
+        start: Cycle,
+    },
+    /// Two operations claim the same functional-unit issue slot.
+    ResourceConflict {
+        /// Cluster where the conflict happens.
+        cluster: ClusterId,
+        /// Functional-unit index within the cluster.
+        fu: usize,
+        /// Conflicting cycle.
+        cycle: Cycle,
+    },
+    /// An instruction was placed on a cluster that cannot execute it.
+    IncapableCluster {
+        /// The misplaced instruction.
+        instr: InstrId,
+        /// Where it was placed.
+        cluster: ClusterId,
+    },
+    /// A preplaced instruction sits away from its home cluster on a
+    /// machine where preplacement is a hard constraint.
+    PreplacementViolated {
+        /// The misplaced instruction.
+        instr: InstrId,
+        /// Required home cluster.
+        home: ClusterId,
+        /// Where it was actually placed.
+        actual: ClusterId,
+    },
+    /// A cross-cluster dependence has no communication operation
+    /// carrying the value.
+    MissingComm {
+        /// Producer instruction.
+        producer: InstrId,
+        /// Consumer instruction.
+        consumer: InstrId,
+    },
+    /// A communication op departs before its value is produced.
+    CommTooEarly {
+        /// Producer instruction whose value is transferred.
+        producer: InstrId,
+        /// Cycle the transfer starts.
+        start: Cycle,
+        /// Cycle the value is first available at the source.
+        ready: Cycle,
+    },
+    /// A functional-unit index does not exist on the target cluster.
+    BadFuIndex {
+        /// The instruction with the bad index.
+        instr: InstrId,
+        /// The out-of-range index.
+        fu: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Unplaced(i) => write!(f, "instruction {i} was never placed"),
+            Violation::DependenceViolated {
+                producer,
+                consumer,
+                available,
+                start,
+            } => write!(
+                f,
+                "consumer {consumer} starts at {start} but {producer}'s value arrives at {available}"
+            ),
+            Violation::ResourceConflict { cluster, fu, cycle } => {
+                write!(f, "two ops issue on {cluster} fu{fu} at {cycle}")
+            }
+            Violation::IncapableCluster { instr, cluster } => {
+                write!(f, "instruction {instr} cannot execute on {cluster}")
+            }
+            Violation::PreplacementViolated {
+                instr,
+                home,
+                actual,
+            } => write!(
+                f,
+                "preplaced instruction {instr} must run on {home} but was placed on {actual}"
+            ),
+            Violation::MissingComm { producer, consumer } => write!(
+                f,
+                "no communication carries {producer}'s value to {consumer}'s cluster"
+            ),
+            Violation::CommTooEarly {
+                producer,
+                start,
+                ready,
+            } => write!(
+                f,
+                "transfer of {producer}'s value starts at {start} before it is ready at {ready}"
+            ),
+            Violation::BadFuIndex { instr, fu } => {
+                write!(f, "instruction {instr} uses nonexistent fu index {fu}")
+            }
+        }
+    }
+}
+
+/// Top-level error for schedule construction and validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Validation found one or more rule violations.
+    Invalid(Vec<Violation>),
+    /// The schedule covers a different number of instructions than the
+    /// graph.
+    SizeMismatch {
+        /// Instructions in the graph.
+        expected: usize,
+        /// Instructions in the schedule.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Invalid(v) => {
+                write!(f, "schedule is invalid ({} violations; first: ", v.len())?;
+                match v.first() {
+                    Some(first) => write!(f, "{first})"),
+                    None => write!(f, "none)"),
+                }
+            }
+            SimError::SizeMismatch { expected, actual } => {
+                write!(f, "schedule has {actual} instructions, graph has {expected}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_messages_are_informative() {
+        let v = Violation::DependenceViolated {
+            producer: InstrId::new(0),
+            consumer: InstrId::new(1),
+            available: Cycle::new(5),
+            start: Cycle::new(3),
+        };
+        let s = v.to_string();
+        assert!(s.contains("i0") && s.contains("i1") && s.contains("t5") && s.contains("t3"));
+    }
+
+    #[test]
+    fn sim_error_display() {
+        let e = SimError::Invalid(vec![Violation::Unplaced(InstrId::new(7))]);
+        assert!(e.to_string().contains("1 violations"));
+        assert!(e.to_string().contains("i7"));
+        let e = SimError::SizeMismatch {
+            expected: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<SimError>();
+    }
+}

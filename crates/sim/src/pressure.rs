@@ -1,0 +1,260 @@
+//! Register-pressure analysis of finished schedules.
+//!
+//! "Code sequences that expose more instruction level parallelism
+//! also have longer live ranges and higher register pressure. To
+//! generate good schedules, the instruction scheduler must somehow
+//! exploit as much ILP as possible without leading to a large number
+//! of register spills." — Section 1.
+//!
+//! [`analyze_pressure`] reconstructs the live range of every produced
+//! value on every cluster it visits (its producer's cluster from
+//! production until its last local use or outgoing transfer; each
+//! consumer cluster from the value's arrival until its last use
+//! there), sweeps the cluster's timeline, and — where more values are
+//! simultaneously live than the register file holds — charges Belady
+//! spills (evict the value with the furthest next use; one store at
+//! eviction plus one reload before the next use).
+
+use std::collections::HashMap;
+
+use convergent_ir::{Dag, InstrId, OpClass};
+use convergent_machine::Machine;
+
+use crate::SpaceTimeSchedule;
+
+/// Register behaviour of one schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PressureReport {
+    /// Peak simultaneous live values per cluster.
+    pub peak: Vec<u32>,
+    /// Estimated spill pairs (store + reload) per cluster.
+    pub spills: Vec<u32>,
+    /// Estimated extra memory cycles spent spilling (store + reload
+    /// latency per spill).
+    pub spill_cycles: u32,
+}
+
+impl PressureReport {
+    /// Highest per-cluster peak.
+    #[must_use]
+    pub fn max_peak(&self) -> u32 {
+        self.peak.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total spill pairs across clusters.
+    #[must_use]
+    pub fn total_spills(&self) -> u32 {
+        self.spills.iter().sum()
+    }
+
+    /// Returns `true` if the schedule fits the register files without
+    /// spilling.
+    #[must_use]
+    pub fn fits(&self) -> bool {
+        self.total_spills() == 0
+    }
+}
+
+/// A value's residency on one cluster: `[from, to)` with the cycle of
+/// each use (for Belady distances).
+#[derive(Clone, Debug)]
+struct Residency {
+    from: u32,
+    to: u32,
+    uses: Vec<u32>,
+}
+
+/// Computes the register-pressure report for a (validated) schedule.
+#[must_use]
+pub fn analyze_pressure(
+    dag: &Dag,
+    machine: &Machine,
+    schedule: &SpaceTimeSchedule,
+) -> PressureReport {
+    let n_clusters = machine.n_clusters();
+    // (producer, cluster) → residency under construction.
+    let mut res: HashMap<(InstrId, usize), Residency> = HashMap::new();
+
+    for p in dag.ids() {
+        if dag.succs(p).is_empty() {
+            continue; // stores/branches produce no register value
+        }
+        let p_op = schedule.op(p);
+        let home = p_op.cluster.index();
+        res.insert(
+            (p, home),
+            Residency {
+                from: p_op.finish().get(),
+                to: p_op.finish().get(),
+                uses: Vec::new(),
+            },
+        );
+        // Outgoing transfers keep the value live at home until the
+        // last departure, and resident at each destination from
+        // arrival.
+        for comm in schedule.comms_for(p) {
+            let entry = res
+                .get_mut(&(p, home))
+                .expect("home residency inserted above");
+            entry.to = entry.to.max(comm.start.get() + 1);
+            entry.uses.push(comm.start.get());
+            res.entry((p, comm.to.index())).or_insert(Residency {
+                from: comm.arrival().get(),
+                to: comm.arrival().get(),
+                uses: Vec::new(),
+            });
+        }
+        for &u in dag.succs(p) {
+            let u_op = schedule.op(u);
+            let uc = u_op.cluster.index();
+            let entry = res
+                .entry((p, uc))
+                .or_insert(Residency {
+                    // No explicit transfer (validation would flag a
+                    // true violation); treat as arriving at use time.
+                    from: u_op.start.get(),
+                    to: u_op.start.get(),
+                    uses: Vec::new(),
+                });
+            entry.to = entry.to.max(u_op.start.get() + 1);
+            entry.uses.push(u_op.start.get());
+        }
+    }
+
+    // Per-cluster sweep with Belady eviction.
+    let regs = machine.registers_per_cluster();
+    let spill_cost = machine.latency(OpClass::Store) + machine.latency(OpClass::Load);
+    let mut peak = vec![0u32; n_clusters];
+    let mut spills = vec![0u32; n_clusters];
+    let mut spill_cycles = 0u32;
+    for c in 0..n_clusters {
+        let mut intervals: Vec<&Residency> = res
+            .iter()
+            .filter(|((_, rc), r)| *rc == c && r.to > r.from)
+            .map(|(_, r)| r)
+            .collect();
+        intervals.sort_by_key(|r| (r.from, r.to));
+        // Event sweep: active set of (end, sorted future uses).
+        let mut active: Vec<(&Residency, usize)> = Vec::new(); // (residency, next-use cursor)
+        for r in &intervals {
+            let t = r.from;
+            active.retain(|(a, _)| a.to > t);
+            for slot in &mut active {
+                while slot.1 < slot.0.uses.len() && slot.0.uses[slot.1] < t {
+                    slot.1 += 1;
+                }
+            }
+            active.push((r, 0));
+            peak[c] = peak[c].max(active.len() as u32);
+            if active.len() as u32 > regs {
+                // Belady: evict the value whose next use is furthest.
+                let victim = active
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, (a, cursor))| {
+                        a.uses.get(*cursor).copied().unwrap_or(a.to)
+                    })
+                    .map(|(k, _)| k)
+                    .expect("active is non-empty");
+                active.swap_remove(victim);
+                spills[c] += 1;
+                spill_cycles += spill_cost;
+            }
+        }
+    }
+
+    PressureReport {
+        peak,
+        spills,
+        spill_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScheduleBuilder;
+    use convergent_ir::{ClusterId, Cycle, DagBuilder, Opcode};
+
+    fn c(k: u16) -> ClusterId {
+        ClusterId::new(k)
+    }
+
+    /// n producers at t=0.., one consumer of all of them at the end:
+    /// all n values are simultaneously live just before the consumer.
+    fn fan_in(n: usize) -> (Dag, SpaceTimeSchedule, Machine) {
+        let mut b = DagBuilder::new();
+        let producers: Vec<_> = (0..n).map(|_| b.instr(Opcode::IntAlu)).collect();
+        let sink = b.instr(Opcode::IntAlu);
+        for &p in &producers {
+            b.edge(p, sink).unwrap();
+        }
+        let dag = b.build().unwrap();
+        let m = Machine::raw(1).with_registers_per_cluster(4);
+        let mut sb = ScheduleBuilder::new(&dag);
+        for (k, &p) in producers.iter().enumerate() {
+            sb.place(p, c(0), 0, Cycle::new(k as u32));
+        }
+        sb.place(sink, c(0), 0, Cycle::new(n as u32));
+        let s = sb.build(&m).unwrap();
+        (dag, s, m)
+    }
+
+    #[test]
+    fn peak_counts_simultaneously_live_values() {
+        let (dag, s, m) = fan_in(3);
+        let r = analyze_pressure(&dag, &m, &s);
+        assert_eq!(r.peak, vec![3]);
+        assert!(r.fits());
+        assert_eq!(r.total_spills(), 0);
+    }
+
+    #[test]
+    fn overflow_charges_belady_spills() {
+        let (dag, s, m) = fan_in(6); // 6 live values, 4 registers
+        let r = analyze_pressure(&dag, &m, &s);
+        assert_eq!(r.max_peak(), 5); // eviction keeps active ≤ regs+1 transiently
+        assert_eq!(r.total_spills(), 2);
+        assert_eq!(r.spill_cycles, 2 * (1 + 3)); // store 1 + load 3, per spill
+        assert!(!r.fits());
+    }
+
+    #[test]
+    fn serial_chain_has_tiny_pressure() {
+        let mut b = DagBuilder::new();
+        let mut prev = b.instr(Opcode::IntAlu);
+        for _ in 0..9 {
+            let nxt = b.instr(Opcode::IntAlu);
+            b.edge(prev, nxt).unwrap();
+            prev = nxt;
+        }
+        let dag = b.build().unwrap();
+        let m = Machine::raw(1);
+        let mut sb = ScheduleBuilder::new(&dag);
+        for (k, i) in dag.ids().enumerate() {
+            sb.place(i, c(0), 0, Cycle::new(k as u32));
+        }
+        let s = sb.build(&m).unwrap();
+        let r = analyze_pressure(&dag, &m, &s);
+        assert!(r.max_peak() <= 2, "{r:?}");
+        assert!(r.fits());
+    }
+
+    #[test]
+    fn transfers_extend_liveness_to_both_clusters() {
+        let mut b = DagBuilder::new();
+        let p = b.instr(Opcode::IntAlu);
+        let u = b.instr(Opcode::IntAlu);
+        b.edge(p, u).unwrap();
+        let dag = b.build().unwrap();
+        let m = Machine::chorus_vliw(2);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(p, c(0), 0, Cycle::ZERO);
+        sb.comm(p, c(0), c(1), Cycle::new(1), Some(3));
+        sb.place(u, c(1), 0, Cycle::new(2));
+        let s = sb.build(&m).unwrap();
+        let r = analyze_pressure(&dag, &m, &s);
+        // Live on both clusters at some point.
+        assert_eq!(r.peak, vec![1, 1]);
+    }
+}

@@ -1,0 +1,300 @@
+//! Space-time schedules: the output every scheduler produces.
+
+use convergent_ir::{ClusterId, Cycle, Dag, InstrId};
+use convergent_machine::Machine;
+
+use crate::{effective_latency_in, SimError};
+
+/// One instruction placed in space and time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlacedOp {
+    /// The placed instruction.
+    pub instr: InstrId,
+    /// Cluster it executes on.
+    pub cluster: ClusterId,
+    /// Functional-unit (issue-slot) index within the cluster.
+    pub fu: usize,
+    /// Issue cycle.
+    pub start: Cycle,
+    /// Effective latency on that cluster (base + any remote-memory
+    /// penalty), captured at build time.
+    pub latency: u32,
+}
+
+impl PlacedOp {
+    /// First cycle the result is available on the executing cluster.
+    #[must_use]
+    pub fn finish(&self) -> Cycle {
+        self.start + self.latency
+    }
+}
+
+/// One communication operation moving a produced value between
+/// clusters.
+///
+/// On a clustered VLIW this is an explicit register copy occupying a
+/// transfer unit (`fu = Some(index)` on the *source* cluster); on Raw's
+/// register-mapped static network it is a route with no issue-slot cost
+/// (`fu = None`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommOp {
+    /// Instruction whose value is being moved.
+    pub producer: InstrId,
+    /// Source cluster.
+    pub from: ClusterId,
+    /// Destination cluster.
+    pub to: ClusterId,
+    /// Cycle the transfer is injected.
+    pub start: Cycle,
+    /// Transfer latency (machine comm latency for the hop count).
+    pub latency: u32,
+    /// Issue slot on the source cluster, if the transfer occupies one.
+    pub fu: Option<usize>,
+}
+
+impl CommOp {
+    /// First cycle the value is available on the destination cluster.
+    #[must_use]
+    pub fn arrival(&self) -> Cycle {
+        self.start + self.latency
+    }
+}
+
+/// A complete schedule: every instruction placed, plus the
+/// communication operations that carry values across clusters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpaceTimeSchedule {
+    ops: Vec<PlacedOp>,
+    comms: Vec<CommOp>,
+    makespan: Cycle,
+}
+
+impl SpaceTimeSchedule {
+    /// The placement of instruction `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn op(&self, i: InstrId) -> &PlacedOp {
+        &self.ops[i.index()]
+    }
+
+    /// All placements, indexed by instruction id.
+    #[must_use]
+    pub fn ops(&self) -> &[PlacedOp] {
+        &self.ops
+    }
+
+    /// All communication operations, in insertion order.
+    #[must_use]
+    pub fn comms(&self) -> &[CommOp] {
+        &self.comms
+    }
+
+    /// Communication ops carrying `producer`'s value.
+    pub fn comms_for(&self, producer: InstrId) -> impl Iterator<Item = &CommOp> + '_ {
+        self.comms.iter().filter(move |c| c.producer == producer)
+    }
+
+    /// Total cycles: the cycle after the last finish or arrival.
+    #[must_use]
+    pub fn makespan(&self) -> Cycle {
+        self.makespan
+    }
+
+    /// The spatial assignment implied by this schedule.
+    #[must_use]
+    pub fn assignment(&self) -> crate::Assignment {
+        self.ops.iter().map(|op| op.cluster).collect()
+    }
+
+    /// Number of cross-cluster transfers.
+    #[must_use]
+    pub fn comm_count(&self) -> usize {
+        self.comms.len()
+    }
+}
+
+/// Incremental builder for [`SpaceTimeSchedule`].
+///
+/// Schedulers call [`ScheduleBuilder::place`] once per instruction and
+/// [`ScheduleBuilder::comm`] for every transfer they insert, then
+/// [`ScheduleBuilder::build`] to freeze the result. Effective latencies
+/// are computed at build time from the machine model.
+#[derive(Debug)]
+pub struct ScheduleBuilder<'a> {
+    dag: &'a Dag,
+    placed: Vec<Option<(ClusterId, usize, Cycle)>>,
+    comms: Vec<(InstrId, ClusterId, ClusterId, Cycle, Option<usize>)>,
+}
+
+impl<'a> ScheduleBuilder<'a> {
+    /// Creates a builder for scheduling `dag`.
+    #[must_use]
+    pub fn new(dag: &'a Dag) -> Self {
+        ScheduleBuilder {
+            dag,
+            placed: vec![None; dag.len()],
+            comms: Vec::new(),
+        }
+    }
+
+    /// Places instruction `i` on `cluster`, functional unit `fu`,
+    /// starting at `start`. Re-placing an instruction overwrites the
+    /// earlier placement.
+    pub fn place(&mut self, i: InstrId, cluster: ClusterId, fu: usize, start: Cycle) {
+        self.placed[i.index()] = Some((cluster, fu, start));
+    }
+
+    /// Returns `true` if instruction `i` has been placed.
+    #[must_use]
+    pub fn is_placed(&self, i: InstrId) -> bool {
+        self.placed[i.index()].is_some()
+    }
+
+    /// Records a transfer of `producer`'s value from `from` to `to`
+    /// injected at `start`, occupying issue slot `fu` on the source
+    /// cluster if given.
+    pub fn comm(
+        &mut self,
+        producer: InstrId,
+        from: ClusterId,
+        to: ClusterId,
+        start: Cycle,
+        fu: Option<usize>,
+    ) {
+        self.comms.push((producer, from, to, start, fu));
+    }
+
+    /// Freezes the schedule, computing per-op effective latencies and
+    /// the makespan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invalid`] listing every unplaced instruction
+    /// if any instruction was not placed.
+    pub fn build(self, machine: &Machine) -> Result<SpaceTimeSchedule, SimError> {
+        let mut missing = Vec::new();
+        let mut ops = Vec::with_capacity(self.dag.len());
+        for i in self.dag.ids() {
+            match self.placed[i.index()] {
+                Some((cluster, fu, start)) => {
+                    let latency = effective_latency_in(self.dag, machine, i, cluster);
+                    ops.push(PlacedOp {
+                        instr: i,
+                        cluster,
+                        fu,
+                        start,
+                        latency,
+                    });
+                }
+                None => missing.push(crate::Violation::Unplaced(i)),
+            }
+        }
+        if !missing.is_empty() {
+            return Err(SimError::Invalid(missing));
+        }
+        let comms: Vec<CommOp> = self
+            .comms
+            .into_iter()
+            .map(|(producer, from, to, start, fu)| CommOp {
+                producer,
+                from,
+                to,
+                start,
+                latency: machine.comm_latency(from, to),
+                fu,
+            })
+            .collect();
+        let op_end = ops.iter().map(PlacedOp::finish).max().unwrap_or(Cycle::ZERO);
+        let comm_end = comms.iter().map(CommOp::arrival).max().unwrap_or(Cycle::ZERO);
+        let makespan = op_end.max(comm_end);
+        Ok(SpaceTimeSchedule {
+            ops,
+            comms,
+            makespan,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convergent_ir::{DagBuilder, Opcode};
+
+    fn two_op_dag() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.instr(Opcode::Load);
+        let c = b.instr(Opcode::IntAlu);
+        b.edge(a, c).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_computes_latencies_and_makespan() {
+        let dag = two_op_dag();
+        let m = Machine::chorus_vliw(2);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(InstrId::new(0), ClusterId::new(0), 1, Cycle::ZERO);
+        sb.place(InstrId::new(1), ClusterId::new(0), 0, Cycle::new(3));
+        let s = sb.build(&m).unwrap();
+        assert_eq!(s.op(InstrId::new(0)).latency, 3); // load
+        assert_eq!(s.op(InstrId::new(0)).finish(), Cycle::new(3));
+        assert_eq!(s.makespan(), Cycle::new(4));
+        assert_eq!(s.comm_count(), 0);
+        assert_eq!(s.assignment().cluster(InstrId::new(1)), ClusterId::new(0));
+    }
+
+    #[test]
+    fn comm_extends_makespan() {
+        let dag = two_op_dag();
+        let m = Machine::chorus_vliw(2);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(InstrId::new(0), ClusterId::new(0), 1, Cycle::ZERO);
+        sb.place(InstrId::new(1), ClusterId::new(1), 0, Cycle::new(4));
+        sb.comm(
+            InstrId::new(0),
+            ClusterId::new(0),
+            ClusterId::new(1),
+            Cycle::new(3),
+            Some(3),
+        );
+        let s = sb.build(&m).unwrap();
+        let comm = &s.comms()[0];
+        assert_eq!(comm.latency, 1);
+        assert_eq!(comm.arrival(), Cycle::new(4));
+        assert_eq!(s.makespan(), Cycle::new(5));
+        assert_eq!(s.comms_for(InstrId::new(0)).count(), 1);
+        assert_eq!(s.comms_for(InstrId::new(1)).count(), 0);
+    }
+
+    #[test]
+    fn unplaced_instructions_are_reported() {
+        let dag = two_op_dag();
+        let m = Machine::chorus_vliw(2);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(InstrId::new(0), ClusterId::new(0), 0, Cycle::ZERO);
+        assert!(!sb.is_placed(InstrId::new(1)));
+        match sb.build(&m) {
+            Err(SimError::Invalid(v)) => {
+                assert_eq!(v, vec![crate::Violation::Unplaced(InstrId::new(1))]);
+            }
+            other => panic!("expected invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remote_memory_latency_captured() {
+        let mut b = DagBuilder::new();
+        let a = b.preplaced_instr(Opcode::Load, ClusterId::new(1));
+        let _ = a;
+        let dag = b.build().unwrap();
+        let m = Machine::chorus_vliw(2);
+        let mut sb = ScheduleBuilder::new(&dag);
+        // Placed away from home: base 3 + penalty 1.
+        sb.place(InstrId::new(0), ClusterId::new(0), 1, Cycle::ZERO);
+        let s = sb.build(&m).unwrap();
+        assert_eq!(s.op(InstrId::new(0)).latency, 4);
+    }
+}

@@ -1,0 +1,376 @@
+//! Schedule legality checking.
+//!
+//! [`validate`] is the single referee used by every test and experiment
+//! in the workspace: a schedule that passes is executable on the target
+//! machine — all dependences are satisfied through time and space, no
+//! issue slot is double-booked, and every hard placement constraint is
+//! honored.
+
+use std::collections::HashMap;
+
+use convergent_ir::{Cycle, Dag, InstrId};
+use convergent_machine::Machine;
+
+use crate::{SimError, SpaceTimeSchedule, Violation};
+
+/// Checks `schedule` against `dag` and `machine`.
+///
+/// # Errors
+///
+/// Returns [`SimError::SizeMismatch`] if the schedule covers a
+/// different number of instructions than the graph, and
+/// [`SimError::Invalid`] with the full list of [`Violation`]s if any
+/// rule is broken.
+pub fn validate(
+    dag: &Dag,
+    machine: &Machine,
+    schedule: &SpaceTimeSchedule,
+) -> Result<(), SimError> {
+    if schedule.ops().len() != dag.len() {
+        return Err(SimError::SizeMismatch {
+            expected: dag.len(),
+            actual: schedule.ops().len(),
+        });
+    }
+    let mut violations = Vec::new();
+
+    check_placements(dag, machine, schedule, &mut violations);
+    check_resources(machine, schedule, &mut violations);
+    check_dependences(dag, schedule, &mut violations);
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(SimError::Invalid(violations))
+    }
+}
+
+fn check_placements(
+    dag: &Dag,
+    machine: &Machine,
+    schedule: &SpaceTimeSchedule,
+    violations: &mut Vec<Violation>,
+) {
+    let hard = machine.memory().preplacement_is_hard();
+    for op in schedule.ops() {
+        let instr = dag.instr(op.instr);
+        if op.fu >= machine.cluster(op.cluster).issue_width() {
+            violations.push(Violation::BadFuIndex {
+                instr: op.instr,
+                fu: op.fu,
+            });
+            continue;
+        }
+        if !machine.cluster(op.cluster).fus()[op.fu].can_execute(instr.class()) {
+            violations.push(Violation::IncapableCluster {
+                instr: op.instr,
+                cluster: op.cluster,
+            });
+        }
+        if hard {
+            if let Some(home) = instr.preplacement() {
+                if home != op.cluster {
+                    violations.push(Violation::PreplacementViolated {
+                        instr: op.instr,
+                        home,
+                        actual: op.cluster,
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_resources(
+    machine: &Machine,
+    schedule: &SpaceTimeSchedule,
+    violations: &mut Vec<Violation>,
+) {
+    let mut slots: HashMap<(usize, usize, Cycle), u32> = HashMap::new();
+    for op in schedule.ops() {
+        if op.fu < machine.cluster(op.cluster).issue_width() {
+            *slots.entry((op.cluster.index(), op.fu, op.start)).or_insert(0) += 1;
+        }
+    }
+    for comm in schedule.comms() {
+        if let Some(fu) = comm.fu {
+            if fu < machine.cluster(comm.from).issue_width() {
+                *slots.entry((comm.from.index(), fu, comm.start)).or_insert(0) += 1;
+            } else {
+                violations.push(Violation::BadFuIndex {
+                    instr: comm.producer,
+                    fu,
+                });
+            }
+        }
+    }
+    let mut conflicts: Vec<_> = slots
+        .into_iter()
+        .filter(|&(_, count)| count > 1)
+        .map(|((cluster, fu, cycle), _)| Violation::ResourceConflict {
+            cluster: convergent_ir::ClusterId::new(cluster as u16),
+            fu,
+            cycle,
+        })
+        .collect();
+    conflicts.sort_by_key(|v| match v {
+        Violation::ResourceConflict { cluster, fu, cycle } => (*cycle, cluster.index(), *fu),
+        _ => unreachable!(),
+    });
+    violations.extend(conflicts);
+}
+
+fn check_dependences(dag: &Dag, schedule: &SpaceTimeSchedule, violations: &mut Vec<Violation>) {
+    for e in dag.edges() {
+        let p = schedule.op(e.src);
+        let u = schedule.op(e.dst);
+        let available = if p.cluster == u.cluster {
+            Some(p.finish())
+        } else {
+            value_arrival(schedule, e.src, p.finish(), u.cluster, violations)
+        };
+        match available {
+            Some(avail) => {
+                if u.start < avail {
+                    violations.push(Violation::DependenceViolated {
+                        producer: e.src,
+                        consumer: e.dst,
+                        available: avail,
+                        start: u.start,
+                    });
+                }
+            }
+            None => violations.push(Violation::MissingComm {
+                producer: e.src,
+                consumer: e.dst,
+            }),
+        }
+    }
+}
+
+/// Earliest arrival of `producer`'s value at cluster `to`, following a
+/// single comm op. Transfers injected before the value is ready are
+/// reported and ignored.
+fn value_arrival(
+    schedule: &SpaceTimeSchedule,
+    producer: InstrId,
+    ready: Cycle,
+    to: convergent_ir::ClusterId,
+    violations: &mut Vec<Violation>,
+) -> Option<Cycle> {
+    let mut best: Option<Cycle> = None;
+    for comm in schedule.comms_for(producer) {
+        if comm.to != to {
+            continue;
+        }
+        if comm.start < ready {
+            violations.push(Violation::CommTooEarly {
+                producer,
+                start: comm.start,
+                ready,
+            });
+            continue;
+        }
+        let arrival = comm.arrival();
+        best = Some(best.map_or(arrival, |b: Cycle| b.min(arrival)));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScheduleBuilder;
+    use convergent_ir::{ClusterId, DagBuilder, Opcode};
+
+    fn chain() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.instr(Opcode::IntAlu);
+        let c = b.instr(Opcode::IntAlu);
+        b.edge(a, c).unwrap();
+        b.build().unwrap()
+    }
+
+    fn c(i: u16) -> ClusterId {
+        ClusterId::new(i)
+    }
+
+    fn i(k: u32) -> InstrId {
+        InstrId::new(k)
+    }
+
+    #[test]
+    fn valid_same_cluster_schedule() {
+        let dag = chain();
+        let m = Machine::chorus_vliw(2);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(i(0), c(0), 0, Cycle::ZERO);
+        sb.place(i(1), c(0), 0, Cycle::new(1));
+        let s = sb.build(&m).unwrap();
+        validate(&dag, &m, &s).unwrap();
+    }
+
+    #[test]
+    fn dependence_violation_detected() {
+        let dag = chain();
+        let m = Machine::chorus_vliw(2);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(i(0), c(0), 0, Cycle::ZERO);
+        sb.place(i(1), c(0), 1, Cycle::ZERO); // too early
+        let s = sb.build(&m).unwrap();
+        let err = validate(&dag, &m, &s).unwrap_err();
+        match err {
+            SimError::Invalid(v) => assert!(matches!(
+                v[0],
+                Violation::DependenceViolated { .. }
+            )),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_comm_detected() {
+        let dag = chain();
+        let m = Machine::chorus_vliw(2);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(i(0), c(0), 0, Cycle::ZERO);
+        sb.place(i(1), c(1), 0, Cycle::new(10));
+        let s = sb.build(&m).unwrap();
+        let err = validate(&dag, &m, &s).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Invalid(ref v) if matches!(v[0], Violation::MissingComm { .. })
+        ));
+    }
+
+    #[test]
+    fn comm_makes_cross_cluster_legal() {
+        let dag = chain();
+        let m = Machine::chorus_vliw(2);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(i(0), c(0), 0, Cycle::ZERO);
+        // value ready at 1; copy at 1 on transfer unit (fu 3); arrives 2.
+        sb.comm(i(0), c(0), c(1), Cycle::new(1), Some(3));
+        sb.place(i(1), c(1), 0, Cycle::new(2));
+        let s = sb.build(&m).unwrap();
+        validate(&dag, &m, &s).unwrap();
+    }
+
+    #[test]
+    fn comm_too_early_detected() {
+        let dag = chain();
+        let m = Machine::chorus_vliw(2);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(i(0), c(0), 0, Cycle::ZERO);
+        sb.comm(i(0), c(0), c(1), Cycle::ZERO, Some(3)); // value not ready
+        sb.place(i(1), c(1), 0, Cycle::new(5));
+        let s = sb.build(&m).unwrap();
+        let err = validate(&dag, &m, &s).unwrap_err();
+        match err {
+            SimError::Invalid(v) => {
+                assert!(v.iter().any(|x| matches!(x, Violation::CommTooEarly { .. })));
+                assert!(v.iter().any(|x| matches!(x, Violation::MissingComm { .. })));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn resource_conflict_detected() {
+        let mut b = DagBuilder::new();
+        b.instr(Opcode::IntAlu);
+        b.instr(Opcode::IntAlu);
+        let dag = b.build().unwrap();
+        let m = Machine::chorus_vliw(2);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(i(0), c(0), 0, Cycle::ZERO);
+        sb.place(i(1), c(0), 0, Cycle::ZERO); // same fu, same cycle
+        let s = sb.build(&m).unwrap();
+        let err = validate(&dag, &m, &s).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Invalid(ref v) if matches!(v[0], Violation::ResourceConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn incapable_fu_detected() {
+        let mut b = DagBuilder::new();
+        b.instr(Opcode::FMul);
+        let dag = b.build().unwrap();
+        let m = Machine::chorus_vliw(1);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(i(0), c(0), 0, Cycle::ZERO); // fu 0 is int-alu, not fpu
+        let s = sb.build(&m).unwrap();
+        let err = validate(&dag, &m, &s).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Invalid(ref v) if matches!(v[0], Violation::IncapableCluster { .. })
+        ));
+    }
+
+    #[test]
+    fn hard_preplacement_enforced_on_raw() {
+        let mut b = DagBuilder::new();
+        b.preplaced_instr(Opcode::Load, c(1));
+        let dag = b.build().unwrap();
+        let m = Machine::raw(4);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(i(0), c(0), 0, Cycle::ZERO);
+        let s = sb.build(&m).unwrap();
+        let err = validate(&dag, &m, &s).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Invalid(ref v) if matches!(v[0], Violation::PreplacementViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn soft_preplacement_allowed_on_vliw() {
+        let mut b = DagBuilder::new();
+        b.preplaced_instr(Opcode::Load, c(1));
+        let dag = b.build().unwrap();
+        let m = Machine::chorus_vliw(2);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(i(0), c(0), 1, Cycle::ZERO); // fu 1 = int-alu/mem
+        let s = sb.build(&m).unwrap();
+        validate(&dag, &m, &s).unwrap(); // legal, just slower
+        assert_eq!(s.op(i(0)).latency, 4);
+    }
+
+    #[test]
+    fn bad_fu_index_detected() {
+        let mut b = DagBuilder::new();
+        b.instr(Opcode::IntAlu);
+        let dag = b.build().unwrap();
+        let m = Machine::raw(1); // single-issue: only fu 0
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(i(0), c(0), 5, Cycle::ZERO);
+        let s = sb.build(&m).unwrap();
+        let err = validate(&dag, &m, &s).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Invalid(ref v) if matches!(v[0], Violation::BadFuIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn raw_register_mapped_comm() {
+        let dag = chain();
+        let m = Machine::raw(4);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(i(0), c(0), 0, Cycle::ZERO);
+        // finish at 1, route 0 -> 1 injected at 1, arrives 1 + 3 = 4.
+        sb.comm(i(0), c(0), c(1), Cycle::new(1), None);
+        sb.place(i(1), c(1), 0, Cycle::new(4));
+        let s = sb.build(&m).unwrap();
+        validate(&dag, &m, &s).unwrap();
+        // One cycle earlier must fail.
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(i(0), c(0), 0, Cycle::ZERO);
+        sb.comm(i(0), c(0), c(1), Cycle::new(1), None);
+        sb.place(i(1), c(1), 0, Cycle::new(3));
+        let s = sb.build(&m).unwrap();
+        assert!(validate(&dag, &m, &s).is_err());
+    }
+}

@@ -1,0 +1,303 @@
+//! Dense-matrix and streaming kernels: mxm, vvmul, fir, yuv.
+//!
+//! These are the "fat, parallel graphs" of the paper's Figure 2(b):
+//! unrolled numeric loops with coarse-grained parallelism, many
+//! preplaced memory operations from congruence analysis, and good
+//! natural partitions — the workloads on which preplacement-guided
+//! scheduling shines.
+
+use convergent_ir::{Opcode, SchedulingUnit};
+
+use crate::kernel::Kb;
+
+/// Parameters for [`mxm`] (Spec92 Nasa7 matrix multiply).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MxmParams {
+    /// Memory banks / clusters the arrays are interleaved across; the
+    /// loop is unrolled this many times (the congruence pass "usually
+    /// unrolls the loops by the number of clusters or tiles").
+    pub n_banks: u16,
+    /// Dot-product depth (the k-loop extent of the scheduled region).
+    pub k_depth: usize,
+    /// Result columns computed per unrolled row.
+    pub j_width: usize,
+}
+
+impl MxmParams {
+    /// A small instance (4 banks, 8-deep dot products, 2 columns).
+    #[must_use]
+    pub fn small() -> Self {
+        MxmParams {
+            n_banks: 4,
+            k_depth: 8,
+            j_width: 2,
+        }
+    }
+
+    /// Instance sized for an `n_banks`-cluster machine.
+    #[must_use]
+    pub fn for_banks(n_banks: u16) -> Self {
+        MxmParams {
+            n_banks,
+            k_depth: 8,
+            j_width: 2,
+        }
+    }
+}
+
+impl Default for MxmParams {
+    fn default() -> Self {
+        MxmParams::small()
+    }
+}
+
+/// `mxm`: `C[i][j] = Σ_k A[i][k] · B[k][j]`, i-loop unrolled by the
+/// bank count. Rows of `A` and `C` are banked by row index, `B` by
+/// `k`; the `B` loads are shared across the unrolled iterations, which
+/// creates the cross-cluster reuse the schedulers must manage.
+#[must_use]
+pub fn mxm(params: MxmParams) -> SchedulingUnit {
+    let mut kb = Kb::new(params.n_banks);
+    for j in 0..params.j_width {
+        // B[k][j] loads shared by every unrolled row.
+        let b_col: Vec<_> = (0..params.k_depth)
+            .map(|k| kb.load(k as i64, &format!("B[{k}][{j}]")))
+            .collect();
+        for u in 0..i64::from(params.n_banks) {
+            let a_row: Vec<_> = (0..params.k_depth)
+                .map(|k| kb.load(u, &format!("A[{u}][{k}]")))
+                .collect();
+            let prods: Vec<_> = (0..params.k_depth)
+                .map(|k| kb.op(Opcode::FMul, &[a_row[k], b_col[k]]))
+                .collect();
+            let sum = kb.reduce_tree(Opcode::FAdd, &prods);
+            kb.store(u, &format!("C[{u}][{j}]"), sum);
+        }
+    }
+    kb.finish("mxm")
+}
+
+/// Parameters for [`vvmul`] (elementwise vector multiply).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VvmulParams {
+    /// Banks / unroll factor.
+    pub n_banks: u16,
+    /// Elements computed per bank.
+    pub per_bank: usize,
+}
+
+impl VvmulParams {
+    /// A small instance.
+    #[must_use]
+    pub fn small() -> Self {
+        VvmulParams {
+            n_banks: 4,
+            per_bank: 8,
+        }
+    }
+
+    /// Instance sized for an `n_banks`-cluster machine.
+    #[must_use]
+    pub fn for_banks(n_banks: u16) -> Self {
+        VvmulParams {
+            n_banks,
+            per_bank: 8,
+        }
+    }
+}
+
+impl Default for VvmulParams {
+    fn default() -> Self {
+        VvmulParams::small()
+    }
+}
+
+/// `vvmul`: `c[i] = a[i] · b[i]`, fully unrolled — the paper's "simple
+/// matrix multiplication", an embarrassingly parallel graph whose
+/// optimal partition follows the banking exactly.
+#[must_use]
+pub fn vvmul(params: VvmulParams) -> SchedulingUnit {
+    let mut kb = Kb::new(params.n_banks);
+    for e in 0..(i64::from(params.n_banks) * params.per_bank as i64) {
+        let a = kb.load(e, &format!("a[{e}]"));
+        let b = kb.load(e, &format!("b[{e}]"));
+        let p = kb.op(Opcode::FMul, &[a, b]);
+        kb.store(e, &format!("c[{e}]"), p);
+    }
+    kb.finish("vvmul")
+}
+
+/// Parameters for [`fir`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FirParams {
+    /// Banks / unroll factor.
+    pub n_banks: u16,
+    /// Number of taps.
+    pub taps: usize,
+}
+
+impl FirParams {
+    /// A small instance (8 taps).
+    #[must_use]
+    pub fn small() -> Self {
+        FirParams {
+            n_banks: 4,
+            taps: 8,
+        }
+    }
+
+    /// Instance sized for an `n_banks`-cluster machine.
+    #[must_use]
+    pub fn for_banks(n_banks: u16) -> Self {
+        FirParams { n_banks, taps: 8 }
+    }
+}
+
+impl Default for FirParams {
+    fn default() -> Self {
+        FirParams::small()
+    }
+}
+
+/// `fir`: `y[n] = Σ_t c[t] · x[n−t]`, n-loop unrolled by the bank
+/// count. Sample loads are banked by sample index, so each output's
+/// taps spread across clusters — a graph that punishes naive locality
+/// *and* naive parallelism. The accumulation is a serial chain
+/// (strict FP order), giving each output a real critical path.
+#[must_use]
+pub fn fir(params: FirParams) -> SchedulingUnit {
+    let mut kb = Kb::new(params.n_banks);
+    let coeffs: Vec<_> = (0..params.taps)
+        .map(|t| kb.load_free(&format!("c[{t}]")))
+        .collect();
+    for n in 0..i64::from(params.n_banks) {
+        let prods: Vec<_> = (0..params.taps)
+            .map(|t| {
+                let x = kb.load(n - t as i64, &format!("x[{}]", n - t as i64));
+                kb.op(Opcode::FMul, &[x, coeffs[t]])
+            })
+            .collect();
+        let sum = kb.reduce_chain(Opcode::FAdd, &prods);
+        kb.store(n, &format!("y[{n}]"), sum);
+    }
+    kb.finish("fir")
+}
+
+/// Parameters for [`yuv`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct YuvParams {
+    /// Banks / unroll factor.
+    pub n_banks: u16,
+    /// Pixels converted per bank.
+    pub pixels_per_bank: usize,
+}
+
+impl YuvParams {
+    /// A small instance.
+    #[must_use]
+    pub fn small() -> Self {
+        YuvParams {
+            n_banks: 4,
+            pixels_per_bank: 3,
+        }
+    }
+
+    /// Instance sized for an `n_banks`-cluster machine.
+    #[must_use]
+    pub fn for_banks(n_banks: u16) -> Self {
+        YuvParams {
+            n_banks,
+            pixels_per_bank: 3,
+        }
+    }
+}
+
+impl Default for YuvParams {
+    fn default() -> Self {
+        YuvParams::small()
+    }
+}
+
+/// `yuv`: RGB→YUV color conversion. Per pixel: three banked loads, a
+/// 3×3 constant matrix of integer multiply-adds with shifts, three
+/// banked stores. Integer-heavy and embarrassingly parallel.
+#[must_use]
+pub fn yuv(params: YuvParams) -> SchedulingUnit {
+    let mut kb = Kb::new(params.n_banks);
+    for p in 0..(i64::from(params.n_banks) * params.pixels_per_bank as i64) {
+        let r = kb.load(p, &format!("r[{p}]"));
+        let g = kb.load(p, &format!("g[{p}]"));
+        let b = kb.load(p, &format!("b[{p}]"));
+        for (out, label) in [(0, "y"), (1, "u"), (2, "v")] {
+            let _ = out;
+            let cr = kb.constant(&format!("k_{label}r"));
+            let cg = kb.constant(&format!("k_{label}g"));
+            let cb = kb.constant(&format!("k_{label}b"));
+            let tr = kb.op(Opcode::IntMul, &[r, cr]);
+            let tg = kb.op(Opcode::IntMul, &[g, cg]);
+            let tb = kb.op(Opcode::IntMul, &[b, cb]);
+            let s1 = kb.op(Opcode::IntAlu, &[tr, tg]);
+            let s2 = kb.op(Opcode::IntAlu, &[s1, tb]);
+            let sh = kb.op(Opcode::Shift, &[s2]);
+            kb.store(p, &format!("{label}[{p}]"), sh);
+        }
+    }
+    kb.finish("yuv")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convergent_ir::ShapeStats;
+
+    #[test]
+    fn mxm_is_fat_with_heavy_preplacement() {
+        let unit = mxm(MxmParams::small());
+        let s = ShapeStats::compute(unit.dag(), |_| 1);
+        assert!(s.instr_count() > 100, "{s}");
+        assert!(s.is_fat(), "{s}");
+        assert!(s.preplaced_fraction() > 0.3, "{s}");
+    }
+
+    #[test]
+    fn mxm_scales_with_banks() {
+        let small = mxm(MxmParams::for_banks(2));
+        let large = mxm(MxmParams::for_banks(16));
+        assert!(large.dag().len() > small.dag().len() * 4);
+    }
+
+    #[test]
+    fn vvmul_is_embarrassingly_parallel() {
+        let unit = vvmul(VvmulParams::small());
+        let s = ShapeStats::compute(unit.dag(), |_| 1);
+        assert!(s.avg_parallelism() > 8.0, "{s}");
+        // Bank-following assignment would cut zero edges.
+        assert!(s.preplaced_fraction() > 0.7, "{s}");
+    }
+
+    #[test]
+    fn fir_outputs_have_serial_accumulation() {
+        let unit = fir(FirParams::small());
+        let time = convergent_ir::TimeAnalysis::compute(unit.dag(), |_| 1);
+        // Chain of 7 adds after mul after load: CPL ≥ 9.
+        assert!(time.critical_path_length() >= 9);
+    }
+
+    #[test]
+    fn yuv_is_integer_only() {
+        let unit = yuv(YuvParams::small());
+        assert!(unit
+            .dag()
+            .instrs()
+            .iter()
+            .all(|i| !i.opcode().is_float()));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = mxm(MxmParams::small());
+        let b = mxm(MxmParams::small());
+        assert_eq!(a.dag().len(), b.dag().len());
+        assert_eq!(a.dag().edge_count(), b.dag().edge_count());
+    }
+}

@@ -1,0 +1,215 @@
+//! Shared scaffolding for benchmark generators.
+//!
+//! The paper's benchmarks reach the scheduler as data-dependence
+//! graphs of unrolled inner loops, with memory operations *preplaced*
+//! on the cluster owning their bank (the congruence analysis of
+//! Section 5 interleaves arrays across clusters, typically by row or
+//! by element index modulo the cluster count). [`Kb`] wraps
+//! [`DagBuilder`] with exactly those idioms: banked loads/stores,
+//! operator application, and reduction shapes.
+
+use std::collections::HashMap;
+
+use convergent_ir::{ClusterId, DagBuilder, InstrId, Instruction, Opcode, SchedulingUnit};
+
+/// Kernel builder: a [`DagBuilder`] plus banked-memory helpers.
+#[derive(Debug)]
+pub(crate) struct Kb {
+    b: DagBuilder,
+    n_banks: u16,
+    load_cache: HashMap<String, InstrId>,
+}
+
+impl Kb {
+    /// Creates a builder for a machine with `n_banks` memory banks
+    /// (one per cluster).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_banks` is zero.
+    pub(crate) fn new(n_banks: u16) -> Self {
+        assert!(n_banks > 0, "need at least one bank");
+        Kb {
+            b: DagBuilder::new(),
+            n_banks,
+            load_cache: HashMap::new(),
+        }
+    }
+
+    /// The bank (cluster) owning element `index` under modulo
+    /// interleaving.
+    pub(crate) fn bank(&self, index: i64) -> ClusterId {
+        ClusterId::new(index.rem_euclid(i64::from(self.n_banks)) as u16)
+    }
+
+    /// A load preplaced on the bank of `index`.
+    pub(crate) fn load(&mut self, index: i64, name: &str) -> InstrId {
+        let home = self.bank(index);
+        self.b
+            .push(Instruction::preplaced(Opcode::Load, home).with_name(name))
+    }
+
+    /// A load preplaced on the bank of `index`, memoized by `name`:
+    /// repeated requests for the same element return the existing
+    /// load. This models common-subexpression elimination of array
+    /// reads — in real stencil code adjacent points *share* their
+    /// overlapping loads, which is what creates cross-point dependence
+    /// edges and makes spatial assignment interesting.
+    pub(crate) fn load_cached(&mut self, index: i64, name: &str) -> InstrId {
+        if let Some(&id) = self.load_cache.get(name) {
+            return id;
+        }
+        let id = self.load(index, name);
+        self.load_cache.insert(name.to_string(), id);
+        id
+    }
+
+    /// A load with no placement constraint (e.g. a scalar kept in a
+    /// register or replicated constant table).
+    pub(crate) fn load_free(&mut self, name: &str) -> InstrId {
+        self.b.push(Instruction::new(Opcode::Load).with_name(name))
+    }
+
+    /// A store of `value`, preplaced on the bank of `index`.
+    pub(crate) fn store(&mut self, index: i64, name: &str, value: InstrId) -> InstrId {
+        let home = self.bank(index);
+        let st = self
+            .b
+            .push(Instruction::preplaced(Opcode::Store, home).with_name(name));
+        self.edge(value, st);
+        st
+    }
+
+    /// A store of `value` with no placement constraint (spilling a
+    /// register-resident scalar; no bank discipline applies).
+    pub(crate) fn store_free(&mut self, name: &str, value: InstrId) -> InstrId {
+        let st = self.b.push(Instruction::new(Opcode::Store).with_name(name));
+        self.edge(value, st);
+        st
+    }
+
+    /// An operation consuming `inputs`.
+    pub(crate) fn op(&mut self, opcode: Opcode, inputs: &[InstrId]) -> InstrId {
+        let id = self.b.instr(opcode);
+        for &src in inputs {
+            self.edge(src, id);
+        }
+        id
+    }
+
+    /// A constant materialization.
+    pub(crate) fn constant(&mut self, name: &str) -> InstrId {
+        self.b.push(Instruction::new(Opcode::Const).with_name(name))
+    }
+
+    fn edge(&mut self, src: InstrId, dst: InstrId) {
+        self.b
+            .edge_dedup(src, dst)
+            .expect("generator edges reference existing instructions");
+    }
+
+    /// Balanced binary reduction of `values` with `opcode`
+    /// (log-depth: the shape compilers produce for reassociable FP
+    /// sums under `-ffast-math` and for integer sums).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub(crate) fn reduce_tree(&mut self, opcode: Opcode, values: &[InstrId]) -> InstrId {
+        assert!(!values.is_empty(), "cannot reduce zero values");
+        let mut layer: Vec<InstrId> = values.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                match pair {
+                    [a, b] => next.push(self.op(opcode, &[*a, *b])),
+                    [a] => next.push(*a),
+                    _ => unreachable!("chunks(2)"),
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Serial accumulation of `values` with `opcode` (linear depth:
+    /// the shape strict FP semantics force).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub(crate) fn reduce_chain(&mut self, opcode: Opcode, values: &[InstrId]) -> InstrId {
+        assert!(!values.is_empty(), "cannot reduce zero values");
+        let mut acc = values[0];
+        for &v in &values[1..] {
+            acc = self.op(opcode, &[acc, v]);
+        }
+        acc
+    }
+
+    /// Finalizes the unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generator produced an invalid graph (a generator
+    /// bug, not user error).
+    pub(crate) fn finish(self, name: &str) -> SchedulingUnit {
+        let dag = self
+            .b
+            .build()
+            .expect("generators produce non-empty acyclic graphs");
+        SchedulingUnit::new(name, dag).with_kind(convergent_ir::RegionKind::Trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banking_is_modular() {
+        let kb = Kb::new(4);
+        assert_eq!(kb.bank(0), ClusterId::new(0));
+        assert_eq!(kb.bank(5), ClusterId::new(1));
+        assert_eq!(kb.bank(-1), ClusterId::new(3)); // rem_euclid
+    }
+
+    #[test]
+    fn reduce_tree_is_log_depth() {
+        let mut kb = Kb::new(2);
+        let vals: Vec<InstrId> = (0..8).map(|k| kb.load(k, "x")).collect();
+        let root = kb.reduce_tree(Opcode::FAdd, &vals);
+        let unit = kb.finish("t");
+        // 8 loads + 7 adds.
+        assert_eq!(unit.dag().len(), 15);
+        let time = convergent_ir::TimeAnalysis::compute(unit.dag(), |_| 1);
+        // Depth: load + 3 add layers = earliest start 3 for the root.
+        assert_eq!(time.earliest_start(root), 3);
+    }
+
+    #[test]
+    fn reduce_chain_is_linear_depth() {
+        let mut kb = Kb::new(2);
+        let vals: Vec<InstrId> = (0..8).map(|k| kb.load(k, "x")).collect();
+        let root = kb.reduce_chain(Opcode::FAdd, &vals);
+        let time = {
+            let unit = kb.finish("t");
+            assert_eq!(unit.dag().len(), 15);
+            convergent_ir::TimeAnalysis::compute(unit.dag(), |_| 1)
+        };
+        assert_eq!(time.earliest_start(root), 7);
+    }
+
+    #[test]
+    fn stores_depend_on_their_value() {
+        let mut kb = Kb::new(2);
+        let v = kb.load(0, "a");
+        let st = kb.store(1, "c", v);
+        let unit = kb.finish("t");
+        assert_eq!(unit.dag().preds(st), &[v]);
+        assert_eq!(
+            unit.dag().instr(st).preplacement(),
+            Some(ClusterId::new(1))
+        );
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! Reconstructed benchmark workloads for the convergent-scheduling
+//! reproduction.
+//!
+//! The paper evaluates on dependence graphs extracted by Rawcc/Chorus
+//! from: the Raw benchmark suite (jacobi, life), Spec92 Nasa7
+//! (cholesky, vpenta, mxm), Spec95 (tomcatv, fpppp-kernel, swim), sha,
+//! fir, rbsorf, vvmul, and yuv. The original traces are long gone, so
+//! each generator here reconstructs the *dependence-graph shape* the
+//! scheduler would have seen: the unrolled inner loop, its operation
+//! mix, its reduction/stencil structure, and the congruence-analysis
+//! preplacement of memory operations onto banks (see DESIGN.md for the
+//! substitution argument).
+//!
+//! Every generator is deterministic and parameterized by the bank
+//! (cluster/tile) count, because the paper's congruence pass "usually
+//! unrolls the loops by the number of clusters or tiles".
+//!
+//! # Example
+//!
+//! ```
+//! use convergent_workloads::{mxm, MxmParams};
+//!
+//! let unit = mxm(MxmParams::small());
+//! assert_eq!(unit.name(), "mxm");
+//! assert!(unit.dag().preplaced_count() > 0); // congruence-banked loads
+//! ```
+
+mod dense;
+mod kernel;
+pub mod random;
+mod regions;
+mod serial;
+mod solver;
+mod stencil;
+mod suite;
+
+pub use dense::{fir, mxm, vvmul, yuv, FirParams, MxmParams, VvmulParams, YuvParams};
+pub use random::{layered, parallel_chains, series_parallel, LayeredParams};
+pub use regions::{multi_region_accumulate, MultiRegionParams};
+pub use serial::{fpppp_kernel, sha, FppppParams, ShaParams};
+pub use solver::{cholesky, vpenta, CholeskyParams, VpentaParams};
+pub use stencil::{jacobi, life, rbsorf, swim, tomcatv, StencilParams};
+pub use suite::{raw_suite, rebank, vliw_suite};

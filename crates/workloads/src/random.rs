@@ -1,0 +1,264 @@
+//! Random DAG families.
+//!
+//! Used for the compile-time scalability study (the paper's Figure 10
+//! sweeps scheduling-region size up to ~2000 instructions), for
+//! property-based testing, and for ablations. All generators are
+//! deterministic given their seed.
+
+use convergent_ir::{ClusterId, DagBuilder, Instruction, Opcode, SchedulingUnit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`layered`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayeredParams {
+    /// Total instructions.
+    pub n_instrs: usize,
+    /// Average instructions per level.
+    pub avg_width: usize,
+    /// Maximum predecessors drawn for each non-root instruction.
+    pub max_fanin: usize,
+    /// Fraction of memory operations preplaced on a random bank.
+    pub preplaced_fraction: f64,
+    /// Banks used for preplacement.
+    pub n_banks: u16,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LayeredParams {
+    /// A mid-sized mixed graph.
+    #[must_use]
+    pub fn new(n_instrs: usize, seed: u64) -> Self {
+        LayeredParams {
+            n_instrs,
+            avg_width: 8,
+            max_fanin: 3,
+            preplaced_fraction: 0.0,
+            n_banks: 4,
+            seed,
+        }
+    }
+
+    /// Sets the average layer width (bigger = fatter graph).
+    #[must_use]
+    pub fn with_width(mut self, w: usize) -> Self {
+        self.avg_width = w.max(1);
+        self
+    }
+
+    /// Sets the preplaced fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= f <= 1.0`.
+    #[must_use]
+    pub fn with_preplacement(mut self, f: f64, n_banks: u16) -> Self {
+        assert!((0.0..=1.0).contains(&f), "fraction in [0,1]");
+        self.preplaced_fraction = f;
+        self.n_banks = n_banks.max(1);
+        self
+    }
+}
+
+/// A layered random DAG: instructions are dealt into levels of noisy
+/// width; each instruction draws 1–`max_fanin` predecessors from the
+/// two levels above. Opcode mix is ~60% int ALU, 15% FP, 20% memory,
+/// 5% multiplies — a generic "compiled code" profile.
+#[must_use]
+pub fn layered(params: LayeredParams) -> SchedulingUnit {
+    assert!(params.n_instrs > 0, "need at least one instruction");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut b = DagBuilder::with_capacity(params.n_instrs);
+    let mut levels: Vec<Vec<convergent_ir::InstrId>> = vec![Vec::new()];
+    let mut placed = 0usize;
+    while placed < params.n_instrs {
+        let width = rng.gen_range(1..=params.avg_width * 2);
+        let width = width.min(params.n_instrs - placed);
+        let mut level = Vec::with_capacity(width);
+        for _ in 0..width {
+            let opcode = match rng.gen_range(0..100) {
+                0..=59 => Opcode::IntAlu,
+                60..=69 => Opcode::FAdd,
+                70..=74 => Opcode::FMul,
+                75..=84 => Opcode::Load,
+                85..=94 => Opcode::Store,
+                95..=97 => Opcode::IntMul,
+                _ => Opcode::Shift,
+            };
+            let id = if opcode.is_memory() && rng.gen_bool(params.preplaced_fraction) {
+                let bank = ClusterId::new(rng.gen_range(0..params.n_banks));
+                b.push(Instruction::preplaced(opcode, bank))
+            } else {
+                b.push(Instruction::new(opcode))
+            };
+            // Wire to earlier levels.
+            let depth = levels.len();
+            if depth > 1 || !levels[0].is_empty() {
+                let fanin = rng.gen_range(1..=params.max_fanin);
+                for _ in 0..fanin {
+                    let lvl = if depth >= 2 && rng.gen_bool(0.3) {
+                        &levels[depth - 2]
+                    } else {
+                        &levels[depth - 1]
+                    };
+                    if let Some(&src) = pick(&mut rng, lvl) {
+                        let _ = b.edge_dedup(src, id);
+                    }
+                }
+            }
+            level.push(id);
+            placed += 1;
+        }
+        levels.push(level);
+    }
+    SchedulingUnit::new(format!("layered-{}", params.n_instrs), b.build().expect("layered graphs are DAGs"))
+}
+
+fn pick<'a, T>(rng: &mut StdRng, slice: &'a [T]) -> Option<&'a T> {
+    if slice.is_empty() {
+        None
+    } else {
+        Some(&slice[rng.gen_range(0..slice.len())])
+    }
+}
+
+/// `k` independent chains of `len` single-cycle instructions — the
+/// textbook best case for spatial distribution.
+#[must_use]
+pub fn parallel_chains(k: usize, len: usize) -> SchedulingUnit {
+    assert!(k > 0 && len > 0, "need at least one chain of one op");
+    let mut b = DagBuilder::with_capacity(k * len);
+    for _ in 0..k {
+        let mut prev = b.instr(Opcode::IntAlu);
+        for _ in 1..len {
+            let next = b.instr(Opcode::IntAlu);
+            b.edge(prev, next).expect("fresh ids");
+            prev = next;
+        }
+    }
+    SchedulingUnit::new(
+        format!("chains-{k}x{len}"),
+        b.build().expect("chains are DAGs"),
+    )
+}
+
+/// A fork-join (series-parallel) DAG built by recursive composition:
+/// useful for testing because its optimal structure is understood.
+#[must_use]
+pub fn series_parallel(n_instrs: usize, seed: u64) -> SchedulingUnit {
+    assert!(n_instrs > 0, "need at least one instruction");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DagBuilder::with_capacity(n_instrs + 2);
+    let budget = n_instrs;
+    let (first, last) = build_sp(&mut b, &mut rng, budget);
+    let _ = (first, last);
+    SchedulingUnit::new(
+        format!("sp-{n_instrs}"),
+        b.build().expect("series-parallel graphs are DAGs"),
+    )
+}
+
+/// Builds a series-parallel block of roughly `budget` instructions and
+/// returns its (entry, exit) instructions.
+fn build_sp(
+    b: &mut DagBuilder,
+    rng: &mut StdRng,
+    budget: usize,
+) -> (convergent_ir::InstrId, convergent_ir::InstrId) {
+    if budget <= 2 {
+        let x = b.instr(Opcode::IntAlu);
+        if budget == 2 {
+            let y = b.instr(Opcode::FAdd);
+            b.edge(x, y).expect("fresh ids");
+            (x, y)
+        } else {
+            (x, x)
+        }
+    } else if rng.gen_bool(0.5) {
+        // Series: A then B.
+        let split = rng.gen_range(1..budget);
+        let (a_in, a_out) = build_sp(b, rng, split);
+        let (b_in, b_out) = build_sp(b, rng, budget - split);
+        b.edge(a_out, b_in).expect("fresh ids");
+        (a_in, b_out)
+    } else {
+        // Parallel: fork into 2-3 branches, then join.
+        let branches = rng.gen_range(2..=3usize).min(budget.saturating_sub(2).max(2));
+        let fork = b.instr(Opcode::IntAlu);
+        let join = b.instr(Opcode::IntAlu);
+        let inner = budget.saturating_sub(2).max(branches);
+        let per = (inner / branches).max(1);
+        for _ in 0..branches {
+            let (c_in, c_out) = build_sp(b, rng, per);
+            b.edge(fork, c_in).expect("fresh ids");
+            b.edge(c_out, join).expect("fresh ids");
+        }
+        (fork, join)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convergent_ir::ShapeStats;
+
+    #[test]
+    fn layered_hits_requested_size() {
+        for n in [10, 100, 500] {
+            let unit = layered(LayeredParams::new(n, 1));
+            assert_eq!(unit.dag().len(), n);
+        }
+    }
+
+    #[test]
+    fn layered_is_deterministic_per_seed() {
+        let a = layered(LayeredParams::new(200, 5));
+        let b = layered(LayeredParams::new(200, 5));
+        assert_eq!(a.dag().edge_count(), b.dag().edge_count());
+        let c = layered(LayeredParams::new(200, 6));
+        // Overwhelmingly likely to differ.
+        assert_ne!(a.dag().edge_count(), c.dag().edge_count());
+    }
+
+    #[test]
+    fn layered_preplacement_fraction_applies() {
+        let unit = layered(LayeredParams::new(400, 2).with_preplacement(1.0, 4));
+        let mem = unit
+            .dag()
+            .instrs()
+            .iter()
+            .filter(|i| i.opcode().is_memory())
+            .count();
+        assert_eq!(unit.dag().preplaced_count(), mem);
+        assert!(mem > 0);
+    }
+
+    #[test]
+    fn width_controls_shape() {
+        let narrow = layered(LayeredParams::new(300, 3).with_width(2));
+        let fat = layered(LayeredParams::new(300, 3).with_width(24));
+        let sn = ShapeStats::compute(narrow.dag(), |_| 1);
+        let sf = ShapeStats::compute(fat.dag(), |_| 1);
+        assert!(sf.avg_parallelism() > sn.avg_parallelism());
+    }
+
+    #[test]
+    fn chains_shape() {
+        let unit = parallel_chains(4, 10);
+        let s = ShapeStats::compute(unit.dag(), |_| 1);
+        assert_eq!(s.instr_count(), 40);
+        assert_eq!(s.height(), 10);
+        assert_eq!(s.max_width(), 4);
+    }
+
+    #[test]
+    fn series_parallel_is_connected_dag() {
+        let unit = series_parallel(100, 9);
+        // One weakly connected component: every instruction reachable
+        // from the entry in the undirected sense.
+        let mut oracle = convergent_ir::DistanceOracle::new();
+        let d = oracle.distances_from(unit.dag(), convergent_ir::InstrId::new(0));
+        assert!(d.iter().all(|&x| x != convergent_ir::UNREACHABLE));
+    }
+}

@@ -1,0 +1,236 @@
+//! Critical-path-dominated kernels: fpppp-kernel and sha.
+//!
+//! These are the paper's "long, narrow graphs dominated by a few
+//! critical paths" (Figure 2a) and the two benchmarks on which
+//! preplacement provides no guidance — convergent scheduling must rely
+//! on its critical-path, parallelism, and communication heuristics
+//! alone, and the paper reports it trails Rawcc there.
+
+use convergent_ir::{InstrId, Opcode, SchedulingUnit};
+
+use crate::kernel::Kb;
+
+/// Parameters for [`fpppp_kernel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FppppParams {
+    /// Number of interleaved expression spines (the kernel's
+    /// fine-grained ILP; the paper's Rawcc extracts substantial
+    /// speedup from it, so it is well above 1).
+    pub spines: usize,
+    /// Serial steps per spine.
+    pub steps: usize,
+}
+
+impl FppppParams {
+    /// A ~500-instruction instance with ILP ≈ 8, matching the huge
+    /// straight-line block the paper schedules.
+    #[must_use]
+    pub fn small() -> Self {
+        FppppParams {
+            spines: 8,
+            steps: 28,
+        }
+    }
+}
+
+impl Default for FppppParams {
+    fn default() -> Self {
+        FppppParams::small()
+    }
+}
+
+/// `fpppp-kernel`: the inner loop of Spec95's fpppp ("consumes 50% of
+/// the run-time"). Two-electron integral evaluation is an enormous
+/// straight-line FP expression block: several long serial expression
+/// spines evaluate concurrently, exchanging values every few steps
+/// (the cross-links are what makes the parallelism *fine-grained* and
+/// communication-expensive to exploit), with almost no memory traffic
+/// and no preplacement. Deterministic pseudo-random opcode choice
+/// keeps the graph irregular like the real code.
+#[must_use]
+pub fn fpppp_kernel(params: FppppParams) -> SchedulingUnit {
+    assert!(params.spines > 0 && params.steps > 0, "non-trivial kernel");
+    let mut kb = Kb::new(1); // banking irrelevant: nothing is preplaced
+    let inputs: Vec<InstrId> = (0..params.spines.max(2))
+        .map(|k| kb.load_free(&format!("s{k}")))
+        .collect();
+    // xorshift for deterministic irregularity.
+    let mut state = 0x9e37_79b9_u32;
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 17;
+        state ^= state << 5;
+        state
+    };
+    // Each spine works from its own small set of register-resident
+    // scalars (the integral prefactors); only occasionally does a
+    // spine consume a neighbouring spine's running value — those
+    // cross-links are the "fine-grained" part of the parallelism.
+    let mut pool: Vec<Vec<InstrId>> = (0..params.spines)
+        .map(|s| {
+            (0..3)
+                .map(|k| kb.load_free(&format!("p{s}_{k}")))
+                .collect()
+        })
+        .collect();
+    let mut spines: Vec<InstrId> = (0..params.spines)
+        .map(|k| kb.op(Opcode::FMul, &[inputs[k % inputs.len()], pool[k][0]]))
+        .collect();
+    for step in 0..params.steps {
+        for s in 0..params.spines {
+            let other = if step % 6 == 5 && params.spines > 1 {
+                spines[(s + 1) % params.spines] // sparse cross-link
+            } else {
+                let mine = &pool[s];
+                mine[rand() as usize % mine.len()]
+            };
+            let op = if step % 14 == 13 {
+                Opcode::FDiv // periodic reciprocals lengthen the path
+            } else if rand() % 2 == 0 {
+                Opcode::FAdd
+            } else {
+                Opcode::FMul
+            };
+            spines[s] = kb.op(op, &[spines[s], other]);
+            // The side value evolves too, giving each step a touch of
+            // intra-spine ILP.
+            if step % 4 == 1 {
+                let k = rand() as usize % pool[s].len();
+                let refreshed = kb.op(Opcode::FAdd, &[pool[s][k], spines[s]]);
+                pool[s][k] = refreshed;
+            }
+        }
+    }
+    let result = kb.reduce_tree(Opcode::FAdd, &spines.clone());
+    kb.store_free("result", result);
+    kb.finish("fpppp-kernel")
+}
+
+/// Parameters for [`sha`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShaParams {
+    /// Number of compression rounds in the scheduled region (the full
+    /// algorithm runs 80).
+    pub rounds: usize,
+}
+
+impl ShaParams {
+    /// A 20-round instance (~300 instructions).
+    #[must_use]
+    pub fn small() -> Self {
+        ShaParams { rounds: 20 }
+    }
+}
+
+impl Default for ShaParams {
+    fn default() -> Self {
+        ShaParams::small()
+    }
+}
+
+/// `sha`: the Secure Hash Algorithm compression function. Each round
+/// computes `tmp = rotl5(a) + f(b,c,d) + e + w[t] + K` and rotates the
+/// five working registers — an integer dependence spiral with almost
+/// no extractable ILP beyond the message-schedule XORs.
+#[must_use]
+pub fn sha(params: ShaParams) -> SchedulingUnit {
+    let mut kb = Kb::new(1); // no preplacement: state lives in registers
+    let mut a = kb.load_free("h0");
+    let mut b = kb.load_free("h1");
+    let mut c = kb.load_free("h2");
+    let mut d = kb.load_free("h3");
+    let mut e = kb.load_free("h4");
+    let k = kb.constant("K");
+    // Message schedule: w[t] for t < 16 are loads; afterwards
+    // w[t] = rotl1(w[t-3] ^ w[t-8] ^ w[t-14] ^ w[t-16]).
+    let mut w: Vec<InstrId> = Vec::with_capacity(params.rounds);
+    for t in 0..params.rounds {
+        let wt = if t < 16 {
+            kb.load_free(&format!("w[{t}]"))
+        } else {
+            let x1 = kb.op(Opcode::Logic, &[w[t - 3], w[t - 8]]);
+            let x2 = kb.op(Opcode::Logic, &[x1, w[t - 14]]);
+            let x3 = kb.op(Opcode::Logic, &[x2, w[t - 16]]);
+            kb.op(Opcode::Shift, &[x3])
+        };
+        w.push(wt);
+    }
+    for &wt in w.iter().take(params.rounds) {
+        let rot_a = kb.op(Opcode::Shift, &[a]);
+        // f(b, c, d): choice function (b & c) | (~b & d).
+        let bc = kb.op(Opcode::Logic, &[b, c]);
+        let nbd = kb.op(Opcode::Logic, &[b, d]);
+        let f = kb.op(Opcode::Logic, &[bc, nbd]);
+        let s1 = kb.op(Opcode::IntAlu, &[rot_a, f]);
+        let s2 = kb.op(Opcode::IntAlu, &[s1, e]);
+        let s3 = kb.op(Opcode::IntAlu, &[s2, wt]);
+        let tmp = kb.op(Opcode::IntAlu, &[s3, k]);
+        // Rotate registers.
+        e = d;
+        d = c;
+        c = kb.op(Opcode::Shift, &[b]); // rotl30(b)
+        b = a;
+        a = tmp;
+    }
+    for (reg, name) in [(a, "h0'"), (b, "h1'"), (c, "h2'"), (d, "h3'"), (e, "h4'")] {
+        kb.store_free(name, reg);
+    }
+    kb.finish("sha")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convergent_ir::ShapeStats;
+
+    #[test]
+    fn fpppp_is_long_with_fine_grained_ilp() {
+        let unit = fpppp_kernel(FppppParams::small());
+        let s = ShapeStats::compute(unit.dag(), |_| 1);
+        assert!(s.instr_count() > 150, "{s}");
+        // fpppp's parallelism is fine-grained (≈ the spine count), far
+        // below the fat unrolled loops, and its height is substantial.
+        assert!(s.avg_parallelism() >= 4.0, "{s}");
+        assert!(s.avg_parallelism() <= 12.0, "{s}");
+        assert!(s.height() >= 25, "{s}");
+        // No preplacement except the final result store.
+        assert!(s.preplaced_fraction() < 0.02, "{s}");
+    }
+
+    #[test]
+    fn fpppp_is_float_dominated() {
+        let unit = fpppp_kernel(FppppParams::small());
+        let fp = unit
+            .dag()
+            .instrs()
+            .iter()
+            .filter(|i| i.opcode().is_float())
+            .count();
+        assert!(fp * 2 > unit.dag().len(), "FP should dominate");
+    }
+
+    #[test]
+    fn sha_is_serial_integer() {
+        let unit = sha(ShaParams::small());
+        let s = ShapeStats::compute(unit.dag(), |_| 1);
+        assert!(s.avg_parallelism() < 3.0, "{s}");
+        assert!(unit.dag().instrs().iter().all(|i| !i.opcode().is_float()));
+    }
+
+    #[test]
+    fn sha_rounds_scale_depth() {
+        let short = sha(ShaParams { rounds: 10 });
+        let long = sha(ShaParams { rounds: 40 });
+        let h_short = ShapeStats::compute(short.dag(), |_| 1).height();
+        let h_long = ShapeStats::compute(long.dag(), |_| 1).height();
+        assert!(h_long > h_short * 2);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = fpppp_kernel(FppppParams::small());
+        let b = fpppp_kernel(FppppParams::small());
+        assert_eq!(a.dag().len(), b.dag().len());
+        assert_eq!(a.dag().edge_count(), b.dag().edge_count());
+    }
+}

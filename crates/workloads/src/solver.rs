@@ -1,0 +1,194 @@
+//! Linear-algebra solver kernels: cholesky and vpenta.
+
+use convergent_ir::{Opcode, SchedulingUnit};
+
+use crate::kernel::Kb;
+
+/// Parameters for [`cholesky`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CholeskyParams {
+    /// Memory banks / clusters (columns are interleaved across them).
+    pub n_banks: u16,
+    /// Rows below the diagonal updated in the scheduled region.
+    pub rows: usize,
+}
+
+impl CholeskyParams {
+    /// A small instance.
+    #[must_use]
+    pub fn small() -> Self {
+        CholeskyParams {
+            n_banks: 4,
+            rows: 8,
+        }
+    }
+
+    /// Instance sized for an `n_banks`-cluster machine.
+    #[must_use]
+    pub fn for_banks(n_banks: u16) -> Self {
+        CholeskyParams { n_banks, rows: 8 }
+    }
+}
+
+impl Default for CholeskyParams {
+    fn default() -> Self {
+        CholeskyParams::small()
+    }
+}
+
+/// `cholesky` (Spec92 Nasa7): one step of the factorization — square
+/// root of the pivot, scale the column below it, then the symmetric
+/// rank-1 update of the trailing rows. The sqrt→divide chain forms a
+/// serial spine; the updates fan out in parallel, banked by row.
+#[must_use]
+pub fn cholesky(params: CholeskyParams) -> SchedulingUnit {
+    let mut kb = Kb::new(params.n_banks);
+    // Pivot: l[0][0] = sqrt(a[0][0]).
+    let a00 = kb.load(0, "a[0][0]");
+    let pivot = kb.op(Opcode::FSqrt, &[a00]);
+    kb.store(0, "l[0][0]", pivot);
+    // Column scale: l[r][0] = a[r][0] / pivot.
+    let mut col = Vec::with_capacity(params.rows);
+    for r in 1..=params.rows as i64 {
+        let arc = kb.load(r, &format!("a[{r}][0]"));
+        let l = kb.op(Opcode::FDiv, &[arc, pivot]);
+        kb.store(r, &format!("l[{r}][0]"), l);
+        col.push(l);
+    }
+    // Rank-1 update of the trailing submatrix (upper triangle of the
+    // scheduled block): a[r][c] -= l[r][0] · l[c][0].
+    for r in 1..=params.rows {
+        for c in 1..=r {
+            let arc = kb.load(r as i64, &format!("a[{r}][{c}]"));
+            let prod = kb.op(Opcode::FMul, &[col[r - 1], col[c - 1]]);
+            let upd = kb.op(Opcode::FAdd, &[arc, prod]);
+            kb.store(r as i64, &format!("a'[{r}][{c}]"), upd);
+        }
+    }
+    kb.finish("cholesky")
+}
+
+/// Parameters for [`vpenta`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VpentaParams {
+    /// Memory banks / clusters (vector lanes interleaved across them).
+    pub n_banks: u16,
+    /// Independent lanes per bank.
+    pub lanes_per_bank: usize,
+}
+
+impl VpentaParams {
+    /// A small instance.
+    #[must_use]
+    pub fn small() -> Self {
+        VpentaParams {
+            n_banks: 4,
+            lanes_per_bank: 2,
+        }
+    }
+
+    /// Instance sized for an `n_banks`-cluster machine.
+    #[must_use]
+    pub fn for_banks(n_banks: u16) -> Self {
+        VpentaParams {
+            n_banks,
+            lanes_per_bank: 2,
+        }
+    }
+}
+
+impl Default for VpentaParams {
+    fn default() -> Self {
+        VpentaParams::small()
+    }
+}
+
+/// `vpenta` (Spec92 Nasa7): simultaneous inversion of pentadiagonal
+/// systems, vectorized across independent lanes. Each lane runs the
+/// same ~20-op elimination step over its five diagonals — wide, with
+/// per-lane chains and fully banked memory traffic.
+#[must_use]
+pub fn vpenta(params: VpentaParams) -> SchedulingUnit {
+    let mut kb = Kb::new(params.n_banks);
+    for lane in 0..(i64::from(params.n_banks) * params.lanes_per_bank as i64) {
+        // Load the five diagonals and the rhs for this lane.
+        let a = kb.load(lane, &format!("a[{lane}]"));
+        let b = kb.load(lane, &format!("b[{lane}]"));
+        let c = kb.load(lane, &format!("c[{lane}]"));
+        let d = kb.load(lane, &format!("d[{lane}]"));
+        let e = kb.load(lane, &format!("e[{lane}]"));
+        let f = kb.load(lane, &format!("f[{lane}]"));
+        // Forward elimination step (one sweep of the recurrence):
+        // rld = 1/c; substitute into the two rows below.
+        let rld = kb.op(Opcode::FDiv, &[c]);
+        let m1 = kb.op(Opcode::FMul, &[b, rld]);
+        let m2 = kb.op(Opcode::FMul, &[a, rld]);
+        let d1 = kb.op(Opcode::FMul, &[m1, d]);
+        let e1 = kb.op(Opcode::FMul, &[m1, e]);
+        let f1 = kb.op(Opcode::FMul, &[m1, f]);
+        let d2 = kb.op(Opcode::FMul, &[m2, d]);
+        let e2 = kb.op(Opcode::FMul, &[m2, e]);
+        let f2 = kb.op(Opcode::FMul, &[m2, f]);
+        let nc1 = kb.op(Opcode::FAdd, &[c, d1]);
+        let nd1 = kb.op(Opcode::FAdd, &[d, e1]);
+        let nf1 = kb.op(Opcode::FAdd, &[f, f1]);
+        let nc2 = kb.op(Opcode::FAdd, &[c, d2]);
+        let nd2 = kb.op(Opcode::FAdd, &[d, e2]);
+        let nf2 = kb.op(Opcode::FAdd, &[f, f2]);
+        kb.store(lane, &format!("c'[{lane}]"), nc1);
+        kb.store(lane, &format!("d'[{lane}]"), nd1);
+        kb.store(lane, &format!("f'[{lane}]"), nf1);
+        kb.store(lane, &format!("c''[{lane}]"), nc2);
+        kb.store(lane, &format!("d''[{lane}]"), nd2);
+        kb.store(lane, &format!("f''[{lane}]"), nf2);
+    }
+    kb.finish("vpenta")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convergent_ir::ShapeStats;
+
+    #[test]
+    fn cholesky_has_sqrt_div_spine() {
+        let unit = cholesky(CholeskyParams::small());
+        let ops: Vec<_> = unit.dag().instrs().iter().map(|i| i.opcode()).collect();
+        assert!(ops.contains(&Opcode::FSqrt));
+        assert_eq!(
+            ops.iter().filter(|&&o| o == Opcode::FDiv).count(),
+            8 // one divide per scaled row
+        );
+        // The sqrt/div spine makes the latency-weighted critical path
+        // long relative to the graph's unit-latency height.
+        let lat = convergent_ir::TimeAnalysis::compute(unit.dag(), |i| match i.opcode() {
+            Opcode::FSqrt | Opcode::FDiv => 23,
+            _ => 1,
+        });
+        assert!(lat.critical_path_length() > 48);
+    }
+
+    #[test]
+    fn cholesky_updates_fan_out() {
+        let unit = cholesky(CholeskyParams::small());
+        let s = ShapeStats::compute(unit.dag(), |_| 1);
+        assert!(s.max_width() >= 8, "{s}");
+    }
+
+    #[test]
+    fn vpenta_lanes_are_independent() {
+        let unit = vpenta(VpentaParams::small());
+        let s = ShapeStats::compute(unit.dag(), |_| 1);
+        // 8 independent lanes: very fat.
+        assert!(s.avg_parallelism() > 6.0, "{s}");
+        assert!(s.preplaced_fraction() > 0.4, "{s}");
+    }
+
+    #[test]
+    fn vpenta_scales_with_banks() {
+        assert!(
+            vpenta(VpentaParams::for_banks(16)).dag().len()
+                > vpenta(VpentaParams::for_banks(4)).dag().len() * 2
+        );
+    }
+}

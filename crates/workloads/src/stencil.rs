@@ -1,0 +1,270 @@
+//! Stencil kernels: jacobi, life, swim, rbsorf, tomcatv.
+//!
+//! Row-banked 2-D loops. Each unrolled row's loads touch the rows
+//! above and below — preplaced on *neighboring* clusters — so the
+//! dependence graphs have the "mostly local with structured nearest-
+//! neighbor communication" shape that makes Raw-style mesh machines
+//! interesting.
+
+use convergent_ir::{InstrId, Opcode, SchedulingUnit};
+
+use crate::kernel::Kb;
+
+/// Parameters shared by the row-banked stencils.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StencilParams {
+    /// Memory banks / clusters; rows are interleaved across them and
+    /// the row loop is unrolled this many times.
+    pub n_banks: u16,
+    /// Points computed per row in the scheduled region.
+    pub points_per_row: usize,
+}
+
+impl StencilParams {
+    /// A small instance.
+    #[must_use]
+    pub fn small() -> Self {
+        StencilParams {
+            n_banks: 4,
+            points_per_row: 4,
+        }
+    }
+
+    /// Instance sized for an `n_banks`-cluster machine.
+    #[must_use]
+    pub fn for_banks(n_banks: u16) -> Self {
+        StencilParams {
+            n_banks,
+            points_per_row: 4,
+        }
+    }
+}
+
+impl Default for StencilParams {
+    fn default() -> Self {
+        StencilParams::small()
+    }
+}
+
+/// `jacobi`: the Raw benchmark suite's 5-point relaxation,
+/// `out[i][j] = 0.25·(in[i−1][j] + in[i+1][j] + in[i][j−1] + in[i][j+1])`.
+#[must_use]
+pub fn jacobi(params: StencilParams) -> SchedulingUnit {
+    let mut kb = Kb::new(params.n_banks);
+    let quarter = kb.constant("0.25");
+    for i in 0..i64::from(params.n_banks) {
+        for j in 0..params.points_per_row {
+            let up = kb.load_cached(i - 1, &format!("in[{}][{j}]", i - 1));
+            let down = kb.load_cached(i + 1, &format!("in[{}][{j}]", i + 1));
+            let left = kb.load_cached(i, &format!("in[{i}][{}]", j as i64 - 1));
+            let right = kb.load_cached(i, &format!("in[{i}][{}]", j + 1));
+            let s1 = kb.op(Opcode::FAdd, &[up, down]);
+            let s2 = kb.op(Opcode::FAdd, &[left, right]);
+            let s3 = kb.op(Opcode::FAdd, &[s1, s2]);
+            let avg = kb.op(Opcode::FMul, &[s3, quarter]);
+            kb.store(i, &format!("out[{i}][{j}]"), avg);
+        }
+    }
+    kb.finish("jacobi")
+}
+
+/// `life`: Conway's game of life from the Raw benchmark suite — an
+/// 8-neighbor integer stencil with comparison logic. Very fat, pure
+/// integer.
+#[must_use]
+pub fn life(params: StencilParams) -> SchedulingUnit {
+    let mut kb = Kb::new(params.n_banks);
+    for i in 0..i64::from(params.n_banks) {
+        for j in 0..params.points_per_row {
+            let mut neighbors: Vec<InstrId> = Vec::with_capacity(8);
+            for di in -1..=1i64 {
+                for dj in -1..=1i64 {
+                    if di == 0 && dj == 0 {
+                        continue;
+                    }
+                    neighbors.push(kb.load_cached(
+                        i + di,
+                        &format!("g[{}][{}]", i + di, j as i64 + dj),
+                    ));
+                }
+            }
+            let count = kb.reduce_tree(Opcode::IntAlu, &neighbors);
+            let self_cell = kb.load_cached(i, &format!("g[{i}][{j}]"));
+            // alive = (count == 3) | (self & (count == 2))
+            let is3 = kb.op(Opcode::IntAlu, &[count]);
+            let is2 = kb.op(Opcode::IntAlu, &[count]);
+            let keep = kb.op(Opcode::Logic, &[self_cell, is2]);
+            let alive = kb.op(Opcode::Logic, &[is3, keep]);
+            kb.store(i, &format!("out[{i}][{j}]"), alive);
+        }
+    }
+    kb.finish("life")
+}
+
+/// `swim`: the Spec95 shallow-water kernel — three coupled 5-point
+/// stencils (u, v, p fields) with FP multiplies, per point.
+#[must_use]
+pub fn swim(params: StencilParams) -> SchedulingUnit {
+    let mut kb = Kb::new(params.n_banks);
+    let c1 = kb.constant("cu");
+    let c2 = kb.constant("cv");
+    for i in 0..i64::from(params.n_banks) {
+        for j in 0..params.points_per_row {
+            // u-momentum: needs p from the east and v cross-terms.
+            let p_e = kb.load_cached(i, &format!("p[{i}][{}]", j + 1));
+            let p_c = kb.load_cached(i, &format!("p[{i}][{j}]"));
+            let v_n = kb.load_cached(i - 1, &format!("v[{}][{j}]", i - 1));
+            let v_s = kb.load_cached(i + 1, &format!("v[{}][{j}]", i + 1));
+            let dp = kb.op(Opcode::FAdd, &[p_e, p_c]);
+            let dv = kb.op(Opcode::FAdd, &[v_n, v_s]);
+            let cor = kb.op(Opcode::FMul, &[dv, c1]);
+            let unew = kb.op(Opcode::FAdd, &[dp, cor]);
+            kb.store(i, &format!("unew[{i}][{j}]"), unew);
+            // v-momentum, mirrored.
+            let p_n = kb.load_cached(i - 1, &format!("p[{}][{j}]", i - 1));
+            let u_w = kb.load_cached(i, &format!("u[{i}][{}]", j as i64 - 1));
+            let u_e = kb.load_cached(i, &format!("u[{i}][{}]", j + 1));
+            let dp2 = kb.op(Opcode::FAdd, &[p_n, p_c]);
+            let du = kb.op(Opcode::FAdd, &[u_w, u_e]);
+            let cor2 = kb.op(Opcode::FMul, &[du, c2]);
+            let vnew = kb.op(Opcode::FAdd, &[dp2, cor2]);
+            kb.store(i, &format!("vnew[{i}][{j}]"), vnew);
+            // Continuity: p update from both.
+            let div = kb.op(Opcode::FAdd, &[unew, vnew]);
+            let pnew = kb.op(Opcode::FAdd, &[p_c, div]);
+            kb.store(i, &format!("pnew[{i}][{j}]"), pnew);
+        }
+    }
+    kb.finish("swim")
+}
+
+/// `rbsorf`: red-black successive over-relaxation. Like jacobi but
+/// each point blends the stencil average with the old value through
+/// the relaxation factor ω, lengthening the per-point chain.
+#[must_use]
+pub fn rbsorf(params: StencilParams) -> SchedulingUnit {
+    let mut kb = Kb::new(params.n_banks);
+    let omega = kb.constant("omega");
+    let quarter = kb.constant("0.25");
+    for i in 0..i64::from(params.n_banks) {
+        for j in 0..params.points_per_row {
+            // Red points only: (i + j) even in the full code; the
+            // scheduled region sees every point it touches.
+            let up = kb.load_cached(i - 1, &format!("a[{}][{j}]", i - 1));
+            let down = kb.load_cached(i + 1, &format!("a[{}][{j}]", i + 1));
+            let left = kb.load_cached(i, &format!("a[{i}][{}]", j as i64 - 1));
+            let right = kb.load_cached(i, &format!("a[{i}][{}]", j + 1));
+            let center = kb.load_cached(i, &format!("a[{i}][{j}]"));
+            let s1 = kb.op(Opcode::FAdd, &[up, down]);
+            let s2 = kb.op(Opcode::FAdd, &[left, right]);
+            let s3 = kb.op(Opcode::FAdd, &[s1, s2]);
+            let avg = kb.op(Opcode::FMul, &[s3, quarter]);
+            let resid = kb.op(Opcode::FAdd, &[avg, center]);
+            let scaled = kb.op(Opcode::FMul, &[resid, omega]);
+            let new = kb.op(Opcode::FAdd, &[center, scaled]);
+            kb.store(i, &format!("a[{i}][{j}]"), new);
+        }
+    }
+    kb.finish("rbsorf")
+}
+
+/// `tomcatv`: the Spec95 mesh-generation kernel. Per point it forms
+/// first and second differences of the x/y coordinate arrays, then a
+/// longer arithmetic chain (including a divide) for the residuals —
+/// more work and more serialization per point than the relaxations.
+#[must_use]
+pub fn tomcatv(params: StencilParams) -> SchedulingUnit {
+    let mut kb = Kb::new(params.n_banks);
+    for i in 0..i64::from(params.n_banks) {
+        for j in 0..params.points_per_row {
+            let mut diffs = Vec::new();
+            for arr in ["x", "y"] {
+                let n = kb.load_cached(i - 1, &format!("{arr}[{}][{j}]", i - 1));
+                let s = kb.load_cached(i + 1, &format!("{arr}[{}][{j}]", i + 1));
+                let w = kb.load_cached(i, &format!("{arr}[{i}][{}]", j as i64 - 1));
+                let e = kb.load_cached(i, &format!("{arr}[{i}][{}]", j + 1));
+                let c = kb.load_cached(i, &format!("{arr}[{i}][{j}]"));
+                let dx = kb.op(Opcode::FAdd, &[e, w]); // first differences
+                let dy = kb.op(Opcode::FAdd, &[n, s]);
+                let two_c = kb.op(Opcode::FMul, &[c]);
+                let d2x = kb.op(Opcode::FAdd, &[dx, two_c]); // second differences
+                let d2y = kb.op(Opcode::FAdd, &[dy, two_c]);
+                diffs.push((dx, dy, d2x, d2y));
+            }
+            let (xx, xy, x2, _) = diffs[0];
+            let (yx, yy, y2, _) = diffs[1];
+            // Jacobian-ish combination: a = xx² + yx², b = xx·xy + yx·yy ...
+            let a1 = kb.op(Opcode::FMul, &[xx, xx]);
+            let a2 = kb.op(Opcode::FMul, &[yx, yx]);
+            let a = kb.op(Opcode::FAdd, &[a1, a2]);
+            let b1 = kb.op(Opcode::FMul, &[xx, xy]);
+            let b2 = kb.op(Opcode::FMul, &[yx, yy]);
+            let b = kb.op(Opcode::FAdd, &[b1, b2]);
+            let r1 = kb.op(Opcode::FMul, &[a, x2]);
+            let r2 = kb.op(Opcode::FMul, &[b, y2]);
+            let rnum = kb.op(Opcode::FAdd, &[r1, r2]);
+            let rden = kb.op(Opcode::FAdd, &[a, b]);
+            let res = kb.op(Opcode::FDiv, &[rnum, rden]);
+            kb.store(i, &format!("rx[{i}][{j}]"), res);
+        }
+    }
+    kb.finish("tomcatv")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convergent_ir::{ClusterId, ShapeStats};
+
+    #[test]
+    fn jacobi_touches_neighbor_banks() {
+        let unit = jacobi(StencilParams::small());
+        // Row 0's stencil loads row -1, banked on cluster 3 (mod 4).
+        let homes: std::collections::HashSet<_> = unit
+            .dag()
+            .preplaced()
+            .map(|i| unit.dag().instr(i).preplacement().unwrap())
+            .collect();
+        assert!(homes.contains(&ClusterId::new(3)));
+        assert_eq!(homes.len(), 4);
+    }
+
+    #[test]
+    fn stencils_are_fat() {
+        for unit in [
+            jacobi(StencilParams::small()),
+            life(StencilParams::small()),
+            swim(StencilParams::small()),
+            rbsorf(StencilParams::small()),
+        ] {
+            let s = ShapeStats::compute(unit.dag(), |_| 1);
+            assert!(s.is_fat(), "{}: {s}", unit.name());
+        }
+    }
+
+    #[test]
+    fn life_is_integer_and_biggest() {
+        let unit = life(StencilParams::small());
+        assert!(unit.dag().instrs().iter().all(|i| !i.opcode().is_float()));
+        assert!(unit.dag().len() > 200);
+    }
+
+    #[test]
+    fn tomcatv_has_divides_on_the_path() {
+        let unit = tomcatv(StencilParams::small());
+        assert!(unit
+            .dag()
+            .instrs()
+            .iter()
+            .any(|i| i.opcode() == Opcode::FDiv));
+        let time = convergent_ir::TimeAnalysis::compute(unit.dag(), |_| 1);
+        assert!(time.critical_path_length() >= 7);
+    }
+
+    #[test]
+    fn sizes_scale_with_banks() {
+        let small = swim(StencilParams::for_banks(2));
+        let large = swim(StencilParams::for_banks(8));
+        assert!(large.dag().len() >= small.dag().len() * 3);
+    }
+}

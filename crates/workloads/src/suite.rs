@@ -1,0 +1,167 @@
+//! The paper's benchmark suites.
+
+use convergent_ir::{ClusterId, DagBuilder, Instruction, SchedulingUnit};
+
+use crate::{
+    cholesky, fir, fpppp_kernel, jacobi, life, mxm, rbsorf, sha, swim, tomcatv, vpenta, vvmul,
+    yuv, CholeskyParams, FirParams, FppppParams, MxmParams, ShaParams, StencilParams,
+    VpentaParams, VvmulParams, YuvParams,
+};
+
+/// The Raw evaluation suite (Table 2 / Figures 6 and 7): cholesky,
+/// tomcatv, vpenta, mxm, fpppp-kernel, sha, swim, jacobi, life —
+/// banked for an `n_tiles`-tile machine.
+///
+/// "For dense matrix loops, the congruence pass usually unrolls the
+/// loops by the number of clusters or tiles", so the generators take
+/// the tile count as their unroll/banking factor. fpppp-kernel and
+/// sha carry no preplacement and do not scale with the tile count.
+#[must_use]
+pub fn raw_suite(n_tiles: u16) -> Vec<SchedulingUnit> {
+    vec![
+        cholesky(CholeskyParams::for_banks(n_tiles)),
+        tomcatv(StencilParams::for_banks(n_tiles)),
+        vpenta(VpentaParams::for_banks(n_tiles)),
+        mxm(MxmParams::for_banks(n_tiles)),
+        fpppp_kernel(FppppParams::small()),
+        sha(ShaParams::small()),
+        swim(StencilParams::for_banks(n_tiles)),
+        jacobi(StencilParams::for_banks(n_tiles)),
+        life(StencilParams::for_banks(n_tiles)),
+    ]
+}
+
+/// The clustered-VLIW evaluation suite (Figures 8 and 9): vvmul,
+/// rbsorf, yuv, tomcatv, mxm, fir, cholesky — banked for an
+/// `n_clusters`-cluster machine.
+#[must_use]
+pub fn vliw_suite(n_clusters: u16) -> Vec<SchedulingUnit> {
+    vec![
+        vvmul(VvmulParams::for_banks(n_clusters)),
+        rbsorf(StencilParams::for_banks(n_clusters)),
+        yuv(YuvParams::for_banks(n_clusters)),
+        tomcatv(StencilParams::for_banks(n_clusters)),
+        mxm(MxmParams::for_banks(n_clusters)),
+        fir(FirParams::for_banks(n_clusters)),
+        cholesky(CholeskyParams::for_banks(n_clusters)),
+    ]
+}
+
+/// Re-interleaves a unit's preplacements for a machine with `n_banks`
+/// clusters by taking each home modulo `n_banks` — the graph (and so
+/// the total work) is unchanged.
+///
+/// Speedup baselines need this: the paper reports "speedup relative to
+/// performance on one tile", meaning the *same* unrolled program run
+/// on a single tile, where every bank folds onto the one memory.
+///
+/// # Panics
+///
+/// Panics if `n_banks` is zero.
+#[must_use]
+pub fn rebank(unit: &SchedulingUnit, n_banks: u16) -> SchedulingUnit {
+    assert!(n_banks > 0, "need at least one bank");
+    let dag = unit.dag();
+    let mut b = DagBuilder::with_capacity(dag.len());
+    for instr in dag.instrs() {
+        let mut new = match instr.preplacement() {
+            Some(h) => Instruction::preplaced(
+                instr.opcode(),
+                ClusterId::new(h.raw() % n_banks),
+            ),
+            None => Instruction::new(instr.opcode()),
+        };
+        if let Some(name) = instr.name() {
+            new = new.with_name(name);
+        }
+        b.push(new);
+    }
+    for e in dag.edges() {
+        b.edge(e.src, e.dst)
+            .expect("copying edges of a valid graph");
+    }
+    SchedulingUnit::new(unit.name(), b.build().expect("copy of a valid graph"))
+        .with_kind(unit.kind())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_suite_matches_table_2_roster() {
+        let names: Vec<String> = raw_suite(4).iter().map(|u| u.name().to_string()).collect();
+        assert_eq!(
+            names,
+            [
+                "cholesky",
+                "tomcatv",
+                "vpenta",
+                "mxm",
+                "fpppp-kernel",
+                "sha",
+                "swim",
+                "jacobi",
+                "life"
+            ]
+        );
+    }
+
+    #[test]
+    fn vliw_suite_matches_figure_8_roster() {
+        let names: Vec<String> = vliw_suite(4).iter().map(|u| u.name().to_string()).collect();
+        assert_eq!(
+            names,
+            ["vvmul", "rbsorf", "yuv", "tomcatv", "mxm", "fir", "cholesky"]
+        );
+    }
+
+    #[test]
+    fn suites_have_reasonable_sizes() {
+        for unit in raw_suite(16).iter().chain(vliw_suite(4).iter()) {
+            assert!(
+                unit.dag().len() >= 50,
+                "{} too small: {}",
+                unit.name(),
+                unit.dag().len()
+            );
+            assert!(
+                unit.dag().len() <= 5000,
+                "{} too big: {}",
+                unit.name(),
+                unit.dag().len()
+            );
+        }
+    }
+
+    #[test]
+    fn rebank_folds_homes_and_preserves_structure() {
+        let unit = mxm(MxmParams::for_banks(4));
+        let folded = rebank(&unit, 1);
+        assert_eq!(folded.dag().len(), unit.dag().len());
+        assert_eq!(folded.dag().edge_count(), unit.dag().edge_count());
+        for i in folded.dag().preplaced() {
+            assert_eq!(
+                folded.dag().instr(i).preplacement(),
+                Some(convergent_ir::ClusterId::new(0))
+            );
+        }
+        assert_eq!(folded.dag().preplaced_count(), unit.dag().preplaced_count());
+    }
+
+    #[test]
+    fn preplacement_homes_fit_the_machine() {
+        for tiles in [2u16, 4, 8, 16] {
+            for unit in raw_suite(tiles) {
+                for i in unit.dag().preplaced() {
+                    let home = unit.dag().instr(i).preplacement().unwrap();
+                    assert!(
+                        home.index() < tiles as usize,
+                        "{}: {home} out of range for {tiles} tiles",
+                        unit.name()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Watch the preference map converge — the paper's Figure 4.
+//!
+//! Figure 4 renders the cluster-preference map of an fpppp code
+//! sequence after each pass: rows are instructions, columns are
+//! clusters, brightness is preference. This example prints the same
+//! thing as ASCII art for the fpppp kernel on a 4-cluster VLIW,
+//! pass by pass.
+//!
+//! ```text
+//! cargo run --release --example convergence_trace
+//! ```
+
+use convergent_scheduling::prelude::*;
+use convergent_scheduling::workloads::{fpppp_kernel, FppppParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let unit = fpppp_kernel(FppppParams { spines: 4, steps: 6 });
+    let machine = Machine::chorus_vliw(4);
+    println!("{unit}\n");
+    println!("rows = instructions, cols = clusters; '.'→'@' = weak→strong preference\n");
+
+    ConvergentScheduler::vliw_default().assign_with_observer(
+        unit.dag(),
+        &machine,
+        |k, name, weights| {
+            println!("--- after pass {k}: {name} ---");
+            // Show a sample of instructions (every 4th) to keep the
+            // picture compact.
+            for i in unit.dag().ids().step_by(4) {
+                let total = weights.total(i).max(f64::MIN_POSITIVE);
+                let mut row = String::new();
+                for c in 0..machine.n_clusters() {
+                    let frac =
+                        weights.cluster_weight(i, ClusterId::new(c as u16)) / total;
+                    let glyph = match (frac * 100.0) as u32 {
+                        0..=9 => ' ',
+                        10..=24 => '.',
+                        25..=39 => 'o',
+                        40..=59 => 'O',
+                        _ => '@',
+                    };
+                    row.push(glyph);
+                }
+                println!("  {i:>4} |{row}|");
+            }
+            println!();
+        },
+    )?;
+    Ok(())
+}

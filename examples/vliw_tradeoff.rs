@@ -1,0 +1,86 @@
+//! The locality-vs-parallelism tradeoff of the paper's Figure 1.
+//!
+//! "Consider an architecture with three clusters, each with one
+//! functional unit, where communication takes one cycle of latency. …
+//! conservative partitioning that maximizes locality leads to an
+//! eight-cycle schedule; aggressive partitioning has high
+//! communication requirements; the optimal schedule is a careful
+//! tradeoff between locality and parallelism."
+//!
+//! This example builds such a machine and kernel, schedules it under
+//! (a) everything-on-one-cluster, (b) aggressive round-robin
+//! splitting, and (c) the convergent scheduler, and prints the cycle
+//! counts.
+//!
+//! ```text
+//! cargo run --example vliw_tradeoff
+//! ```
+
+use convergent_scheduling::machine::{Cluster, CommModel, FuKind, LatencyTable, MemoryModel, Topology};
+use convergent_scheduling::prelude::*;
+use convergent_scheduling::schedulers::ListScheduler;
+use convergent_scheduling::sim::Assignment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three single-FU clusters, one-cycle register-mapped transfers —
+    // Figure 1's machine.
+    let machine = Machine::new(
+        "figure1",
+        vec![Cluster::new(vec![FuKind::Universal]); 3],
+        Topology::PointToPoint,
+        CommModel {
+            base_latency: 1,
+            per_hop: 0,
+            register_mapped: true,
+        },
+        LatencyTable::uniform(1),
+        MemoryModel::chorus(),
+    );
+
+    // Eight single-cycle operations: a five-deep chain, a two-op side
+    // chain joining it, and one independent feeder.
+    let mut b = DagBuilder::new();
+    let a1 = b.instr(Opcode::IntMul);
+    let a2 = b.instr(Opcode::IntAlu);
+    let a3 = b.instr(Opcode::IntMul);
+    let a4 = b.instr(Opcode::IntAlu);
+    let a5 = b.instr(Opcode::IntMul);
+    let b1 = b.instr(Opcode::IntAlu);
+    let b2 = b.instr(Opcode::IntAlu);
+    let c1 = b.instr(Opcode::IntAlu);
+    for (x, y) in [(a1, a2), (a2, a3), (a3, a4), (a4, a5), (b1, b2), (b2, a4), (c1, a3)] {
+        b.edge(x, y)?;
+    }
+    let dag = b.build()?;
+
+    let lister = ListScheduler::new();
+    let cycles = |assignment: &Assignment| -> Result<u32, Box<dyn std::error::Error>> {
+        let s = lister.schedule_with_cp(&dag, &machine, assignment)?;
+        validate(&dag, &machine, &s)?;
+        Ok(s.makespan().get())
+    };
+
+    // (a) Conservative: maximize locality, zero communication.
+    let conservative = Assignment::uniform(dag.len(), ClusterId::new(0));
+    // (b) Aggressive: spray instructions round-robin; every dependence
+    // edge crosses clusters.
+    let aggressive: Assignment = dag
+        .ids()
+        .map(|i| ClusterId::new((i.raw() % 3) as u16))
+        .collect();
+    // (c) Convergent scheduling balances the two.
+    let conv = ConvergentScheduler::vliw_tuned().schedule(&dag, &machine)?;
+    validate(&dag, &machine, conv.schedule())?;
+
+    let a = cycles(&conservative)?;
+    let g = cycles(&aggressive)?;
+    let c = conv.schedule().makespan().get();
+    println!("conservative (all on one cluster): {a} cycles");
+    println!("aggressive   (round-robin spray):  {g} cycles");
+    println!("convergent   (balanced tradeoff):  {c} cycles");
+    assert!(
+        c < a && c < g,
+        "the balanced schedule must beat both extremes ({c} vs {a}/{g})"
+    );
+    Ok(())
+}

@@ -1,0 +1,229 @@
+//! `csched` — schedule a dependence graph from the command line.
+//!
+//! ```text
+//! csched <input.cdag | --workload NAME> [options]
+//!
+//! options:
+//!   --machine raw<N> | vliw<N>    target machine        (default vliw4)
+//!   --scheduler convergent|uas|pcc|rawcc|bug            (default convergent)
+//!   --workload NAME               use a built-in benchmark instead of a file
+//!   --list-workloads              print the built-in benchmark names
+//!   --dump                        print the input graph as .cdag and exit
+//!   --dot                         print the input graph as Graphviz DOT and exit
+//!   --pressure                    also report register pressure
+//!   --verbose                     print per-instruction placement
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! csched --workload mxm --machine raw16 --scheduler convergent
+//! csched mygraph.cdag --machine vliw4 --scheduler uas --pressure
+//! csched --workload sha --dump > sha.cdag
+//! ```
+
+use std::process::ExitCode;
+
+use convergent_scheduling::core::ConvergentScheduler;
+use convergent_scheduling::ir::{parse_unit, to_dot, to_text, SchedulingUnit};
+use convergent_scheduling::machine::Machine;
+use convergent_scheduling::schedulers::{
+    BugScheduler, PccScheduler, RawccScheduler, Scheduler, UasScheduler,
+};
+use convergent_scheduling::sim::{analyze_pressure, evaluate, validate};
+use convergent_scheduling::workloads as wl;
+
+struct Options {
+    input: Option<String>,
+    workload: Option<String>,
+    machine: String,
+    scheduler: String,
+    dump: bool,
+    dot: bool,
+    pressure: bool,
+    verbose: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: csched <input.cdag | --workload NAME> [--machine rawN|vliwN] \
+     [--scheduler convergent|uas|pcc|rawcc|bug] [--dump] [--dot] [--pressure] [--verbose] \
+     [--list-workloads]"
+}
+
+const WORKLOADS: &[&str] = &[
+    "cholesky", "tomcatv", "vpenta", "mxm", "fpppp-kernel", "sha", "swim", "jacobi", "life",
+    "vvmul", "rbsorf", "yuv", "fir",
+];
+
+fn builtin_workload(name: &str, banks: u16) -> Option<SchedulingUnit> {
+    Some(match name {
+        "cholesky" => wl::cholesky(wl::CholeskyParams::for_banks(banks)),
+        "tomcatv" => wl::tomcatv(wl::StencilParams::for_banks(banks)),
+        "vpenta" => wl::vpenta(wl::VpentaParams::for_banks(banks)),
+        "mxm" => wl::mxm(wl::MxmParams::for_banks(banks)),
+        "fpppp-kernel" => wl::fpppp_kernel(wl::FppppParams::small()),
+        "sha" => wl::sha(wl::ShaParams::small()),
+        "swim" => wl::swim(wl::StencilParams::for_banks(banks)),
+        "jacobi" => wl::jacobi(wl::StencilParams::for_banks(banks)),
+        "life" => wl::life(wl::StencilParams::for_banks(banks)),
+        "vvmul" => wl::vvmul(wl::VvmulParams::for_banks(banks)),
+        "rbsorf" => wl::rbsorf(wl::StencilParams::for_banks(banks)),
+        "yuv" => wl::yuv(wl::YuvParams::for_banks(banks)),
+        "fir" => wl::fir(wl::FirParams::for_banks(banks)),
+        _ => return None,
+    })
+}
+
+fn parse_machine(spec: &str) -> Option<Machine> {
+    if let Some(n) = spec.strip_prefix("raw") {
+        return n.parse().ok().map(Machine::raw);
+    }
+    if let Some(n) = spec.strip_prefix("vliw") {
+        return n.parse().ok().map(Machine::chorus_vliw);
+    }
+    None
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        input: None,
+        workload: None,
+        machine: "vliw4".to_string(),
+        scheduler: "convergent".to_string(),
+        dump: false,
+        dot: false,
+        pressure: false,
+        verbose: false,
+    };
+    let mut k = 0;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--machine" => {
+                k += 1;
+                opts.machine = args.get(k).ok_or("--machine takes a value")?.clone();
+            }
+            "--scheduler" => {
+                k += 1;
+                opts.scheduler = args.get(k).ok_or("--scheduler takes a value")?.clone();
+            }
+            "--workload" => {
+                k += 1;
+                opts.workload = Some(args.get(k).ok_or("--workload takes a value")?.clone());
+            }
+            "--list-workloads" => {
+                for w in WORKLOADS {
+                    println!("{w}");
+                }
+                std::process::exit(0);
+            }
+            "--dump" => opts.dump = true,
+            "--dot" => opts.dot = true,
+            "--pressure" => opts.pressure = true,
+            "--verbose" => opts.verbose = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => opts.input = Some(other.to_string()),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        k += 1;
+    }
+    if opts.input.is_none() && opts.workload.is_none() {
+        return Err("need an input file or --workload".to_string());
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+
+    let machine = parse_machine(&opts.machine)
+        .ok_or_else(|| format!("unknown machine '{}' (use rawN or vliwN)", opts.machine))?;
+
+    let unit = match (&opts.workload, &opts.input) {
+        (Some(w), _) => builtin_workload(w, machine.n_clusters() as u16)
+            .ok_or_else(|| format!("unknown workload '{w}' (try --list-workloads)"))?,
+        (None, Some(path)) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            parse_unit(&text).map_err(|e| format!("parsing {path}: {e}"))?
+        }
+        (None, None) => unreachable!("checked in parse_args"),
+    };
+
+    if opts.dump {
+        print!("{}", to_text(&unit));
+        return Ok(());
+    }
+    if opts.dot {
+        print!("{}", to_dot(unit.dag(), unit.name()));
+        return Ok(());
+    }
+
+    let scheduler: Box<dyn Scheduler> = match opts.scheduler.as_str() {
+        "convergent" => {
+            if machine.comm().register_mapped {
+                Box::new(ConvergentScheduler::raw_default())
+            } else {
+                Box::new(ConvergentScheduler::vliw_tuned())
+            }
+        }
+        "uas" => Box::new(UasScheduler::new()),
+        "pcc" => Box::new(PccScheduler::new()),
+        "rawcc" => Box::new(RawccScheduler::new()),
+        "bug" => Box::new(BugScheduler::new()),
+        other => return Err(format!("unknown scheduler '{other}'")),
+    };
+
+    let schedule = scheduler
+        .schedule(unit.dag(), &machine)
+        .map_err(|e| format!("scheduling failed: {e}"))?;
+    validate(unit.dag(), &machine, &schedule)
+        .map_err(|e| format!("produced schedule failed validation: {e}"))?;
+    let report = evaluate(unit.dag(), &machine, &schedule);
+
+    println!("{unit}");
+    println!("machine:    {machine}");
+    println!("scheduler:  {}", scheduler.name());
+    println!("cycles:     {} (nominal {})", report.makespan.get(), report.nominal_makespan);
+    println!(
+        "comm:       {} transfers, {} link-cycles, {} stall cycles",
+        report.comm_ops, report.network.link_cycles, report.network.stall_cycles
+    );
+    println!("issue use:  {:.1}%", report.fu_utilization * 100.0);
+    if opts.pressure {
+        let p = analyze_pressure(unit.dag(), &machine, &schedule);
+        println!(
+            "registers:  peak {} of {}, {} spills",
+            p.max_peak(),
+            machine.registers_per_cluster(),
+            p.total_spills()
+        );
+    }
+    if opts.verbose {
+        println!();
+        for i in unit.dag().ids() {
+            let op = schedule.op(i);
+            println!(
+                "  {i:>5} {:<8} {} @ {}",
+                unit.dag().instr(i).opcode().to_string(),
+                op.cluster,
+                op.start
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("csched: {msg}");
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

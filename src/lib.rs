@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! Umbrella crate for the Convergent Scheduling reproduction.
+//!
+//! This crate re-exports the whole workspace so examples, integration
+//! tests, and downstream users can depend on a single package:
+//!
+//! * [`ir`] — dependence-graph IR and analyses
+//! * [`machine`] — Raw and clustered-VLIW machine models
+//! * [`core`] — the convergent scheduler (preference maps + passes)
+//! * [`schedulers`] — list scheduling and the UAS / PCC / Rawcc baselines
+//! * [`sim`] — schedule validation and cycle-level evaluation
+//! * [`workloads`] — reconstructed benchmark DAG generators
+//!
+//! # Quickstart
+//!
+//! ```
+//! use convergent_scheduling::prelude::*;
+//!
+//! // A 4-cluster VLIW and a small matrix-multiply kernel.
+//! let machine = Machine::chorus_vliw(4);
+//! let unit = workloads::mxm(MxmParams::small());
+//!
+//! // Run the paper's VLIW pass sequence and list-schedule the result.
+//! let outcome = ConvergentScheduler::vliw_default()
+//!     .schedule(unit.dag(), &machine)
+//!     .expect("scheduling succeeds");
+//! let schedule = outcome.schedule();
+//! assert!(schedule.makespan().get() > 0);
+//! ```
+
+pub use convergent_core as core;
+pub use convergent_ir as ir;
+pub use convergent_machine as machine;
+pub use convergent_schedulers as schedulers;
+pub use convergent_sim as sim;
+pub use convergent_workloads as workloads;
+
+/// Convenient glob import for examples and tests.
+pub mod prelude {
+    pub use convergent_core::{ConvergentScheduler, Pass, PassContext, PreferenceMap, Sequence};
+    pub use convergent_ir::{
+        ClusterId, Cycle, Dag, DagBuilder, InstrId, Instruction, OpClass, Opcode, Program,
+        SchedulingUnit, TimeAnalysis,
+    };
+    pub use convergent_machine::Machine;
+    pub use convergent_schedulers::{
+        schedule_program, CrossRegionPolicy, ListScheduler, PccScheduler, RawccScheduler,
+        UasScheduler,
+    };
+    pub use convergent_sim::{analyze_pressure, evaluate, validate, SpaceTimeSchedule};
+    pub use convergent_workloads::{self as workloads, MxmParams};
+}

@@ -1,0 +1,186 @@
+//! Cross-crate integration tests: every scheduler, on every paper
+//! workload, on both machine families, produces a schedule that the
+//! simulator accepts — and the domain-specific invariants hold.
+
+use convergent_scheduling::core::ConvergentScheduler;
+use convergent_scheduling::machine::Machine;
+use convergent_scheduling::schedulers::{
+    BugScheduler, PccScheduler, RawccScheduler, Scheduler, UasScheduler,
+};
+use convergent_scheduling::sim::{evaluate, validate};
+use convergent_scheduling::workloads::{raw_suite, rebank, vliw_suite};
+
+fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(UasScheduler::new()),
+        Box::new(PccScheduler::new()),
+        Box::new(RawccScheduler::new()),
+        Box::new(BugScheduler::new()),
+        Box::new(ConvergentScheduler::raw_default()),
+        Box::new(ConvergentScheduler::vliw_tuned()),
+    ]
+}
+
+#[test]
+fn every_scheduler_validates_on_the_raw_suite() {
+    let machine = Machine::raw(4);
+    for unit in raw_suite(4) {
+        for sched in schedulers() {
+            let s = sched
+                .schedule(unit.dag(), &machine)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", sched.name(), unit.name()));
+            validate(unit.dag(), &machine, &s)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", sched.name(), unit.name()));
+        }
+    }
+}
+
+#[test]
+fn every_scheduler_validates_on_the_vliw_suite() {
+    let machine = Machine::chorus_vliw(4);
+    for unit in vliw_suite(4) {
+        for sched in schedulers() {
+            let s = sched
+                .schedule(unit.dag(), &machine)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", sched.name(), unit.name()));
+            validate(unit.dag(), &machine, &s)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", sched.name(), unit.name()));
+        }
+    }
+}
+
+#[test]
+fn preplacement_is_hard_on_raw_for_every_scheduler() {
+    let machine = Machine::raw(8);
+    for unit in raw_suite(8) {
+        for sched in schedulers() {
+            let s = sched.schedule(unit.dag(), &machine).unwrap();
+            assert!(
+                s.assignment().respects_preplacement(unit.dag()),
+                "{} broke preplacement on {}",
+                sched.name(),
+                unit.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn evaluation_never_beats_the_nominal_schedule() {
+    // Contention can only add cycles on a mesh.
+    let machine = Machine::raw(16);
+    for unit in raw_suite(16) {
+        let s = RawccScheduler::new().schedule(unit.dag(), &machine).unwrap();
+        let report = evaluate(unit.dag(), &machine, &s);
+        // The evaluator issues ASAP, so it may beat a lazy nominal
+        // schedule in cycle count, but never by violating resources:
+        // makespan is at least the critical-path bound.
+        let time = convergent_scheduling::ir::TimeAnalysis::compute(unit.dag(), |i| {
+            machine.latency_of(i)
+        });
+        assert!(
+            report.makespan.get() >= time.critical_path_length(),
+            "{}: {} < CPL {}",
+            unit.name(),
+            report.makespan.get(),
+            time.critical_path_length()
+        );
+    }
+}
+
+#[test]
+fn more_tiles_never_hurt_much() {
+    // Speedup vs 1 tile must be >= 0.9 for every scheduler on every
+    // benchmark: a spatial machine may be wasted, but a sane scheduler
+    // must not fall far below the single-tile baseline.
+    for tiles in [2u16, 4] {
+        let machine = Machine::raw(tiles);
+        for unit in raw_suite(tiles) {
+            for sched in [
+                Box::new(RawccScheduler::new()) as Box<dyn Scheduler>,
+                Box::new(ConvergentScheduler::raw_default()),
+            ] {
+                let folded = rebank(&unit, 1);
+                let single = Machine::raw(1);
+                let base = convergent_scheduling::schedulers::ListScheduler::new()
+                    .schedule_with_cp(
+                        folded.dag(),
+                        &single,
+                        &convergent_scheduling::sim::Assignment::uniform(
+                            folded.dag().len(),
+                            convergent_scheduling::ir::ClusterId::new(0),
+                        ),
+                    )
+                    .unwrap();
+                let base_cycles = evaluate(folded.dag(), &single, &base).makespan.get();
+                let s = sched.schedule(unit.dag(), &machine).unwrap();
+                let cycles = evaluate(unit.dag(), &machine, &s).makespan.get();
+                let speedup = f64::from(base_cycles) / f64::from(cycles);
+                assert!(
+                    speedup >= 0.9,
+                    "{} on {}@{tiles}: speedup {speedup:.2}",
+                    sched.name(),
+                    unit.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn convergent_is_deterministic_end_to_end() {
+    let machine = Machine::raw(4);
+    for unit in raw_suite(4) {
+        let a = ConvergentScheduler::raw_default()
+            .schedule(unit.dag(), &machine)
+            .unwrap();
+        let b = ConvergentScheduler::raw_default()
+            .schedule(unit.dag(), &machine)
+            .unwrap();
+        assert_eq!(
+            a.schedule().makespan(),
+            b.schedule().makespan(),
+            "{}",
+            unit.name()
+        );
+        assert_eq!(a.assignment(), b.assignment(), "{}", unit.name());
+    }
+}
+
+#[test]
+fn convergence_trace_covers_spatial_passes() {
+    let machine = Machine::chorus_vliw(4);
+    for unit in vliw_suite(4) {
+        let outcome = ConvergentScheduler::vliw_default()
+            .assign(unit.dag(), &machine)
+            .unwrap();
+        // Table 1(b) has 9 passes, one of which (EMPHCP) is time-only.
+        assert_eq!(outcome.trace().records().len(), 9, "{}", unit.name());
+        assert_eq!(outcome.trace().spatial().count(), 8, "{}", unit.name());
+        for r in outcome.trace().records() {
+            assert!(
+                (0.0..=1.0).contains(&r.changed_fraction),
+                "{}: {r:?}",
+                unit.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn single_cluster_machines_work_for_all_suites() {
+    // Degenerate machines are the speedup baselines; they must always
+    // schedule.
+    let raw1 = Machine::raw(1);
+    let vliw1 = Machine::chorus_vliw(1);
+    for unit in raw_suite(2) {
+        let folded = rebank(&unit, 1);
+        let s = RawccScheduler::new().schedule(folded.dag(), &raw1).unwrap();
+        validate(folded.dag(), &raw1, &s).unwrap();
+    }
+    for unit in vliw_suite(2) {
+        let folded = rebank(&unit, 1);
+        let s = UasScheduler::new().schedule(folded.dag(), &vliw1).unwrap();
+        validate(folded.dag(), &vliw1, &s).unwrap();
+    }
+}

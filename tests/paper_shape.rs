@@ -1,0 +1,98 @@
+//! Regression tests pinning the paper's qualitative results.
+//!
+//! Everything here is deterministic (fixed seeds), so these are exact
+//! regression guards: if a refactor changes who wins, these fail
+//! before EXPERIMENTS.md silently goes stale.
+
+use convergent_scheduling::core::ConvergentScheduler;
+use convergent_scheduling::ir::ClusterId;
+use convergent_scheduling::machine::Machine;
+use convergent_scheduling::schedulers::{ListScheduler, RawccScheduler, Scheduler};
+use convergent_scheduling::sim::{evaluate, validate, Assignment};
+use convergent_scheduling::workloads::{raw_suite, rebank};
+
+fn executed(scheduler: &dyn Scheduler, unit: &convergent_scheduling::ir::SchedulingUnit, machine: &Machine) -> f64 {
+    let s = scheduler.schedule(unit.dag(), machine).expect("schedules");
+    validate(unit.dag(), machine, &s).expect("valid");
+    f64::from(evaluate(unit.dag(), machine, &s).makespan.get())
+}
+
+fn baseline(unit: &convergent_scheduling::ir::SchedulingUnit) -> f64 {
+    let folded = rebank(unit, 1);
+    let single = Machine::raw(1);
+    let asg = Assignment::uniform(folded.dag().len(), ClusterId::new(0));
+    let s = ListScheduler::new()
+        .schedule_with_cp(folded.dag(), &single, &asg)
+        .expect("schedules");
+    f64::from(evaluate(folded.dag(), &single, &s).makespan.get())
+}
+
+/// The paper's headline: on preplacement-rich dense benchmarks,
+/// convergent scheduling beats the Rawcc baseline at 8 tiles.
+#[test]
+fn convergent_beats_rawcc_on_dense_benchmarks_at_8_tiles() {
+    let machine = Machine::raw(8);
+    let dense = ["mxm", "swim", "jacobi", "cholesky", "tomcatv"];
+    let mut conv_wins = 0usize;
+    let mut log_ratio = 0.0f64;
+    for unit in raw_suite(8) {
+        if !dense.contains(&unit.name()) {
+            continue;
+        }
+        let base = executed(&RawccScheduler::new(), &unit, &machine);
+        let conv = executed(&ConvergentScheduler::raw_default(), &unit, &machine);
+        // Lower cycles = better; speedup ratio = base / conv.
+        log_ratio += (base / conv).ln();
+        if conv <= base {
+            conv_wins += 1;
+        }
+    }
+    assert!(
+        conv_wins >= 4,
+        "convergent must win at least 4 of 5 dense benchmarks, won {conv_wins}"
+    );
+    assert!(
+        log_ratio > 0.0,
+        "geomean cycle ratio must favor convergent (got {:.3})",
+        log_ratio.exp()
+    );
+}
+
+/// The paper's admitted weakness: convergent trails the baseline on
+/// fpppp-kernel, the fine-grained-ILP graph with no preplacement.
+#[test]
+fn fpppp_is_convergents_worst_case() {
+    let machine = Machine::raw(8);
+    let unit = raw_suite(8)
+        .into_iter()
+        .find(|u| u.name() == "fpppp-kernel")
+        .expect("suite roster");
+    let base = executed(&RawccScheduler::new(), &unit, &machine);
+    let conv = executed(&ConvergentScheduler::raw_default(), &unit, &machine);
+    assert!(
+        conv >= base,
+        "paper shape: baseline Rawcc should win fpppp-kernel (base {base}, conv {conv})"
+    );
+}
+
+/// Speedups must scale with tile count on the fat benchmarks (the
+/// paper's Table 2 trend).
+#[test]
+fn fat_benchmarks_scale_with_tiles() {
+    for name in ["vpenta", "life"] {
+        let mut prev = 0.0f64;
+        for tiles in [2u16, 4, 8] {
+            let machine = Machine::raw(tiles);
+            let unit = raw_suite(tiles)
+                .into_iter()
+                .find(|u| u.name() == name)
+                .expect("suite roster");
+            let speedup = baseline(&unit) / executed(&ConvergentScheduler::raw_default(), &unit, &machine);
+            assert!(
+                speedup > prev * 1.05,
+                "{name}: speedup {speedup:.2} at {tiles} tiles did not grow past {prev:.2}"
+            );
+            prev = speedup;
+        }
+    }
+}

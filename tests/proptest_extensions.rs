@@ -1,0 +1,155 @@
+//! Property tests for the extension subsystems: the `.cdag` text
+//! format, register-pressure analysis, and multi-region scheduling.
+
+use convergent_scheduling::ir::{parse_unit, to_text};
+use convergent_scheduling::machine::Machine;
+use convergent_scheduling::schedulers::{
+    schedule_program, CrossRegionPolicy, RawccScheduler, Scheduler, UasScheduler,
+};
+use convergent_scheduling::sim::{analyze_pressure, validate};
+use convergent_scheduling::workloads::{
+    layered, multi_region_accumulate, LayeredParams, MultiRegionParams,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn text_format_round_trips_random_graphs(
+        n in 1usize..150,
+        width in 1usize..10,
+        seed in any::<u64>(),
+        pre in 0.0f64..1.0,
+    ) {
+        let unit = layered(
+            LayeredParams::new(n, seed)
+                .with_width(width)
+                .with_preplacement(pre, 4),
+        );
+        let text = to_text(&unit);
+        let back = parse_unit(&text).expect("serializer output parses");
+        prop_assert_eq!(back.dag().len(), unit.dag().len());
+        prop_assert_eq!(back.dag().edge_count(), unit.dag().edge_count());
+        for i in unit.dag().ids() {
+            prop_assert_eq!(
+                back.dag().instr(i).opcode(),
+                unit.dag().instr(i).opcode()
+            );
+            prop_assert_eq!(
+                back.dag().instr(i).preplacement(),
+                unit.dag().instr(i).preplacement()
+            );
+        }
+        // Second round trip is byte-identical (canonical form).
+        prop_assert_eq!(to_text(&back), text);
+    }
+
+    #[test]
+    fn pressure_analysis_is_sane_on_random_schedules(
+        n in 5usize..100,
+        seed in any::<u64>(),
+        regs in 2u32..40,
+    ) {
+        let unit = layered(LayeredParams::new(n, seed).with_preplacement(0.3, 4));
+        let machine = Machine::raw(4).with_registers_per_cluster(regs);
+        let s = RawccScheduler::new()
+            .schedule(unit.dag(), &machine)
+            .expect("schedules");
+        validate(unit.dag(), &machine, &s).expect("valid");
+        let p = analyze_pressure(unit.dag(), &machine, &s);
+        // Peak never exceeds the number of value-producing instructions.
+        let producers = unit
+            .dag()
+            .ids()
+            .filter(|&i| !unit.dag().succs(i).is_empty())
+            .count() as u32;
+        prop_assert!(p.max_peak() <= producers + 1);
+        // Belady keeps the active set at regs + 1 transiently.
+        prop_assert!(p.max_peak() <= regs + 1 || p.total_spills() > 0);
+        // No spills implies fits, and vice versa.
+        prop_assert_eq!(p.fits(), p.total_spills() == 0);
+        // Spill cycles are consistent with the spill count.
+        prop_assert_eq!(
+            p.spill_cycles,
+            p.total_spills() * (machine.latency(convergent_scheduling::ir::OpClass::Store)
+                + machine.latency(convergent_scheduling::ir::OpClass::Load))
+        );
+    }
+
+    #[test]
+    fn bigger_register_files_never_spill_more(
+        n in 10usize..80,
+        seed in any::<u64>(),
+    ) {
+        let unit = layered(LayeredParams::new(n, seed));
+        let small = Machine::raw(2).with_registers_per_cluster(4);
+        let big = Machine::raw(2).with_registers_per_cluster(32);
+        let s_small = RawccScheduler::new().schedule(unit.dag(), &small).unwrap();
+        let s_big = RawccScheduler::new().schedule(unit.dag(), &big).unwrap();
+        // Same machine topology → same schedule; only the analysis
+        // capacity differs.
+        let p_small = analyze_pressure(unit.dag(), &small, &s_small);
+        let p_big = analyze_pressure(unit.dag(), &big, &s_big);
+        prop_assert!(p_big.total_spills() <= p_small.total_spills());
+    }
+
+    #[test]
+    fn multi_region_bindings_are_always_consistent(
+        banks in 1u16..6,
+        regions in 2usize..5,
+        carried in 1usize..6,
+    ) {
+        let program = multi_region_accumulate(MultiRegionParams {
+            n_banks: banks,
+            regions,
+            carried,
+        });
+        let machine = Machine::raw(banks.max(2));
+        let ps = schedule_program(
+            &program,
+            &machine,
+            &RawccScheduler::new(),
+            CrossRegionPolicy::FirstDefinition,
+        )
+        .expect("programs schedule");
+        prop_assert_eq!(ps.schedules().len(), regions);
+        for v in program.values() {
+            let bound = ps.binding(v.name()).expect("every value is bound");
+            // The definition really sits on the bound cluster, and so
+            // does every use (hard preplacement on Raw).
+            let (du, di) = v.def();
+            prop_assert_eq!(ps.schedules()[du].op(di).cluster, bound);
+            for &(uu, ui) in v.uses() {
+                prop_assert_eq!(ps.schedules()[uu].op(ui).cluster, bound);
+            }
+        }
+    }
+
+    #[test]
+    fn data_home_policy_binds_to_home_on_vliw(
+        regions in 2usize..4,
+        carried in 1usize..5,
+    ) {
+        let program = multi_region_accumulate(MultiRegionParams {
+            n_banks: 1, // unbanked loads: no pin conflicts with home
+            regions,
+            carried,
+        });
+        let machine = Machine::chorus_vliw(4);
+        // n_banks=1 pins loads to cluster 0 == data home: compatible.
+        let ps = schedule_program(
+            &program,
+            &machine,
+            &UasScheduler::new(),
+            CrossRegionPolicy::DataHome,
+        )
+        .expect("programs schedule");
+        for v in program.values() {
+            prop_assert_eq!(
+                ps.binding(v.name()),
+                Some(convergent_scheduling::ir::ClusterId::new(0))
+            );
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests over random dependence graphs: every scheduler must
+//! produce validated schedules whose makespans sit between the
+//! critical-path lower bound and the fully-serial upper bound.
+
+use convergent_scheduling::core::ConvergentScheduler;
+use convergent_scheduling::ir::TimeAnalysis;
+use convergent_scheduling::machine::Machine;
+use convergent_scheduling::schedulers::{
+    BugScheduler, PccScheduler, RawccScheduler, Scheduler, UasScheduler,
+};
+use convergent_scheduling::sim::{evaluate, validate};
+use convergent_scheduling::workloads::{layered, parallel_chains, series_parallel, LayeredParams};
+use proptest::prelude::*;
+
+fn check_all(unit: &convergent_scheduling::ir::SchedulingUnit, machine: &Machine) {
+    let dag = unit.dag();
+    let time = TimeAnalysis::compute(dag, |i| machine.latency_of(i));
+    // Upper bound: strictly serial execution plus a transfer per edge
+    // plus the live-in fetches the machine may charge.
+    let serial: u32 = dag.instrs().iter().map(|i| machine.latency_of(i)).sum();
+    let max_comm = (0..machine.n_clusters() as u16)
+        .map(|c| {
+            machine.comm_latency(
+                convergent_scheduling::ir::ClusterId::new(0),
+                convergent_scheduling::ir::ClusterId::new(c),
+            )
+        })
+        .max()
+        .unwrap_or(0);
+    let upper = serial + (dag.edge_count() as u32 + dag.len() as u32) * (max_comm + 1);
+
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(UasScheduler::new()),
+        Box::new(PccScheduler::new().with_max_rounds(1)),
+        Box::new(RawccScheduler::new()),
+        Box::new(BugScheduler::new()),
+        Box::new(ConvergentScheduler::raw_default()),
+        Box::new(ConvergentScheduler::vliw_tuned()),
+    ];
+    for sched in schedulers {
+        let s = sched
+            .schedule(dag, machine)
+            .unwrap_or_else(|e| panic!("{}: {e}", sched.name()));
+        validate(dag, machine, &s).unwrap_or_else(|e| panic!("{}: {e}", sched.name()));
+        // The cycle-level execution also respects the dependence
+        // height, with or without contention.
+        let executed = evaluate(dag, machine, &s).makespan.get();
+        assert!(
+            executed >= time.critical_path_length(),
+            "{}: executed {executed} below CPL {}",
+            sched.name(),
+            time.critical_path_length()
+        );
+        let ms = s.makespan().get();
+        assert!(
+            ms >= time.critical_path_length(),
+            "{}: makespan {ms} below CPL {}",
+            sched.name(),
+            time.critical_path_length()
+        );
+        assert!(
+            ms <= upper,
+            "{}: makespan {ms} above serial bound {upper}",
+            sched.name()
+        );
+        if machine.memory().preplacement_is_hard() {
+            assert!(
+                s.assignment().respects_preplacement(dag),
+                "{} broke preplacement",
+                sched.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn layered_dags_schedule_on_raw(
+        n in 10usize..120,
+        width in 2usize..12,
+        seed in any::<u64>(),
+        pre in 0.0f64..0.8,
+    ) {
+        let unit = layered(
+            LayeredParams::new(n, seed)
+                .with_width(width)
+                .with_preplacement(pre, 4),
+        );
+        check_all(&unit, &Machine::raw(4));
+    }
+
+    #[test]
+    fn layered_dags_schedule_on_vliw(
+        n in 10usize..120,
+        width in 2usize..12,
+        seed in any::<u64>(),
+        pre in 0.0f64..0.8,
+    ) {
+        let unit = layered(
+            LayeredParams::new(n, seed)
+                .with_width(width)
+                .with_preplacement(pre, 4),
+        );
+        check_all(&unit, &Machine::chorus_vliw(4));
+    }
+
+    #[test]
+    fn series_parallel_dags_schedule(n in 5usize..80, seed in any::<u64>()) {
+        let unit = series_parallel(n, seed);
+        check_all(&unit, &Machine::raw(4));
+        check_all(&unit, &Machine::chorus_vliw(2));
+    }
+
+    #[test]
+    fn chains_reach_near_ideal_spatial_speedup(k in 2usize..5, len in 3usize..10) {
+        // k independent chains on k tiles: the Rawcc baseline must cut
+        // zero edges and the makespan must be (near) one chain's length.
+        let unit = parallel_chains(k, len);
+        let machine = Machine::raw(k as u16);
+        let s = RawccScheduler::new().schedule(unit.dag(), &machine).unwrap();
+        validate(unit.dag(), &machine, &s).unwrap();
+        prop_assert_eq!(s.assignment().cut_edges(unit.dag()), 0);
+        prop_assert_eq!(s.makespan().get(), len as u32);
+    }
+}

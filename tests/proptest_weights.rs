@@ -1,0 +1,123 @@
+//! Property tests for the preference map: the paper's Section 3
+//! invariants must survive arbitrary sequences of the basic
+//! operations.
+
+use convergent_scheduling::core::PreferenceMap;
+use convergent_scheduling::ir::{ClusterId, InstrId};
+use proptest::prelude::*;
+
+/// One basic operation on the map.
+#[derive(Clone, Debug)]
+enum Op {
+    Scale { i: usize, c: usize, t: usize, f: f64 },
+    ScaleCluster { i: usize, c: usize, f: f64 },
+    ScaleTime { i: usize, t: usize, f: f64 },
+    Add { i: usize, c: usize, t: usize, d: f64 },
+    Normalize { i: usize },
+    SetMarginal { i: usize, target: Vec<f64> },
+}
+
+fn op_strategy(n_instrs: usize, n_clusters: usize, n_slots: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n_instrs, 0..n_clusters, 0..n_slots, 0.0f64..50.0)
+            .prop_map(|(i, c, t, f)| Op::Scale { i, c, t, f }),
+        (0..n_instrs, 0..n_clusters, 0.0f64..50.0)
+            .prop_map(|(i, c, f)| Op::ScaleCluster { i, c, f }),
+        (0..n_instrs, 0..n_slots, 0.0f64..50.0).prop_map(|(i, t, f)| Op::ScaleTime { i, t, f }),
+        (0..n_instrs, 0..n_clusters, 0..n_slots, -1.0f64..1.0)
+            .prop_map(|(i, c, t, d)| Op::Add { i, c, t, d }),
+        (0..n_instrs).prop_map(|i| Op::Normalize { i }),
+        (
+            0..n_instrs,
+            proptest::collection::vec(0.0f64..1.0, n_clusters)
+        )
+            .prop_map(|(i, target)| Op::SetMarginal { i, target }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn invariants_survive_arbitrary_operations(
+        ops in proptest::collection::vec(op_strategy(4, 3, 5), 1..60)
+    ) {
+        let mut w = PreferenceMap::new(4, 3, 5);
+        for op in ops {
+            match op {
+                Op::Scale { i, c, t, f } => {
+                    w.scale(InstrId::new(i as u32), ClusterId::new(c as u16), t as u32, f);
+                }
+                Op::ScaleCluster { i, c, f } => {
+                    w.scale_cluster(InstrId::new(i as u32), ClusterId::new(c as u16), f);
+                }
+                Op::ScaleTime { i, t, f } => {
+                    w.scale_time(InstrId::new(i as u32), t as u32, f);
+                }
+                Op::Add { i, c, t, d } => {
+                    w.add(InstrId::new(i as u32), ClusterId::new(c as u16), t as u32, d);
+                }
+                Op::Normalize { i } => w.normalize(InstrId::new(i as u32)),
+                Op::SetMarginal { i, target } => {
+                    w.set_cluster_marginal(InstrId::new(i as u32), &target);
+                }
+            }
+        }
+        // Normalization must always restore the paper's invariants.
+        w.normalize_all();
+        w.assert_invariants(1e-6);
+    }
+
+    #[test]
+    fn preferred_cluster_matches_marginal_argmax(
+        scales in proptest::collection::vec((0usize..3, 0usize..4, 0.1f64..20.0), 1..20)
+    ) {
+        let mut w = PreferenceMap::new(3, 4, 3);
+        for (i, c, f) in scales {
+            w.scale_cluster(InstrId::new(i as u32), ClusterId::new(c as u16), f);
+        }
+        for i in 0..3u32 {
+            let pref = w.preferred_cluster(InstrId::new(i));
+            let best = (0..4u16)
+                .map(|c| w.cluster_weight(InstrId::new(i), ClusterId::new(c)))
+                .fold(f64::MIN, f64::max);
+            let got = w.cluster_weight(InstrId::new(i), pref);
+            prop_assert!((got - best).abs() < 1e-9, "i{i}: {got} vs {best}");
+        }
+    }
+
+    #[test]
+    fn confidence_is_at_least_one(
+        scales in proptest::collection::vec((0usize..2, 0usize..3, 0.1f64..20.0), 0..16)
+    ) {
+        let mut w = PreferenceMap::new(2, 3, 4);
+        for (i, c, f) in scales {
+            w.scale_cluster(InstrId::new(i as u32), ClusterId::new(c as u16), f);
+        }
+        for i in 0..2u32 {
+            // Top ÷ runner-up is ≥ 1 by definition.
+            prop_assert!(w.confidence(InstrId::new(i)) >= 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn windows_are_never_resurrected(
+        lo in 0u32..3,
+        len in 0u32..3,
+        ops in proptest::collection::vec((0usize..2, 0.0f64..10.0), 1..12)
+    ) {
+        let hi = lo + len;
+        let mut w = PreferenceMap::new(1, 2, 8);
+        let i = InstrId::new(0);
+        w.set_window(i, lo, hi);
+        for (c, f) in ops {
+            w.scale_cluster(i, ClusterId::new(c as u16), f);
+            w.normalize(i);
+        }
+        for t in 0..8u32 {
+            if t < lo || t > hi {
+                prop_assert_eq!(w.time_weight(i, t), 0.0, "slot {} leaked", t);
+            }
+        }
+    }
+}
