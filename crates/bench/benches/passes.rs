@@ -1,10 +1,11 @@
 //! Criterion microbenchmarks: cost of each convergent-scheduling pass
-//! on a representative workload (mxm on 16-tile Raw).
+//! on a representative workload (mxm on 16-tile Raw), plus the full
+//! driver pipeline end to end.
 
 use convergent_core::passes::{
     Comm, EmphCp, InitTime, LevelDistribute, LoadBalance, Noise, Path, PathProp, Place, PlaceProp,
 };
-use convergent_core::{Pass, PassContext, PreferenceMap};
+use convergent_core::{ConvergentScheduler, Pass, PassContext, PreferenceMap};
 use convergent_ir::{DistanceOracle, TimeAnalysis};
 use convergent_machine::Machine;
 use convergent_workloads::{mxm, MxmParams};
@@ -54,6 +55,19 @@ fn bench_passes(c: &mut Criterion) {
             });
         });
     }
+    group.finish();
+
+    // The whole driver (every pass + per-pass normalize_all + the
+    // convergence trace + final assignment): the number the lazy
+    // normalization and argmax caches exist to improve.
+    let mut group = c.benchmark_group("driver_mxm16");
+    group.sample_size(10);
+    group.bench_function("raw_default_full", |b| {
+        b.iter(|| {
+            let sched = ConvergentScheduler::raw_default();
+            black_box(sched.assign(dag, &machine).expect("assigns"))
+        });
+    });
     group.finish();
 }
 

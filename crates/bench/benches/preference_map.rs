@@ -45,6 +45,59 @@ fn bench_ops(c: &mut Criterion) {
                 black_box(acc)
             });
         });
+        // A pass-shaped cycle on the lazy path: sparse multiplicative
+        // writes, then the O(N) normalize_all a driver issues after
+        // every pass.
+        group.bench_function(BenchmarkId::new("pass_cycle_lazy", &label), |b| {
+            let mut w = PreferenceMap::new(n, clusters, slots);
+            b.iter(|| {
+                for i in 0..n {
+                    w.scale_cluster(
+                        InstrId::new(i as u32),
+                        ClusterId::new((i % clusters) as u16),
+                        black_box(1.25),
+                    );
+                }
+                w.normalize_all();
+                black_box(&w);
+            });
+        });
+        // Repeated argmax reads with no intervening writes — the
+        // driver's per-pass convergence trace. Served from the
+        // incremental caches after the first scan.
+        group.bench_function(BenchmarkId::new("cached_argmax_reads", &label), |b| {
+            let mut w = PreferenceMap::new(n, clusters, slots);
+            for i in 0..n {
+                w.scale_cluster(
+                    InstrId::new(i as u32),
+                    ClusterId::new((i % clusters) as u16),
+                    4.0,
+                );
+            }
+            w.normalize_all();
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..n {
+                    let id = InstrId::new(i as u32);
+                    acc += u64::from(w.preferred_cluster(id).raw())
+                        + u64::from(w.preferred_time(id).get());
+                }
+                black_box(acc)
+            });
+        });
+        // materialize_all is the escape hatch back to eager rows; its
+        // cost bounds what the lazy representation can ever owe.
+        group.bench_function(BenchmarkId::new("materialize_all", &label), |b| {
+            let mut w = PreferenceMap::new(n, clusters, slots);
+            b.iter(|| {
+                for i in 0..n {
+                    w.scale_cluster(InstrId::new(i as u32), ClusterId::new(0), black_box(2.0));
+                }
+                w.normalize_all();
+                w.materialize_all();
+                black_box(&w);
+            });
+        });
     }
     group.finish();
 }

@@ -44,7 +44,10 @@ fn main() {
     for factor in [2.0, 10.0, 100.0, 1000.0] {
         let sched =
             ConvergentScheduler::new(raw_seq_with_place_factor(factor)).with_time_priorities(false);
-        println!("  factor {factor:>6}: geomean speedup {:.3}", suite_geomean(&sched, &machine));
+        println!(
+            "  factor {factor:>6}: geomean speedup {:.3}",
+            suite_geomean(&sched, &machine)
+        );
     }
 
     println!();
@@ -52,7 +55,13 @@ fn main() {
     let full = ConvergentScheduler::raw_default().with_time_priorities(false);
     println!("  full sequence : {:.3}", suite_geomean(&full, &machine));
     let droppable = [
-        "PLACEPROP", "LOAD", "PLACE", "PATH", "LEVEL", "COMM", "PATHPROP",
+        "PLACEPROP",
+        "LOAD",
+        "PLACE",
+        "PATH",
+        "LEVEL",
+        "COMM",
+        "PATHPROP",
     ];
     for drop_name in &droppable {
         let mut seq = Sequence::new();
@@ -134,6 +143,9 @@ fn main() {
             .with(PathProp::new())
             .with(EmphCp::new());
         let sched = ConvergentScheduler::new(seq).with_time_priorities(false);
-        println!("  g = {g:>2}: geomean speedup {:.3}", suite_geomean(&sched, &machine));
+        println!(
+            "  g = {g:>2}: geomean speedup {:.3}",
+            suite_geomean(&sched, &machine)
+        );
     }
 }

@@ -1,0 +1,75 @@
+//! Compile-time throughput of the convergent scheduler itself: how
+//! many instructions per second the full pass pipeline (weights,
+//! passes, normalization, final list schedule) sustains at several
+//! region sizes. Companion to figure10, but focused on the convergent
+//! scheduler and machine-readable: results land in
+//! `BENCH_compiletime.json`.
+//!
+//! ```text
+//! cargo run --release -p convergent-bench --bin compiletime
+//! cargo run --release -p convergent-bench --bin compiletime -- --out path.json
+//! ```
+//!
+//! Measurements run serially (never through the parallel harness) so
+//! each row gets an unloaded machine; every row is the best of several
+//! repetitions to shed scheduler warm-up noise.
+
+use std::time::Instant;
+
+use convergent_core::ConvergentScheduler;
+use convergent_machine::Machine;
+use convergent_schedulers::Scheduler;
+use convergent_workloads::{layered, LayeredParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|k| args.get(k + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_compiletime.json".to_string());
+
+    let machine = Machine::chorus_vliw(4);
+    let sizes = [200usize, 500, 1000, 2000];
+    println!(
+        "{:>8}{:>12}{:>16}{:>8}",
+        "instrs", "best (s)", "instrs/sec", "reps"
+    );
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let unit = layered(
+            LayeredParams::new(n, 0xF16)
+                .with_width(8)
+                .with_preplacement(0.5, 4),
+        );
+        let reps = (2000 / n).clamp(2, 6);
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let sched = ConvergentScheduler::vliw_default();
+            let start = Instant::now();
+            let schedule =
+                Scheduler::schedule(&sched, unit.dag(), &machine).expect("convergent schedules");
+            let secs = start.elapsed().as_secs_f64();
+            assert!(schedule.makespan().get() > 0);
+            best = best.min(secs);
+        }
+        let ips = n as f64 / best;
+        println!("{n:>8}{best:>12.4}{ips:>16.0}{reps:>8}");
+        rows.push((n, best, ips, reps));
+    }
+
+    let mut json = String::from("{\n  \"experiment\": \"compiletime\",\n");
+    json.push_str("  \"scheduler\": \"convergent vliw_default\",\n");
+    json.push_str("  \"machine\": \"chorus_vliw(4)\",\n  \"rows\": [\n");
+    for (k, (n, secs, ips, reps)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"instrs\": {n}, \"best_seconds\": {secs:.6}, \"instrs_per_sec\": {ips:.1}, \"reps\": {reps}}}{}\n",
+            if k + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write results json");
+    println!();
+    println!("wrote {out_path}");
+}

@@ -8,24 +8,37 @@
 //!
 //! ```text
 //! cargo run --release -p convergent-bench --bin figure10
+//! cargo run --release -p convergent-bench --bin figure10 -- --jobs 4
 //! ```
+//!
+//! Rows run serially by default so per-row wall-clock numbers are not
+//! perturbed by sibling rows competing for cores; `--jobs N` opts into
+//! the parallel harness (row *ordering* is preserved either way, but
+//! timings then reflect a loaded machine).
 
 use std::time::Instant;
 
+use convergent_bench::parallel::{jobs_from_args, run_cells};
 use convergent_core::ConvergentScheduler;
 use convergent_machine::Machine;
 use convergent_schedulers::{PccScheduler, Scheduler, UasScheduler};
 use convergent_workloads::{layered, LayeredParams};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().collect();
+    let jobs = jobs_from_args(&mut args, 1);
     let machine = Machine::chorus_vliw(4);
     let sizes = [50usize, 100, 200, 400, 800, 1200, 1600, 2000];
     println!(
         "{:>8}{:>14}{:>14}{:>14}",
         "instrs", "pcc (s)", "uas (s)", "conv (s)"
     );
-    for &n in &sizes {
-        let unit = layered(LayeredParams::new(n, 0xF16).with_width(8).with_preplacement(0.5, 4));
+    let rows: Vec<(usize, f64, f64, f64)> = run_cells(&sizes, jobs, |&n| {
+        let unit = layered(
+            LayeredParams::new(n, 0xF16)
+                .with_width(8)
+                .with_preplacement(0.5, 4),
+        );
         let pcc = time(|| {
             PccScheduler::new()
                 .schedule(unit.dag(), &machine)
@@ -43,6 +56,9 @@ fn main() {
                 .expect("convergent schedules")
                 .makespan()
         });
+        (n, pcc, uas, conv)
+    });
+    for (n, pcc, uas, conv) in rows {
         println!("{n:>8}{pcc:>14.4}{uas:>14.4}{conv:>14.4}");
     }
     println!();

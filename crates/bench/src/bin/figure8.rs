@@ -7,8 +7,10 @@
 //!
 //! ```text
 //! cargo run --release -p convergent-bench --bin figure8
+//! cargo run --release -p convergent-bench --bin figure8 -- --jobs 4
 //! ```
 
+use convergent_bench::parallel::{default_jobs, jobs_from_args, run_cells};
 use convergent_bench::{geomean, print_row, speedup};
 use convergent_core::ConvergentScheduler;
 use convergent_machine::Machine;
@@ -16,14 +18,15 @@ use convergent_schedulers::{PccScheduler, UasScheduler};
 use convergent_workloads::vliw_suite;
 
 fn main() {
-    let table1b = std::env::args().any(|a| a == "--table1b");
+    let mut args: Vec<String> = std::env::args().collect();
+    let jobs = jobs_from_args(&mut args, default_jobs());
+    let table1b = args.iter().any(|a| a == "--table1b");
     let machine = Machine::chorus_vliw(4);
     let suite = vliw_suite(4);
     print_row("benchmark", &["pcc", "uas", "convergent"].map(String::from));
-    let mut pcc_all = Vec::new();
-    let mut uas_all = Vec::new();
-    let mut conv_all = Vec::new();
-    for unit in &suite {
+    // One cell per unit; every cell builds its own schedulers so the
+    // fan-out stays deterministic (see bench::parallel).
+    let results: Vec<(f64, f64, f64)> = run_cells(&suite, jobs, |unit| {
         let pcc = speedup(&PccScheduler::new(), unit, &machine)
             .unwrap_or_else(|e| panic!("pcc on {}: {e}", unit.name()));
         let uas = speedup(&UasScheduler::new(), unit, &machine)
@@ -35,12 +38,22 @@ fn main() {
         };
         let conv = speedup(&conv_sched, unit, &machine)
             .unwrap_or_else(|e| panic!("convergent on {}: {e}", unit.name()));
+        (pcc, uas, conv)
+    });
+    let mut pcc_all = Vec::new();
+    let mut uas_all = Vec::new();
+    let mut conv_all = Vec::new();
+    for (unit, &(pcc, uas, conv)) in suite.iter().zip(&results) {
         pcc_all.push(pcc);
         uas_all.push(uas);
         conv_all.push(conv);
         print_row(
             unit.name(),
-            &[format!("{pcc:.2}"), format!("{uas:.2}"), format!("{conv:.2}")],
+            &[
+                format!("{pcc:.2}"),
+                format!("{uas:.2}"),
+                format!("{conv:.2}"),
+            ],
         );
     }
     println!();

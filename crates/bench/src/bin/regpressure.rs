@@ -60,12 +60,8 @@ fn main() {
         validate(unit.dag(), &machine, &r).expect("valid");
         let pr = analyze_pressure(unit.dag(), &machine, &r);
 
-        let c = Scheduler::schedule(
-            &ConvergentScheduler::raw_default(),
-            unit.dag(),
-            &machine,
-        )
-        .expect("convergent schedules");
+        let c = Scheduler::schedule(&ConvergentScheduler::raw_default(), unit.dag(), &machine)
+            .expect("convergent schedules");
         validate(unit.dag(), &machine, &c).expect("valid");
         let pc = analyze_pressure(unit.dag(), &machine, &c);
 

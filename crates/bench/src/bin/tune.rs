@@ -5,10 +5,18 @@
 //! sequences against total executed cycles on a small training set,
 //! then evaluate the winner on the full Raw suite (held-out sizes).
 //!
+//! The hill-climb itself is sequential (each mutation depends on the
+//! previous accept/reject), but each objective evaluation fans its
+//! training kernels out over the parallel harness, as does the final
+//! held-out sweep. Pass sequences hold `Box<dyn Pass>` and are not
+//! `Sync`, so worker cells rebuild their scheduler from the plain
+//! `PassSpec` list — which also keeps every cell deterministic.
+//!
 //! ```text
-//! cargo run --release -p convergent-bench --bin tune [-- --iters N]
+//! cargo run --release -p convergent-bench --bin tune [-- --iters N] [-- --jobs N]
 //! ```
 
+use convergent_bench::parallel::{default_jobs, jobs_from_args, run_cells};
 use convergent_bench::{executed_cycles, geomean, speedup};
 use convergent_core::tuner::{to_sequence, tune, PassSpec, TunerConfig};
 use convergent_core::ConvergentScheduler;
@@ -16,7 +24,8 @@ use convergent_machine::Machine;
 use convergent_workloads::{jacobi, mxm, sha, MxmParams, ShaParams, StencilParams};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let jobs = jobs_from_args(&mut args, default_jobs());
     let iters: usize = args
         .iter()
         .position(|a| a == "--iters")
@@ -56,12 +65,18 @@ fn main() {
         },
         |seq| {
             evals += 1;
-            let sched = scheduler_from(seq);
+            // Capture plain specs, not the sequence: each worker cell
+            // rebuilds its own scheduler.
+            let specs = specs_from(seq);
+            let cycles = run_cells(&training, jobs, |unit| {
+                let sched = scheduler_with(&specs);
+                executed_cycles(&sched, unit, &machine).ok()
+            });
             let mut total = 0f64;
-            for unit in &training {
-                match executed_cycles(&sched, unit, &machine) {
-                    Ok(c) => total += f64::from(c),
-                    Err(_) => return f64::INFINITY,
+            for c in cycles {
+                match c {
+                    Some(c) => total += f64::from(c),
+                    None => return f64::INFINITY,
                 }
             }
             total
@@ -78,26 +93,34 @@ fn main() {
 
     // Held-out check on the full 16-tile suite.
     let machine16 = Machine::raw(16);
-    let stock = ConvergentScheduler::raw_default().with_time_priorities(false);
-    let tuned =
-        ConvergentScheduler::new(to_sequence(&result.best)).with_time_priorities(false);
-    let mut stock_sp = Vec::new();
-    let mut tuned_sp = Vec::new();
-    for unit in convergent_workloads::raw_suite(16) {
-        stock_sp.push(speedup(&stock, &unit, &machine16).expect("suite schedules"));
-        tuned_sp.push(speedup(&tuned, &unit, &machine16).expect("suite schedules"));
-    }
+    let stock_specs = table1a.to_vec();
+    let tuned_specs = result.best.clone();
+    let suite16 = convergent_workloads::raw_suite(16);
+    let held_out: Vec<(f64, f64)> = run_cells(&suite16, jobs, |unit| {
+        let stock = scheduler_with(&stock_specs);
+        let tuned = scheduler_with(&tuned_specs);
+        (
+            speedup(&stock, unit, &machine16).expect("suite schedules"),
+            speedup(&tuned, unit, &machine16).expect("suite schedules"),
+        )
+    });
+    let stock_sp: Vec<f64> = held_out.iter().map(|&(s, _)| s).collect();
+    let tuned_sp: Vec<f64> = held_out.iter().map(|&(_, t)| t).collect();
     println!();
     println!("held-out Raw suite @ 16 tiles (geomean speedup):");
     println!("  Table 1(a): {:.3}", geomean(&stock_sp));
     println!("  tuned     : {:.3}", geomean(&tuned_sp));
 }
 
-/// Rebuilds a scheduler around an already-built sequence by cloning
-/// its pass roster through the spec vocabulary.
-fn scheduler_from(seq: &convergent_core::Sequence) -> ConvergentScheduler {
-    let specs: Vec<PassSpec> = seq
-        .names()
+/// Builds a scheduler from plain specs (`to_sequence` re-anchors the
+/// INITTIME pass).
+fn scheduler_with(specs: &[PassSpec]) -> ConvergentScheduler {
+    ConvergentScheduler::new(to_sequence(specs)).with_time_priorities(false)
+}
+
+/// Recovers the spec list from an already-built sequence by name.
+fn specs_from(seq: &convergent_core::Sequence) -> Vec<PassSpec> {
+    seq.names()
         .iter()
         .filter_map(|name| match *name {
             "INITTIME" => None, // to_sequence re-anchors it
@@ -114,6 +137,5 @@ fn scheduler_from(seq: &convergent_core::Sequence) -> ConvergentScheduler {
             "REGPRESS" => Some(PassSpec::RegPress),
             other => unreachable!("unknown pass {other}"),
         })
-        .collect();
-    ConvergentScheduler::new(to_sequence(&specs)).with_time_priorities(false)
+        .collect()
 }

@@ -7,6 +7,8 @@
 //! resulting makespans as speedups relative to a single-cluster run of
 //! the same graph.
 
+pub mod parallel;
+
 use convergent_ir::{ClusterId, SchedulingUnit};
 use convergent_machine::Machine;
 use convergent_schedulers::{ListScheduler, ScheduleError, Scheduler};

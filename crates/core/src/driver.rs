@@ -274,7 +274,12 @@ impl ConvergentScheduler {
                 };
                 pass.run(&mut ctx);
             }
+            // O(N) on the lazy path: only per-instruction scale
+            // factors move (see the PreferenceMap module docs).
             weights.normalize_all();
+            // The changed-fraction scan reads the map's incremental
+            // argmax caches — instructions a pass didn't perturb cost
+            // O(1) here instead of an O(C) marginal scan.
             let mut changed = 0usize;
             for i in dag.ids() {
                 let now = weights.preferred_cluster(i);
@@ -317,11 +322,7 @@ impl ConvergentScheduler {
     ///
     /// Same as [`ConvergentScheduler::assign`], plus any
     /// [`ScheduleError`] from the list scheduler.
-    pub fn schedule(
-        &self,
-        dag: &Dag,
-        machine: &Machine,
-    ) -> Result<ScheduleOutcome, ScheduleError> {
+    pub fn schedule(&self, dag: &Dag, machine: &Machine) -> Result<ScheduleOutcome, ScheduleError> {
         let outcome = self.assign(dag, machine)?;
         let schedule = if self.use_time_priorities {
             ListScheduler::new().schedule(dag, machine, &outcome.assignment, &outcome.priorities)?
@@ -382,7 +383,9 @@ mod tests {
     fn raw_schedule_validates_and_honors_preplacement() {
         let dag = star_with_preplacement();
         let m = Machine::raw(4);
-        let out = ConvergentScheduler::raw_default().schedule(&dag, &m).unwrap();
+        let out = ConvergentScheduler::raw_default()
+            .schedule(&dag, &m)
+            .unwrap();
         validate(&dag, &m, out.schedule()).unwrap();
         assert!(out.assignment().respects_preplacement(&dag));
         // Each multiply follows its load's home tile.
@@ -397,7 +400,9 @@ mod tests {
     fn vliw_schedule_validates() {
         let dag = star_with_preplacement();
         let m = Machine::chorus_vliw(4);
-        let out = ConvergentScheduler::vliw_default().schedule(&dag, &m).unwrap();
+        let out = ConvergentScheduler::vliw_default()
+            .schedule(&dag, &m)
+            .unwrap();
         validate(&dag, &m, out.schedule()).unwrap();
     }
 
@@ -408,10 +413,7 @@ mod tests {
         let out = ConvergentScheduler::raw_default().assign(&dag, &m).unwrap();
         assert_eq!(out.trace().records().len(), Sequence::raw().len());
         // EMPHCP is time-only and excluded from the spatial trace.
-        assert_eq!(
-            out.trace().spatial().count(),
-            Sequence::raw().len() - 1
-        );
+        assert_eq!(out.trace().spatial().count(), Sequence::raw().len() - 1);
         for r in out.trace().records() {
             assert!((0.0..=1.0).contains(&r.changed_fraction), "{r:?}");
         }
@@ -480,10 +482,9 @@ mod tests {
             let mut b = convergent_ir::DagBuilder::new();
             for instr in dag.instrs() {
                 let new = match instr.preplacement() {
-                    Some(_) => convergent_ir::Instruction::preplaced(
-                        instr.opcode(),
-                        ClusterId::new(0),
-                    ),
+                    Some(_) => {
+                        convergent_ir::Instruction::preplaced(instr.opcode(), ClusterId::new(0))
+                    }
                     None => convergent_ir::Instruction::new(instr.opcode()),
                 };
                 b.push(new);
@@ -494,7 +495,9 @@ mod tests {
             b.build().unwrap()
         };
         let m = Machine::raw(1);
-        let out = ConvergentScheduler::raw_default().schedule(&folded, &m).unwrap();
+        let out = ConvergentScheduler::raw_default()
+            .schedule(&folded, &m)
+            .unwrap();
         validate(&folded, &m, out.schedule()).unwrap();
         // Single-issue tile: makespan at least the instruction count.
         assert!(out.schedule().makespan().get() >= folded.len() as u32);
@@ -506,7 +509,9 @@ mod tests {
         b.instr(convergent_ir::Opcode::FDiv);
         let dag = b.build().unwrap();
         for m in [Machine::raw(4), Machine::chorus_vliw(4)] {
-            let out = ConvergentScheduler::raw_default().schedule(&dag, &m).unwrap();
+            let out = ConvergentScheduler::raw_default()
+                .schedule(&dag, &m)
+                .unwrap();
             validate(&dag, &m, out.schedule()).unwrap();
             assert_eq!(out.schedule().op(InstrId::new(0)).start.get(), 0);
         }

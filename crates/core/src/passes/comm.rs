@@ -23,9 +23,7 @@
 //! * "for each i: W[i, tᵢ, cᵢ] ← 2 · W[i, tᵢ, cᵢ]" — the preferred
 //!   slot is reinforced, sharpening the map.
 
-use std::collections::HashSet;
-
-use convergent_ir::{ClusterId, InstrId};
+use convergent_ir::ClusterId;
 
 use crate::{Pass, PassContext};
 
@@ -81,34 +79,45 @@ impl Pass for Comm {
 
     fn run(&self, ctx: &mut PassContext<'_>) {
         let n_clusters = ctx.weights.n_clusters();
-        // Snapshot normalized cluster marginals so the pass result
+        let n_instrs = ctx.weights.n_instrs();
+        // Snapshot normalized cluster marginals (one flat row-major
+        // buffer rather than a Vec per instruction) so the pass result
         // does not depend on instruction iteration order.
-        let marginal: Vec<Vec<f64>> = ctx
-            .dag
-            .ids()
-            .map(|i| {
-                let tot = ctx.weights.total(i).max(f64::MIN_POSITIVE);
-                (0..n_clusters)
-                    .map(|c| ctx.weights.cluster_weight(i, ClusterId::new(c as u16)) / tot)
-                    .collect()
-            })
-            .collect();
-
+        let mut marginal = vec![0.0; n_instrs * n_clusters];
         for i in ctx.dag.ids() {
-            let mut skew = vec![SKEW_FLOOR; n_clusters];
+            let tot = ctx.weights.total(i).max(f64::MIN_POSITIVE);
+            for c in 0..n_clusters {
+                marginal[i.index() * n_clusters + c] =
+                    ctx.weights.cluster_weight(i, ClusterId::new(c as u16)) / tot;
+            }
+        }
+
+        // Scratch reused across instructions: the skew accumulator and
+        // a stamp array standing in for per-instruction hash sets when
+        // deduplicating grand-neighbors. `mark[g] == i` ⇔ `g` was
+        // already counted (as `i` itself, a direct neighbor, or an
+        // earlier grand-neighbor) while processing instruction `i`.
+        let mut skew = vec![0.0; n_clusters];
+        let mut mark: Vec<u32> = vec![u32::MAX; if self.grand_neighbors { n_instrs } else { 0 }];
+        for i in ctx.dag.ids() {
+            skew.fill(SKEW_FLOOR);
             for n in ctx.dag.neighbors(i) {
                 for c in 0..n_clusters {
-                    skew[c] += marginal[n.index()][c];
+                    skew[c] += marginal[n.index() * n_clusters + c];
                 }
             }
             if self.grand_neighbors {
-                let direct: HashSet<InstrId> = ctx.dag.neighbors(i).collect();
-                let mut seen: HashSet<InstrId> = HashSet::new();
+                let stamp = i.index() as u32;
+                mark[i.index()] = stamp;
+                for n in ctx.dag.neighbors(i) {
+                    mark[n.index()] = stamp;
+                }
                 for n in ctx.dag.neighbors(i) {
                     for g in ctx.dag.neighbors(n) {
-                        if g != i && !direct.contains(&g) && seen.insert(g) {
+                        if mark[g.index()] != stamp {
+                            mark[g.index()] = stamp;
                             for c in 0..n_clusters {
-                                skew[c] += 0.5 * marginal[g.index()][c];
+                                skew[c] += 0.5 * marginal[g.index() * n_clusters + c];
                             }
                         }
                     }

@@ -124,10 +124,7 @@ impl LevelDistribute {
         let fair_share = (band.len() * 3).div_ceil(2 * n_clusters); // even share + 50% slack
         let capacity: Vec<usize> = (0..n_clusters)
             .map(|c| {
-                let width = ctx
-                    .machine
-                    .cluster(ClusterId::new(c as u16))
-                    .issue_width();
+                let width = ctx.machine.cluster(ClusterId::new(c as u16)).issue_width();
                 (self.granularity as usize * width).max(fair_share)
             })
             .collect();
@@ -215,7 +212,10 @@ impl LevelDistribute {
             let b = *rr % n_clusters;
             *rr += 1;
             if bins[b].len() >= capacity[b]
-                && bins.iter().enumerate().any(|(c, bin)| bin.len() < capacity[c])
+                && bins
+                    .iter()
+                    .enumerate()
+                    .any(|(c, bin)| bin.len() < capacity[c])
             {
                 skips += 1;
                 continue;

@@ -134,8 +134,7 @@ mod tests {
         for i in rig.dag.ids() {
             for c in rig.machine.cluster_ids() {
                 assert!(
-                    (rig.weights.cluster_weight(i, c) - before.cluster_weight(i, c)).abs()
-                        < 1e-12
+                    (rig.weights.cluster_weight(i, c) - before.cluster_weight(i, c)).abs() < 1e-12
                 );
             }
         }

@@ -30,7 +30,10 @@ impl Place {
     /// Panics if `factor` is not a positive finite number.
     #[must_use]
     pub fn with_factor(mut self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
         self.factor = factor;
         self
     }

@@ -61,11 +61,7 @@ impl Pass for PlaceProp {
             }
             for c in 0..n_clusters {
                 let d = dist[c][i.index()];
-                let divisor = if d == UNREACHABLE {
-                    worst
-                } else {
-                    d.max(1)
-                };
+                let divisor = if d == UNREACHABLE { worst } else { d.max(1) };
                 ctx.weights
                     .scale_cluster(i, ClusterId::new(c as u16), 1.0 / f64::from(divisor));
             }
@@ -157,10 +153,7 @@ mod tests {
         // Cluster 0 (divisor 1) beats clusters 1..3 (divisor worst=2).
         assert_eq!(rig.weights.preferred_cluster(a), c(0));
         for k in 1..4 {
-            assert!(
-                rig.weights.cluster_weight(a, c(k))
-                    < rig.weights.cluster_weight(a, c(0))
-            );
+            assert!(rig.weights.cluster_weight(a, c(k)) < rig.weights.cluster_weight(a, c(0)));
         }
     }
 

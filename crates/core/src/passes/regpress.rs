@@ -73,8 +73,8 @@ impl Pass for RegPressure {
 
     fn run(&self, ctx: &mut PassContext<'_>) {
         let n_slots = ctx.weights.n_slots() as u32;
-        let cap = (f64::from(ctx.machine.registers_per_cluster()) * self.capacity_fraction)
-            .max(1.0) as usize;
+        let cap = (f64::from(ctx.machine.registers_per_cluster()) * self.capacity_fraction).max(1.0)
+            as usize;
 
         // Estimated start (preferred time) and death (last consumer's
         // preferred time, or own finish for leaves) per instruction.

@@ -198,7 +198,15 @@ mod tests {
         assert_eq!(names.first(), Some(&"INITTIME"));
         assert_eq!(names.last(), Some(&"EMPHCP"));
         // Same heuristic families as Table 1(b), plus LOAD.
-        for required in ["NOISE", "FIRST", "PATH", "COMM", "PLACE", "PLACEPROP", "LOAD"] {
+        for required in [
+            "NOISE",
+            "FIRST",
+            "PATH",
+            "COMM",
+            "PLACE",
+            "PLACEPROP",
+            "LOAD",
+        ] {
             assert!(names.contains(&required), "{required} missing: {names:?}");
         }
     }
@@ -210,6 +218,9 @@ mod tests {
         s.push(InitTime::new());
         s.push(Comm::new());
         assert_eq!(s.len(), 2);
-        assert_eq!(format!("{s:?}"), r#"Sequence { passes: ["INITTIME", "COMM"] }"#);
+        assert_eq!(
+            format!("{s:?}"),
+            r#"Sequence { passes: ["INITTIME", "COMM"] }"#
+        );
     }
 }

@@ -19,19 +19,90 @@
 //! clusters are maintained incrementally so the derived quantities are
 //! cheap, as the paper prescribes.
 //!
-//! In addition to raw weights, the map records each instruction's
-//! *feasibility*: the `[earliest, latest]` time window established by
-//! INITTIME and the set of clusters that can execute the instruction.
-//! Passes that (re)introduce weight — noise injection, marginal
-//! blending — respect feasibility so that a correctness decision, once
-//! made, cannot be silently undone by a later heuristic.
+//! # The lazy-scale invariant
+//!
+//! Normalization runs after *every* pass, so an eager implementation
+//! rewrites the entire dense tensor O(N·C·T) times per schedule. This
+//! map instead stores, per instruction, a *raw* row plus a scalar
+//! `scale[i]`, with the invariant that the externally visible weight is
+//! always
+//!
+//! ```text
+//! W[i,c,t] = w_raw[i,c,t] · scale[i]
+//! ```
+//!
+//! (and likewise for the cached marginals and total). Every read
+//! multiplies by `scale[i]`; [`PreferenceMap::normalize`] then only has
+//! to set `scale[i] = 1 / total_raw[i]` — O(1) — and
+//! [`PreferenceMap::normalize_all`] is O(N) in the common
+//! all-totals-positive case. Writes compose with the pending scale:
+//! multiplicative operations (`scale`, `scale_cluster`, `scale_time`)
+//! act on the raw values directly (they commute with the scalar), while
+//! absolute writes (`set`, and `add` via `set`) divide the incoming
+//! value by `scale[i]`. Raw magnitudes drift as passes multiply weight
+//! in and out, so `normalize` folds the scalar back into the dense row
+//! ([`PreferenceMap::materialize`]) whenever it leaves
+//! `[SCALE_FOLD_MIN, SCALE_FOLD_MAX]`, keeping every quantity
+//! comfortably inside `f64` range. `materialize` is also the escape
+//! hatch for external readers that want plain eagerly-normalized rows.
+//!
+//! # Incremental argmax caches
+//!
+//! The derived argmax quantities (`preferred_cluster`,
+//! `runnerup_cluster`, `confidence`, `preferred_time`) are memoized per
+//! instruction and invalidated on writes, so the driver's per-pass
+//! convergence trace and read-heavy passes (PATHPROP walks, COMM
+//! reinforcement) stop paying an O(C) or O(T) scan per call. The
+//! invalidation rules are conservative and *exact* with one documented
+//! exception: a cached argmax is kept across `normalize`, and because
+//! tie-breaking compares against an absolute `EPS`, rescaling can in
+//! principle flip a comparison for two entries within `EPS` of each
+//! other. Such sub-`EPS` ties are semantically arbitrary (the paper's
+//! tie-break is "pick either"), and every cached answer is still the
+//! argmax up to `EPS` at the time it was computed.
+
+use std::cell::Cell;
 
 use convergent_ir::{ClusterId, Cycle, InstrId};
 
 /// Weights below this threshold are treated as zero when normalizing.
 const EPS: f64 = 1e-12;
 
-/// A dense `instructions × clusters × time` preference map.
+/// Bounds on the pending scale factor; `normalize` folds the factor
+/// into the dense row (`materialize`) when it leaves this range so raw
+/// magnitudes never approach `f64` overflow/underflow.
+const SCALE_FOLD_MIN: f64 = 1e-90;
+/// See [`SCALE_FOLD_MIN`].
+const SCALE_FOLD_MAX: f64 = 1e90;
+
+/// Sentinel for "no runner-up cluster" in the argmax cache.
+const NO_CLUSTER: u16 = u16::MAX;
+
+/// Memoized argmax results for one instruction. `Copy` so it lives in
+/// a [`Cell`], letting `&self` readers fill it lazily.
+#[derive(Clone, Copy, Debug)]
+struct ArgmaxCache {
+    /// Valid bit for `top_cluster` / `second_cluster`.
+    cluster_valid: bool,
+    /// Valid bit for `top_time`.
+    time_valid: bool,
+    top_cluster: u16,
+    second_cluster: u16,
+    top_time: u32,
+}
+
+impl ArgmaxCache {
+    const INVALID: ArgmaxCache = ArgmaxCache {
+        cluster_valid: false,
+        time_valid: false,
+        top_cluster: 0,
+        second_cluster: NO_CLUSTER,
+        top_time: 0,
+    };
+}
+
+/// A dense `instructions × clusters × time` preference map with lazy
+/// normalization (see the module docs).
 ///
 /// # Example
 ///
@@ -54,12 +125,19 @@ pub struct PreferenceMap {
     n_instrs: usize,
     n_clusters: usize,
     n_slots: usize,
+    /// Raw weights; the visible value is `w[k] * scale[i]`.
     w: Vec<f64>,
+    /// Raw marginals, same scaling convention as `w`.
     cluster_sum: Vec<f64>,
     time_sum: Vec<f64>,
     total: Vec<f64>,
+    /// Pending per-instruction normalization factor.
+    scale: Vec<f64>,
     window: Vec<(u32, u32)>,
     cluster_ok: Vec<bool>,
+    argmax: Vec<Cell<ArgmaxCache>>,
+    /// Reused by `set_cluster_marginal` to avoid per-call allocation.
+    scratch: Vec<f64>,
 }
 
 impl PreferenceMap {
@@ -73,6 +151,7 @@ impl PreferenceMap {
         assert!(n_instrs > 0, "need at least one instruction");
         assert!(n_clusters > 0, "need at least one cluster");
         assert!(n_slots > 0, "need at least one time slot");
+        assert!(n_clusters < NO_CLUSTER as usize, "too many clusters");
         let per = 1.0 / (n_clusters * n_slots) as f64;
         PreferenceMap {
             n_instrs,
@@ -82,8 +161,11 @@ impl PreferenceMap {
             cluster_sum: vec![per * n_slots as f64; n_instrs * n_clusters],
             time_sum: vec![per * n_clusters as f64; n_instrs * n_slots],
             total: vec![1.0; n_instrs],
+            scale: vec![1.0; n_instrs],
             window: vec![(0, n_slots as u32 - 1); n_instrs],
             cluster_ok: vec![true; n_instrs * n_clusters],
+            argmax: vec![Cell::new(ArgmaxCache::INVALID); n_instrs],
+            scratch: Vec::new(),
         }
     }
 
@@ -116,7 +198,7 @@ impl PreferenceMap {
     /// The weight `W[i, c, t]`.
     #[must_use]
     pub fn get(&self, i: InstrId, c: ClusterId, t: u32) -> f64 {
-        self.w[self.idx(i, c, t)]
+        self.w[self.idx(i, c, t)] * self.scale[i.index()]
     }
 
     /// Sets `W[i, c, t]`, updating marginals.
@@ -126,12 +208,19 @@ impl PreferenceMap {
     /// Panics if `value` is negative or not finite.
     pub fn set(&mut self, i: InstrId, c: ClusterId, t: u32, value: f64) {
         assert!(value.is_finite() && value >= 0.0, "weights are ≥ 0");
+        let ii = i.index();
         let k = self.idx(i, c, t);
-        let delta = value - self.w[k];
-        self.w[k] = value;
-        self.cluster_sum[i.index() * self.n_clusters + c.index()] += delta;
-        self.time_sum[i.index() * self.n_slots + t as usize] += delta;
-        self.total[i.index()] += delta;
+        let raw = value / self.scale[ii];
+        let delta = raw - self.w[k];
+        if delta == 0.0 {
+            return;
+        }
+        self.w[k] = raw;
+        self.cluster_sum[ii * self.n_clusters + c.index()] += delta;
+        self.time_sum[ii * self.n_slots + t as usize] += delta;
+        self.total[ii] += delta;
+        self.note_cluster_write(ii, c.index(), delta > 0.0);
+        self.note_time_write(ii, t as usize, delta > 0.0);
     }
 
     /// Adds `delta` to `W[i, c, t]`, clamping at zero.
@@ -141,58 +230,139 @@ impl PreferenceMap {
     }
 
     /// Multiplies `W[i, c, t]` by `factor` (≥ 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
     pub fn scale(&mut self, i: InstrId, c: ClusterId, t: u32, factor: f64) {
-        let cur = self.get(i, c, t);
-        self.set(i, c, t, cur * factor);
+        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
+        let ii = i.index();
+        let k = self.idx(i, c, t);
+        let old = self.w[k];
+        let new = old * factor;
+        let delta = new - old;
+        if delta == 0.0 {
+            return;
+        }
+        self.w[k] = new;
+        self.cluster_sum[ii * self.n_clusters + c.index()] += delta;
+        self.time_sum[ii * self.n_slots + t as usize] += delta;
+        self.total[ii] += delta;
+        self.note_cluster_write(ii, c.index(), delta > 0.0);
+        self.note_time_write(ii, t as usize, delta > 0.0);
     }
 
     /// Multiplies every time slot of `(i, c)` by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
     pub fn scale_cluster(&mut self, i: InstrId, c: ClusterId, factor: f64) {
         assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
+        let ii = i.index();
         let base = self.idx(i, c, 0);
-        let mut delta = 0.0;
+        let old_sum = self.cluster_sum[ii * self.n_clusters + c.index()];
+        let mut new_sum = 0.0;
+        let mut changed = false;
         for t in 0..self.n_slots {
             let old = self.w[base + t];
             let new = old * factor;
-            self.w[base + t] = new;
-            self.time_sum[i.index() * self.n_slots + t] += new - old;
-            delta += new - old;
+            if new != old {
+                self.w[base + t] = new;
+                self.time_sum[ii * self.n_slots + t] += new - old;
+                changed = true;
+            }
+            new_sum += new;
         }
-        self.cluster_sum[i.index() * self.n_clusters + c.index()] += delta;
-        self.total[i.index()] += delta;
+        if !changed {
+            return;
+        }
+        // Rebuild the scaled marginal and the total from scratch rather
+        // than adding a delta: a delta leaves an absolute error behind
+        // that sustained shrinking (factor « 1, round after round)
+        // amplifies relative to the shrinking true value.
+        self.cluster_sum[ii * self.n_clusters + c.index()] = new_sum;
+        self.total[ii] = self.cluster_sum[ii * self.n_clusters..(ii + 1) * self.n_clusters]
+            .iter()
+            .sum();
+        self.note_cluster_write(ii, c.index(), new_sum > old_sum);
+        // Several time marginals moved at once; no cheap exact rule.
+        self.invalidate_time(ii);
     }
 
     /// Multiplies every cluster's weight at time `t` by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
     pub fn scale_time(&mut self, i: InstrId, t: u32, factor: f64) {
         assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
-        let mut delta = 0.0;
+        let ii = i.index();
+        let old_sum = self.time_sum[ii * self.n_slots + t as usize];
+        let mut new_sum = 0.0;
+        let mut changed = false;
         for c in 0..self.n_clusters {
             let k = self.idx(i, ClusterId::new(c as u16), t);
             let old = self.w[k];
             let new = old * factor;
-            self.w[k] = new;
-            self.cluster_sum[i.index() * self.n_clusters + c] += new - old;
-            delta += new - old;
+            if new != old {
+                self.w[k] = new;
+                self.cluster_sum[ii * self.n_clusters + c] += new - old;
+                changed = true;
+            }
+            new_sum += new;
         }
-        self.time_sum[i.index() * self.n_slots + t as usize] += delta;
-        self.total[i.index()] += delta;
+        if !changed {
+            return;
+        }
+        // Exact rebuild of the scaled marginal; see `scale_cluster`.
+        self.time_sum[ii * self.n_slots + t as usize] = new_sum;
+        self.total[ii] += new_sum - old_sum;
+        // Several cluster marginals moved at once; no cheap exact rule.
+        self.invalidate_cluster(ii);
+        self.note_time_write(ii, t as usize, new_sum > old_sum);
     }
 
     /// Restricts `i` to time slots `[lo, hi]`, zeroing all weight
-    /// outside and recording the window (INITTIME's squash).
+    /// outside and *intersecting* the recorded window with any window
+    /// set earlier — a feasibility constraint, once established, can
+    /// only tighten.
     ///
     /// # Panics
     ///
-    /// Panics if `lo > hi` or `hi` is out of range.
+    /// Panics if `lo > hi`, `hi` is out of range, or the intersection
+    /// with the previously recorded window is empty.
     pub fn set_window(&mut self, i: InstrId, lo: u32, hi: u32) {
         assert!(lo <= hi, "window must be non-empty");
         assert!((hi as usize) < self.n_slots, "window exceeds time slots");
-        self.window[i.index()] = (lo, hi);
-        for t in 0..self.n_slots as u32 {
-            if t < lo || t > hi {
-                for c in 0..self.n_clusters {
-                    self.set(i, ClusterId::new(c as u16), t, 0.0);
+        let ii = i.index();
+        let (old_lo, old_hi) = self.window[ii];
+        let lo = lo.max(old_lo);
+        let hi = hi.min(old_hi);
+        assert!(lo <= hi, "window must be non-empty");
+        self.window[ii] = (lo, hi);
+        let mut any_removed = false;
+        for t in 0..self.n_slots {
+            if (t as u32) >= lo && (t as u32) <= hi {
+                continue;
+            }
+            for c in 0..self.n_clusters {
+                let k = (ii * self.n_clusters + c) * self.n_slots + t;
+                let v = self.w[k];
+                if v != 0.0 {
+                    self.w[k] = 0.0;
+                    self.cluster_sum[ii * self.n_clusters + c] -= v;
+                    self.total[ii] -= v;
+                    any_removed = true;
                 }
+            }
+            self.time_sum[ii * self.n_slots + t] = 0.0;
+        }
+        if any_removed {
+            self.invalidate_cluster(ii);
+            let cache = self.argmax[ii].get();
+            if cache.time_valid && !(lo..=hi).contains(&cache.top_time) {
+                self.invalidate_time(ii);
             }
         }
     }
@@ -218,33 +388,167 @@ impl PreferenceMap {
     /// The cluster marginal `Σ_t W[i, c, t]`.
     #[must_use]
     pub fn cluster_weight(&self, i: InstrId, c: ClusterId) -> f64 {
-        self.cluster_sum[i.index() * self.n_clusters + c.index()]
+        self.cluster_sum[i.index() * self.n_clusters + c.index()] * self.scale[i.index()]
     }
 
     /// The time marginal `Σ_c W[i, c, t]`.
     #[must_use]
     pub fn time_weight(&self, i: InstrId, t: u32) -> f64 {
-        self.time_sum[i.index() * self.n_slots + t as usize]
+        self.time_sum[i.index() * self.n_slots + t as usize] * self.scale[i.index()]
     }
 
     /// Total weight of `i` (1 when normalized).
     #[must_use]
     pub fn total(&self, i: InstrId) -> f64 {
-        self.total[i.index()]
+        self.total[i.index()] * self.scale[i.index()]
+    }
+
+    /// Fills the cluster half of `i`'s argmax cache if it is stale,
+    /// using the same scan (and tie-breaks) as the eager
+    /// implementation, and returns `(top, second)`.
+    fn cluster_cache(&self, i: InstrId) -> (u16, u16) {
+        let ii = i.index();
+        let mut cache = self.argmax[ii].get();
+        if !cache.cluster_valid {
+            let base = ii * self.n_clusters;
+            // The scale multiplies out of every comparison except the
+            // absolute EPS; apply it so cached answers match what a
+            // fresh eager scan of the visible values would produce.
+            let s = self.scale[ii];
+            let mut best = 0usize;
+            for c in 1..self.n_clusters {
+                if self.cluster_sum[base + c] * s > self.cluster_sum[base + best] * s + EPS {
+                    best = c;
+                }
+            }
+            let mut second: Option<usize> = None;
+            for c in 0..self.n_clusters {
+                if c == best {
+                    continue;
+                }
+                match second {
+                    Some(b)
+                        if self.cluster_sum[base + c] * s
+                            <= self.cluster_sum[base + b] * s + EPS => {}
+                    _ => second = Some(c),
+                }
+            }
+            cache.top_cluster = best as u16;
+            cache.second_cluster = second.map_or(NO_CLUSTER, |c| c as u16);
+            cache.cluster_valid = true;
+            self.argmax[ii].set(cache);
+        }
+        (cache.top_cluster, cache.second_cluster)
+    }
+
+    /// Fills the time half of `i`'s argmax cache if it is stale and
+    /// returns the top slot.
+    fn time_cache(&self, i: InstrId) -> u32 {
+        let ii = i.index();
+        let mut cache = self.argmax[ii].get();
+        if !cache.time_valid {
+            let base = ii * self.n_slots;
+            let s = self.scale[ii];
+            let mut best = 0usize;
+            for t in 1..self.n_slots {
+                if self.time_sum[base + t] * s > self.time_sum[base + best] * s + EPS {
+                    best = t;
+                }
+            }
+            cache.top_time = best as u32;
+            cache.time_valid = true;
+            self.argmax[ii].set(cache);
+        }
+        cache.top_time
+    }
+
+    /// Records the effect of a single-cluster marginal change on the
+    /// cached argmax. Exact: the cache is kept only when the old scan
+    /// result provably still holds.
+    fn note_cluster_write(&self, ii: usize, c: usize, increased: bool) {
+        let cell = &self.argmax[ii];
+        let mut cache = cell.get();
+        if !cache.cluster_valid {
+            return;
+        }
+        let top = cache.top_cluster as usize;
+        let keep = if increased {
+            // Boosting the leader changes neither the leader nor the
+            // best-of-the-rest.
+            c == top
+        } else {
+            // Shrinking a cluster that is neither top nor runner-up
+            // cannot promote it and cannot demote either of them.
+            c != top && cache.second_cluster != NO_CLUSTER && c != cache.second_cluster as usize
+        };
+        if !keep {
+            cache.cluster_valid = false;
+            cell.set(cache);
+        }
+    }
+
+    /// Records the effect of a single-time-slot marginal change on the
+    /// cached argmax. Exact, including the in-place `top_time` update
+    /// when a later or earlier slot overtakes the leader by more than
+    /// `EPS`.
+    fn note_time_write(&self, ii: usize, t: usize, increased: bool) {
+        let cell = &self.argmax[ii];
+        let mut cache = cell.get();
+        if !cache.time_valid {
+            return;
+        }
+        let top = cache.top_time as usize;
+        if t == top {
+            if !increased {
+                cache.time_valid = false;
+                cell.set(cache);
+            }
+            return;
+        }
+        if !increased {
+            // Shrinking a non-leader slot never changes the scan.
+            return;
+        }
+        let base = ii * self.n_slots;
+        let s = self.scale[ii];
+        let vt = self.time_sum[base + t] * s;
+        let vtop = self.time_sum[base + top] * s;
+        if vt > vtop + EPS {
+            // `t` now beats the old leader by more than the tie band,
+            // so a fresh scan would end exactly at `t`.
+            cache.top_time = t as u32;
+            cell.set(cache);
+        } else if t < top && vt > vtop - EPS {
+            // An earlier slot climbed into the tie band; the
+            // earliest-slot tie-break could now pick it. Rescan.
+            cache.time_valid = false;
+            cell.set(cache);
+        }
+    }
+
+    fn invalidate_cluster(&self, ii: usize) {
+        let cell = &self.argmax[ii];
+        let mut cache = cell.get();
+        if cache.cluster_valid {
+            cache.cluster_valid = false;
+            cell.set(cache);
+        }
+    }
+
+    fn invalidate_time(&self, ii: usize) {
+        let cell = &self.argmax[ii];
+        let mut cache = cell.get();
+        if cache.time_valid {
+            cache.time_valid = false;
+            cell.set(cache);
+        }
     }
 
     /// `argmax_c Σ_t W[i, c, t]` — the paper's `preferred_cluster`.
     /// Ties break toward the lowest cluster id.
     #[must_use]
     pub fn preferred_cluster(&self, i: InstrId) -> ClusterId {
-        let base = i.index() * self.n_clusters;
-        let mut best = 0usize;
-        for c in 1..self.n_clusters {
-            if self.cluster_sum[base + c] > self.cluster_sum[base + best] + EPS {
-                best = c;
-            }
-        }
-        ClusterId::new(best as u16)
+        ClusterId::new(self.cluster_cache(i).0)
     }
 
     /// The second-best cluster, or `None` on single-cluster machines.
@@ -253,33 +557,16 @@ impl PreferenceMap {
         if self.n_clusters < 2 {
             return None;
         }
-        let pref = self.preferred_cluster(i).index();
-        let base = i.index() * self.n_clusters;
-        let mut best: Option<usize> = None;
-        for c in 0..self.n_clusters {
-            if c == pref {
-                continue;
-            }
-            match best {
-                Some(b) if self.cluster_sum[base + c] <= self.cluster_sum[base + b] + EPS => {}
-                _ => best = Some(c),
-            }
-        }
-        best.map(|c| ClusterId::new(c as u16))
+        let (_, second) = self.cluster_cache(i);
+        debug_assert_ne!(second, NO_CLUSTER);
+        Some(ClusterId::new(second))
     }
 
     /// `argmax_t Σ_c W[i, c, t]` — the paper's `preferred_time`.
     /// Ties break toward the earliest slot.
     #[must_use]
     pub fn preferred_time(&self, i: InstrId) -> Cycle {
-        let base = i.index() * self.n_slots;
-        let mut best = 0usize;
-        for t in 1..self.n_slots {
-            if self.time_sum[base + t] > self.time_sum[base + best] + EPS {
-                best = t;
-            }
-        }
-        Cycle::new(best as u32)
+        Cycle::new(self.time_cache(i))
     }
 
     /// The paper's confidence: the ratio of the top two cluster
@@ -301,71 +588,98 @@ impl PreferenceMap {
         }
     }
 
-    /// Renormalizes `i` so its weights sum to 1. If every weight was
-    /// squashed to (numerical) zero, the distribution resets to
-    /// uniform over the instruction's feasible window and clusters, so
-    /// feasibility decisions survive aggressive scaling.
+    /// Renormalizes `i` so its weights sum to 1 — O(1): only the
+    /// pending scale factor changes (see the module docs). If every
+    /// weight was squashed to (numerical) zero, the distribution resets
+    /// to uniform over the instruction's feasible window and clusters,
+    /// so feasibility decisions survive aggressive scaling.
     pub fn normalize(&mut self, i: InstrId) {
-        let tot = self.total[i.index()];
+        let ii = i.index();
+        let tot = self.total[ii] * self.scale[ii];
         if tot > EPS {
-            let inv = 1.0 / tot;
-            let base = self.idx(i, ClusterId::new(0), 0);
-            for k in 0..self.n_clusters * self.n_slots {
-                self.w[base + k] *= inv;
+            let inv = 1.0 / self.total[ii];
+            self.scale[ii] = inv;
+            if !(SCALE_FOLD_MIN..=SCALE_FOLD_MAX).contains(&inv) {
+                self.materialize(i);
             }
-            for c in 0..self.n_clusters {
-                self.cluster_sum[i.index() * self.n_clusters + c] *= inv;
-            }
-            for t in 0..self.n_slots {
-                self.time_sum[i.index() * self.n_slots + t] *= inv;
-            }
-            self.total[i.index()] = 1.0;
         } else {
             self.reset_uniform(i);
+        }
+    }
+
+    /// Folds `i`'s pending scale factor into its dense row, leaving
+    /// every visible value unchanged and `scale[i] == 1`. Call this
+    /// before handing raw rows to code that bypasses the accessors.
+    pub fn materialize(&mut self, i: InstrId) {
+        let ii = i.index();
+        let s = self.scale[ii];
+        if s == 1.0 {
+            return;
+        }
+        let row = self.n_clusters * self.n_slots;
+        for k in ii * row..(ii + 1) * row {
+            self.w[k] *= s;
+        }
+        for c in 0..self.n_clusters {
+            self.cluster_sum[ii * self.n_clusters + c] *= s;
+        }
+        for t in 0..self.n_slots {
+            self.time_sum[ii * self.n_slots + t] *= s;
+        }
+        self.total[ii] *= s;
+        self.scale[ii] = 1.0;
+        // Visible values are unchanged, so cached argmaxes stay valid.
+    }
+
+    /// [`PreferenceMap::materialize`] for every instruction.
+    pub fn materialize_all(&mut self) {
+        for i in 0..self.n_instrs {
+            self.materialize(InstrId::new(i as u32));
         }
     }
 
     /// Resets `i` to a uniform distribution over its feasible window
     /// and clusters.
     pub fn reset_uniform(&mut self, i: InstrId) {
-        let (lo, hi) = self.window[i.index()];
-        let feasible: Vec<usize> = (0..self.n_clusters)
-            .filter(|&c| self.cluster_ok[i.index() * self.n_clusters + c])
-            .collect();
+        let ii = i.index();
+        let (lo, hi) = self.window[ii];
+        let n_feasible = self.cluster_ok[ii * self.n_clusters..(ii + 1) * self.n_clusters]
+            .iter()
+            .filter(|&&ok| ok)
+            .count();
         // A machine mismatch could leave no feasible cluster; fall back
         // to all clusters rather than a degenerate all-zero row.
-        let clusters: Vec<usize> = if feasible.is_empty() {
-            (0..self.n_clusters).collect()
-        } else {
-            feasible
-        };
+        let use_all = n_feasible == 0;
+        let n_live = if use_all { self.n_clusters } else { n_feasible };
         let slots = (hi - lo + 1) as usize;
-        let per = 1.0 / (clusters.len() * slots) as f64;
+        let per = 1.0 / (n_live * slots) as f64;
         // Clear, then fill.
-        let base = self.idx(i, ClusterId::new(0), 0);
-        for k in 0..self.n_clusters * self.n_slots {
-            self.w[base + k] = 0.0;
+        let row = self.n_clusters * self.n_slots;
+        for k in ii * row..(ii + 1) * row {
+            self.w[k] = 0.0;
         }
         for c in 0..self.n_clusters {
-            self.cluster_sum[i.index() * self.n_clusters + c] = 0.0;
+            let live = use_all || self.cluster_ok[ii * self.n_clusters + c];
+            self.cluster_sum[ii * self.n_clusters + c] =
+                if live { per * slots as f64 } else { 0.0 };
+            if live {
+                let base = (ii * self.n_clusters + c) * self.n_slots;
+                for t in lo..=hi {
+                    self.w[base + t as usize] = per;
+                }
+            }
         }
         for t in 0..self.n_slots {
-            self.time_sum[i.index() * self.n_slots + t] = 0.0;
+            let inside = (t as u32) >= lo && (t as u32) <= hi;
+            self.time_sum[ii * self.n_slots + t] = if inside { per * n_live as f64 } else { 0.0 };
         }
-        for &c in &clusters {
-            for t in lo..=hi {
-                let k = self.idx(i, ClusterId::new(c as u16), t);
-                self.w[k] = per;
-            }
-            self.cluster_sum[i.index() * self.n_clusters + c] = per * slots as f64;
-        }
-        for t in lo..=hi {
-            self.time_sum[i.index() * self.n_slots + t as usize] = per * clusters.len() as f64;
-        }
-        self.total[i.index()] = 1.0;
+        self.total[ii] = 1.0;
+        self.scale[ii] = 1.0;
+        self.argmax[ii].set(ArgmaxCache::INVALID);
     }
 
-    /// Renormalizes every instruction.
+    /// Renormalizes every instruction — O(N) when every total is
+    /// positive, since each `normalize` only updates the scale factor.
     pub fn normalize_all(&mut self) {
         for i in 0..self.n_instrs {
             self.normalize(InstrId::new(i as u32));
@@ -386,20 +700,22 @@ impl PreferenceMap {
     /// Panics if `target.len() != n_clusters`.
     pub fn set_cluster_marginal(&mut self, i: InstrId, target: &[f64]) {
         assert_eq!(target.len(), self.n_clusters, "one target per cluster");
-        let masked: Vec<f64> = (0..self.n_clusters)
-            .map(|c| {
-                if self.cluster_ok[i.index() * self.n_clusters + c] {
-                    target[c].max(0.0)
-                } else {
-                    0.0
-                }
-            })
-            .collect();
+        let ii = i.index();
+        let mut masked = std::mem::take(&mut self.scratch);
+        masked.clear();
+        masked.extend((0..self.n_clusters).map(|c| {
+            if self.cluster_ok[ii * self.n_clusters + c] {
+                target[c].max(0.0)
+            } else {
+                0.0
+            }
+        }));
         let sum: f64 = masked.iter().sum();
         if sum <= EPS {
+            self.scratch = masked;
             return; // nothing expressible: leave unchanged
         }
-        let (lo, hi) = self.window[i.index()];
+        let (lo, hi) = self.window[ii];
         let slots = (hi - lo + 1) as f64;
         for c in 0..self.n_clusters {
             let cid = ClusterId::new(c as u16);
@@ -414,36 +730,53 @@ impl PreferenceMap {
             }
         }
         self.normalize(i);
+        self.scratch = masked;
     }
 
-    /// Checks both paper invariants to `tolerance`; used by tests.
+    /// Checks both paper invariants to `tolerance`, plus the internal
+    /// bookkeeping (marginals and total vs. the dense data); used by
+    /// tests.
     ///
     /// # Panics
     ///
     /// Panics (with context) if an invariant is broken.
     pub fn assert_invariants(&self, tolerance: f64) {
         for i in 0..self.n_instrs {
+            let id = InstrId::new(i as u32);
             let mut sum = 0.0;
             for c in 0..self.n_clusters {
+                let mut csum = 0.0;
                 for t in 0..self.n_slots {
-                    let v = self.get(
-                        InstrId::new(i as u32),
-                        ClusterId::new(c as u16),
-                        t as u32,
-                    );
+                    let v = self.get(id, ClusterId::new(c as u16), t as u32);
                     assert!(
                         (0.0 - tolerance..=1.0 + tolerance).contains(&v),
                         "W[i{i},c{c},t{t}] = {v} out of [0,1]"
                     );
                     sum += v;
+                    csum += v;
                 }
+                let cw = self.cluster_weight(id, ClusterId::new(c as u16));
+                assert!(
+                    (cw - csum).abs() <= tolerance,
+                    "cluster marginal {cw} != recomputed {csum} for i{i},c{c}"
+                );
+            }
+            for t in 0..self.n_slots {
+                let tsum: f64 = (0..self.n_clusters)
+                    .map(|c| self.get(id, ClusterId::new(c as u16), t as u32))
+                    .sum();
+                let tw = self.time_weight(id, t as u32);
+                assert!(
+                    (tw - tsum).abs() <= tolerance,
+                    "time marginal {tw} != recomputed {tsum} for i{i},t{t}"
+                );
             }
             assert!(
                 (sum - 1.0).abs() <= tolerance,
                 "Σ W[i{i}] = {sum}, expected 1"
             );
             // Marginal bookkeeping must agree with the dense data.
-            let tot = self.total[i];
+            let tot = self.total(id);
             assert!(
                 (tot - sum).abs() <= tolerance,
                 "cached total {tot} != recomputed {sum} for i{i}"
@@ -514,6 +847,34 @@ mod tests {
         w.assert_invariants(1e-9);
         assert_eq!(w.time_weight(i(0), 2), 0.0);
         assert!(w.time_weight(i(0), 3) > 0.0);
+    }
+
+    #[test]
+    fn repeated_windows_intersect() {
+        let mut w = PreferenceMap::new(1, 2, 10);
+        w.set_window(i(0), 2, 7);
+        w.set_window(i(0), 4, 9);
+        // Recorded window is the intersection, not the last call.
+        assert_eq!(w.window(i(0)), (4, 7));
+        w.normalize(i(0));
+        w.assert_invariants(1e-9);
+        assert_eq!(w.time_weight(i(0), 3), 0.0);
+        assert_eq!(w.time_weight(i(0), 8), 0.0);
+        assert!(w.time_weight(i(0), 5) > 0.0);
+        // A zero-weight reset stays inside the intersection too.
+        w.scale_cluster(i(0), c(0), 0.0);
+        w.scale_cluster(i(0), c(1), 0.0);
+        w.normalize(i(0));
+        assert_eq!(w.time_weight(i(0), 2), 0.0);
+        assert!(w.time_weight(i(0), 4) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn disjoint_window_intersection_panics() {
+        let mut w = PreferenceMap::new(1, 1, 10);
+        w.set_window(i(0), 0, 2);
+        w.set_window(i(0), 5, 7);
     }
 
     #[test]
@@ -634,5 +995,115 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn normalize_is_o1_and_materialize_restores_raw() {
+        let mut w = PreferenceMap::new(1, 2, 2);
+        w.scale_cluster(i(0), c(1), 9.0);
+        w.normalize(i(0));
+        // Lazy: the visible values are normalized...
+        w.assert_invariants(1e-12);
+        let before: Vec<f64> = (0..2u16)
+            .flat_map(|cc| (0..2u32).map(move |t| (cc, t)))
+            .map(|(cc, t)| w.get(i(0), c(cc), t))
+            .collect();
+        // ...and materialize folds the factor in without changing them.
+        w.materialize(i(0));
+        let after: Vec<f64> = (0..2u16)
+            .flat_map(|cc| (0..2u32).map(move |t| (cc, t)))
+            .map(|(cc, t)| w.get(i(0), c(cc), t))
+            .collect();
+        assert_eq!(before, after);
+        w.assert_invariants(1e-12);
+        // After materialize the total is carried eagerly again.
+        assert!((w.total(i(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_scaling_stays_finite_across_many_passes() {
+        // Repeatedly multiply weight in (as PLACE's ×100 does) with a
+        // normalize after every round, far past the point where a
+        // naively accumulated raw total would overflow f64: the scale
+        // guard must keep folding the factor back in.
+        let mut w = PreferenceMap::new(1, 2, 2);
+        for _ in 0..300 {
+            w.scale_cluster(i(0), c(1), 100.0);
+            w.scale_cluster(i(0), c(0), 100.0);
+            w.normalize_all();
+        }
+        w.assert_invariants(1e-9);
+        assert!(w.get(i(0), c(1), 0).is_finite());
+        // Repeatedly squash a single cluster (forbid-like pressure);
+        // normalize keeps redistributing onto the survivor.
+        for _ in 0..300 {
+            w.scale_cluster(i(0), c(1), 0.01);
+            w.normalize_all();
+        }
+        w.assert_invariants(1e-9);
+        assert_eq!(w.preferred_cluster(i(0)), c(0));
+    }
+
+    #[test]
+    fn sustained_global_shrink_hits_the_fold_guard() {
+        // Shrinking *everything* drives the raw total toward f64
+        // underflow; the guard folds the scale in whenever it leaves
+        // [1e-90, 1e90]. Visible cells, cluster marginals, and the
+        // total stay exact because `scale_cluster` rebuilds them from
+        // the cells; the time marginals are delta-maintained and may
+        // drift under this pathological workload (as in an eager
+        // implementation), so they are not checked here.
+        let mut w = PreferenceMap::new(1, 2, 2);
+        for _ in 0..300 {
+            w.scale_cluster(i(0), c(0), 0.01);
+            w.scale_cluster(i(0), c(1), 0.01);
+            w.normalize_all();
+        }
+        let mut sum = 0.0;
+        for cc in 0..2u16 {
+            let mut csum = 0.0;
+            for t in 0..2u32 {
+                let v = w.get(i(0), c(cc), t);
+                assert!(v.is_finite() && v >= 0.0);
+                sum += v;
+                csum += v;
+            }
+            assert!((w.cluster_weight(i(0), c(cc)) - csum).abs() < 1e-9);
+        }
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!((w.total(i(0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cached_argmax_tracks_writes() {
+        let mut w = PreferenceMap::new(1, 4, 6);
+        // Prime the caches.
+        assert_eq!(w.preferred_cluster(i(0)), c(0));
+        assert_eq!(w.preferred_time(i(0)), Cycle::ZERO);
+        // A write that changes the answers must be reflected.
+        w.scale_cluster(i(0), c(2), 5.0);
+        assert_eq!(w.preferred_cluster(i(0)), c(2));
+        w.scale_time(i(0), 4, 5.0);
+        assert_eq!(w.preferred_time(i(0)), Cycle::new(4));
+        // Boosting the current leaders keeps the cache valid and true.
+        w.scale_cluster(i(0), c(2), 2.0);
+        w.scale_time(i(0), 4, 2.0);
+        assert_eq!(w.preferred_cluster(i(0)), c(2));
+        assert_eq!(w.preferred_time(i(0)), Cycle::new(4));
+        // Normalization preserves the ordering.
+        w.normalize_all();
+        assert_eq!(w.preferred_cluster(i(0)), c(2));
+        assert_eq!(w.preferred_time(i(0)), Cycle::new(4));
+        // Runner-up and confidence come from the same cache.
+        assert_ne!(w.runnerup_cluster(i(0)), Some(c(2)));
+        assert!(w.confidence(i(0)) > 1.0);
+        // A cell-level boost of another column updates the argmax.
+        let big = w.total(i(0)) * 3.0;
+        w.set(i(0), c(1), 1, big);
+        assert_eq!(w.preferred_cluster(i(0)), c(1));
+        assert_eq!(w.preferred_time(i(0)), Cycle::new(1));
+        w.reset_uniform(i(0));
+        assert_eq!(w.preferred_cluster(i(0)), c(0));
+        assert_eq!(w.preferred_time(i(0)), Cycle::ZERO);
     }
 }

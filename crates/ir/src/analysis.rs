@@ -227,9 +227,7 @@ impl DistanceOracle {
 
     /// All undirected distances from `src`, indexed by instruction id.
     pub fn distances_from(&mut self, dag: &Dag, src: InstrId) -> &[u32] {
-        self.cache
-            .entry(src)
-            .or_insert_with(|| Self::bfs(dag, src))
+        self.cache.entry(src).or_insert_with(|| Self::bfs(dag, src))
     }
 
     fn bfs(dag: &Dag, src: InstrId) -> Vec<u32> {

@@ -10,7 +10,7 @@
 
 use std::collections::HashSet;
 
-use crate::{IrError, InstrId, Instruction, Opcode};
+use crate::{InstrId, Instruction, IrError, Opcode};
 
 /// A directed dependence edge between two instructions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

@@ -46,6 +46,7 @@ mod shape;
 mod text;
 mod unit;
 
+pub use analysis::UNREACHABLE;
 pub use analysis::{CriticalPath, DistanceOracle, TimeAnalysis};
 pub use dot::to_dot;
 pub use error::IrError;
@@ -53,7 +54,6 @@ pub use graph::{Dag, DagBuilder, Edge};
 pub use id::{ClusterId, Cycle, InstrId};
 pub use instr::{Instruction, OpClass, Opcode};
 pub use program::{CrossValue, Program, ProgramError};
-pub use analysis::UNREACHABLE;
 pub use shape::ShapeStats;
 pub use text::{parse_unit, to_text, TextError};
 pub use unit::{RegionKind, SchedulingUnit};

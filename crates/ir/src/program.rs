@@ -79,7 +79,10 @@ impl fmt::Display for ProgramError {
                 write!(f, "unit {unit} has no instruction {instr}")
             }
             ProgramError::UseBeforeDef { name } => {
-                write!(f, "cross-region value '{name}' is used at or before its definition region")
+                write!(
+                    f,
+                    "cross-region value '{name}' is used at or before its definition region"
+                )
             }
             ProgramError::Unused { name } => {
                 write!(f, "cross-region value '{name}' has no uses")

@@ -21,7 +21,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::{ClusterId, DagBuilder, Instruction, InstrId, Opcode, SchedulingUnit};
+use crate::{ClusterId, DagBuilder, InstrId, Instruction, Opcode, SchedulingUnit};
 
 /// Errors parsing the `.cdag` text format.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -118,7 +118,10 @@ fn opcode_from_mnemonic(s: &str) -> Option<Opcode> {
 #[must_use]
 pub fn to_text(unit: &SchedulingUnit) -> String {
     let mut out = String::new();
-    out.push_str(&format!("unit {}\n", unit.name().replace(char::is_whitespace, "_")));
+    out.push_str(&format!(
+        "unit {}\n",
+        unit.name().replace(char::is_whitespace, "_")
+    ));
     for i in unit.dag().ids() {
         let instr = unit.dag().instr(i);
         out.push('i');
@@ -239,10 +242,7 @@ mod tests {
         assert_eq!(back.name(), "demo");
         assert_eq!(back.dag().len(), 3);
         assert_eq!(back.dag().edge_count(), 2);
-        assert_eq!(
-            back.dag().instr(x).preplacement(),
-            Some(ClusterId::new(3))
-        );
+        assert_eq!(back.dag().instr(x).preplacement(), Some(ClusterId::new(3)));
         assert_eq!(back.dag().instr(z).name(), Some("out[0]"));
         // Idempotent: serializing again yields the same text.
         assert_eq!(to_text(&back), text);

@@ -53,7 +53,10 @@ impl fmt::Display for ScheduleError {
                 write!(f, "no cluster can execute instruction {i}")
             }
             ScheduleError::BadHomeCluster { instr, home } => {
-                write!(f, "instruction {instr} is preplaced on nonexistent cluster {home}")
+                write!(
+                    f,
+                    "instruction {instr} is preplaced on nonexistent cluster {home}"
+                )
             }
             ScheduleError::PreplacementConflict {
                 instr,

@@ -89,7 +89,6 @@ impl ResourceState {
         let inserted = self.busy[cluster.index()][fu].insert(t);
         debug_assert!(inserted, "double-booked {cluster} fu{fu} at {t}");
     }
-
 }
 
 /// Tracks inserted communication and cross-cluster value arrivals.
@@ -121,7 +120,10 @@ impl CommTracker {
         arrival: u32,
     ) {
         self.ops.push((producer, from, to, start, fu));
-        let slot = self.arrival.entry((producer, to.index())).or_insert(arrival);
+        let slot = self
+            .arrival
+            .entry((producer, to.index()))
+            .or_insert(arrival);
         *slot = (*slot).min(arrival);
     }
 
@@ -316,8 +318,7 @@ impl ListScheduler {
                         resources.reserve(cluster, fu, t);
                         start[i.index()] = Some(t);
                         fu_of[i.index()] = fu;
-                        finish[i.index()] =
-                            t + effective_latency_in(dag, machine, i, cluster);
+                        finish[i.index()] = t + effective_latency_in(dag, machine, i, cluster);
                         n_placed += 1;
                         pending.swap_remove(k);
                         // Move the produced value toward every consumer
@@ -423,7 +424,9 @@ mod tests {
         let dag = b.build().unwrap();
         let m = Machine::chorus_vliw(2);
         let asg = Assignment::uniform(2, c(0));
-        let s = ListScheduler::new().schedule_with_cp(&dag, &m, &asg).unwrap();
+        let s = ListScheduler::new()
+            .schedule_with_cp(&dag, &m, &asg)
+            .unwrap();
         validate(&dag, &m, &s).unwrap();
         assert_eq!(s.makespan().get(), 4);
         assert_eq!(s.comm_count(), 0);
@@ -438,7 +441,9 @@ mod tests {
         let dag = b.build().unwrap();
         let m = Machine::chorus_vliw(2);
         let asg = Assignment::from_vec(vec![c(0), c(1)]);
-        let s = ListScheduler::new().schedule_with_cp(&dag, &m, &asg).unwrap();
+        let s = ListScheduler::new()
+            .schedule_with_cp(&dag, &m, &asg)
+            .unwrap();
         validate(&dag, &m, &s).unwrap();
         // a: 0..1, copy at 1 arrives 2, d: 2..3.
         assert_eq!(s.makespan().get(), 3);
@@ -455,7 +460,9 @@ mod tests {
         let dag = b.build().unwrap();
         let m = Machine::raw(4);
         let asg = Assignment::from_vec(vec![c(0), c(1)]);
-        let s = ListScheduler::new().schedule_with_cp(&dag, &m, &asg).unwrap();
+        let s = ListScheduler::new()
+            .schedule_with_cp(&dag, &m, &asg)
+            .unwrap();
         validate(&dag, &m, &s).unwrap();
         // a: 0..1, route arrives 1+3=4, d: 4..5.
         assert_eq!(s.makespan().get(), 5);
@@ -473,7 +480,9 @@ mod tests {
         let dag = b.build().unwrap();
         let m = Machine::chorus_vliw(2);
         let asg = Assignment::from_vec(vec![c(0), c(1), c(1)]);
-        let s = ListScheduler::new().schedule_with_cp(&dag, &m, &asg).unwrap();
+        let s = ListScheduler::new()
+            .schedule_with_cp(&dag, &m, &asg)
+            .unwrap();
         validate(&dag, &m, &s).unwrap();
         assert_eq!(s.comm_count(), 1);
     }
@@ -513,7 +522,9 @@ mod tests {
         let dag = b.build().unwrap();
         let m = Machine::chorus_vliw(1);
         let asg = Assignment::uniform(3, c(0));
-        let s = ListScheduler::new().schedule_with_cp(&dag, &m, &asg).unwrap();
+        let s = ListScheduler::new()
+            .schedule_with_cp(&dag, &m, &asg)
+            .unwrap();
         validate(&dag, &m, &s).unwrap();
         let starts: Vec<u32> = [f1, f2, a].iter().map(|&i| s.op(i).start.get()).collect();
         assert_eq!(starts[2], 0); // int op co-issues
@@ -574,7 +585,9 @@ mod tests {
         let dag = b.build().unwrap();
         let m = Machine::raw(4);
         let asg: Assignment = (0..8).map(|k| c(k % 4)).collect();
-        let s = ListScheduler::new().schedule_with_cp(&dag, &m, &asg).unwrap();
+        let s = ListScheduler::new()
+            .schedule_with_cp(&dag, &m, &asg)
+            .unwrap();
         validate(&dag, &m, &s).unwrap();
         assert_eq!(s.makespan().get(), 2);
     }
@@ -589,12 +602,16 @@ mod tests {
         let m = Machine::chorus_vliw(2);
         // Both on cluster 0: load runs remotely (latency 4).
         let asg = Assignment::uniform(2, c(0));
-        let s = ListScheduler::new().schedule_with_cp(&dag, &m, &asg).unwrap();
+        let s = ListScheduler::new()
+            .schedule_with_cp(&dag, &m, &asg)
+            .unwrap();
         validate(&dag, &m, &s).unwrap();
         assert_eq!(s.makespan().get(), 5);
         // Both on home cluster 1: local load (latency 3).
         let asg = Assignment::uniform(2, c(1));
-        let s = ListScheduler::new().schedule_with_cp(&dag, &m, &asg).unwrap();
+        let s = ListScheduler::new()
+            .schedule_with_cp(&dag, &m, &asg)
+            .unwrap();
         assert_eq!(s.makespan().get(), 4);
     }
 }

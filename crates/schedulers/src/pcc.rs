@@ -192,7 +192,8 @@ fn estimate_length(dag: &Dag, machine: &Machine, assignment: &Assignment) -> u32
             }
         }
         if !machine.comm().register_mapped {
-            let mut dests: std::collections::HashSet<(u32, usize)> = std::collections::HashSet::new();
+            let mut dests: std::collections::HashSet<(u32, usize)> =
+                std::collections::HashSet::new();
             for e in dag.edges() {
                 let (pc, uc) = (assignment.cluster(e.src), assignment.cluster(e.dst));
                 if pc == c && uc != c {
@@ -439,7 +440,9 @@ mod tests {
         for m in [Machine::raw(4), Machine::chorus_vliw(4)] {
             let s = PccScheduler::new().schedule(&dag, &m).unwrap();
             validate(&dag, &m, &s).unwrap();
-            assert!(s.assignment().respects_preplacement(&dag) || !m.memory().preplacement_is_hard());
+            assert!(
+                s.assignment().respects_preplacement(&dag) || !m.memory().preplacement_is_hard()
+            );
         }
     }
 
@@ -449,7 +452,11 @@ mod tests {
         let mut b = DagBuilder::new();
         let mut ids = Vec::new();
         for k in 0..24 {
-            let op = if k % 3 == 0 { Opcode::FMul } else { Opcode::IntAlu };
+            let op = if k % 3 == 0 {
+                Opcode::FMul
+            } else {
+                Opcode::IntAlu
+            };
             ids.push(b.instr(op));
         }
         for k in 4..24 {

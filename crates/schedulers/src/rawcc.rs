@@ -95,9 +95,7 @@ impl VirtualClusters {
 fn cluster_step(dag: &Dag, machine: &Machine) -> Result<VirtualClusters, ScheduleError> {
     // Estimated communication cost between clusters (the clustering
     // abstraction: uniform cost, zero inside a cluster).
-    let comm = machine
-        .comm()
-        .latency_for_hops(1);
+    let comm = machine.comm().latency_for_hops(1);
     let n = dag.len();
     let mut vc_of: Vec<usize> = vec![usize::MAX; n];
     let mut home: Vec<Option<ClusterId>> = Vec::new();
@@ -121,8 +119,7 @@ fn cluster_step(dag: &Dag, machine: &Machine) -> Result<VirtualClusters, Schedul
             return Err(ScheduleError::NoCapableCluster(i));
         }
         let my_home = instr.preplacement();
-        let finish =
-            |p: InstrId, est: &[u32]| est[p.index()] + machine.latency_of(dag.instr(p));
+        let finish = |p: InstrId, est: &[u32]| est[p.index()] + machine.latency_of(dag.instr(p));
         // Start time if i joins virtual cluster vc: data arrival plus
         // waiting for the cluster's issue slot.
         let est_in = |vc: usize, est: &[u32], free: &[u32]| -> u32 {
@@ -288,10 +285,8 @@ fn place_step(dag: &Dag, machine: &Machine, vcs: &VirtualClusters) -> Assignment
         .collect();
     rest.sort_by_key(|&vc| (std::cmp::Reverse(vcs.load[vc]), vc));
     for vc in rest {
-        let candidates: Vec<ClusterId> = machine
-            .cluster_ids()
-            .filter(|c| !used[c.index()])
-            .collect();
+        let candidates: Vec<ClusterId> =
+            machine.cluster_ids().filter(|c| !used[c.index()]).collect();
         let pool = if candidates.is_empty() {
             machine.cluster_ids().collect::<Vec<_>>()
         } else {
@@ -303,9 +298,7 @@ fn place_step(dag: &Dag, machine: &Machine, vcs: &VirtualClusters) -> Assignment
                 let cost: u32 = alive
                     .iter()
                     .filter_map(|&other| phys_of[other].map(|pc| (other, pc)))
-                    .map(|(other, pc)| {
-                        affinity(dag, vcs, vc, other) as u32 * machine.hops(c, pc)
-                    })
+                    .map(|(other, pc)| affinity(dag, vcs, vc, other) as u32 * machine.hops(c, pc))
                     .sum();
                 (cost, c)
             })

@@ -147,7 +147,10 @@ impl fmt::Display for SimError {
                 }
             }
             SimError::SizeMismatch { expected, actual } => {
-                write!(f, "schedule has {actual} instructions, graph has {expected}")
+                write!(
+                    f,
+                    "schedule has {actual} instructions, graph has {expected}"
+                )
             }
         }
     }

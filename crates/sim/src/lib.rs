@@ -61,8 +61,7 @@ use convergent_machine::Machine;
 pub fn effective_latency(machine: &Machine, instr: &Instruction, c: ClusterId) -> u32 {
     let base = machine.latency_of(instr);
     if instr.opcode().is_memory() {
-        if let (Some(home), Some(penalty)) =
-            (instr.preplacement(), machine.memory().remote_penalty)
+        if let (Some(home), Some(penalty)) = (instr.preplacement(), machine.memory().remote_penalty)
         {
             if home != c {
                 return base + penalty;

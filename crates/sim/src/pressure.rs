@@ -107,15 +107,13 @@ pub fn analyze_pressure(
         for &u in dag.succs(p) {
             let u_op = schedule.op(u);
             let uc = u_op.cluster.index();
-            let entry = res
-                .entry((p, uc))
-                .or_insert(Residency {
-                    // No explicit transfer (validation would flag a
-                    // true violation); treat as arriving at use time.
-                    from: u_op.start.get(),
-                    to: u_op.start.get(),
-                    uses: Vec::new(),
-                });
+            let entry = res.entry((p, uc)).or_insert(Residency {
+                // No explicit transfer (validation would flag a
+                // true violation); treat as arriving at use time.
+                from: u_op.start.get(),
+                to: u_op.start.get(),
+                uses: Vec::new(),
+            });
             entry.to = entry.to.max(u_op.start.get() + 1);
             entry.uses.push(u_op.start.get());
         }
@@ -151,9 +149,7 @@ pub fn analyze_pressure(
                 let victim = active
                     .iter()
                     .enumerate()
-                    .max_by_key(|(_, (a, cursor))| {
-                        a.uses.get(*cursor).copied().unwrap_or(a.to)
-                    })
+                    .max_by_key(|(_, (a, cursor))| a.uses.get(*cursor).copied().unwrap_or(a.to))
                     .map(|(k, _)| k)
                     .expect("active is non-empty");
                 active.swap_remove(victim);

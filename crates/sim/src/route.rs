@@ -22,7 +22,11 @@ pub(crate) type Link = ((u16, u16), (u16, u16));
 /// For non-mesh topologies the route is a single logical link, since a
 /// clustered VLIW's transfer bus has no intermediate hops.
 #[must_use]
-pub fn route_hops(machine: &Machine, from: ClusterId, to: ClusterId) -> Vec<((u16, u16), (u16, u16))> {
+pub fn route_hops(
+    machine: &Machine,
+    from: ClusterId,
+    to: ClusterId,
+) -> Vec<((u16, u16), (u16, u16))> {
     if from == to {
         return Vec::new();
     }
@@ -120,11 +124,7 @@ mod tests {
         let path = route_hops(&m, ClusterId::new(0), ClusterId::new(5));
         assert_eq!(
             path,
-            vec![
-                ((0, 0), (0, 0)),
-                ((0, 0), (1, 0)),
-                ((1, 0), (1, 1)),
-            ]
+            vec![((0, 0), (0, 0)), ((0, 0), (1, 0)), ((1, 0), (1, 1)),]
         );
     }
 

@@ -207,8 +207,16 @@ impl<'a> ScheduleBuilder<'a> {
                 fu,
             })
             .collect();
-        let op_end = ops.iter().map(PlacedOp::finish).max().unwrap_or(Cycle::ZERO);
-        let comm_end = comms.iter().map(CommOp::arrival).max().unwrap_or(Cycle::ZERO);
+        let op_end = ops
+            .iter()
+            .map(PlacedOp::finish)
+            .max()
+            .unwrap_or(Cycle::ZERO);
+        let comm_end = comms
+            .iter()
+            .map(CommOp::arrival)
+            .max()
+            .unwrap_or(Cycle::ZERO);
         let makespan = op_end.max(comm_end);
         Ok(SpaceTimeSchedule {
             ops,

@@ -89,13 +89,17 @@ fn check_resources(
     let mut slots: HashMap<(usize, usize, Cycle), u32> = HashMap::new();
     for op in schedule.ops() {
         if op.fu < machine.cluster(op.cluster).issue_width() {
-            *slots.entry((op.cluster.index(), op.fu, op.start)).or_insert(0) += 1;
+            *slots
+                .entry((op.cluster.index(), op.fu, op.start))
+                .or_insert(0) += 1;
         }
     }
     for comm in schedule.comms() {
         if let Some(fu) = comm.fu {
             if fu < machine.cluster(comm.from).issue_width() {
-                *slots.entry((comm.from.index(), fu, comm.start)).or_insert(0) += 1;
+                *slots
+                    .entry((comm.from.index(), fu, comm.start))
+                    .or_insert(0) += 1;
             } else {
                 violations.push(Violation::BadFuIndex {
                     instr: comm.producer,
@@ -220,10 +224,7 @@ mod tests {
         let s = sb.build(&m).unwrap();
         let err = validate(&dag, &m, &s).unwrap_err();
         match err {
-            SimError::Invalid(v) => assert!(matches!(
-                v[0],
-                Violation::DependenceViolated { .. }
-            )),
+            SimError::Invalid(v) => assert!(matches!(v[0], Violation::DependenceViolated { .. })),
             other => panic!("{other:?}"),
         }
     }
@@ -268,7 +269,9 @@ mod tests {
         let err = validate(&dag, &m, &s).unwrap_err();
         match err {
             SimError::Invalid(v) => {
-                assert!(v.iter().any(|x| matches!(x, Violation::CommTooEarly { .. })));
+                assert!(v
+                    .iter()
+                    .any(|x| matches!(x, Violation::CommTooEarly { .. })));
                 assert!(v.iter().any(|x| matches!(x, Violation::MissingComm { .. })));
             }
             other => panic!("{other:?}"),

@@ -286,11 +286,7 @@ mod tests {
     #[test]
     fn yuv_is_integer_only() {
         let unit = yuv(YuvParams::small());
-        assert!(unit
-            .dag()
-            .instrs()
-            .iter()
-            .all(|i| !i.opcode().is_float()));
+        assert!(unit.dag().instrs().iter().all(|i| !i.opcode().is_float()));
     }
 
     #[test]

@@ -207,9 +207,6 @@ mod tests {
         let st = kb.store(1, "c", v);
         let unit = kb.finish("t");
         assert_eq!(unit.dag().preds(st), &[v]);
-        assert_eq!(
-            unit.dag().instr(st).preplacement(),
-            Some(ClusterId::new(1))
-        );
+        assert_eq!(unit.dag().instr(st).preplacement(), Some(ClusterId::new(1)));
     }
 }

@@ -112,7 +112,10 @@ pub fn layered(params: LayeredParams) -> SchedulingUnit {
         }
         levels.push(level);
     }
-    SchedulingUnit::new(format!("layered-{}", params.n_instrs), b.build().expect("layered graphs are DAGs"))
+    SchedulingUnit::new(
+        format!("layered-{}", params.n_instrs),
+        b.build().expect("layered graphs are DAGs"),
+    )
 }
 
 fn pick<'a, T>(rng: &mut StdRng, slice: &'a [T]) -> Option<&'a T> {
@@ -184,7 +187,9 @@ fn build_sp(
         (a_in, b_out)
     } else {
         // Parallel: fork into 2-3 branches, then join.
-        let branches = rng.gen_range(2..=3usize).min(budget.saturating_sub(2).max(2));
+        let branches = rng
+            .gen_range(2..=3usize)
+            .min(budget.saturating_sub(2).max(2));
         let fork = b.instr(Opcode::IntAlu);
         let join = b.instr(Opcode::IntAlu);
         let inner = budget.saturating_sub(2).max(branches);

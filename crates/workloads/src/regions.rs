@@ -62,11 +62,8 @@ pub fn multi_region_accumulate(params: MultiRegionParams) -> Program {
         for lane in 0..params.carried {
             let bank = (lane % params.n_banks as usize) as i64;
             let ld = b.push(
-                Instruction::preplaced(
-                    Opcode::Load,
-                    convergent_ir::ClusterId::new(bank as u16),
-                )
-                .with_name(format!("x{r}[{lane}]")),
+                Instruction::preplaced(Opcode::Load, convergent_ir::ClusterId::new(bank as u16))
+                    .with_name(format!("x{r}[{lane}]")),
             );
             let mul = b.instr(Opcode::FMul);
             b.edge(ld, mul).expect("fresh ids");

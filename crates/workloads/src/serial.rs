@@ -67,11 +67,7 @@ pub fn fpppp_kernel(params: FppppParams) -> SchedulingUnit {
     // spine consume a neighbouring spine's running value — those
     // cross-links are the "fine-grained" part of the parallelism.
     let mut pool: Vec<Vec<InstrId>> = (0..params.spines)
-        .map(|s| {
-            (0..3)
-                .map(|k| kb.load_free(&format!("p{s}_{k}")))
-                .collect()
-        })
+        .map(|s| (0..3).map(|k| kb.load_free(&format!("p{s}_{k}"))).collect())
         .collect();
     let mut spines: Vec<InstrId> = (0..params.spines)
         .map(|k| kb.op(Opcode::FMul, &[inputs[k % inputs.len()], pool[k][0]]))

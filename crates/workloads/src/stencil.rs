@@ -82,10 +82,8 @@ pub fn life(params: StencilParams) -> SchedulingUnit {
                     if di == 0 && dj == 0 {
                         continue;
                     }
-                    neighbors.push(kb.load_cached(
-                        i + di,
-                        &format!("g[{}][{}]", i + di, j as i64 + dj),
-                    ));
+                    neighbors
+                        .push(kb.load_cached(i + di, &format!("g[{}][{}]", i + di, j as i64 + dj)));
                 }
             }
             let count = kb.reduce_tree(Opcode::IntAlu, &neighbors);

@@ -3,9 +3,9 @@
 use convergent_ir::{ClusterId, DagBuilder, Instruction, SchedulingUnit};
 
 use crate::{
-    cholesky, fir, fpppp_kernel, jacobi, life, mxm, rbsorf, sha, swim, tomcatv, vpenta, vvmul,
-    yuv, CholeskyParams, FirParams, FppppParams, MxmParams, ShaParams, StencilParams,
-    VpentaParams, VvmulParams, YuvParams,
+    cholesky, fir, fpppp_kernel, jacobi, life, mxm, rbsorf, sha, swim, tomcatv, vpenta, vvmul, yuv,
+    CholeskyParams, FirParams, FppppParams, MxmParams, ShaParams, StencilParams, VpentaParams,
+    VvmulParams, YuvParams,
 };
 
 /// The Raw evaluation suite (Table 2 / Figures 6 and 7): cholesky,
@@ -65,10 +65,7 @@ pub fn rebank(unit: &SchedulingUnit, n_banks: u16) -> SchedulingUnit {
     let mut b = DagBuilder::with_capacity(dag.len());
     for instr in dag.instrs() {
         let mut new = match instr.preplacement() {
-            Some(h) => Instruction::preplaced(
-                instr.opcode(),
-                ClusterId::new(h.raw() % n_banks),
-            ),
+            Some(h) => Instruction::preplaced(instr.opcode(), ClusterId::new(h.raw() % n_banks)),
             None => Instruction::new(instr.opcode()),
         };
         if let Some(name) = instr.name() {

@@ -1,0 +1,166 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `BenchmarkId`, `Bencher::iter`,
+//! `criterion_group!`/`criterion_main!` — with a simple
+//! calibrate-and-time loop printing ns/iter (no statistics, plots, or
+//! baselines). Activated only via `scripts/offline-check.sh`; default
+//! builds resolve the real `criterion` from crates.io.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark context (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().to_string(), f);
+        self
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, f);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier: a name with an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    param: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id for `name` parameterised by `param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: Some(param.to_string()),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.param {
+            Some(p) => write!(f, "{}/{}", self.name, p),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            param: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name, param: None }
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling the iteration count until the
+    /// measurement window is long enough to trust.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(50) || iters >= 1 << 30 {
+                self.measured = Some((iters, elapsed));
+                return;
+            }
+            iters = iters.saturating_mul(if elapsed < Duration::from_millis(5) {
+                8
+            } else {
+                2
+            });
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut b = Bencher { measured: None };
+    f(&mut b);
+    match b.measured {
+        Some((iters, elapsed)) => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("bench {label:<56} {ns:>14.1} ns/iter  ({iters} iters)");
+        }
+        None => println!("bench {label:<56} (no measurement)"),
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -14,7 +14,10 @@ use convergent_scheduling::prelude::*;
 use convergent_scheduling::workloads::{fpppp_kernel, FppppParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let unit = fpppp_kernel(FppppParams { spines: 4, steps: 6 });
+    let unit = fpppp_kernel(FppppParams {
+        spines: 4,
+        steps: 6,
+    });
     let machine = Machine::chorus_vliw(4);
     println!("{unit}\n");
     println!("rows = instructions, cols = clusters; '.'→'@' = weak→strong preference\n");
@@ -30,8 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let total = weights.total(i).max(f64::MIN_POSITIVE);
                 let mut row = String::new();
                 for c in 0..machine.n_clusters() {
-                    let frac =
-                        weights.cluster_weight(i, ClusterId::new(c as u16)) / total;
+                    let frac = weights.cluster_weight(i, ClusterId::new(c as u16)) / total;
                     let glyph = match (frac * 100.0) as u32 {
                         0..=9 => ' ',
                         10..=24 => '.',

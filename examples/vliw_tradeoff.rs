@@ -16,7 +16,9 @@
 //! cargo run --example vliw_tradeoff
 //! ```
 
-use convergent_scheduling::machine::{Cluster, CommModel, FuKind, LatencyTable, MemoryModel, Topology};
+use convergent_scheduling::machine::{
+    Cluster, CommModel, FuKind, LatencyTable, MemoryModel, Topology,
+};
 use convergent_scheduling::prelude::*;
 use convergent_scheduling::schedulers::ListScheduler;
 use convergent_scheduling::sim::Assignment;
@@ -48,7 +50,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b1 = b.instr(Opcode::IntAlu);
     let b2 = b.instr(Opcode::IntAlu);
     let c1 = b.instr(Opcode::IntAlu);
-    for (x, y) in [(a1, a2), (a2, a3), (a3, a4), (a4, a5), (b1, b2), (b2, a4), (c1, a3)] {
+    for (x, y) in [
+        (a1, a2),
+        (a2, a3),
+        (a3, a4),
+        (a4, a5),
+        (b1, b2),
+        (b2, a4),
+        (c1, a3),
+    ] {
         b.edge(x, y)?;
     }
     let dag = b.build()?;

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Full local gate: release build, tests, clippy (warnings are errors),
+# and formatting. Run from anywhere inside the repo.
+#
+#   scripts/check.sh             # normal, resolves crates.io deps
+#   scripts/check.sh --offline   # sandboxed containers: use the
+#                                # API-compatible stubs in
+#                                # devtools/offline-stubs (see its README)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--offline" ]; then
+    exec scripts/offline-check.sh
+fi
+
+echo "==> cargo build --release"
+cargo build --release
+echo "==> cargo test -q"
+cargo test -q
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo fmt --check"
+cargo fmt --check
+echo "check.sh: all green"

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# The same gate as check.sh for machines with no crates.io access:
+# patches the three external dependencies to the API-compatible stubs
+# in devtools/offline-stubs via command-line config, leaving the
+# committed manifests untouched. See devtools/offline-stubs/README.md
+# for what the stubs do and do not reproduce.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# The flags go after the subcommand: external subcommands (clippy)
+# don't forward cargo-level flags that precede them.
+run() {
+    sub="$1"
+    shift
+    cargo "$sub" \
+        --config 'patch.crates-io.rand.path="devtools/offline-stubs/rand"' \
+        --config 'patch.crates-io.proptest.path="devtools/offline-stubs/proptest"' \
+        --config 'patch.crates-io.criterion.path="devtools/offline-stubs/criterion"' \
+        --offline "$@"
+}
+
+echo "==> cargo build --release (offline)"
+run build --release
+echo "==> cargo test -q (offline)"
+run test -q
+echo "==> cargo test -q --workspace (offline)"
+run test -q --workspace
+echo "==> cargo clippy --workspace --all-targets -- -D warnings (offline)"
+run clippy --workspace --all-targets -- -D warnings
+echo "==> cargo fmt --check"
+cargo fmt --check
+echo "offline-check.sh: all green"

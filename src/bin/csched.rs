@@ -51,8 +51,19 @@ fn usage() -> &'static str {
 }
 
 const WORKLOADS: &[&str] = &[
-    "cholesky", "tomcatv", "vpenta", "mxm", "fpppp-kernel", "sha", "swim", "jacobi", "life",
-    "vvmul", "rbsorf", "yuv", "fir",
+    "cholesky",
+    "tomcatv",
+    "vpenta",
+    "mxm",
+    "fpppp-kernel",
+    "sha",
+    "swim",
+    "jacobi",
+    "life",
+    "vvmul",
+    "rbsorf",
+    "yuv",
+    "fir",
 ];
 
 fn builtin_workload(name: &str, banks: u16) -> Option<SchedulingUnit> {
@@ -146,8 +157,7 @@ fn run() -> Result<(), String> {
         (Some(w), _) => builtin_workload(w, machine.n_clusters() as u16)
             .ok_or_else(|| format!("unknown workload '{w}' (try --list-workloads)"))?,
         (None, Some(path)) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             parse_unit(&text).map_err(|e| format!("parsing {path}: {e}"))?
         }
         (None, None) => unreachable!("checked in parse_args"),
@@ -187,7 +197,11 @@ fn run() -> Result<(), String> {
     println!("{unit}");
     println!("machine:    {machine}");
     println!("scheduler:  {}", scheduler.name());
-    println!("cycles:     {} (nominal {})", report.makespan.get(), report.nominal_makespan);
+    println!(
+        "cycles:     {} (nominal {})",
+        report.makespan.get(),
+        report.nominal_makespan
+    );
     println!(
         "comm:       {} transfers, {} link-cycles, {} stall cycles",
         report.comm_ops, report.network.link_cycles, report.network.stall_cycles

@@ -70,14 +70,15 @@ fn evaluation_never_beats_the_nominal_schedule() {
     // Contention can only add cycles on a mesh.
     let machine = Machine::raw(16);
     for unit in raw_suite(16) {
-        let s = RawccScheduler::new().schedule(unit.dag(), &machine).unwrap();
+        let s = RawccScheduler::new()
+            .schedule(unit.dag(), &machine)
+            .unwrap();
         let report = evaluate(unit.dag(), &machine, &s);
         // The evaluator issues ASAP, so it may beat a lazy nominal
         // schedule in cycle count, but never by violating resources:
         // makespan is at least the critical-path bound.
-        let time = convergent_scheduling::ir::TimeAnalysis::compute(unit.dag(), |i| {
-            machine.latency_of(i)
-        });
+        let time =
+            convergent_scheduling::ir::TimeAnalysis::compute(unit.dag(), |i| machine.latency_of(i));
         assert!(
             report.makespan.get() >= time.critical_path_length(),
             "{}: {} < CPL {}",

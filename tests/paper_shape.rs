@@ -11,7 +11,11 @@ use convergent_scheduling::schedulers::{ListScheduler, RawccScheduler, Scheduler
 use convergent_scheduling::sim::{evaluate, validate, Assignment};
 use convergent_scheduling::workloads::{raw_suite, rebank};
 
-fn executed(scheduler: &dyn Scheduler, unit: &convergent_scheduling::ir::SchedulingUnit, machine: &Machine) -> f64 {
+fn executed(
+    scheduler: &dyn Scheduler,
+    unit: &convergent_scheduling::ir::SchedulingUnit,
+    machine: &Machine,
+) -> f64 {
     let s = scheduler.schedule(unit.dag(), machine).expect("schedules");
     validate(unit.dag(), machine, &s).expect("valid");
     f64::from(evaluate(unit.dag(), machine, &s).makespan.get())
@@ -87,7 +91,8 @@ fn fat_benchmarks_scale_with_tiles() {
                 .into_iter()
                 .find(|u| u.name() == name)
                 .expect("suite roster");
-            let speedup = baseline(&unit) / executed(&ConvergentScheduler::raw_default(), &unit, &machine);
+            let speedup =
+                baseline(&unit) / executed(&ConvergentScheduler::raw_default(), &unit, &machine);
             assert!(
                 speedup > prev * 1.05,
                 "{name}: speedup {speedup:.2} at {tiles} tiles did not grow past {prev:.2}"
