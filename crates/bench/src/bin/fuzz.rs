@@ -1,0 +1,443 @@
+//! Cross-scheduler differential fuzzer.
+//!
+//! Sweeps deterministic pseudo-random and adversarial dependence
+//! graphs across machine presets and all five schedulers, holding
+//! every produced schedule to the full referee pair:
+//!
+//! 1. the schedule must pass `validate()`;
+//! 2. the cycle-driven evaluator and the event-driven oracle must
+//!    execute it and agree on every reported quantity
+//!    (`convergent_sim::cross_check`);
+//! 3. nothing may panic.
+//!
+//! A scheduler may *reject* a graph for a legitimate structural reason
+//! (no capable cluster, out-of-range home bank); anything else — an
+//! invalid schedule, a simulator disagreement, a panic — is a bug.
+//! The first failure per scheduler is greedily shrunk to a minimal
+//! graph and dumped as a replayable `.cdag` repro:
+//!
+//! ```text
+//! cargo run --release -p convergent-bench --bin fuzz -- \
+//!     [--seed N] [--budget N] [--jobs N] [--dump-dir PATH]
+//! csched verify <dump-dir>/<repro>.cdag --machine <spec> --scheduler <name>
+//! ```
+//!
+//! The whole sweep is deterministic for a given `--seed`/`--budget`,
+//! independent of `--jobs`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use convergent_bench::parallel::{default_jobs, jobs_from_args, run_cells};
+use convergent_core::ConvergentScheduler;
+use convergent_ir::{to_text, ClusterId, Dag, DagBuilder, Instruction, Opcode, SchedulingUnit};
+use convergent_machine::Machine;
+use convergent_schedulers::{
+    BugScheduler, PccScheduler, RawccScheduler, ScheduleError, Scheduler, UasScheduler,
+};
+use convergent_sim::{cross_check, validate};
+use convergent_workloads::{
+    deep_chain, fully_preplaced, layered, op_class_desert, parallel_chains, series_parallel,
+    wide_fanin, LayeredParams,
+};
+
+/// Machine presets swept by the fuzzer: every Raw tile count the
+/// router handles, the Chorus VLIW widths from the paper, and the
+/// single-cluster degenerate machine.
+const MACHINES: &[&str] = &[
+    "raw1", "raw2", "raw3", "raw4", "raw5", "raw6", "raw7", "raw8", "raw9", "raw10", "raw11",
+    "raw12", "raw13", "raw14", "raw15", "raw16", "vliw1", "vliw2", "vliw4", "vliw8",
+];
+
+const SCHEDULERS: &[&str] = &["convergent", "uas", "pcc", "rawcc", "bug"];
+
+fn machine_from_spec(spec: &str) -> Machine {
+    if let Some(n) = spec.strip_prefix("raw") {
+        return Machine::raw(n.parse().expect("preset specs parse"));
+    }
+    if let Some(n) = spec.strip_prefix("vliw") {
+        return Machine::chorus_vliw(n.parse().expect("preset specs parse"));
+    }
+    unreachable!("presets are rawN/vliwN");
+}
+
+fn make_scheduler(name: &str, machine: &Machine) -> Box<dyn Scheduler> {
+    match name {
+        "convergent" => {
+            if machine.comm().register_mapped {
+                Box::new(ConvergentScheduler::raw_default())
+            } else {
+                Box::new(ConvergentScheduler::vliw_tuned())
+            }
+        }
+        "uas" => Box::new(UasScheduler::new()),
+        // Capped rounds keep the sweep fast without changing what the
+        // referees check.
+        "pcc" => Box::new(PccScheduler::new().with_max_rounds(2)),
+        "rawcc" => Box::new(RawccScheduler::new()),
+        "bug" => Box::new(BugScheduler::new()),
+        other => unreachable!("unknown scheduler {other}"),
+    }
+}
+
+/// SplitMix64: a tiny, high-quality deterministic generator so the
+/// harness does not depend on the `rand` crate at run time.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const FAMILIES: &[&str] = &[
+    "layered",
+    "layered-preplaced",
+    "series-parallel",
+    "parallel-chains",
+    "deep-chain",
+    "wide-fanin",
+    "fully-preplaced",
+    "op-class-desert",
+];
+
+fn build_unit(family: &str, size: usize, banks: u16, seed: u64) -> SchedulingUnit {
+    match family {
+        "layered" => layered(LayeredParams::new(size, seed).with_width(1 + size / 8)),
+        "layered-preplaced" => layered(
+            LayeredParams::new(size, seed)
+                .with_width(1 + size / 10)
+                .with_preplacement(0.5, banks),
+        ),
+        "series-parallel" => series_parallel(size, seed),
+        "parallel-chains" => parallel_chains(1 + size / 10, 1 + size % 10),
+        "deep-chain" => deep_chain(size),
+        "wide-fanin" => wide_fanin(size, banks, seed),
+        "fully-preplaced" => fully_preplaced(size, banks, seed),
+        "op-class-desert" => op_class_desert(size, seed),
+        other => unreachable!("unknown family {other}"),
+    }
+}
+
+/// One (graph, machine) cell of the sweep.
+struct Case {
+    id: usize,
+    family: &'static str,
+    machine_spec: &'static str,
+    size: usize,
+    unit_seed: u64,
+}
+
+/// What went wrong for one scheduler on one case.
+struct Failure {
+    case_id: usize,
+    family: &'static str,
+    machine_spec: &'static str,
+    scheduler: &'static str,
+    message: String,
+}
+
+struct CaseOutcome {
+    schedules: usize,
+    rejects: usize,
+    failures: Vec<Failure>,
+}
+
+/// A structural rejection is a legitimate answer; anything else the
+/// scheduler reports is a bug in the scheduler itself.
+fn is_legit_reject(e: &ScheduleError) -> bool {
+    matches!(
+        e,
+        ScheduleError::NoCapableCluster(_)
+            | ScheduleError::BadHomeCluster { .. }
+            | ScheduleError::PreplacementConflict { .. }
+            | ScheduleError::LengthMismatch { .. }
+    )
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Runs one scheduler through the full referee pair on one graph.
+/// Returns `Ok(true)` when a schedule was produced and agreed on,
+/// `Ok(false)` for a legitimate rejection, `Err(message)` for a bug.
+fn check_one(unit: &SchedulingUnit, machine: &Machine, scheduler: &str) -> Result<bool, String> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let sched = make_scheduler(scheduler, machine);
+        let schedule = match sched.schedule(unit.dag(), machine) {
+            Ok(s) => s,
+            Err(e) if is_legit_reject(&e) => return Ok(false),
+            Err(e) => return Err(format!("scheduler error: {e}")),
+        };
+        if let Err(e) = validate(unit.dag(), machine, &schedule) {
+            return Err(format!("validation: {e}"));
+        }
+        match cross_check(unit.dag(), machine, &schedule) {
+            Ok(Ok(_)) => Ok(true),
+            Ok(Err(e)) => Err(format!("simulation: {e}")),
+            Err(d) => Err(format!("cross-check: {d}")),
+        }
+    }));
+    match result {
+        Ok(r) => r,
+        Err(payload) => Err(panic_message(&*payload)),
+    }
+}
+
+fn run_case(case: &Case) -> CaseOutcome {
+    let machine = machine_from_spec(case.machine_spec);
+    let unit = build_unit(
+        case.family,
+        case.size,
+        machine.n_clusters() as u16,
+        case.unit_seed,
+    );
+    let mut out = CaseOutcome {
+        schedules: 0,
+        rejects: 0,
+        failures: Vec::new(),
+    };
+    for &scheduler in SCHEDULERS {
+        match check_one(&unit, &machine, scheduler) {
+            Ok(true) => out.schedules += 1,
+            Ok(false) => out.rejects += 1,
+            Err(message) => out.failures.push(Failure {
+                case_id: case.id,
+                family: case.family,
+                machine_spec: case.machine_spec,
+                scheduler,
+                message,
+            }),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Shrinking: greedily delete instructions and edges while the failure
+// reproduces, then dump the minimal graph as a replayable .cdag.
+// ---------------------------------------------------------------------
+
+/// A dependence graph as plain data the shrinker can edit.
+#[derive(Clone)]
+struct DagSpec {
+    instrs: Vec<(Opcode, Option<ClusterId>)>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl DagSpec {
+    fn of(dag: &Dag) -> Self {
+        DagSpec {
+            instrs: dag
+                .instrs()
+                .iter()
+                .map(|i| (i.opcode(), i.preplacement()))
+                .collect(),
+            edges: dag
+                .edges()
+                .map(|e| (e.src.index(), e.dst.index()))
+                .collect(),
+        }
+    }
+
+    fn build(&self) -> Option<Dag> {
+        if self.instrs.is_empty() {
+            return None;
+        }
+        let mut b = DagBuilder::with_capacity(self.instrs.len());
+        let ids: Vec<_> = self
+            .instrs
+            .iter()
+            .map(|&(op, home)| match home {
+                Some(h) => b.push(Instruction::preplaced(op, h)),
+                None => b.push(Instruction::new(op)),
+            })
+            .collect();
+        for &(s, d) in &self.edges {
+            b.edge(ids[s], ids[d]).ok()?;
+        }
+        b.build().ok()
+    }
+
+    /// The spec with instruction `k` (and its incident edges) removed,
+    /// remaining instructions renumbered.
+    fn without_instr(&self, k: usize) -> DagSpec {
+        let mut instrs = self.instrs.clone();
+        instrs.remove(k);
+        let shift = |x: usize| if x > k { x - 1 } else { x };
+        let edges = self
+            .edges
+            .iter()
+            .filter(|&&(s, d)| s != k && d != k)
+            .map(|&(s, d)| (shift(s), shift(d)))
+            .collect();
+        DagSpec { instrs, edges }
+    }
+
+    fn without_edge(&self, k: usize) -> DagSpec {
+        let mut edges = self.edges.clone();
+        edges.remove(k);
+        DagSpec {
+            instrs: self.instrs.clone(),
+            edges,
+        }
+    }
+}
+
+/// Does this graph still make `scheduler` fail the referee pair?
+fn still_fails(spec: &DagSpec, machine: &Machine, scheduler: &str) -> Option<String> {
+    let dag = spec.build()?;
+    let unit = SchedulingUnit::new("shrink", dag);
+    check_one(&unit, machine, scheduler).err()
+}
+
+/// Greedy minimization: repeatedly drop any single instruction or
+/// edge whose removal preserves the failure, until nothing can go.
+fn shrink(unit: &SchedulingUnit, machine: &Machine, scheduler: &str) -> (DagSpec, String) {
+    let mut spec = DagSpec::of(unit.dag());
+    let mut message =
+        still_fails(&spec, machine, scheduler).expect("shrink starts from a reproduced failure");
+    loop {
+        let mut progressed = false;
+        let mut k = 0;
+        while k < spec.instrs.len() {
+            let candidate = spec.without_instr(k);
+            if let Some(m) = still_fails(&candidate, machine, scheduler) {
+                spec = candidate;
+                message = m;
+                progressed = true;
+            } else {
+                k += 1;
+            }
+        }
+        let mut k = 0;
+        while k < spec.edges.len() {
+            let candidate = spec.without_edge(k);
+            if let Some(m) = still_fails(&candidate, machine, scheduler) {
+                spec = candidate;
+                message = m;
+                progressed = true;
+            } else {
+                k += 1;
+            }
+        }
+        if !progressed {
+            return (spec, message);
+        }
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = jobs_from_args(&mut args, default_jobs());
+    let mut seed = 0u64;
+    let mut budget = 500usize;
+    let mut dump_dir = "target/fuzz-repros".to_string();
+    let mut k = 0;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--seed" => {
+                k += 1;
+                seed = args[k].parse().expect("--seed takes an integer");
+            }
+            "--budget" => {
+                k += 1;
+                budget = args[k].parse().expect("--budget takes an integer");
+            }
+            "--dump-dir" => {
+                k += 1;
+                dump_dir = args[k].clone();
+            }
+            other => {
+                eprintln!("fuzz: unknown option '{other}'");
+                eprintln!("usage: fuzz [--seed N] [--budget N] [--jobs N] [--dump-dir PATH]");
+                std::process::exit(2);
+            }
+        }
+        k += 1;
+    }
+
+    // Deterministic case list: every draw comes from one SplitMix64
+    // stream, so (seed, budget) fixes the entire sweep.
+    let mut state = seed ^ 0xC0FF_EE00_D15E_A5E5;
+    let cases: Vec<Case> = (0..budget)
+        .map(|id| {
+            let r0 = splitmix64(&mut state);
+            let r1 = splitmix64(&mut state);
+            let r2 = splitmix64(&mut state);
+            Case {
+                id,
+                family: FAMILIES[(r0 % FAMILIES.len() as u64) as usize],
+                machine_spec: MACHINES[(r1 % MACHINES.len() as u64) as usize],
+                size: 3 + (r2 % 90) as usize,
+                unit_seed: splitmix64(&mut state),
+            }
+        })
+        .collect();
+
+    // Panics are caught and reported as failures; silence the default
+    // hook's backtrace spew so the summary stays readable.
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcomes = run_cells(&cases, jobs, run_case);
+    let _ = std::panic::take_hook();
+
+    let schedules: usize = outcomes.iter().map(|o| o.schedules).sum();
+    let rejects: usize = outcomes.iter().map(|o| o.rejects).sum();
+    let failures: Vec<&Failure> = outcomes.iter().flat_map(|o| &o.failures).collect();
+    println!(
+        "fuzz: {budget} cases (seed {seed}), {schedules} schedules cross-checked, \
+         {rejects} legitimate rejects, {} failures",
+        failures.len()
+    );
+
+    if failures.is_empty() {
+        return;
+    }
+    for f in &failures {
+        println!(
+            "  case {:>4} {:<18} {:<7} {:<11} {}",
+            f.case_id, f.family, f.machine_spec, f.scheduler, f.message
+        );
+    }
+
+    // Shrink and dump the first failure per scheduler.
+    std::fs::create_dir_all(&dump_dir).expect("create dump dir");
+    let mut dumped: Vec<&str> = Vec::new();
+    for f in &failures {
+        if dumped.contains(&f.scheduler) {
+            continue;
+        }
+        dumped.push(f.scheduler);
+        let case = &cases[f.case_id];
+        let machine = machine_from_spec(case.machine_spec);
+        let unit = build_unit(
+            case.family,
+            case.size,
+            machine.n_clusters() as u16,
+            case.unit_seed,
+        );
+        let (spec, message) = shrink(&unit, &machine, f.scheduler);
+        let dag = spec.build().expect("shrunk spec still builds");
+        let name = format!("repro-{}-{}-case{}", f.scheduler, f.machine_spec, f.case_id);
+        let shrunk = SchedulingUnit::new(name.clone(), dag);
+        let path = format!("{dump_dir}/{name}.cdag");
+        std::fs::write(&path, to_text(&shrunk)).expect("write repro");
+        println!(
+            "  shrunk case {} to {} instrs / {} edges ({message})",
+            f.case_id,
+            spec.instrs.len(),
+            spec.edges.len()
+        );
+        println!(
+            "  repro: csched verify {path} --machine {} --scheduler {}",
+            f.machine_spec, f.scheduler
+        );
+    }
+    std::process::exit(1);
+}

@@ -34,8 +34,8 @@ fn main() {
         let c = Scheduler::schedule(&ConvergentScheduler::raw_default(), unit.dag(), &machine)
             .expect("convergent schedules the suite");
         validate(unit.dag(), &machine, &c).expect("valid");
-        let er = evaluate(unit.dag(), &machine, &r);
-        let ec = evaluate(unit.dag(), &machine, &c);
+        let er = evaluate(unit.dag(), &machine, &r).expect("validated schedule executes");
+        let ec = evaluate(unit.dag(), &machine, &c).expect("validated schedule executes");
         println!(
             "{:<14}{:>8}{:>8}{:>8}{:>9}{:>9}{:>8}{:>8}{:>8}",
             unit.name(),

@@ -30,7 +30,9 @@ pub fn executed_cycles(
     let schedule = scheduler.schedule(unit.dag(), machine)?;
     validate(unit.dag(), machine, &schedule)
         .map_err(|e| ScheduleError::ProducedInvalid(format!("{}: {e}", unit.name())))?;
-    Ok(evaluate(unit.dag(), machine, &schedule).makespan.get())
+    let report = evaluate(unit.dag(), machine, &schedule)
+        .map_err(|e| ScheduleError::ProducedInvalid(format!("{}: {e}", unit.name())))?;
+    Ok(report.makespan.get())
 }
 
 /// Executed cycles of `unit` on a single cluster of the same flavour
@@ -51,7 +53,9 @@ pub fn baseline_cycles(unit: &SchedulingUnit, machine: &Machine) -> Result<u32, 
     let schedule = ListScheduler::new().schedule_with_cp(folded.dag(), &single, &assignment)?;
     validate(folded.dag(), &single, &schedule)
         .map_err(|e| ScheduleError::ProducedInvalid(format!("{} baseline: {e}", unit.name())))?;
-    Ok(evaluate(folded.dag(), &single, &schedule).makespan.get())
+    let report = evaluate(folded.dag(), &single, &schedule)
+        .map_err(|e| ScheduleError::ProducedInvalid(format!("{} baseline: {e}", unit.name())))?;
+    Ok(report.makespan.get())
 }
 
 /// Speedup of `scheduler` on `unit`×`machine` over the single-cluster

@@ -72,6 +72,22 @@ pub enum Violation {
         /// The out-of-range index.
         fu: usize,
     },
+    /// The schedule's op list is not a bijection with the graph's
+    /// instructions: this id is duplicated, missing, or stored in the
+    /// wrong slot.
+    DuplicateOrMissingInstr {
+        /// The duplicated / missing / misindexed instruction.
+        instr: InstrId,
+    },
+    /// A communication op departs a cluster that never holds the
+    /// producer's value (neither the producing cluster nor the
+    /// destination of any earlier legal transfer).
+    CommUnsourced {
+        /// Producer instruction whose value is claimed.
+        producer: InstrId,
+        /// Cluster the transfer departs from.
+        from: ClusterId,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -116,6 +132,16 @@ impl fmt::Display for Violation {
             Violation::BadFuIndex { instr, fu } => {
                 write!(f, "instruction {instr} uses nonexistent fu index {fu}")
             }
+            Violation::DuplicateOrMissingInstr { instr } => {
+                write!(
+                    f,
+                    "instruction {instr} is duplicated, missing, or misindexed in the schedule"
+                )
+            }
+            Violation::CommUnsourced { producer, from } => write!(
+                f,
+                "transfer of {producer}'s value departs {from}, which never holds the value"
+            ),
         }
     }
 }
@@ -134,6 +160,16 @@ pub enum SimError {
         /// Instructions in the schedule.
         actual: usize,
     },
+    /// Simulation stopped making progress: some operations can never
+    /// issue (circular or unsatisfiable waits, e.g. in an unvalidated
+    /// schedule).
+    NoProgress {
+        /// Cycle at which the simulator gave up.
+        cycle: u32,
+        /// Operations (instructions + issue-slot transfers) still
+        /// waiting to issue.
+        remaining: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -150,6 +186,12 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "schedule has {actual} instructions, graph has {expected}"
+                )
+            }
+            SimError::NoProgress { cycle, remaining } => {
+                write!(
+                    f,
+                    "simulation made no progress by cycle {cycle} with {remaining} ops pending"
                 )
             }
         }

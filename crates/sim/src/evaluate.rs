@@ -11,14 +11,22 @@
 //! network follows the compiler's routes, and any optimism in the
 //! schedule surfaces as extra cycles at run time rather than as
 //! incorrect execution.
+//!
+//! Transfers form *chains*: a relayed value (A→B then B→C) departs
+//! each hop only once it has actually arrived at that hop's source
+//! cluster, matching what [`crate::validate`] accepts. A schedule
+//! whose operations can never all issue (e.g. an unvalidated one with
+//! a cross-cluster dependence and no transfer) is reported as
+//! [`SimError::NoProgress`], not a panic.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
-use convergent_ir::{Cycle, Dag, InstrId};
+use convergent_ir::{ClusterId, Cycle, Dag, InstrId};
 use convergent_machine::Machine;
 
 use crate::route::{route_hops, Router, RouterReport};
-use crate::SpaceTimeSchedule;
+use crate::{SimError, SpaceTimeSchedule};
 
 /// What a schedule actually costs when executed.
 #[derive(Clone, Debug, PartialEq)]
@@ -43,15 +51,142 @@ enum Item {
     Comm(usize),
 }
 
+/// Value movement through the network: per-cluster arrivals, wire
+/// routes (injected exactly once, when their source cluster first
+/// holds the value), and the contention ledger.
+struct Net {
+    router: Router,
+    report: RouterReport,
+    /// (producer, destination cluster) → first usable cycle there.
+    arrival: HashMap<(InstrId, usize), u32>,
+    /// Per-producer indices into `comms` of routes with no issue slot.
+    wire_of: Vec<Vec<usize>>,
+    injected: Vec<bool>,
+    max_time: u32,
+}
+
+impl Net {
+    fn new(dag: &Dag, schedule: &SpaceTimeSchedule) -> Self {
+        let mut wire_of: Vec<Vec<usize>> = vec![Vec::new(); dag.len()];
+        for (k, comm) in schedule.comms().iter().enumerate() {
+            if comm.fu.is_none() {
+                wire_of[comm.producer.index()].push(k);
+            }
+        }
+        Net {
+            router: Router::new(),
+            report: RouterReport::default(),
+            arrival: HashMap::new(),
+            injected: vec![false; schedule.comms().len()],
+            wire_of,
+            max_time: 0,
+        }
+    }
+
+    /// Injects every not-yet-injected wire route of `p` departing
+    /// `cluster`, where the value becomes available at `avail`, and
+    /// queues the resulting deliveries.
+    fn inject_wires(
+        &mut self,
+        machine: &Machine,
+        schedule: &SpaceTimeSchedule,
+        p: InstrId,
+        cluster: ClusterId,
+        avail: u32,
+        work: &mut Vec<(ClusterId, u32)>,
+    ) {
+        let ks: Vec<usize> = self.wire_of[p.index()]
+            .iter()
+            .copied()
+            .filter(|&k| !self.injected[k] && schedule.comms()[k].from == cluster)
+            .collect();
+        for k in ks {
+            self.injected[k] = true;
+            let comm = &schedule.comms()[k];
+            let path = route_hops(machine, comm.from, comm.to);
+            let inj = self.router.inject(&path, avail);
+            self.report.stall_cycles += inj - avail;
+            self.report.routes += 1;
+            self.report.link_cycles += path.len().saturating_sub(1);
+            work.push((comm.to, inj + comm.latency));
+        }
+    }
+
+    /// Records deliveries of `p`'s value and chases any relay chains
+    /// they unlock.
+    fn drain(
+        &mut self,
+        machine: &Machine,
+        schedule: &SpaceTimeSchedule,
+        p: InstrId,
+        mut work: Vec<(ClusterId, u32)>,
+    ) {
+        while let Some((cluster, arr)) = work.pop() {
+            self.max_time = self.max_time.max(arr);
+            let improved = match self.arrival.entry((p, cluster.index())) {
+                Entry::Occupied(mut e) => {
+                    if arr < *e.get() {
+                        e.insert(arr);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Entry::Vacant(e) => {
+                    e.insert(arr);
+                    true
+                }
+            };
+            if improved {
+                self.inject_wires(machine, schedule, p, cluster, arr, &mut work);
+            }
+        }
+    }
+
+    /// Producer `p` finished at `fin` on `cluster`: launch its wire
+    /// routes (and their relays).
+    fn on_instr_finish(
+        &mut self,
+        machine: &Machine,
+        schedule: &SpaceTimeSchedule,
+        p: InstrId,
+        cluster: ClusterId,
+        fin: u32,
+    ) {
+        let mut work = Vec::new();
+        self.inject_wires(machine, schedule, p, cluster, fin, &mut work);
+        self.drain(machine, schedule, p, work);
+    }
+
+    /// An issue-slot transfer of `p`'s value lands on `to` at `arr`.
+    fn on_comm_arrival(
+        &mut self,
+        machine: &Machine,
+        schedule: &SpaceTimeSchedule,
+        p: InstrId,
+        to: ClusterId,
+        arr: u32,
+    ) {
+        self.report.routes += 1;
+        self.report.link_cycles += 1;
+        self.drain(machine, schedule, p, vec![(to, arr)]);
+    }
+}
+
 /// Executes `schedule` on `machine` and reports true cost.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the simulation cannot make progress, which only happens
-/// for schedules that do not pass [`crate::validate`] (e.g. a
-/// cross-cluster dependence with no transfer). Validate first.
-#[must_use]
-pub fn evaluate(dag: &Dag, machine: &Machine, schedule: &SpaceTimeSchedule) -> EvalReport {
+/// Returns [`SimError::NoProgress`] if the simulation stops making
+/// progress, which only happens for schedules that do not pass
+/// [`crate::validate`] (e.g. a cross-cluster dependence with no
+/// transfer, or a transfer departing a cluster the value never
+/// reaches). Validate first.
+pub fn evaluate(
+    dag: &Dag,
+    machine: &Machine,
+    schedule: &SpaceTimeSchedule,
+) -> Result<EvalReport, SimError> {
     let n_clusters = machine.n_clusters();
     // Build per-(cluster, fu) issue queues ordered by nominal start.
     let mut queues: Vec<Vec<Vec<Item>>> = (0..n_clusters)
@@ -84,18 +219,8 @@ pub fn evaluate(dag: &Dag, machine: &Machine, schedule: &SpaceTimeSchedule) -> E
         }
     }
 
-    // Implicit-route lookup: comm ops with no issue slot, by producer.
-    let mut wire_comms: Vec<Vec<usize>> = vec![Vec::new(); dag.len()];
-    for (k, comm) in schedule.comms().iter().enumerate() {
-        if comm.fu.is_none() {
-            wire_comms[comm.producer.index()].push(k);
-        }
-    }
-
     let mut finish: Vec<Option<u32>> = vec![None; dag.len()];
-    let mut arrival: HashMap<(InstrId, usize), u32> = HashMap::new();
-    let mut router = Router::new();
-    let mut report = RouterReport::default();
+    let mut net = Net::new(dag, schedule);
     let mut heads: Vec<Vec<usize>> = queues
         .iter()
         .map(|fus| fus.iter().map(|_| 0usize).collect())
@@ -122,12 +247,13 @@ pub fn evaluate(dag: &Dag, machine: &Machine, schedule: &SpaceTimeSchedule) -> E
     };
 
     let mut t: u32 = 0;
-    let mut max_time: u32 = 0;
     while remaining > 0 {
-        assert!(
-            t <= limit,
-            "evaluate() made no progress by cycle {t}; was the schedule validated?"
-        );
+        if t > limit {
+            return Err(SimError::NoProgress {
+                cycle: t,
+                remaining,
+            });
+        }
         for c in 0..n_clusters {
             for f in 0..queues[c].len() {
                 let h = heads[c][f];
@@ -136,40 +262,34 @@ pub fn evaluate(dag: &Dag, machine: &Machine, schedule: &SpaceTimeSchedule) -> E
                 }
                 match queues[c][f][h] {
                     Item::Instr(i) => {
-                        if ready_instr(i, c, t, &finish, &arrival) {
+                        if ready_instr(i, c, t, &finish, &net.arrival) {
                             let lat = schedule.op(i).latency;
                             let fin = t + lat;
                             finish[i.index()] = Some(fin);
-                            max_time = max_time.max(fin);
+                            net.max_time = net.max_time.max(fin);
                             heads[c][f] += 1;
                             remaining -= 1;
-                            // Inject this producer's wire routes now.
-                            for &k in &wire_comms[i.index()] {
-                                let comm = &schedule.comms()[k];
-                                let path = route_hops(machine, comm.from, comm.to);
-                                let inj = router.inject(&path, fin);
-                                report.stall_cycles += inj - fin;
-                                report.routes += 1;
-                                report.link_cycles += path.len().saturating_sub(1);
-                                let arr = inj + comm.latency;
-                                let slot = arrival.entry((i, comm.to.index())).or_insert(arr);
-                                *slot = (*slot).min(arr);
-                                max_time = max_time.max(arr);
-                            }
+                            net.on_instr_finish(machine, schedule, i, schedule.op(i).cluster, fin);
                         }
                     }
                     Item::Comm(k) => {
                         let comm = &schedule.comms()[k];
                         let p = comm.producer;
-                        if finish[p.index()].is_some_and(|fp| fp <= t) {
-                            let arr = t + comm.latency;
-                            let slot = arrival.entry((p, comm.to.index())).or_insert(arr);
-                            *slot = (*slot).min(arr);
-                            max_time = max_time.max(arr);
+                        // The transfer departs once the value is at its
+                        // source cluster — the producer's own cluster,
+                        // or (for a relay) wherever an earlier hop
+                        // dropped it.
+                        let src_ready = if comm.from == schedule.op(p).cluster {
+                            finish[p.index()].is_some_and(|fp| fp <= t)
+                        } else {
+                            net.arrival
+                                .get(&(p, comm.from.index()))
+                                .is_some_and(|&a| a <= t)
+                        };
+                        if src_ready {
                             heads[c][f] += 1;
                             remaining -= 1;
-                            report.routes += 1;
-                            report.link_cycles += 1;
+                            net.on_comm_arrival(machine, schedule, p, comm.to, t + comm.latency);
                         }
                     }
                 }
@@ -178,7 +298,7 @@ pub fn evaluate(dag: &Dag, machine: &Machine, schedule: &SpaceTimeSchedule) -> E
         t += 1;
     }
 
-    let makespan = max_time.max(1);
+    let makespan = net.max_time.max(1);
     let total_fus: usize = (0..n_clusters)
         .map(|c| {
             machine
@@ -186,13 +306,13 @@ pub fn evaluate(dag: &Dag, machine: &Machine, schedule: &SpaceTimeSchedule) -> E
                 .issue_width()
         })
         .sum();
-    EvalReport {
+    Ok(EvalReport {
         nominal_makespan: schedule.makespan(),
         makespan: Cycle::new(makespan),
-        network: report,
+        network: net.report,
         fu_utilization: total_issue_slots as f64 / (total_fus as f64 * f64::from(makespan)),
         comm_ops: schedule.comm_count(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -222,7 +342,7 @@ mod tests {
         sb.place(d, c(0), 0, Cycle::new(1));
         let s = sb.build(&m).unwrap();
         validate(&dag, &m, &s).unwrap();
-        let r = evaluate(&dag, &m, &s);
+        let r = evaluate(&dag, &m, &s).unwrap();
         assert_eq!(r.makespan, Cycle::new(2));
         assert_eq!(r.nominal_makespan, Cycle::new(2));
         assert_eq!(r.network.stall_cycles, 0);
@@ -243,7 +363,7 @@ mod tests {
         sb.place(d, c(1), 0, Cycle::new(2));
         let s = sb.build(&m).unwrap();
         validate(&dag, &m, &s).unwrap();
-        let r = evaluate(&dag, &m, &s);
+        let r = evaluate(&dag, &m, &s).unwrap();
         assert_eq!(r.makespan, Cycle::new(3));
         assert_eq!(r.comm_ops, 1);
         assert_eq!(r.network.routes, 1);
@@ -263,7 +383,7 @@ mod tests {
         sb.place(d, c(1), 0, Cycle::new(4));
         let s = sb.build(&m).unwrap();
         validate(&dag, &m, &s).unwrap();
-        let r = evaluate(&dag, &m, &s);
+        let r = evaluate(&dag, &m, &s).unwrap();
         assert_eq!(r.makespan, Cycle::new(5)); // consumer 4..5
         assert_eq!(r.network.stall_cycles, 0);
     }
@@ -295,7 +415,7 @@ mod tests {
         sb.place(u1, c(2), 0, Cycle::new(6));
         let s = sb.build(&m).unwrap();
         validate(&dag, &m, &s).unwrap();
-        let r = evaluate(&dag, &m, &s);
+        let r = evaluate(&dag, &m, &s).unwrap();
         assert_eq!(r.network.stall_cycles, 1);
         // B's value arrives at 6 instead of 5, so u1 issues at 6.
         assert_eq!(r.makespan, Cycle::new(7));
@@ -311,7 +431,78 @@ mod tests {
         let mut sb = ScheduleBuilder::new(&dag);
         sb.place(i(0), c(0), 0, Cycle::ZERO);
         let s = sb.build(&m).unwrap();
-        let r = evaluate(&dag, &m, &s);
+        let r = evaluate(&dag, &m, &s).unwrap();
         assert!((r.fu_utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unvalidated_deadlock_is_a_structured_error() {
+        // Cross-cluster dependence with no transfer: the consumer can
+        // never issue, which used to be an assert! panic.
+        let mut b = DagBuilder::new();
+        let a = b.instr(Opcode::IntAlu);
+        let d = b.instr(Opcode::IntAlu);
+        b.edge(a, d).unwrap();
+        let dag = b.build().unwrap();
+        let m = Machine::chorus_vliw(2);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(a, c(0), 0, Cycle::ZERO);
+        sb.place(d, c(1), 0, Cycle::new(9));
+        let s = sb.build(&m).unwrap();
+        assert!(validate(&dag, &m, &s).is_err());
+        match evaluate(&dag, &m, &s) {
+            Err(SimError::NoProgress { remaining, .. }) => assert_eq!(remaining, 1),
+            other => panic!("expected NoProgress, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn relayed_transfer_waits_for_the_first_hop() {
+        // A on cluster 0, consumer on cluster 2, value relayed through
+        // cluster 1: the second copy may depart only after the first
+        // arrives, and the evaluator must execute the chain.
+        let mut b = DagBuilder::new();
+        let a = b.instr(Opcode::IntAlu);
+        let d = b.instr(Opcode::IntAlu);
+        b.edge(a, d).unwrap();
+        let dag = b.build().unwrap();
+        let m = Machine::chorus_vliw(3);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(a, c(0), 0, Cycle::ZERO);
+        // finish 1; hop 1 departs at 1, arrives c1 at 2; hop 2 departs
+        // at 2 from c1, arrives c2 at 3.
+        sb.comm(a, c(0), c(1), Cycle::new(1), Some(3));
+        sb.comm(a, c(1), c(2), Cycle::new(2), Some(3));
+        sb.place(d, c(2), 0, Cycle::new(3));
+        let s = sb.build(&m).unwrap();
+        validate(&dag, &m, &s).unwrap();
+        let r = evaluate(&dag, &m, &s).unwrap();
+        assert_eq!(r.makespan, Cycle::new(4)); // d runs 3..4
+        assert_eq!(r.network.routes, 2);
+    }
+
+    #[test]
+    fn relayed_wire_route_waits_for_the_first_hop() {
+        // Same relay shape on a mesh: the 1→2 route may inject only
+        // once the 0→1 route has delivered the value to tile 1.
+        let mut b = DagBuilder::new();
+        let a = b.instr(Opcode::IntAlu);
+        let d = b.instr(Opcode::IntAlu);
+        b.edge(a, d).unwrap();
+        let dag = b.build().unwrap();
+        let m = Machine::raw(4);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(a, c(0), 0, Cycle::ZERO);
+        // finish 1; 0→1 injects at 1, arrives 4; 1→2 injects at 4,
+        // arrives 4 + latency(1→2).
+        sb.comm(a, c(0), c(1), Cycle::new(1), None);
+        sb.comm(a, c(1), c(2), Cycle::new(4), None);
+        let lat = m.comm_latency(c(1), c(2));
+        sb.place(d, c(2), 0, Cycle::new(4 + lat));
+        let s = sb.build(&m).unwrap();
+        validate(&dag, &m, &s).unwrap();
+        let r = evaluate(&dag, &m, &s).unwrap();
+        assert_eq!(r.network.routes, 2);
+        assert_eq!(r.makespan, Cycle::new(4 + lat + 1));
     }
 }

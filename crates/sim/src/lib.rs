@@ -37,6 +37,7 @@
 mod assignment;
 mod error;
 mod evaluate;
+pub mod oracle;
 mod pressure;
 mod route;
 mod schedule;
@@ -45,6 +46,7 @@ mod validate;
 pub use assignment::Assignment;
 pub use error::{SimError, Violation};
 pub use evaluate::{evaluate, EvalReport};
+pub use oracle::{cross_check, resimulate, Divergence};
 pub use pressure::{analyze_pressure, PressureReport};
 pub use route::{route_hops, RouterReport};
 pub use schedule::{CommOp, PlacedOp, ScheduleBuilder, SpaceTimeSchedule};

@@ -70,6 +70,20 @@ pub struct SpaceTimeSchedule {
 }
 
 impl SpaceTimeSchedule {
+    /// Assembles a schedule from raw parts, bypassing the builder's
+    /// one-op-per-instruction bookkeeping. Only the validator's own
+    /// tests need this: it is the sole way to express the malformed
+    /// op lists (duplicates, drops, permutations) that
+    /// [`crate::validate`]'s bijection check exists to reject.
+    #[cfg(test)]
+    pub(crate) fn from_parts(ops: Vec<PlacedOp>, comms: Vec<CommOp>, makespan: Cycle) -> Self {
+        SpaceTimeSchedule {
+            ops,
+            comms,
+            makespan,
+        }
+    }
+
     /// The placement of instruction `i`.
     ///
     /// # Panics

@@ -20,7 +20,10 @@ use crate::{SimError, SpaceTimeSchedule, Violation};
 /// Returns [`SimError::SizeMismatch`] if the schedule covers a
 /// different number of instructions than the graph, and
 /// [`SimError::Invalid`] with the full list of [`Violation`]s if any
-/// rule is broken.
+/// rule is broken. A schedule whose op list is not a bijection with
+/// `dag.ids()` (a duplicated, missing, or misindexed instruction) is
+/// rejected immediately with [`Violation::DuplicateOrMissingInstr`],
+/// since every later check relies on by-id lookup.
 pub fn validate(
     dag: &Dag,
     machine: &Machine,
@@ -31,6 +34,10 @@ pub fn validate(
             expected: dag.len(),
             actual: schedule.ops().len(),
         });
+    }
+    let bijection_breaks = check_bijection(dag, schedule);
+    if !bijection_breaks.is_empty() {
+        return Err(SimError::Invalid(bijection_breaks));
     }
     let mut violations = Vec::new();
 
@@ -43,6 +50,34 @@ pub fn validate(
     } else {
         Err(SimError::Invalid(violations))
     }
+}
+
+/// The op list must cover each instruction of the graph exactly once,
+/// with instruction `k` stored in slot `k` (the invariant
+/// [`SpaceTimeSchedule::op`] lookups depend on). An equal-length
+/// schedule that duplicates one instruction and drops another — or
+/// permutes the slots — is caught here, not by the size check.
+fn check_bijection(dag: &Dag, schedule: &SpaceTimeSchedule) -> Vec<Violation> {
+    let mut count = vec![0usize; dag.len()];
+    let mut bad = std::collections::BTreeSet::new();
+    for (slot, op) in schedule.ops().iter().enumerate() {
+        if op.instr.index() >= dag.len() {
+            bad.insert(op.instr);
+            continue;
+        }
+        count[op.instr.index()] += 1;
+        if op.instr.index() != slot {
+            bad.insert(op.instr);
+        }
+    }
+    for (k, &c) in count.iter().enumerate() {
+        if c != 1 {
+            bad.insert(InstrId::new(k as u32));
+        }
+    }
+    bad.into_iter()
+        .map(|instr| Violation::DuplicateOrMissingInstr { instr })
+        .collect()
 }
 
 fn check_placements(
@@ -125,13 +160,29 @@ fn check_resources(
 }
 
 fn check_dependences(dag: &Dag, schedule: &SpaceTimeSchedule, violations: &mut Vec<Violation>) {
+    // Per-producer cluster-availability maps, computed once and shared
+    // by every outgoing edge. Producers without comms stay out of the
+    // map: the common same-cluster case needs no allocation.
+    let mut arrivals: HashMap<InstrId, HashMap<usize, Cycle>> = HashMap::new();
+    let mut seen: std::collections::HashSet<InstrId> = std::collections::HashSet::new();
+    for comm in schedule.comms() {
+        if seen.insert(comm.producer) {
+            arrivals.insert(
+                comm.producer,
+                value_arrivals(schedule, comm.producer, violations),
+            );
+        }
+    }
+
     for e in dag.edges() {
         let p = schedule.op(e.src);
         let u = schedule.op(e.dst);
         let available = if p.cluster == u.cluster {
             Some(p.finish())
         } else {
-            value_arrival(schedule, e.src, p.finish(), u.cluster, violations)
+            arrivals
+                .get(&e.src)
+                .and_then(|avail| avail.get(&u.cluster.index()).copied())
         };
         match available {
             Some(avail) => {
@@ -152,33 +203,70 @@ fn check_dependences(dag: &Dag, schedule: &SpaceTimeSchedule, violations: &mut V
     }
 }
 
-/// Earliest arrival of `producer`'s value at cluster `to`, following a
-/// single comm op. Transfers injected before the value is ready are
-/// reported and ignored.
-fn value_arrival(
+/// Earliest arrival of `producer`'s value on every cluster it reaches,
+/// following chains of comm ops (a relay A→B then B→C is legal when
+/// each hop departs no earlier than the value's arrival at its source
+/// cluster). Transfers that depart before the value is present are
+/// reported as [`Violation::CommTooEarly`] and ignored; transfers
+/// departing a cluster the value never reaches at all are reported as
+/// [`Violation::CommUnsourced`].
+fn value_arrivals(
     schedule: &SpaceTimeSchedule,
     producer: InstrId,
-    ready: Cycle,
-    to: convergent_ir::ClusterId,
     violations: &mut Vec<Violation>,
-) -> Option<Cycle> {
-    let mut best: Option<Cycle> = None;
-    for comm in schedule.comms_for(producer) {
-        if comm.to != to {
-            continue;
+) -> HashMap<usize, Cycle> {
+    let op = schedule.op(producer);
+    let mut avail: HashMap<usize, Cycle> = HashMap::new();
+    avail.insert(op.cluster.index(), op.finish());
+    // Least fixed point: a comm contributes its arrival iff it departs
+    // at or after the value's (final) availability at its source.
+    // Availabilities only decrease as more legal comms are folded in,
+    // which can only legalize more comms, so iterate to stability.
+    loop {
+        let mut changed = false;
+        for comm in schedule.comms_for(producer) {
+            let Some(&src) = avail.get(&comm.from.index()) else {
+                continue;
+            };
+            if comm.start < src {
+                continue;
+            }
+            let arrival = comm.arrival();
+            match avail.entry(comm.to.index()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if arrival < *e.get() {
+                        e.insert(arrival);
+                        changed = true;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(arrival);
+                    changed = true;
+                }
+            }
         }
-        if comm.start < ready {
-            violations.push(Violation::CommTooEarly {
-                producer,
-                start: comm.start,
-                ready,
-            });
-            continue;
+        if !changed {
+            break;
         }
-        let arrival = comm.arrival();
-        best = Some(best.map_or(arrival, |b: Cycle| b.min(arrival)));
     }
-    best
+    for comm in schedule.comms_for(producer) {
+        match avail.get(&comm.from.index()) {
+            Some(&src) => {
+                if comm.start < src {
+                    violations.push(Violation::CommTooEarly {
+                        producer,
+                        start: comm.start,
+                        ready: src,
+                    });
+                }
+            }
+            None => violations.push(Violation::CommUnsourced {
+                producer,
+                from: comm.from,
+            }),
+        }
+    }
+    avail
 }
 
 #[cfg(test)]
@@ -355,6 +443,137 @@ mod tests {
             err,
             SimError::Invalid(ref v) if matches!(v[0], Violation::BadFuIndex { .. })
         ));
+    }
+
+    #[test]
+    fn duplicated_and_dropped_instr_detected() {
+        // Equal-length op list that schedules i0 twice and i1 never:
+        // passes the size check, must fail the bijection check.
+        let dag = chain();
+        let m = Machine::chorus_vliw(2);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(i(0), c(0), 0, Cycle::ZERO);
+        sb.place(i(1), c(0), 0, Cycle::new(1));
+        let good = sb.build(&m).unwrap();
+        let mut ops = good.ops().to_vec();
+        ops[1] = ops[0];
+        let s = crate::SpaceTimeSchedule::from_parts(ops, vec![], good.makespan());
+        let err = validate(&dag, &m, &s).unwrap_err();
+        match err {
+            SimError::Invalid(v) => {
+                assert_eq!(
+                    v,
+                    vec![
+                        Violation::DuplicateOrMissingInstr { instr: i(0) },
+                        Violation::DuplicateOrMissingInstr { instr: i(1) },
+                    ]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn permuted_op_slots_detected() {
+        // Both instructions present but stored in swapped slots, which
+        // would silently corrupt every by-id lookup.
+        let dag = chain();
+        let m = Machine::chorus_vliw(2);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(i(0), c(0), 0, Cycle::ZERO);
+        sb.place(i(1), c(0), 0, Cycle::new(1));
+        let good = sb.build(&m).unwrap();
+        let mut ops = good.ops().to_vec();
+        ops.swap(0, 1);
+        let s = crate::SpaceTimeSchedule::from_parts(ops, vec![], good.makespan());
+        let err = validate(&dag, &m, &s).unwrap_err();
+        match err {
+            SimError::Invalid(v) => {
+                assert_eq!(v.len(), 2);
+                assert!(v
+                    .iter()
+                    .all(|x| matches!(x, Violation::DuplicateOrMissingInstr { .. })));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_instr_id_detected() {
+        let dag = chain();
+        let m = Machine::chorus_vliw(2);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(i(0), c(0), 0, Cycle::ZERO);
+        sb.place(i(1), c(0), 0, Cycle::new(1));
+        let good = sb.build(&m).unwrap();
+        let mut ops = good.ops().to_vec();
+        ops[1].instr = i(7); // beyond the graph
+        let s = crate::SpaceTimeSchedule::from_parts(ops, vec![], good.makespan());
+        let err = validate(&dag, &m, &s).unwrap_err();
+        match err {
+            SimError::Invalid(v) => {
+                assert!(v.contains(&Violation::DuplicateOrMissingInstr { instr: i(7) }));
+                assert!(v.contains(&Violation::DuplicateOrMissingInstr { instr: i(1) }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn relay_chain_is_legal_and_unsourced_comm_rejected() {
+        // A legal relay c0 -> c1 -> c2 must validate; rerouting the
+        // second hop to depart a cluster the value never visits must
+        // produce CommUnsourced.
+        let dag = chain();
+        let m = Machine::chorus_vliw(4);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(i(0), c(0), 0, Cycle::ZERO);
+        sb.comm(i(0), c(0), c(1), Cycle::new(1), Some(3));
+        sb.comm(i(0), c(1), c(2), Cycle::new(2), Some(3));
+        sb.place(i(1), c(2), 0, Cycle::new(3));
+        let s = sb.build(&m).unwrap();
+        validate(&dag, &m, &s).unwrap();
+
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(i(0), c(0), 0, Cycle::ZERO);
+        sb.comm(i(0), c(0), c(1), Cycle::new(1), Some(3));
+        sb.comm(i(0), c(3), c(2), Cycle::new(2), Some(3)); // c3 never holds it
+        sb.place(i(1), c(2), 0, Cycle::new(3));
+        let s = sb.build(&m).unwrap();
+        let err = validate(&dag, &m, &s).unwrap_err();
+        match err {
+            SimError::Invalid(v) => {
+                assert!(v.contains(&Violation::CommUnsourced {
+                    producer: i(0),
+                    from: c(3),
+                }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn relay_hop_departing_too_early_detected() {
+        // The second hop leaves c1 before the first hop has arrived.
+        let dag = chain();
+        let m = Machine::chorus_vliw(4);
+        let mut sb = ScheduleBuilder::new(&dag);
+        sb.place(i(0), c(0), 0, Cycle::ZERO);
+        sb.comm(i(0), c(0), c(1), Cycle::new(1), Some(3));
+        sb.comm(i(0), c(1), c(2), Cycle::new(1), Some(2)); // arrives c1 at 2
+        sb.place(i(1), c(2), 0, Cycle::new(5));
+        let s = sb.build(&m).unwrap();
+        let err = validate(&dag, &m, &s).unwrap_err();
+        match err {
+            SimError::Invalid(v) => {
+                assert!(v.contains(&Violation::CommTooEarly {
+                    producer: i(0),
+                    start: Cycle::new(1),
+                    ready: Cycle::new(2),
+                }));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Adversarial DAG families for the differential fuzz harness.
+//!
+//! Each generator here is a deliberately degenerate graph shape that
+//! stresses one corner of the scheduler/referee contract:
+//!
+//! * [`deep_chain`] — a single serial chain of 1-cycle ops: zero
+//!   slack, zero parallelism. Any off-by-one in issue-order or
+//!   dependence timing shifts the makespan and is caught immediately.
+//! * [`wide_fanin`] — many producers feeding one consumer: the
+//!   worst case for transfer clustering, arrival min-merging, and
+//!   network contention at the consumer's cluster.
+//! * [`fully_preplaced`] — every operation pinned to a bank: the
+//!   placement phases have no freedom at all, so every scheduler must
+//!   cope with a placement it did not choose.
+//! * [`op_class_desert`] — the whole graph is one op class: on
+//!   machines where few functional units can execute that class,
+//!   capable slots become the scarce resource.
+//!
+//! All generators are deterministic given their parameters.
+
+use convergent_ir::{ClusterId, DagBuilder, Instruction, Opcode, SchedulingUnit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A single chain of `len` one-cycle integer ops — the zero-slack
+/// serial worst case.
+#[must_use]
+pub fn deep_chain(len: usize) -> SchedulingUnit {
+    assert!(len > 0, "need at least one instruction");
+    let mut b = DagBuilder::with_capacity(len);
+    let mut prev = b.instr(Opcode::IntAlu);
+    for _ in 1..len {
+        let next = b.instr(Opcode::IntAlu);
+        b.edge(prev, next).expect("fresh ids");
+        prev = next;
+    }
+    SchedulingUnit::new(format!("deep-chain-{len}"), b.build().expect("a chain"))
+}
+
+/// `n_producers` independent ops all feeding a single consumer — a
+/// maximal fan-in join. A random subset of the producers are loads
+/// preplaced across `n_banks` so the join also crosses banks.
+#[must_use]
+pub fn wide_fanin(n_producers: usize, n_banks: u16, seed: u64) -> SchedulingUnit {
+    assert!(n_producers > 0, "need at least one producer");
+    let n_banks = n_banks.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DagBuilder::with_capacity(n_producers + 1);
+    let mut producers = Vec::with_capacity(n_producers);
+    for k in 0..n_producers {
+        let id = if rng.gen_bool(0.3) {
+            let bank = ClusterId::new((k as u16) % n_banks);
+            b.push(Instruction::preplaced(Opcode::Load, bank))
+        } else {
+            b.instr(Opcode::IntAlu)
+        };
+        producers.push(id);
+    }
+    let join = b.instr(Opcode::IntAlu);
+    for p in producers {
+        b.edge(p, join).expect("fresh ids");
+    }
+    SchedulingUnit::new(
+        format!("wide-fanin-{n_producers}"),
+        b.build().expect("a join is a DAG"),
+    )
+}
+
+/// A layered graph in which *every* instruction is a memory op
+/// preplaced on one of `n_banks` banks: the schedulers' placement
+/// phases have zero freedom (on hard-preplacement machines the whole
+/// assignment is forced).
+#[must_use]
+pub fn fully_preplaced(n_instrs: usize, n_banks: u16, seed: u64) -> SchedulingUnit {
+    assert!(n_instrs > 0, "need at least one instruction");
+    let n_banks = n_banks.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DagBuilder::with_capacity(n_instrs);
+    let mut ids = Vec::with_capacity(n_instrs);
+    for _ in 0..n_instrs {
+        let opcode = if rng.gen_bool(0.5) {
+            Opcode::Load
+        } else {
+            Opcode::Store
+        };
+        let bank = ClusterId::new(rng.gen_range(0..n_banks));
+        let id = b.push(Instruction::preplaced(opcode, bank));
+        // Wire to up to two earlier ops so chains cross banks.
+        for _ in 0..2 {
+            if !ids.is_empty() && rng.gen_bool(0.6) {
+                let src = ids[rng.gen_range(0..ids.len())];
+                let _ = b.edge_dedup(src, id);
+            }
+        }
+        ids.push(id);
+    }
+    SchedulingUnit::new(
+        format!("preplaced-{n_instrs}"),
+        b.build().expect("edges only point backward"),
+    )
+}
+
+/// A layered graph built from a single op class (floating-point
+/// multiplies), so only the few FPU-capable issue slots matter — an
+/// "op-class desert" for every other functional unit.
+#[must_use]
+pub fn op_class_desert(n_instrs: usize, seed: u64) -> SchedulingUnit {
+    assert!(n_instrs > 0, "need at least one instruction");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DagBuilder::with_capacity(n_instrs);
+    let mut ids = Vec::with_capacity(n_instrs);
+    for _ in 0..n_instrs {
+        let id = b.instr(Opcode::FMul);
+        if !ids.is_empty() && rng.gen_bool(0.7) {
+            let src = ids[rng.gen_range(0..ids.len())];
+            let _ = b.edge_dedup(src, id);
+        }
+        ids.push(id);
+    }
+    SchedulingUnit::new(
+        format!("fmul-desert-{n_instrs}"),
+        b.build().expect("edges only point backward"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convergent_ir::ShapeStats;
+
+    #[test]
+    fn deep_chain_is_fully_serial() {
+        let unit = deep_chain(20);
+        let s = ShapeStats::compute(unit.dag(), |_| 1);
+        assert_eq!(s.height(), 20);
+        assert_eq!(s.max_width(), 1);
+    }
+
+    #[test]
+    fn wide_fanin_has_one_join() {
+        let unit = wide_fanin(30, 4, 7);
+        assert_eq!(unit.dag().len(), 31);
+        assert_eq!(unit.dag().edge_count(), 30);
+        let join = convergent_ir::InstrId::new(30);
+        assert_eq!(unit.dag().preds(join).len(), 30);
+    }
+
+    #[test]
+    fn fully_preplaced_pins_everything() {
+        let unit = fully_preplaced(50, 4, 3);
+        assert_eq!(unit.dag().preplaced_count(), 50);
+    }
+
+    #[test]
+    fn desert_is_single_class() {
+        let unit = op_class_desert(40, 11);
+        assert!(unit
+            .dag()
+            .instrs()
+            .iter()
+            .all(|i| i.opcode() == Opcode::FMul));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = fully_preplaced(60, 4, 9);
+        let b = fully_preplaced(60, 4, 9);
+        assert_eq!(a.dag().edge_count(), b.dag().edge_count());
+        let c = wide_fanin(25, 2, 1);
+        let d = wide_fanin(25, 2, 1);
+        assert_eq!(c.dag().preplaced_count(), d.dag().preplaced_count());
+    }
+}

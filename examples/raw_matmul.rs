@@ -21,12 +21,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rawcc = RawccScheduler::new();
     let base = rawcc.schedule(unit.dag(), &machine)?;
     validate(unit.dag(), &machine, &base)?;
-    let base_eval = evaluate(unit.dag(), &machine, &base);
+    let base_eval = evaluate(unit.dag(), &machine, &base)?;
 
     // Convergent scheduling with the paper's Raw sequence.
     let conv = ConvergentScheduler::raw_default().schedule(unit.dag(), &machine)?;
     validate(unit.dag(), &machine, conv.schedule())?;
-    let conv_eval = evaluate(unit.dag(), &machine, conv.schedule());
+    let conv_eval = evaluate(unit.dag(), &machine, conv.schedule())?;
 
     println!(
         "rawcc:      {} cycles ({} transfers, {} network stall cycles)",

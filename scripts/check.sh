@@ -24,4 +24,6 @@ echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
+echo "==> fuzz smoke (seed 0, 200 cases)"
+cargo run --release -q -p convergent-bench --bin fuzz -- --seed 0 --budget 200
 echo "check.sh: all green"

@@ -30,4 +30,6 @@ echo "==> cargo clippy --workspace --all-targets -- -D warnings (offline)"
 run clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
+echo "==> fuzz smoke (seed 0, 200 cases, offline)"
+run run --release -q -p convergent-bench --bin fuzz -- --seed 0 --budget 200
 echo "offline-check.sh: all green"

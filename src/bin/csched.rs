@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! csched <input.cdag | --workload NAME> [options]
+//! csched verify <input.cdag | --workload NAME> [options]
 //!
 //! options:
 //!   --machine raw<N> | vliw<N>    target machine        (default vliw4)
@@ -21,6 +22,17 @@
 //! csched mygraph.cdag --machine vliw4 --scheduler uas --pressure
 //! csched --workload sha --dump > sha.cdag
 //! ```
+//!
+//! The `verify` subcommand replays a graph (typically a `.cdag` repro
+//! dumped by the fuzz harness) through one scheduler — or all of them
+//! when `--scheduler` is omitted — validating each schedule and
+//! cross-checking the cycle-driven evaluator against the event-driven
+//! oracle:
+//!
+//! ```text
+//! csched verify repro.cdag --machine raw4
+//! csched verify --workload fir --machine vliw8 --scheduler pcc
+//! ```
 
 use std::process::ExitCode;
 
@@ -30,7 +42,7 @@ use convergent_scheduling::machine::Machine;
 use convergent_scheduling::schedulers::{
     BugScheduler, PccScheduler, RawccScheduler, Scheduler, UasScheduler,
 };
-use convergent_scheduling::sim::{analyze_pressure, evaluate, validate};
+use convergent_scheduling::sim::{analyze_pressure, cross_check, evaluate, validate};
 use convergent_scheduling::workloads as wl;
 
 struct Options {
@@ -45,7 +57,7 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: csched <input.cdag | --workload NAME> [--machine rawN|vliwN] \
+    "usage: csched [verify] <input.cdag | --workload NAME> [--machine rawN|vliwN] \
      [--scheduler convergent|uas|pcc|rawcc|bug] [--dump] [--dot] [--pressure] [--verbose] \
      [--list-workloads]"
 }
@@ -146,33 +158,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = parse_args(&args)?;
-
-    let machine = parse_machine(&opts.machine)
-        .ok_or_else(|| format!("unknown machine '{}' (use rawN or vliwN)", opts.machine))?;
-
-    let unit = match (&opts.workload, &opts.input) {
-        (Some(w), _) => builtin_workload(w, machine.n_clusters() as u16)
-            .ok_or_else(|| format!("unknown workload '{w}' (try --list-workloads)"))?,
-        (None, Some(path)) => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-            parse_unit(&text).map_err(|e| format!("parsing {path}: {e}"))?
-        }
-        (None, None) => unreachable!("checked in parse_args"),
-    };
-
-    if opts.dump {
-        print!("{}", to_text(&unit));
-        return Ok(());
-    }
-    if opts.dot {
-        print!("{}", to_dot(unit.dag(), unit.name()));
-        return Ok(());
-    }
-
-    let scheduler: Box<dyn Scheduler> = match opts.scheduler.as_str() {
+fn make_scheduler(name: &str, machine: &Machine) -> Result<Box<dyn Scheduler>, String> {
+    Ok(match name {
         "convergent" => {
             if machine.comm().register_mapped {
                 Box::new(ConvergentScheduler::raw_default())
@@ -185,14 +172,113 @@ fn run() -> Result<(), String> {
         "rawcc" => Box::new(RawccScheduler::new()),
         "bug" => Box::new(BugScheduler::new()),
         other => return Err(format!("unknown scheduler '{other}'")),
+    })
+}
+
+fn resolve_unit(opts: &Options, machine: &Machine) -> Result<SchedulingUnit, String> {
+    match (&opts.workload, &opts.input) {
+        (Some(w), _) => builtin_workload(w, machine.n_clusters() as u16)
+            .ok_or_else(|| format!("unknown workload '{w}' (try --list-workloads)")),
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            parse_unit(&text).map_err(|e| format!("parsing {path}: {e}"))
+        }
+        (None, None) => unreachable!("checked in parse_args"),
+    }
+}
+
+/// `csched verify`: replay a graph through the schedulers and hold
+/// every schedule to the full referee pair — validation plus the
+/// evaluator/oracle cross-check the fuzz harness relies on.
+fn run_verify(args: &[String]) -> Result<(), String> {
+    let explicit_scheduler = args.iter().any(|a| a == "--scheduler");
+    let opts = parse_args(args)?;
+    let machine = parse_machine(&opts.machine)
+        .ok_or_else(|| format!("unknown machine '{}' (use rawN or vliwN)", opts.machine))?;
+    let unit = resolve_unit(&opts, &machine)?;
+    let names: Vec<String> = if explicit_scheduler {
+        vec![opts.scheduler.clone()]
+    } else {
+        ["convergent", "uas", "pcc", "rawcc", "bug"]
+            .iter()
+            .map(ToString::to_string)
+            .collect()
     };
+    println!(
+        "{}: {} instrs, {} edges, machine {machine}",
+        unit.name(),
+        unit.dag().len(),
+        unit.dag().edge_count()
+    );
+    let mut failures = 0usize;
+    for name in &names {
+        let scheduler = make_scheduler(name, &machine)?;
+        let schedule = match scheduler.schedule(unit.dag(), &machine) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("{name:<12} FAIL scheduling: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        if let Err(e) = validate(unit.dag(), &machine, &schedule) {
+            println!("{name:<12} FAIL validation: {e}");
+            failures += 1;
+            continue;
+        }
+        match cross_check(unit.dag(), &machine, &schedule) {
+            Ok(Ok(report)) => println!(
+                "{name:<12} ok: {} cycles (nominal {}), {} stalls, simulators agree",
+                report.makespan.get(),
+                report.nominal_makespan,
+                report.network.stall_cycles
+            ),
+            Ok(Err(e)) => {
+                println!("{name:<12} FAIL simulation: {e}");
+                failures += 1;
+            }
+            Err(d) => {
+                println!("{name:<12} FAIL cross-check: {d}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} of {} schedulers failed", names.len()));
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "verify") {
+        return run_verify(&args[1..]);
+    }
+    let opts = parse_args(&args)?;
+
+    let machine = parse_machine(&opts.machine)
+        .ok_or_else(|| format!("unknown machine '{}' (use rawN or vliwN)", opts.machine))?;
+
+    let unit = resolve_unit(&opts, &machine)?;
+
+    if opts.dump {
+        print!("{}", to_text(&unit));
+        return Ok(());
+    }
+    if opts.dot {
+        print!("{}", to_dot(unit.dag(), unit.name()));
+        return Ok(());
+    }
+
+    let scheduler = make_scheduler(&opts.scheduler, &machine)?;
 
     let schedule = scheduler
         .schedule(unit.dag(), &machine)
         .map_err(|e| format!("scheduling failed: {e}"))?;
     validate(unit.dag(), &machine, &schedule)
         .map_err(|e| format!("produced schedule failed validation: {e}"))?;
-    let report = evaluate(unit.dag(), &machine, &schedule);
+    let report =
+        evaluate(unit.dag(), &machine, &schedule).map_err(|e| format!("simulation failed: {e}"))?;
 
     println!("{unit}");
     println!("machine:    {machine}");

@@ -73,7 +73,7 @@ fn evaluation_never_beats_the_nominal_schedule() {
         let s = RawccScheduler::new()
             .schedule(unit.dag(), &machine)
             .unwrap();
-        let report = evaluate(unit.dag(), &machine, &s);
+        let report = evaluate(unit.dag(), &machine, &s).expect("executes");
         // The evaluator issues ASAP, so it may beat a lazy nominal
         // schedule in cycle count, but never by violating resources:
         // makespan is at least the critical-path bound.
@@ -113,9 +113,15 @@ fn more_tiles_never_hurt_much() {
                         ),
                     )
                     .unwrap();
-                let base_cycles = evaluate(folded.dag(), &single, &base).makespan.get();
+                let base_cycles = evaluate(folded.dag(), &single, &base)
+                    .expect("executes")
+                    .makespan
+                    .get();
                 let s = sched.schedule(unit.dag(), &machine).unwrap();
-                let cycles = evaluate(unit.dag(), &machine, &s).makespan.get();
+                let cycles = evaluate(unit.dag(), &machine, &s)
+                    .expect("executes")
+                    .makespan
+                    .get();
                 let speedup = f64::from(base_cycles) / f64::from(cycles);
                 assert!(
                     speedup >= 0.9,

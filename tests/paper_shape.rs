@@ -18,7 +18,12 @@ fn executed(
 ) -> f64 {
     let s = scheduler.schedule(unit.dag(), machine).expect("schedules");
     validate(unit.dag(), machine, &s).expect("valid");
-    f64::from(evaluate(unit.dag(), machine, &s).makespan.get())
+    f64::from(
+        evaluate(unit.dag(), machine, &s)
+            .expect("executes")
+            .makespan
+            .get(),
+    )
 }
 
 fn baseline(unit: &convergent_scheduling::ir::SchedulingUnit) -> f64 {
@@ -28,7 +33,12 @@ fn baseline(unit: &convergent_scheduling::ir::SchedulingUnit) -> f64 {
     let s = ListScheduler::new()
         .schedule_with_cp(folded.dag(), &single, &asg)
         .expect("schedules");
-    f64::from(evaluate(folded.dag(), &single, &s).makespan.get())
+    f64::from(
+        evaluate(folded.dag(), &single, &s)
+            .expect("executes")
+            .makespan
+            .get(),
+    )
 }
 
 /// The paper's headline: on preplacement-rich dense benchmarks,

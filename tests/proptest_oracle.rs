@@ -1,0 +1,159 @@
+//! Differential property tests: the event-driven oracle must agree
+//! with the cycle-driven evaluator on every validated schedule, and
+//! both referees must answer perturbed (possibly broken) schedules
+//! with structured errors — never a panic.
+
+use convergent_scheduling::core::ConvergentScheduler;
+use convergent_scheduling::ir::{ClusterId, Cycle, InstrId, SchedulingUnit};
+use convergent_scheduling::machine::Machine;
+use convergent_scheduling::schedulers::{
+    BugScheduler, PccScheduler, RawccScheduler, Scheduler, UasScheduler,
+};
+use convergent_scheduling::sim::{
+    cross_check, evaluate, resimulate, validate, ScheduleBuilder, SpaceTimeSchedule,
+};
+use convergent_scheduling::workloads::{
+    deep_chain, fully_preplaced, layered, op_class_desert, wide_fanin, LayeredParams,
+};
+use proptest::prelude::*;
+
+fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(UasScheduler::new()),
+        Box::new(PccScheduler::new().with_max_rounds(1)),
+        Box::new(RawccScheduler::new()),
+        Box::new(BugScheduler::new()),
+        Box::new(ConvergentScheduler::raw_default()),
+        Box::new(ConvergentScheduler::vliw_tuned()),
+    ]
+}
+
+/// Every validated schedule must make the two simulators agree on the
+/// full report, and the shared verdict must be a successful run.
+fn check_differential(unit: &SchedulingUnit, machine: &Machine) {
+    let dag = unit.dag();
+    for sched in schedulers() {
+        let Ok(schedule) = sched.schedule(dag, machine) else {
+            // A legitimate rejection (e.g. no capable cluster) is out of
+            // scope here; the fuzz harness classifies those separately.
+            continue;
+        };
+        validate(dag, machine, &schedule)
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", sched.name(), unit.name()));
+        match cross_check(dag, machine, &schedule) {
+            Ok(Ok(_)) => {}
+            Ok(Err(e)) => panic!(
+                "{} on {}: validated schedule stalled: {e}",
+                sched.name(),
+                unit.name()
+            ),
+            Err(d) => panic!(
+                "{} on {}: simulators diverge: {d}",
+                sched.name(),
+                unit.name()
+            ),
+        }
+    }
+}
+
+/// Rebuilds `schedule` with one deliberate mutation. The result may or
+/// may not still be valid — the property under test is only that the
+/// referees answer with structured verdicts.
+fn perturb(
+    dag: &convergent_scheduling::ir::Dag,
+    machine: &Machine,
+    schedule: &SpaceTimeSchedule,
+    mode: u32,
+    pick: usize,
+    delta: u32,
+) -> Option<SpaceTimeSchedule> {
+    let mut sb = ScheduleBuilder::new(dag);
+    let victim = InstrId::new((pick % dag.len()) as u32);
+    for op in schedule.ops() {
+        let (mut cluster, mut start) = (op.cluster, op.start);
+        if op.instr == victim {
+            match mode % 3 {
+                // Shift the victim earlier: may break dependences.
+                0 => start = start.saturating_sub(delta),
+                // Shift it later: may orphan its consumers' timing.
+                1 => start = Cycle::new(start.get() + delta),
+                // Teleport it to another cluster without re-routing.
+                _ => {
+                    cluster =
+                        ClusterId::new((cluster.index() as u16 + 1) % machine.n_clusters() as u16);
+                }
+            }
+        }
+        sb.place(op.instr, cluster, op.fu, start);
+    }
+    let drop_comm = mode >= 128 && schedule.comm_count() > 0;
+    let dropped = pick % schedule.comm_count().max(1);
+    for (k, c) in schedule.comms().iter().enumerate() {
+        if drop_comm && k == dropped {
+            continue; // sever one transfer: consumers may starve
+        }
+        sb.comm(c.producer, c.from, c.to, c.start, c.fu);
+    }
+    sb.build(machine).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn validated_schedules_agree(
+        n in 8usize..80,
+        width in 2usize..10,
+        seed in any::<u64>(),
+        pre in 0.0f64..0.8,
+        banks in 2u16..8,
+    ) {
+        let unit = layered(
+            LayeredParams::new(n, seed)
+                .with_width(width)
+                .with_preplacement(pre, banks),
+        );
+        check_differential(&unit, &Machine::raw(banks));
+        check_differential(&unit, &Machine::chorus_vliw(banks));
+    }
+
+    #[test]
+    fn adversarial_families_agree(n in 4usize..50, seed in any::<u64>(), banks in 1u16..6) {
+        check_differential(&deep_chain(n), &Machine::raw(banks));
+        check_differential(&wide_fanin(n, banks, seed), &Machine::chorus_vliw(banks.max(2)));
+        check_differential(&fully_preplaced(n, banks, seed), &Machine::raw(banks));
+        check_differential(&op_class_desert(n, seed), &Machine::chorus_vliw(banks.max(2)));
+    }
+
+    #[test]
+    fn perturbed_schedules_fail_structurally(
+        n in 8usize..60,
+        seed in any::<u64>(),
+        mode in 0u32..256,
+        pick in any::<u64>(),
+        delta in 1u32..5,
+    ) {
+        let unit = layered(LayeredParams::new(n, seed).with_preplacement(0.3, 4));
+        let machine = Machine::raw(4);
+        for sched in schedulers() {
+            let Ok(good) = sched.schedule(unit.dag(), &machine) else { continue };
+            let Some(bad) = perturb(unit.dag(), &machine, &good, mode, pick as usize, delta) else {
+                continue;
+            };
+            // Both referees must return structured verdicts — reaching
+            // the end of this block without a panic is the property.
+            let v = validate(unit.dag(), &machine, &bad);
+            let e = evaluate(unit.dag(), &machine, &bad);
+            let o = resimulate(unit.dag(), &machine, &bad);
+            if v.is_ok() {
+                // Anything that still validates must keep the
+                // simulators in agreement, whatever the mutation was.
+                prop_assert!(
+                    cross_check(unit.dag(), &machine, &bad).is_ok(),
+                    "{}: validated mutant diverged (evaluate: {e:?}, oracle: {o:?})",
+                    sched.name()
+                );
+            }
+        }
+    }
+}

@@ -44,7 +44,10 @@ fn check_all(unit: &convergent_scheduling::ir::SchedulingUnit, machine: &Machine
         validate(dag, machine, &s).unwrap_or_else(|e| panic!("{}: {e}", sched.name()));
         // The cycle-level execution also respects the dependence
         // height, with or without contention.
-        let executed = evaluate(dag, machine, &s).makespan.get();
+        let executed = evaluate(dag, machine, &s)
+            .unwrap_or_else(|e| panic!("{}: {e}", sched.name()))
+            .makespan
+            .get();
         assert!(
             executed >= time.critical_path_length(),
             "{}: executed {executed} below CPL {}",
