@@ -1,0 +1,112 @@
+//! Criterion microbenchmarks of the banded preference-map layout
+//! against the dense reference, on the two band regimes that matter:
+//!
+//! * **narrow** — every instruction windowed to an 8-slot slack band,
+//!   the common post-INITTIME shape the banded layout exists for;
+//! * **full** — no windowing, every band spanning all `n_slots`, the
+//!   worst case where banded must not lose to dense.
+//!
+//! Covered ops: `normalize_all`, `scale_cluster`, `preferred_cluster`
+//! after invalidation, and `set_window` (narrow only — shrinking is a
+//! no-op without slack to cut).
+
+use convergent_core::PreferenceMap;
+use convergent_ir::{ClusterId, InstrId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const N: usize = 500;
+const CLUSTERS: usize = 4;
+const SLOTS: usize = 512;
+const BAND: u32 = 8;
+
+/// A map in the requested layout, optionally windowed to narrow bands,
+/// with every row densified (so banded rows actually carry band
+/// storage, not the uniform closed form).
+fn prepared(dense: bool, narrow: bool) -> PreferenceMap {
+    let mut w = if dense {
+        PreferenceMap::new_dense(N, CLUSTERS, SLOTS)
+    } else {
+        PreferenceMap::new(N, CLUSTERS, SLOTS)
+    };
+    for i in 0..N {
+        let id = InstrId::new(i as u32);
+        if narrow {
+            let lo = (i as u32 * 7) % (SLOTS as u32 - BAND);
+            w.set_window(id, lo, lo + BAND - 1);
+        }
+        w.scale_cluster(id, ClusterId::new((i % CLUSTERS) as u16), 2.0);
+    }
+    w.normalize_all();
+    w
+}
+
+fn bench_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("banded_map");
+    for (layout, dense) in [("banded", false), ("dense", true)] {
+        for (regime, narrow) in [("narrow", true), ("full", false)] {
+            let label = format!("{layout}/{regime}");
+            group.bench_function(BenchmarkId::new("normalize_all", &label), |b| {
+                let mut w = prepared(dense, narrow);
+                b.iter(|| {
+                    // Perturb one row so normalize has real work, then
+                    // the O(N) lazy renormalization.
+                    w.scale_cluster(InstrId::new(0), ClusterId::new(1), black_box(1.5));
+                    w.normalize_all();
+                    black_box(&w);
+                });
+            });
+            group.bench_function(BenchmarkId::new("scale_cluster", &label), |b| {
+                let mut w = prepared(dense, narrow);
+                b.iter(|| {
+                    for i in 0..N {
+                        w.scale_cluster(
+                            InstrId::new(i as u32),
+                            ClusterId::new((i % CLUSTERS) as u16),
+                            black_box(1.01),
+                        );
+                    }
+                    black_box(&w);
+                });
+            });
+            group.bench_function(
+                BenchmarkId::new("preferred_cluster_invalidated", &label),
+                |b| {
+                    let mut w = prepared(dense, narrow);
+                    b.iter(|| {
+                        let mut acc = 0u64;
+                        for i in 0..N {
+                            let id = InstrId::new(i as u32);
+                            // The write invalidates the argmax cache, so
+                            // every read pays the rescan.
+                            w.scale_cluster(id, ClusterId::new(1), black_box(1.001));
+                            acc += u64::from(w.preferred_cluster(id).raw());
+                        }
+                        black_box(acc)
+                    });
+                },
+            );
+            if narrow {
+                group.bench_function(BenchmarkId::new("set_window", &label), |b| {
+                    // Shrink one slot off alternating ends; rebuilt maps
+                    // each iteration batch would need iter_batched, so
+                    // shrink a fresh clone of the prepared map instead.
+                    let base = prepared(dense, true);
+                    b.iter(|| {
+                        let mut w = base.clone();
+                        for i in 0..N {
+                            let id = InstrId::new(i as u32);
+                            let (lo, hi) = w.window(id);
+                            w.set_window(id, lo + 1, hi);
+                        }
+                        black_box(&w);
+                    });
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

@@ -1,75 +1,158 @@
 //! Compile-time throughput of the convergent scheduler itself: how
 //! many instructions per second the full pass pipeline (weights,
 //! passes, normalization, final list schedule) sustains at several
-//! region sizes. Companion to figure10, but focused on the convergent
+//! region sizes — the paper's Figure 10 claim, extended to 10k
+//! instructions. Companion to figure10, but focused on the convergent
 //! scheduler and machine-readable: results land in
-//! `BENCH_compiletime.json`.
+//! `BENCH_compiletime.json`, including a per-pass wall-clock breakdown
+//! of the best repetition.
 //!
 //! ```text
 //! cargo run --release -p convergent-bench --bin compiletime
-//! cargo run --release -p convergent-bench --bin compiletime -- --out path.json
+//! cargo run --release -p convergent-bench --bin compiletime -- \
+//!     --sizes 200,2000 --budget-secs 0.5 --no-out --max-ratio 4.0
 //! ```
 //!
 //! Measurements run serially (never through the parallel harness) so
-//! each row gets an unloaded machine; every row is the best of several
-//! repetitions to shed scheduler warm-up noise.
+//! each row gets an unloaded machine. Every size is repeated until a
+//! fixed wall-clock budget (`--budget-secs`, default 2 s) is spent, so
+//! `best_seconds` is equally converged across rows instead of drifting
+//! with size; the measured rep count is recorded per row.
+//!
+//! `--max-ratio R` turns the run into a scaling guard: it exits
+//! nonzero if throughput at the smallest size exceeds throughput at
+//! the largest by more than `R×` — the superlinear-collapse symptom
+//! the banded preference map exists to prevent.
 
 use std::time::Instant;
 
-use convergent_core::ConvergentScheduler;
+use convergent_core::{ConvergentScheduler, PassProfile};
 use convergent_machine::Machine;
-use convergent_schedulers::Scheduler;
 use convergent_workloads::{layered, LayeredParams};
+
+struct Row {
+    n: usize,
+    best: f64,
+    ips: f64,
+    reps: u32,
+    profile: PassProfile,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|k| args.get(k + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_compiletime.json".to_string());
+    let flag_val = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|k| args.get(k + 1))
+            .cloned()
+    };
+    let out_path = flag_val("--out").unwrap_or_else(|| "BENCH_compiletime.json".to_string());
+    let no_out = args.iter().any(|a| a == "--no-out");
+    let show_profile = args.iter().any(|a| a == "--profile");
+    let budget_secs: f64 = flag_val("--budget-secs")
+        .map(|v| v.parse().expect("--budget-secs takes seconds"))
+        .unwrap_or(2.0);
+    let max_ratio: Option<f64> =
+        flag_val("--max-ratio").map(|v| v.parse().expect("--max-ratio takes a number"));
+    let sizes: Vec<usize> = flag_val("--sizes")
+        .map(|v| {
+            v.split(',')
+                .map(|s| s.trim().parse().expect("--sizes takes a comma list"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![200, 500, 1000, 2000, 5000, 10000]);
 
     let machine = Machine::chorus_vliw(4);
-    let sizes = [200usize, 500, 1000, 2000];
     println!(
         "{:>8}{:>12}{:>16}{:>8}",
         "instrs", "best (s)", "instrs/sec", "reps"
     );
-    let mut rows = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
     for &n in &sizes {
         let unit = layered(
             LayeredParams::new(n, 0xF16)
                 .with_width(8)
                 .with_preplacement(0.5, 4),
         );
-        let reps = (2000 / n).clamp(2, 6);
         let mut best = f64::INFINITY;
-        for _ in 0..reps {
+        let mut best_profile = PassProfile::default();
+        let mut reps = 0u32;
+        let clock = Instant::now();
+        // At least one rep, then keep going until the budget is spent.
+        while reps == 0 || clock.elapsed().as_secs_f64() < budget_secs {
             let sched = ConvergentScheduler::vliw_default();
             let start = Instant::now();
-            let schedule =
-                Scheduler::schedule(&sched, unit.dag(), &machine).expect("convergent schedules");
+            let (out, profile) = sched
+                .schedule_profiled(unit.dag(), &machine)
+                .expect("convergent schedules");
             let secs = start.elapsed().as_secs_f64();
-            assert!(schedule.makespan().get() > 0);
-            best = best.min(secs);
+            assert!(out.schedule().makespan().get() > 0);
+            if secs < best {
+                best = secs;
+                best_profile = profile;
+            }
+            reps += 1;
         }
         let ips = n as f64 / best;
         println!("{n:>8}{best:>12.4}{ips:>16.0}{reps:>8}");
-        rows.push((n, best, ips, reps));
+        if show_profile {
+            println!("{}", best_profile.render_table());
+        }
+        rows.push(Row {
+            n,
+            best,
+            ips,
+            reps,
+            profile: best_profile,
+        });
     }
 
-    let mut json = String::from("{\n  \"experiment\": \"compiletime\",\n");
-    json.push_str("  \"scheduler\": \"convergent vliw_default\",\n");
-    json.push_str("  \"machine\": \"chorus_vliw(4)\",\n  \"rows\": [\n");
-    for (k, (n, secs, ips, reps)) in rows.iter().enumerate() {
+    if !no_out {
+        let mut json = String::from("{\n  \"experiment\": \"compiletime\",\n");
+        json.push_str("  \"scheduler\": \"convergent vliw_default\",\n");
+        json.push_str("  \"machine\": \"chorus_vliw(4)\",\n");
         json.push_str(&format!(
-            "    {{\"instrs\": {n}, \"best_seconds\": {secs:.6}, \"instrs_per_sec\": {ips:.1}, \"reps\": {reps}}}{}\n",
-            if k + 1 < rows.len() { "," } else { "" }
+            "  \"budget_secs\": {budget_secs},\n  \"rows\": [\n"
         ));
+        for (k, row) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"instrs\": {}, \"best_seconds\": {:.6}, \"instrs_per_sec\": {:.1}, \"reps\": {}, \"per_pass_seconds\": {{",
+                row.n, row.best, row.ips, row.reps
+            ));
+            let spans: Vec<String> = row
+                .profile
+                .spans()
+                .map(|(name, secs, _)| format!("\"{name}\": {secs:.6}"))
+                .collect();
+            json.push_str(&spans.join(", "));
+            json.push_str(&format!(
+                "}}}}{}\n",
+                if k + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&out_path, json).expect("write results json");
+        println!();
+        println!("wrote {out_path}");
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, json).expect("write results json");
-    println!();
-    println!("wrote {out_path}");
+
+    if let Some(ratio) = max_ratio {
+        let small = rows.iter().min_by_key(|r| r.n).expect("at least one size");
+        let large = rows.iter().max_by_key(|r| r.n).expect("at least one size");
+        let measured = small.ips / large.ips;
+        println!(
+            "scaling: {} instrs/s at {} vs {} at {} — ratio {measured:.2} (limit {ratio:.2})",
+            small.ips.round(),
+            small.n,
+            large.ips.round(),
+            large.n
+        );
+        if measured > ratio {
+            eprintln!(
+                "FAIL: throughput collapses {measured:.2}x from {} to {} instrs (limit {ratio:.2}x)",
+                small.n, large.n
+            );
+            std::process::exit(1);
+        }
+    }
 }

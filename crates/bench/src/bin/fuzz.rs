@@ -18,12 +18,17 @@
 //!
 //! ```text
 //! cargo run --release -p convergent-bench --bin fuzz -- \
-//!     [--seed N] [--budget N] [--jobs N] [--dump-dir PATH]
+//!     [--seed N] [--budget N] [--jobs N] [--dump-dir PATH] \
+//!     [--family NAME] [--size N] [--machines a,b,c]
 //! csched verify <dump-dir>/<repro>.cdag --machine <spec> --scheduler <name>
 //! ```
 //!
 //! The whole sweep is deterministic for a given `--seed`/`--budget`,
-//! independent of `--jobs`.
+//! independent of `--jobs`. `--family`, `--size`, and `--machines` pin
+//! or restrict the corresponding case dimension — the targeted mode
+//! the check scripts use to drive one large deep-chain unit through
+//! every scheduler (exercising the preference map's band re-anchoring
+//! end to end) without paying for a full random sweep.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -339,6 +344,9 @@ fn main() {
     let mut seed = 0u64;
     let mut budget = 500usize;
     let mut dump_dir = "target/fuzz-repros".to_string();
+    let mut family: Option<&'static str> = None;
+    let mut size: Option<usize> = None;
+    let mut machines: Vec<&'static str> = MACHINES.to_vec();
     let mut k = 0;
     while k < args.len() {
         match args[k].as_str() {
@@ -354,9 +362,48 @@ fn main() {
                 k += 1;
                 dump_dir = args[k].clone();
             }
+            "--family" => {
+                k += 1;
+                let want = args[k].clone();
+                family = Some(
+                    FAMILIES
+                        .iter()
+                        .copied()
+                        .find(|f| *f == want)
+                        .unwrap_or_else(|| {
+                            eprintln!("fuzz: unknown family '{want}' (families: {FAMILIES:?})");
+                            std::process::exit(2);
+                        }),
+                );
+            }
+            "--size" => {
+                k += 1;
+                size = Some(args[k].parse().expect("--size takes an integer"));
+            }
+            "--machines" => {
+                k += 1;
+                machines = args[k]
+                    .split(',')
+                    .map(|want| {
+                        MACHINES
+                            .iter()
+                            .copied()
+                            .find(|m| *m == want.trim())
+                            .unwrap_or_else(|| {
+                                eprintln!(
+                                    "fuzz: unknown machine '{want}' (use rawN/vliwN presets)"
+                                );
+                                std::process::exit(2);
+                            })
+                    })
+                    .collect();
+            }
             other => {
                 eprintln!("fuzz: unknown option '{other}'");
-                eprintln!("usage: fuzz [--seed N] [--budget N] [--jobs N] [--dump-dir PATH]");
+                eprintln!(
+                    "usage: fuzz [--seed N] [--budget N] [--jobs N] [--dump-dir PATH] \
+                     [--family NAME] [--size N] [--machines a,b,c]"
+                );
                 std::process::exit(2);
             }
         }
@@ -364,7 +411,9 @@ fn main() {
     }
 
     // Deterministic case list: every draw comes from one SplitMix64
-    // stream, so (seed, budget) fixes the entire sweep.
+    // stream, so (seed, budget) fixes the entire sweep. Pinned
+    // dimensions still consume their draws, keeping the unpinned
+    // dimensions' sequence identical to the full sweep's.
     let mut state = seed ^ 0xC0FF_EE00_D15E_A5E5;
     let cases: Vec<Case> = (0..budget)
         .map(|id| {
@@ -373,9 +422,9 @@ fn main() {
             let r2 = splitmix64(&mut state);
             Case {
                 id,
-                family: FAMILIES[(r0 % FAMILIES.len() as u64) as usize],
-                machine_spec: MACHINES[(r1 % MACHINES.len() as u64) as usize],
-                size: 3 + (r2 % 90) as usize,
+                family: family.unwrap_or(FAMILIES[(r0 % FAMILIES.len() as u64) as usize]),
+                machine_spec: machines[(r1 % machines.len() as u64) as usize],
+                size: size.unwrap_or(3 + (r2 % 90) as usize),
                 unit_seed: splitmix64(&mut state),
             }
         })

@@ -12,6 +12,8 @@
 //! instructions whose preferred cluster changed — the quantity plotted
 //! in the paper's Figures 7 and 9.
 
+use std::time::Instant;
+
 use convergent_ir::{ClusterId, Dag, DistanceOracle, TimeAnalysis};
 use convergent_machine::Machine;
 use convergent_schedulers::{ListScheduler, ScheduleError, Scheduler};
@@ -19,7 +21,7 @@ use convergent_sim::{Assignment, SpaceTimeSchedule};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::{PassContext, PreferenceMap, Sequence};
+use crate::{PassContext, PassProfile, PreferenceMap, Sequence};
 
 /// Per-pass convergence measurement.
 #[derive(Clone, Debug, PartialEq)]
@@ -144,6 +146,7 @@ pub struct ConvergentScheduler {
     sequence: Sequence,
     seed: u64,
     use_time_priorities: bool,
+    reference_map: bool,
 }
 
 impl ConvergentScheduler {
@@ -154,6 +157,7 @@ impl ConvergentScheduler {
             sequence,
             seed: 42,
             use_time_priorities: true,
+            reference_map: false,
         }
     }
 
@@ -205,6 +209,16 @@ impl ConvergentScheduler {
         self
     }
 
+    /// Runs on the dense reference [`PreferenceMap`] layout instead of
+    /// the banded default. The two layouts are bit-for-bit equivalent,
+    /// so this exists for differential testing and perf comparison
+    /// only.
+    #[must_use]
+    pub fn with_reference_map(mut self, on: bool) -> Self {
+        self.reference_map = on;
+        self
+    }
+
     /// The configured sequence.
     #[must_use]
     pub fn sequence(&self) -> &Sequence {
@@ -235,8 +249,43 @@ impl ConvergentScheduler {
         &self,
         dag: &Dag,
         machine: &Machine,
-        mut observer: impl FnMut(usize, &str, &PreferenceMap),
+        observer: impl FnMut(usize, &str, &PreferenceMap),
     ) -> Result<AssignOutcome, ScheduleError> {
+        self.assign_impl(dag, machine, observer, None)
+    }
+
+    /// Like [`ConvergentScheduler::assign`], also collecting a per-pass
+    /// wall-clock [`PassProfile`] (spans `"<init>"`, one per pass, and
+    /// `"<readoff>"`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ConvergentScheduler::assign`].
+    pub fn assign_profiled(
+        &self,
+        dag: &Dag,
+        machine: &Machine,
+    ) -> Result<(AssignOutcome, PassProfile), ScheduleError> {
+        let mut profile = PassProfile::default();
+        let outcome = self.assign_impl(dag, machine, |_, _, _| {}, Some(&mut profile))?;
+        Ok((outcome, profile))
+    }
+
+    fn assign_impl(
+        &self,
+        dag: &Dag,
+        machine: &Machine,
+        mut observer: impl FnMut(usize, &str, &PreferenceMap),
+        mut profile: Option<&mut PassProfile>,
+    ) -> Result<AssignOutcome, ScheduleError> {
+        let mut t0 = Instant::now();
+        let mut lap = move |profile: &mut Option<&mut PassProfile>, name: &'static str| {
+            let now = Instant::now();
+            if let Some(p) = profile.as_deref_mut() {
+                p.record(name, (now - t0).as_secs_f64());
+            }
+            t0 = now;
+        };
         for i in dag.ids() {
             let instr = dag.instr(i);
             if let Some(home) = instr.preplacement() {
@@ -254,11 +303,16 @@ impl ConvergentScheduler {
 
         let time = TimeAnalysis::compute(dag, |i| machine.latency_of(i));
         let n_slots = (time.critical_path_length().max(1)) as usize;
-        let mut weights = PreferenceMap::new(dag.len(), machine.n_clusters(), n_slots);
+        let mut weights = if self.reference_map {
+            PreferenceMap::new_dense(dag.len(), machine.n_clusters(), n_slots)
+        } else {
+            PreferenceMap::new(dag.len(), machine.n_clusters(), n_slots)
+        };
         let mut dist = DistanceOracle::new();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut trace = ConvergenceTrace::default();
         observer(0, "<init>", &weights);
+        lap(&mut profile, "<init>");
 
         let mut preferred: Vec<ClusterId> =
             dag.ids().map(|i| weights.preferred_cluster(i)).collect();
@@ -294,6 +348,7 @@ impl ConvergentScheduler {
                 time_only: pass.is_time_only(),
             });
             observer(k + 1, pass.name(), &weights);
+            lap(&mut profile, pass.name());
         }
 
         // Read off the converged decisions. Preplacement is a
@@ -309,6 +364,7 @@ impl ConvergentScheduler {
             })
             .collect();
         let priorities: Vec<u32> = dag.ids().map(|i| weights.preferred_time(i).get()).collect();
+        lap(&mut profile, "<readoff>");
         Ok(AssignOutcome {
             assignment,
             priorities,
@@ -324,6 +380,34 @@ impl ConvergentScheduler {
     /// [`ScheduleError`] from the list scheduler.
     pub fn schedule(&self, dag: &Dag, machine: &Machine) -> Result<ScheduleOutcome, ScheduleError> {
         let outcome = self.assign(dag, machine)?;
+        self.listsched(dag, machine, outcome)
+    }
+
+    /// Like [`ConvergentScheduler::schedule`], also collecting a
+    /// per-pass wall-clock [`PassProfile`] (the final list-scheduling
+    /// step appears as the `"<listsched>"` span).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ConvergentScheduler::schedule`].
+    pub fn schedule_profiled(
+        &self,
+        dag: &Dag,
+        machine: &Machine,
+    ) -> Result<(ScheduleOutcome, PassProfile), ScheduleError> {
+        let (outcome, mut profile) = self.assign_profiled(dag, machine)?;
+        let t0 = Instant::now();
+        let out = self.listsched(dag, machine, outcome)?;
+        profile.record("<listsched>", t0.elapsed().as_secs_f64());
+        Ok((out, profile))
+    }
+
+    fn listsched(
+        &self,
+        dag: &Dag,
+        machine: &Machine,
+        outcome: AssignOutcome,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
         let schedule = if self.use_time_priorities {
             ListScheduler::new().schedule(dag, machine, &outcome.assignment, &outcome.priorities)?
         } else {
@@ -514,6 +598,44 @@ mod tests {
                 .unwrap();
             validate(&dag, &m, out.schedule()).unwrap();
             assert_eq!(out.schedule().op(InstrId::new(0)).start.get(), 0);
+        }
+    }
+
+    #[test]
+    fn profiled_schedule_matches_plain_and_reports_spans() {
+        let dag = star_with_preplacement();
+        let m = Machine::chorus_vliw(4);
+        let plain = ConvergentScheduler::vliw_default()
+            .schedule(&dag, &m)
+            .unwrap();
+        let (out, profile) = ConvergentScheduler::vliw_default()
+            .schedule_profiled(&dag, &m)
+            .unwrap();
+        assert_eq!(plain.assignment(), out.assignment());
+        assert_eq!(plain.schedule(), out.schedule());
+        let names: Vec<_> = profile.spans().map(|(n, _, _)| n).collect();
+        assert_eq!(names.first(), Some(&"<init>"));
+        assert!(names.contains(&"INITTIME"));
+        assert!(names.contains(&"<readoff>"));
+        assert_eq!(names.last(), Some(&"<listsched>"));
+        assert!(profile.spans().all(|(_, s, _)| s >= 0.0));
+    }
+
+    #[test]
+    fn reference_map_produces_identical_schedules() {
+        let dag = star_with_preplacement();
+        for (m, mk) in [
+            (
+                Machine::raw(4),
+                ConvergentScheduler::raw_default as fn() -> _,
+            ),
+            (Machine::chorus_vliw(4), ConvergentScheduler::vliw_tuned),
+        ] {
+            let banded = mk().schedule(&dag, &m).unwrap();
+            let dense = mk().with_reference_map(true).schedule(&dag, &m).unwrap();
+            assert_eq!(banded.assignment(), dense.assignment());
+            assert_eq!(banded.schedule(), dense.schedule());
+            assert_eq!(banded.trace(), dense.trace());
         }
     }
 

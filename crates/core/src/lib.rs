@@ -53,6 +53,7 @@
 mod driver;
 mod pass;
 pub mod passes;
+mod profile;
 mod sequence;
 pub mod tuner;
 mod weights;
@@ -61,5 +62,6 @@ pub use driver::{
     AssignOutcome, ConvergenceTrace, ConvergentScheduler, PassRecord, ScheduleOutcome,
 };
 pub use pass::{Pass, PassContext};
+pub use profile::PassProfile;
 pub use sequence::Sequence;
 pub use weights::PreferenceMap;

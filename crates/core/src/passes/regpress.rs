@@ -76,21 +76,26 @@ impl Pass for RegPressure {
         let cap = (f64::from(ctx.machine.registers_per_cluster()) * self.capacity_fraction).max(1.0)
             as usize;
 
-        // Estimated start (preferred time) and death (last consumer's
-        // preferred time, or own finish for leaves) per instruction.
+        // Estimated start (preferred time) per instruction. A value is
+        // live from its producer's finish until its last consumer's
+        // start (or one cycle past the finish for a consumer scheduled
+        // under it); consumer starts are read from the undeferred
+        // estimate, as a hard-assignment approximation.
         let start: Vec<u32> = ctx
             .dag
             .ids()
             .map(|i| ctx.weights.preferred_time(i).get())
             .collect();
-        let death = |i: InstrId, start: &[u32]| -> u32 {
-            let fin = start[i.index()] + ctx.time.latency(i);
-            ctx.dag
+        let interval = |i: InstrId, s: u32| -> (u32, u32) {
+            let fin = s + ctx.time.latency(i);
+            let d = ctx
+                .dag
                 .succs(i)
                 .iter()
-                .map(|&s| start[s.index()].max(fin))
+                .map(|&sc| start[sc.index()].max(fin))
                 .max()
-                .unwrap_or(fin)
+                .unwrap_or(fin);
+            (fin, d.max(fin + 1))
         };
 
         for c in ctx.machine.cluster_ids() {
@@ -103,60 +108,46 @@ impl Pass for RegPressure {
                 .filter(|&i| ctx.weights.preferred_cluster(i) == c)
                 .collect();
             here.sort_by_key(|&i| (start[i.index()], i));
-            let mut moved: Vec<(InstrId, u32)> = Vec::new(); // (instr, new start)
+            // Current (possibly deferred) start and live interval per
+            // member; deferrals update both incrementally.
+            let mut cur: Vec<u32> = here.iter().map(|&i| start[i.index()]).collect();
+            let mut ivs: Vec<(u32, u32)> = here
+                .iter()
+                .zip(&cur)
+                .map(|(&i, &s)| interval(i, s))
+                .collect();
 
             // Sweep time; at each start event check the live estimate.
             for t in 0..n_slots {
-                let live = |moved: &[(InstrId, u32)]| -> Vec<InstrId> {
-                    here.iter()
-                        .copied()
-                        .filter(|&i| {
-                            let s = moved
-                                .iter()
-                                .find(|(m, _)| *m == i)
-                                .map_or(start[i.index()], |&(_, ns)| ns);
-                            let mut st = vec![0u32; ctx.dag.len()];
-                            st.copy_from_slice(&start);
-                            st[i.index()] = s;
-                            let fin = s + ctx.time.latency(i);
-                            let d = death(i, &st).max(fin);
-                            fin <= t && t < d.max(fin + 1)
-                        })
+                let live = |ivs: &[(u32, u32)]| -> Vec<usize> {
+                    (0..here.len())
+                        .filter(|&k| ivs[k].0 <= t && t < ivs[k].1)
                         .collect()
                 };
-                let mut live_now = live(&moved);
+                let mut live_now = live(&ivs);
                 while live_now.len() > cap {
                     // Defer the live producer with the most slack whose
                     // start can still move later.
                     let candidate = live_now
                         .iter()
                         .copied()
-                        .filter(|&i| {
-                            let (_, hi) = ctx.weights.window(i);
-                            let cur = moved
-                                .iter()
-                                .find(|(m, _)| *m == i)
-                                .map_or(start[i.index()], |&(_, ns)| ns);
-                            cur < hi
+                        .filter(|&k| {
+                            let (_, hi) = ctx.weights.window(here[k]);
+                            cur[k] < hi
                         })
-                        .max_by_key(|&i| (ctx.time.slack(i), i));
-                    let Some(i) = candidate else { break };
-                    let cur = moved
-                        .iter()
-                        .find(|(m, _)| *m == i)
-                        .map_or(start[i.index()], |&(_, ns)| ns);
+                        .max_by_key(|&k| (ctx.time.slack(here[k]), here[k]));
+                    let Some(k) = candidate else { break };
+                    let i = here[k];
                     // Penalize everything at or before the current
                     // preferred start so the preference mass moves
                     // later.
                     let (lo, _) = ctx.weights.window(i);
-                    for slot in lo..=cur.min(n_slots - 1) {
+                    for slot in lo..=cur[k].min(n_slots - 1) {
                         ctx.weights.scale_time(i, slot, self.penalty);
                     }
-                    match moved.iter_mut().find(|(m, _)| *m == i) {
-                        Some(entry) => entry.1 = cur + 1,
-                        None => moved.push((i, cur + 1)),
-                    }
-                    live_now = live(&moved);
+                    cur[k] += 1;
+                    ivs[k] = interval(i, cur[k]);
+                    live_now = live(&ivs);
                 }
             }
         }

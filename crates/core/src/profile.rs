@@ -1,0 +1,87 @@
+//! Cheap per-pass wall-clock profiling for the driver.
+//!
+//! [`PassProfile`] aggregates `Instant` spans by span name; the driver
+//! records one span per pass plus the synthetic `"<init>"` (analysis +
+//! map construction), `"<readoff>"` (decision extraction), and
+//! `"<listsched>"` (final list scheduling) spans. Passes that appear
+//! more than once in a sequence (e.g. PATHPROP) accumulate into a
+//! single entry. The profile is only collected on the `*_profiled`
+//! driver entry points, so the normal scheduling path pays nothing.
+
+/// Aggregated per-pass wall-clock spans, in first-seen order.
+#[derive(Clone, Debug, Default)]
+pub struct PassProfile {
+    spans: Vec<(&'static str, f64, u32)>,
+}
+
+impl PassProfile {
+    /// Adds `secs` to the span named `name` (created on first use).
+    pub(crate) fn record(&mut self, name: &'static str, secs: f64) {
+        if let Some(entry) = self.spans.iter_mut().find(|(n, _, _)| *n == name) {
+            entry.1 += secs;
+            entry.2 += 1;
+        } else {
+            self.spans.push((name, secs, 1));
+        }
+    }
+
+    /// `(name, total_seconds, hits)` per span, in first-seen order.
+    pub fn spans(&self) -> impl Iterator<Item = (&'static str, f64, u32)> + '_ {
+        self.spans.iter().copied()
+    }
+
+    /// Total wall-clock seconds across all spans.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.spans.iter().map(|(_, s, _)| s).sum()
+    }
+
+    /// Renders the profile as an aligned text table (name, seconds,
+    /// share, hit count), for `--profile` output.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let total = self.total().max(f64::MIN_POSITIVE);
+        let width = self
+            .spans
+            .iter()
+            .map(|(n, _, _)| n.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = format!(
+            "{:<width$}  {:>12}  {:>6}  {:>4}\n",
+            "pass", "seconds", "share", "hits"
+        );
+        for (name, secs, hits) in &self.spans {
+            out.push_str(&format!(
+                "{name:<width$}  {secs:>12.6}  {:>5.1}%  {hits:>4}\n",
+                100.0 * secs / total
+            ));
+        }
+        out.push_str(&format!("{:<width$}  {:>12.6}\n", "total", self.total()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_aggregate_by_name_in_order() {
+        let mut p = PassProfile::default();
+        p.record("<init>", 0.5);
+        p.record("PATH", 1.0);
+        p.record("PATHPROP", 0.25);
+        p.record("PATHPROP", 0.25);
+        let spans: Vec<_> = p.spans().collect();
+        assert_eq!(
+            spans,
+            vec![("<init>", 0.5, 1), ("PATH", 1.0, 1), ("PATHPROP", 0.5, 2)]
+        );
+        assert!((p.total() - 2.0).abs() < 1e-12);
+        let table = p.render_table();
+        assert!(table.contains("PATHPROP"));
+        assert!(table.contains("total"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Incremental argmax caches shared by the banded and dense cores.
+//!
+//! The cache logic is identical for both representations; only the
+//! *value lookups* differ, so every helper here is a free function
+//! taking the per-instruction [`Cell`] plus whatever values it needs.
+//! Keeping them free functions (rather than methods) also lets the
+//! cores call them while a row is mutably borrowed: the cell and the
+//! row are disjoint fields.
+
+use std::cell::Cell;
+
+/// Weights below this threshold are treated as zero when normalizing.
+pub(crate) const EPS: f64 = 1e-12;
+
+/// Sentinel for "no runner-up cluster" in the argmax cache.
+pub(crate) const NO_CLUSTER: u16 = u16::MAX;
+
+/// Memoized argmax results for one instruction. `Copy` so it lives in
+/// a [`Cell`], letting `&self` readers fill it lazily.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ArgmaxCache {
+    /// Valid bit for `top_cluster` / `second_cluster`.
+    pub cluster_valid: bool,
+    /// Valid bit for `top_time`.
+    pub time_valid: bool,
+    pub top_cluster: u16,
+    pub second_cluster: u16,
+    pub top_time: u32,
+}
+
+impl ArgmaxCache {
+    pub(crate) const INVALID: ArgmaxCache = ArgmaxCache {
+        cluster_valid: false,
+        time_valid: false,
+        top_cluster: 0,
+        second_cluster: NO_CLUSTER,
+        top_time: 0,
+    };
+}
+
+/// Fills the cluster half of the cache if it is stale, scanning the
+/// raw cluster marginals `sums` (length `n_clusters`) under pending
+/// scale `s`, and returns `(top, second)`. The scan and tie-breaks
+/// mirror a fresh eager scan of the visible values.
+pub(crate) fn cluster_cache(cell: &Cell<ArgmaxCache>, sums: &[f64], s: f64) -> (u16, u16) {
+    let mut cache = cell.get();
+    if !cache.cluster_valid {
+        let mut best = 0usize;
+        for c in 1..sums.len() {
+            if sums[c] * s > sums[best] * s + EPS {
+                best = c;
+            }
+        }
+        let mut second: Option<usize> = None;
+        for (c, &v) in sums.iter().enumerate() {
+            if c == best {
+                continue;
+            }
+            match second {
+                Some(b) if v * s <= sums[b] * s + EPS => {}
+                _ => second = Some(c),
+            }
+        }
+        cache.top_cluster = best as u16;
+        cache.second_cluster = second.map_or(NO_CLUSTER, |c| c as u16);
+        cache.cluster_valid = true;
+        cell.set(cache);
+    }
+    (cache.top_cluster, cache.second_cluster)
+}
+
+/// Records the effect of a single-cluster marginal change on the
+/// cached argmax. Exact: the cache is kept only when the old scan
+/// result provably still holds.
+pub(crate) fn note_cluster_write(cell: &Cell<ArgmaxCache>, c: usize, increased: bool) {
+    let mut cache = cell.get();
+    if !cache.cluster_valid {
+        return;
+    }
+    let top = cache.top_cluster as usize;
+    let keep = if increased {
+        // Boosting the leader changes neither the leader nor the
+        // best-of-the-rest.
+        c == top
+    } else {
+        // Shrinking a cluster that is neither top nor runner-up
+        // cannot promote it and cannot demote either of them.
+        c != top && cache.second_cluster != NO_CLUSTER && c != cache.second_cluster as usize
+    };
+    if !keep {
+        cache.cluster_valid = false;
+        cell.set(cache);
+    }
+}
+
+/// Records the effect of a single-time-slot marginal change on the
+/// cached argmax. Exact, including the in-place `top_time` update when
+/// a slot overtakes the leader by more than `EPS`. `raw_time` must
+/// return the raw (unscaled) time marginal of any slot — for a banded
+/// row that is exactly `0.0` outside the band.
+pub(crate) fn note_time_write(
+    cell: &Cell<ArgmaxCache>,
+    t: usize,
+    increased: bool,
+    s: f64,
+    raw_time: impl Fn(usize) -> f64,
+) {
+    let mut cache = cell.get();
+    if !cache.time_valid {
+        return;
+    }
+    let top = cache.top_time as usize;
+    if t == top {
+        if !increased {
+            cache.time_valid = false;
+            cell.set(cache);
+        }
+        return;
+    }
+    if !increased {
+        // Shrinking a non-leader slot never changes the scan.
+        return;
+    }
+    let vt = raw_time(t) * s;
+    let vtop = raw_time(top) * s;
+    if vt > vtop + EPS {
+        // `t` now beats the old leader by more than the tie band,
+        // so a fresh scan would end exactly at `t`.
+        cache.top_time = t as u32;
+        cell.set(cache);
+    } else if t < top && vt > vtop - EPS {
+        // An earlier slot climbed into the tie band; the
+        // earliest-slot tie-break could now pick it. Rescan.
+        cache.time_valid = false;
+        cell.set(cache);
+    }
+}
+
+pub(crate) fn invalidate_cluster(cell: &Cell<ArgmaxCache>) {
+    let mut cache = cell.get();
+    if cache.cluster_valid {
+        cache.cluster_valid = false;
+        cell.set(cache);
+    }
+}
+
+pub(crate) fn invalidate_time(cell: &Cell<ArgmaxCache>) {
+    let mut cache = cell.get();
+    if cache.time_valid {
+        cache.time_valid = false;
+        cell.set(cache);
+    }
+}

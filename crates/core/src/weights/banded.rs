@@ -1,0 +1,699 @@
+//! The banded core: per-instruction storage proportional to the
+//! instruction's slack band instead of the full critical-path length.
+//!
+//! Each row is either [`Row::Uniform`] — a closed form for the state
+//! every instruction starts in and returns to after `reset_uniform`,
+//! costing O(1) storage — or a [`Band`]: `n_clusters × width` cells
+//! anchored at `lo`. Reads outside the band return exactly `0.0`;
+//! absolute writes outside it grow the band (with an amortized margin,
+//! clamped to `[0, n_slots)`); `set_window` shrinks it.
+//!
+//! Every operation is written to be **bit-exact** with [`DenseCore`]
+//! under identical op histories: the dense row is zero outside the
+//! band, `x + 0.0 == x` for the non-negative raw weights, and all
+//! marginal summations here visit cells in the same order the dense
+//! loops do, so skipping the zeros changes no partial sum.
+//!
+//! [`DenseCore`]: super::dense::DenseCore
+
+use std::cell::Cell;
+
+use convergent_ir::{ClusterId, InstrId};
+
+use super::argmax::{self, ArgmaxCache, EPS, NO_CLUSTER};
+use super::{SCALE_FOLD_MAX, SCALE_FOLD_MIN};
+
+/// A dense block of `n_clusters × width` raw cells anchored at `lo`.
+#[derive(Clone, Debug)]
+struct Band {
+    lo: u32,
+    /// Cluster-major cells: `(c, t)` lives at `c·width + (t − lo)`.
+    w: Vec<f64>,
+    /// Raw time marginals for the band slots (`width` entries).
+    tsum: Vec<f64>,
+}
+
+impl Band {
+    #[inline]
+    fn width(&self) -> usize {
+        self.tsum.len()
+    }
+
+    #[inline]
+    fn hi(&self) -> u32 {
+        self.lo + self.width() as u32 - 1
+    }
+
+    #[inline]
+    fn contains(&self, t: u32) -> bool {
+        t >= self.lo && t <= self.hi()
+    }
+}
+
+/// One instruction's raw weights.
+#[derive(Clone, Debug)]
+enum Row {
+    /// Every live cell inside the window holds `per`; the raw time
+    /// marginal is `tsum` on every window slot and `0` elsewhere. A
+    /// cluster is live iff its raw `cluster_sum` entry is nonzero
+    /// (`cluster_ok` is *not* consulted: `forbid_cluster` flips the
+    /// flag before squashing the weights, so the flag can be ahead of
+    /// the cell state).
+    Uniform {
+        per: f64,
+        tsum: f64,
+    },
+    Band(Band),
+}
+
+/// Grows `b` to cover slot `t`, padding new cells with exact zeros.
+/// The growing side gets a margin of the current width (clamped to
+/// `[0, n_slots)`) so `k` consecutive out-of-band writes reallocate
+/// O(log k) times, not k.
+fn grow_band(b: &mut Band, n_clusters: usize, n_slots: usize, t: usize) {
+    let width = b.width();
+    let cur_lo = b.lo as usize;
+    let cur_hi = cur_lo + width - 1;
+    if (cur_lo..=cur_hi).contains(&t) {
+        return;
+    }
+    let new_lo = if t < cur_lo {
+        t.saturating_sub(width)
+    } else {
+        cur_lo
+    };
+    let new_hi = if t > cur_hi {
+        (t + width).min(n_slots - 1)
+    } else {
+        cur_hi
+    };
+    let new_w = new_hi - new_lo + 1;
+    let off = cur_lo - new_lo;
+    let mut w = vec![0.0; n_clusters * new_w];
+    for c in 0..n_clusters {
+        w[c * new_w + off..c * new_w + off + width]
+            .copy_from_slice(&b.w[c * width..(c + 1) * width]);
+    }
+    let mut tsum = vec![0.0; new_w];
+    tsum[off..off + width].copy_from_slice(&b.tsum);
+    b.lo = new_lo as u32;
+    b.w = w;
+    b.tsum = tsum;
+}
+
+/// Shrinks `b` to exactly `[lo, hi]` (which the band always covers —
+/// densification anchors at the window and growth only widens), in
+/// place, returning whether any discarded cell was nonzero.
+fn shrink_band(b: &mut Band, n_clusters: usize, lo: u32, hi: u32) -> bool {
+    let bw = b.width();
+    debug_assert!(b.lo <= lo && hi <= b.hi());
+    if b.lo == lo && b.hi() == hi {
+        return false;
+    }
+    let shift = (lo - b.lo) as usize;
+    let new_w = (hi - lo + 1) as usize;
+    let mut any_removed = false;
+    for c in 0..n_clusters {
+        for k in 0..bw {
+            if (k < shift || k >= shift + new_w) && b.w[c * bw + k] != 0.0 {
+                any_removed = true;
+            }
+        }
+    }
+    // Compact ascending: cluster c's destination `c·new_w` never
+    // overruns cluster c+1's source `(c+1)·bw + shift`.
+    for c in 0..n_clusters {
+        b.w.copy_within(c * bw + shift..c * bw + shift + new_w, c * new_w);
+    }
+    b.w.truncate(n_clusters * new_w);
+    b.tsum.copy_within(shift..shift + new_w, 0);
+    b.tsum.truncate(new_w);
+    b.lo = lo;
+    any_removed
+}
+
+/// Banded storage with lazy normalization; the default representation
+/// behind [`crate::PreferenceMap`].
+#[derive(Clone, Debug)]
+pub(crate) struct BandedCore {
+    n_instrs: usize,
+    n_clusters: usize,
+    n_slots: usize,
+    rows: Vec<Row>,
+    /// Raw cluster marginals, flat `n_instrs × n_clusters`.
+    cluster_sum: Vec<f64>,
+    total: Vec<f64>,
+    /// Pending per-instruction normalization factor.
+    scale: Vec<f64>,
+    window: Vec<(u32, u32)>,
+    cluster_ok: Vec<bool>,
+    argmax: Vec<Cell<ArgmaxCache>>,
+}
+
+impl BandedCore {
+    pub(crate) fn new(n_instrs: usize, n_clusters: usize, n_slots: usize) -> Self {
+        assert!(n_instrs > 0, "need at least one instruction");
+        assert!(n_clusters > 0, "need at least one cluster");
+        assert!(n_slots > 0, "need at least one time slot");
+        assert!(n_clusters < NO_CLUSTER as usize, "too many clusters");
+        let per = 1.0 / (n_clusters * n_slots) as f64;
+        BandedCore {
+            n_instrs,
+            n_clusters,
+            n_slots,
+            rows: vec![
+                Row::Uniform {
+                    per,
+                    tsum: per * n_clusters as f64,
+                };
+                n_instrs
+            ],
+            cluster_sum: vec![per * n_slots as f64; n_instrs * n_clusters],
+            total: vec![1.0; n_instrs],
+            scale: vec![1.0; n_instrs],
+            window: vec![(0, n_slots as u32 - 1); n_instrs],
+            cluster_ok: vec![true; n_instrs * n_clusters],
+            argmax: vec![Cell::new(ArgmaxCache::INVALID); n_instrs],
+        }
+    }
+
+    pub(crate) fn n_instrs(&self) -> usize {
+        self.n_instrs
+    }
+
+    pub(crate) fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    pub(crate) fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+
+    /// The raw (unscaled) cell value — exactly what the dense core
+    /// holds at `(i, c, t)`.
+    fn raw_get(&self, ii: usize, c: usize, t: usize) -> f64 {
+        debug_assert!(ii < self.n_instrs && c < self.n_clusters && t < self.n_slots);
+        match &self.rows[ii] {
+            Row::Uniform { per, .. } => {
+                let (lo, hi) = self.window[ii];
+                if (t as u32) >= lo
+                    && (t as u32) <= hi
+                    && self.cluster_sum[ii * self.n_clusters + c] != 0.0
+                {
+                    *per
+                } else {
+                    0.0
+                }
+            }
+            Row::Band(b) => {
+                if b.contains(t as u32) {
+                    b.w[c * b.width() + (t - b.lo as usize)]
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// The raw time marginal — exactly the dense core's `time_sum[t]`
+    /// (zero outside the band, proven by the band invariant).
+    fn raw_time(&self, ii: usize, t: usize) -> f64 {
+        match &self.rows[ii] {
+            Row::Uniform { tsum, .. } => {
+                let (lo, hi) = self.window[ii];
+                if (t as u32) >= lo && (t as u32) <= hi {
+                    *tsum
+                } else {
+                    0.0
+                }
+            }
+            Row::Band(b) => {
+                if b.contains(t as u32) {
+                    b.tsum[t - b.lo as usize]
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Converts a `Uniform` row into an equivalent `Band` anchored at
+    /// the current window (cells and marginals keep their exact bits).
+    fn densify(&mut self, ii: usize) {
+        if let Row::Uniform { per, tsum } = self.rows[ii] {
+            let (lo, hi) = self.window[ii];
+            let width = (hi - lo + 1) as usize;
+            let mut w = vec![0.0; self.n_clusters * width];
+            for c in 0..self.n_clusters {
+                if self.cluster_sum[ii * self.n_clusters + c] != 0.0 {
+                    w[c * width..(c + 1) * width].fill(per);
+                }
+            }
+            self.rows[ii] = Row::Band(Band {
+                lo,
+                w,
+                tsum: vec![tsum; width],
+            });
+        }
+    }
+
+    pub(crate) fn get(&self, i: InstrId, c: ClusterId, t: u32) -> f64 {
+        self.raw_get(i.index(), c.index(), t as usize) * self.scale[i.index()]
+    }
+
+    pub(crate) fn set(&mut self, i: InstrId, c: ClusterId, t: u32, value: f64) {
+        assert!(value.is_finite() && value >= 0.0, "weights are ≥ 0");
+        let ii = i.index();
+        let cc = c.index();
+        let tt = t as usize;
+        let raw = value / self.scale[ii];
+        let delta = raw - self.raw_get(ii, cc, tt);
+        if delta == 0.0 {
+            return;
+        }
+        self.densify(ii);
+        let n_clusters = self.n_clusters;
+        let n_slots = self.n_slots;
+        let Row::Band(b) = &mut self.rows[ii] else {
+            unreachable!("densify leaves a band")
+        };
+        grow_band(b, n_clusters, n_slots, tt);
+        let width = b.width();
+        let off = tt - b.lo as usize;
+        b.w[cc * width + off] = raw;
+        b.tsum[off] += delta;
+        self.cluster_sum[ii * n_clusters + cc] += delta;
+        self.total[ii] += delta;
+        argmax::note_cluster_write(&self.argmax[ii], cc, delta > 0.0);
+        let lo = b.lo as usize;
+        let tsum = &b.tsum;
+        argmax::note_time_write(&self.argmax[ii], tt, delta > 0.0, self.scale[ii], |t| {
+            if (lo..lo + tsum.len()).contains(&t) {
+                tsum[t - lo]
+            } else {
+                0.0
+            }
+        });
+    }
+
+    pub(crate) fn scale(&mut self, i: InstrId, c: ClusterId, t: u32, factor: f64) {
+        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
+        let ii = i.index();
+        let cc = c.index();
+        let tt = t as usize;
+        let old = self.raw_get(ii, cc, tt);
+        let new = old * factor;
+        let delta = new - old;
+        if delta == 0.0 {
+            return;
+        }
+        // `delta ≠ 0` implies the cell is nonzero, hence in the band
+        // (or in a live uniform window, which densify anchors over).
+        self.densify(ii);
+        let n_clusters = self.n_clusters;
+        let Row::Band(b) = &mut self.rows[ii] else {
+            unreachable!("densify leaves a band")
+        };
+        debug_assert!(b.contains(t));
+        let width = b.width();
+        let off = tt - b.lo as usize;
+        b.w[cc * width + off] = new;
+        b.tsum[off] += delta;
+        self.cluster_sum[ii * n_clusters + cc] += delta;
+        self.total[ii] += delta;
+        argmax::note_cluster_write(&self.argmax[ii], cc, delta > 0.0);
+        let lo = b.lo as usize;
+        let tsum = &b.tsum;
+        argmax::note_time_write(&self.argmax[ii], tt, delta > 0.0, self.scale[ii], |t| {
+            if (lo..lo + tsum.len()).contains(&t) {
+                tsum[t - lo]
+            } else {
+                0.0
+            }
+        });
+    }
+
+    pub(crate) fn scale_cluster(&mut self, i: InstrId, c: ClusterId, factor: f64) {
+        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
+        let ii = i.index();
+        let cc = c.index();
+        let csk = ii * self.n_clusters + cc;
+        if let Row::Uniform { per, .. } = &self.rows[ii] {
+            let per = *per;
+            if factor == 1.0 || per == 0.0 || self.cluster_sum[csk] == 0.0 {
+                // The dense loop would find every cell unchanged.
+                return;
+            }
+            if factor == 0.0 {
+                // The cluster goes dead; the row stays uniform. The
+                // per-slot delta the dense loop applies is the same on
+                // every window slot, so one shared marginal suffices.
+                if let Row::Uniform { tsum, .. } = &mut self.rows[ii] {
+                    *tsum += 0.0 - per;
+                }
+                self.cluster_sum[csk] = 0.0;
+                self.total[ii] = self.cluster_sum[ii * self.n_clusters..(ii + 1) * self.n_clusters]
+                    .iter()
+                    .sum();
+                argmax::note_cluster_write(&self.argmax[ii], cc, false);
+                argmax::invalidate_time(&self.argmax[ii]);
+                return;
+            }
+            self.densify(ii);
+        }
+        let Row::Band(b) = &mut self.rows[ii] else {
+            unreachable!("densify leaves a band")
+        };
+        let width = b.width();
+        let old_sum = self.cluster_sum[csk];
+        let mut new_sum = 0.0;
+        let mut changed = false;
+        for k in 0..width {
+            let old = b.w[cc * width + k];
+            let new = old * factor;
+            if new != old {
+                b.w[cc * width + k] = new;
+                b.tsum[k] += new - old;
+                changed = true;
+            }
+            new_sum += new;
+        }
+        if !changed {
+            return;
+        }
+        // Same exact-rebuild discipline as the dense core: assign the
+        // freshly accumulated marginal, re-sum the total.
+        self.cluster_sum[csk] = new_sum;
+        self.total[ii] = self.cluster_sum[ii * self.n_clusters..(ii + 1) * self.n_clusters]
+            .iter()
+            .sum();
+        argmax::note_cluster_write(&self.argmax[ii], cc, new_sum > old_sum);
+        argmax::invalidate_time(&self.argmax[ii]);
+    }
+
+    pub(crate) fn scale_time(&mut self, i: InstrId, t: u32, factor: f64) {
+        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
+        let ii = i.index();
+        let tt = t as usize;
+        debug_assert!(tt < self.n_slots);
+        if let Row::Uniform { per, .. } = &self.rows[ii] {
+            let per = *per;
+            let (lo, hi) = self.window[ii];
+            let base = ii * self.n_clusters;
+            let any_live = self.cluster_sum[base..base + self.n_clusters]
+                .iter()
+                .any(|&v| v != 0.0);
+            if factor == 1.0 || per == 0.0 || !any_live || (t < lo || t > hi) {
+                return; // dense: every cell at `t` unchanged
+            }
+            self.densify(ii);
+        }
+        let n_clusters = self.n_clusters;
+        let Row::Band(b) = &mut self.rows[ii] else {
+            unreachable!("densify leaves a band")
+        };
+        if !b.contains(t) {
+            return; // all cells at `t` are zero
+        }
+        let width = b.width();
+        let off = tt - b.lo as usize;
+        let old_sum = b.tsum[off];
+        let mut new_sum = 0.0;
+        let mut changed = false;
+        for c in 0..n_clusters {
+            let old = b.w[c * width + off];
+            let new = old * factor;
+            if new != old {
+                b.w[c * width + off] = new;
+                self.cluster_sum[ii * n_clusters + c] += new - old;
+                changed = true;
+            }
+            new_sum += new;
+        }
+        if !changed {
+            return;
+        }
+        b.tsum[off] = new_sum;
+        self.total[ii] += new_sum - old_sum;
+        argmax::invalidate_cluster(&self.argmax[ii]);
+        let lo = b.lo as usize;
+        let tsum = &b.tsum;
+        argmax::note_time_write(
+            &self.argmax[ii],
+            tt,
+            new_sum > old_sum,
+            self.scale[ii],
+            |t| {
+                if (lo..lo + tsum.len()).contains(&t) {
+                    tsum[t - lo]
+                } else {
+                    0.0
+                }
+            },
+        );
+    }
+
+    pub(crate) fn set_window(&mut self, i: InstrId, lo: u32, hi: u32) {
+        assert!(lo <= hi, "window must be non-empty");
+        assert!((hi as usize) < self.n_slots, "window exceeds time slots");
+        let ii = i.index();
+        let (old_lo, old_hi) = self.window[ii];
+        let lo = lo.max(old_lo);
+        let hi = hi.min(old_hi);
+        assert!(lo <= hi, "window must be non-empty");
+        self.window[ii] = (lo, hi);
+        let n_clusters = self.n_clusters;
+        let any_removed = match &mut self.rows[ii] {
+            Row::Uniform { per, .. } => {
+                let removed_slots = (old_hi - old_lo) != (hi - lo);
+                let base = ii * n_clusters;
+                let any_live = self.cluster_sum[base..base + n_clusters]
+                    .iter()
+                    .any(|&v| v != 0.0);
+                removed_slots && *per != 0.0 && any_live
+            }
+            Row::Band(b) => shrink_band(b, n_clusters, lo, hi),
+        };
+        if any_removed {
+            // Rebuild each cluster marginal from the surviving cells in
+            // ascending `t` order, exactly as the dense core does (its
+            // zeroed out-of-window cells contribute nothing bitwise).
+            match &self.rows[ii] {
+                Row::Uniform { per, .. } => {
+                    let width = (hi - lo + 1) as usize;
+                    let mut live_sum = 0.0;
+                    for _ in 0..width {
+                        live_sum += *per;
+                    }
+                    for c in 0..n_clusters {
+                        if self.cluster_sum[ii * n_clusters + c] != 0.0 {
+                            self.cluster_sum[ii * n_clusters + c] = live_sum;
+                        }
+                    }
+                }
+                Row::Band(b) => {
+                    let width = b.width();
+                    for c in 0..n_clusters {
+                        let mut sum = 0.0;
+                        for k in 0..width {
+                            sum += b.w[c * width + k];
+                        }
+                        self.cluster_sum[ii * n_clusters + c] = sum;
+                    }
+                }
+            }
+            self.total[ii] = self.cluster_sum[ii * n_clusters..(ii + 1) * n_clusters]
+                .iter()
+                .sum();
+            argmax::invalidate_cluster(&self.argmax[ii]);
+            let cache = self.argmax[ii].get();
+            if cache.time_valid && !(lo..=hi).contains(&cache.top_time) {
+                argmax::invalidate_time(&self.argmax[ii]);
+            }
+        }
+    }
+
+    pub(crate) fn window(&self, i: InstrId) -> (u32, u32) {
+        self.window[i.index()]
+    }
+
+    /// The current band extent of `i` (equals the window for rows
+    /// still in uniform closed form).
+    pub(crate) fn band(&self, i: InstrId) -> (u32, u32) {
+        match &self.rows[i.index()] {
+            Row::Uniform { .. } => self.window[i.index()],
+            Row::Band(b) => (b.lo, b.hi()),
+        }
+    }
+
+    /// Raw `f64` weight cells currently stored across all rows: one
+    /// for a uniform row, `n_clusters × width` for a band.
+    pub(crate) fn stored_cells(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| match r {
+                Row::Uniform { .. } => 1,
+                Row::Band(b) => b.w.len(),
+            })
+            .sum()
+    }
+
+    pub(crate) fn forbid_cluster(&mut self, i: InstrId, c: ClusterId) {
+        self.cluster_ok[i.index() * self.n_clusters + c.index()] = false;
+        self.scale_cluster(i, c, 0.0);
+    }
+
+    pub(crate) fn cluster_feasible(&self, i: InstrId, c: ClusterId) -> bool {
+        self.cluster_ok[i.index() * self.n_clusters + c.index()]
+    }
+
+    pub(crate) fn cluster_weight(&self, i: InstrId, c: ClusterId) -> f64 {
+        self.cluster_sum[i.index() * self.n_clusters + c.index()] * self.scale[i.index()]
+    }
+
+    pub(crate) fn time_weight(&self, i: InstrId, t: u32) -> f64 {
+        self.raw_time(i.index(), t as usize) * self.scale[i.index()]
+    }
+
+    pub(crate) fn total(&self, i: InstrId) -> f64 {
+        self.total[i.index()] * self.scale[i.index()]
+    }
+
+    pub(crate) fn top2(&self, i: InstrId) -> (u16, u16) {
+        let ii = i.index();
+        let base = ii * self.n_clusters;
+        argmax::cluster_cache(
+            &self.argmax[ii],
+            &self.cluster_sum[base..base + self.n_clusters],
+            self.scale[ii],
+        )
+    }
+
+    pub(crate) fn top_time(&self, i: InstrId) -> u32 {
+        let ii = i.index();
+        let cell = &self.argmax[ii];
+        let mut cache = cell.get();
+        if !cache.time_valid {
+            let s = self.scale[ii];
+            let best = match &self.rows[ii] {
+                Row::Uniform { tsum, .. } => {
+                    let (lo, hi) = self.window[ii];
+                    let v = *tsum;
+                    if lo > 0 {
+                        // Slot 0 (zero) leads; the first window slot
+                        // takes over iff it clears the tie band, and
+                        // later window slots only tie it.
+                        if v * s > EPS {
+                            lo as usize
+                        } else {
+                            0
+                        }
+                    } else if (hi as usize) + 1 < self.n_slots && 0.0 > v * s + EPS {
+                        // A (numerically) negative marginal hands the
+                        // lead to the first exactly-zero slot past the
+                        // window, as the dense scan would.
+                        hi as usize + 1
+                    } else {
+                        0
+                    }
+                }
+                Row::Band(b) => {
+                    let lo = b.lo as usize;
+                    let mut best = 0usize;
+                    let mut bestv = if lo == 0 { b.tsum[0] } else { 0.0 };
+                    for (k, &v) in b.tsum.iter().enumerate() {
+                        let t = lo + k;
+                        if t == 0 {
+                            continue;
+                        }
+                        if v * s > bestv * s + EPS {
+                            best = t;
+                            bestv = v;
+                        }
+                    }
+                    // Dense also scans the exactly-zero slots past the
+                    // band; they win only over a negative leader.
+                    let after = lo + b.width();
+                    if after < self.n_slots && 0.0 > bestv * s + EPS {
+                        best = after;
+                    }
+                    best
+                }
+            };
+            cache.top_time = best as u32;
+            cache.time_valid = true;
+            cell.set(cache);
+        }
+        cache.top_time
+    }
+
+    pub(crate) fn normalize(&mut self, i: InstrId) {
+        let ii = i.index();
+        let tot = self.total[ii] * self.scale[ii];
+        if tot > EPS {
+            let inv = 1.0 / self.total[ii];
+            self.scale[ii] = inv;
+            if !(SCALE_FOLD_MIN..=SCALE_FOLD_MAX).contains(&inv) {
+                self.materialize(i);
+            }
+        } else {
+            self.reset_uniform(i);
+        }
+    }
+
+    pub(crate) fn materialize(&mut self, i: InstrId) {
+        let ii = i.index();
+        let s = self.scale[ii];
+        if s == 1.0 {
+            return;
+        }
+        match &mut self.rows[ii] {
+            Row::Uniform { per, tsum } => {
+                *per *= s;
+                *tsum *= s;
+            }
+            Row::Band(b) => {
+                for v in &mut b.w {
+                    *v *= s;
+                }
+                for v in &mut b.tsum {
+                    *v *= s;
+                }
+            }
+        }
+        for c in 0..self.n_clusters {
+            self.cluster_sum[ii * self.n_clusters + c] *= s;
+        }
+        self.total[ii] *= s;
+        self.scale[ii] = 1.0;
+        // Visible values are unchanged, so cached argmaxes stay valid.
+    }
+
+    pub(crate) fn reset_uniform(&mut self, i: InstrId) {
+        let ii = i.index();
+        let (lo, hi) = self.window[ii];
+        let n_feasible = self.cluster_ok[ii * self.n_clusters..(ii + 1) * self.n_clusters]
+            .iter()
+            .filter(|&&ok| ok)
+            .count();
+        // A machine mismatch could leave no feasible cluster; fall back
+        // to all clusters rather than a degenerate all-zero row.
+        let use_all = n_feasible == 0;
+        let n_live = if use_all { self.n_clusters } else { n_feasible };
+        let slots = (hi - lo + 1) as usize;
+        let per = 1.0 / (n_live * slots) as f64;
+        for c in 0..self.n_clusters {
+            let live = use_all || self.cluster_ok[ii * self.n_clusters + c];
+            self.cluster_sum[ii * self.n_clusters + c] =
+                if live { per * slots as f64 } else { 0.0 };
+        }
+        // Back to the O(1) closed form — this also releases the band.
+        self.rows[ii] = Row::Uniform {
+            per,
+            tsum: per * n_live as f64,
+        };
+        self.total[ii] = 1.0;
+        self.scale[ii] = 1.0;
+        self.argmax[ii].set(ArgmaxCache::INVALID);
+    }
+}

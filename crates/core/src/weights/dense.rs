@@ -1,0 +1,380 @@
+//! The dense reference core: one `n_clusters × n_slots` row per
+//! instruction, exactly the layout the banded core compresses.
+//!
+//! This is kept (a) as the differential-testing oracle for the banded
+//! core — the two must agree *bit for bit* under identical op
+//! sequences — and (b) behind `PreferenceMap::new_dense` /
+//! `ConvergentScheduler::with_reference_map` so any schedule can be
+//! re-derived on the dense layout end to end.
+
+use std::cell::Cell;
+
+use convergent_ir::{ClusterId, InstrId};
+
+use super::argmax::{self, ArgmaxCache, EPS, NO_CLUSTER};
+use super::{SCALE_FOLD_MAX, SCALE_FOLD_MIN};
+
+/// Dense storage with lazy normalization (see the module docs of
+/// [`crate::PreferenceMap`]).
+#[derive(Clone, Debug)]
+pub(crate) struct DenseCore {
+    n_instrs: usize,
+    n_clusters: usize,
+    n_slots: usize,
+    /// Raw weights; the visible value is `w[k] * scale[i]`.
+    w: Vec<f64>,
+    /// Raw marginals, same scaling convention as `w`.
+    cluster_sum: Vec<f64>,
+    time_sum: Vec<f64>,
+    total: Vec<f64>,
+    /// Pending per-instruction normalization factor.
+    scale: Vec<f64>,
+    window: Vec<(u32, u32)>,
+    cluster_ok: Vec<bool>,
+    argmax: Vec<Cell<ArgmaxCache>>,
+}
+
+impl DenseCore {
+    pub(crate) fn new(n_instrs: usize, n_clusters: usize, n_slots: usize) -> Self {
+        assert!(n_instrs > 0, "need at least one instruction");
+        assert!(n_clusters > 0, "need at least one cluster");
+        assert!(n_slots > 0, "need at least one time slot");
+        assert!(n_clusters < NO_CLUSTER as usize, "too many clusters");
+        let per = 1.0 / (n_clusters * n_slots) as f64;
+        DenseCore {
+            n_instrs,
+            n_clusters,
+            n_slots,
+            w: vec![per; n_instrs * n_clusters * n_slots],
+            cluster_sum: vec![per * n_slots as f64; n_instrs * n_clusters],
+            time_sum: vec![per * n_clusters as f64; n_instrs * n_slots],
+            total: vec![1.0; n_instrs],
+            scale: vec![1.0; n_instrs],
+            window: vec![(0, n_slots as u32 - 1); n_instrs],
+            cluster_ok: vec![true; n_instrs * n_clusters],
+            argmax: vec![Cell::new(ArgmaxCache::INVALID); n_instrs],
+        }
+    }
+
+    pub(crate) fn n_instrs(&self) -> usize {
+        self.n_instrs
+    }
+
+    pub(crate) fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    pub(crate) fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+
+    #[inline]
+    fn idx(&self, i: InstrId, c: ClusterId, t: u32) -> usize {
+        debug_assert!(i.index() < self.n_instrs);
+        debug_assert!(c.index() < self.n_clusters);
+        debug_assert!((t as usize) < self.n_slots);
+        (i.index() * self.n_clusters + c.index()) * self.n_slots + t as usize
+    }
+
+    pub(crate) fn get(&self, i: InstrId, c: ClusterId, t: u32) -> f64 {
+        self.w[self.idx(i, c, t)] * self.scale[i.index()]
+    }
+
+    pub(crate) fn set(&mut self, i: InstrId, c: ClusterId, t: u32, value: f64) {
+        assert!(value.is_finite() && value >= 0.0, "weights are ≥ 0");
+        let ii = i.index();
+        let k = self.idx(i, c, t);
+        let raw = value / self.scale[ii];
+        let delta = raw - self.w[k];
+        if delta == 0.0 {
+            return;
+        }
+        self.w[k] = raw;
+        self.cluster_sum[ii * self.n_clusters + c.index()] += delta;
+        self.time_sum[ii * self.n_slots + t as usize] += delta;
+        self.total[ii] += delta;
+        argmax::note_cluster_write(&self.argmax[ii], c.index(), delta > 0.0);
+        let base = ii * self.n_slots;
+        let sums = &self.time_sum[base..base + self.n_slots];
+        argmax::note_time_write(
+            &self.argmax[ii],
+            t as usize,
+            delta > 0.0,
+            self.scale[ii],
+            |t| sums[t],
+        );
+    }
+
+    pub(crate) fn scale(&mut self, i: InstrId, c: ClusterId, t: u32, factor: f64) {
+        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
+        let ii = i.index();
+        let k = self.idx(i, c, t);
+        let old = self.w[k];
+        let new = old * factor;
+        let delta = new - old;
+        if delta == 0.0 {
+            return;
+        }
+        self.w[k] = new;
+        self.cluster_sum[ii * self.n_clusters + c.index()] += delta;
+        self.time_sum[ii * self.n_slots + t as usize] += delta;
+        self.total[ii] += delta;
+        argmax::note_cluster_write(&self.argmax[ii], c.index(), delta > 0.0);
+        let base = ii * self.n_slots;
+        let sums = &self.time_sum[base..base + self.n_slots];
+        argmax::note_time_write(
+            &self.argmax[ii],
+            t as usize,
+            delta > 0.0,
+            self.scale[ii],
+            |t| sums[t],
+        );
+    }
+
+    pub(crate) fn scale_cluster(&mut self, i: InstrId, c: ClusterId, factor: f64) {
+        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
+        let ii = i.index();
+        let base = self.idx(i, c, 0);
+        let old_sum = self.cluster_sum[ii * self.n_clusters + c.index()];
+        let mut new_sum = 0.0;
+        let mut changed = false;
+        for t in 0..self.n_slots {
+            let old = self.w[base + t];
+            let new = old * factor;
+            if new != old {
+                self.w[base + t] = new;
+                self.time_sum[ii * self.n_slots + t] += new - old;
+                changed = true;
+            }
+            new_sum += new;
+        }
+        if !changed {
+            return;
+        }
+        // Rebuild the scaled marginal and the total from scratch rather
+        // than adding a delta: a delta leaves an absolute error behind
+        // that sustained shrinking (factor « 1, round after round)
+        // amplifies relative to the shrinking true value.
+        self.cluster_sum[ii * self.n_clusters + c.index()] = new_sum;
+        self.total[ii] = self.cluster_sum[ii * self.n_clusters..(ii + 1) * self.n_clusters]
+            .iter()
+            .sum();
+        argmax::note_cluster_write(&self.argmax[ii], c.index(), new_sum > old_sum);
+        // Several time marginals moved at once; no cheap exact rule.
+        argmax::invalidate_time(&self.argmax[ii]);
+    }
+
+    pub(crate) fn scale_time(&mut self, i: InstrId, t: u32, factor: f64) {
+        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
+        let ii = i.index();
+        let old_sum = self.time_sum[ii * self.n_slots + t as usize];
+        let mut new_sum = 0.0;
+        let mut changed = false;
+        for c in 0..self.n_clusters {
+            let k = self.idx(i, ClusterId::new(c as u16), t);
+            let old = self.w[k];
+            let new = old * factor;
+            if new != old {
+                self.w[k] = new;
+                self.cluster_sum[ii * self.n_clusters + c] += new - old;
+                changed = true;
+            }
+            new_sum += new;
+        }
+        if !changed {
+            return;
+        }
+        // Exact rebuild of the scaled marginal; see `scale_cluster`.
+        self.time_sum[ii * self.n_slots + t as usize] = new_sum;
+        self.total[ii] += new_sum - old_sum;
+        // Several cluster marginals moved at once; no cheap exact rule.
+        argmax::invalidate_cluster(&self.argmax[ii]);
+        let base = ii * self.n_slots;
+        let sums = &self.time_sum[base..base + self.n_slots];
+        argmax::note_time_write(
+            &self.argmax[ii],
+            t as usize,
+            new_sum > old_sum,
+            self.scale[ii],
+            |t| sums[t],
+        );
+    }
+
+    pub(crate) fn set_window(&mut self, i: InstrId, lo: u32, hi: u32) {
+        assert!(lo <= hi, "window must be non-empty");
+        assert!((hi as usize) < self.n_slots, "window exceeds time slots");
+        let ii = i.index();
+        let (old_lo, old_hi) = self.window[ii];
+        let lo = lo.max(old_lo);
+        let hi = hi.min(old_hi);
+        assert!(lo <= hi, "window must be non-empty");
+        self.window[ii] = (lo, hi);
+        let mut any_removed = false;
+        for t in 0..self.n_slots {
+            if (t as u32) >= lo && (t as u32) <= hi {
+                continue;
+            }
+            for c in 0..self.n_clusters {
+                let k = (ii * self.n_clusters + c) * self.n_slots + t;
+                if self.w[k] != 0.0 {
+                    self.w[k] = 0.0;
+                    any_removed = true;
+                }
+            }
+            self.time_sum[ii * self.n_slots + t] = 0.0;
+        }
+        if any_removed {
+            // Rebuild the marginals from the surviving cells (in
+            // ascending `t` order — the banded core reproduces exactly
+            // this summation over its band, where the zeroed cells
+            // contribute nothing bit for bit).
+            for c in 0..self.n_clusters {
+                let base = (ii * self.n_clusters + c) * self.n_slots;
+                let mut sum = 0.0;
+                for t in 0..self.n_slots {
+                    sum += self.w[base + t];
+                }
+                self.cluster_sum[ii * self.n_clusters + c] = sum;
+            }
+            self.total[ii] = self.cluster_sum[ii * self.n_clusters..(ii + 1) * self.n_clusters]
+                .iter()
+                .sum();
+            argmax::invalidate_cluster(&self.argmax[ii]);
+            let cache = self.argmax[ii].get();
+            if cache.time_valid && !(lo..=hi).contains(&cache.top_time) {
+                argmax::invalidate_time(&self.argmax[ii]);
+            }
+        }
+    }
+
+    pub(crate) fn window(&self, i: InstrId) -> (u32, u32) {
+        self.window[i.index()]
+    }
+
+    pub(crate) fn forbid_cluster(&mut self, i: InstrId, c: ClusterId) {
+        self.cluster_ok[i.index() * self.n_clusters + c.index()] = false;
+        self.scale_cluster(i, c, 0.0);
+    }
+
+    pub(crate) fn cluster_feasible(&self, i: InstrId, c: ClusterId) -> bool {
+        self.cluster_ok[i.index() * self.n_clusters + c.index()]
+    }
+
+    pub(crate) fn cluster_weight(&self, i: InstrId, c: ClusterId) -> f64 {
+        self.cluster_sum[i.index() * self.n_clusters + c.index()] * self.scale[i.index()]
+    }
+
+    pub(crate) fn time_weight(&self, i: InstrId, t: u32) -> f64 {
+        self.time_sum[i.index() * self.n_slots + t as usize] * self.scale[i.index()]
+    }
+
+    pub(crate) fn total(&self, i: InstrId) -> f64 {
+        self.total[i.index()] * self.scale[i.index()]
+    }
+
+    /// `(top, second)` cluster from the argmax cache, filling it if
+    /// stale.
+    pub(crate) fn top2(&self, i: InstrId) -> (u16, u16) {
+        let ii = i.index();
+        let base = ii * self.n_clusters;
+        argmax::cluster_cache(
+            &self.argmax[ii],
+            &self.cluster_sum[base..base + self.n_clusters],
+            self.scale[ii],
+        )
+    }
+
+    /// Top time slot from the argmax cache, filling it if stale.
+    pub(crate) fn top_time(&self, i: InstrId) -> u32 {
+        let ii = i.index();
+        let cell = &self.argmax[ii];
+        let mut cache = cell.get();
+        if !cache.time_valid {
+            let base = ii * self.n_slots;
+            let s = self.scale[ii];
+            let mut best = 0usize;
+            for t in 1..self.n_slots {
+                if self.time_sum[base + t] * s > self.time_sum[base + best] * s + EPS {
+                    best = t;
+                }
+            }
+            cache.top_time = best as u32;
+            cache.time_valid = true;
+            cell.set(cache);
+        }
+        cache.top_time
+    }
+
+    pub(crate) fn normalize(&mut self, i: InstrId) {
+        let ii = i.index();
+        let tot = self.total[ii] * self.scale[ii];
+        if tot > EPS {
+            let inv = 1.0 / self.total[ii];
+            self.scale[ii] = inv;
+            if !(SCALE_FOLD_MIN..=SCALE_FOLD_MAX).contains(&inv) {
+                self.materialize(i);
+            }
+        } else {
+            self.reset_uniform(i);
+        }
+    }
+
+    pub(crate) fn materialize(&mut self, i: InstrId) {
+        let ii = i.index();
+        let s = self.scale[ii];
+        if s == 1.0 {
+            return;
+        }
+        let row = self.n_clusters * self.n_slots;
+        for k in ii * row..(ii + 1) * row {
+            self.w[k] *= s;
+        }
+        for c in 0..self.n_clusters {
+            self.cluster_sum[ii * self.n_clusters + c] *= s;
+        }
+        for t in 0..self.n_slots {
+            self.time_sum[ii * self.n_slots + t] *= s;
+        }
+        self.total[ii] *= s;
+        self.scale[ii] = 1.0;
+        // Visible values are unchanged, so cached argmaxes stay valid.
+    }
+
+    pub(crate) fn reset_uniform(&mut self, i: InstrId) {
+        let ii = i.index();
+        let (lo, hi) = self.window[ii];
+        let n_feasible = self.cluster_ok[ii * self.n_clusters..(ii + 1) * self.n_clusters]
+            .iter()
+            .filter(|&&ok| ok)
+            .count();
+        // A machine mismatch could leave no feasible cluster; fall back
+        // to all clusters rather than a degenerate all-zero row.
+        let use_all = n_feasible == 0;
+        let n_live = if use_all { self.n_clusters } else { n_feasible };
+        let slots = (hi - lo + 1) as usize;
+        let per = 1.0 / (n_live * slots) as f64;
+        // Clear, then fill.
+        let row = self.n_clusters * self.n_slots;
+        for k in ii * row..(ii + 1) * row {
+            self.w[k] = 0.0;
+        }
+        for c in 0..self.n_clusters {
+            let live = use_all || self.cluster_ok[ii * self.n_clusters + c];
+            self.cluster_sum[ii * self.n_clusters + c] =
+                if live { per * slots as f64 } else { 0.0 };
+            if live {
+                let base = (ii * self.n_clusters + c) * self.n_slots;
+                for t in lo..=hi {
+                    self.w[base + t as usize] = per;
+                }
+            }
+        }
+        for t in 0..self.n_slots {
+            let inside = (t as u32) >= lo && (t as u32) <= hi;
+            self.time_sum[ii * self.n_slots + t] = if inside { per * n_live as f64 } else { 0.0 };
+        }
+        self.total[ii] = 1.0;
+        self.scale[ii] = 1.0;
+        self.argmax[ii].set(ArgmaxCache::INVALID);
+    }
+}

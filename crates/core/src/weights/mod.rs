@@ -19,11 +19,37 @@
 //! clusters are maintained incrementally so the derived quantities are
 //! cheap, as the paper prescribes.
 //!
+//! # The banded representation
+//!
+//! The critical-path length grows with the unit, so a dense
+//! `n_clusters × n_slots` row per instruction makes every whole-map
+//! operation O(N·C·cp_len) ≈ O(N²·C). But after INITTIME each
+//! instruction is confined to its feasible `[lo, hi]` window — a slack
+//! band that is typically narrow and independent of the unit size. The
+//! default representation therefore stores, per instruction, only the
+//! cells of a *band* anchored at that window ([`banded::BandedCore`]):
+//!
+//! * reads outside the band return exactly `0.0`;
+//! * absolute writes outside the band grow it (amortized margin,
+//!   clamped to `[0, n_slots)`);
+//! * [`PreferenceMap::set_window`] shrinks it;
+//! * rows in the uniform state (fresh maps, `reset_uniform`) are kept
+//!   in an O(1) closed form until a non-uniform write arrives.
+//!
+//! Whole-map work (`normalize_all`, `reset_uniform`,
+//! `set_cluster_marginal`, marginal maintenance, argmax scans,
+//! `materialize`) drops to O(Σᵢ C·bandᵢ). The previous dense layout is
+//! retained as [`dense::DenseCore`] behind
+//! [`PreferenceMap::new_dense`]; the two representations are kept
+//! **bit-for-bit identical** under identical op sequences (the
+//! differential proptests assert exact `f64` equality), so the banded
+//! map produces byte-identical schedules.
+//!
 //! # The lazy-scale invariant
 //!
 //! Normalization runs after *every* pass, so an eager implementation
-//! rewrites the entire dense tensor O(N·C·T) times per schedule. This
-//! map instead stores, per instruction, a *raw* row plus a scalar
+//! rewrites the entire map O(N·C·T) times per schedule. Both cores
+//! instead store, per instruction, *raw* weights plus a scalar
 //! `scale[i]`, with the invariant that the externally visible weight is
 //! always
 //!
@@ -40,8 +66,8 @@
 //! act on the raw values directly (they commute with the scalar), while
 //! absolute writes (`set`, and `add` via `set`) divide the incoming
 //! value by `scale[i]`. Raw magnitudes drift as passes multiply weight
-//! in and out, so `normalize` folds the scalar back into the dense row
-//! ([`PreferenceMap::materialize`]) whenever it leaves
+//! in and out, so `normalize` folds the scalar back into the stored
+//! row ([`PreferenceMap::materialize`]) whenever it leaves
 //! `[SCALE_FOLD_MIN, SCALE_FOLD_MAX]`, keeping every quantity
 //! comfortably inside `f64` range. `materialize` is also the escape
 //! hatch for external readers that want plain eagerly-normalized rows.
@@ -61,48 +87,47 @@
 //! tie-break is "pick either"), and every cached answer is still the
 //! argmax up to `EPS` at the time it was computed.
 
-use std::cell::Cell;
+mod argmax;
+mod banded;
+mod dense;
 
 use convergent_ir::{ClusterId, Cycle, InstrId};
 
-/// Weights below this threshold are treated as zero when normalizing.
-const EPS: f64 = 1e-12;
+use argmax::{EPS, NO_CLUSTER};
+use banded::BandedCore;
+use dense::DenseCore;
 
 /// Bounds on the pending scale factor; `normalize` folds the factor
-/// into the dense row (`materialize`) when it leaves this range so raw
-/// magnitudes never approach `f64` overflow/underflow.
-const SCALE_FOLD_MIN: f64 = 1e-90;
+/// into the stored row (`materialize`) when it leaves this range so
+/// raw magnitudes never approach `f64` overflow/underflow.
+pub(crate) const SCALE_FOLD_MIN: f64 = 1e-90;
 /// See [`SCALE_FOLD_MIN`].
-const SCALE_FOLD_MAX: f64 = 1e90;
+pub(crate) const SCALE_FOLD_MAX: f64 = 1e90;
 
-/// Sentinel for "no runner-up cluster" in the argmax cache.
-const NO_CLUSTER: u16 = u16::MAX;
-
-/// Memoized argmax results for one instruction. `Copy` so it lives in
-/// a [`Cell`], letting `&self` readers fill it lazily.
-#[derive(Clone, Copy, Debug)]
-struct ArgmaxCache {
-    /// Valid bit for `top_cluster` / `second_cluster`.
-    cluster_valid: bool,
-    /// Valid bit for `top_time`.
-    time_valid: bool,
-    top_cluster: u16,
-    second_cluster: u16,
-    top_time: u32,
+/// The two interchangeable storage layouts.
+#[derive(Clone, Debug)]
+enum Repr {
+    Banded(BandedCore),
+    Dense(DenseCore),
 }
 
-impl ArgmaxCache {
-    const INVALID: ArgmaxCache = ArgmaxCache {
-        cluster_valid: false,
-        time_valid: false,
-        top_cluster: 0,
-        second_cluster: NO_CLUSTER,
-        top_time: 0,
+macro_rules! core {
+    ($self:ident, $c:ident => $body:expr) => {
+        match &$self.repr {
+            Repr::Banded($c) => $body,
+            Repr::Dense($c) => $body,
+        }
+    };
+    (mut $self:ident, $c:ident => $body:expr) => {
+        match &mut $self.repr {
+            Repr::Banded($c) => $body,
+            Repr::Dense($c) => $body,
+        }
     };
 }
 
-/// A dense `instructions × clusters × time` preference map with lazy
-/// normalization (see the module docs).
+/// An `instructions × clusters × time` preference map with banded
+/// storage and lazy normalization (see the module docs).
 ///
 /// # Example
 ///
@@ -122,83 +147,91 @@ impl ArgmaxCache {
 /// ```
 #[derive(Clone, Debug)]
 pub struct PreferenceMap {
-    n_instrs: usize,
-    n_clusters: usize,
-    n_slots: usize,
-    /// Raw weights; the visible value is `w[k] * scale[i]`.
-    w: Vec<f64>,
-    /// Raw marginals, same scaling convention as `w`.
-    cluster_sum: Vec<f64>,
-    time_sum: Vec<f64>,
-    total: Vec<f64>,
-    /// Pending per-instruction normalization factor.
-    scale: Vec<f64>,
-    window: Vec<(u32, u32)>,
-    cluster_ok: Vec<bool>,
-    argmax: Vec<Cell<ArgmaxCache>>,
+    repr: Repr,
     /// Reused by `set_cluster_marginal` to avoid per-call allocation.
     scratch: Vec<f64>,
 }
 
 impl PreferenceMap {
-    /// Creates a map with uniform preferences.
+    /// Creates a map with uniform preferences, using the banded
+    /// representation.
     ///
     /// # Panics
     ///
     /// Panics if any dimension is zero.
     #[must_use]
     pub fn new(n_instrs: usize, n_clusters: usize, n_slots: usize) -> Self {
-        assert!(n_instrs > 0, "need at least one instruction");
-        assert!(n_clusters > 0, "need at least one cluster");
-        assert!(n_slots > 0, "need at least one time slot");
-        assert!(n_clusters < NO_CLUSTER as usize, "too many clusters");
-        let per = 1.0 / (n_clusters * n_slots) as f64;
         PreferenceMap {
-            n_instrs,
-            n_clusters,
-            n_slots,
-            w: vec![per; n_instrs * n_clusters * n_slots],
-            cluster_sum: vec![per * n_slots as f64; n_instrs * n_clusters],
-            time_sum: vec![per * n_clusters as f64; n_instrs * n_slots],
-            total: vec![1.0; n_instrs],
-            scale: vec![1.0; n_instrs],
-            window: vec![(0, n_slots as u32 - 1); n_instrs],
-            cluster_ok: vec![true; n_instrs * n_clusters],
-            argmax: vec![Cell::new(ArgmaxCache::INVALID); n_instrs],
+            repr: Repr::Banded(BandedCore::new(n_instrs, n_clusters, n_slots)),
             scratch: Vec::new(),
         }
+    }
+
+    /// Creates a map on the dense reference layout — same semantics,
+    /// O(N·C·T) storage. Used by differential tests and
+    /// [`with_reference_map`](crate::ConvergentScheduler::with_reference_map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new_dense(n_instrs: usize, n_clusters: usize, n_slots: usize) -> Self {
+        PreferenceMap {
+            repr: Repr::Dense(DenseCore::new(n_instrs, n_clusters, n_slots)),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// `true` when this map runs on the dense reference layout.
+    #[must_use]
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense(_))
     }
 
     /// Number of instructions.
     #[must_use]
     pub fn n_instrs(&self) -> usize {
-        self.n_instrs
+        core!(self, c => c.n_instrs())
     }
 
     /// Number of clusters.
     #[must_use]
     pub fn n_clusters(&self) -> usize {
-        self.n_clusters
+        core!(self, c => c.n_clusters())
     }
 
     /// Number of time slots (the critical-path length).
     #[must_use]
     pub fn n_slots(&self) -> usize {
-        self.n_slots
+        core!(self, c => c.n_slots())
     }
 
-    #[inline]
-    fn idx(&self, i: InstrId, c: ClusterId, t: u32) -> usize {
-        debug_assert!(i.index() < self.n_instrs);
-        debug_assert!(c.index() < self.n_clusters);
-        debug_assert!((t as usize) < self.n_slots);
-        (i.index() * self.n_clusters + c.index()) * self.n_slots + t as usize
+    /// The `[lo, hi]` extent of `i`'s stored band. On the dense
+    /// layout (which stores every slot) this reports the feasible
+    /// window for symmetry.
+    #[must_use]
+    pub fn band(&self, i: InstrId) -> (u32, u32) {
+        match &self.repr {
+            Repr::Banded(c) => c.band(i),
+            Repr::Dense(c) => c.window(i),
+        }
+    }
+
+    /// Number of raw weight cells currently stored — the banded
+    /// layout's compression metric. Dense maps always store
+    /// `n_instrs · n_clusters · n_slots`.
+    #[must_use]
+    pub fn stored_cells(&self) -> usize {
+        match &self.repr {
+            Repr::Banded(c) => c.stored_cells(),
+            Repr::Dense(c) => c.n_instrs() * c.n_clusters() * c.n_slots(),
+        }
     }
 
     /// The weight `W[i, c, t]`.
     #[must_use]
     pub fn get(&self, i: InstrId, c: ClusterId, t: u32) -> f64 {
-        self.w[self.idx(i, c, t)] * self.scale[i.index()]
+        core!(self, m => m.get(i, c, t))
     }
 
     /// Sets `W[i, c, t]`, updating marginals.
@@ -207,20 +240,7 @@ impl PreferenceMap {
     ///
     /// Panics if `value` is negative or not finite.
     pub fn set(&mut self, i: InstrId, c: ClusterId, t: u32, value: f64) {
-        assert!(value.is_finite() && value >= 0.0, "weights are ≥ 0");
-        let ii = i.index();
-        let k = self.idx(i, c, t);
-        let raw = value / self.scale[ii];
-        let delta = raw - self.w[k];
-        if delta == 0.0 {
-            return;
-        }
-        self.w[k] = raw;
-        self.cluster_sum[ii * self.n_clusters + c.index()] += delta;
-        self.time_sum[ii * self.n_slots + t as usize] += delta;
-        self.total[ii] += delta;
-        self.note_cluster_write(ii, c.index(), delta > 0.0);
-        self.note_time_write(ii, t as usize, delta > 0.0);
+        core!(mut self, m => m.set(i, c, t, value));
     }
 
     /// Adds `delta` to `W[i, c, t]`, clamping at zero.
@@ -235,59 +255,17 @@ impl PreferenceMap {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn scale(&mut self, i: InstrId, c: ClusterId, t: u32, factor: f64) {
-        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
-        let ii = i.index();
-        let k = self.idx(i, c, t);
-        let old = self.w[k];
-        let new = old * factor;
-        let delta = new - old;
-        if delta == 0.0 {
-            return;
-        }
-        self.w[k] = new;
-        self.cluster_sum[ii * self.n_clusters + c.index()] += delta;
-        self.time_sum[ii * self.n_slots + t as usize] += delta;
-        self.total[ii] += delta;
-        self.note_cluster_write(ii, c.index(), delta > 0.0);
-        self.note_time_write(ii, t as usize, delta > 0.0);
+        core!(mut self, m => m.scale(i, c, t, factor));
     }
 
-    /// Multiplies every time slot of `(i, c)` by `factor`.
+    /// Multiplies every time slot of `(i, c)` by `factor` — O(band)
+    /// on the banded layout.
     ///
     /// # Panics
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn scale_cluster(&mut self, i: InstrId, c: ClusterId, factor: f64) {
-        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
-        let ii = i.index();
-        let base = self.idx(i, c, 0);
-        let old_sum = self.cluster_sum[ii * self.n_clusters + c.index()];
-        let mut new_sum = 0.0;
-        let mut changed = false;
-        for t in 0..self.n_slots {
-            let old = self.w[base + t];
-            let new = old * factor;
-            if new != old {
-                self.w[base + t] = new;
-                self.time_sum[ii * self.n_slots + t] += new - old;
-                changed = true;
-            }
-            new_sum += new;
-        }
-        if !changed {
-            return;
-        }
-        // Rebuild the scaled marginal and the total from scratch rather
-        // than adding a delta: a delta leaves an absolute error behind
-        // that sustained shrinking (factor « 1, round after round)
-        // amplifies relative to the shrinking true value.
-        self.cluster_sum[ii * self.n_clusters + c.index()] = new_sum;
-        self.total[ii] = self.cluster_sum[ii * self.n_clusters..(ii + 1) * self.n_clusters]
-            .iter()
-            .sum();
-        self.note_cluster_write(ii, c.index(), new_sum > old_sum);
-        // Several time marginals moved at once; no cheap exact rule.
-        self.invalidate_time(ii);
+        core!(mut self, m => m.scale_cluster(i, c, factor));
     }
 
     /// Multiplies every cluster's weight at time `t` by `factor`.
@@ -296,268 +274,72 @@ impl PreferenceMap {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn scale_time(&mut self, i: InstrId, t: u32, factor: f64) {
-        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
-        let ii = i.index();
-        let old_sum = self.time_sum[ii * self.n_slots + t as usize];
-        let mut new_sum = 0.0;
-        let mut changed = false;
-        for c in 0..self.n_clusters {
-            let k = self.idx(i, ClusterId::new(c as u16), t);
-            let old = self.w[k];
-            let new = old * factor;
-            if new != old {
-                self.w[k] = new;
-                self.cluster_sum[ii * self.n_clusters + c] += new - old;
-                changed = true;
-            }
-            new_sum += new;
-        }
-        if !changed {
-            return;
-        }
-        // Exact rebuild of the scaled marginal; see `scale_cluster`.
-        self.time_sum[ii * self.n_slots + t as usize] = new_sum;
-        self.total[ii] += new_sum - old_sum;
-        // Several cluster marginals moved at once; no cheap exact rule.
-        self.invalidate_cluster(ii);
-        self.note_time_write(ii, t as usize, new_sum > old_sum);
+        core!(mut self, m => m.scale_time(i, t, factor));
     }
 
     /// Restricts `i` to time slots `[lo, hi]`, zeroing all weight
     /// outside and *intersecting* the recorded window with any window
     /// set earlier — a feasibility constraint, once established, can
-    /// only tighten.
+    /// only tighten. The banded layout also shrinks `i`'s band to the
+    /// new window.
     ///
     /// # Panics
     ///
     /// Panics if `lo > hi`, `hi` is out of range, or the intersection
     /// with the previously recorded window is empty.
     pub fn set_window(&mut self, i: InstrId, lo: u32, hi: u32) {
-        assert!(lo <= hi, "window must be non-empty");
-        assert!((hi as usize) < self.n_slots, "window exceeds time slots");
-        let ii = i.index();
-        let (old_lo, old_hi) = self.window[ii];
-        let lo = lo.max(old_lo);
-        let hi = hi.min(old_hi);
-        assert!(lo <= hi, "window must be non-empty");
-        self.window[ii] = (lo, hi);
-        let mut any_removed = false;
-        for t in 0..self.n_slots {
-            if (t as u32) >= lo && (t as u32) <= hi {
-                continue;
-            }
-            for c in 0..self.n_clusters {
-                let k = (ii * self.n_clusters + c) * self.n_slots + t;
-                let v = self.w[k];
-                if v != 0.0 {
-                    self.w[k] = 0.0;
-                    self.cluster_sum[ii * self.n_clusters + c] -= v;
-                    self.total[ii] -= v;
-                    any_removed = true;
-                }
-            }
-            self.time_sum[ii * self.n_slots + t] = 0.0;
-        }
-        if any_removed {
-            self.invalidate_cluster(ii);
-            let cache = self.argmax[ii].get();
-            if cache.time_valid && !(lo..=hi).contains(&cache.top_time) {
-                self.invalidate_time(ii);
-            }
-        }
+        core!(mut self, m => m.set_window(i, lo, hi));
     }
 
     /// The feasible `[lo, hi]` window of `i`.
     #[must_use]
     pub fn window(&self, i: InstrId) -> (u32, u32) {
-        self.window[i.index()]
+        core!(self, m => m.window(i))
     }
 
     /// Marks cluster `c` as unable to execute `i`, zeroing its weight.
     pub fn forbid_cluster(&mut self, i: InstrId, c: ClusterId) {
-        self.cluster_ok[i.index() * self.n_clusters + c.index()] = false;
-        self.scale_cluster(i, c, 0.0);
+        core!(mut self, m => m.forbid_cluster(i, c));
     }
 
     /// Returns `true` if cluster `c` may execute `i`.
     #[must_use]
     pub fn cluster_feasible(&self, i: InstrId, c: ClusterId) -> bool {
-        self.cluster_ok[i.index() * self.n_clusters + c.index()]
+        core!(self, m => m.cluster_feasible(i, c))
     }
 
     /// The cluster marginal `Σ_t W[i, c, t]`.
     #[must_use]
     pub fn cluster_weight(&self, i: InstrId, c: ClusterId) -> f64 {
-        self.cluster_sum[i.index() * self.n_clusters + c.index()] * self.scale[i.index()]
+        core!(self, m => m.cluster_weight(i, c))
     }
 
     /// The time marginal `Σ_c W[i, c, t]`.
     #[must_use]
     pub fn time_weight(&self, i: InstrId, t: u32) -> f64 {
-        self.time_sum[i.index() * self.n_slots + t as usize] * self.scale[i.index()]
+        core!(self, m => m.time_weight(i, t))
     }
 
     /// Total weight of `i` (1 when normalized).
     #[must_use]
     pub fn total(&self, i: InstrId) -> f64 {
-        self.total[i.index()] * self.scale[i.index()]
-    }
-
-    /// Fills the cluster half of `i`'s argmax cache if it is stale,
-    /// using the same scan (and tie-breaks) as the eager
-    /// implementation, and returns `(top, second)`.
-    fn cluster_cache(&self, i: InstrId) -> (u16, u16) {
-        let ii = i.index();
-        let mut cache = self.argmax[ii].get();
-        if !cache.cluster_valid {
-            let base = ii * self.n_clusters;
-            // The scale multiplies out of every comparison except the
-            // absolute EPS; apply it so cached answers match what a
-            // fresh eager scan of the visible values would produce.
-            let s = self.scale[ii];
-            let mut best = 0usize;
-            for c in 1..self.n_clusters {
-                if self.cluster_sum[base + c] * s > self.cluster_sum[base + best] * s + EPS {
-                    best = c;
-                }
-            }
-            let mut second: Option<usize> = None;
-            for c in 0..self.n_clusters {
-                if c == best {
-                    continue;
-                }
-                match second {
-                    Some(b)
-                        if self.cluster_sum[base + c] * s
-                            <= self.cluster_sum[base + b] * s + EPS => {}
-                    _ => second = Some(c),
-                }
-            }
-            cache.top_cluster = best as u16;
-            cache.second_cluster = second.map_or(NO_CLUSTER, |c| c as u16);
-            cache.cluster_valid = true;
-            self.argmax[ii].set(cache);
-        }
-        (cache.top_cluster, cache.second_cluster)
-    }
-
-    /// Fills the time half of `i`'s argmax cache if it is stale and
-    /// returns the top slot.
-    fn time_cache(&self, i: InstrId) -> u32 {
-        let ii = i.index();
-        let mut cache = self.argmax[ii].get();
-        if !cache.time_valid {
-            let base = ii * self.n_slots;
-            let s = self.scale[ii];
-            let mut best = 0usize;
-            for t in 1..self.n_slots {
-                if self.time_sum[base + t] * s > self.time_sum[base + best] * s + EPS {
-                    best = t;
-                }
-            }
-            cache.top_time = best as u32;
-            cache.time_valid = true;
-            self.argmax[ii].set(cache);
-        }
-        cache.top_time
-    }
-
-    /// Records the effect of a single-cluster marginal change on the
-    /// cached argmax. Exact: the cache is kept only when the old scan
-    /// result provably still holds.
-    fn note_cluster_write(&self, ii: usize, c: usize, increased: bool) {
-        let cell = &self.argmax[ii];
-        let mut cache = cell.get();
-        if !cache.cluster_valid {
-            return;
-        }
-        let top = cache.top_cluster as usize;
-        let keep = if increased {
-            // Boosting the leader changes neither the leader nor the
-            // best-of-the-rest.
-            c == top
-        } else {
-            // Shrinking a cluster that is neither top nor runner-up
-            // cannot promote it and cannot demote either of them.
-            c != top && cache.second_cluster != NO_CLUSTER && c != cache.second_cluster as usize
-        };
-        if !keep {
-            cache.cluster_valid = false;
-            cell.set(cache);
-        }
-    }
-
-    /// Records the effect of a single-time-slot marginal change on the
-    /// cached argmax. Exact, including the in-place `top_time` update
-    /// when a later or earlier slot overtakes the leader by more than
-    /// `EPS`.
-    fn note_time_write(&self, ii: usize, t: usize, increased: bool) {
-        let cell = &self.argmax[ii];
-        let mut cache = cell.get();
-        if !cache.time_valid {
-            return;
-        }
-        let top = cache.top_time as usize;
-        if t == top {
-            if !increased {
-                cache.time_valid = false;
-                cell.set(cache);
-            }
-            return;
-        }
-        if !increased {
-            // Shrinking a non-leader slot never changes the scan.
-            return;
-        }
-        let base = ii * self.n_slots;
-        let s = self.scale[ii];
-        let vt = self.time_sum[base + t] * s;
-        let vtop = self.time_sum[base + top] * s;
-        if vt > vtop + EPS {
-            // `t` now beats the old leader by more than the tie band,
-            // so a fresh scan would end exactly at `t`.
-            cache.top_time = t as u32;
-            cell.set(cache);
-        } else if t < top && vt > vtop - EPS {
-            // An earlier slot climbed into the tie band; the
-            // earliest-slot tie-break could now pick it. Rescan.
-            cache.time_valid = false;
-            cell.set(cache);
-        }
-    }
-
-    fn invalidate_cluster(&self, ii: usize) {
-        let cell = &self.argmax[ii];
-        let mut cache = cell.get();
-        if cache.cluster_valid {
-            cache.cluster_valid = false;
-            cell.set(cache);
-        }
-    }
-
-    fn invalidate_time(&self, ii: usize) {
-        let cell = &self.argmax[ii];
-        let mut cache = cell.get();
-        if cache.time_valid {
-            cache.time_valid = false;
-            cell.set(cache);
-        }
+        core!(self, m => m.total(i))
     }
 
     /// `argmax_c Σ_t W[i, c, t]` — the paper's `preferred_cluster`.
     /// Ties break toward the lowest cluster id.
     #[must_use]
     pub fn preferred_cluster(&self, i: InstrId) -> ClusterId {
-        ClusterId::new(self.cluster_cache(i).0)
+        ClusterId::new(core!(self, m => m.top2(i)).0)
     }
 
     /// The second-best cluster, or `None` on single-cluster machines.
     #[must_use]
     pub fn runnerup_cluster(&self, i: InstrId) -> Option<ClusterId> {
-        if self.n_clusters < 2 {
+        if self.n_clusters() < 2 {
             return None;
         }
-        let (_, second) = self.cluster_cache(i);
+        let (_, second) = core!(self, m => m.top2(i));
         debug_assert_ne!(second, NO_CLUSTER);
         Some(ClusterId::new(second))
     }
@@ -566,7 +348,7 @@ impl PreferenceMap {
     /// Ties break toward the earliest slot.
     #[must_use]
     pub fn preferred_time(&self, i: InstrId) -> Cycle {
-        Cycle::new(self.time_cache(i))
+        Cycle::new(core!(self, m => m.top_time(i)))
     }
 
     /// The paper's confidence: the ratio of the top two cluster
@@ -594,94 +376,35 @@ impl PreferenceMap {
     /// to uniform over the instruction's feasible window and clusters,
     /// so feasibility decisions survive aggressive scaling.
     pub fn normalize(&mut self, i: InstrId) {
-        let ii = i.index();
-        let tot = self.total[ii] * self.scale[ii];
-        if tot > EPS {
-            let inv = 1.0 / self.total[ii];
-            self.scale[ii] = inv;
-            if !(SCALE_FOLD_MIN..=SCALE_FOLD_MAX).contains(&inv) {
-                self.materialize(i);
-            }
-        } else {
-            self.reset_uniform(i);
-        }
+        core!(mut self, m => m.normalize(i));
     }
 
-    /// Folds `i`'s pending scale factor into its dense row, leaving
+    /// Folds `i`'s pending scale factor into its stored row, leaving
     /// every visible value unchanged and `scale[i] == 1`. Call this
     /// before handing raw rows to code that bypasses the accessors.
     pub fn materialize(&mut self, i: InstrId) {
-        let ii = i.index();
-        let s = self.scale[ii];
-        if s == 1.0 {
-            return;
-        }
-        let row = self.n_clusters * self.n_slots;
-        for k in ii * row..(ii + 1) * row {
-            self.w[k] *= s;
-        }
-        for c in 0..self.n_clusters {
-            self.cluster_sum[ii * self.n_clusters + c] *= s;
-        }
-        for t in 0..self.n_slots {
-            self.time_sum[ii * self.n_slots + t] *= s;
-        }
-        self.total[ii] *= s;
-        self.scale[ii] = 1.0;
-        // Visible values are unchanged, so cached argmaxes stay valid.
+        core!(mut self, m => m.materialize(i));
     }
 
-    /// [`PreferenceMap::materialize`] for every instruction.
+    /// [`PreferenceMap::materialize`] for every instruction — O(Σᵢ
+    /// C·bandᵢ) on the banded layout.
     pub fn materialize_all(&mut self) {
-        for i in 0..self.n_instrs {
+        for i in 0..self.n_instrs() {
             self.materialize(InstrId::new(i as u32));
         }
     }
 
     /// Resets `i` to a uniform distribution over its feasible window
-    /// and clusters.
+    /// and clusters. On the banded layout this returns the row to its
+    /// O(1) closed form.
     pub fn reset_uniform(&mut self, i: InstrId) {
-        let ii = i.index();
-        let (lo, hi) = self.window[ii];
-        let n_feasible = self.cluster_ok[ii * self.n_clusters..(ii + 1) * self.n_clusters]
-            .iter()
-            .filter(|&&ok| ok)
-            .count();
-        // A machine mismatch could leave no feasible cluster; fall back
-        // to all clusters rather than a degenerate all-zero row.
-        let use_all = n_feasible == 0;
-        let n_live = if use_all { self.n_clusters } else { n_feasible };
-        let slots = (hi - lo + 1) as usize;
-        let per = 1.0 / (n_live * slots) as f64;
-        // Clear, then fill.
-        let row = self.n_clusters * self.n_slots;
-        for k in ii * row..(ii + 1) * row {
-            self.w[k] = 0.0;
-        }
-        for c in 0..self.n_clusters {
-            let live = use_all || self.cluster_ok[ii * self.n_clusters + c];
-            self.cluster_sum[ii * self.n_clusters + c] =
-                if live { per * slots as f64 } else { 0.0 };
-            if live {
-                let base = (ii * self.n_clusters + c) * self.n_slots;
-                for t in lo..=hi {
-                    self.w[base + t as usize] = per;
-                }
-            }
-        }
-        for t in 0..self.n_slots {
-            let inside = (t as u32) >= lo && (t as u32) <= hi;
-            self.time_sum[ii * self.n_slots + t] = if inside { per * n_live as f64 } else { 0.0 };
-        }
-        self.total[ii] = 1.0;
-        self.scale[ii] = 1.0;
-        self.argmax[ii].set(ArgmaxCache::INVALID);
+        core!(mut self, m => m.reset_uniform(i));
     }
 
     /// Renormalizes every instruction — O(N) when every total is
     /// positive, since each `normalize` only updates the scale factor.
     pub fn normalize_all(&mut self) {
-        for i in 0..self.n_instrs {
+        for i in 0..self.n_instrs() {
             self.normalize(InstrId::new(i as u32));
         }
     }
@@ -699,12 +422,12 @@ impl PreferenceMap {
     ///
     /// Panics if `target.len() != n_clusters`.
     pub fn set_cluster_marginal(&mut self, i: InstrId, target: &[f64]) {
-        assert_eq!(target.len(), self.n_clusters, "one target per cluster");
-        let ii = i.index();
+        let n_clusters = self.n_clusters();
+        assert_eq!(target.len(), n_clusters, "one target per cluster");
         let mut masked = std::mem::take(&mut self.scratch);
         masked.clear();
-        masked.extend((0..self.n_clusters).map(|c| {
-            if self.cluster_ok[ii * self.n_clusters + c] {
+        masked.extend((0..n_clusters).map(|c| {
+            if self.cluster_feasible(i, ClusterId::new(c as u16)) {
                 target[c].max(0.0)
             } else {
                 0.0
@@ -715,9 +438,9 @@ impl PreferenceMap {
             self.scratch = masked;
             return; // nothing expressible: leave unchanged
         }
-        let (lo, hi) = self.window[ii];
+        let (lo, hi) = self.window(i);
         let slots = (hi - lo + 1) as f64;
-        for c in 0..self.n_clusters {
+        for c in 0..n_clusters {
             let cid = ClusterId::new(c as u16);
             let want = masked[c] / sum;
             let cur = self.cluster_weight(i, cid);
@@ -734,19 +457,19 @@ impl PreferenceMap {
     }
 
     /// Checks both paper invariants to `tolerance`, plus the internal
-    /// bookkeeping (marginals and total vs. the dense data); used by
+    /// bookkeeping (marginals and total vs. the stored cells); used by
     /// tests.
     ///
     /// # Panics
     ///
     /// Panics (with context) if an invariant is broken.
     pub fn assert_invariants(&self, tolerance: f64) {
-        for i in 0..self.n_instrs {
+        for i in 0..self.n_instrs() {
             let id = InstrId::new(i as u32);
             let mut sum = 0.0;
-            for c in 0..self.n_clusters {
+            for c in 0..self.n_clusters() {
                 let mut csum = 0.0;
-                for t in 0..self.n_slots {
+                for t in 0..self.n_slots() {
                     let v = self.get(id, ClusterId::new(c as u16), t as u32);
                     assert!(
                         (0.0 - tolerance..=1.0 + tolerance).contains(&v),
@@ -761,8 +484,8 @@ impl PreferenceMap {
                     "cluster marginal {cw} != recomputed {csum} for i{i},c{c}"
                 );
             }
-            for t in 0..self.n_slots {
-                let tsum: f64 = (0..self.n_clusters)
+            for t in 0..self.n_slots() {
+                let tsum: f64 = (0..self.n_clusters())
                     .map(|c| self.get(id, ClusterId::new(c as u16), t as u32))
                     .sum();
                 let tw = self.time_weight(id, t as u32);
@@ -775,7 +498,7 @@ impl PreferenceMap {
                 (sum - 1.0).abs() <= tolerance,
                 "Σ W[i{i}] = {sum}, expected 1"
             );
-            // Marginal bookkeeping must agree with the dense data.
+            // Marginal bookkeeping must agree with the stored cells.
             let tot = self.total(id);
             assert!(
                 (tot - sum).abs() <= tolerance,
@@ -1105,5 +828,137 @@ mod tests {
         w.reset_uniform(i(0));
         assert_eq!(w.preferred_cluster(i(0)), c(0));
         assert_eq!(w.preferred_time(i(0)), Cycle::ZERO);
+    }
+
+    // ---- banded-specific behavior ----
+
+    #[test]
+    fn dense_reference_layout_is_selectable() {
+        let w = PreferenceMap::new(2, 3, 8);
+        assert!(!w.is_dense());
+        assert_eq!(w.stored_cells(), 2); // two uniform rows
+        let d = PreferenceMap::new_dense(2, 3, 8);
+        assert!(d.is_dense());
+        assert_eq!(d.stored_cells(), 2 * 3 * 8);
+    }
+
+    #[test]
+    fn band_anchors_at_window_and_shrinks() {
+        let mut w = PreferenceMap::new(1, 2, 100);
+        w.set_window(i(0), 10, 19);
+        // Still uniform: windowing alone allocates nothing.
+        assert_eq!(w.stored_cells(), 1);
+        assert_eq!(w.band(i(0)), (10, 19));
+        // A non-uniform write densifies the band at the window.
+        w.scale(i(0), c(0), 12, 3.0);
+        assert_eq!(w.band(i(0)), (10, 19));
+        assert_eq!(w.stored_cells(), 2 * 10);
+        // Window shrink compacts the band.
+        w.set_window(i(0), 12, 15);
+        assert_eq!(w.band(i(0)), (12, 15));
+        assert_eq!(w.stored_cells(), 2 * 4);
+        w.normalize(i(0));
+        w.assert_invariants(1e-9);
+        assert_eq!(w.time_weight(i(0), 11), 0.0);
+        assert!(w.time_weight(i(0), 12) > 0.0);
+    }
+
+    #[test]
+    fn out_of_band_write_grows_the_band() {
+        let mut w = PreferenceMap::new(1, 2, 100);
+        w.set_window(i(0), 40, 44);
+        w.scale(i(0), c(0), 41, 2.0); // densify: band = window
+        assert_eq!(w.band(i(0)), (40, 44));
+        // An absolute write far outside the band re-anchors it (with
+        // margin), bounded by [0, n_slots).
+        w.set(i(0), c(1), 60, 0.5);
+        let (lo, hi) = w.band(i(0));
+        assert!(lo <= 40 && hi >= 60, "band {lo}..{hi} must cover the write");
+        assert!((hi as usize) < 100);
+        assert_eq!(w.get(i(0), c(1), 60), 0.5);
+        // Reads beyond the band stay exactly zero.
+        assert_eq!(w.get(i(0), c(1), 99), 0.0);
+        assert_eq!(w.time_weight(i(0), 99), 0.0);
+        w.normalize(i(0));
+        w.assert_invariants(1e-9);
+        // Growing writes in both directions, clamped at the edges.
+        w.set(i(0), c(0), 0, 0.1);
+        w.set(i(0), c(0), 99, 0.1);
+        assert_eq!(w.band(i(0)), (0, 99));
+        w.normalize(i(0));
+        w.assert_invariants(1e-9);
+    }
+
+    #[test]
+    fn reset_uniform_returns_to_closed_form() {
+        let mut w = PreferenceMap::new(1, 2, 50);
+        w.set_window(i(0), 5, 9);
+        w.scale(i(0), c(0), 6, 4.0);
+        assert!(w.stored_cells() > 1);
+        w.reset_uniform(i(0));
+        assert_eq!(w.stored_cells(), 1);
+        w.assert_invariants(1e-12);
+        assert_eq!(w.get(i(0), c(0), 6), 1.0 / 10.0);
+        assert_eq!(w.get(i(0), c(0), 4), 0.0);
+    }
+
+    /// A deterministic banded-vs-dense differential covering every op;
+    /// the proptest in `tests/proptest_weights.rs` drives random
+    /// sequences, this one pins the exactness claim in-crate.
+    #[test]
+    fn banded_matches_dense_bit_for_bit() {
+        let mut b = PreferenceMap::new(3, 3, 12);
+        let mut d = PreferenceMap::new_dense(3, 3, 12);
+        let ops: &[&dyn Fn(&mut PreferenceMap)] = &[
+            &|w| w.set_window(i(0), 2, 7),
+            &|w| w.scale_cluster(i(0), c(1), 3.5),
+            &|w| w.normalize_all(),
+            &|w| w.scale_time(i(0), 4, 0.25),
+            &|w| w.set(i(0), c(2), 10, 0.75), // out-of-band absolute write
+            &|w| w.forbid_cluster(i(1), c(0)),
+            &|w| w.set_window(i(0), 3, 5), // shrink past the grown band
+            &|w| w.add(i(2), c(1), 11, 0.4),
+            &|w| w.set_cluster_marginal(i(2), &[0.1, 0.2, 0.7]),
+            &|w| w.scale(i(1), c(2), 0, 9.0),
+            &|w| w.normalize_all(),
+            &|w| w.materialize_all(),
+            &|w| w.scale_cluster(i(0), c(1), 0.0),
+            &|w| w.scale_cluster(i(0), c(0), 0.0),
+            &|w| w.scale_cluster(i(0), c(2), 0.0),
+            &|w| w.normalize_all(), // reset_uniform path
+        ];
+        for op in ops {
+            op(&mut b);
+            op(&mut d);
+            for k in 0..3u32 {
+                let id = i(k);
+                assert_eq!(b.window(id), d.window(id));
+                assert_eq!(b.total(id).to_bits(), d.total(id).to_bits());
+                for cc in 0..3u16 {
+                    assert_eq!(
+                        b.cluster_weight(id, c(cc)).to_bits(),
+                        d.cluster_weight(id, c(cc)).to_bits()
+                    );
+                    for t in 0..12u32 {
+                        assert_eq!(
+                            b.get(id, c(cc), t).to_bits(),
+                            d.get(id, c(cc), t).to_bits(),
+                            "cell ({k},{cc},{t})"
+                        );
+                    }
+                }
+                for t in 0..12u32 {
+                    assert_eq!(
+                        b.time_weight(id, t).to_bits(),
+                        d.time_weight(id, t).to_bits(),
+                        "time marginal ({k},{t})"
+                    );
+                }
+                assert_eq!(b.preferred_cluster(id), d.preferred_cluster(id));
+                assert_eq!(b.runnerup_cluster(id), d.runnerup_cluster(id));
+                assert_eq!(b.preferred_time(id), d.preferred_time(id));
+                assert_eq!(b.confidence(id).to_bits(), d.confidence(id).to_bits());
+            }
+        }
     }
 }

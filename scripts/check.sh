@@ -26,4 +26,12 @@ echo "==> cargo fmt --check"
 cargo fmt --check
 echo "==> fuzz smoke (seed 0, 200 cases)"
 cargo run --release -q -p convergent-bench --bin fuzz -- --seed 0 --budget 200
+echo "==> fuzz smoke, large deep-chain (band re-anchoring end to end)"
+cargo run --release -q -p convergent-bench --bin fuzz -- \
+    --seed 1 --budget 2 --family deep-chain --size 2500 --machines raw4,vliw4
+echo "==> compile-time scaling guard (200 vs 2000 instrs)"
+# The banded preference map keeps the 200→2000 throughput ratio near
+# 3x; the dense layout collapsed to 7.3x. Fail past 5x.
+cargo run --release -q -p convergent-bench --bin compiletime -- \
+    --sizes 200,2000 --budget-secs 0.5 --no-out --max-ratio 5.0
 echo "check.sh: all green"

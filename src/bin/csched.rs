@@ -12,6 +12,8 @@
 //!   --dump                        print the input graph as .cdag and exit
 //!   --dot                         print the input graph as Graphviz DOT and exit
 //!   --pressure                    also report register pressure
+//!   --profile                     print per-pass wall-clock breakdown
+//!                                 (convergent scheduler only)
 //!   --verbose                     print per-instruction placement
 //! ```
 //!
@@ -53,13 +55,14 @@ struct Options {
     dump: bool,
     dot: bool,
     pressure: bool,
+    profile: bool,
     verbose: bool,
 }
 
 fn usage() -> &'static str {
     "usage: csched [verify] <input.cdag | --workload NAME> [--machine rawN|vliwN] \
-     [--scheduler convergent|uas|pcc|rawcc|bug] [--dump] [--dot] [--pressure] [--verbose] \
-     [--list-workloads]"
+     [--scheduler convergent|uas|pcc|rawcc|bug] [--dump] [--dot] [--pressure] [--profile] \
+     [--verbose] [--list-workloads]"
 }
 
 const WORKLOADS: &[&str] = &[
@@ -116,6 +119,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         dump: false,
         dot: false,
         pressure: false,
+        profile: false,
         verbose: false,
     };
     let mut k = 0;
@@ -142,6 +146,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--dump" => opts.dump = true,
             "--dot" => opts.dot = true,
             "--pressure" => opts.pressure = true,
+            "--profile" => opts.profile = true,
             "--verbose" => opts.verbose = true,
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -272,9 +277,27 @@ fn run() -> Result<(), String> {
 
     let scheduler = make_scheduler(&opts.scheduler, &machine)?;
 
-    let schedule = scheduler
-        .schedule(unit.dag(), &machine)
-        .map_err(|e| format!("scheduling failed: {e}"))?;
+    let (schedule, profile) = if opts.profile {
+        if opts.scheduler != "convergent" {
+            return Err("--profile is only supported for --scheduler convergent".to_string());
+        }
+        // Re-build the concrete driver: `Scheduler` has no profiled
+        // entry point, and only the convergent pipeline has passes.
+        let sched = if machine.comm().register_mapped {
+            ConvergentScheduler::raw_default()
+        } else {
+            ConvergentScheduler::vliw_tuned()
+        };
+        let (out, profile) = sched
+            .schedule_profiled(unit.dag(), &machine)
+            .map_err(|e| format!("scheduling failed: {e}"))?;
+        (out.into_schedule(), Some(profile))
+    } else {
+        let schedule = scheduler
+            .schedule(unit.dag(), &machine)
+            .map_err(|e| format!("scheduling failed: {e}"))?;
+        (schedule, None)
+    };
     validate(unit.dag(), &machine, &schedule)
         .map_err(|e| format!("produced schedule failed validation: {e}"))?;
     let report =
@@ -301,6 +324,10 @@ fn run() -> Result<(), String> {
             machine.registers_per_cluster(),
             p.total_spills()
         );
+    }
+    if let Some(p) = &profile {
+        println!();
+        print!("{}", p.render_table());
     }
     if opts.verbose {
         println!();

@@ -1,0 +1,73 @@
+//! End-to-end equality of the banded and dense preference-map layouts:
+//! for every built-in workload (the table2/figure8 suites) on both a
+//! Raw and a Chorus VLIW machine, the convergent scheduler must
+//! produce *identical* outcomes — assignment, priorities, convergence
+//! trace, and the final space-time schedule — regardless of layout.
+//! The banded map is an exact representation change, not an
+//! approximation.
+
+use convergent_scheduling::core::ConvergentScheduler;
+use convergent_scheduling::ir::SchedulingUnit;
+use convergent_scheduling::machine::Machine;
+use convergent_scheduling::sim::validate;
+use convergent_scheduling::workloads as wl;
+
+fn workloads(banks: u16) -> Vec<SchedulingUnit> {
+    vec![
+        wl::cholesky(wl::CholeskyParams::for_banks(banks)),
+        wl::tomcatv(wl::StencilParams::for_banks(banks)),
+        wl::vpenta(wl::VpentaParams::for_banks(banks)),
+        wl::mxm(wl::MxmParams::for_banks(banks)),
+        wl::fpppp_kernel(wl::FppppParams::small()),
+        wl::sha(wl::ShaParams::small()),
+        wl::swim(wl::StencilParams::for_banks(banks)),
+        wl::jacobi(wl::StencilParams::for_banks(banks)),
+        wl::life(wl::StencilParams::for_banks(banks)),
+        wl::vvmul(wl::VvmulParams::for_banks(banks)),
+        wl::rbsorf(wl::StencilParams::for_banks(banks)),
+        wl::yuv(wl::YuvParams::for_banks(banks)),
+        wl::fir(wl::FirParams::for_banks(banks)),
+    ]
+}
+
+fn check_machine(machine: &Machine, mk: fn() -> ConvergentScheduler) {
+    for unit in workloads(machine.n_clusters() as u16) {
+        let banded = mk()
+            .schedule(unit.dag(), machine)
+            .unwrap_or_else(|e| panic!("{}: banded schedule failed: {e}", unit.name()));
+        let dense = mk()
+            .with_reference_map(true)
+            .schedule(unit.dag(), machine)
+            .unwrap_or_else(|e| panic!("{}: dense schedule failed: {e}", unit.name()));
+        assert_eq!(
+            banded.assignment(),
+            dense.assignment(),
+            "{}: assignments diverge",
+            unit.name()
+        );
+        assert_eq!(
+            banded.trace(),
+            dense.trace(),
+            "{}: convergence traces diverge",
+            unit.name()
+        );
+        assert_eq!(
+            banded.schedule(),
+            dense.schedule(),
+            "{}: schedules diverge",
+            unit.name()
+        );
+        validate(unit.dag(), machine, banded.schedule())
+            .unwrap_or_else(|e| panic!("{}: schedule invalid: {e}", unit.name()));
+    }
+}
+
+#[test]
+fn banded_and_dense_schedules_are_identical_on_raw() {
+    check_machine(&Machine::raw(4), ConvergentScheduler::raw_default);
+}
+
+#[test]
+fn banded_and_dense_schedules_are_identical_on_vliw() {
+    check_machine(&Machine::chorus_vliw(4), ConvergentScheduler::vliw_tuned);
+}

@@ -520,4 +520,106 @@ proptest! {
             }
         }
     }
+
+    /// The heart of the banded rework: the banded layout must agree
+    /// with the retained dense reference layout **bit for bit** —
+    /// weights, marginals, totals, windows, and every derived argmax
+    /// quantity — under arbitrary op streams, including window shrinks
+    /// (band compaction) and out-of-band absolute writes (band
+    /// growth/re-anchoring). Exact equality, not a tolerance: identical
+    /// op sequences must produce identical schedules.
+    #[test]
+    fn banded_map_matches_dense_reference_exactly(
+        ops in proptest::collection::vec(diff_op_strategy(3, 3, 8), 1..80)
+    ) {
+        const N: usize = 3;
+        const C: usize = 3;
+        const T: usize = 8;
+        let mut banded = PreferenceMap::new(N, C, T);
+        let mut dense = PreferenceMap::new_dense(N, C, T);
+        for op in ops {
+            {
+                let apply = |w: &mut PreferenceMap| match op {
+                    DiffOp::Scale { i, c, t, f } => {
+                        w.scale(InstrId::new(i as u32), ClusterId::new(c as u16), t as u32, f);
+                    }
+                    DiffOp::ScaleCluster { i, c, f } => {
+                        w.scale_cluster(InstrId::new(i as u32), ClusterId::new(c as u16), f);
+                    }
+                    DiffOp::ScaleTime { i, t, f } => {
+                        w.scale_time(InstrId::new(i as u32), t as u32, f);
+                    }
+                    DiffOp::Add { i, c, t, d } => {
+                        w.add(InstrId::new(i as u32), ClusterId::new(c as u16), t as u32, d);
+                    }
+                    DiffOp::Set { i, c, t, v } => {
+                        w.set(InstrId::new(i as u32), ClusterId::new(c as u16), t as u32, v);
+                    }
+                    DiffOp::SetWindow { i, lo, len } => {
+                        let lo = lo as u32;
+                        let hi = (lo + len as u32).min(T as u32 - 1);
+                        // Skip proposals disjoint from the current
+                        // window (both layouts would panic).
+                        let (cur_lo, cur_hi) = w.window(InstrId::new(i as u32));
+                        if lo.max(cur_lo) <= hi.min(cur_hi) {
+                            w.set_window(InstrId::new(i as u32), lo, hi);
+                        }
+                    }
+                    DiffOp::Forbid { i, c } => {
+                        w.forbid_cluster(InstrId::new(i as u32), ClusterId::new(c as u16));
+                    }
+                    DiffOp::Reset { i } => w.reset_uniform(InstrId::new(i as u32)),
+                    DiffOp::Materialize { i } => w.materialize(InstrId::new(i as u32)),
+                    DiffOp::Normalize { i } => w.normalize(InstrId::new(i as u32)),
+                    DiffOp::NormalizeAll => w.normalize_all(),
+                    DiffOp::SetMarginal { i, ref target } => {
+                        w.set_cluster_marginal(InstrId::new(i as u32), target);
+                    }
+                };
+                apply(&mut banded);
+                apply(&mut dense);
+            }
+            // Full bitwise comparison after every op.
+            for i in 0..N {
+                let id = InstrId::new(i as u32);
+                prop_assert_eq!(banded.window(id), dense.window(id));
+                for c in 0..C {
+                    let cid = ClusterId::new(c as u16);
+                    for t in 0..T {
+                        let (a, b) = (banded.get(id, cid, t as u32), dense.get(id, cid, t as u32));
+                        prop_assert_eq!(a.to_bits(), b.to_bits(),
+                            "W[{},{},{}]: banded {} vs dense {} after {:?}", i, c, t, a, b, op);
+                    }
+                    let (a, b) = (banded.cluster_weight(id, cid), dense.cluster_weight(id, cid));
+                    prop_assert_eq!(a.to_bits(), b.to_bits(),
+                        "cluster[{},{}]: banded {} vs dense {} after {:?}", i, c, a, b, op);
+                    prop_assert_eq!(banded.cluster_feasible(id, cid), dense.cluster_feasible(id, cid));
+                }
+                for t in 0..T {
+                    let (a, b) = (banded.time_weight(id, t as u32), dense.time_weight(id, t as u32));
+                    prop_assert_eq!(a.to_bits(), b.to_bits(),
+                        "time[{},{}]: banded {} vs dense {} after {:?}", i, t, a, b, op);
+                }
+                prop_assert_eq!(banded.total(id).to_bits(), dense.total(id).to_bits());
+                // Derived quantities decide schedules; they must match
+                // exactly, not just up to value ties.
+                prop_assert_eq!(banded.preferred_cluster(id), dense.preferred_cluster(id),
+                    "preferred_cluster[{}] after {:?}", i, op);
+                prop_assert_eq!(banded.runnerup_cluster(id), dense.runnerup_cluster(id),
+                    "runnerup[{}] after {:?}", i, op);
+                prop_assert_eq!(banded.preferred_time(id), dense.preferred_time(id),
+                    "preferred_time[{}] after {:?}", i, op);
+                prop_assert_eq!(banded.confidence(id).to_bits(), dense.confidence(id).to_bits(),
+                    "confidence[{}] after {:?}", i, op);
+                // The band must always cover every nonzero slot.
+                let (blo, bhi) = banded.band(id);
+                for t in 0..T as u32 {
+                    if banded.time_weight(id, t) != 0.0 {
+                        prop_assert!(blo <= t && t <= bhi,
+                            "band [{},{}] misses live slot {} of i{}", blo, bhi, t, i);
+                    }
+                }
+            }
+        }
+    }
 }
