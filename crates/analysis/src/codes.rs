@@ -1,0 +1,210 @@
+//! The stable `CSxxx` diagnostic-code catalogue.
+
+use std::fmt;
+
+use crate::Severity;
+
+/// A stable diagnostic code.
+///
+/// Codes are grouped by decade: `CS00x` graph structure, `CS01x`
+/// timing and preplacement feasibility, `CS02x` op-class coverage,
+/// `CS03x` advisory graph hygiene, `CS05x` machine-model consistency,
+/// `CS06x` pass contracts. The string ids are append-only: a code is
+/// never renumbered or reused, so tooling may match on them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Code {
+    /// `CS001`: the dependence graph contains a cycle.
+    Cycle,
+    /// `CS002`: an edge endpoint references a nonexistent instruction.
+    DanglingEdge,
+    /// `CS003`: an instruction depends on itself.
+    SelfEdge,
+    /// `CS004`: the same dependence edge is listed twice.
+    DuplicateEdge,
+    /// `CS005`: the scheduling unit has no instructions.
+    EmptyGraph,
+    /// `CS010`: an instruction's feasible window is infeasible — its
+    /// ASAP/ALAP times cannot be represented in cycle arithmetic
+    /// (overflow) or contradict each other.
+    InfeasibleWindow,
+    /// `CS011`: a preplacement names a cluster the machine does not
+    /// have.
+    BadHomeCluster,
+    /// `CS012`: a preplaced instruction's home cluster cannot execute
+    /// its operation class — a contradictory preplacement.
+    IncapableHome,
+    /// `CS013`: two hard-preplaced instructions on a dependence edge
+    /// sit further apart than the edge's slack allows; the nominal
+    /// critical path is unachievable.
+    TightPreplacedPair,
+    /// `CS020`: no cluster in the machine can execute an instruction's
+    /// operation class.
+    UncoverableClass,
+    /// `CS021`: the input graph contains a communication pseudo-op
+    /// (`copy`/`send`/`recv`) that only schedulers may insert.
+    CommOpInInput,
+    /// `CS030`: a side-effect-free instruction has no consumers (dead
+    /// value).
+    DeadValue,
+    /// `CS031`: the static register-pressure lower bound exceeds the
+    /// machine's total register count.
+    PressureOverRegisters,
+    /// `CS050`: the latency table reports zero latency for a
+    /// non-communication operation class used by the graph.
+    ZeroLatency,
+    /// `CS051`: nonzero `Send`/`Recv` latency on a register-mapped
+    /// machine, where network ports piggyback on producer/consumer
+    /// instructions.
+    CommLatencyMismatch,
+    /// `CS060`: a pass performed an absolute weight write outside an
+    /// instruction's feasible window.
+    OutOfWindowWrite,
+    /// `CS061`: a pass produced different writes on identical inputs
+    /// with the same seed.
+    NondeterministicPass,
+    /// `CS062`: the preference map violated its normalization
+    /// invariants after a pass ran.
+    BrokenNormalization,
+    /// `CS063`: a pass forbade (or zeroed) the home cluster of a
+    /// preplaced instruction.
+    PreplacementDemoted,
+}
+
+impl Code {
+    /// Every code, in catalogue order — used to generate and test the
+    /// `docs/DIAGNOSTICS.md` catalogue.
+    pub const ALL: [Code; 19] = [
+        Code::Cycle,
+        Code::DanglingEdge,
+        Code::SelfEdge,
+        Code::DuplicateEdge,
+        Code::EmptyGraph,
+        Code::InfeasibleWindow,
+        Code::BadHomeCluster,
+        Code::IncapableHome,
+        Code::TightPreplacedPair,
+        Code::UncoverableClass,
+        Code::CommOpInInput,
+        Code::DeadValue,
+        Code::PressureOverRegisters,
+        Code::ZeroLatency,
+        Code::CommLatencyMismatch,
+        Code::OutOfWindowWrite,
+        Code::NondeterministicPass,
+        Code::BrokenNormalization,
+        Code::PreplacementDemoted,
+    ];
+
+    /// The stable string id, e.g. `"CS001"`.
+    #[must_use]
+    pub const fn id(self) -> &'static str {
+        match self {
+            Code::Cycle => "CS001",
+            Code::DanglingEdge => "CS002",
+            Code::SelfEdge => "CS003",
+            Code::DuplicateEdge => "CS004",
+            Code::EmptyGraph => "CS005",
+            Code::InfeasibleWindow => "CS010",
+            Code::BadHomeCluster => "CS011",
+            Code::IncapableHome => "CS012",
+            Code::TightPreplacedPair => "CS013",
+            Code::UncoverableClass => "CS020",
+            Code::CommOpInInput => "CS021",
+            Code::DeadValue => "CS030",
+            Code::PressureOverRegisters => "CS031",
+            Code::ZeroLatency => "CS050",
+            Code::CommLatencyMismatch => "CS051",
+            Code::OutOfWindowWrite => "CS060",
+            Code::NondeterministicPass => "CS061",
+            Code::BrokenNormalization => "CS062",
+            Code::PreplacementDemoted => "CS063",
+        }
+    }
+
+    /// The severity a diagnostic with this code carries by default.
+    ///
+    /// `CS012` is the one context-dependent code: contradictory
+    /// preplacement is an [`Severity::Error`] on machines where
+    /// preplacement is a hard constraint and a [`Severity::Warning`]
+    /// otherwise; this returns the hard-machine severity.
+    #[must_use]
+    pub const fn default_severity(self) -> Severity {
+        match self {
+            Code::Cycle
+            | Code::DanglingEdge
+            | Code::SelfEdge
+            | Code::DuplicateEdge
+            | Code::EmptyGraph
+            | Code::InfeasibleWindow
+            | Code::BadHomeCluster
+            | Code::IncapableHome
+            | Code::UncoverableClass
+            | Code::OutOfWindowWrite
+            | Code::NondeterministicPass
+            | Code::BrokenNormalization
+            | Code::PreplacementDemoted => Severity::Error,
+            Code::CommOpInInput | Code::ZeroLatency | Code::CommLatencyMismatch => {
+                Severity::Warning
+            }
+            Code::TightPreplacedPair | Code::DeadValue | Code::PressureOverRegisters => {
+                Severity::Note
+            }
+        }
+    }
+
+    /// One-line human summary of what the code means.
+    #[must_use]
+    pub const fn summary(self) -> &'static str {
+        match self {
+            Code::Cycle => "dependence graph contains a cycle",
+            Code::DanglingEdge => "edge endpoint references a nonexistent instruction",
+            Code::SelfEdge => "instruction depends on itself",
+            Code::DuplicateEdge => "duplicate dependence edge",
+            Code::EmptyGraph => "scheduling unit has no instructions",
+            Code::InfeasibleWindow => "infeasible ASAP/ALAP window (cycle-arithmetic overflow)",
+            Code::BadHomeCluster => "preplacement names a nonexistent cluster",
+            Code::IncapableHome => "preplaced home cluster cannot execute the instruction",
+            Code::TightPreplacedPair => "preplaced pair further apart than edge slack allows",
+            Code::UncoverableClass => "no cluster can execute the operation class",
+            Code::CommOpInInput => "communication pseudo-op in input graph",
+            Code::DeadValue => "side-effect-free instruction has no consumers",
+            Code::PressureOverRegisters => {
+                "register-pressure lower bound exceeds machine registers"
+            }
+            Code::ZeroLatency => "zero latency for a non-communication class",
+            Code::CommLatencyMismatch => "nonzero send/recv latency on a register-mapped machine",
+            Code::OutOfWindowWrite => "pass wrote outside a feasible window",
+            Code::NondeterministicPass => "pass is nondeterministic for a fixed seed",
+            Code::BrokenNormalization => "pass broke preference-map normalization invariants",
+            Code::PreplacementDemoted => "pass forbade a preplaced instruction's home cluster",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_stable() {
+        let mut ids: Vec<&str> = Code::ALL.iter().map(|c| c.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), Code::ALL.len());
+        assert_eq!(Code::Cycle.id(), "CS001");
+        assert_eq!(Code::PreplacementDemoted.id(), "CS063");
+    }
+
+    #[test]
+    fn display_matches_id() {
+        for c in Code::ALL {
+            assert_eq!(c.to_string(), c.id());
+        }
+    }
+}

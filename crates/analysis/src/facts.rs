@@ -1,0 +1,206 @@
+//! Machine-aware static facts about a dependence graph.
+
+use convergent_ir::{Dag, InstrId, Opcode};
+use convergent_machine::Machine;
+
+/// ASAP/ALAP windows, slack, and resource lower bounds for a
+/// `(DAG, machine)` pair.
+///
+/// Unlike `convergent_ir::TimeAnalysis` — which this mirrors — all
+/// arithmetic here is done in `u64`, so pathological latency tables
+/// that would overflow the scheduler's `u32` cycle arithmetic are
+/// *detected* ([`GraphFacts::overflows`]) instead of wrapping or
+/// panicking. This is what lets the linter report `CS010` statically.
+#[derive(Clone, Debug)]
+pub struct GraphFacts {
+    latency: Vec<u64>,
+    est: Vec<u64>,
+    lst: Vec<u64>,
+    cpl: u64,
+}
+
+impl GraphFacts {
+    /// Computes the facts for `dag` on `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dag` is empty (an empty unit is rejected by the
+    /// linter before facts are computed).
+    #[must_use]
+    pub fn compute(dag: &Dag, machine: &Machine) -> Self {
+        assert!(!dag.is_empty(), "facts need at least one instruction");
+        let n = dag.len();
+        let latency: Vec<u64> = dag
+            .instrs()
+            .iter()
+            .map(|i| u64::from(machine.latency_of(i)))
+            .collect();
+        let mut est = vec![0u64; n];
+        for &i in dag.topo_order() {
+            let mut t = 0u64;
+            for &p in dag.preds(i) {
+                t = t.max(est[p.index()] + latency[p.index()]);
+            }
+            est[i.index()] = t;
+        }
+        let cpl = (0..n).map(|i| est[i] + latency[i]).max().unwrap_or(0);
+        let mut lst = vec![u64::MAX; n];
+        for &i in dag.topo_order().iter().rev() {
+            let k = i.index();
+            let mut t = cpl;
+            for &s in dag.succs(i) {
+                t = t.min(lst[s.index()]);
+            }
+            lst[k] = t - latency[k];
+        }
+        GraphFacts {
+            latency,
+            est,
+            lst,
+            cpl,
+        }
+    }
+
+    /// Earliest feasible start cycle (ASAP) of `i`.
+    #[must_use]
+    pub fn earliest_start(&self, i: InstrId) -> u64 {
+        self.est[i.index()]
+    }
+
+    /// Latest start cycle (ALAP, for the nominal critical-path
+    /// makespan) of `i`.
+    #[must_use]
+    pub fn latest_start(&self, i: InstrId) -> u64 {
+        self.lst[i.index()]
+    }
+
+    /// Static slack of `i`: `latest_start - earliest_start`.
+    #[must_use]
+    pub fn slack(&self, i: InstrId) -> u64 {
+        self.lst[i.index()] - self.est[i.index()]
+    }
+
+    /// The machine latency of `i`, widened to `u64`.
+    #[must_use]
+    pub fn latency(&self, i: InstrId) -> u64 {
+        self.latency[i.index()]
+    }
+
+    /// Critical-path length in cycles.
+    #[must_use]
+    pub fn critical_path_length(&self) -> u64 {
+        self.cpl
+    }
+
+    /// Instructions whose window cannot be represented in the
+    /// scheduler's `u32` cycle arithmetic (completion past
+    /// `u32::MAX`). Empty for every sane latency table.
+    #[must_use]
+    pub fn overflows(&self) -> Vec<InstrId> {
+        (0..self.est.len())
+            .filter(|&k| self.est[k] + self.latency[k] > u64::from(u32::MAX))
+            .map(|k| InstrId::new(k as u32))
+            .collect()
+    }
+
+    /// A static register-pressure lower bound: the largest number of
+    /// operand values that must be live simultaneously to issue a
+    /// single instruction (its fan-in).
+    #[must_use]
+    pub fn pressure_lower_bound(dag: &Dag) -> usize {
+        dag.ids().map(|i| dag.preds(i).len()).max().unwrap_or(0)
+    }
+
+    /// Dead values: side-effect-free instructions with no consumers,
+    /// in a graph that *does* contain effectful instructions (an
+    /// all-pure graph is a synthetic kernel whose leaves are its
+    /// outputs).
+    #[must_use]
+    pub fn dead_values(dag: &Dag) -> Vec<InstrId> {
+        let effectful = |op: Opcode| matches!(op, Opcode::Store | Opcode::Branch);
+        if !dag.instrs().iter().any(|i| effectful(i.opcode())) {
+            return Vec::new();
+        }
+        dag.leaves()
+            .filter(|&i| {
+                let op = dag.instr(i).opcode();
+                !effectful(op) && !op.is_communication()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convergent_ir::DagBuilder;
+    use convergent_machine::LatencyTable;
+
+    fn chain(ops: &[Opcode]) -> Dag {
+        let mut b = DagBuilder::new();
+        let ids: Vec<InstrId> = ops.iter().map(|&op| b.instr(op)).collect();
+        for w in ids.windows(2) {
+            b.edge(w[0], w[1]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn windows_match_time_analysis_on_sane_inputs() {
+        let dag = chain(&[Opcode::Load, Opcode::IntAlu, Opcode::Store]);
+        let m = Machine::raw(4);
+        let facts = GraphFacts::compute(&dag, &m);
+        let ta = convergent_ir::TimeAnalysis::compute(&dag, |i| m.latency_of(i));
+        for i in dag.ids() {
+            assert_eq!(facts.earliest_start(i), u64::from(ta.earliest_start(i)));
+            assert_eq!(facts.latest_start(i), u64::from(ta.latest_start(i)));
+            assert_eq!(facts.slack(i), u64::from(ta.slack(i)));
+        }
+        assert_eq!(
+            facts.critical_path_length(),
+            u64::from(ta.critical_path_length())
+        );
+        assert!(facts.overflows().is_empty());
+    }
+
+    #[test]
+    fn overflow_is_detected_not_wrapped() {
+        let dag = chain(&[Opcode::IntAlu, Opcode::IntAlu, Opcode::IntAlu]);
+        let m = Machine::raw(1).with_latencies(LatencyTable::uniform(u32::MAX));
+        let facts = GraphFacts::compute(&dag, &m);
+        let over = facts.overflows();
+        assert!(!over.is_empty());
+        // The first instruction alone completes at u32::MAX, which is
+        // representable; its successors are not.
+        assert!(over.contains(&InstrId::new(1)));
+    }
+
+    #[test]
+    fn pressure_bound_is_max_fanin() {
+        let mut b = DagBuilder::new();
+        let producers: Vec<InstrId> = (0..5).map(|_| b.instr(Opcode::IntAlu)).collect();
+        let sink = b.instr(Opcode::IntAlu);
+        for p in &producers {
+            b.edge(*p, sink).unwrap();
+        }
+        let dag = b.build().unwrap();
+        assert_eq!(GraphFacts::pressure_lower_bound(&dag), 5);
+    }
+
+    #[test]
+    fn dead_values_need_an_effectful_sibling() {
+        // Pure graph: no dead values by definition.
+        let pure = chain(&[Opcode::FMul, Opcode::FMul]);
+        assert!(GraphFacts::dead_values(&pure).is_empty());
+        // Add a store on a separate chain: the pure leaf is now dead.
+        let mut b = DagBuilder::new();
+        let a = b.instr(Opcode::FMul);
+        let dead = b.instr(Opcode::FMul);
+        b.edge(a, dead).unwrap();
+        let v = b.instr(Opcode::Load);
+        let st = b.instr(Opcode::Store);
+        b.edge(v, st).unwrap();
+        let dag = b.build().unwrap();
+        assert_eq!(GraphFacts::dead_values(&dag), vec![dead]);
+    }
+}

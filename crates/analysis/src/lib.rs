@@ -1,0 +1,44 @@
+//! Static analysis for convergent scheduling inputs.
+//!
+//! The schedulers in this workspace trust that the dependence graph,
+//! the machine model, and each convergent pass are well-formed; before
+//! this crate, a cyclic DAG or an infeasible preplacement was only
+//! caught — if at all — deep inside `evaluate()` or by the fuzz
+//! shrinker. `convergent-analysis` checks the `(DAG, machine)` half of
+//! that triple *statically*, without running a scheduler, and reports
+//! problems as structured [`Diagnostic`]s under a stable `CSxxx`
+//! [`Code`] catalogue (see `docs/DIAGNOSTICS.md` at the workspace
+//! root).
+//!
+//! The third leg of the triple — the pass sequence — is verified by
+//! `convergent_core::contract`, which records every `PreferenceMap`
+//! write a pass performs on small probe graphs and emits the `CS06x`
+//! codes defined here. The `csched lint` subcommand composes both
+//! layers.
+//!
+//! Entry points:
+//!
+//! * [`lint_raw`] — lint a parsed-but-unvalidated [`RawUnit`]
+//!   (cycles with a witness path, dangling/self/duplicate edges, …).
+//! * [`lint_dag`] — lint a validated [`Dag`] against a [`Machine`]
+//!   (feasible windows, preplacement, op-class coverage, latency
+//!   table, dead code, register pressure).
+//! * [`lint_unit`] — convenience wrapper over [`lint_dag`] for a
+//!   [`SchedulingUnit`].
+//!
+//! [`RawUnit`]: convergent_ir::RawUnit
+//! [`Dag`]: convergent_ir::Dag
+//! [`Machine`]: convergent_machine::Machine
+//! [`SchedulingUnit`]: convergent_ir::SchedulingUnit
+
+#![warn(missing_docs)]
+
+mod codes;
+mod diag;
+mod facts;
+mod lint;
+
+pub use codes::Code;
+pub use diag::{Diagnostic, LintReport, Severity};
+pub use facts::GraphFacts;
+pub use lint::{lint_dag, lint_raw, lint_unit, LintOptions};

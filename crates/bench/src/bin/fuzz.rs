@@ -11,15 +11,21 @@
 //! 3. nothing may panic.
 //!
 //! A scheduler may *reject* a graph for a legitimate structural reason
-//! (no capable cluster, out-of-range home bank); anything else — an
-//! invalid schedule, a simulator disagreement, a panic — is a bug.
-//! The first failure per scheduler is greedily shrunk to a minimal
-//! graph and dumped as a replayable `.cdag` repro:
+//! (no capable cluster, out-of-range home bank, a lint error surfaced
+//! by its precondition hook); anything else — an invalid schedule, a
+//! simulator disagreement, a panic — is a bug. Every generated graph
+//! is also held to the static linter *before* any scheduler sees it:
+//! the generators promise lint-clean output (under `--deny warnings`
+//! strictness), so any diagnostic is reported as a failure of the
+//! pseudo-scheduler `lint`. The first failure per scheduler is
+//! greedily shrunk to a minimal graph — re-linting at every shrink
+//! step so the repro stays schedulable by `csched verify` — and dumped
+//! as a replayable `.cdag`:
 //!
 //! ```text
 //! cargo run --release -p convergent-bench --bin fuzz -- \
 //!     [--seed N] [--budget N] [--jobs N] [--dump-dir PATH] \
-//!     [--family NAME] [--size N] [--machines a,b,c]
+//!     [--family NAME] [--size N] [--machines a,b,c] [--lint-only]
 //! csched verify <dump-dir>/<repro>.cdag --machine <spec> --scheduler <name>
 //! ```
 //!
@@ -28,10 +34,14 @@
 //! or restrict the corresponding case dimension — the targeted mode
 //! the check scripts use to drive one large deep-chain unit through
 //! every scheduler (exercising the preference map's band re-anchoring
-//! end to end) without paying for a full random sweep.
+//! end to end) without paying for a full random sweep. `--lint-only`
+//! skips the schedulers entirely and just lints the case stream — the
+//! cheap smoke the check scripts run over hundreds of graphs.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use convergent_analysis::{lint_unit, LintOptions};
+use convergent_bench::cases::{case_stream, Case, FAMILIES, MACHINES};
 use convergent_bench::parallel::{default_jobs, jobs_from_args, run_cells};
 use convergent_core::ConvergentScheduler;
 use convergent_ir::{to_text, ClusterId, Dag, DagBuilder, Instruction, Opcode, SchedulingUnit};
@@ -40,30 +50,14 @@ use convergent_schedulers::{
     BugScheduler, PccScheduler, RawccScheduler, ScheduleError, Scheduler, UasScheduler,
 };
 use convergent_sim::{cross_check, validate};
-use convergent_workloads::{
-    deep_chain, fully_preplaced, layered, op_class_desert, parallel_chains, series_parallel,
-    wide_fanin, LayeredParams,
-};
-
-/// Machine presets swept by the fuzzer: every Raw tile count the
-/// router handles, the Chorus VLIW widths from the paper, and the
-/// single-cluster degenerate machine.
-const MACHINES: &[&str] = &[
-    "raw1", "raw2", "raw3", "raw4", "raw5", "raw6", "raw7", "raw8", "raw9", "raw10", "raw11",
-    "raw12", "raw13", "raw14", "raw15", "raw16", "vliw1", "vliw2", "vliw4", "vliw8",
-];
 
 const SCHEDULERS: &[&str] = &["convergent", "uas", "pcc", "rawcc", "bug"];
 
-fn machine_from_spec(spec: &str) -> Machine {
-    if let Some(n) = spec.strip_prefix("raw") {
-        return Machine::raw(n.parse().expect("preset specs parse"));
-    }
-    if let Some(n) = spec.strip_prefix("vliw") {
-        return Machine::chorus_vliw(n.parse().expect("preset specs parse"));
-    }
-    unreachable!("presets are rawN/vliwN");
-}
+/// Pseudo-scheduler name under which lint findings on *generated*
+/// graphs are reported. Not a real scheduler: lint failures mean the
+/// graph generator broke its lint-clean promise, so there is nothing
+/// to shrink against a scheduler and the graph is dumped as-is.
+const LINT_STAGE: &str = "lint";
 
 fn make_scheduler(name: &str, machine: &Machine) -> Box<dyn Scheduler> {
     match name {
@@ -84,55 +78,7 @@ fn make_scheduler(name: &str, machine: &Machine) -> Box<dyn Scheduler> {
     }
 }
 
-/// SplitMix64: a tiny, high-quality deterministic generator so the
-/// harness does not depend on the `rand` crate at run time.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-const FAMILIES: &[&str] = &[
-    "layered",
-    "layered-preplaced",
-    "series-parallel",
-    "parallel-chains",
-    "deep-chain",
-    "wide-fanin",
-    "fully-preplaced",
-    "op-class-desert",
-];
-
-fn build_unit(family: &str, size: usize, banks: u16, seed: u64) -> SchedulingUnit {
-    match family {
-        "layered" => layered(LayeredParams::new(size, seed).with_width(1 + size / 8)),
-        "layered-preplaced" => layered(
-            LayeredParams::new(size, seed)
-                .with_width(1 + size / 10)
-                .with_preplacement(0.5, banks),
-        ),
-        "series-parallel" => series_parallel(size, seed),
-        "parallel-chains" => parallel_chains(1 + size / 10, 1 + size % 10),
-        "deep-chain" => deep_chain(size),
-        "wide-fanin" => wide_fanin(size, banks, seed),
-        "fully-preplaced" => fully_preplaced(size, banks, seed),
-        "op-class-desert" => op_class_desert(size, seed),
-        other => unreachable!("unknown family {other}"),
-    }
-}
-
-/// One (graph, machine) cell of the sweep.
-struct Case {
-    id: usize,
-    family: &'static str,
-    machine_spec: &'static str,
-    size: usize,
-    unit_seed: u64,
-}
-
-/// What went wrong for one scheduler on one case.
+/// What went wrong for one scheduler (or the lint stage) on one case.
 struct Failure {
     case_id: usize,
     family: &'static str,
@@ -148,7 +94,10 @@ struct CaseOutcome {
 }
 
 /// A structural rejection is a legitimate answer; anything else the
-/// scheduler reports is a bug in the scheduler itself.
+/// scheduler reports is a bug in the scheduler itself. `Lint` counts:
+/// a precondition hook refusing malformed input is the designed
+/// behaviour (and generated graphs never trip it — the lint stage in
+/// [`run_case`] would have flagged them first).
 fn is_legit_reject(e: &ScheduleError) -> bool {
     matches!(
         e,
@@ -156,6 +105,7 @@ fn is_legit_reject(e: &ScheduleError) -> bool {
             | ScheduleError::BadHomeCluster { .. }
             | ScheduleError::PreplacementConflict { .. }
             | ScheduleError::LengthMismatch { .. }
+            | ScheduleError::Lint { .. }
     )
 }
 
@@ -195,19 +145,35 @@ fn check_one(unit: &SchedulingUnit, machine: &Machine, scheduler: &str) -> Resul
     }
 }
 
-fn run_case(case: &Case) -> CaseOutcome {
-    let machine = machine_from_spec(case.machine_spec);
-    let unit = build_unit(
-        case.family,
-        case.size,
-        machine.n_clusters() as u16,
-        case.unit_seed,
-    );
+fn run_case(case: &Case, lint_only: bool) -> CaseOutcome {
+    let (machine, unit) = case.instantiate();
     let mut out = CaseOutcome {
         schedules: 0,
         rejects: 0,
         failures: Vec::new(),
     };
+    // Lint stage first: generated graphs must be spotless, warnings
+    // included. A diagnostic here is a generator bug, not a scheduler
+    // bug, so the schedulers are skipped for this case.
+    let report = lint_unit(&unit, &machine, LintOptions::default());
+    if !report.is_clean(true) {
+        let rendered: Vec<String> = report
+            .diagnostics()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        out.failures.push(Failure {
+            case_id: case.id,
+            family: case.family,
+            machine_spec: case.machine_spec,
+            scheduler: LINT_STAGE,
+            message: rendered.join("; "),
+        });
+        return out;
+    }
+    if lint_only {
+        return out;
+    }
     for &scheduler in SCHEDULERS {
         match check_one(&unit, &machine, scheduler) {
             Ok(true) => out.schedules += 1,
@@ -296,9 +262,17 @@ impl DagSpec {
 }
 
 /// Does this graph still make `scheduler` fail the referee pair?
+///
+/// Every candidate is re-linted before it may be accepted: a shrunk
+/// repro must stay lint-error-free, or `csched verify` on the dumped
+/// `.cdag` would refuse to schedule it and the repro would not replay
+/// the scheduler bug it documents.
 fn still_fails(spec: &DagSpec, machine: &Machine, scheduler: &str) -> Option<String> {
     let dag = spec.build()?;
     let unit = SchedulingUnit::new("shrink", dag);
+    if !lint_unit(&unit, machine, LintOptions::default()).is_clean(false) {
+        return None;
+    }
     check_one(&unit, machine, scheduler).err()
 }
 
@@ -347,6 +321,7 @@ fn main() {
     let mut family: Option<&'static str> = None;
     let mut size: Option<usize> = None;
     let mut machines: Vec<&'static str> = MACHINES.to_vec();
+    let mut lint_only = false;
     let mut k = 0;
     while k < args.len() {
         match args[k].as_str() {
@@ -398,11 +373,12 @@ fn main() {
                     })
                     .collect();
             }
+            "--lint-only" => lint_only = true,
             other => {
                 eprintln!("fuzz: unknown option '{other}'");
                 eprintln!(
                     "usage: fuzz [--seed N] [--budget N] [--jobs N] [--dump-dir PATH] \
-                     [--family NAME] [--size N] [--machines a,b,c]"
+                     [--family NAME] [--size N] [--machines a,b,c] [--lint-only]"
                 );
                 std::process::exit(2);
             }
@@ -410,40 +386,30 @@ fn main() {
         k += 1;
     }
 
-    // Deterministic case list: every draw comes from one SplitMix64
-    // stream, so (seed, budget) fixes the entire sweep. Pinned
-    // dimensions still consume their draws, keeping the unpinned
-    // dimensions' sequence identical to the full sweep's.
-    let mut state = seed ^ 0xC0FF_EE00_D15E_A5E5;
-    let cases: Vec<Case> = (0..budget)
-        .map(|id| {
-            let r0 = splitmix64(&mut state);
-            let r1 = splitmix64(&mut state);
-            let r2 = splitmix64(&mut state);
-            Case {
-                id,
-                family: family.unwrap_or(FAMILIES[(r0 % FAMILIES.len() as u64) as usize]),
-                machine_spec: machines[(r1 % machines.len() as u64) as usize],
-                size: size.unwrap_or(3 + (r2 % 90) as usize),
-                unit_seed: splitmix64(&mut state),
-            }
-        })
-        .collect();
+    let cases = case_stream(seed, budget, family, size, &machines);
 
     // Panics are caught and reported as failures; silence the default
     // hook's backtrace spew so the summary stays readable.
     std::panic::set_hook(Box::new(|_| {}));
-    let outcomes = run_cells(&cases, jobs, run_case);
+    let outcomes = run_cells(&cases, jobs, |c| run_case(c, lint_only));
     let _ = std::panic::take_hook();
 
     let schedules: usize = outcomes.iter().map(|o| o.schedules).sum();
     let rejects: usize = outcomes.iter().map(|o| o.rejects).sum();
     let failures: Vec<&Failure> = outcomes.iter().flat_map(|o| &o.failures).collect();
-    println!(
-        "fuzz: {budget} cases (seed {seed}), {schedules} schedules cross-checked, \
-         {rejects} legitimate rejects, {} failures",
-        failures.len()
-    );
+    if lint_only {
+        println!(
+            "fuzz --lint-only: {budget} cases (seed {seed}), {} linted clean, {} lint failures",
+            budget - failures.len(),
+            failures.len()
+        );
+    } else {
+        println!(
+            "fuzz: {budget} cases (seed {seed}), {schedules} schedules cross-checked, \
+             {rejects} legitimate rejects, {} failures",
+            failures.len()
+        );
+    }
 
     if failures.is_empty() {
         return;
@@ -464,13 +430,20 @@ fn main() {
         }
         dumped.push(f.scheduler);
         let case = &cases[f.case_id];
-        let machine = machine_from_spec(case.machine_spec);
-        let unit = build_unit(
-            case.family,
-            case.size,
-            machine.n_clusters() as u16,
-            case.unit_seed,
-        );
+        let (machine, unit) = case.instantiate();
+        if f.scheduler == LINT_STAGE {
+            // A generator broke its lint-clean promise; there is no
+            // scheduler bug to shrink against, so dump the graph
+            // as-is for `csched lint` to dissect.
+            let name = format!("lint-{}-case{}", f.machine_spec, f.case_id);
+            let path = format!("{dump_dir}/{name}.cdag");
+            std::fs::write(&path, to_text(&unit)).expect("write lint repro");
+            println!(
+                "  repro: csched lint {path} --machine {} --deny warnings",
+                f.machine_spec
+            );
+            continue;
+        }
         let (spec, message) = shrink(&unit, &machine, f.scheduler);
         let dag = spec.build().expect("shrunk spec still builds");
         let name = format!("repro-{}-{}-case{}", f.scheduler, f.machine_spec, f.case_id);

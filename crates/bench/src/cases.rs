@@ -1,0 +1,180 @@
+//! Deterministic fuzz-case stream shared by the `fuzz` binary and the
+//! lint-cleanliness tests.
+//!
+//! A case is one `(graph family, size, seed) × machine preset` cell.
+//! The stream is produced by a single SplitMix64 generator, so
+//! `(seed, budget)` fixes the entire sweep: the fuzzer, the check
+//! scripts' `--lint-only` smoke, and the `tests/lint_clean.rs`
+//! acceptance test all see the exact same graphs for the same seed.
+
+use convergent_ir::SchedulingUnit;
+use convergent_machine::Machine;
+use convergent_workloads::{
+    deep_chain, fully_preplaced, layered, op_class_desert, parallel_chains, series_parallel,
+    wide_fanin, LayeredParams,
+};
+
+/// Machine presets swept by the fuzzer: every Raw tile count the
+/// router handles, the Chorus VLIW widths from the paper, and the
+/// single-cluster degenerate machine.
+pub const MACHINES: &[&str] = &[
+    "raw1", "raw2", "raw3", "raw4", "raw5", "raw6", "raw7", "raw8", "raw9", "raw10", "raw11",
+    "raw12", "raw13", "raw14", "raw15", "raw16", "vliw1", "vliw2", "vliw4", "vliw8",
+];
+
+/// Graph families the generator draws from.
+pub const FAMILIES: &[&str] = &[
+    "layered",
+    "layered-preplaced",
+    "series-parallel",
+    "parallel-chains",
+    "deep-chain",
+    "wide-fanin",
+    "fully-preplaced",
+    "op-class-desert",
+];
+
+/// Builds a machine from a `rawN`/`vliwN` preset spec.
+///
+/// # Panics
+///
+/// Panics if `spec` is not one of the [`MACHINES`] presets.
+#[must_use]
+pub fn machine_from_spec(spec: &str) -> Machine {
+    if let Some(n) = spec.strip_prefix("raw") {
+        return Machine::raw(n.parse().expect("preset specs parse"));
+    }
+    if let Some(n) = spec.strip_prefix("vliw") {
+        return Machine::chorus_vliw(n.parse().expect("preset specs parse"));
+    }
+    unreachable!("presets are rawN/vliwN");
+}
+
+/// SplitMix64: a tiny, high-quality deterministic generator so the
+/// harness does not depend on the `rand` crate at run time.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Instantiates one graph family at the given size and seed.
+///
+/// # Panics
+///
+/// Panics if `family` is not one of the [`FAMILIES`] names.
+#[must_use]
+pub fn build_unit(family: &str, size: usize, banks: u16, seed: u64) -> SchedulingUnit {
+    match family {
+        "layered" => layered(LayeredParams::new(size, seed).with_width(1 + size / 8)),
+        "layered-preplaced" => layered(
+            LayeredParams::new(size, seed)
+                .with_width(1 + size / 10)
+                .with_preplacement(0.5, banks),
+        ),
+        "series-parallel" => series_parallel(size, seed),
+        "parallel-chains" => parallel_chains(1 + size / 10, 1 + size % 10),
+        "deep-chain" => deep_chain(size),
+        "wide-fanin" => wide_fanin(size, banks, seed),
+        "fully-preplaced" => fully_preplaced(size, banks, seed),
+        "op-class-desert" => op_class_desert(size, seed),
+        other => unreachable!("unknown family {other}"),
+    }
+}
+
+/// One (graph, machine) cell of the sweep.
+pub struct Case {
+    /// Position in the stream (stable for a given seed).
+    pub id: usize,
+    /// Graph family name (one of [`FAMILIES`]).
+    pub family: &'static str,
+    /// Machine preset spec (one of [`MACHINES`]).
+    pub machine_spec: &'static str,
+    /// Instruction count passed to the family generator.
+    pub size: usize,
+    /// Seed passed to the family generator.
+    pub unit_seed: u64,
+}
+
+impl Case {
+    /// Builds this case's machine and graph.
+    #[must_use]
+    pub fn instantiate(&self) -> (Machine, SchedulingUnit) {
+        let machine = machine_from_spec(self.machine_spec);
+        let unit = build_unit(
+            self.family,
+            self.size,
+            machine.n_clusters() as u16,
+            self.unit_seed,
+        );
+        (machine, unit)
+    }
+}
+
+/// The deterministic case list: every draw comes from one SplitMix64
+/// stream, so `(seed, budget)` fixes the entire sweep. Pinned
+/// dimensions still consume their draws, keeping the unpinned
+/// dimensions' sequence identical to the full sweep's.
+#[must_use]
+pub fn case_stream(
+    seed: u64,
+    budget: usize,
+    family: Option<&'static str>,
+    size: Option<usize>,
+    machines: &[&'static str],
+) -> Vec<Case> {
+    let mut state = seed ^ 0xC0FF_EE00_D15E_A5E5;
+    (0..budget)
+        .map(|id| {
+            let r0 = splitmix64(&mut state);
+            let r1 = splitmix64(&mut state);
+            let r2 = splitmix64(&mut state);
+            Case {
+                id,
+                family: family.unwrap_or(FAMILIES[(r0 % FAMILIES.len() as u64) as usize]),
+                machine_spec: machines[(r1 % machines.len() as u64) as usize],
+                size: size.unwrap_or(3 + (r2 % 90) as usize),
+                unit_seed: splitmix64(&mut state),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_dimension_pinning_is_transparent() {
+        let full = case_stream(7, 20, None, None, MACHINES);
+        let again = case_stream(7, 20, None, None, MACHINES);
+        for (a, b) in full.iter().zip(&again) {
+            assert_eq!(a.family, b.family);
+            assert_eq!(a.machine_spec, b.machine_spec);
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.unit_seed, b.unit_seed);
+        }
+        // Pinning the family keeps every other dimension's draws.
+        let pinned = case_stream(7, 20, Some("deep-chain"), None, MACHINES);
+        for (a, b) in full.iter().zip(&pinned) {
+            assert_eq!(b.family, "deep-chain");
+            assert_eq!(a.machine_spec, b.machine_spec);
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.unit_seed, b.unit_seed);
+        }
+    }
+
+    #[test]
+    fn every_preset_and_family_instantiates() {
+        for &spec in MACHINES {
+            let machine = machine_from_spec(spec);
+            assert!(machine.n_clusters() >= 1);
+        }
+        for &family in FAMILIES {
+            let unit = build_unit(family, 12, 4, 3);
+            assert!(!unit.dag().is_empty(), "{family}");
+        }
+    }
+}

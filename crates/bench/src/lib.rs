@@ -7,6 +7,7 @@
 //! resulting makespans as speedups relative to a single-cluster run of
 //! the same graph.
 
+pub mod cases;
 pub mod parallel;
 
 use convergent_ir::{ClusterId, SchedulingUnit};

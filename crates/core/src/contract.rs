@@ -1,0 +1,266 @@
+//! Empirical pass-contract verification.
+//!
+//! A [`crate::Pass`] declares a [`PassContract`]; this module checks
+//! the declaration by *running* the pass on small probe graphs with
+//! the recording `PreferenceMap` proxy enabled and inspecting the
+//! captured [`WeightOp`] log. A contract-violating pass is thereby
+//! flagged at `csched lint` time — as a structured `CS06x` diagnostic
+//! — rather than surfacing later as a fuzz counterexample or a wrong
+//! schedule.
+//!
+//! The probes are deliberately tiny (a latency-diverse chain and a
+//! preplaced diamond) so the whole builtin sequence verifies in well
+//! under a millisecond; they are not meant to be adversarial
+//! workloads but to exercise the operations every heuristic performs:
+//! windows, preplacement, cross-cluster tension, and slack.
+
+use std::collections::HashSet;
+
+use convergent_analysis::{Code, Diagnostic};
+use convergent_ir::{ClusterId, Dag, DagBuilder, DistanceOracle, Opcode, TimeAnalysis};
+use convergent_machine::Machine;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::passes::InitTime;
+use crate::weights::WeightOp;
+use crate::{Pass, PassContext, PassContract, PreferenceMap, Sequence};
+
+/// Seed for the pass under test; fixed so two recorded runs are
+/// comparable bit for bit.
+const PROBE_SEED: u64 = 0x5EED_CA11;
+
+/// Tolerance for the post-run invariant check — looser than the unit
+/// tests' `1e-9` since a whole pass may legitimately accumulate a few
+/// ulps of drift across marginals.
+const INVARIANT_TOL: f64 = 1e-6;
+
+/// One recorded execution of a pass on a probe.
+struct RecordedRun {
+    /// The primitive operations the pass performed.
+    log: Vec<WeightOp>,
+    /// Feasible window per instruction at the moment the pass started.
+    windows_before: Vec<(u32, u32)>,
+    /// The map after the pass ran and the driver normalized.
+    weights: PreferenceMap,
+}
+
+/// The probe graphs: `(name, dag)` pairs valid on any machine with at
+/// least one cluster.
+fn probes(machine: &Machine) -> Vec<(&'static str, Dag)> {
+    // A latency-diverse chain: tight single-slot windows.
+    let mut b = DagBuilder::new();
+    let ld = b.instr(Opcode::Load);
+    let ad = b.instr(Opcode::IntAlu);
+    let fm = b.instr(Opcode::FMul);
+    let st = b.instr(Opcode::Store);
+    b.edge(ld, ad).unwrap();
+    b.edge(ad, fm).unwrap();
+    b.edge(fm, st).unwrap();
+    let chain = b.build().unwrap();
+
+    // A diamond with memory ops preplaced on two different banks plus
+    // a slack-rich side chain — exercises preplacement handling and
+    // non-trivial windows.
+    let other = ClusterId::new((1 % machine.n_clusters()) as u16);
+    let mut b = DagBuilder::new();
+    let l0 = b.preplaced_instr(Opcode::Load, ClusterId::new(0));
+    let l1 = b.preplaced_instr(Opcode::Load, other);
+    let fm = b.instr(Opcode::FMul);
+    let st = b.preplaced_instr(Opcode::Store, ClusterId::new(0));
+    let side = b.instr(Opcode::IntAlu);
+    b.edge(l0, fm).unwrap();
+    b.edge(l1, fm).unwrap();
+    b.edge(fm, st).unwrap();
+    b.edge(l0, side).unwrap();
+    b.edge(side, st).unwrap();
+    let diamond = b.build().unwrap();
+
+    vec![("chain", chain), ("preplaced-diamond", diamond)]
+}
+
+/// Runs `pass` once on `(dag, machine)` with recording enabled,
+/// mirroring the driver: INITTIME first (for passes that expect
+/// established windows), normalization afterwards.
+fn run_recorded(
+    pass: &dyn Pass,
+    contract: &PassContract,
+    dag: &Dag,
+    machine: &Machine,
+) -> RecordedRun {
+    let time = TimeAnalysis::compute(dag, |i| machine.latency_of(i));
+    let slots = time.critical_path_length().max(1) as usize;
+    let mut weights = PreferenceMap::new(dag.len(), machine.n_clusters(), slots);
+    let mut dist = DistanceOracle::new();
+    if !contract.establishes_windows {
+        let mut rng = StdRng::seed_from_u64(PROBE_SEED);
+        let mut ctx = PassContext {
+            dag,
+            machine,
+            time: &time,
+            dist: &mut dist,
+            rng: &mut rng,
+            weights: &mut weights,
+        };
+        InitTime::new().run(&mut ctx);
+        weights.normalize_all();
+    }
+    let windows_before: Vec<(u32, u32)> = dag.ids().map(|i| weights.window(i)).collect();
+    weights.record();
+    let mut rng = StdRng::seed_from_u64(PROBE_SEED);
+    let mut ctx = PassContext {
+        dag,
+        machine,
+        time: &time,
+        dist: &mut dist,
+        rng: &mut rng,
+        weights: &mut weights,
+    };
+    pass.run(&mut ctx);
+    let log = weights.take_recording();
+    weights.normalize_all();
+    RecordedRun {
+        log,
+        windows_before,
+        weights,
+    }
+}
+
+/// Verifies `pass` against its declared [`PassContract`] on the probe
+/// graphs, returning one `CS06x` diagnostic per violated clause per
+/// probe.
+#[must_use]
+pub fn verify_pass(pass: &dyn Pass, machine: &Machine) -> Vec<Diagnostic> {
+    let contract = pass.contract();
+    let name = pass.name();
+    let mut diags = Vec::new();
+    for (probe, dag) in probes(machine) {
+        let run = run_recorded(pass, &contract, &dag, machine);
+
+        if contract.window_respecting && !contract.establishes_windows {
+            let mut windows = run.windows_before.clone();
+            for op in &run.log {
+                match *op {
+                    WeightOp::SetWindow { i, lo, hi } => {
+                        // Tightening is always legal (intersect
+                        // semantics); track it for later writes.
+                        let w = &mut windows[i.index()];
+                        w.0 = w.0.max(lo);
+                        w.1 = w.1.min(hi);
+                    }
+                    WeightOp::Set { i, c, t, value } if value > 0.0 => {
+                        let (lo, hi) = windows[i.index()];
+                        if t < lo || t > hi {
+                            diags.push(
+                                Diagnostic::new(
+                                    Code::OutOfWindowWrite,
+                                    vec![i],
+                                    format!(
+                                        "pass {name} wrote W[{i},{c},t{t}] = {value} outside the feasible window [{lo}, {hi}] on probe `{probe}`"
+                                    ),
+                                )
+                                .with_witness(format!("set({i}, {c}, {t}, {value})")),
+                            );
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        if contract.preplacement_monotone {
+            for op in &run.log {
+                let (i, c, what) = match *op {
+                    WeightOp::ForbidCluster { i, c } => (i, c, format!("forbid_cluster({i}, {c})")),
+                    WeightOp::ScaleCluster { i, c, factor: 0.0 } => {
+                        (i, c, format!("scale_cluster({i}, {c}, 0)"))
+                    }
+                    _ => continue,
+                };
+                let instr = dag.instr(i);
+                if instr.preplacement() == Some(c) && machine.cluster_can_execute(c, instr.class())
+                {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::PreplacementDemoted,
+                            vec![i],
+                            format!(
+                                "pass {name} zeroed the home cluster {c} of preplaced {i} on probe `{probe}`"
+                            ),
+                        )
+                        .with_witness(what),
+                    );
+                    break;
+                }
+            }
+        }
+
+        if contract.normalization_preserving {
+            if let Err(msg) = run.weights.check_invariants(INVARIANT_TOL) {
+                diags.push(Diagnostic::new(
+                    Code::BrokenNormalization,
+                    vec![],
+                    format!(
+                        "pass {name} broke preference-map invariants on probe `{probe}`: {msg}"
+                    ),
+                ));
+            }
+        }
+
+        if contract.deterministic {
+            let rerun = run_recorded(pass, &contract, &dag, machine);
+            if rerun.log != run.log {
+                diags.push(Diagnostic::new(
+                    Code::NondeterministicPass,
+                    vec![],
+                    format!(
+                        "pass {name} produced a different operation log on an identical re-run (same seed) on probe `{probe}`"
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// Verifies every pass of `seq`, deduplicating identical findings
+/// from repeated pass instances (the builtin sequences run PATHPROP
+/// several times).
+#[must_use]
+pub fn verify_sequence(seq: &Sequence, machine: &Machine) -> Vec<Diagnostic> {
+    let mut seen: HashSet<(Code, String)> = HashSet::new();
+    let mut out = Vec::new();
+    for pass in seq.passes() {
+        for d in verify_pass(pass.as_ref(), machine) {
+            if seen.insert((d.code, d.message.clone())) {
+                out.push(d);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_sequences_honor_their_contracts() {
+        for (seq, machine) in [
+            (Sequence::raw(), Machine::raw(4)),
+            (Sequence::raw(), Machine::raw(16)),
+            (Sequence::vliw(), Machine::chorus_vliw(4)),
+            (Sequence::vliw_tuned(), Machine::chorus_vliw(4)),
+            (Sequence::vliw(), Machine::single_cluster()),
+        ] {
+            let diags = verify_sequence(&seq, &machine);
+            assert!(
+                diags.is_empty(),
+                "{} on {}: {diags:?}",
+                seq.names().join(","),
+                machine.name()
+            );
+        }
+    }
+}

@@ -286,20 +286,7 @@ impl ConvergentScheduler {
             }
             t0 = now;
         };
-        for i in dag.ids() {
-            let instr = dag.instr(i);
-            if let Some(home) = instr.preplacement() {
-                if home.index() >= machine.n_clusters() {
-                    return Err(ScheduleError::BadHomeCluster { instr: i, home });
-                }
-            }
-            if !machine
-                .cluster_ids()
-                .any(|c| machine.cluster_can_execute(c, instr.class()))
-            {
-                return Err(ScheduleError::NoCapableCluster(i));
-            }
-        }
+        convergent_schedulers::check_inputs(dag, machine)?;
 
         let time = TimeAnalysis::compute(dag, |i| machine.latency_of(i));
         let n_slots = (time.critical_path_length().max(1)) as usize;

@@ -50,6 +50,7 @@
 //! # }
 //! ```
 
+pub mod contract;
 mod driver;
 mod pass;
 pub mod passes;
@@ -61,7 +62,7 @@ mod weights;
 pub use driver::{
     AssignOutcome, ConvergenceTrace, ConvergentScheduler, PassRecord, ScheduleOutcome,
 };
-pub use pass::{Pass, PassContext};
+pub use pass::{Pass, PassContext, PassContract};
 pub use profile::PassProfile;
 pub use sequence::Sequence;
-pub use weights::PreferenceMap;
+pub use weights::{PreferenceMap, WeightOp};

@@ -34,6 +34,51 @@ pub struct PassContext<'a> {
     pub weights: &'a mut PreferenceMap,
 }
 
+/// The behavioural contract a pass declares, verified empirically by
+/// [`crate::contract::verify_pass`] on small probe graphs via the
+/// recording `PreferenceMap` proxy.
+///
+/// Every field defaults to the framework's baseline expectations
+/// (`PassContract::default()`); a pass overrides
+/// [`Pass::contract`] only to *relax* a clause it intentionally does
+/// not honor — INITTIME, which creates the feasibility windows in the
+/// first place, sets [`PassContract::establishes_windows`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PassContract {
+    /// This pass *establishes* feasibility (windows and executable
+    /// clusters) rather than working inside it; the window-respecting
+    /// check is skipped. Only INITTIME sets this.
+    pub establishes_windows: bool,
+    /// Absolute writes (`set`/`add`) land inside the instruction's
+    /// feasible window. Multiplicative operations cannot violate
+    /// feasibility (zero times anything is zero), so only absolute
+    /// writes are checked. Violations are `CS060`.
+    pub window_respecting: bool,
+    /// Identical inputs and an identically seeded RNG produce the
+    /// bit-identical operation log. Violations are `CS061`.
+    pub deterministic: bool,
+    /// The preference-map invariants (`W ∈ [0,1]`, `Σ W[i] = 1`,
+    /// consistent marginals) hold after the pass runs and the driver
+    /// normalizes. Violations are `CS062`.
+    pub normalization_preserving: bool,
+    /// The pass never forbids (or zero-scales) the home cluster of a
+    /// preplaced instruction that its home can execute. Violations
+    /// are `CS063`.
+    pub preplacement_monotone: bool,
+}
+
+impl Default for PassContract {
+    fn default() -> Self {
+        PassContract {
+            establishes_windows: false,
+            window_respecting: true,
+            deterministic: true,
+            normalization_preserving: true,
+            preplacement_monotone: true,
+        }
+    }
+}
+
 /// One convergent-scheduling heuristic.
 ///
 /// Implementations read and nudge `ctx.weights`; the driver normalizes
@@ -78,4 +123,12 @@ pub trait Pass {
 
     /// Reads and nudges the preference map.
     fn run(&self, ctx: &mut PassContext<'_>);
+
+    /// The behavioural contract this pass claims to honor; checked by
+    /// `csched lint` through [`crate::contract::verify_pass`]. The
+    /// default claims the full baseline contract, which every pass in
+    /// [`crate::passes`] except INITTIME satisfies as-is.
+    fn contract(&self) -> PassContract {
+        PassContract::default()
+    }
 }

@@ -8,7 +8,7 @@
 //! by squashing the weights for the unfeasible clusters" — we fold
 //! that in here, since both are hard feasibility facts.
 
-use crate::{Pass, PassContext};
+use crate::{Pass, PassContext, PassContract};
 
 /// The INITTIME pass. See the module docs.
 #[derive(Clone, Copy, Debug, Default)]
@@ -38,6 +38,13 @@ impl Pass for InitTime {
                     ctx.weights.forbid_cluster(i, c);
                 }
             }
+        }
+    }
+
+    fn contract(&self) -> PassContract {
+        PassContract {
+            establishes_windows: true,
+            ..PassContract::default()
         }
     }
 }

@@ -111,6 +111,119 @@ enum Repr {
     Dense(DenseCore),
 }
 
+/// One state-changing [`PreferenceMap`] operation, as captured by the
+/// recording proxy ([`PreferenceMap::record`]).
+///
+/// The log contains only *primitive* operations: compound entry points
+/// ([`PreferenceMap::add`], [`PreferenceMap::set_cluster_marginal`])
+/// decompose into the primitives they perform, so replaying a log with
+/// [`WeightOp::apply`] onto an identically constructed map reproduces
+/// the original bit for bit. The contract checker in
+/// `crate::contract` uses these logs to verify pass behaviour
+/// (window-respecting writes, determinism, preplacement monotonicity)
+/// without instrumenting the passes themselves.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WeightOp {
+    /// `set(i, c, t, value)` — an absolute write.
+    Set {
+        /// Instruction.
+        i: InstrId,
+        /// Cluster.
+        c: ClusterId,
+        /// Time slot.
+        t: u32,
+        /// The stored value.
+        value: f64,
+    },
+    /// `scale(i, c, t, factor)`.
+    Scale {
+        /// Instruction.
+        i: InstrId,
+        /// Cluster.
+        c: ClusterId,
+        /// Time slot.
+        t: u32,
+        /// Multiplier.
+        factor: f64,
+    },
+    /// `scale_cluster(i, c, factor)`.
+    ScaleCluster {
+        /// Instruction.
+        i: InstrId,
+        /// Cluster.
+        c: ClusterId,
+        /// Multiplier.
+        factor: f64,
+    },
+    /// `scale_time(i, t, factor)`.
+    ScaleTime {
+        /// Instruction.
+        i: InstrId,
+        /// Time slot.
+        t: u32,
+        /// Multiplier.
+        factor: f64,
+    },
+    /// `set_window(i, lo, hi)` — the *requested* window, before
+    /// intersection with any previously recorded window.
+    SetWindow {
+        /// Instruction.
+        i: InstrId,
+        /// Requested first feasible slot.
+        lo: u32,
+        /// Requested last feasible slot.
+        hi: u32,
+    },
+    /// `forbid_cluster(i, c)`.
+    ForbidCluster {
+        /// Instruction.
+        i: InstrId,
+        /// The forbidden cluster.
+        c: ClusterId,
+    },
+    /// `normalize(i)`.
+    Normalize {
+        /// Instruction.
+        i: InstrId,
+    },
+    /// `reset_uniform(i)`.
+    ResetUniform {
+        /// Instruction.
+        i: InstrId,
+    },
+}
+
+impl WeightOp {
+    /// Replays this operation onto `map`.
+    pub fn apply(&self, map: &mut PreferenceMap) {
+        match *self {
+            WeightOp::Set { i, c, t, value } => map.set(i, c, t, value),
+            WeightOp::Scale { i, c, t, factor } => map.scale(i, c, t, factor),
+            WeightOp::ScaleCluster { i, c, factor } => map.scale_cluster(i, c, factor),
+            WeightOp::ScaleTime { i, t, factor } => map.scale_time(i, t, factor),
+            WeightOp::SetWindow { i, lo, hi } => map.set_window(i, lo, hi),
+            WeightOp::ForbidCluster { i, c } => map.forbid_cluster(i, c),
+            WeightOp::Normalize { i } => map.normalize(i),
+            WeightOp::ResetUniform { i } => map.reset_uniform(i),
+        }
+    }
+
+    /// The instruction this operation touches.
+    #[must_use]
+    pub fn instr(&self) -> InstrId {
+        match *self {
+            WeightOp::Set { i, .. }
+            | WeightOp::Scale { i, .. }
+            | WeightOp::ScaleCluster { i, .. }
+            | WeightOp::ScaleTime { i, .. }
+            | WeightOp::SetWindow { i, .. }
+            | WeightOp::ForbidCluster { i, .. }
+            | WeightOp::Normalize { i }
+            | WeightOp::ResetUniform { i } => i,
+        }
+    }
+}
+
 macro_rules! core {
     ($self:ident, $c:ident => $body:expr) => {
         match &$self.repr {
@@ -150,6 +263,9 @@ pub struct PreferenceMap {
     repr: Repr,
     /// Reused by `set_cluster_marginal` to avoid per-call allocation.
     scratch: Vec<f64>,
+    /// When present, every primitive mutation is appended here (the
+    /// recording proxy; see [`PreferenceMap::record`]).
+    log: Option<Vec<WeightOp>>,
 }
 
 impl PreferenceMap {
@@ -164,6 +280,7 @@ impl PreferenceMap {
         PreferenceMap {
             repr: Repr::Banded(BandedCore::new(n_instrs, n_clusters, n_slots)),
             scratch: Vec::new(),
+            log: None,
         }
     }
 
@@ -179,6 +296,7 @@ impl PreferenceMap {
         PreferenceMap {
             repr: Repr::Dense(DenseCore::new(n_instrs, n_clusters, n_slots)),
             scratch: Vec::new(),
+            log: None,
         }
     }
 
@@ -240,6 +358,9 @@ impl PreferenceMap {
     ///
     /// Panics if `value` is negative or not finite.
     pub fn set(&mut self, i: InstrId, c: ClusterId, t: u32, value: f64) {
+        if let Some(log) = &mut self.log {
+            log.push(WeightOp::Set { i, c, t, value });
+        }
         core!(mut self, m => m.set(i, c, t, value));
     }
 
@@ -255,6 +376,9 @@ impl PreferenceMap {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn scale(&mut self, i: InstrId, c: ClusterId, t: u32, factor: f64) {
+        if let Some(log) = &mut self.log {
+            log.push(WeightOp::Scale { i, c, t, factor });
+        }
         core!(mut self, m => m.scale(i, c, t, factor));
     }
 
@@ -265,6 +389,9 @@ impl PreferenceMap {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn scale_cluster(&mut self, i: InstrId, c: ClusterId, factor: f64) {
+        if let Some(log) = &mut self.log {
+            log.push(WeightOp::ScaleCluster { i, c, factor });
+        }
         core!(mut self, m => m.scale_cluster(i, c, factor));
     }
 
@@ -274,6 +401,9 @@ impl PreferenceMap {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn scale_time(&mut self, i: InstrId, t: u32, factor: f64) {
+        if let Some(log) = &mut self.log {
+            log.push(WeightOp::ScaleTime { i, t, factor });
+        }
         core!(mut self, m => m.scale_time(i, t, factor));
     }
 
@@ -288,6 +418,9 @@ impl PreferenceMap {
     /// Panics if `lo > hi`, `hi` is out of range, or the intersection
     /// with the previously recorded window is empty.
     pub fn set_window(&mut self, i: InstrId, lo: u32, hi: u32) {
+        if let Some(log) = &mut self.log {
+            log.push(WeightOp::SetWindow { i, lo, hi });
+        }
         core!(mut self, m => m.set_window(i, lo, hi));
     }
 
@@ -299,6 +432,9 @@ impl PreferenceMap {
 
     /// Marks cluster `c` as unable to execute `i`, zeroing its weight.
     pub fn forbid_cluster(&mut self, i: InstrId, c: ClusterId) {
+        if let Some(log) = &mut self.log {
+            log.push(WeightOp::ForbidCluster { i, c });
+        }
         core!(mut self, m => m.forbid_cluster(i, c));
     }
 
@@ -376,6 +512,9 @@ impl PreferenceMap {
     /// to uniform over the instruction's feasible window and clusters,
     /// so feasibility decisions survive aggressive scaling.
     pub fn normalize(&mut self, i: InstrId) {
+        if let Some(log) = &mut self.log {
+            log.push(WeightOp::Normalize { i });
+        }
         core!(mut self, m => m.normalize(i));
     }
 
@@ -398,6 +537,9 @@ impl PreferenceMap {
     /// and clusters. On the banded layout this returns the row to its
     /// O(1) closed form.
     pub fn reset_uniform(&mut self, i: InstrId) {
+        if let Some(log) = &mut self.log {
+            log.push(WeightOp::ResetUniform { i });
+        }
         core!(mut self, m => m.reset_uniform(i));
     }
 
@@ -456,6 +598,79 @@ impl PreferenceMap {
         self.scratch = masked;
     }
 
+    /// Starts (or restarts) the recording proxy: every subsequent
+    /// primitive mutation is appended to an internal [`WeightOp`] log
+    /// until [`PreferenceMap::take_recording`] is called. Recording
+    /// costs one branch per mutation when off and one `Vec` push when
+    /// on; reads are never logged.
+    pub fn record(&mut self) {
+        self.log = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the captured log (empty if
+    /// [`PreferenceMap::record`] was never called).
+    pub fn take_recording(&mut self) -> Vec<WeightOp> {
+        self.log.take().unwrap_or_default()
+    }
+
+    /// `true` while the recording proxy is active.
+    #[must_use]
+    pub fn is_recording(&self) -> bool {
+        self.log.is_some()
+    }
+
+    /// Checks both paper invariants to `tolerance`, plus the internal
+    /// bookkeeping (marginals and total vs. the stored cells),
+    /// reporting the first violation instead of panicking — the
+    /// contract checker turns the message into a `CS062` diagnostic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first broken invariant.
+    pub fn check_invariants(&self, tolerance: f64) -> Result<(), String> {
+        for i in 0..self.n_instrs() {
+            let id = InstrId::new(i as u32);
+            let mut sum = 0.0;
+            for c in 0..self.n_clusters() {
+                let mut csum = 0.0;
+                for t in 0..self.n_slots() {
+                    let v = self.get(id, ClusterId::new(c as u16), t as u32);
+                    if !(0.0 - tolerance..=1.0 + tolerance).contains(&v) {
+                        return Err(format!("W[i{i},c{c},t{t}] = {v} out of [0,1]"));
+                    }
+                    sum += v;
+                    csum += v;
+                }
+                let cw = self.cluster_weight(id, ClusterId::new(c as u16));
+                if (cw - csum).abs() > tolerance {
+                    return Err(format!(
+                        "cluster marginal {cw} != recomputed {csum} for i{i},c{c}"
+                    ));
+                }
+            }
+            for t in 0..self.n_slots() {
+                let tsum: f64 = (0..self.n_clusters())
+                    .map(|c| self.get(id, ClusterId::new(c as u16), t as u32))
+                    .sum();
+                let tw = self.time_weight(id, t as u32);
+                if (tw - tsum).abs() > tolerance {
+                    return Err(format!(
+                        "time marginal {tw} != recomputed {tsum} for i{i},t{t}"
+                    ));
+                }
+            }
+            if (sum - 1.0).abs() > tolerance {
+                return Err(format!("Σ W[i{i}] = {sum}, expected 1"));
+            }
+            // Marginal bookkeeping must agree with the stored cells.
+            let tot = self.total(id);
+            if (tot - sum).abs() > tolerance {
+                return Err(format!("cached total {tot} != recomputed {sum} for i{i}"));
+            }
+        }
+        Ok(())
+    }
+
     /// Checks both paper invariants to `tolerance`, plus the internal
     /// bookkeeping (marginals and total vs. the stored cells); used by
     /// tests.
@@ -464,46 +679,8 @@ impl PreferenceMap {
     ///
     /// Panics (with context) if an invariant is broken.
     pub fn assert_invariants(&self, tolerance: f64) {
-        for i in 0..self.n_instrs() {
-            let id = InstrId::new(i as u32);
-            let mut sum = 0.0;
-            for c in 0..self.n_clusters() {
-                let mut csum = 0.0;
-                for t in 0..self.n_slots() {
-                    let v = self.get(id, ClusterId::new(c as u16), t as u32);
-                    assert!(
-                        (0.0 - tolerance..=1.0 + tolerance).contains(&v),
-                        "W[i{i},c{c},t{t}] = {v} out of [0,1]"
-                    );
-                    sum += v;
-                    csum += v;
-                }
-                let cw = self.cluster_weight(id, ClusterId::new(c as u16));
-                assert!(
-                    (cw - csum).abs() <= tolerance,
-                    "cluster marginal {cw} != recomputed {csum} for i{i},c{c}"
-                );
-            }
-            for t in 0..self.n_slots() {
-                let tsum: f64 = (0..self.n_clusters())
-                    .map(|c| self.get(id, ClusterId::new(c as u16), t as u32))
-                    .sum();
-                let tw = self.time_weight(id, t as u32);
-                assert!(
-                    (tw - tsum).abs() <= tolerance,
-                    "time marginal {tw} != recomputed {tsum} for i{i},t{t}"
-                );
-            }
-            assert!(
-                (sum - 1.0).abs() <= tolerance,
-                "Σ W[i{i}] = {sum}, expected 1"
-            );
-            // Marginal bookkeeping must agree with the stored cells.
-            let tot = self.total(id);
-            assert!(
-                (tot - sum).abs() <= tolerance,
-                "cached total {tot} != recomputed {sum} for i{i}"
-            );
+        if let Err(msg) = self.check_invariants(tolerance) {
+            panic!("{msg}");
         }
     }
 }

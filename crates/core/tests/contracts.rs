@@ -1,0 +1,168 @@
+//! Contract-checker integration tests: every builtin sequence
+//! verifies clean, and a deliberately misbehaving pass fixture exists
+//! for each `CS06x` code.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use convergent_analysis::Code;
+use convergent_core::contract::{verify_pass, verify_sequence};
+use convergent_core::{Pass, PassContext, Sequence};
+use convergent_ir::{ClusterId, InstrId};
+use convergent_machine::Machine;
+
+fn codes(diags: &[convergent_analysis::Diagnostic]) -> Vec<Code> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn builtin_sequences_verify_clean_everywhere() {
+    for machine in [
+        Machine::raw(4),
+        Machine::raw(16),
+        Machine::chorus_vliw(2),
+        Machine::chorus_vliw(4),
+        Machine::single_cluster(),
+    ] {
+        for seq in [Sequence::raw(), Sequence::vliw(), Sequence::vliw_tuned()] {
+            let diags = verify_sequence(&seq, &machine);
+            assert!(
+                diags.is_empty(),
+                "{:?} on {}: {diags:?}",
+                seq.names(),
+                machine.name()
+            );
+        }
+    }
+}
+
+/// Writes positive weight one slot past an instruction's feasible
+/// window — the CS060 violation.
+struct OutOfWindowPass;
+
+impl Pass for OutOfWindowPass {
+    fn name(&self) -> &'static str {
+        "BADWINDOW"
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) {
+        let n_slots = ctx.weights.n_slots() as u32;
+        for i in ctx.dag.ids() {
+            let (_, hi) = ctx.weights.window(i);
+            if hi + 1 < n_slots {
+                ctx.weights.set(i, ClusterId::new(0), hi + 1, 0.5);
+                return;
+            }
+        }
+    }
+}
+
+#[test]
+fn out_of_window_write_is_flagged_cs060() {
+    let diags = verify_pass(&OutOfWindowPass, &Machine::raw(4));
+    assert!(codes(&diags).contains(&Code::OutOfWindowWrite), "{diags:?}");
+    for d in &diags {
+        assert!(!d.instrs.is_empty(), "CS060 must name the instruction");
+        assert!(d.witness.is_some(), "CS060 must carry the offending op");
+    }
+}
+
+/// Scales by a process-global counter, so two identically seeded runs
+/// diverge — the CS061 violation.
+struct NondetPass;
+
+static TICKS: AtomicUsize = AtomicUsize::new(0);
+
+impl Pass for NondetPass {
+    fn name(&self) -> &'static str {
+        "NONDET"
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) {
+        let tick = TICKS.fetch_add(1, Ordering::Relaxed);
+        ctx.weights
+            .scale_cluster(InstrId::new(0), ClusterId::new(0), 1.5 + tick as f64);
+    }
+}
+
+#[test]
+fn hidden_state_is_flagged_cs061() {
+    let diags = verify_pass(&NondetPass, &Machine::raw(4));
+    assert!(
+        codes(&diags).contains(&Code::NondeterministicPass),
+        "{diags:?}"
+    );
+}
+
+/// Plants two `1e308` weights on one materialized instruction so the
+/// stored total overflows to infinity and the post-pass normalization
+/// collapses the row to zero — the CS062 violation. (Without the
+/// `materialize`, the lazy scale factor keeps the stored row finite
+/// and normalization survives the overflow.)
+struct OverflowPass;
+
+impl Pass for OverflowPass {
+    fn name(&self) -> &'static str {
+        "OVERFLOW"
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) {
+        let i = InstrId::new(0);
+        let (lo, _) = ctx.weights.window(i);
+        ctx.weights.materialize(i);
+        ctx.weights.set(i, ClusterId::new(0), lo, 1e308);
+        ctx.weights.set(i, ClusterId::new(1), lo, 1e308);
+    }
+}
+
+#[test]
+fn broken_normalization_is_flagged_cs062() {
+    let diags = verify_pass(&OverflowPass, &Machine::raw(4));
+    assert!(
+        codes(&diags).contains(&Code::BrokenNormalization),
+        "{diags:?}"
+    );
+}
+
+/// Forbids the home cluster of the first preplaced instruction it
+/// sees — the CS063 violation.
+struct ForbidHomePass;
+
+impl Pass for ForbidHomePass {
+    fn name(&self) -> &'static str {
+        "FORBIDHOME"
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) {
+        for i in ctx.dag.ids() {
+            if let Some(home) = ctx.dag.instr(i).preplacement() {
+                ctx.weights.forbid_cluster(i, home);
+                return;
+            }
+        }
+    }
+}
+
+#[test]
+fn demoting_a_preplacement_is_flagged_cs063() {
+    let diags = verify_pass(&ForbidHomePass, &Machine::raw(4));
+    assert!(
+        codes(&diags).contains(&Code::PreplacementDemoted),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn verify_sequence_dedups_repeated_offenders() {
+    // The same misdeclared pass three times yields each distinct
+    // finding once, not three times.
+    let seq = Sequence::new()
+        .with(ForbidHomePass)
+        .with(ForbidHomePass)
+        .with(ForbidHomePass);
+    let diags = verify_sequence(&seq, &Machine::raw(4));
+    let demotions = diags
+        .iter()
+        .filter(|d| d.code == Code::PreplacementDemoted)
+        .count();
+    assert_eq!(demotions, 1, "{diags:?}");
+}

@@ -55,5 +55,5 @@ pub use id::{ClusterId, Cycle, InstrId};
 pub use instr::{Instruction, OpClass, Opcode};
 pub use program::{CrossValue, Program, ProgramError};
 pub use shape::ShapeStats;
-pub use text::{parse_unit, to_text, TextError};
+pub use text::{parse_raw, parse_unit, to_text, RawUnit, TextError};
 pub use unit::{RegionKind, SchedulingUnit};

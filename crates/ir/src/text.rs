@@ -94,6 +94,160 @@ fn opcode_from_mnemonic(s: &str) -> Option<Opcode> {
     })
 }
 
+/// A parsed-but-unvalidated `.cdag` document.
+///
+/// [`parse_raw`] stops after the syntactic layer: instructions and
+/// edge pairs are collected exactly as written, *before* any of the
+/// structural checks [`DagBuilder`] enforces (edge ranges, self-edges,
+/// duplicates, acyclicity). This is the input static analysis wants —
+/// a linter can report a cycle with a witness path or a dangling edge
+/// as a structured diagnostic, where [`parse_unit`] could only return
+/// an opaque error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawUnit {
+    name: String,
+    instrs: Vec<Instruction>,
+    edges: Vec<(u32, u32)>,
+    edge_lines: Vec<usize>,
+}
+
+impl RawUnit {
+    /// The unit name (`"unnamed"` when the document has no `unit`
+    /// directive).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instructions, in declaration order (implicit ids).
+    #[must_use]
+    pub fn instrs(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// The raw `(src, dst)` edge pairs, unchecked: endpoints may be
+    /// out of range, repeated, self-referential, or cyclic.
+    #[must_use]
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// The 1-based source line of each edge, parallel to
+    /// [`RawUnit::edges`].
+    #[must_use]
+    pub fn edge_lines(&self) -> &[usize] {
+        &self.edge_lines
+    }
+
+    /// Validates and builds the unit, applying every structural check
+    /// the strict parser applies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TextError::Empty`] for instruction-less documents,
+    /// [`TextError::BadEdge`] for out-of-range endpoints, and
+    /// [`TextError::Invalid`] for self-edges, duplicates, and cycles.
+    pub fn build(&self) -> Result<SchedulingUnit, TextError> {
+        if self.instrs.is_empty() {
+            return Err(TextError::Empty);
+        }
+        let n = self.instrs.len() as u32;
+        let mut b = DagBuilder::with_capacity(self.instrs.len());
+        for instr in &self.instrs {
+            b.push(instr.clone());
+        }
+        for (k, &(src, dst)) in self.edges.iter().enumerate() {
+            let line = self.edge_lines.get(k).copied().unwrap_or(0);
+            if src >= n || dst >= n {
+                return Err(TextError::BadEdge { line });
+            }
+            b.edge(InstrId::new(src), InstrId::new(dst))
+                .map_err(|e| TextError::Invalid(e.to_string()))?;
+        }
+        let dag = b.build().map_err(|e| TextError::Invalid(e.to_string()))?;
+        Ok(SchedulingUnit::new(self.name.clone(), dag))
+    }
+}
+
+/// Parses a `.cdag` document without validating the graph structure.
+///
+/// Only syntactic problems are errors here (unrecognized directives,
+/// unknown opcodes, non-numeric edge endpoints); everything structural
+/// — empty units, dangling edges, self-edges, duplicates, cycles — is
+/// preserved in the returned [`RawUnit`] for a linter to diagnose.
+///
+/// # Errors
+///
+/// Returns [`TextError::BadLine`], [`TextError::UnknownOpcode`], or
+/// [`TextError::BadEdge`] (non-numeric endpoint) for syntax problems.
+pub fn parse_raw(text: &str) -> Result<RawUnit, TextError> {
+    let mut raw = RawUnit {
+        name: String::from("unnamed"),
+        instrs: Vec::new(),
+        edges: Vec::new(),
+        edge_lines: Vec::new(),
+    };
+    for (k, raw_line) in text.lines().enumerate() {
+        let line = k + 1;
+        let content = raw_line.trim();
+        if content.is_empty() || content.starts_with('#') {
+            continue;
+        }
+        let mut parts = content.split_whitespace();
+        match parts.next() {
+            Some("unit") => {
+                if let Some(n) = parts.next() {
+                    raw.name = n.to_string();
+                }
+            }
+            Some("i") => {
+                let mnemonic = parts.next().ok_or_else(|| TextError::BadLine {
+                    line,
+                    content: content.to_string(),
+                })?;
+                let opcode =
+                    opcode_from_mnemonic(mnemonic).ok_or_else(|| TextError::UnknownOpcode {
+                        line,
+                        mnemonic: mnemonic.to_string(),
+                    })?;
+                let mut instr = Instruction::new(opcode);
+                let mut rest: Vec<&str> = parts.collect();
+                if let Some(first) = rest.first() {
+                    if let Some(cluster) = first.strip_prefix('@') {
+                        let c: u16 = cluster.parse().map_err(|_| TextError::BadLine {
+                            line,
+                            content: content.to_string(),
+                        })?;
+                        instr = Instruction::preplaced(opcode, ClusterId::new(c));
+                        rest.remove(0);
+                    }
+                }
+                if rest.first() == Some(&"#") {
+                    instr = instr.with_name(rest[1..].join(" "));
+                }
+                raw.instrs.push(instr);
+            }
+            Some("e") => {
+                let parse_id = |s: Option<&str>| -> Result<u32, TextError> {
+                    s.and_then(|x| x.parse().ok())
+                        .ok_or(TextError::BadEdge { line })
+                };
+                let src = parse_id(parts.next())?;
+                let dst = parse_id(parts.next())?;
+                raw.edges.push((src, dst));
+                raw.edge_lines.push(line);
+            }
+            _ => {
+                return Err(TextError::BadLine {
+                    line,
+                    content: content.to_string(),
+                })
+            }
+        }
+    }
+    Ok(raw)
+}
+
 /// Serializes a scheduling unit to the `.cdag` format.
 ///
 /// # Example

@@ -36,21 +36,9 @@ impl BugScheduler {
     /// Returns [`ScheduleError`] when the graph cannot be mapped to the
     /// machine.
     pub fn assign(&self, dag: &Dag, machine: &Machine) -> Result<Assignment, ScheduleError> {
+        crate::precondition::check_inputs(dag, machine)?;
         let n = dag.len();
         let n_clusters = machine.n_clusters();
-        for i in dag.ids() {
-            if let Some(home) = dag.instr(i).preplacement() {
-                if home.index() >= n_clusters {
-                    return Err(ScheduleError::BadHomeCluster { instr: i, home });
-                }
-            }
-            if !machine
-                .cluster_ids()
-                .any(|c| machine.cluster_can_execute(c, dag.instr(i).class()))
-            {
-                return Err(ScheduleError::NoCapableCluster(i));
-            }
-        }
 
         // Bottom-up phase: distance to the nearest preplaced
         // instruction of each cluster (multi-source BFS over the

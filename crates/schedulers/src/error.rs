@@ -44,6 +44,12 @@ pub enum ScheduleError {
     },
     /// The produced schedule failed validation (internal bug guard).
     ProducedInvalid(String),
+    /// Static analysis found the inputs malformed before scheduling
+    /// started (see [`crate::precondition::check_inputs`]).
+    Lint {
+        /// The error-severity diagnostics, in lint order.
+        diagnostics: Vec<convergent_analysis::Diagnostic>,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -74,6 +80,10 @@ impl fmt::Display for ScheduleError {
             }
             ScheduleError::ProducedInvalid(msg) => {
                 write!(f, "scheduler produced an invalid schedule: {msg}")
+            }
+            ScheduleError::Lint { diagnostics } => {
+                let rendered: Vec<String> = diagnostics.iter().map(|d| d.to_string()).collect();
+                write!(f, "input failed lint: {}", rendered.join("; "))
             }
         }
     }

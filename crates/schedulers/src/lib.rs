@@ -50,6 +50,7 @@ mod bug;
 mod error;
 mod list;
 mod pcc;
+pub mod precondition;
 mod priority;
 mod program;
 mod rawcc;
@@ -59,6 +60,7 @@ pub use bug::BugScheduler;
 pub use error::ScheduleError;
 pub use list::ListScheduler;
 pub use pcc::PccScheduler;
+pub use precondition::check_inputs;
 pub use priority::cp_priorities;
 pub use program::{schedule_program, CrossRegionPolicy, ProgramSchedule};
 pub use rawcc::RawccScheduler;

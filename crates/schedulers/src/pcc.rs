@@ -73,6 +73,7 @@ impl PccScheduler {
     /// Returns [`ScheduleError`] for graphs that cannot be mapped to
     /// the machine (bad home clusters, inexecutable operations).
     pub fn assign(&self, dag: &Dag, machine: &Machine) -> Result<Assignment, ScheduleError> {
+        crate::precondition::check_inputs(dag, machine)?;
         let components = build_components(dag, machine, self.theta)?;
         let mut assignment = initial_assignment(dag, machine, &components);
         check_assignment(dag, machine, &assignment)?;
@@ -227,19 +228,6 @@ fn build_components(
     machine: &Machine,
     theta: usize,
 ) -> Result<Vec<Component>, ScheduleError> {
-    for i in dag.ids() {
-        if let Some(home) = dag.instr(i).preplacement() {
-            if home.index() >= machine.n_clusters() {
-                return Err(ScheduleError::BadHomeCluster { instr: i, home });
-            }
-        }
-        if !machine
-            .cluster_ids()
-            .any(|c| machine.cluster_can_execute(c, dag.instr(i).class()))
-        {
-            return Err(ScheduleError::NoCapableCluster(i));
-        }
-    }
     let time = TimeAnalysis::compute(dag, |i| machine.latency_of(i));
     // Bottom-up: consider instructions from the leaves, most critical
     // first (deepest finish = latest on the critical path).

@@ -1,0 +1,117 @@
+//! Shared input precondition for every scheduler.
+//!
+//! Before PR 5, each scheduler carried (or lacked) its own ad-hoc
+//! loop rejecting out-of-range preplacements and uncoverable op
+//! classes, and anything not covered surfaced as an index panic deep
+//! inside assignment. Now all five techniques run the static linter
+//! first and turn error-severity diagnostics into structured
+//! [`ScheduleError`]s.
+
+use convergent_analysis::{lint_dag, Code, LintOptions};
+use convergent_ir::Dag;
+use convergent_machine::Machine;
+
+use crate::ScheduleError;
+
+/// Checks that `(dag, machine)` passes the static lint, mapping
+/// error-severity diagnostics to [`ScheduleError`]s.
+///
+/// The two historical rejections keep their dedicated variants so
+/// existing callers can keep matching on them: `CS011` maps to
+/// [`ScheduleError::BadHomeCluster`] and `CS020` to
+/// [`ScheduleError::NoCapableCluster`]. Every other error-severity
+/// diagnostic (infeasible windows, contradictory preplacement on a
+/// hard machine, …) is returned as [`ScheduleError::Lint`].
+///
+/// # Errors
+///
+/// Returns the first mappable diagnostic as its dedicated variant, or
+/// all remaining error-severity diagnostics bundled in
+/// [`ScheduleError::Lint`].
+pub fn check_inputs(dag: &Dag, machine: &Machine) -> Result<(), ScheduleError> {
+    let report = lint_dag(dag, machine, LintOptions::default());
+    let mut lint_errors = Vec::new();
+    for d in report.errors() {
+        match d.code {
+            Code::BadHomeCluster => {
+                let instr = d.instrs[0];
+                let home = dag
+                    .instr(instr)
+                    .preplacement()
+                    .expect("CS011 is only emitted for preplaced instructions");
+                return Err(ScheduleError::BadHomeCluster { instr, home });
+            }
+            Code::UncoverableClass => {
+                return Err(ScheduleError::NoCapableCluster(d.instrs[0]));
+            }
+            _ => lint_errors.push(d.clone()),
+        }
+    }
+    if lint_errors.is_empty() {
+        Ok(())
+    } else {
+        Err(ScheduleError::Lint {
+            diagnostics: lint_errors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convergent_ir::{ClusterId, DagBuilder, Opcode};
+    use convergent_machine::LatencyTable;
+
+    #[test]
+    fn bad_home_maps_to_dedicated_variant() {
+        let mut b = DagBuilder::new();
+        let i = b.preplaced_instr(Opcode::Load, ClusterId::new(9));
+        let dag = b.build().unwrap();
+        assert_eq!(
+            check_inputs(&dag, &Machine::raw(4)),
+            Err(ScheduleError::BadHomeCluster {
+                instr: i,
+                home: ClusterId::new(9)
+            })
+        );
+    }
+
+    #[test]
+    fn uncoverable_class_maps_to_dedicated_variant() {
+        let mut b = DagBuilder::new();
+        let i = b.instr(Opcode::Send);
+        let dag = b.build().unwrap();
+        assert_eq!(
+            check_inputs(&dag, &Machine::chorus_vliw(4)),
+            Err(ScheduleError::NoCapableCluster(i))
+        );
+    }
+
+    #[test]
+    fn other_errors_surface_as_lint_diagnostics() {
+        let mut b = DagBuilder::new();
+        let a = b.instr(Opcode::IntAlu);
+        let c = b.instr(Opcode::IntAlu);
+        b.edge(a, c).unwrap();
+        let dag = b.build().unwrap();
+        let m = Machine::raw(1)
+            .with_latencies(LatencyTable::r4000().with(convergent_ir::OpClass::IntAlu, u32::MAX));
+        match check_inputs(&dag, &m) {
+            Err(ScheduleError::Lint { diagnostics }) => {
+                assert!(diagnostics.iter().all(|d| d.code == Code::InfeasibleWindow));
+            }
+            other => panic!("expected Lint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_inputs_pass() {
+        let mut b = DagBuilder::new();
+        let a = b.instr(Opcode::Load);
+        let c = b.instr(Opcode::FMul);
+        b.edge(a, c).unwrap();
+        let dag = b.build().unwrap();
+        assert_eq!(check_inputs(&dag, &Machine::raw(4)), Ok(()));
+        assert_eq!(check_inputs(&dag, &Machine::chorus_vliw(4)), Ok(()));
+    }
+}

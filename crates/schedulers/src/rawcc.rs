@@ -45,6 +45,7 @@ impl RawccScheduler {
     /// Returns [`ScheduleError`] when the graph cannot be mapped to
     /// the machine.
     pub fn assign(&self, dag: &Dag, machine: &Machine) -> Result<Assignment, ScheduleError> {
+        crate::precondition::check_inputs(dag, machine)?;
         let mut vcs = cluster_step(dag, machine)?;
         merge_step(machine, &mut vcs);
         let assignment = place_step(dag, machine, &vcs);
@@ -107,17 +108,6 @@ fn cluster_step(dag: &Dag, machine: &Machine) -> Result<VirtualClusters, Schedul
 
     for &i in dag.topo_order() {
         let instr = dag.instr(i);
-        if let Some(h) = instr.preplacement() {
-            if h.index() >= machine.n_clusters() {
-                return Err(ScheduleError::BadHomeCluster { instr: i, home: h });
-            }
-        }
-        if !machine
-            .cluster_ids()
-            .any(|c| machine.cluster_can_execute(c, instr.class()))
-        {
-            return Err(ScheduleError::NoCapableCluster(i));
-        }
         let my_home = instr.preplacement();
         let finish = |p: InstrId, est: &[u32]| est[p.index()] + machine.latency_of(dag.instr(p));
         // Start time if i joins virtual cluster vc: data arrival plus

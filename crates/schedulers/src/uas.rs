@@ -66,22 +66,7 @@ impl Scheduler for UasScheduler {
         let priorities = cp_priorities(dag, machine);
         let hard = machine.memory().preplacement_is_hard();
 
-        // Sanity: every op must be executable somewhere, and homes must
-        // exist.
-        for i in dag.ids() {
-            let instr = dag.instr(i);
-            if let Some(home) = instr.preplacement() {
-                if home.index() >= machine.n_clusters() {
-                    return Err(ScheduleError::BadHomeCluster { instr: i, home });
-                }
-            }
-            if !machine
-                .cluster_ids()
-                .any(|c| machine.cluster_can_execute(c, instr.class()))
-            {
-                return Err(ScheduleError::NoCapableCluster(i));
-            }
-        }
+        crate::precondition::check_inputs(dag, machine)?;
 
         let mut resources = ResourceState::new(machine);
         let mut comms = CommTracker::new();

@@ -24,6 +24,11 @@ echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
+echo "==> lint smoke: builtin workloads (--deny warnings)"
+cargo run --release -q --bin csched -- lint --all-workloads --machine raw4 --deny warnings
+cargo run --release -q --bin csched -- lint --all-workloads --machine vliw4 --deny warnings
+echo "==> lint smoke: 500 fuzz graphs (seed 0)"
+cargo run --release -q -p convergent-bench --bin fuzz -- --seed 0 --budget 500 --lint-only
 echo "==> fuzz smoke (seed 0, 200 cases)"
 cargo run --release -q -p convergent-bench --bin fuzz -- --seed 0 --budget 200
 echo "==> fuzz smoke, large deep-chain (band re-anchoring end to end)"

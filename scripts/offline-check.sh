@@ -4,9 +4,20 @@
 # in devtools/offline-stubs via command-line config, leaving the
 # committed manifests untouched. See devtools/offline-stubs/README.md
 # for what the stubs do and do not reproduce.
+#
+#   scripts/offline-check.sh          # the full gate
+#   scripts/offline-check.sh --miri   # additionally run the recording-
+#                                     # proxy proptests under cargo miri
+#                                     # (skipped with a notice if miri
+#                                     # is not installed)
 set -eu
 
 cd "$(dirname "$0")/.."
+
+MIRI=0
+if [ "${1:-}" = "--miri" ]; then
+    MIRI=1
+fi
 
 # The flags go after the subcommand: external subcommands (clippy)
 # don't forward cargo-level flags that precede them.
@@ -30,6 +41,11 @@ echo "==> cargo clippy --workspace --all-targets -- -D warnings (offline)"
 run clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
+echo "==> lint smoke: builtin workloads (--deny warnings, offline)"
+run run --release -q --bin csched -- lint --all-workloads --machine raw4 --deny warnings
+run run --release -q --bin csched -- lint --all-workloads --machine vliw4 --deny warnings
+echo "==> lint smoke: 500 fuzz graphs (seed 0, offline)"
+run run --release -q -p convergent-bench --bin fuzz -- --seed 0 --budget 500 --lint-only
 echo "==> fuzz smoke (seed 0, 200 cases, offline)"
 run run --release -q -p convergent-bench --bin fuzz -- --seed 0 --budget 200
 echo "==> fuzz smoke, large deep-chain (band re-anchoring end to end, offline)"
@@ -40,4 +56,19 @@ echo "==> compile-time scaling guard (200 vs 2000 instrs, offline)"
 # 3x; the dense layout collapsed to 7.3x. Fail past 5x.
 run run --release -q -p convergent-bench --bin compiletime -- \
     --sizes 200,2000 --budget-secs 0.5 --no-out --max-ratio 5.0
+if [ "$MIRI" = 1 ]; then
+    echo "==> recording-proxy proptests under miri"
+    if cargo miri --version >/dev/null 2>&1; then
+        # Undefined behaviour in the WeightOp logging hot path would
+        # invalidate every contract verdict; miri checks the proxy's
+        # transparency/fidelity proptests at the bitwise level.
+        cargo miri test \
+            --config 'patch.crates-io.rand.path="devtools/offline-stubs/rand"' \
+            --config 'patch.crates-io.proptest.path="devtools/offline-stubs/proptest"' \
+            --config 'patch.crates-io.criterion.path="devtools/offline-stubs/criterion"' \
+            --offline -p convergent-core --test recording_proxy
+    else
+        echo "offline-check.sh: miri not installed (rustup component add miri); skipping"
+    fi
+fi
 echo "offline-check.sh: all green"

@@ -3,6 +3,7 @@
 //! ```text
 //! csched <input.cdag | --workload NAME> [options]
 //! csched verify <input.cdag | --workload NAME> [options]
+//! csched lint <input.cdag | --workload NAME | --all-workloads> [options]
 //!
 //! options:
 //!   --machine raw<N> | vliw<N>    target machine        (default vliw4)
@@ -35,11 +36,37 @@
 //! csched verify repro.cdag --machine raw4
 //! csched verify --workload fir --machine vliw8 --scheduler pcc
 //! ```
+//!
+//! `verify` lints its input first: a malformed `.cdag` (cycle,
+//! dangling edge, impossible preplacement, …) is reported as `CSxxx`
+//! diagnostics naming the offending instructions, before any
+//! scheduler runs.
+//!
+//! The `lint` subcommand runs the static analyzer alone — no
+//! scheduling — over a `.cdag` file, one workload, or every builtin
+//! workload, and also verifies the machine-matched pass sequence
+//! against its declared contracts:
+//!
+//! ```text
+//! csched lint repro.cdag --machine raw4
+//! csched lint --all-workloads --machine vliw4 --deny warnings
+//! csched lint --workload mxm --json
+//! ```
+//!
+//! Lint-specific options:
+//!
+//! ```text
+//!   --all-workloads     lint every builtin workload
+//!   --json              machine-readable report on stdout
+//!   --deny warnings     exit nonzero on warnings, not just errors
+//!   --pedantic          enable the advisory analyses (CS013/CS030/CS031)
+//! ```
 
 use std::process::ExitCode;
 
-use convergent_scheduling::core::ConvergentScheduler;
-use convergent_scheduling::ir::{parse_unit, to_dot, to_text, SchedulingUnit};
+use convergent_scheduling::analysis::{lint_raw, lint_unit, LintOptions, LintReport};
+use convergent_scheduling::core::{contract, ConvergentScheduler, Sequence};
+use convergent_scheduling::ir::{parse_raw, parse_unit, to_dot, to_text, SchedulingUnit};
 use convergent_scheduling::machine::Machine;
 use convergent_scheduling::schedulers::{
     BugScheduler, PccScheduler, RawccScheduler, Scheduler, UasScheduler,
@@ -60,9 +87,10 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: csched [verify] <input.cdag | --workload NAME> [--machine rawN|vliwN] \
+    "usage: csched [verify|lint] <input.cdag | --workload NAME> [--machine rawN|vliwN] \
      [--scheduler convergent|uas|pcc|rawcc|bug] [--dump] [--dot] [--pressure] [--profile] \
-     [--verbose] [--list-workloads]"
+     [--verbose] [--list-workloads]\n\
+     lint only: [--all-workloads] [--json] [--deny warnings] [--pedantic]"
 }
 
 const WORKLOADS: &[&str] = &[
@@ -192,15 +220,210 @@ fn resolve_unit(opts: &Options, machine: &Machine) -> Result<SchedulingUnit, Str
     }
 }
 
-/// `csched verify`: replay a graph through the schedulers and hold
-/// every schedule to the full referee pair — validation plus the
-/// evaluator/oracle cross-check the fuzz harness relies on.
+struct LintArgs {
+    input: Option<String>,
+    workloads: Vec<String>,
+    machine: String,
+    json: bool,
+    deny_warnings: bool,
+    pedantic: bool,
+}
+
+fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
+    let mut opts = LintArgs {
+        input: None,
+        workloads: Vec::new(),
+        machine: "vliw4".to_string(),
+        json: false,
+        deny_warnings: false,
+        pedantic: false,
+    };
+    let mut k = 0;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--machine" => {
+                k += 1;
+                opts.machine = args.get(k).ok_or("--machine takes a value")?.clone();
+            }
+            "--workload" => {
+                k += 1;
+                opts.workloads
+                    .push(args.get(k).ok_or("--workload takes a value")?.clone());
+            }
+            "--all-workloads" => {
+                opts.workloads = WORKLOADS.iter().map(ToString::to_string).collect();
+            }
+            "--json" => opts.json = true,
+            "--deny" => {
+                k += 1;
+                match args.get(k).map(String::as_str) {
+                    Some("warnings") => opts.deny_warnings = true,
+                    other => {
+                        return Err(format!(
+                            "--deny takes 'warnings', got {}",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                }
+            }
+            "--pedantic" => opts.pedantic = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => opts.input = Some(other.to_string()),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        k += 1;
+    }
+    if opts.input.is_none() && opts.workloads.is_empty() {
+        return Err("need an input file, --workload, or --all-workloads".to_string());
+    }
+    Ok(opts)
+}
+
+/// Minimal JSON string escaping for target names.
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// `csched lint`: run the static analyzer over the requested inputs
+/// and verify the machine-matched pass sequence against its declared
+/// contracts, without scheduling anything.
+fn run_lint(args: &[String]) -> Result<(), String> {
+    let opts = parse_lint_args(args)?;
+    let machine = parse_machine(&opts.machine)
+        .ok_or_else(|| format!("unknown machine '{}' (use rawN or vliwN)", opts.machine))?;
+    let lint_opts = if opts.pedantic {
+        LintOptions::pedantic()
+    } else {
+        LintOptions::default()
+    };
+
+    let mut targets: Vec<(String, LintReport)> = Vec::new();
+    if let Some(path) = &opts.input {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let raw = parse_raw(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        let report = lint_raw(&raw, &machine, lint_opts);
+        targets.push((raw.name().to_string(), report));
+    }
+    for w in &opts.workloads {
+        let unit = builtin_workload(w, machine.n_clusters() as u16)
+            .ok_or_else(|| format!("unknown workload '{w}' (try --list-workloads)"))?;
+        targets.push((w.clone(), lint_unit(&unit, &machine, lint_opts)));
+    }
+
+    // The sequence `csched` would run on this machine must honor the
+    // pass contracts, or its diagnostics-over-panics guarantee is void.
+    let sequence = if machine.comm().register_mapped {
+        Sequence::raw()
+    } else {
+        Sequence::vliw_tuned()
+    };
+    let contract_diags = contract::verify_sequence(&sequence, &machine);
+
+    if opts.json {
+        let contracts: Vec<String> = contract_diags.iter().map(|d| d.to_json()).collect();
+        let targets_json: Vec<String> = targets
+            .iter()
+            .map(|(name, report)| {
+                format!(
+                    "{{\"name\":\"{}\",\"diagnostics\":{}}}",
+                    escape_json(name),
+                    report.to_json()
+                )
+            })
+            .collect();
+        println!(
+            "{{\"machine\":\"{}\",\"contracts\":[{}],\"targets\":[{}]}}",
+            escape_json(machine.name()),
+            contracts.join(","),
+            targets_json.join(",")
+        );
+    } else {
+        if contract_diags.is_empty() {
+            println!(
+                "machine {machine}: {} passes honor their contracts",
+                sequence.len()
+            );
+        } else {
+            println!("machine {machine}: pass contract violations:");
+            for d in &contract_diags {
+                println!("  {d}");
+            }
+        }
+        for (name, report) in &targets {
+            let (errors, warnings, notes) = report.counts();
+            if report.is_empty() {
+                println!("{name}: clean");
+            } else {
+                println!("{name}: {errors} error(s), {warnings} warning(s), {notes} note(s)");
+                for d in report.diagnostics() {
+                    println!("  {d}");
+                }
+            }
+        }
+    }
+
+    let dirty = targets
+        .iter()
+        .filter(|(_, r)| !r.is_clean(opts.deny_warnings))
+        .count();
+    if dirty > 0 || !contract_diags.is_empty() {
+        // Findings are the tool working as intended, not a usage
+        // error: report and exit without the usage banner.
+        eprintln!(
+            "csched: lint failed: {dirty} of {} target(s) dirty, {} contract violation(s)",
+            targets.len(),
+            contract_diags.len()
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// `csched verify`: lint the input, then replay it through the
+/// schedulers and hold every schedule to the full referee pair —
+/// validation plus the evaluator/oracle cross-check the fuzz harness
+/// relies on.
 fn run_verify(args: &[String]) -> Result<(), String> {
     let explicit_scheduler = args.iter().any(|a| a == "--scheduler");
     let opts = parse_args(args)?;
     let machine = parse_machine(&opts.machine)
         .ok_or_else(|| format!("unknown machine '{}' (use rawN or vliwN)", opts.machine))?;
-    let unit = resolve_unit(&opts, &machine)?;
+
+    // Lint before scheduling: a malformed repro gets structured
+    // diagnostics naming its instructions, not a scheduler panic.
+    let (unit, report) = match (&opts.workload, &opts.input) {
+        (Some(w), _) => {
+            let unit = builtin_workload(w, machine.n_clusters() as u16)
+                .ok_or_else(|| format!("unknown workload '{w}' (try --list-workloads)"))?;
+            let report = lint_unit(&unit, &machine, LintOptions::default());
+            (Some(unit), report)
+        }
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let raw = parse_raw(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+            let report = lint_raw(&raw, &machine, LintOptions::default());
+            let unit = if report.errors().next().is_none() {
+                Some(raw.build().map_err(|e| format!("building {path}: {e}"))?)
+            } else {
+                None
+            };
+            (unit, report)
+        }
+        (None, None) => unreachable!("checked in parse_args"),
+    };
+    for d in report.diagnostics() {
+        println!("lint: {d}");
+    }
+    let Some(unit) = unit else {
+        let (errors, _, _) = report.counts();
+        return Err(format!(
+            "input failed lint with {errors} error(s); not scheduling"
+        ));
+    };
+
     let names: Vec<String> = if explicit_scheduler {
         vec![opts.scheduler.clone()]
     } else {
@@ -258,6 +481,9 @@ fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "verify") {
         return run_verify(&args[1..]);
+    }
+    if args.first().is_some_and(|a| a == "lint") {
+        return run_lint(&args[1..]);
     }
     let opts = parse_args(&args)?;
 

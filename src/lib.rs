@@ -6,6 +6,8 @@
 //!
 //! * [`ir`] — dependence-graph IR and analyses
 //! * [`machine`] — Raw and clustered-VLIW machine models
+//! * [`analysis`] — the static linter: structured `CSxxx` diagnostics
+//!   over `(DAG, machine)` inputs, no scheduler run required
 //! * [`core`] — the convergent scheduler (preference maps + passes)
 //! * [`schedulers`] — list scheduling and the UAS / PCC / Rawcc baselines
 //! * [`sim`] — schedule validation and cycle-level evaluation
@@ -28,6 +30,7 @@
 //! assert!(schedule.makespan().get() > 0);
 //! ```
 
+pub use convergent_analysis as analysis;
 pub use convergent_core as core;
 pub use convergent_ir as ir;
 pub use convergent_machine as machine;
@@ -37,7 +40,12 @@ pub use convergent_workloads as workloads;
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
-    pub use convergent_core::{ConvergentScheduler, Pass, PassContext, PreferenceMap, Sequence};
+    pub use convergent_analysis::{
+        lint_dag, lint_raw, lint_unit, Code, Diagnostic, LintOptions, LintReport, Severity,
+    };
+    pub use convergent_core::{
+        ConvergentScheduler, Pass, PassContext, PassContract, PreferenceMap, Sequence,
+    };
     pub use convergent_ir::{
         ClusterId, Cycle, Dag, DagBuilder, InstrId, Instruction, OpClass, Opcode, Program,
         SchedulingUnit, TimeAnalysis,

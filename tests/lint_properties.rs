@@ -1,0 +1,181 @@
+//! Lint/scheduler agreement properties.
+//!
+//! Two directions tie the static analyzer to the schedulers:
+//!
+//! * **Soundness of the generators** — every builtin workload and
+//!   every randomly generated graph lints with *zero* diagnostics on
+//!   the machines it targets.
+//! * **Completeness of the lint** — a graph the linter passes is never
+//!   rejected by a scheduler for an input-side reason
+//!   (`BadHomeCluster`, `NoCapableCluster`, `Lint`): whatever the
+//!   linter lets through, the schedulers can place and the result
+//!   validates. Conversely, a graph the linter flags with an
+//!   error-severity diagnostic is refused by every scheduler's
+//!   precondition hook as a structured error, never a panic.
+
+use convergent_scheduling::analysis::{lint_dag, lint_unit, Code, LintOptions};
+use convergent_scheduling::core::ConvergentScheduler;
+use convergent_scheduling::ir::{ClusterId, Dag, DagBuilder, Instruction, Opcode, SchedulingUnit};
+use convergent_scheduling::machine::Machine;
+use convergent_scheduling::schedulers::{
+    BugScheduler, PccScheduler, RawccScheduler, ScheduleError, Scheduler, UasScheduler,
+};
+use convergent_scheduling::sim::validate;
+use convergent_scheduling::workloads as wl;
+use proptest::prelude::*;
+
+fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(UasScheduler::new()),
+        Box::new(PccScheduler::new().with_max_rounds(1)),
+        Box::new(RawccScheduler::new()),
+        Box::new(BugScheduler::new()),
+        Box::new(ConvergentScheduler::raw_default()),
+        Box::new(ConvergentScheduler::vliw_tuned()),
+    ]
+}
+
+fn is_input_side(e: &ScheduleError) -> bool {
+    matches!(
+        e,
+        ScheduleError::BadHomeCluster { .. }
+            | ScheduleError::NoCapableCluster(_)
+            | ScheduleError::Lint { .. }
+    )
+}
+
+/// A lint-clean graph is never rejected for an input-side reason, and
+/// whatever schedules, validates.
+fn check_clean_graph_schedules(unit: &SchedulingUnit, machine: &Machine) {
+    let report = lint_unit(unit, machine, LintOptions::default());
+    assert!(
+        report.is_empty(),
+        "{} on {}: {:?}",
+        unit.name(),
+        machine.name(),
+        report.diagnostics()
+    );
+    for sched in all_schedulers() {
+        match sched.schedule(unit.dag(), machine) {
+            Ok(s) => validate(unit.dag(), machine, &s)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", sched.name(), machine.name())),
+            Err(e) if is_input_side(&e) => panic!(
+                "{} rejected a lint-clean graph on {}: {e}",
+                sched.name(),
+                machine.name()
+            ),
+            // Non-input-side errors (e.g. NoProgress) would be a
+            // scheduler bug but are not this property's subject; the
+            // fuzz harness owns those.
+            Err(e) => panic!("{} on {}: {e}", sched.name(), machine.name()),
+        }
+    }
+}
+
+#[test]
+fn builtin_workloads_lint_with_zero_diagnostics() {
+    let machines = [Machine::raw(4), Machine::raw(16), Machine::chorus_vliw(4)];
+    for machine in &machines {
+        let banks = machine.n_clusters() as u16;
+        let units = [
+            wl::cholesky(wl::CholeskyParams::for_banks(banks)),
+            wl::tomcatv(wl::StencilParams::for_banks(banks)),
+            wl::vpenta(wl::VpentaParams::for_banks(banks)),
+            wl::mxm(wl::MxmParams::for_banks(banks)),
+            wl::fpppp_kernel(wl::FppppParams::small()),
+            wl::sha(wl::ShaParams::small()),
+            wl::swim(wl::StencilParams::for_banks(banks)),
+            wl::jacobi(wl::StencilParams::for_banks(banks)),
+            wl::life(wl::StencilParams::for_banks(banks)),
+            wl::vvmul(wl::VvmulParams::for_banks(banks)),
+            wl::rbsorf(wl::StencilParams::for_banks(banks)),
+            wl::yuv(wl::YuvParams::for_banks(banks)),
+            wl::fir(wl::FirParams::for_banks(banks)),
+        ];
+        for unit in &units {
+            let report = lint_unit(unit, machine, LintOptions::default());
+            assert!(
+                report.is_empty(),
+                "{} on {}: {:?}",
+                unit.name(),
+                machine.name(),
+                report.diagnostics()
+            );
+        }
+    }
+}
+
+/// A graph whose only defect is one out-of-range home cluster.
+fn dag_with_bad_home(n: usize, bad_home: u16) -> Dag {
+    let mut b = DagBuilder::with_capacity(n + 1);
+    let mut prev = b.push(Instruction::new(Opcode::Load));
+    for _ in 0..n {
+        let next = b.push(Instruction::new(Opcode::IntAlu));
+        b.edge(prev, next).unwrap();
+        prev = next;
+    }
+    let sink = b.push(Instruction::preplaced(
+        Opcode::Store,
+        ClusterId::new(bad_home),
+    ));
+    b.edge(prev, sink).unwrap();
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_layered_graphs_lint_clean_and_schedule(
+        n in 8usize..100,
+        width in 2usize..10,
+        seed in any::<u64>(),
+        pre in 0.0f64..0.8,
+    ) {
+        let unit = wl::layered(
+            wl::LayeredParams::new(n, seed)
+                .with_width(width)
+                .with_preplacement(pre, 4),
+        );
+        check_clean_graph_schedules(&unit, &Machine::raw(4));
+        check_clean_graph_schedules(&unit, &Machine::chorus_vliw(4));
+    }
+
+    #[test]
+    fn random_series_parallel_graphs_lint_clean_and_schedule(
+        n in 5usize..60,
+        seed in any::<u64>(),
+    ) {
+        let unit = wl::series_parallel(n, seed);
+        check_clean_graph_schedules(&unit, &Machine::raw(2));
+        check_clean_graph_schedules(&unit, &Machine::chorus_vliw(2));
+    }
+
+    #[test]
+    fn flagged_graphs_are_refused_not_panicked(
+        n in 1usize..20,
+        extra in 0u16..100,
+    ) {
+        // One home cluster past the machine edge: the linter must
+        // flag CS011, and every scheduler must surface the same
+        // finding as a structured input-side error.
+        let machine = Machine::raw(4);
+        let bad_home = machine.n_clusters() as u16 + extra;
+        let dag = dag_with_bad_home(n, bad_home);
+        let report = lint_dag(&dag, &machine, LintOptions::default());
+        prop_assert!(
+            report.errors().any(|d| d.code == Code::BadHomeCluster),
+            "{:?}",
+            report.diagnostics()
+        );
+        for sched in all_schedulers() {
+            match sched.schedule(&dag, &machine) {
+                Err(e) if is_input_side(&e) => {}
+                other => panic!(
+                    "{} should refuse a bad home cluster, got {other:?}",
+                    sched.name()
+                ),
+            }
+        }
+    }
+}
