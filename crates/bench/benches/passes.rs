@@ -5,7 +5,7 @@
 use convergent_core::passes::{
     Comm, EmphCp, InitTime, LevelDistribute, LoadBalance, Noise, Path, PathProp, Place, PlaceProp,
 };
-use convergent_core::{ConvergentScheduler, Pass, PassContext, PreferenceMap};
+use convergent_core::{ConvergentScheduler, Pass, PassContext, PassScratch, PreferenceMap};
 use convergent_ir::{DistanceOracle, TimeAnalysis};
 use convergent_machine::Machine;
 use convergent_workloads::{mxm, MxmParams};
@@ -41,6 +41,7 @@ fn bench_passes(c: &mut Criterion) {
                 let mut weights = PreferenceMap::new(dag.len(), machine.n_clusters(), slots);
                 let mut dist = DistanceOracle::new();
                 let mut rng = StdRng::seed_from_u64(1);
+                let mut scratch = PassScratch::default();
                 let mut ctx = PassContext {
                     dag,
                     machine: &machine,
@@ -48,6 +49,7 @@ fn bench_passes(c: &mut Criterion) {
                     dist: &mut dist,
                     rng: &mut rng,
                     weights: &mut weights,
+                    scratch: &mut scratch,
                 };
                 pass.run(&mut ctx);
                 weights.normalize_all();

@@ -1,0 +1,184 @@
+//! Criterion microbenchmarks of the bulk row kernels against the
+//! per-cell loops they replaced, on both map layouts and both band
+//! regimes:
+//!
+//! * **narrow** — every instruction windowed to an 8-slot slack band,
+//!   the common post-INITTIME shape;
+//! * **full** — no windowing, every band spanning all `n_slots`, the
+//!   regime where one bulk call amortizes the most per-cell overhead.
+//!
+//! Covered kernels: `noise_fill` (vs the per-cell `add` loop),
+//! `scale_clusters_row` (vs the per-cluster `scale_cluster` calls),
+//! `axpy_row` (vs the per-cell `add` loop), and `scale_row` (vs the
+//! per-cell `scale` loop). The bulk and per-cell forms are bit-exact
+//! (see `crates/core/tests/row_kernels.rs`); these benches exist to
+//! show what the batching buys, cell for cell.
+
+use convergent_core::PreferenceMap;
+use convergent_ir::{ClusterId, InstrId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const N: usize = 500;
+const CLUSTERS: usize = 4;
+const SLOTS: usize = 512;
+const BAND: u32 = 8;
+
+/// A map in the requested layout, optionally windowed to narrow
+/// bands, with every row densified so banded rows carry real band
+/// storage rather than the uniform closed form.
+fn prepared(dense: bool, narrow: bool) -> PreferenceMap {
+    let mut w = if dense {
+        PreferenceMap::new_dense(N, CLUSTERS, SLOTS)
+    } else {
+        PreferenceMap::new(N, CLUSTERS, SLOTS)
+    };
+    for i in 0..N {
+        let id = InstrId::new(i as u32);
+        if narrow {
+            let lo = (i as u32 * 7) % (SLOTS as u32 - BAND);
+            w.set_window(id, lo, lo + BAND - 1);
+        }
+        w.scale_cluster(id, ClusterId::new((i % CLUSTERS) as u16), 2.0);
+    }
+    w.normalize_all();
+    w
+}
+
+/// Deterministic unit-interval values standing in for noise draws.
+fn unit_values(count: usize) -> Vec<f64> {
+    let mut state = 0x5EEDu64;
+    (0..count)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            ((z ^ (z >> 31)) >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+        })
+        .collect()
+}
+
+fn bench_row_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_kernels");
+    let draws = unit_values(CLUSTERS * SLOTS);
+    let skew = [1.1, 0.9, 1.05, 0.95];
+    for (layout, dense) in [("banded", false), ("dense", true)] {
+        for (regime, narrow) in [("narrow", true), ("full", false)] {
+            let label = format!("{layout}/{regime}");
+
+            group.bench_function(BenchmarkId::new("noise_fill/bulk", &label), |b| {
+                let mut w = prepared(dense, narrow);
+                b.iter(|| {
+                    for i in 0..N {
+                        let id = InstrId::new(i as u32);
+                        let (lo, hi) = w.window(id);
+                        let cells = CLUSTERS * (hi - lo + 1) as usize;
+                        w.noise_fill(id, black_box(0.5), &draws[..cells]);
+                    }
+                    black_box(&w);
+                });
+            });
+            group.bench_function(BenchmarkId::new("noise_fill/per_cell", &label), |b| {
+                let mut w = prepared(dense, narrow);
+                b.iter(|| {
+                    for i in 0..N {
+                        let id = InstrId::new(i as u32);
+                        let (lo, hi) = w.window(id);
+                        let mut k = 0usize;
+                        for cl in 0..CLUSTERS {
+                            let cid = ClusterId::new(cl as u16);
+                            for t in lo..=hi {
+                                w.add(id, cid, t, black_box(0.5) * draws[k]);
+                                k += 1;
+                            }
+                        }
+                    }
+                    black_box(&w);
+                });
+            });
+
+            group.bench_function(BenchmarkId::new("scale_clusters_row/bulk", &label), |b| {
+                let mut w = prepared(dense, narrow);
+                b.iter(|| {
+                    for i in 0..N {
+                        w.scale_clusters_row(InstrId::new(i as u32), black_box(&skew));
+                    }
+                    black_box(&w);
+                });
+            });
+            group.bench_function(
+                BenchmarkId::new("scale_clusters_row/per_cluster", &label),
+                |b| {
+                    let mut w = prepared(dense, narrow);
+                    b.iter(|| {
+                        for i in 0..N {
+                            let id = InstrId::new(i as u32);
+                            for (cl, &f) in skew.iter().enumerate() {
+                                w.scale_cluster(id, ClusterId::new(cl as u16), black_box(f));
+                            }
+                        }
+                        black_box(&w);
+                    });
+                },
+            );
+
+            group.bench_function(BenchmarkId::new("axpy_row/bulk", &label), |b| {
+                let mut w = prepared(dense, narrow);
+                b.iter(|| {
+                    for i in 0..N {
+                        let id = InstrId::new(i as u32);
+                        let (lo, hi) = w.window(id);
+                        let span = (hi - lo + 1) as usize;
+                        w.axpy_row(id, ClusterId::new(0), lo, black_box(0.01), &draws[..span]);
+                    }
+                    black_box(&w);
+                });
+            });
+            group.bench_function(BenchmarkId::new("axpy_row/per_cell", &label), |b| {
+                let mut w = prepared(dense, narrow);
+                b.iter(|| {
+                    for i in 0..N {
+                        let id = InstrId::new(i as u32);
+                        let (lo, hi) = w.window(id);
+                        for (k, t) in (lo..=hi).enumerate() {
+                            w.add(id, ClusterId::new(0), t, black_box(0.01) * draws[k]);
+                        }
+                    }
+                    black_box(&w);
+                });
+            });
+
+            group.bench_function(BenchmarkId::new("scale_row/bulk", &label), |b| {
+                let mut w = prepared(dense, narrow);
+                let factors = vec![1.001; SLOTS];
+                b.iter(|| {
+                    for i in 0..N {
+                        let id = InstrId::new(i as u32);
+                        let (lo, hi) = w.window(id);
+                        let span = (hi - lo + 1) as usize;
+                        w.scale_row(id, ClusterId::new(1), lo, black_box(&factors[..span]));
+                    }
+                    black_box(&w);
+                });
+            });
+            group.bench_function(BenchmarkId::new("scale_row/per_cell", &label), |b| {
+                let mut w = prepared(dense, narrow);
+                b.iter(|| {
+                    for i in 0..N {
+                        let id = InstrId::new(i as u32);
+                        let (lo, hi) = w.window(id);
+                        for t in lo..=hi {
+                            w.scale(id, ClusterId::new(1), t, black_box(1.001));
+                        }
+                    }
+                    black_box(&w);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_row_kernels);
+criterion_main!(benches);

@@ -1,28 +1,42 @@
 //! Compile-time throughput of the convergent scheduler itself: how
 //! many instructions per second the full pass pipeline (weights,
 //! passes, normalization, final list schedule) sustains at several
-//! region sizes — the paper's Figure 10 claim, extended to 10k
+//! region sizes — the paper's Figure 10 claim, extended to 100k
 //! instructions. Companion to figure10, but focused on the convergent
 //! scheduler and machine-readable: results land in
 //! `BENCH_compiletime.json`, including a per-pass wall-clock breakdown
-//! of the best repetition.
+//! of the best repetition and host metadata (cpu model, core count,
+//! thread count) so rows are comparable across machines.
 //!
 //! ```text
 //! cargo run --release -p convergent-bench --bin compiletime
 //! cargo run --release -p convergent-bench --bin compiletime -- \
 //!     --sizes 200,2000 --budget-secs 0.5 --no-out --max-ratio 4.0
+//! cargo run --release -p convergent-bench --bin compiletime -- --threads 8
 //! ```
 //!
+//! The workload is a layered random DAG whose layer width scales with
+//! the instruction count (`width = max(8, n/125)`, overridable with
+//! `--width`), keeping graph depth — and with it the number of time
+//! slots and the feasible-window span — roughly constant across sizes.
+//! A fixed width would make the cell count per instruction grow
+//! linearly in `n` (depth ∝ n ⇒ slack ∝ n), which measures the
+//! workload's shape rather than the scheduler, and puts 100k
+//! instructions out of reach of any implementation (~4·10⁹ weight
+//! cells). Real scheduling regions grow wide, not kilodeep.
+//!
 //! Measurements run serially (never through the parallel harness) so
-//! each row gets an unloaded machine. Every size is repeated until a
-//! fixed wall-clock budget (`--budget-secs`, default 2 s) is spent, so
-//! `best_seconds` is equally converged across rows instead of drifting
-//! with size; the measured rep count is recorded per row.
+//! each row gets an unloaded machine; `--threads N` exercises the
+//! driver's intra-pass parallelism instead. Every size is repeated
+//! until a fixed wall-clock budget (`--budget-secs`, default 2 s) is
+//! spent, so `best_seconds` is equally converged across rows instead
+//! of drifting with size; the measured rep count is recorded per row.
 //!
 //! `--max-ratio R` turns the run into a scaling guard: it exits
 //! nonzero if throughput at the smallest size exceeds throughput at
 //! the largest by more than `R×` — the superlinear-collapse symptom
-//! the banded preference map exists to prevent.
+//! the banded preference map and the bulk row kernels exist to
+//! prevent.
 
 use std::time::Instant;
 
@@ -32,10 +46,28 @@ use convergent_workloads::{layered, LayeredParams};
 
 struct Row {
     n: usize,
+    width: usize,
     best: f64,
     ips: f64,
     reps: u32,
     profile: PassProfile,
+}
+
+/// Layer width for an `n`-instruction sweep point: proportional so
+/// depth stays near 125 levels at every size (see module docs).
+fn auto_width(n: usize) -> usize {
+    (n / 125).max(8)
+}
+
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1).map(|m| m.trim().to_string()))
+        })
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 fn main() {
@@ -54,24 +86,31 @@ fn main() {
         .unwrap_or(2.0);
     let max_ratio: Option<f64> =
         flag_val("--max-ratio").map(|v| v.parse().expect("--max-ratio takes a number"));
+    let threads: usize = flag_val("--threads")
+        .map(|v| v.parse().expect("--threads takes a positive integer"))
+        .unwrap_or(1);
+    assert!(threads > 0, "--threads takes a positive integer");
+    let forced_width: Option<usize> =
+        flag_val("--width").map(|v| v.parse().expect("--width takes a positive integer"));
     let sizes: Vec<usize> = flag_val("--sizes")
         .map(|v| {
             v.split(',')
                 .map(|s| s.trim().parse().expect("--sizes takes a comma list"))
                 .collect()
         })
-        .unwrap_or_else(|| vec![200, 500, 1000, 2000, 5000, 10000]);
+        .unwrap_or_else(|| vec![200, 500, 1000, 2000, 5000, 10000, 50000, 100000]);
 
     let machine = Machine::chorus_vliw(4);
     println!(
-        "{:>8}{:>12}{:>16}{:>8}",
-        "instrs", "best (s)", "instrs/sec", "reps"
+        "{:>8}{:>8}{:>12}{:>16}{:>8}",
+        "instrs", "width", "best (s)", "instrs/sec", "reps"
     );
     let mut rows: Vec<Row> = Vec::new();
     for &n in &sizes {
+        let width = forced_width.unwrap_or_else(|| auto_width(n));
         let unit = layered(
             LayeredParams::new(n, 0xF16)
-                .with_width(8)
+                .with_width(width)
                 .with_preplacement(0.5, 4),
         );
         let mut best = f64::INFINITY;
@@ -80,7 +119,7 @@ fn main() {
         let clock = Instant::now();
         // At least one rep, then keep going until the budget is spent.
         while reps == 0 || clock.elapsed().as_secs_f64() < budget_secs {
-            let sched = ConvergentScheduler::vliw_default();
+            let sched = ConvergentScheduler::vliw_default().with_threads(threads);
             let start = Instant::now();
             let (out, profile) = sched
                 .schedule_profiled(unit.dag(), &machine)
@@ -94,12 +133,13 @@ fn main() {
             reps += 1;
         }
         let ips = n as f64 / best;
-        println!("{n:>8}{best:>12.4}{ips:>16.0}{reps:>8}");
+        println!("{n:>8}{width:>8}{best:>12.4}{ips:>16.0}{reps:>8}");
         if show_profile {
             println!("{}", best_profile.render_table());
         }
         rows.push(Row {
             n,
+            width,
             best,
             ips,
             reps,
@@ -108,16 +148,29 @@ fn main() {
     }
 
     if !no_out {
+        let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
         let mut json = String::from("{\n  \"experiment\": \"compiletime\",\n");
         json.push_str("  \"scheduler\": \"convergent vliw_default\",\n");
         json.push_str("  \"machine\": \"chorus_vliw(4)\",\n");
+        json.push_str(&format!(
+            "  \"workload\": \"layered(seed 0xF16, width {}, preplace 0.5 over 4 banks)\",\n",
+            forced_width.map_or_else(|| "max(8, n/125)".to_string(), |w| w.to_string())
+        ));
+        json.push_str(&format!("  \"threads\": {threads},\n"));
+        json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+        json.push_str(&format!("  \"host_cpu_model\": \"{}\",\n", cpu_model()));
+        json.push_str(&format!(
+            "  \"host_os\": \"{} {}\",\n",
+            std::env::consts::OS,
+            std::env::consts::ARCH
+        ));
         json.push_str(&format!(
             "  \"budget_secs\": {budget_secs},\n  \"rows\": [\n"
         ));
         for (k, row) in rows.iter().enumerate() {
             json.push_str(&format!(
-                "    {{\"instrs\": {}, \"best_seconds\": {:.6}, \"instrs_per_sec\": {:.1}, \"reps\": {}, \"per_pass_seconds\": {{",
-                row.n, row.best, row.ips, row.reps
+                "    {{\"instrs\": {}, \"width\": {}, \"best_seconds\": {:.6}, \"instrs_per_sec\": {:.1}, \"reps\": {}, \"per_pass_seconds\": {{",
+                row.n, row.width, row.best, row.ips, row.reps
             ));
             let spans: Vec<String> = row
                 .profile

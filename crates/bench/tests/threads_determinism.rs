@@ -1,0 +1,56 @@
+//! The `--threads` contract, end to end: the convergent scheduler's
+//! intra-pass parallelism (`ConvergentScheduler::with_threads`) must
+//! be invisible in the output. Row kernels operate on disjoint
+//! instruction rows, so any interleaving of per-row updates produces
+//! the same bits as the sequential order — this test pins that claim
+//! by scheduling every builtin workload (the Raw and clustered-VLIW
+//! suites) at 1, 2, and 8 threads and requiring the full space-time
+//! schedule, communication ops included, to be identical.
+
+use convergent_core::ConvergentScheduler;
+use convergent_machine::Machine;
+use convergent_workloads::{raw_suite, vliw_suite};
+
+#[test]
+fn vliw_suite_schedules_identically_at_1_2_8_threads() {
+    let machine = Machine::chorus_vliw(4);
+    for unit in vliw_suite(4) {
+        let reference = ConvergentScheduler::vliw_default()
+            .schedule(unit.dag(), &machine)
+            .unwrap_or_else(|e| panic!("{}: {e}", unit.name()));
+        for threads in [2, 8] {
+            let parallel = ConvergentScheduler::vliw_default()
+                .with_threads(threads)
+                .schedule(unit.dag(), &machine)
+                .unwrap_or_else(|e| panic!("{}: {e}", unit.name()));
+            assert_eq!(
+                reference.schedule(),
+                parallel.schedule(),
+                "{} diverged at {threads} threads",
+                unit.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn raw_suite_schedules_identically_at_1_2_8_threads() {
+    let machine = Machine::raw(4);
+    for unit in raw_suite(4) {
+        let reference = ConvergentScheduler::raw_default()
+            .schedule(unit.dag(), &machine)
+            .unwrap_or_else(|e| panic!("{}: {e}", unit.name()));
+        for threads in [2, 8] {
+            let parallel = ConvergentScheduler::raw_default()
+                .with_threads(threads)
+                .schedule(unit.dag(), &machine)
+                .unwrap_or_else(|e| panic!("{}: {e}", unit.name()));
+            assert_eq!(
+                reference.schedule(),
+                parallel.schedule(),
+                "{} diverged at {threads} threads",
+                unit.name()
+            );
+        }
+    }
+}

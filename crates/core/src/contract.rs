@@ -92,6 +92,7 @@ fn run_recorded(
     let slots = time.critical_path_length().max(1) as usize;
     let mut weights = PreferenceMap::new(dag.len(), machine.n_clusters(), slots);
     let mut dist = DistanceOracle::new();
+    let mut scratch = crate::PassScratch::default();
     if !contract.establishes_windows {
         let mut rng = StdRng::seed_from_u64(PROBE_SEED);
         let mut ctx = PassContext {
@@ -101,6 +102,7 @@ fn run_recorded(
             dist: &mut dist,
             rng: &mut rng,
             weights: &mut weights,
+            scratch: &mut scratch,
         };
         InitTime::new().run(&mut ctx);
         weights.normalize_all();
@@ -115,6 +117,7 @@ fn run_recorded(
         dist: &mut dist,
         rng: &mut rng,
         weights: &mut weights,
+        scratch: &mut scratch,
     };
     pass.run(&mut ctx);
     let log = weights.take_recording();

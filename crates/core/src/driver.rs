@@ -21,7 +21,7 @@ use convergent_sim::{Assignment, SpaceTimeSchedule};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::{PassContext, PassProfile, PreferenceMap, Sequence};
+use crate::{PassContext, PassProfile, PassScratch, PreferenceMap, Sequence};
 
 /// Per-pass convergence measurement.
 #[derive(Clone, Debug, PartialEq)]
@@ -147,6 +147,7 @@ pub struct ConvergentScheduler {
     seed: u64,
     use_time_priorities: bool,
     reference_map: bool,
+    threads: usize,
 }
 
 impl ConvergentScheduler {
@@ -158,6 +159,7 @@ impl ConvergentScheduler {
             seed: 42,
             use_time_priorities: true,
             reference_map: false,
+            threads: 1,
         }
     }
 
@@ -216,6 +218,26 @@ impl ConvergentScheduler {
     #[must_use]
     pub fn with_reference_map(mut self, on: bool) -> Self {
         self.reference_map = on;
+        self
+    }
+
+    /// Sets the number of worker threads for intra-pass parallelism.
+    ///
+    /// With `threads > 1`, passes that implement
+    /// [`Pass::row_kernel`](crate::Pass::row_kernel) run their
+    /// sequential prologue once and then apply the kernel to disjoint
+    /// [`crate::WeightRows`] chunks of the preference map across a
+    /// thread scope. Row independence makes the result bit-identical
+    /// to the single-threaded run for any thread count; passes without
+    /// a kernel fall back to their sequential `run`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "threads must be at least 1");
+        self.threads = threads;
         self
     }
 
@@ -297,6 +319,7 @@ impl ConvergentScheduler {
         };
         let mut dist = DistanceOracle::new();
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut scratch = PassScratch::default();
         let mut trace = ConvergenceTrace::default();
         observer(0, "<init>", &weights);
         lap(&mut profile, "<init>");
@@ -304,7 +327,27 @@ impl ConvergentScheduler {
         let mut preferred: Vec<ClusterId> =
             dag.ids().map(|i| weights.preferred_cluster(i)).collect();
         for (k, pass) in self.sequence.passes().iter().enumerate() {
-            {
+            // With threads > 1, split kernel-capable passes into their
+            // sequential prologue plus a row kernel applied to
+            // disjoint row chunks across a thread scope. Rows are
+            // independent, so any split produces the bit-identical
+            // map; passes without a kernel run sequentially.
+            let mut ran_parallel = false;
+            if self.threads > 1 {
+                if let Some(kernel) =
+                    pass.row_kernel(dag, machine, &time, &mut rng, &weights, &mut scratch)
+                {
+                    let kernel = &*kernel;
+                    let chunks = weights.rows_mut(self.threads);
+                    std::thread::scope(|scope| {
+                        for mut chunk in chunks {
+                            scope.spawn(move || kernel.apply(&mut chunk));
+                        }
+                    });
+                    ran_parallel = true;
+                }
+            }
+            if !ran_parallel {
                 let mut ctx = PassContext {
                     dag,
                     machine,
@@ -312,6 +355,7 @@ impl ConvergentScheduler {
                     dist: &mut dist,
                     rng: &mut rng,
                     weights: &mut weights,
+                    scratch: &mut scratch,
                 };
                 pass.run(&mut ctx);
             }

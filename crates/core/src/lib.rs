@@ -62,7 +62,7 @@ mod weights;
 pub use driver::{
     AssignOutcome, ConvergenceTrace, ConvergentScheduler, PassRecord, ScheduleOutcome,
 };
-pub use pass::{Pass, PassContext, PassContract};
+pub use pass::{Pass, PassContext, PassContract, PassScratch, RowKernel};
 pub use profile::PassProfile;
 pub use sequence::Sequence;
-pub use weights::{PreferenceMap, WeightOp};
+pub use weights::{PreferenceMap, RowOps, WeightOp, WeightRows};

@@ -15,6 +15,7 @@ use convergent_ir::{Dag, DistanceOracle, TimeAnalysis};
 use convergent_machine::Machine;
 use rand::rngs::StdRng;
 
+use crate::weights::RowOps;
 use crate::PreferenceMap;
 
 /// Everything a pass may look at or change.
@@ -32,6 +33,39 @@ pub struct PassContext<'a> {
     pub rng: &'a mut StdRng,
     /// The shared preference map.
     pub weights: &'a mut PreferenceMap,
+    /// Reusable driver-owned buffers (see [`PassScratch`]).
+    pub scratch: &'a mut PassScratch,
+}
+
+/// Reusable buffers owned by the driver and threaded through
+/// [`PassContext::scratch`], so steady-state pass execution allocates
+/// nothing per run: COMM's marginal snapshot, NOISE's pre-drawn noise
+/// vectors, PLACEPROP's factor table all live here. Contents are
+/// unspecified between runs — fill before reading.
+#[derive(Clone, Debug, Default)]
+pub struct PassScratch {
+    /// Primary `f64` buffer.
+    pub a: Vec<f64>,
+    /// Secondary `f64` buffer, for passes that need two at once.
+    pub b: Vec<f64>,
+    /// Index/offset buffer (e.g. per-instruction starts into `a`).
+    pub idx: Vec<usize>,
+    /// Stamp/flag buffer (e.g. grand-neighbor dedup marks).
+    pub mark: Vec<u32>,
+}
+
+/// The data-parallel half of a pass: an immutable, fully precomputed
+/// recipe applied independently to every instruction row. Produced by
+/// [`Pass::row_kernel`] after the pass's sequential prologue (graph
+/// analysis, RNG draws — everything order-sensitive) has run; the
+/// driver then applies it either to the whole map or to the disjoint
+/// [`crate::WeightRows`] chunks of a thread scope. Both orders produce
+/// bit-identical maps because each instruction's updates touch only
+/// that instruction's row.
+pub trait RowKernel: Sync {
+    /// Applies the kernel to every instruction in `rows`'
+    /// [`RowOps::instr_range`].
+    fn apply(&self, rows: &mut dyn RowOps);
 }
 
 /// The behavioural contract a pass declares, verified empirically by
@@ -109,7 +143,12 @@ impl Default for PassContract {
 ///     }
 /// }
 /// ```
-pub trait Pass {
+///
+/// Passes are `Send + Sync`: pass structs are immutable configuration
+/// (all mutable state lives in [`PassContext`]), which is what lets
+/// the driver share a [`Sequence`](crate::Sequence) across threads and
+/// a future `cschedd` daemon hold one scheduler for many requests.
+pub trait Pass: Send + Sync {
     /// Short upper-case name matching the paper ("INITTIME", "NOISE",
     /// ...); used in convergence traces and reports.
     fn name(&self) -> &'static str;
@@ -123,6 +162,30 @@ pub trait Pass {
 
     /// Reads and nudges the preference map.
     fn run(&self, ctx: &mut PassContext<'_>);
+
+    /// Splits this pass into a sequential prologue (run inside this
+    /// call: graph analysis, RNG draws — everything order-sensitive)
+    /// and a [`RowKernel`] whose per-instruction applications are
+    /// independent. Returning `Some` opts the pass into the driver's
+    /// `--threads` intra-pass parallelism; the default `None` keeps it
+    /// sequential-only. `None` may also mean "nothing to do on this
+    /// input" (the driver then skips the pass body entirely), so a
+    /// pass that overrides this should route its `run` through the
+    /// kernel to keep the two paths identical. `scratch` offers
+    /// reusable buffers the returned kernel may borrow; `weights` is
+    /// read-only here — all writes happen in the kernel.
+    fn row_kernel<'k>(
+        &self,
+        dag: &'k Dag,
+        machine: &'k Machine,
+        time: &'k TimeAnalysis,
+        rng: &mut StdRng,
+        weights: &PreferenceMap,
+        scratch: &'k mut PassScratch,
+    ) -> Option<Box<dyn RowKernel + 'k>> {
+        let _ = (dag, machine, time, rng, weights, scratch);
+        None
+    }
 
     /// The behavioural contract this pass claims to honor; checked by
     /// `csched lint` through [`crate::contract::verify_pass`]. The

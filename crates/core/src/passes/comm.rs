@@ -22,10 +22,25 @@
 //!   contribute with half weight;
 //! * "for each i: W[i, tᵢ, cᵢ] ← 2 · W[i, tᵢ, cᵢ]" — the preferred
 //!   slot is reinforced, sharpening the map.
+//!
+//! # Prologue / kernel split
+//!
+//! The [`Pass::row_kernel`] prologue snapshots every instruction's
+//! normalized cluster marginals (into [`PassScratch::a`], reused
+//! across runs — no steady-state allocation) and folds the
+//! neighbor/grand-neighbor sums into a full `n_instrs × n_clusters`
+//! skew matrix in [`PassScratch::b`]. The kernel then applies each
+//! row's skew via [`RowOps::scale_clusters_row`] and, fused into the
+//! same per-row visit, the preferred-slot reinforcement. The fusion is
+//! state-identical to the historical two-loop form because both the
+//! skew scaling and the reinforcement read-off touch only row `i`.
 
-use convergent_ir::ClusterId;
+use convergent_ir::{Dag, InstrId, TimeAnalysis};
+use convergent_machine::Machine;
+use rand::rngs::StdRng;
 
-use crate::{Pass, PassContext};
+use crate::weights::RowOps;
+use crate::{Pass, PassContext, PassScratch, PreferenceMap, RowKernel};
 
 /// Floor added to neighbor skew factors so unvisited clusters are
 /// dampened rather than zeroed (keeps the map recoverable, feature 3
@@ -72,70 +87,117 @@ impl Default for Comm {
     }
 }
 
+/// The data-parallel half of COMM: the fully folded skew matrix plus
+/// the reinforcement flag.
+struct CommKernel<'k> {
+    /// Row-major `n_instrs × n_clusters` skew factors.
+    skew: &'k [f64],
+    n_clusters: usize,
+    reinforce: bool,
+}
+
+impl RowKernel for CommKernel<'_> {
+    fn apply(&self, rows: &mut dyn RowOps) {
+        let nc = self.n_clusters;
+        let reinforce = self.reinforce.then_some(2.0);
+        for i in rows.instr_range() {
+            let ii = i as usize;
+            rows.comm_row(
+                InstrId::new(i),
+                &self.skew[ii * nc..(ii + 1) * nc],
+                reinforce,
+            );
+        }
+    }
+}
+
 impl Pass for Comm {
     fn name(&self) -> &'static str {
         "COMM"
     }
 
     fn run(&self, ctx: &mut PassContext<'_>) {
-        let n_clusters = ctx.weights.n_clusters();
-        let n_instrs = ctx.weights.n_instrs();
+        if let Some(kernel) = self.row_kernel(
+            ctx.dag,
+            ctx.machine,
+            ctx.time,
+            ctx.rng,
+            ctx.weights,
+            ctx.scratch,
+        ) {
+            kernel.apply(ctx.weights);
+        }
+    }
+
+    fn row_kernel<'k>(
+        &self,
+        dag: &'k Dag,
+        _machine: &'k Machine,
+        _time: &'k TimeAnalysis,
+        _rng: &mut StdRng,
+        weights: &PreferenceMap,
+        scratch: &'k mut PassScratch,
+    ) -> Option<Box<dyn RowKernel + 'k>> {
+        let n_clusters = weights.n_clusters();
+        let n_instrs = weights.n_instrs();
         // Snapshot normalized cluster marginals (one flat row-major
         // buffer rather than a Vec per instruction) so the pass result
-        // does not depend on instruction iteration order.
-        let mut marginal = vec![0.0; n_instrs * n_clusters];
-        for i in ctx.dag.ids() {
-            let tot = ctx.weights.total(i).max(f64::MIN_POSITIVE);
-            for c in 0..n_clusters {
-                marginal[i.index() * n_clusters + c] =
-                    ctx.weights.cluster_weight(i, ClusterId::new(c as u16)) / tot;
-            }
-        }
+        // does not depend on instruction iteration order. The buffer
+        // is driver-owned scratch, reused run to run.
+        let marginal = &mut scratch.a;
+        marginal.clear();
+        marginal.resize(n_instrs * n_clusters, 0.0);
+        weights.cluster_marginals_into(marginal);
 
-        // Scratch reused across instructions: the skew accumulator and
-        // a stamp array standing in for per-instruction hash sets when
-        // deduplicating grand-neighbors. `mark[g] == i` ⇔ `g` was
-        // already counted (as `i` itself, a direct neighbor, or an
-        // earlier grand-neighbor) while processing instruction `i`.
-        let mut skew = vec![0.0; n_clusters];
-        let mut mark: Vec<u32> = vec![u32::MAX; if self.grand_neighbors { n_instrs } else { 0 }];
-        for i in ctx.dag.ids() {
-            skew.fill(SKEW_FLOOR);
-            for n in ctx.dag.neighbors(i) {
-                for c in 0..n_clusters {
-                    skew[c] += marginal[n.index() * n_clusters + c];
+        // Fold neighbor (and half-weight grand-neighbor) marginals
+        // into the full skew matrix. `mark` is a stamp array standing
+        // in for per-instruction hash sets when deduplicating
+        // grand-neighbors: `mark[g] == i` ⇔ `g` was already counted
+        // (as `i` itself, a direct neighbor, or an earlier
+        // grand-neighbor) while processing instruction `i`. It is
+        // re-filled with `u32::MAX` every run so stale stamps from a
+        // previous run can never collide.
+        let skew = &mut scratch.b;
+        skew.clear();
+        skew.resize(n_instrs * n_clusters, 0.0);
+        let mark = &mut scratch.mark;
+        mark.clear();
+        mark.resize(if self.grand_neighbors { n_instrs } else { 0 }, u32::MAX);
+        for i in dag.ids() {
+            let row = &mut skew[i.index() * n_clusters..(i.index() + 1) * n_clusters];
+            row.fill(SKEW_FLOOR);
+            for n in dag.neighbors(i) {
+                let nb = n.index() * n_clusters;
+                for (rc, &mc) in row.iter_mut().zip(&marginal[nb..nb + n_clusters]) {
+                    *rc += mc;
                 }
             }
             if self.grand_neighbors {
                 let stamp = i.index() as u32;
                 mark[i.index()] = stamp;
-                for n in ctx.dag.neighbors(i) {
+                for n in dag.neighbors(i) {
                     mark[n.index()] = stamp;
                 }
-                for n in ctx.dag.neighbors(i) {
-                    for g in ctx.dag.neighbors(n) {
+                for n in dag.neighbors(i) {
+                    for g in dag.neighbors(n) {
                         if mark[g.index()] != stamp {
                             mark[g.index()] = stamp;
-                            for c in 0..n_clusters {
-                                skew[c] += 0.5 * marginal[g.index() * n_clusters + c];
+                            let gb = g.index() * n_clusters;
+                            for (rc, &mc) in row.iter_mut().zip(&marginal[gb..gb + n_clusters]) {
+                                *rc += 0.5 * mc;
                             }
                         }
                     }
                 }
             }
-            for c in 0..n_clusters {
-                ctx.weights
-                    .scale_cluster(i, ClusterId::new(c as u16), skew[c]);
-            }
         }
 
-        if self.reinforce_preferred {
-            for i in ctx.dag.ids() {
-                let ci = ctx.weights.preferred_cluster(i);
-                let ti = ctx.weights.preferred_time(i);
-                ctx.weights.scale(i, ci, ti.get(), 2.0);
-            }
-        }
+        let scratch: &'k PassScratch = scratch;
+        Some(Box::new(CommKernel {
+            skew: &scratch.b,
+            n_clusters,
+            reinforce: self.reinforce_preferred,
+        }))
     }
 }
 
@@ -143,7 +205,7 @@ impl Pass for Comm {
 mod tests {
     use super::*;
     use crate::passes::testutil::Rig;
-    use convergent_ir::{DagBuilder, Opcode};
+    use convergent_ir::{ClusterId, DagBuilder, Opcode};
     use convergent_machine::Machine;
 
     fn c(k: u16) -> ClusterId {

@@ -12,7 +12,12 @@
 //!
 //! The pass is a no-op on machines without a data-home cluster (Raw).
 
-use crate::{Pass, PassContext};
+use convergent_ir::{Dag, TimeAnalysis};
+use convergent_machine::Machine;
+use rand::rngs::StdRng;
+
+use crate::weights::RowOps;
+use crate::{Pass, PassContext, PassScratch, PreferenceMap, RowKernel};
 
 /// The FIRST pass. See the module docs.
 #[derive(Clone, Copy, Debug)]
@@ -49,18 +54,53 @@ impl Default for First {
     }
 }
 
+/// The data-parallel half of FIRST: boost the home cluster of every
+/// row by a constant factor.
+struct FirstKernel {
+    home: convergent_ir::ClusterId,
+    factor: f64,
+}
+
+impl RowKernel for FirstKernel {
+    fn apply(&self, rows: &mut dyn RowOps) {
+        for i in rows.instr_range() {
+            rows.scale_cluster(convergent_ir::InstrId::new(i), self.home, self.factor);
+        }
+    }
+}
+
 impl Pass for First {
     fn name(&self) -> &'static str {
         "FIRST"
     }
 
     fn run(&self, ctx: &mut PassContext<'_>) {
-        let Some(home) = ctx.machine.data_home() else {
-            return;
-        };
-        for i in ctx.dag.ids() {
-            ctx.weights.scale_cluster(i, home, self.factor);
+        if let Some(kernel) = self.row_kernel(
+            ctx.dag,
+            ctx.machine,
+            ctx.time,
+            ctx.rng,
+            ctx.weights,
+            ctx.scratch,
+        ) {
+            kernel.apply(ctx.weights);
         }
+    }
+
+    fn row_kernel<'k>(
+        &self,
+        _dag: &'k Dag,
+        machine: &'k Machine,
+        _time: &'k TimeAnalysis,
+        _rng: &mut StdRng,
+        _weights: &PreferenceMap,
+        _scratch: &'k mut PassScratch,
+    ) -> Option<Box<dyn RowKernel + 'k>> {
+        let home = machine.data_home()?;
+        Some(Box::new(FirstKernel {
+            home,
+            factor: self.factor,
+        }))
     }
 }
 

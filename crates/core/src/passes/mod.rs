@@ -56,7 +56,7 @@ pub(crate) mod testutil {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    use crate::{Pass, PassContext, PreferenceMap};
+    use crate::{Pass, PassContext, PassScratch, PreferenceMap};
 
     /// Bundles everything needed to run passes over one graph.
     pub(crate) struct Rig {
@@ -66,6 +66,7 @@ pub(crate) mod testutil {
         pub weights: PreferenceMap,
         pub dist: DistanceOracle,
         pub rng: StdRng,
+        pub scratch: PassScratch,
     }
 
     impl Rig {
@@ -80,6 +81,7 @@ pub(crate) mod testutil {
                 weights,
                 dist: DistanceOracle::new(),
                 rng: StdRng::seed_from_u64(7),
+                scratch: PassScratch::default(),
             }
         }
 
@@ -92,6 +94,7 @@ pub(crate) mod testutil {
                 dist: &mut self.dist,
                 rng: &mut self.rng,
                 weights: &mut self.weights,
+                scratch: &mut self.scratch,
             };
             pass.run(&mut ctx);
             self.weights.normalize_all();

@@ -16,10 +16,25 @@
 //! one refinement: noise is only added inside each instruction's
 //! feasible window and clusters, so INITTIME's correctness squash
 //! survives (documented in DESIGN.md).
+//!
+//! # Prologue / kernel split
+//!
+//! RNG consumption is order-sensitive: the stream must be drawn in the
+//! historical `(i ascending, feasible c ascending, t in lo..=hi)`
+//! order or every schedule seeded before this refactor would change.
+//! The [`Pass::row_kernel`] prologue therefore pre-draws the whole
+//! noise vector into [`PassScratch::a`] in exactly that order, with
+//! per-instruction offsets in [`PassScratch::idx`]; the kernel then
+//! replays each instruction's slice through [`RowOps::noise_fill`],
+//! a pure row operation threads can apply to disjoint row chunks.
 
+use convergent_ir::{Dag, TimeAnalysis};
+use convergent_machine::Machine;
+use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::{Pass, PassContext};
+use crate::weights::RowOps;
+use crate::{Pass, PassContext, PassScratch, PreferenceMap, RowKernel};
 
 /// The NOISE pass. See the module docs.
 #[derive(Clone, Copy, Debug)]
@@ -59,24 +74,68 @@ impl Default for Noise {
     }
 }
 
+/// The data-parallel half of NOISE: a pre-drawn noise vector sliced
+/// per instruction.
+struct NoiseKernel<'k> {
+    amplitude: f64,
+    /// One `U(0, 1)` draw per feasible `(c, t)` cell of each
+    /// instruction, in the historical per-cell order.
+    draws: &'k [f64],
+    /// `draws[idx[i]..idx[i + 1]]` is instruction `i`'s slice.
+    idx: &'k [usize],
+}
+
+impl RowKernel for NoiseKernel<'_> {
+    fn apply(&self, rows: &mut dyn RowOps) {
+        rows.noise_fill_rows(self.amplitude, self.draws, self.idx);
+    }
+}
+
 impl Pass for Noise {
     fn name(&self) -> &'static str {
         "NOISE"
     }
 
     fn run(&self, ctx: &mut PassContext<'_>) {
-        for i in ctx.dag.ids() {
-            let (lo, hi) = ctx.weights.window(i);
-            for c in ctx.machine.cluster_ids() {
-                if !ctx.weights.cluster_feasible(i, c) {
-                    continue;
-                }
-                for t in lo..=hi {
-                    let u: f64 = ctx.rng.gen();
-                    ctx.weights.add(i, c, t, self.amplitude * u);
-                }
-            }
+        if let Some(kernel) = self.row_kernel(
+            ctx.dag,
+            ctx.machine,
+            ctx.time,
+            ctx.rng,
+            ctx.weights,
+            ctx.scratch,
+        ) {
+            kernel.apply(ctx.weights);
         }
+    }
+
+    fn row_kernel<'k>(
+        &self,
+        _dag: &'k Dag,
+        _machine: &'k Machine,
+        _time: &'k TimeAnalysis,
+        rng: &mut StdRng,
+        weights: &PreferenceMap,
+        scratch: &'k mut PassScratch,
+    ) -> Option<Box<dyn RowKernel + 'k>> {
+        // Size the draw buffer up front (one O(n·C) streaming sweep)
+        // so a multi-hundred-MB vector never pays push-doubling
+        // reallocs and the counting itself pays one layout dispatch.
+        weights.feasible_cells_into(&mut scratch.idx);
+        let cells = *scratch.idx.last().expect("layout has n_instrs + 1 entries");
+        // The draw stream is one rng.gen() per feasible cell in the
+        // historical order, which is simply `cells` consecutive draws:
+        // the per-cell (c, t) bookkeeping only decides where each draw
+        // lands, and that is the kernel's job.
+        scratch.a.clear();
+        scratch.a.reserve_exact(cells);
+        scratch.a.extend((0..cells).map(|_| rng.gen::<f64>()));
+        let scratch: &'k PassScratch = scratch;
+        Some(Box::new(NoiseKernel {
+            amplitude: self.amplitude,
+            draws: &scratch.a,
+            idx: &scratch.idx,
+        }))
     }
 }
 

@@ -20,9 +20,12 @@
 
 use std::collections::VecDeque;
 
-use convergent_ir::{ClusterId, Dag, UNREACHABLE};
+use convergent_ir::{ClusterId, Dag, InstrId, TimeAnalysis, UNREACHABLE};
+use convergent_machine::Machine;
+use rand::rngs::StdRng;
 
-use crate::{Pass, PassContext};
+use crate::weights::RowOps;
+use crate::{Pass, PassContext, PassScratch, PreferenceMap, RowKernel};
 
 /// The PLACEPROP pass. See the module docs.
 #[derive(Clone, Copy, Debug, Default)]
@@ -36,17 +39,63 @@ impl PlaceProp {
     }
 }
 
+/// The data-parallel half of PLACEPROP: the precomputed per-row
+/// divisor factors. Preplaced instructions are skipped outright (no
+/// scale ops at all), matching the historical loop.
+struct PlacePropKernel<'k> {
+    dag: &'k Dag,
+    /// Row-major `n_instrs × n_clusters` scale factors
+    /// (`1 / dist(i, c)` with the boundary cases folded in).
+    factors: &'k [f64],
+    n_clusters: usize,
+}
+
+impl RowKernel for PlacePropKernel<'_> {
+    fn apply(&self, rows: &mut dyn RowOps) {
+        let nc = self.n_clusters;
+        for i in rows.instr_range() {
+            let id = InstrId::new(i);
+            if self.dag.instr(id).is_preplaced() {
+                continue;
+            }
+            let ii = i as usize;
+            rows.scale_clusters_row(id, &self.factors[ii * nc..(ii + 1) * nc]);
+        }
+    }
+}
+
 impl Pass for PlaceProp {
     fn name(&self) -> &'static str {
         "PLACEPROP"
     }
 
     fn run(&self, ctx: &mut PassContext<'_>) {
-        if ctx.dag.preplaced_count() == 0 {
-            return;
+        if let Some(kernel) = self.row_kernel(
+            ctx.dag,
+            ctx.machine,
+            ctx.time,
+            ctx.rng,
+            ctx.weights,
+            ctx.scratch,
+        ) {
+            kernel.apply(ctx.weights);
         }
-        let n_clusters = ctx.weights.n_clusters();
-        let dist = preplacement_distance_fields(ctx.dag, n_clusters);
+    }
+
+    fn row_kernel<'k>(
+        &self,
+        dag: &'k Dag,
+        _machine: &'k Machine,
+        _time: &'k TimeAnalysis,
+        _rng: &mut StdRng,
+        weights: &PreferenceMap,
+        scratch: &'k mut PassScratch,
+    ) -> Option<Box<dyn RowKernel + 'k>> {
+        if dag.preplaced_count() == 0 {
+            return None;
+        }
+        let n_clusters = weights.n_clusters();
+        let dist = preplacement_distance_fields(dag, n_clusters);
         let worst = dist
             .iter()
             .flatten()
@@ -55,17 +104,25 @@ impl Pass for PlaceProp {
             .max()
             .unwrap_or(0)
             + 1;
-        for i in ctx.dag.ids() {
-            if ctx.dag.instr(i).is_preplaced() {
+        let factors = &mut scratch.a;
+        factors.clear();
+        factors.resize(dag.len() * n_clusters, 1.0);
+        for i in dag.ids() {
+            if dag.instr(i).is_preplaced() {
                 continue;
             }
             for c in 0..n_clusters {
                 let d = dist[c][i.index()];
                 let divisor = if d == UNREACHABLE { worst } else { d.max(1) };
-                ctx.weights
-                    .scale_cluster(i, ClusterId::new(c as u16), 1.0 / f64::from(divisor));
+                factors[i.index() * n_clusters + c] = 1.0 / f64::from(divisor);
             }
         }
+        let scratch: &'k PassScratch = scratch;
+        Some(Box::new(PlacePropKernel {
+            dag,
+            factors: &scratch.a,
+            n_clusters,
+        }))
     }
 }
 

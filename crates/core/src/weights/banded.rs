@@ -24,29 +24,56 @@ use super::argmax::{self, ArgmaxCache, EPS, NO_CLUSTER};
 use super::{SCALE_FOLD_MAX, SCALE_FOLD_MIN};
 
 /// A dense block of `n_clusters × width` raw cells anchored at `lo`.
+///
+/// Cells and the per-slot time marginals live in **one** allocation:
+/// rows densify by the thousand under NOISE, so halving the malloc
+/// traffic (and keeping each row's marginals on the same cache lines
+/// as its cells) is a measurable win on the compile-time profile.
 #[derive(Clone, Debug)]
 struct Band {
     lo: u32,
-    /// Cluster-major cells: `(c, t)` lives at `c·width + (t − lo)`.
-    w: Vec<f64>,
-    /// Raw time marginals for the band slots (`width` entries).
-    tsum: Vec<f64>,
+    /// Band width in slots; `buf` holds `(n_clusters + 1) · width`.
+    width: u32,
+    /// Cluster-major cells — `(c, t)` lives at `c·width + (t − lo)` —
+    /// followed by the `width` raw time marginals for the band slots.
+    buf: Vec<f64>,
 }
 
 impl Band {
     #[inline]
     fn width(&self) -> usize {
-        self.tsum.len()
+        self.width as usize
     }
 
     #[inline]
     fn hi(&self) -> u32 {
-        self.lo + self.width() as u32 - 1
+        self.lo + self.width - 1
     }
 
     #[inline]
     fn contains(&self, t: u32) -> bool {
         t >= self.lo && t <= self.hi()
+    }
+
+    /// The `n_clusters · width` cluster-major cells.
+    #[inline]
+    fn w(&self) -> &[f64] {
+        &self.buf[..self.buf.len() - self.width as usize]
+    }
+
+    /// The `width` raw time marginals.
+    #[inline]
+    fn tsum(&self) -> &[f64] {
+        let n = self.buf.len() - self.width as usize;
+        &self.buf[n..]
+    }
+
+    /// Mutable cells and time marginals, split out of the shared
+    /// buffer.
+    #[inline]
+    fn parts_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        let n = self.buf.len() - self.width as usize;
+        self.buf.split_at_mut(n)
     }
 }
 
@@ -89,16 +116,16 @@ fn grow_band(b: &mut Band, n_clusters: usize, n_slots: usize, t: usize) {
     };
     let new_w = new_hi - new_lo + 1;
     let off = cur_lo - new_lo;
-    let mut w = vec![0.0; n_clusters * new_w];
+    let mut buf = vec![0.0; (n_clusters + 1) * new_w];
+    let w = b.w();
     for c in 0..n_clusters {
-        w[c * new_w + off..c * new_w + off + width]
-            .copy_from_slice(&b.w[c * width..(c + 1) * width]);
+        buf[c * new_w + off..c * new_w + off + width]
+            .copy_from_slice(&w[c * width..(c + 1) * width]);
     }
-    let mut tsum = vec![0.0; new_w];
-    tsum[off..off + width].copy_from_slice(&b.tsum);
+    buf[n_clusters * new_w + off..n_clusters * new_w + off + width].copy_from_slice(b.tsum());
     b.lo = new_lo as u32;
-    b.w = w;
-    b.tsum = tsum;
+    b.width = new_w as u32;
+    b.buf = buf;
 }
 
 /// Shrinks `b` to exactly `[lo, hi]` (which the band always covers —
@@ -113,23 +140,124 @@ fn shrink_band(b: &mut Band, n_clusters: usize, lo: u32, hi: u32) -> bool {
     let shift = (lo - b.lo) as usize;
     let new_w = (hi - lo + 1) as usize;
     let mut any_removed = false;
+    let w = b.w();
     for c in 0..n_clusters {
         for k in 0..bw {
-            if (k < shift || k >= shift + new_w) && b.w[c * bw + k] != 0.0 {
+            if (k < shift || k >= shift + new_w) && w[c * bw + k] != 0.0 {
                 any_removed = true;
             }
         }
     }
-    // Compact ascending: cluster c's destination `c·new_w` never
-    // overruns cluster c+1's source `(c+1)·bw + shift`.
-    for c in 0..n_clusters {
-        b.w.copy_within(c * bw + shift..c * bw + shift + new_w, c * new_w);
+    // Compact ascending: region c's destination `c·new_w` never
+    // overruns region c+1's source `(c+1)·bw + shift` (the time
+    // marginals are region `n_clusters` of the shared buffer).
+    for c in 0..=n_clusters {
+        b.buf
+            .copy_within(c * bw + shift..c * bw + shift + new_w, c * new_w);
     }
-    b.w.truncate(n_clusters * new_w);
-    b.tsum.copy_within(shift..shift + new_w, 0);
-    b.tsum.truncate(new_w);
+    b.buf.truncate((n_clusters + 1) * new_w);
     b.lo = lo;
+    b.width = new_w as u32;
     any_removed
+}
+
+/// The raw cell value of `row` at `(c, t)` — shared by the core
+/// accessors and the row views. `cluster_sum` is the instruction's
+/// `n_clusters` marginal entries.
+fn raw_get_in(row: &Row, window: (u32, u32), cluster_sum: &[f64], c: usize, t: usize) -> f64 {
+    match row {
+        Row::Uniform { per, .. } => {
+            let (lo, hi) = window;
+            if (t as u32) >= lo && (t as u32) <= hi && cluster_sum[c] != 0.0 {
+                *per
+            } else {
+                0.0
+            }
+        }
+        Row::Band(b) => {
+            if b.contains(t as u32) {
+                b.w()[c * b.width() + (t - b.lo as usize)]
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// Converts a `Uniform` row into an equivalent `Band` anchored at the
+/// window (cells and marginals keep their exact bits); no-op on bands.
+fn densify_in(slot: &mut Row, window: (u32, u32), cluster_sum: &[f64], n_clusters: usize) {
+    if let Row::Uniform { per, tsum } = *slot {
+        let (lo, hi) = window;
+        let width = (hi - lo + 1) as usize;
+        // One allocation, one pass: each region is written exactly
+        // once (no zero-prefill of cells that get overwritten).
+        let mut buf = Vec::with_capacity((n_clusters + 1) * width);
+        for c in 0..n_clusters {
+            let v = if cluster_sum[c] != 0.0 { per } else { 0.0 };
+            let n = buf.len() + width;
+            buf.resize(n, v);
+        }
+        let n = buf.len() + width;
+        buf.resize(n, tsum);
+        *slot = Row::Band(Band {
+            lo,
+            width: width as u32,
+            buf,
+        });
+    }
+}
+
+/// The fresh `preferred_time` scan for one row, exactly as the dense
+/// core's full-slot scan would compute it (see the comments inline).
+fn top_time_scan(row: &Row, window: (u32, u32), s: f64, n_slots: usize) -> u32 {
+    let best = match row {
+        Row::Uniform { tsum, .. } => {
+            let (lo, hi) = window;
+            let v = *tsum;
+            if lo > 0 {
+                // Slot 0 (zero) leads; the first window slot
+                // takes over iff it clears the tie band, and
+                // later window slots only tie it.
+                if v * s > EPS {
+                    lo as usize
+                } else {
+                    0
+                }
+            } else if (hi as usize) + 1 < n_slots && 0.0 > v * s + EPS {
+                // A (numerically) negative marginal hands the
+                // lead to the first exactly-zero slot past the
+                // window, as the dense scan would.
+                hi as usize + 1
+            } else {
+                0
+            }
+        }
+        Row::Band(b) => {
+            let lo = b.lo as usize;
+            let tsum = b.tsum();
+            let mut best = 0usize;
+            let mut bestv = if lo == 0 { tsum[0] } else { 0.0 };
+            for (k, &v) in tsum.iter().enumerate() {
+                let t = lo + k;
+                if t == 0 {
+                    continue;
+                }
+                if v * s > bestv * s + EPS {
+                    best = t;
+                    bestv = v;
+                }
+            }
+            // Dense also scans the exactly-zero slots past the
+            // band; they win only over a negative leader.
+            let after = lo + b.width();
+            if after < n_slots && 0.0 > bestv * s + EPS {
+                best = after;
+            }
+            best
+        }
+    };
+    best as u32
 }
 
 /// Banded storage with lazy normalization; the default representation
@@ -193,26 +321,14 @@ impl BandedCore {
     /// holds at `(i, c, t)`.
     fn raw_get(&self, ii: usize, c: usize, t: usize) -> f64 {
         debug_assert!(ii < self.n_instrs && c < self.n_clusters && t < self.n_slots);
-        match &self.rows[ii] {
-            Row::Uniform { per, .. } => {
-                let (lo, hi) = self.window[ii];
-                if (t as u32) >= lo
-                    && (t as u32) <= hi
-                    && self.cluster_sum[ii * self.n_clusters + c] != 0.0
-                {
-                    *per
-                } else {
-                    0.0
-                }
-            }
-            Row::Band(b) => {
-                if b.contains(t as u32) {
-                    b.w[c * b.width() + (t - b.lo as usize)]
-                } else {
-                    0.0
-                }
-            }
-        }
+        let base = ii * self.n_clusters;
+        raw_get_in(
+            &self.rows[ii],
+            self.window[ii],
+            &self.cluster_sum[base..base + self.n_clusters],
+            c,
+            t,
+        )
     }
 
     /// The raw time marginal — exactly the dense core's `time_sum[t]`
@@ -229,7 +345,7 @@ impl BandedCore {
             }
             Row::Band(b) => {
                 if b.contains(t as u32) {
-                    b.tsum[t - b.lo as usize]
+                    b.tsum()[t - b.lo as usize]
                 } else {
                     0.0
                 }
@@ -240,21 +356,13 @@ impl BandedCore {
     /// Converts a `Uniform` row into an equivalent `Band` anchored at
     /// the current window (cells and marginals keep their exact bits).
     fn densify(&mut self, ii: usize) {
-        if let Row::Uniform { per, tsum } = self.rows[ii] {
-            let (lo, hi) = self.window[ii];
-            let width = (hi - lo + 1) as usize;
-            let mut w = vec![0.0; self.n_clusters * width];
-            for c in 0..self.n_clusters {
-                if self.cluster_sum[ii * self.n_clusters + c] != 0.0 {
-                    w[c * width..(c + 1) * width].fill(per);
-                }
-            }
-            self.rows[ii] = Row::Band(Band {
-                lo,
-                w,
-                tsum: vec![tsum; width],
-            });
-        }
+        let base = ii * self.n_clusters;
+        densify_in(
+            &mut self.rows[ii],
+            self.window[ii],
+            &self.cluster_sum[base..base + self.n_clusters],
+            self.n_clusters,
+        );
     }
 
     pub(crate) fn get(&self, i: InstrId, c: ClusterId, t: u32) -> f64 {
@@ -280,13 +388,14 @@ impl BandedCore {
         grow_band(b, n_clusters, n_slots, tt);
         let width = b.width();
         let off = tt - b.lo as usize;
-        b.w[cc * width + off] = raw;
-        b.tsum[off] += delta;
+        let (w, ts) = b.parts_mut();
+        w[cc * width + off] = raw;
+        ts[off] += delta;
         self.cluster_sum[ii * n_clusters + cc] += delta;
         self.total[ii] += delta;
         argmax::note_cluster_write(&self.argmax[ii], cc, delta > 0.0);
         let lo = b.lo as usize;
-        let tsum = &b.tsum;
+        let tsum = b.tsum();
         argmax::note_time_write(&self.argmax[ii], tt, delta > 0.0, self.scale[ii], |t| {
             if (lo..lo + tsum.len()).contains(&t) {
                 tsum[t - lo]
@@ -297,98 +406,11 @@ impl BandedCore {
     }
 
     pub(crate) fn scale(&mut self, i: InstrId, c: ClusterId, t: u32, factor: f64) {
-        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
-        let ii = i.index();
-        let cc = c.index();
-        let tt = t as usize;
-        let old = self.raw_get(ii, cc, tt);
-        let new = old * factor;
-        let delta = new - old;
-        if delta == 0.0 {
-            return;
-        }
-        // `delta ≠ 0` implies the cell is nonzero, hence in the band
-        // (or in a live uniform window, which densify anchors over).
-        self.densify(ii);
-        let n_clusters = self.n_clusters;
-        let Row::Band(b) = &mut self.rows[ii] else {
-            unreachable!("densify leaves a band")
-        };
-        debug_assert!(b.contains(t));
-        let width = b.width();
-        let off = tt - b.lo as usize;
-        b.w[cc * width + off] = new;
-        b.tsum[off] += delta;
-        self.cluster_sum[ii * n_clusters + cc] += delta;
-        self.total[ii] += delta;
-        argmax::note_cluster_write(&self.argmax[ii], cc, delta > 0.0);
-        let lo = b.lo as usize;
-        let tsum = &b.tsum;
-        argmax::note_time_write(&self.argmax[ii], tt, delta > 0.0, self.scale[ii], |t| {
-            if (lo..lo + tsum.len()).contains(&t) {
-                tsum[t - lo]
-            } else {
-                0.0
-            }
-        });
+        self.rows_view().scale(i, c, t, factor);
     }
 
     pub(crate) fn scale_cluster(&mut self, i: InstrId, c: ClusterId, factor: f64) {
-        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
-        let ii = i.index();
-        let cc = c.index();
-        let csk = ii * self.n_clusters + cc;
-        if let Row::Uniform { per, .. } = &self.rows[ii] {
-            let per = *per;
-            if factor == 1.0 || per == 0.0 || self.cluster_sum[csk] == 0.0 {
-                // The dense loop would find every cell unchanged.
-                return;
-            }
-            if factor == 0.0 {
-                // The cluster goes dead; the row stays uniform. The
-                // per-slot delta the dense loop applies is the same on
-                // every window slot, so one shared marginal suffices.
-                if let Row::Uniform { tsum, .. } = &mut self.rows[ii] {
-                    *tsum += 0.0 - per;
-                }
-                self.cluster_sum[csk] = 0.0;
-                self.total[ii] = self.cluster_sum[ii * self.n_clusters..(ii + 1) * self.n_clusters]
-                    .iter()
-                    .sum();
-                argmax::note_cluster_write(&self.argmax[ii], cc, false);
-                argmax::invalidate_time(&self.argmax[ii]);
-                return;
-            }
-            self.densify(ii);
-        }
-        let Row::Band(b) = &mut self.rows[ii] else {
-            unreachable!("densify leaves a band")
-        };
-        let width = b.width();
-        let old_sum = self.cluster_sum[csk];
-        let mut new_sum = 0.0;
-        let mut changed = false;
-        for k in 0..width {
-            let old = b.w[cc * width + k];
-            let new = old * factor;
-            if new != old {
-                b.w[cc * width + k] = new;
-                b.tsum[k] += new - old;
-                changed = true;
-            }
-            new_sum += new;
-        }
-        if !changed {
-            return;
-        }
-        // Same exact-rebuild discipline as the dense core: assign the
-        // freshly accumulated marginal, re-sum the total.
-        self.cluster_sum[csk] = new_sum;
-        self.total[ii] = self.cluster_sum[ii * self.n_clusters..(ii + 1) * self.n_clusters]
-            .iter()
-            .sum();
-        argmax::note_cluster_write(&self.argmax[ii], cc, new_sum > old_sum);
-        argmax::invalidate_time(&self.argmax[ii]);
+        self.rows_view().scale_cluster(i, c, factor);
     }
 
     pub(crate) fn scale_time(&mut self, i: InstrId, t: u32, factor: f64) {
@@ -417,14 +439,15 @@ impl BandedCore {
         }
         let width = b.width();
         let off = tt - b.lo as usize;
-        let old_sum = b.tsum[off];
+        let old_sum = b.tsum()[off];
         let mut new_sum = 0.0;
         let mut changed = false;
+        let (w, ts) = b.parts_mut();
         for c in 0..n_clusters {
-            let old = b.w[c * width + off];
+            let old = w[c * width + off];
             let new = old * factor;
             if new != old {
-                b.w[c * width + off] = new;
+                w[c * width + off] = new;
                 self.cluster_sum[ii * n_clusters + c] += new - old;
                 changed = true;
             }
@@ -433,11 +456,11 @@ impl BandedCore {
         if !changed {
             return;
         }
-        b.tsum[off] = new_sum;
+        ts[off] = new_sum;
         self.total[ii] += new_sum - old_sum;
         argmax::invalidate_cluster(&self.argmax[ii]);
         let lo = b.lo as usize;
-        let tsum = &b.tsum;
+        let tsum = b.tsum();
         argmax::note_time_write(
             &self.argmax[ii],
             tt,
@@ -493,10 +516,11 @@ impl BandedCore {
                 }
                 Row::Band(b) => {
                     let width = b.width();
+                    let w = b.w();
                     for c in 0..n_clusters {
                         let mut sum = 0.0;
                         for k in 0..width {
-                            sum += b.w[c * width + k];
+                            sum += w[c * width + k];
                         }
                         self.cluster_sum[ii * n_clusters + c] = sum;
                     }
@@ -533,7 +557,7 @@ impl BandedCore {
             .iter()
             .map(|r| match r {
                 Row::Uniform { .. } => 1,
-                Row::Band(b) => b.w.len(),
+                Row::Band(b) => b.w().len(),
             })
             .sum()
     }
@@ -559,6 +583,36 @@ impl BandedCore {
         self.total[i.index()] * self.scale[i.index()]
     }
 
+    pub(crate) fn cluster_marginals_into(&self, out: &mut [f64]) {
+        let nc = self.n_clusters;
+        for ((ii, row), &s) in out.chunks_exact_mut(nc).enumerate().zip(&self.scale) {
+            let tot = (self.total[ii] * s).max(f64::MIN_POSITIVE);
+            for (o, &cs) in row
+                .iter_mut()
+                .zip(&self.cluster_sum[ii * nc..(ii + 1) * nc])
+            {
+                *o = cs * s / tot;
+            }
+        }
+    }
+
+    pub(crate) fn feasible_cells_into(&self, idx: &mut Vec<usize>) {
+        idx.clear();
+        idx.reserve(self.n_instrs + 1);
+        idx.push(0);
+        let mut cells = 0usize;
+        for (r, &(lo, hi)) in self.window.iter().enumerate() {
+            let width = (hi - lo + 1) as usize;
+            let nc = self.n_clusters;
+            let feasible = self.cluster_ok[r * nc..(r + 1) * nc]
+                .iter()
+                .filter(|&&ok| ok)
+                .count();
+            cells += feasible * width;
+            idx.push(cells);
+        }
+    }
+
     pub(crate) fn top2(&self, i: InstrId) -> (u16, u16) {
         let ii = i.index();
         let base = ii * self.n_clusters;
@@ -574,53 +628,12 @@ impl BandedCore {
         let cell = &self.argmax[ii];
         let mut cache = cell.get();
         if !cache.time_valid {
-            let s = self.scale[ii];
-            let best = match &self.rows[ii] {
-                Row::Uniform { tsum, .. } => {
-                    let (lo, hi) = self.window[ii];
-                    let v = *tsum;
-                    if lo > 0 {
-                        // Slot 0 (zero) leads; the first window slot
-                        // takes over iff it clears the tie band, and
-                        // later window slots only tie it.
-                        if v * s > EPS {
-                            lo as usize
-                        } else {
-                            0
-                        }
-                    } else if (hi as usize) + 1 < self.n_slots && 0.0 > v * s + EPS {
-                        // A (numerically) negative marginal hands the
-                        // lead to the first exactly-zero slot past the
-                        // window, as the dense scan would.
-                        hi as usize + 1
-                    } else {
-                        0
-                    }
-                }
-                Row::Band(b) => {
-                    let lo = b.lo as usize;
-                    let mut best = 0usize;
-                    let mut bestv = if lo == 0 { b.tsum[0] } else { 0.0 };
-                    for (k, &v) in b.tsum.iter().enumerate() {
-                        let t = lo + k;
-                        if t == 0 {
-                            continue;
-                        }
-                        if v * s > bestv * s + EPS {
-                            best = t;
-                            bestv = v;
-                        }
-                    }
-                    // Dense also scans the exactly-zero slots past the
-                    // band; they win only over a negative leader.
-                    let after = lo + b.width();
-                    if after < self.n_slots && 0.0 > bestv * s + EPS {
-                        best = after;
-                    }
-                    best
-                }
-            };
-            cache.top_time = best as u32;
+            cache.top_time = top_time_scan(
+                &self.rows[ii],
+                self.window[ii],
+                self.scale[ii],
+                self.n_slots,
+            );
             cache.time_valid = true;
             cell.set(cache);
         }
@@ -653,10 +666,9 @@ impl BandedCore {
                 *tsum *= s;
             }
             Row::Band(b) => {
-                for v in &mut b.w {
-                    *v *= s;
-                }
-                for v in &mut b.tsum {
+                // Cells and time marginals share the buffer; one sweep
+                // scales both, in the same per-element arithmetic.
+                for v in &mut b.buf {
                     *v *= s;
                 }
             }
@@ -695,5 +707,622 @@ impl BandedCore {
         self.total[ii] = 1.0;
         self.scale[ii] = 1.0;
         self.argmax[ii].set(ArgmaxCache::INVALID);
+    }
+
+    /// A mutable row view covering every instruction.
+    pub(crate) fn rows_view(&mut self) -> BandedRows<'_> {
+        BandedRows {
+            start: 0,
+            n_clusters: self.n_clusters,
+            n_slots: self.n_slots,
+            rows: &mut self.rows,
+            cluster_sum: &mut self.cluster_sum,
+            total: &mut self.total,
+            scale: &mut self.scale,
+            window: &mut self.window,
+            cluster_ok: &mut self.cluster_ok,
+            argmax: &mut self.argmax,
+        }
+    }
+
+    /// Splits the per-instruction arrays into `n_chunks` disjoint
+    /// contiguous row views (clamped to `[1, n_instrs]`); chunk sizes
+    /// differ by at most one row. Each view is independently mutable —
+    /// the basis for intra-pass parallelism.
+    pub(crate) fn split_rows(&mut self, n_chunks: usize) -> Vec<BandedRows<'_>> {
+        let n = self.n_instrs;
+        let chunks = n_chunks.max(1).min(n.max(1));
+        let per = n / chunks;
+        let extra = n % chunks;
+        let mut out = Vec::with_capacity(chunks);
+        let mut rest = self.rows_view();
+        for k in 0..chunks - 1 {
+            let take = per + usize::from(k < extra);
+            let (head, tail) = rest.split_at(take);
+            out.push(head);
+            rest = tail;
+        }
+        out.push(rest);
+        out
+    }
+}
+
+/// A mutable view over a contiguous range of instruction rows — the
+/// unit of intra-pass parallelism. Views borrow disjoint sub-slices of
+/// every per-instruction array, so sibling views of one core can be
+/// handed to different threads with no `unsafe`. All methods take
+/// *absolute* instruction ids and panic on ids outside the range.
+pub(crate) struct BandedRows<'a> {
+    start: usize,
+    n_clusters: usize,
+    n_slots: usize,
+    rows: &'a mut [Row],
+    cluster_sum: &'a mut [f64],
+    total: &'a mut [f64],
+    scale: &'a mut [f64],
+    window: &'a mut [(u32, u32)],
+    cluster_ok: &'a mut [bool],
+    argmax: &'a mut [Cell<ArgmaxCache>],
+}
+
+impl<'a> BandedRows<'a> {
+    /// Splits off the first `mid` rows into their own view.
+    fn split_at(self, mid: usize) -> (BandedRows<'a>, BandedRows<'a>) {
+        let nc = self.n_clusters;
+        let (rows_a, rows_b) = self.rows.split_at_mut(mid);
+        let (cs_a, cs_b) = self.cluster_sum.split_at_mut(mid * nc);
+        let (tot_a, tot_b) = self.total.split_at_mut(mid);
+        let (sc_a, sc_b) = self.scale.split_at_mut(mid);
+        let (win_a, win_b) = self.window.split_at_mut(mid);
+        let (ok_a, ok_b) = self.cluster_ok.split_at_mut(mid * nc);
+        let (am_a, am_b) = self.argmax.split_at_mut(mid);
+        (
+            BandedRows {
+                start: self.start,
+                n_clusters: nc,
+                n_slots: self.n_slots,
+                rows: rows_a,
+                cluster_sum: cs_a,
+                total: tot_a,
+                scale: sc_a,
+                window: win_a,
+                cluster_ok: ok_a,
+                argmax: am_a,
+            },
+            BandedRows {
+                start: self.start + mid,
+                n_clusters: nc,
+                n_slots: self.n_slots,
+                rows: rows_b,
+                cluster_sum: cs_b,
+                total: tot_b,
+                scale: sc_b,
+                window: win_b,
+                cluster_ok: ok_b,
+                argmax: am_b,
+            },
+        )
+    }
+
+    #[inline]
+    fn rel(&self, i: InstrId) -> usize {
+        let r = i
+            .index()
+            .checked_sub(self.start)
+            .expect("instruction below this row view");
+        assert!(r < self.rows.len(), "instruction above this row view");
+        r
+    }
+
+    pub(crate) fn start(&self) -> usize {
+        self.start
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub(crate) fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    pub(crate) fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+
+    pub(crate) fn window(&self, i: InstrId) -> (u32, u32) {
+        self.window[self.rel(i)]
+    }
+
+    pub(crate) fn cluster_feasible(&self, i: InstrId, c: ClusterId) -> bool {
+        self.cluster_ok[self.rel(i) * self.n_clusters + c.index()]
+    }
+
+    pub(crate) fn top2(&self, i: InstrId) -> (u16, u16) {
+        let r = self.rel(i);
+        let base = r * self.n_clusters;
+        argmax::cluster_cache(
+            &self.argmax[r],
+            &self.cluster_sum[base..base + self.n_clusters],
+            self.scale[r],
+        )
+    }
+
+    pub(crate) fn top_time(&self, i: InstrId) -> u32 {
+        let r = self.rel(i);
+        let cell = &self.argmax[r];
+        let mut cache = cell.get();
+        if !cache.time_valid {
+            cache.top_time =
+                top_time_scan(&self.rows[r], self.window[r], self.scale[r], self.n_slots);
+            cache.time_valid = true;
+            cell.set(cache);
+        }
+        cache.top_time
+    }
+
+    pub(crate) fn scale(&mut self, i: InstrId, c: ClusterId, t: u32, factor: f64) {
+        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
+        let r = self.rel(i);
+        let cc = c.index();
+        let tt = t as usize;
+        let nc = self.n_clusters;
+        let base = r * nc;
+        let old = raw_get_in(
+            &self.rows[r],
+            self.window[r],
+            &self.cluster_sum[base..base + nc],
+            cc,
+            tt,
+        );
+        let new = old * factor;
+        let delta = new - old;
+        if delta == 0.0 {
+            return;
+        }
+        // `delta ≠ 0` implies the cell is nonzero, hence in the band
+        // (or in a live uniform window, which densify anchors over).
+        densify_in(
+            &mut self.rows[r],
+            self.window[r],
+            &self.cluster_sum[base..base + nc],
+            nc,
+        );
+        let Row::Band(b) = &mut self.rows[r] else {
+            unreachable!("densify leaves a band")
+        };
+        debug_assert!(b.contains(t));
+        let width = b.width();
+        let off = tt - b.lo as usize;
+        let (w, ts) = b.parts_mut();
+        w[cc * width + off] = new;
+        ts[off] += delta;
+        self.cluster_sum[base + cc] += delta;
+        self.total[r] += delta;
+        argmax::note_cluster_write(&self.argmax[r], cc, delta > 0.0);
+        let lo = b.lo as usize;
+        let tsum = b.tsum();
+        argmax::note_time_write(&self.argmax[r], tt, delta > 0.0, self.scale[r], |t| {
+            if (lo..lo + tsum.len()).contains(&t) {
+                tsum[t - lo]
+            } else {
+                0.0
+            }
+        });
+    }
+
+    pub(crate) fn scale_cluster(&mut self, i: InstrId, c: ClusterId, factor: f64) {
+        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
+        let r = self.rel(i);
+        let cc = c.index();
+        let nc = self.n_clusters;
+        let base = r * nc;
+        let csk = base + cc;
+        if let Row::Uniform { per, .. } = &self.rows[r] {
+            let per = *per;
+            if factor == 1.0 || per == 0.0 || self.cluster_sum[csk] == 0.0 {
+                // The dense loop would find every cell unchanged.
+                return;
+            }
+            if factor == 0.0 {
+                // The cluster goes dead; the row stays uniform. The
+                // per-slot delta the dense loop applies is the same on
+                // every window slot, so one shared marginal suffices.
+                if let Row::Uniform { tsum, .. } = &mut self.rows[r] {
+                    *tsum += 0.0 - per;
+                }
+                self.cluster_sum[csk] = 0.0;
+                self.total[r] = self.cluster_sum[base..base + nc].iter().sum();
+                argmax::note_cluster_write(&self.argmax[r], cc, false);
+                argmax::invalidate_time(&self.argmax[r]);
+                return;
+            }
+            densify_in(
+                &mut self.rows[r],
+                self.window[r],
+                &self.cluster_sum[base..base + nc],
+                nc,
+            );
+        }
+        let Row::Band(b) = &mut self.rows[r] else {
+            unreachable!("densify leaves a band")
+        };
+        let width = b.width();
+        let old_sum = self.cluster_sum[csk];
+        let mut new_sum = 0.0;
+        let mut changed = false;
+        let (w, ts) = b.parts_mut();
+        for k in 0..width {
+            let old = w[cc * width + k];
+            let new = old * factor;
+            if new != old {
+                w[cc * width + k] = new;
+                ts[k] += new - old;
+                changed = true;
+            }
+            new_sum += new;
+        }
+        if !changed {
+            return;
+        }
+        // Same exact-rebuild discipline as the dense core: assign the
+        // freshly accumulated marginal, re-sum the total.
+        self.cluster_sum[csk] = new_sum;
+        self.total[r] = self.cluster_sum[base..base + nc].iter().sum();
+        argmax::note_cluster_write(&self.argmax[r], cc, new_sum > old_sum);
+        argmax::invalidate_time(&self.argmax[r]);
+    }
+
+    /// `add` semantics for one cell (clamped read-modify-write) with
+    /// no argmax bookkeeping — bulk callers blanket-invalidate the
+    /// row's caches once at the end. Bit-exact with the public per-cell
+    /// `add` (get + set). Returns whether the cell changed.
+    fn add_cell(&mut self, r: usize, c: usize, t: usize, delta: f64) -> bool {
+        let nc = self.n_clusters;
+        let base = r * nc;
+        let s = self.scale[r];
+        let raw_cur = raw_get_in(
+            &self.rows[r],
+            self.window[r],
+            &self.cluster_sum[base..base + nc],
+            c,
+            t,
+        );
+        let value = (raw_cur * s + delta).max(0.0);
+        assert!(value.is_finite() && value >= 0.0, "weights are ≥ 0");
+        let raw = value / s;
+        let d = raw - raw_cur;
+        if d == 0.0 {
+            return false;
+        }
+        densify_in(
+            &mut self.rows[r],
+            self.window[r],
+            &self.cluster_sum[base..base + nc],
+            nc,
+        );
+        let Row::Band(b) = &mut self.rows[r] else {
+            unreachable!("densify leaves a band")
+        };
+        grow_band(b, nc, self.n_slots, t);
+        let width = b.width();
+        let off = t - b.lo as usize;
+        let (w, ts) = b.parts_mut();
+        w[c * width + off] = raw;
+        ts[off] += d;
+        self.cluster_sum[base + c] += d;
+        self.total[r] += d;
+        true
+    }
+
+    /// `scale` semantics for one cell without argmax bookkeeping;
+    /// see [`Self::add_cell`]. Returns whether the cell changed.
+    fn scale_cell(&mut self, r: usize, c: usize, t: usize, factor: f64) -> bool {
+        let nc = self.n_clusters;
+        let base = r * nc;
+        let old = raw_get_in(
+            &self.rows[r],
+            self.window[r],
+            &self.cluster_sum[base..base + nc],
+            c,
+            t,
+        );
+        let new = old * factor;
+        let delta = new - old;
+        if delta == 0.0 {
+            return false;
+        }
+        densify_in(
+            &mut self.rows[r],
+            self.window[r],
+            &self.cluster_sum[base..base + nc],
+            nc,
+        );
+        let Row::Band(b) = &mut self.rows[r] else {
+            unreachable!("densify leaves a band")
+        };
+        debug_assert!(b.contains(t as u32));
+        let width = b.width();
+        let off = t - b.lo as usize;
+        let (w, ts) = b.parts_mut();
+        w[c * width + off] = new;
+        ts[off] += delta;
+        self.cluster_sum[base + c] += delta;
+        self.total[r] += delta;
+        true
+    }
+
+    /// Adds `amplitude · draws[k]` to every feasible in-window cell of
+    /// `i`, visiting clusters ascending and slots `lo..=hi` within each
+    /// — the exact order (and arithmetic) of the per-cell NOISE loop.
+    /// One cache invalidation per row instead of per cell.
+    pub(crate) fn noise_fill(&mut self, i: InstrId, amplitude: f64, draws: &[f64]) {
+        assert!(
+            amplitude.is_finite() && amplitude >= 0.0,
+            "amplitude must be ≥ 0"
+        );
+        let r = self.rel(i);
+        let nc = self.n_clusters;
+        let base = r * nc;
+        let (lo, hi) = self.window[r];
+        let width = (hi - lo + 1) as usize;
+        let n_feasible = self.cluster_ok[base..base + nc]
+            .iter()
+            .filter(|&&ok| ok)
+            .count();
+        assert_eq!(
+            draws.len(),
+            n_feasible * width,
+            "one draw per feasible cell"
+        );
+        let s = self.scale[r];
+        // Densify once up front: the first nonzero delta would force it
+        // anyway (draws are almost never all zero), and paying it here
+        // lets every cluster stream its full span with no per-cell
+        // repr re-match. Visible values are unchanged by the
+        // conversion, so the result stays bit-identical to the
+        // per-cell loop's.
+        densify_in(
+            &mut self.rows[r],
+            (lo, hi),
+            &self.cluster_sum[base..base + nc],
+            nc,
+        );
+        let Row::Band(b) = &mut self.rows[r] else {
+            unreachable!("densify leaves a band")
+        };
+        // The band always covers the window, so in-window writes never
+        // grow it: stream straight over the flat cells with the
+        // marginals in locals (same accumulation order as the per-cell
+        // path, so the sums keep their exact bits).
+        let bw = b.width();
+        let blo = b.lo as usize;
+        let lo_off = lo as usize - blo;
+        let hi_off = hi as usize - blo;
+        let (bcells, bts) = b.parts_mut();
+        let mut k = 0usize;
+        let mut any = false;
+        let mut tot = self.total[r];
+        for c in 0..nc {
+            if !self.cluster_ok[base + c] {
+                continue;
+            }
+            let wrow = &mut bcells[c * bw + lo_off..=c * bw + hi_off];
+            let btsum = &mut bts[lo_off..=hi_off];
+            let dspan = &draws[k..k + width];
+            k += width;
+            let mut csum = self.cluster_sum[base + c];
+            for ((w, ts), &dr) in wrow.iter_mut().zip(btsum.iter_mut()).zip(dspan) {
+                let raw_cur = *w;
+                let value = (raw_cur * s + amplitude * dr).max(0.0);
+                assert!(value.is_finite() && value >= 0.0, "weights are ≥ 0");
+                let raw = value / s;
+                let d = raw - raw_cur;
+                if d != 0.0 {
+                    *w = raw;
+                    *ts += d;
+                    csum += d;
+                    tot += d;
+                    any = true;
+                }
+            }
+            self.cluster_sum[base + c] = csum;
+        }
+        self.total[r] = tot;
+        if any {
+            argmax::invalidate_cluster(&self.argmax[r]);
+            argmax::invalidate_time(&self.argmax[r]);
+        }
+    }
+
+    /// `w[i,c,lo+k] += a · xs[k]` for each `k`, clamped at zero —
+    /// bit-exact with a per-cell `add` loop over the same span, with
+    /// one cache invalidation per row.
+    pub(crate) fn axpy_row(&mut self, i: InstrId, c: ClusterId, lo: u32, a: f64, xs: &[f64]) {
+        assert!(a.is_finite(), "coefficient must be finite");
+        let r = self.rel(i);
+        let cc = c.index();
+        let nc = self.n_clusters;
+        let base = r * nc;
+        assert!(
+            lo as usize + xs.len() <= self.n_slots,
+            "row write exceeds time slots"
+        );
+        let s = self.scale[r];
+        let mut k = 0usize;
+        let mut any = false;
+        // Generic path while uniform (covers the densifying write).
+        while k < xs.len() && matches!(self.rows[r], Row::Uniform { .. }) {
+            any |= self.add_cell(r, cc, lo as usize + k, a * xs[k]);
+            k += 1;
+        }
+        while k < xs.len() {
+            let t = lo as usize + k;
+            let x = a * xs[k];
+            k += 1;
+            let Row::Band(b) = &mut self.rows[r] else {
+                unreachable!("loop above exits on bands")
+            };
+            let bw = b.width();
+            let raw_cur = if b.contains(t as u32) {
+                b.w()[cc * bw + (t - b.lo as usize)]
+            } else {
+                0.0
+            };
+            let value = (raw_cur * s + x).max(0.0);
+            assert!(value.is_finite() && value >= 0.0, "weights are ≥ 0");
+            let raw = value / s;
+            let d = raw - raw_cur;
+            if d == 0.0 {
+                continue;
+            }
+            // Out-of-band writes grow per cell, in the same sequence
+            // the per-cell path would, so band extents stay identical.
+            grow_band(b, nc, self.n_slots, t);
+            let bw = b.width();
+            let off = t - b.lo as usize;
+            let (w, ts) = b.parts_mut();
+            w[cc * bw + off] = raw;
+            ts[off] += d;
+            self.cluster_sum[base + cc] += d;
+            self.total[r] += d;
+            any = true;
+        }
+        if any {
+            argmax::invalidate_cluster(&self.argmax[r]);
+            argmax::invalidate_time(&self.argmax[r]);
+        }
+    }
+
+    /// `w[i,c,lo+k] *= factors[k]` for each `k` — bit-exact with a
+    /// per-cell `scale` loop over the same span, with one cache
+    /// invalidation per row.
+    pub(crate) fn scale_row(&mut self, i: InstrId, c: ClusterId, lo: u32, factors: &[f64]) {
+        for &f in factors {
+            assert!(f.is_finite() && f >= 0.0, "factors are ≥ 0");
+        }
+        let r = self.rel(i);
+        let cc = c.index();
+        let nc = self.n_clusters;
+        let base = r * nc;
+        assert!(
+            lo as usize + factors.len() <= self.n_slots,
+            "row write exceeds time slots"
+        );
+        let mut k = 0usize;
+        let mut any = false;
+        while k < factors.len() && matches!(self.rows[r], Row::Uniform { .. }) {
+            any |= self.scale_cell(r, cc, lo as usize + k, factors[k]);
+            k += 1;
+        }
+        while k < factors.len() {
+            let t = lo as usize + k;
+            let f = factors[k];
+            k += 1;
+            let Row::Band(b) = &mut self.rows[r] else {
+                unreachable!("loop above exits on bands")
+            };
+            // Cells outside the band are exactly zero and scaling
+            // cannot change them (`f` is finite), as per-cell `scale`
+            // concludes via its `delta == 0` early return.
+            if !b.contains(t as u32) {
+                continue;
+            }
+            let bw = b.width();
+            let off = t - b.lo as usize;
+            let (w, ts) = b.parts_mut();
+            let old = w[cc * bw + off];
+            let new = old * f;
+            let d = new - old;
+            if d == 0.0 {
+                continue;
+            }
+            w[cc * bw + off] = new;
+            ts[off] += d;
+            self.cluster_sum[base + cc] += d;
+            self.total[r] += d;
+            any = true;
+        }
+        if any {
+            argmax::invalidate_cluster(&self.argmax[r]);
+            argmax::invalidate_time(&self.argmax[r]);
+        }
+    }
+
+    /// Applies `scale_cluster(i, c, factors[c])` for every cluster in
+    /// one sweep over the row — bit-exact with the per-cluster calls
+    /// (the total re-sum is deferred to the end, where it recomputes
+    /// the same pure function of the final marginals), with one cache
+    /// invalidation per row.
+    pub(crate) fn scale_clusters_row(&mut self, i: InstrId, factors: &[f64]) {
+        let nc = self.n_clusters;
+        assert_eq!(factors.len(), nc, "one factor per cluster");
+        for &f in factors {
+            assert!(f.is_finite() && f >= 0.0, "factors are ≥ 0");
+        }
+        let r = self.rel(i);
+        let base = r * nc;
+        let mut row_changed = false;
+        for (c, &f) in factors.iter().enumerate() {
+            if f == 1.0 {
+                // Every cell is unchanged (uniform fast path and band
+                // scan alike conclude `changed == false`).
+                continue;
+            }
+            if self.cluster_sum[base + c] == 0.0 {
+                // Dead cluster: the liveness invariant (zero marginal
+                // ⇔ every cell zero) means the band scan would walk
+                // all-zero cells and conclude `changed == false`.
+                continue;
+            }
+            if let Row::Uniform { per, .. } = &self.rows[r] {
+                let per = *per;
+                if per == 0.0 || self.cluster_sum[base + c] == 0.0 {
+                    continue;
+                }
+                if f == 0.0 {
+                    // Cluster goes dead; the row stays uniform.
+                    if let Row::Uniform { tsum, .. } = &mut self.rows[r] {
+                        *tsum += 0.0 - per;
+                    }
+                    self.cluster_sum[base + c] = 0.0;
+                    row_changed = true;
+                    continue;
+                }
+                densify_in(
+                    &mut self.rows[r],
+                    self.window[r],
+                    &self.cluster_sum[base..base + nc],
+                    nc,
+                );
+            }
+            let Row::Band(b) = &mut self.rows[r] else {
+                unreachable!("densify leaves a band")
+            };
+            let bw = b.width();
+            let (w, bts) = b.parts_mut();
+            let wrow = &mut w[c * bw..(c + 1) * bw];
+            let mut new_sum = 0.0;
+            let mut changed = false;
+            for (cell, ts) in wrow.iter_mut().zip(bts.iter_mut()) {
+                let old = *cell;
+                let new = old * f;
+                if new != old {
+                    *cell = new;
+                    *ts += new - old;
+                    changed = true;
+                }
+                new_sum += new;
+            }
+            if changed {
+                self.cluster_sum[base + c] = new_sum;
+                row_changed = true;
+            }
+        }
+        if row_changed {
+            self.total[r] = self.cluster_sum[base..base + nc].iter().sum();
+            argmax::invalidate_cluster(&self.argmax[r]);
+            argmax::invalidate_time(&self.argmax[r]);
+        }
     }
 }

@@ -106,62 +106,11 @@ impl DenseCore {
     }
 
     pub(crate) fn scale(&mut self, i: InstrId, c: ClusterId, t: u32, factor: f64) {
-        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
-        let ii = i.index();
-        let k = self.idx(i, c, t);
-        let old = self.w[k];
-        let new = old * factor;
-        let delta = new - old;
-        if delta == 0.0 {
-            return;
-        }
-        self.w[k] = new;
-        self.cluster_sum[ii * self.n_clusters + c.index()] += delta;
-        self.time_sum[ii * self.n_slots + t as usize] += delta;
-        self.total[ii] += delta;
-        argmax::note_cluster_write(&self.argmax[ii], c.index(), delta > 0.0);
-        let base = ii * self.n_slots;
-        let sums = &self.time_sum[base..base + self.n_slots];
-        argmax::note_time_write(
-            &self.argmax[ii],
-            t as usize,
-            delta > 0.0,
-            self.scale[ii],
-            |t| sums[t],
-        );
+        self.rows_view().scale(i, c, t, factor);
     }
 
     pub(crate) fn scale_cluster(&mut self, i: InstrId, c: ClusterId, factor: f64) {
-        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
-        let ii = i.index();
-        let base = self.idx(i, c, 0);
-        let old_sum = self.cluster_sum[ii * self.n_clusters + c.index()];
-        let mut new_sum = 0.0;
-        let mut changed = false;
-        for t in 0..self.n_slots {
-            let old = self.w[base + t];
-            let new = old * factor;
-            if new != old {
-                self.w[base + t] = new;
-                self.time_sum[ii * self.n_slots + t] += new - old;
-                changed = true;
-            }
-            new_sum += new;
-        }
-        if !changed {
-            return;
-        }
-        // Rebuild the scaled marginal and the total from scratch rather
-        // than adding a delta: a delta leaves an absolute error behind
-        // that sustained shrinking (factor « 1, round after round)
-        // amplifies relative to the shrinking true value.
-        self.cluster_sum[ii * self.n_clusters + c.index()] = new_sum;
-        self.total[ii] = self.cluster_sum[ii * self.n_clusters..(ii + 1) * self.n_clusters]
-            .iter()
-            .sum();
-        argmax::note_cluster_write(&self.argmax[ii], c.index(), new_sum > old_sum);
-        // Several time marginals moved at once; no cheap exact rule.
-        argmax::invalidate_time(&self.argmax[ii]);
+        self.rows_view().scale_cluster(i, c, factor);
     }
 
     pub(crate) fn scale_time(&mut self, i: InstrId, t: u32, factor: f64) {
@@ -272,6 +221,36 @@ impl DenseCore {
         self.total[i.index()] * self.scale[i.index()]
     }
 
+    pub(crate) fn cluster_marginals_into(&self, out: &mut [f64]) {
+        let nc = self.n_clusters;
+        for ((ii, row), &s) in out.chunks_exact_mut(nc).enumerate().zip(&self.scale) {
+            let tot = (self.total[ii] * s).max(f64::MIN_POSITIVE);
+            for (o, &cs) in row
+                .iter_mut()
+                .zip(&self.cluster_sum[ii * nc..(ii + 1) * nc])
+            {
+                *o = cs * s / tot;
+            }
+        }
+    }
+
+    pub(crate) fn feasible_cells_into(&self, idx: &mut Vec<usize>) {
+        idx.clear();
+        idx.reserve(self.n_instrs + 1);
+        idx.push(0);
+        let mut cells = 0usize;
+        for (r, &(lo, hi)) in self.window.iter().enumerate() {
+            let width = (hi - lo + 1) as usize;
+            let nc = self.n_clusters;
+            let feasible = self.cluster_ok[r * nc..(r + 1) * nc]
+                .iter()
+                .filter(|&&ok| ok)
+                .count();
+            cells += feasible * width;
+            idx.push(cells);
+        }
+    }
+
     /// `(top, second)` cluster from the argmax cache, filling it if
     /// stale.
     pub(crate) fn top2(&self, i: InstrId) -> (u16, u16) {
@@ -376,5 +355,416 @@ impl DenseCore {
         self.total[ii] = 1.0;
         self.scale[ii] = 1.0;
         self.argmax[ii].set(ArgmaxCache::INVALID);
+    }
+
+    /// A mutable row view covering every instruction.
+    pub(crate) fn rows_view(&mut self) -> DenseRows<'_> {
+        DenseRows {
+            start: 0,
+            n_clusters: self.n_clusters,
+            n_slots: self.n_slots,
+            w: &mut self.w,
+            cluster_sum: &mut self.cluster_sum,
+            time_sum: &mut self.time_sum,
+            total: &mut self.total,
+            scale: &mut self.scale,
+            window: &mut self.window,
+            cluster_ok: &mut self.cluster_ok,
+            argmax: &mut self.argmax,
+        }
+    }
+
+    /// Splits the per-instruction arrays into `n_chunks` disjoint
+    /// contiguous row views; see `BandedCore::split_rows`.
+    pub(crate) fn split_rows(&mut self, n_chunks: usize) -> Vec<DenseRows<'_>> {
+        let n = self.n_instrs;
+        let chunks = n_chunks.max(1).min(n.max(1));
+        let per = n / chunks;
+        let extra = n % chunks;
+        let mut out = Vec::with_capacity(chunks);
+        let mut rest = self.rows_view();
+        for k in 0..chunks - 1 {
+            let take = per + usize::from(k < extra);
+            let (head, tail) = rest.split_at(take);
+            out.push(head);
+            rest = tail;
+        }
+        out.push(rest);
+        out
+    }
+}
+
+/// A mutable view over a contiguous range of dense instruction rows;
+/// the dense twin of `BandedRows` (same bit-exactness contract, same
+/// disjoint-borrow parallelism story). Methods take *absolute*
+/// instruction ids and panic on ids outside the range.
+pub(crate) struct DenseRows<'a> {
+    start: usize,
+    n_clusters: usize,
+    n_slots: usize,
+    w: &'a mut [f64],
+    cluster_sum: &'a mut [f64],
+    time_sum: &'a mut [f64],
+    total: &'a mut [f64],
+    scale: &'a mut [f64],
+    window: &'a mut [(u32, u32)],
+    cluster_ok: &'a mut [bool],
+    argmax: &'a mut [Cell<ArgmaxCache>],
+}
+
+impl<'a> DenseRows<'a> {
+    /// Splits off the first `mid` rows into their own view.
+    fn split_at(self, mid: usize) -> (DenseRows<'a>, DenseRows<'a>) {
+        let nc = self.n_clusters;
+        let ns = self.n_slots;
+        let (w_a, w_b) = self.w.split_at_mut(mid * nc * ns);
+        let (cs_a, cs_b) = self.cluster_sum.split_at_mut(mid * nc);
+        let (ts_a, ts_b) = self.time_sum.split_at_mut(mid * ns);
+        let (tot_a, tot_b) = self.total.split_at_mut(mid);
+        let (sc_a, sc_b) = self.scale.split_at_mut(mid);
+        let (win_a, win_b) = self.window.split_at_mut(mid);
+        let (ok_a, ok_b) = self.cluster_ok.split_at_mut(mid * nc);
+        let (am_a, am_b) = self.argmax.split_at_mut(mid);
+        (
+            DenseRows {
+                start: self.start,
+                n_clusters: nc,
+                n_slots: ns,
+                w: w_a,
+                cluster_sum: cs_a,
+                time_sum: ts_a,
+                total: tot_a,
+                scale: sc_a,
+                window: win_a,
+                cluster_ok: ok_a,
+                argmax: am_a,
+            },
+            DenseRows {
+                start: self.start + mid,
+                n_clusters: nc,
+                n_slots: ns,
+                w: w_b,
+                cluster_sum: cs_b,
+                time_sum: ts_b,
+                total: tot_b,
+                scale: sc_b,
+                window: win_b,
+                cluster_ok: ok_b,
+                argmax: am_b,
+            },
+        )
+    }
+
+    #[inline]
+    fn rel(&self, i: InstrId) -> usize {
+        let r = i
+            .index()
+            .checked_sub(self.start)
+            .expect("instruction below this row view");
+        assert!(r < self.total.len(), "instruction above this row view");
+        r
+    }
+
+    pub(crate) fn start(&self) -> usize {
+        self.start
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.total.len()
+    }
+
+    pub(crate) fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    pub(crate) fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+
+    pub(crate) fn window(&self, i: InstrId) -> (u32, u32) {
+        self.window[self.rel(i)]
+    }
+
+    pub(crate) fn cluster_feasible(&self, i: InstrId, c: ClusterId) -> bool {
+        self.cluster_ok[self.rel(i) * self.n_clusters + c.index()]
+    }
+
+    pub(crate) fn top2(&self, i: InstrId) -> (u16, u16) {
+        let r = self.rel(i);
+        let base = r * self.n_clusters;
+        argmax::cluster_cache(
+            &self.argmax[r],
+            &self.cluster_sum[base..base + self.n_clusters],
+            self.scale[r],
+        )
+    }
+
+    pub(crate) fn top_time(&self, i: InstrId) -> u32 {
+        let r = self.rel(i);
+        let cell = &self.argmax[r];
+        let mut cache = cell.get();
+        if !cache.time_valid {
+            let base = r * self.n_slots;
+            let s = self.scale[r];
+            let mut best = 0usize;
+            for t in 1..self.n_slots {
+                if self.time_sum[base + t] * s > self.time_sum[base + best] * s + EPS {
+                    best = t;
+                }
+            }
+            cache.top_time = best as u32;
+            cache.time_valid = true;
+            cell.set(cache);
+        }
+        cache.top_time
+    }
+
+    pub(crate) fn scale(&mut self, i: InstrId, c: ClusterId, t: u32, factor: f64) {
+        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
+        let r = self.rel(i);
+        let cc = c.index();
+        let k = (r * self.n_clusters + cc) * self.n_slots + t as usize;
+        let old = self.w[k];
+        let new = old * factor;
+        let delta = new - old;
+        if delta == 0.0 {
+            return;
+        }
+        self.w[k] = new;
+        self.cluster_sum[r * self.n_clusters + cc] += delta;
+        self.time_sum[r * self.n_slots + t as usize] += delta;
+        self.total[r] += delta;
+        argmax::note_cluster_write(&self.argmax[r], cc, delta > 0.0);
+        let base = r * self.n_slots;
+        let sums = &self.time_sum[base..base + self.n_slots];
+        argmax::note_time_write(
+            &self.argmax[r],
+            t as usize,
+            delta > 0.0,
+            self.scale[r],
+            |t| sums[t],
+        );
+    }
+
+    pub(crate) fn scale_cluster(&mut self, i: InstrId, c: ClusterId, factor: f64) {
+        assert!(factor.is_finite() && factor >= 0.0, "factors are ≥ 0");
+        let r = self.rel(i);
+        let cc = c.index();
+        let base = (r * self.n_clusters + cc) * self.n_slots;
+        let old_sum = self.cluster_sum[r * self.n_clusters + cc];
+        let mut new_sum = 0.0;
+        let mut changed = false;
+        for t in 0..self.n_slots {
+            let old = self.w[base + t];
+            let new = old * factor;
+            if new != old {
+                self.w[base + t] = new;
+                self.time_sum[r * self.n_slots + t] += new - old;
+                changed = true;
+            }
+            new_sum += new;
+        }
+        if !changed {
+            return;
+        }
+        // Rebuild the scaled marginal and the total from scratch rather
+        // than adding a delta: a delta leaves an absolute error behind
+        // that sustained shrinking (factor « 1, round after round)
+        // amplifies relative to the shrinking true value.
+        self.cluster_sum[r * self.n_clusters + cc] = new_sum;
+        self.total[r] = self.cluster_sum[r * self.n_clusters..(r + 1) * self.n_clusters]
+            .iter()
+            .sum();
+        argmax::note_cluster_write(&self.argmax[r], cc, new_sum > old_sum);
+        // Several time marginals moved at once; no cheap exact rule.
+        argmax::invalidate_time(&self.argmax[r]);
+    }
+
+    /// Adds `amplitude · draws[k]` to every feasible in-window cell;
+    /// the dense twin of `BandedRows::noise_fill` (same visiting order
+    /// and arithmetic as the per-cell NOISE loop, one invalidation per
+    /// row).
+    pub(crate) fn noise_fill(&mut self, i: InstrId, amplitude: f64, draws: &[f64]) {
+        assert!(
+            amplitude.is_finite() && amplitude >= 0.0,
+            "amplitude must be ≥ 0"
+        );
+        let r = self.rel(i);
+        let nc = self.n_clusters;
+        let ns = self.n_slots;
+        let cbase = r * nc;
+        let (lo, hi) = self.window[r];
+        let width = (hi - lo + 1) as usize;
+        let n_feasible = self.cluster_ok[cbase..cbase + nc]
+            .iter()
+            .filter(|&&ok| ok)
+            .count();
+        assert_eq!(
+            draws.len(),
+            n_feasible * width,
+            "one draw per feasible cell"
+        );
+        let s = self.scale[r];
+        let trow = &mut self.time_sum[r * ns..(r + 1) * ns];
+        let mut tot = self.total[r];
+        let mut k = 0usize;
+        let mut any = false;
+        for c in 0..nc {
+            if !self.cluster_ok[cbase + c] {
+                continue;
+            }
+            let wrow = &mut self.w[(r * nc + c) * ns..(r * nc + c + 1) * ns];
+            let mut csum = self.cluster_sum[cbase + c];
+            for t in lo as usize..=hi as usize {
+                let raw_cur = wrow[t];
+                let value = (raw_cur * s + amplitude * draws[k]).max(0.0);
+                k += 1;
+                assert!(value.is_finite() && value >= 0.0, "weights are ≥ 0");
+                let raw = value / s;
+                let d = raw - raw_cur;
+                if d != 0.0 {
+                    wrow[t] = raw;
+                    trow[t] += d;
+                    csum += d;
+                    tot += d;
+                    any = true;
+                }
+            }
+            self.cluster_sum[cbase + c] = csum;
+        }
+        self.total[r] = tot;
+        if any {
+            argmax::invalidate_cluster(&self.argmax[r]);
+            argmax::invalidate_time(&self.argmax[r]);
+        }
+    }
+
+    /// `w[i,c,lo+k] += a · xs[k]`, clamped at zero; the dense twin of
+    /// `BandedRows::axpy_row`.
+    pub(crate) fn axpy_row(&mut self, i: InstrId, c: ClusterId, lo: u32, a: f64, xs: &[f64]) {
+        assert!(a.is_finite(), "coefficient must be finite");
+        let r = self.rel(i);
+        let cc = c.index();
+        let nc = self.n_clusters;
+        let ns = self.n_slots;
+        assert!(lo as usize + xs.len() <= ns, "row write exceeds time slots");
+        let s = self.scale[r];
+        let wrow = &mut self.w[(r * nc + cc) * ns..(r * nc + cc + 1) * ns];
+        let trow = &mut self.time_sum[r * ns..(r + 1) * ns];
+        let mut csum = self.cluster_sum[r * nc + cc];
+        let mut tot = self.total[r];
+        let mut any = false;
+        for (k, &x) in xs.iter().enumerate() {
+            let t = lo as usize + k;
+            let raw_cur = wrow[t];
+            let value = (raw_cur * s + a * x).max(0.0);
+            assert!(value.is_finite() && value >= 0.0, "weights are ≥ 0");
+            let raw = value / s;
+            let d = raw - raw_cur;
+            if d != 0.0 {
+                wrow[t] = raw;
+                trow[t] += d;
+                csum += d;
+                tot += d;
+                any = true;
+            }
+        }
+        if any {
+            self.cluster_sum[r * nc + cc] = csum;
+            self.total[r] = tot;
+            argmax::invalidate_cluster(&self.argmax[r]);
+            argmax::invalidate_time(&self.argmax[r]);
+        }
+    }
+
+    /// `w[i,c,lo+k] *= factors[k]`; the dense twin of
+    /// `BandedRows::scale_row`.
+    pub(crate) fn scale_row(&mut self, i: InstrId, c: ClusterId, lo: u32, factors: &[f64]) {
+        for &f in factors {
+            assert!(f.is_finite() && f >= 0.0, "factors are ≥ 0");
+        }
+        let r = self.rel(i);
+        let cc = c.index();
+        let nc = self.n_clusters;
+        let ns = self.n_slots;
+        assert!(
+            lo as usize + factors.len() <= ns,
+            "row write exceeds time slots"
+        );
+        let wrow = &mut self.w[(r * nc + cc) * ns..(r * nc + cc + 1) * ns];
+        let trow = &mut self.time_sum[r * ns..(r + 1) * ns];
+        let mut csum = self.cluster_sum[r * nc + cc];
+        let mut tot = self.total[r];
+        let mut any = false;
+        for (k, &f) in factors.iter().enumerate() {
+            let t = lo as usize + k;
+            let old = wrow[t];
+            let new = old * f;
+            let d = new - old;
+            if d != 0.0 {
+                wrow[t] = new;
+                trow[t] += d;
+                csum += d;
+                tot += d;
+                any = true;
+            }
+        }
+        if any {
+            self.cluster_sum[r * nc + cc] = csum;
+            self.total[r] = tot;
+            argmax::invalidate_cluster(&self.argmax[r]);
+            argmax::invalidate_time(&self.argmax[r]);
+        }
+    }
+
+    /// Applies `scale_cluster(i, c, factors[c])` for every cluster in
+    /// one sweep; the dense twin of `BandedRows::scale_clusters_row`
+    /// (total re-sum deferred to the end — a pure function of the final
+    /// marginals, so the bits match the per-cluster calls).
+    pub(crate) fn scale_clusters_row(&mut self, i: InstrId, factors: &[f64]) {
+        let nc = self.n_clusters;
+        assert_eq!(factors.len(), nc, "one factor per cluster");
+        for &f in factors {
+            assert!(f.is_finite() && f >= 0.0, "factors are ≥ 0");
+        }
+        let r = self.rel(i);
+        let ns = self.n_slots;
+        let cbase = r * nc;
+        let trow = &mut self.time_sum[r * ns..(r + 1) * ns];
+        let mut row_changed = false;
+        for (c, &f) in factors.iter().enumerate() {
+            if f == 1.0 {
+                // The scan would find every cell unchanged.
+                continue;
+            }
+            if self.cluster_sum[cbase + c] == 0.0 {
+                // Dead cluster: every cell is zero (liveness
+                // invariant), so the scan would conclude `changed ==
+                // false`.
+                continue;
+            }
+            let wrow = &mut self.w[(r * nc + c) * ns..(r * nc + c + 1) * ns];
+            let mut new_sum = 0.0;
+            let mut changed = false;
+            for t in 0..ns {
+                let old = wrow[t];
+                let new = old * f;
+                if new != old {
+                    wrow[t] = new;
+                    trow[t] += new - old;
+                    changed = true;
+                }
+                new_sum += new;
+            }
+            if changed {
+                self.cluster_sum[cbase + c] = new_sum;
+                row_changed = true;
+            }
+        }
+        if row_changed {
+            self.total[r] = self.cluster_sum[cbase..cbase + nc].iter().sum();
+            argmax::invalidate_cluster(&self.argmax[r]);
+            argmax::invalidate_time(&self.argmax[r]);
+        }
     }
 }

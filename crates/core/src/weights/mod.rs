@@ -94,8 +94,8 @@ mod dense;
 use convergent_ir::{ClusterId, Cycle, InstrId};
 
 use argmax::{EPS, NO_CLUSTER};
-use banded::BandedCore;
-use dense::DenseCore;
+use banded::{BandedCore, BandedRows};
+use dense::{DenseCore, DenseRows};
 
 /// Bounds on the pending scale factor; `normalize` folds the factor
 /// into the stored row (`materialize`) when it leaves this range so
@@ -462,6 +462,34 @@ impl PreferenceMap {
         core!(self, m => m.total(i))
     }
 
+    /// Writes every instruction's normalized cluster marginal into
+    /// `out` (row-major `n_instrs × n_clusters`) in one streaming
+    /// sweep — bit-exact with filling each entry from
+    /// `cluster_weight(i, c) / total(i).max(f64::MIN_POSITIVE)`, but
+    /// with a single layout dispatch instead of one per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != n_instrs * n_clusters`.
+    pub fn cluster_marginals_into(&self, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            self.n_instrs() * self.n_clusters(),
+            "out must hold n_instrs x n_clusters marginals"
+        );
+        core!(self, m => m.cluster_marginals_into(out))
+    }
+
+    /// Fills `idx` with the cumulative feasible-cell layout NOISE
+    /// draws against: `n_instrs + 1` entries, `idx[0] == 0`, and
+    /// `idx[i + 1] - idx[i]` is instruction `i`'s
+    /// `feasible_clusters × window_width` cell count — bit-exact with
+    /// counting via per-instruction [`PreferenceMap::window`] /
+    /// [`PreferenceMap::cluster_feasible`] calls, in one dispatch.
+    pub fn feasible_cells_into(&self, idx: &mut Vec<usize>) {
+        core!(self, m => m.feasible_cells_into(idx))
+    }
+
     /// `argmax_c Σ_t W[i, c, t]` — the paper's `preferred_cluster`.
     /// Ties break toward the lowest cluster id.
     #[must_use]
@@ -682,6 +710,425 @@ impl PreferenceMap {
         if let Err(msg) = self.check_invariants(tolerance) {
             panic!("{msg}");
         }
+    }
+
+    // ---- bulk row kernels ----
+    //
+    // Each bulk method is bit-exact with the per-cell decomposition its
+    // doc comment names: same visiting order, same arithmetic, one
+    // argmax-cache invalidation per row instead of per cell. While the
+    // recording proxy is active they *perform* the decomposition, so
+    // logs stay replayable from primitive [`WeightOp`]s alone.
+
+    /// Adds `xs[k]` to `W[i, c, lo + k]` for each `k`, clamping at
+    /// zero — bit-exact with calling [`PreferenceMap::add`] per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span exceeds `n_slots` or a resulting value is
+    /// not finite.
+    pub fn add_row(&mut self, i: InstrId, c: ClusterId, lo: u32, xs: &[f64]) {
+        self.axpy_row(i, c, lo, 1.0, xs);
+    }
+
+    /// Adds `a · xs[k]` to `W[i, c, lo + k]` for each `k`, clamping at
+    /// zero — bit-exact with the per-cell [`PreferenceMap::add`] loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not finite, the span exceeds `n_slots`, or a
+    /// resulting value is not finite.
+    pub fn axpy_row(&mut self, i: InstrId, c: ClusterId, lo: u32, a: f64, xs: &[f64]) {
+        if self.log.is_some() {
+            for (k, &x) in xs.iter().enumerate() {
+                self.add(i, c, lo + k as u32, a * x);
+            }
+            return;
+        }
+        match &mut self.repr {
+            Repr::Banded(m) => m.rows_view().axpy_row(i, c, lo, a, xs),
+            Repr::Dense(m) => m.rows_view().axpy_row(i, c, lo, a, xs),
+        }
+    }
+
+    /// Multiplies `W[i, c, lo + k]` by `factors[k]` for each `k` —
+    /// bit-exact with the per-cell [`PreferenceMap::scale`] loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a factor is negative or not finite, or the span
+    /// exceeds `n_slots`.
+    pub fn scale_row(&mut self, i: InstrId, c: ClusterId, lo: u32, factors: &[f64]) {
+        if self.log.is_some() {
+            for (k, &f) in factors.iter().enumerate() {
+                self.scale(i, c, lo + k as u32, f);
+            }
+            return;
+        }
+        match &mut self.repr {
+            Repr::Banded(m) => m.rows_view().scale_row(i, c, lo, factors),
+            Repr::Dense(m) => m.rows_view().scale_row(i, c, lo, factors),
+        }
+    }
+
+    /// Adds `amplitude · draws[k]` to every feasible in-window cell of
+    /// `i`, visiting clusters in ascending order and time slots
+    /// `lo..=hi` within each cluster — bit-exact with the per-cell
+    /// NOISE loop (one `draws` entry per feasible cell, in that
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitude` is negative or not finite, or if
+    /// `draws.len()` is not `feasible_clusters · window_width`.
+    pub fn noise_fill(&mut self, i: InstrId, amplitude: f64, draws: &[f64]) {
+        if self.log.is_some() {
+            let (lo, hi) = self.window(i);
+            let mut k = 0usize;
+            for c in 0..self.n_clusters() {
+                let cid = ClusterId::new(c as u16);
+                if !self.cluster_feasible(i, cid) {
+                    continue;
+                }
+                for t in lo..=hi {
+                    self.add(i, cid, t, amplitude * draws[k]);
+                    k += 1;
+                }
+            }
+            assert_eq!(k, draws.len(), "one draw per feasible cell");
+            return;
+        }
+        match &mut self.repr {
+            Repr::Banded(m) => m.rows_view().noise_fill(i, amplitude, draws),
+            Repr::Dense(m) => m.rows_view().noise_fill(i, amplitude, draws),
+        }
+    }
+
+    /// Applies `scale_cluster(i, c, factors[c])` for every cluster in
+    /// one sweep over the row — bit-exact with the per-cluster
+    /// [`PreferenceMap::scale_cluster`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors.len() != n_clusters` or a factor is negative
+    /// or not finite.
+    pub fn scale_clusters_row(&mut self, i: InstrId, factors: &[f64]) {
+        if self.log.is_some() {
+            assert_eq!(factors.len(), self.n_clusters(), "one factor per cluster");
+            for (c, &f) in factors.iter().enumerate() {
+                self.scale_cluster(i, ClusterId::new(c as u16), f);
+            }
+            return;
+        }
+        match &mut self.repr {
+            Repr::Banded(m) => m.rows_view().scale_clusters_row(i, factors),
+            Repr::Dense(m) => m.rows_view().scale_clusters_row(i, factors),
+        }
+    }
+
+    /// Splits the map into `n_chunks` disjoint contiguous
+    /// [`WeightRows`] views (clamped to `[1, n_instrs]`; chunk sizes
+    /// differ by at most one row). Each view independently supports
+    /// the full [`RowOps`] vocabulary and is `Send`, so sibling views
+    /// can be driven from different threads — the storage behind them
+    /// is plain disjoint sub-slices, no locks, no `unsafe`. Row
+    /// updates touch only that instruction's state, so any
+    /// interleaving of per-row operations across views produces the
+    /// same bits as the sequential order.
+    ///
+    /// # Panics
+    ///
+    /// Panics while the recording proxy is active: views bypass the
+    /// [`WeightOp`] log, which would silently break replayability.
+    pub fn rows_mut(&mut self, n_chunks: usize) -> Vec<WeightRows<'_>> {
+        assert!(
+            !self.is_recording(),
+            "rows_mut would bypass the recording proxy"
+        );
+        match &mut self.repr {
+            Repr::Banded(m) => m
+                .split_rows(n_chunks)
+                .into_iter()
+                .map(|v| WeightRows {
+                    repr: RowsRepr::Banded(v),
+                })
+                .collect(),
+            Repr::Dense(m) => m
+                .split_rows(n_chunks)
+                .into_iter()
+                .map(|v| WeightRows {
+                    repr: RowsRepr::Dense(v),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Row-granular access shared by [`PreferenceMap`] (the whole map,
+/// sequential) and [`WeightRows`] (a disjoint chunk of rows, the unit
+/// of intra-pass parallelism). A [`crate::RowKernel`] is written once
+/// against this trait and runs identically in both settings.
+pub trait RowOps {
+    /// The absolute instruction ids this view covers (`0..n_instrs`
+    /// for a whole map).
+    fn instr_range(&self) -> std::ops::Range<u32>;
+
+    /// Number of clusters.
+    fn n_clusters(&self) -> usize;
+
+    /// Number of time slots.
+    fn n_slots(&self) -> usize;
+
+    /// The feasible `[lo, hi]` window of `i`.
+    fn window(&self, i: InstrId) -> (u32, u32);
+
+    /// Returns `true` if cluster `c` may execute `i`.
+    fn cluster_feasible(&self, i: InstrId, c: ClusterId) -> bool;
+
+    /// `argmax_c Σ_t W[i, c, t]`; see
+    /// [`PreferenceMap::preferred_cluster`].
+    fn preferred_cluster(&self, i: InstrId) -> ClusterId;
+
+    /// `argmax_t Σ_c W[i, c, t]`; see
+    /// [`PreferenceMap::preferred_time`].
+    fn preferred_time(&self, i: InstrId) -> Cycle;
+
+    /// Multiplies `W[i, c, t]` by `factor`; see
+    /// [`PreferenceMap::scale`].
+    fn scale(&mut self, i: InstrId, c: ClusterId, t: u32, factor: f64);
+
+    /// Multiplies every time slot of `(i, c)` by `factor`; see
+    /// [`PreferenceMap::scale_cluster`].
+    fn scale_cluster(&mut self, i: InstrId, c: ClusterId, factor: f64);
+
+    /// Row-granular clamped add; see [`PreferenceMap::add_row`].
+    fn add_row(&mut self, i: InstrId, c: ClusterId, lo: u32, xs: &[f64]);
+
+    /// Row-granular `w += a·x`; see [`PreferenceMap::axpy_row`].
+    fn axpy_row(&mut self, i: InstrId, c: ClusterId, lo: u32, a: f64, xs: &[f64]);
+
+    /// Row-granular scale; see [`PreferenceMap::scale_row`].
+    fn scale_row(&mut self, i: InstrId, c: ClusterId, lo: u32, factors: &[f64]);
+
+    /// Batched noise fill; see [`PreferenceMap::noise_fill`].
+    fn noise_fill(&mut self, i: InstrId, amplitude: f64, draws: &[f64]);
+
+    /// Per-cluster scale sweep; see
+    /// [`PreferenceMap::scale_clusters_row`].
+    fn scale_clusters_row(&mut self, i: InstrId, factors: &[f64]);
+
+    /// The paper's sharpening step `W[i, tᵢ, cᵢ] ← factor ·
+    /// W[i, tᵢ, cᵢ]`: exactly `scale(i, preferred_cluster(i),
+    /// preferred_time(i), factor)`, offered as one call so
+    /// implementations can resolve the layout dispatch once per row
+    /// instead of three times. The default body *is* that
+    /// decomposition, so recording implementations log a replayable
+    /// primitive [`WeightOp::Scale`].
+    fn reinforce_preferred(&mut self, i: InstrId, factor: f64) {
+        let c = self.preferred_cluster(i);
+        let t = self.preferred_time(i);
+        self.scale(i, c, t.get(), factor);
+    }
+
+    /// One COMM row visit: [`RowOps::scale_clusters_row`] followed —
+    /// when `reinforce` is set — by [`RowOps::reinforce_preferred`],
+    /// offered as a single call so implementations can resolve the
+    /// layout dispatch once per row instead of twice. The default body
+    /// *is* that decomposition, so recording implementations log the
+    /// replayable primitives.
+    fn comm_row(&mut self, i: InstrId, factors: &[f64], reinforce: Option<f64>) {
+        self.scale_clusters_row(i, factors);
+        if let Some(f) = reinforce {
+            self.reinforce_preferred(i, f);
+        }
+    }
+
+    /// Applies [`RowOps::noise_fill`] to every row of the view, with
+    /// `draws[idx[i]..idx[i + 1]]` as row `i`'s slice (absolute ids
+    /// index `idx`). One call per chunk lets implementations resolve
+    /// the layout dispatch once instead of once per row. The default
+    /// body is the per-row decomposition, so recording implementations
+    /// log the replayable primitives.
+    fn noise_fill_rows(&mut self, amplitude: f64, draws: &[f64], idx: &[usize]) {
+        for i in self.instr_range() {
+            let ii = i as usize;
+            self.noise_fill(InstrId::new(i), amplitude, &draws[idx[ii]..idx[ii + 1]]);
+        }
+    }
+}
+
+impl RowOps for PreferenceMap {
+    fn instr_range(&self) -> std::ops::Range<u32> {
+        0..self.n_instrs() as u32
+    }
+
+    fn n_clusters(&self) -> usize {
+        PreferenceMap::n_clusters(self)
+    }
+
+    fn n_slots(&self) -> usize {
+        PreferenceMap::n_slots(self)
+    }
+
+    fn window(&self, i: InstrId) -> (u32, u32) {
+        PreferenceMap::window(self, i)
+    }
+
+    fn cluster_feasible(&self, i: InstrId, c: ClusterId) -> bool {
+        PreferenceMap::cluster_feasible(self, i, c)
+    }
+
+    fn preferred_cluster(&self, i: InstrId) -> ClusterId {
+        PreferenceMap::preferred_cluster(self, i)
+    }
+
+    fn preferred_time(&self, i: InstrId) -> Cycle {
+        PreferenceMap::preferred_time(self, i)
+    }
+
+    fn scale(&mut self, i: InstrId, c: ClusterId, t: u32, factor: f64) {
+        PreferenceMap::scale(self, i, c, t, factor);
+    }
+
+    fn scale_cluster(&mut self, i: InstrId, c: ClusterId, factor: f64) {
+        PreferenceMap::scale_cluster(self, i, c, factor);
+    }
+
+    fn add_row(&mut self, i: InstrId, c: ClusterId, lo: u32, xs: &[f64]) {
+        PreferenceMap::add_row(self, i, c, lo, xs);
+    }
+
+    fn axpy_row(&mut self, i: InstrId, c: ClusterId, lo: u32, a: f64, xs: &[f64]) {
+        PreferenceMap::axpy_row(self, i, c, lo, a, xs);
+    }
+
+    fn scale_row(&mut self, i: InstrId, c: ClusterId, lo: u32, factors: &[f64]) {
+        PreferenceMap::scale_row(self, i, c, lo, factors);
+    }
+
+    fn noise_fill(&mut self, i: InstrId, amplitude: f64, draws: &[f64]) {
+        PreferenceMap::noise_fill(self, i, amplitude, draws);
+    }
+
+    fn scale_clusters_row(&mut self, i: InstrId, factors: &[f64]) {
+        PreferenceMap::scale_clusters_row(self, i, factors);
+    }
+}
+
+/// The layout-erased row view behind [`PreferenceMap::rows_mut`].
+enum RowsRepr<'a> {
+    Banded(BandedRows<'a>),
+    Dense(DenseRows<'a>),
+}
+
+/// A mutable view over a contiguous chunk of instruction rows,
+/// produced by [`PreferenceMap::rows_mut`]. Sibling views borrow
+/// disjoint storage, are `Send`, and accept only absolute instruction
+/// ids inside [`RowOps::instr_range`] (out-of-range ids panic). Argmax
+/// caches, marginals, and the lazy scale factor are maintained exactly
+/// as on the whole map.
+pub struct WeightRows<'a> {
+    repr: RowsRepr<'a>,
+}
+
+macro_rules! rows {
+    ($self:ident, $v:ident => $body:expr) => {
+        match &$self.repr {
+            RowsRepr::Banded($v) => $body,
+            RowsRepr::Dense($v) => $body,
+        }
+    };
+    (mut $self:ident, $v:ident => $body:expr) => {
+        match &mut $self.repr {
+            RowsRepr::Banded($v) => $body,
+            RowsRepr::Dense($v) => $body,
+        }
+    };
+}
+
+impl RowOps for WeightRows<'_> {
+    fn instr_range(&self) -> std::ops::Range<u32> {
+        let (start, len) = rows!(self, v => (v.start(), v.len()));
+        start as u32..(start + len) as u32
+    }
+
+    fn n_clusters(&self) -> usize {
+        rows!(self, v => v.n_clusters())
+    }
+
+    fn n_slots(&self) -> usize {
+        rows!(self, v => v.n_slots())
+    }
+
+    fn window(&self, i: InstrId) -> (u32, u32) {
+        rows!(self, v => v.window(i))
+    }
+
+    fn cluster_feasible(&self, i: InstrId, c: ClusterId) -> bool {
+        rows!(self, v => v.cluster_feasible(i, c))
+    }
+
+    fn preferred_cluster(&self, i: InstrId) -> ClusterId {
+        ClusterId::new(rows!(self, v => v.top2(i)).0)
+    }
+
+    fn preferred_time(&self, i: InstrId) -> Cycle {
+        Cycle::new(rows!(self, v => v.top_time(i)))
+    }
+
+    fn scale(&mut self, i: InstrId, c: ClusterId, t: u32, factor: f64) {
+        rows!(mut self, v => v.scale(i, c, t, factor));
+    }
+
+    fn scale_cluster(&mut self, i: InstrId, c: ClusterId, factor: f64) {
+        rows!(mut self, v => v.scale_cluster(i, c, factor));
+    }
+
+    fn add_row(&mut self, i: InstrId, c: ClusterId, lo: u32, xs: &[f64]) {
+        rows!(mut self, v => v.axpy_row(i, c, lo, 1.0, xs));
+    }
+
+    fn axpy_row(&mut self, i: InstrId, c: ClusterId, lo: u32, a: f64, xs: &[f64]) {
+        rows!(mut self, v => v.axpy_row(i, c, lo, a, xs));
+    }
+
+    fn scale_row(&mut self, i: InstrId, c: ClusterId, lo: u32, factors: &[f64]) {
+        rows!(mut self, v => v.scale_row(i, c, lo, factors));
+    }
+
+    fn noise_fill(&mut self, i: InstrId, amplitude: f64, draws: &[f64]) {
+        rows!(mut self, v => v.noise_fill(i, amplitude, draws));
+    }
+
+    fn scale_clusters_row(&mut self, i: InstrId, factors: &[f64]) {
+        rows!(mut self, v => v.scale_clusters_row(i, factors));
+    }
+
+    fn reinforce_preferred(&mut self, i: InstrId, factor: f64) {
+        rows!(mut self, v => {
+            let (top, _) = v.top2(i);
+            let t = v.top_time(i);
+            v.scale(i, ClusterId::new(top), t, factor);
+        });
+    }
+
+    fn comm_row(&mut self, i: InstrId, factors: &[f64], reinforce: Option<f64>) {
+        rows!(mut self, v => {
+            v.scale_clusters_row(i, factors);
+            if let Some(f) = reinforce {
+                let (top, _) = v.top2(i);
+                let t = v.top_time(i);
+                v.scale(i, ClusterId::new(top), t, f);
+            }
+        });
+    }
+
+    fn noise_fill_rows(&mut self, amplitude: f64, draws: &[f64], idx: &[usize]) {
+        rows!(mut self, v => {
+            for i in v.start()..v.start() + v.len() {
+                v.noise_fill(InstrId::new(i as u32), amplitude, &draws[idx[i]..idx[i + 1]]);
+            }
+        });
     }
 }
 
@@ -1080,7 +1527,7 @@ mod tests {
     }
 
     /// A deterministic banded-vs-dense differential covering every op;
-    /// the proptest in `tests/proptest_weights.rs` drives random
+    /// the proptest in `tests/row_kernels.rs` drives random
     /// sequences, this one pins the exactness claim in-crate.
     #[test]
     fn banded_matches_dense_bit_for_bit() {
@@ -1137,5 +1584,154 @@ mod tests {
                 assert_eq!(b.confidence(id).to_bits(), d.confidence(id).to_bits());
             }
         }
+    }
+
+    /// Bitwise comparison of two maps across the full observable
+    /// surface (windows, cells, marginals, totals, argmaxes).
+    fn assert_maps_identical(a: &PreferenceMap, b: &PreferenceMap) {
+        assert_eq!(a.n_instrs(), b.n_instrs());
+        for k in 0..a.n_instrs() as u32 {
+            let id = i(k);
+            assert_eq!(a.window(id), b.window(id));
+            assert_eq!(a.total(id).to_bits(), b.total(id).to_bits());
+            for cc in 0..a.n_clusters() as u16 {
+                assert_eq!(a.cluster_feasible(id, c(cc)), b.cluster_feasible(id, c(cc)));
+                assert_eq!(
+                    a.cluster_weight(id, c(cc)).to_bits(),
+                    b.cluster_weight(id, c(cc)).to_bits()
+                );
+                for t in 0..a.n_slots() as u32 {
+                    assert_eq!(
+                        a.get(id, c(cc), t).to_bits(),
+                        b.get(id, c(cc), t).to_bits(),
+                        "cell ({k},{cc},{t})"
+                    );
+                }
+            }
+            for t in 0..a.n_slots() as u32 {
+                assert_eq!(
+                    a.time_weight(id, t).to_bits(),
+                    b.time_weight(id, t).to_bits()
+                );
+            }
+            assert_eq!(a.preferred_cluster(id), b.preferred_cluster(id));
+            assert_eq!(a.preferred_time(id), b.preferred_time(id));
+            assert_eq!(a.confidence(id).to_bits(), b.confidence(id).to_bits());
+        }
+    }
+
+    /// Deterministic pin of the bulk-kernel exactness claim on both
+    /// layouts; `tests/row_kernels.rs` drives randomized sequences.
+    #[test]
+    fn bulk_row_ops_match_per_cell_bit_for_bit() {
+        for dense in [false, true] {
+            let fresh = || {
+                if dense {
+                    PreferenceMap::new_dense(3, 3, 12)
+                } else {
+                    PreferenceMap::new(3, 3, 12)
+                }
+            };
+            let mut bulk = fresh();
+            let mut cell = fresh();
+            // Shape some state first: windows, a forbidden cluster, a
+            // densified band, a pending scale factor.
+            for w in [&mut bulk, &mut cell] {
+                w.set_window(i(0), 2, 7);
+                w.forbid_cluster(i(1), c(0));
+                w.scale(i(2), c(1), 4, 3.0);
+                w.normalize_all();
+            }
+            let xs = [0.3, 0.0, 0.55, 0.2, 0.15];
+            bulk.add_row(i(0), c(1), 3, &xs);
+            for (k, &x) in xs.iter().enumerate() {
+                cell.add(i(0), c(1), 3 + k as u32, x);
+            }
+            assert_maps_identical(&bulk, &cell);
+
+            bulk.axpy_row(i(2), c(2), 8, -0.5, &xs[..3]);
+            for (k, &x) in xs[..3].iter().enumerate() {
+                cell.add(i(2), c(2), 8 + k as u32, -0.5 * x);
+            }
+            assert_maps_identical(&bulk, &cell);
+
+            let fs = [1.0, 0.0, 2.5, 1.0, 0.25];
+            bulk.scale_row(i(0), c(1), 3, &fs);
+            for (k, &f) in fs.iter().enumerate() {
+                cell.scale(i(0), c(1), 3 + k as u32, f);
+            }
+            assert_maps_identical(&bulk, &cell);
+
+            let cf = [0.05, 1.0, 3.5];
+            for k in 0..3u32 {
+                bulk.scale_clusters_row(i(k), &cf);
+                for (cc, &f) in cf.iter().enumerate() {
+                    cell.scale_cluster(i(k), c(cc as u16), f);
+                }
+            }
+            assert_maps_identical(&bulk, &cell);
+
+            // Noise fill over each row's feasible cells.
+            for k in 0..3u32 {
+                let (lo, hi) = bulk.window(i(k));
+                let feas = (0..3u16)
+                    .filter(|&cc| bulk.cluster_feasible(i(k), c(cc)))
+                    .count();
+                let n = feas * (hi - lo + 1) as usize;
+                let draws: Vec<f64> = (0..n).map(|d| (d as f64 * 0.37) % 1.0).collect();
+                bulk.noise_fill(i(k), 0.8, &draws);
+                let mut d = 0usize;
+                for cc in 0..3u16 {
+                    if !cell.cluster_feasible(i(k), c(cc)) {
+                        continue;
+                    }
+                    for t in lo..=hi {
+                        cell.add(i(k), c(cc), t, 0.8 * draws[d]);
+                        d += 1;
+                    }
+                }
+            }
+            assert_maps_identical(&bulk, &cell);
+
+            // The same bulk ops through disjoint row views give the
+            // same bits as through the whole map.
+            let mut split = fresh();
+            let mut whole = fresh();
+            for w in [&mut split, &mut whole] {
+                w.set_window(i(0), 2, 7);
+                w.normalize_all();
+            }
+            whole.add_row(i(0), c(0), 2, &xs);
+            whole.scale_clusters_row(i(2), &cf);
+            {
+                let mut views = split.rows_mut(3);
+                assert_eq!(views.len(), 3);
+                views[0].add_row(i(0), c(0), 2, &xs);
+                views[2].scale_clusters_row(i(2), &cf);
+            }
+            assert_maps_identical(&split, &whole);
+        }
+    }
+
+    #[test]
+    fn row_views_are_send() {
+        fn require_send<T: Send>(_: &T) {}
+        let mut w = PreferenceMap::new(4, 2, 8);
+        let views = w.rows_mut(2);
+        assert_eq!(views.len(), 2);
+        for v in &views {
+            require_send(v);
+            assert_eq!(v.n_clusters(), 2);
+        }
+        assert_eq!(views[0].instr_range(), 0..2);
+        assert_eq!(views[1].instr_range(), 2..4);
+    }
+
+    #[test]
+    #[should_panic(expected = "recording proxy")]
+    fn rows_mut_rejects_recording() {
+        let mut w = PreferenceMap::new(2, 2, 4);
+        w.record();
+        let _ = w.rows_mut(2);
     }
 }

@@ -1,0 +1,472 @@
+//! Differential property tests for the bulk row kernels.
+//!
+//! Every bulk operation on the preference map documents itself as
+//! *bit-exact* with a loop of per-cell (or per-cluster) primitives:
+//! `add_row` with `add`, `scale_row` with `scale`, `noise_fill` with
+//! the historical per-cell NOISE loop, `scale_clusters_row` with the
+//! per-cluster `scale_cluster` calls, and the fused `comm_row` /
+//! `noise_fill_rows` trait methods with their decompositions. This
+//! test drives random op sequences through four maps at once —
+//!
+//! * banded layout, bulk calls (through [`PreferenceMap::rows_mut`]
+//!   views, the exact path the parallel driver uses),
+//! * banded layout, per-cell reference loops,
+//! * dense reference layout, bulk calls,
+//! * dense reference layout, per-cell reference loops,
+//!
+//! — and asserts all four agree bit for bit on every observable,
+//! including the `cluster_marginals_into` / `feasible_cells_into`
+//! prologue sweeps. A bulk kernel that reorders a floating-point
+//! accumulation, skips an argmax-cache update, or mishandles a band
+//! edge diverges here.
+//!
+//! These also run under `cargo miri test` (the `--miri` path of
+//! `scripts/offline-check.sh`) to catch undefined behaviour in the
+//! slice-splitting hot paths; case counts shrink under miri to keep
+//! that tractable.
+
+use convergent_core::{PreferenceMap, RowOps};
+use convergent_ir::{ClusterId, InstrId};
+use proptest::prelude::*;
+
+const N: usize = 4;
+const C: usize = 3;
+const T: usize = 8;
+
+const CASES: u32 = if cfg!(miri) { 8 } else { 64 };
+
+/// One op of the differential vocabulary. Shape ops (`SetWindow`,
+/// `Forbid`, `Set`, `Normalize`, …) mutate all four maps identically;
+/// the `*Row`/`Fill` ops are applied as a bulk call on two maps and as
+/// the documented per-cell decomposition on the other two.
+#[derive(Clone, Debug)]
+enum Op {
+    Set {
+        i: usize,
+        c: usize,
+        t: usize,
+        v: f64,
+    },
+    SetWindow {
+        i: usize,
+        lo: usize,
+        len: usize,
+    },
+    Forbid {
+        i: usize,
+        c: usize,
+    },
+    Normalize {
+        i: usize,
+    },
+    NormalizeAll,
+    Materialize {
+        i: usize,
+    },
+    AddRow {
+        i: usize,
+        c: usize,
+        lo: usize,
+        xs: Vec<f64>,
+    },
+    AxpyRow {
+        i: usize,
+        c: usize,
+        lo: usize,
+        a: f64,
+        xs: Vec<f64>,
+    },
+    ScaleRow {
+        i: usize,
+        c: usize,
+        lo: usize,
+        fs: Vec<f64>,
+    },
+    ScaleClustersRow {
+        i: usize,
+        fs: Vec<f64>,
+    },
+    CommRow {
+        i: usize,
+        fs: Vec<f64>,
+        reinforce: bool,
+    },
+    ReinforcePreferred {
+        i: usize,
+        f: f64,
+    },
+    NoiseFill {
+        i: usize,
+        amplitude: f64,
+        seed: u64,
+    },
+    NoiseFillRows {
+        amplitude: f64,
+        seed: u64,
+        chunks: usize,
+    },
+}
+
+/// A `(lo, values)` span fitting inside `0..T`: generated at full
+/// length and truncated to the room left after `lo` (always ≥ 1).
+fn span_strategy(range: std::ops::Range<f64>) -> impl Strategy<Value = (usize, Vec<f64>)> {
+    (0..T, proptest::collection::vec(range, 1..=T)).prop_map(|(lo, mut xs)| {
+        xs.truncate(T - lo);
+        (lo, xs)
+    })
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..N, 0..C, 0..T, 0.0f64..2.0).prop_map(|(i, c, t, v)| Op::Set { i, c, t, v }),
+        (0..N, 0..T, 0..T).prop_map(|(i, lo, len)| Op::SetWindow { i, lo, len }),
+        (0..N, 0..C).prop_map(|(i, c)| Op::Forbid { i, c }),
+        (0..N).prop_map(|i| Op::Normalize { i }),
+        (0..N).prop_map(|_| Op::NormalizeAll),
+        (0..N).prop_map(|i| Op::Materialize { i }),
+        (0..N, 0..C, span_strategy(-1.0f64..1.0)).prop_map(|(i, c, (lo, xs))| Op::AddRow {
+            i,
+            c,
+            lo,
+            xs
+        }),
+        (0..N, 0..C, -2.0f64..2.0, span_strategy(-1.0f64..1.0))
+            .prop_map(|(i, c, a, (lo, xs))| Op::AxpyRow { i, c, lo, a, xs }),
+        (0..N, 0..C, span_strategy(0.0f64..5.0)).prop_map(|(i, c, (lo, fs))| Op::ScaleRow {
+            i,
+            c,
+            lo,
+            fs
+        }),
+        (0..N, proptest::collection::vec(0.0f64..5.0, C))
+            .prop_map(|(i, fs)| Op::ScaleClustersRow { i, fs }),
+        (
+            0..N,
+            proptest::collection::vec(0.0f64..5.0, C),
+            any::<bool>()
+        )
+            .prop_map(|(i, fs, reinforce)| Op::CommRow { i, fs, reinforce }),
+        (0..N, 0.5f64..4.0).prop_map(|(i, f)| Op::ReinforcePreferred { i, f }),
+        (0..N, 0.0f64..2.0, any::<u64>()).prop_map(|(i, amplitude, seed)| Op::NoiseFill {
+            i,
+            amplitude,
+            seed
+        }),
+        (0.0f64..2.0, any::<u64>(), 1..4usize).prop_map(|(amplitude, seed, chunks)| {
+            Op::NoiseFillRows {
+                amplitude,
+                seed,
+                chunks,
+            }
+        }),
+    ]
+}
+
+/// Deterministic `[0, 1)` stream for noise draws: the draws must be
+/// identical across the four maps but their *count* depends on the
+/// map's current window/feasibility state, so they cannot come from
+/// the proptest strategy directly.
+fn draws(seed: u64, count: usize) -> Vec<f64> {
+    let mut state = seed;
+    (0..count)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            ((z ^ (z >> 31)) >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+        })
+        .collect()
+}
+
+/// `i`'s noise-draw count in `w`'s current state (the per-cell loop's
+/// `feasible_clusters × window_width`).
+fn noise_cells(w: &PreferenceMap, i: InstrId) -> usize {
+    let (lo, hi) = w.window(i);
+    let feasible = (0..C)
+        .filter(|&c| w.cluster_feasible(i, ClusterId::new(c as u16)))
+        .count();
+    feasible * (hi - lo + 1) as usize
+}
+
+/// Applies the bulk form of `op` through `rows_mut` views — the same
+/// disjoint-chunk path the parallel pass driver drives — so the
+/// `WeightRows` overrides are what's under test, not just the
+/// map-level forwarding.
+fn apply_bulk(w: &mut PreferenceMap, op: &Op) {
+    let route = |w: &mut PreferenceMap, i: usize, f: &mut dyn FnMut(&mut dyn RowOps, InstrId)| {
+        let id = InstrId::new(i as u32);
+        let mut views = w.rows_mut(2);
+        let v = views
+            .iter_mut()
+            .find(|v| v.instr_range().contains(&(i as u32)))
+            .expect("chunks cover all rows");
+        f(v, id);
+    };
+    match *op {
+        Op::AddRow { i, c, lo, ref xs } => route(w, i, &mut |v, id| {
+            v.add_row(id, ClusterId::new(c as u16), lo as u32, xs);
+        }),
+        Op::AxpyRow {
+            i,
+            c,
+            lo,
+            a,
+            ref xs,
+        } => route(w, i, &mut |v, id| {
+            v.axpy_row(id, ClusterId::new(c as u16), lo as u32, a, xs);
+        }),
+        Op::ScaleRow { i, c, lo, ref fs } => route(w, i, &mut |v, id| {
+            v.scale_row(id, ClusterId::new(c as u16), lo as u32, fs);
+        }),
+        Op::ScaleClustersRow { i, ref fs } => route(w, i, &mut |v, id| {
+            v.scale_clusters_row(id, fs);
+        }),
+        Op::CommRow {
+            i,
+            ref fs,
+            reinforce,
+        } => route(w, i, &mut |v, id| {
+            v.comm_row(id, fs, reinforce.then_some(2.0));
+        }),
+        Op::ReinforcePreferred { i, f } => route(w, i, &mut |v, id| {
+            v.reinforce_preferred(id, f);
+        }),
+        Op::NoiseFill { i, amplitude, seed } => {
+            let id = InstrId::new(i as u32);
+            let d = draws(seed, noise_cells(w, id));
+            route(w, i, &mut |v, id| v.noise_fill(id, amplitude, &d));
+        }
+        Op::NoiseFillRows {
+            amplitude,
+            seed,
+            chunks,
+        } => {
+            let mut idx = Vec::new();
+            w.feasible_cells_into(&mut idx);
+            let d = draws(seed, *idx.last().unwrap());
+            for v in &mut w.rows_mut(chunks) {
+                v.noise_fill_rows(amplitude, &d, &idx);
+            }
+        }
+        _ => apply_shape(w, op),
+    }
+}
+
+/// Applies `op` as the documented per-cell / per-cluster reference
+/// loop, using only the primitive mutators.
+fn apply_reference(w: &mut PreferenceMap, op: &Op) {
+    match *op {
+        Op::AddRow { i, c, lo, ref xs } => {
+            let (id, cid) = (InstrId::new(i as u32), ClusterId::new(c as u16));
+            for (k, &x) in xs.iter().enumerate() {
+                w.add(id, cid, (lo + k) as u32, x);
+            }
+        }
+        Op::AxpyRow {
+            i,
+            c,
+            lo,
+            a,
+            ref xs,
+        } => {
+            let (id, cid) = (InstrId::new(i as u32), ClusterId::new(c as u16));
+            for (k, &x) in xs.iter().enumerate() {
+                w.add(id, cid, (lo + k) as u32, a * x);
+            }
+        }
+        Op::ScaleRow { i, c, lo, ref fs } => {
+            let (id, cid) = (InstrId::new(i as u32), ClusterId::new(c as u16));
+            for (k, &f) in fs.iter().enumerate() {
+                w.scale(id, cid, (lo + k) as u32, f);
+            }
+        }
+        Op::ScaleClustersRow { i, ref fs } => {
+            let id = InstrId::new(i as u32);
+            for (c, &f) in fs.iter().enumerate() {
+                w.scale_cluster(id, ClusterId::new(c as u16), f);
+            }
+        }
+        Op::CommRow {
+            i,
+            ref fs,
+            reinforce,
+        } => {
+            let id = InstrId::new(i as u32);
+            for (c, &f) in fs.iter().enumerate() {
+                w.scale_cluster(id, ClusterId::new(c as u16), f);
+            }
+            if reinforce {
+                let c = w.preferred_cluster(id);
+                let t = w.preferred_time(id);
+                w.scale(id, c, t.get(), 2.0);
+            }
+        }
+        Op::ReinforcePreferred { i, f } => {
+            let id = InstrId::new(i as u32);
+            let c = w.preferred_cluster(id);
+            let t = w.preferred_time(id);
+            w.scale(id, c, t.get(), f);
+        }
+        Op::NoiseFill { i, amplitude, seed } => {
+            let id = InstrId::new(i as u32);
+            let d = draws(seed, noise_cells(w, id));
+            let (lo, hi) = w.window(id);
+            let mut k = 0usize;
+            for c in 0..C {
+                let cid = ClusterId::new(c as u16);
+                if !w.cluster_feasible(id, cid) {
+                    continue;
+                }
+                for t in lo..=hi {
+                    w.add(id, cid, t, amplitude * d[k]);
+                    k += 1;
+                }
+            }
+            assert_eq!(k, d.len(), "one draw per feasible cell");
+        }
+        Op::NoiseFillRows {
+            amplitude, seed, ..
+        } => {
+            let mut idx = Vec::new();
+            w.feasible_cells_into(&mut idx);
+            let d = draws(seed, *idx.last().unwrap());
+            for i in 0..N {
+                let id = InstrId::new(i as u32);
+                let slice = &d[idx[i]..idx[i + 1]];
+                let (lo, hi) = w.window(id);
+                let mut k = 0usize;
+                for c in 0..C {
+                    let cid = ClusterId::new(c as u16);
+                    if !w.cluster_feasible(id, cid) {
+                        continue;
+                    }
+                    for t in lo..=hi {
+                        w.add(id, cid, t, amplitude * slice[k]);
+                        k += 1;
+                    }
+                }
+            }
+        }
+        _ => apply_shape(w, op),
+    }
+}
+
+/// Shape ops shared verbatim by the bulk and reference sides.
+fn apply_shape(w: &mut PreferenceMap, op: &Op) {
+    match *op {
+        Op::Set { i, c, t, v } => w.set(
+            InstrId::new(i as u32),
+            ClusterId::new(c as u16),
+            t as u32,
+            v,
+        ),
+        Op::SetWindow { i, lo, len } => {
+            let id = InstrId::new(i as u32);
+            let lo = lo as u32;
+            let hi = (lo + len as u32).min(T as u32 - 1);
+            let (cur_lo, cur_hi) = w.window(id);
+            if lo.max(cur_lo) <= hi.min(cur_hi) {
+                w.set_window(id, lo, hi);
+            }
+        }
+        Op::Forbid { i, c } => w.forbid_cluster(InstrId::new(i as u32), ClusterId::new(c as u16)),
+        Op::Normalize { i } => w.normalize(InstrId::new(i as u32)),
+        Op::NormalizeAll => w.normalize_all(),
+        Op::Materialize { i } => w.materialize(InstrId::new(i as u32)),
+        _ => unreachable!("bulk op routed to apply_shape"),
+    }
+}
+
+/// Bitwise comparison of every observable quantity of two maps.
+fn assert_identical(label: &str, a: &PreferenceMap, b: &PreferenceMap) {
+    for i in 0..N {
+        let id = InstrId::new(i as u32);
+        assert_eq!(a.window(id), b.window(id), "{label}: window[{i}]");
+        for c in 0..C {
+            let cid = ClusterId::new(c as u16);
+            assert_eq!(
+                a.cluster_feasible(id, cid),
+                b.cluster_feasible(id, cid),
+                "{label}: feasible[{i},{c}]"
+            );
+            for t in 0..T {
+                assert_eq!(
+                    a.get(id, cid, t as u32).to_bits(),
+                    b.get(id, cid, t as u32).to_bits(),
+                    "{label}: W[{i},{c},{t}]"
+                );
+            }
+            assert_eq!(
+                a.cluster_weight(id, cid).to_bits(),
+                b.cluster_weight(id, cid).to_bits(),
+                "{label}: cluster_weight[{i},{c}]"
+            );
+        }
+        for t in 0..T {
+            assert_eq!(
+                a.time_weight(id, t as u32).to_bits(),
+                b.time_weight(id, t as u32).to_bits(),
+                "{label}: time_weight[{i},{t}]"
+            );
+        }
+        assert_eq!(
+            a.total(id).to_bits(),
+            b.total(id).to_bits(),
+            "{label}: total[{i}]"
+        );
+        assert_eq!(
+            a.preferred_cluster(id),
+            b.preferred_cluster(id),
+            "{label}: preferred_cluster[{i}]"
+        );
+        assert_eq!(
+            a.preferred_time(id),
+            b.preferred_time(id),
+            "{label}: preferred_time[{i}]"
+        );
+    }
+    // The pass-prologue sweeps must agree with the per-cell reads too.
+    let mut ma = vec![0.0; N * C];
+    let mut mb = vec![0.0; N * C];
+    a.cluster_marginals_into(&mut ma);
+    b.cluster_marginals_into(&mut mb);
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&ma), bits(&mb), "{label}: cluster_marginals_into");
+    let mut ia = Vec::new();
+    let mut ib = Vec::new();
+    a.feasible_cells_into(&mut ia);
+    b.feasible_cells_into(&mut ib);
+    assert_eq!(ia, ib, "{label}: feasible_cells_into");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// The headline claim: bulk row kernels are bit-exact with the
+    /// per-cell loops, on both layouts, and the banded layout is
+    /// bit-exact with the dense reference throughout.
+    #[test]
+    fn bulk_matches_per_cell_on_both_layouts(
+        ops in proptest::collection::vec(op_strategy(), 1..40)
+    ) {
+        let mut banded_bulk = PreferenceMap::new(N, C, T);
+        let mut banded_ref = PreferenceMap::new(N, C, T);
+        let mut dense_bulk = PreferenceMap::new_dense(N, C, T);
+        let mut dense_ref = PreferenceMap::new_dense(N, C, T);
+        for op in &ops {
+            apply_bulk(&mut banded_bulk, op);
+            apply_reference(&mut banded_ref, op);
+            apply_bulk(&mut dense_bulk, op);
+            apply_reference(&mut dense_ref, op);
+        }
+        assert_identical("banded bulk vs banded per-cell", &banded_bulk, &banded_ref);
+        assert_identical("dense bulk vs dense per-cell", &dense_bulk, &dense_ref);
+        assert_identical("banded bulk vs dense per-cell", &banded_bulk, &dense_ref);
+        // The invariant checker expects a normalized map.
+        banded_bulk.normalize_all();
+        dense_bulk.normalize_all();
+        banded_bulk.assert_invariants(1e-7);
+        dense_bulk.assert_invariants(1e-7);
+    }
+}

@@ -18,7 +18,7 @@
 //!   transfer unit of the producer's cluster, and the consumer may
 //!   start one cycle after the copy issues.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use convergent_ir::{ClusterId, Cycle, Dag, InstrId, OpClass};
 use convergent_machine::Machine;
@@ -26,10 +26,40 @@ use convergent_sim::{effective_latency_in, Assignment, ScheduleBuilder, SpaceTim
 
 use crate::ScheduleError;
 
+/// A growable bitmap over cycle numbers: the occupancy set of one
+/// functional unit. `HashSet<u32>` semantics at a fraction of the
+/// lookup cost — `free_fu` probes run once per pending instruction per
+/// cycle, which made hashing the list scheduler's hottest operation on
+/// wide graphs.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct CycleSet {
+    words: Vec<u64>,
+}
+
+impl CycleSet {
+    pub(crate) fn contains(&self, t: u32) -> bool {
+        self.words
+            .get((t / 64) as usize)
+            .is_some_and(|w| w >> (t % 64) & 1 == 1)
+    }
+
+    /// Inserts `t`, returning whether it was newly added.
+    pub(crate) fn insert(&mut self, t: u32) -> bool {
+        let w = (t / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (t % 64);
+        let had = self.words[w] & bit != 0;
+        self.words[w] |= bit;
+        !had
+    }
+}
+
 /// Per-functional-unit issue-slot occupancy.
 #[derive(Clone, Debug)]
 pub(crate) struct ResourceState {
-    busy: Vec<Vec<HashSet<u32>>>,
+    busy: Vec<Vec<CycleSet>>,
 }
 
 impl ResourceState {
@@ -37,7 +67,7 @@ impl ResourceState {
         ResourceState {
             busy: machine
                 .cluster_ids()
-                .map(|c| vec![HashSet::new(); machine.cluster(c).issue_width()])
+                .map(|c| vec![CycleSet::default(); machine.cluster(c).issue_width()])
                 .collect(),
         }
     }
@@ -58,7 +88,7 @@ impl ResourceState {
             .iter()
             .enumerate()
             .find(|(fu, kind)| {
-                kind.can_execute(class) && !self.busy[cluster.index()][*fu].contains(&t)
+                kind.can_execute(class) && !self.busy[cluster.index()][*fu].contains(t)
             })
             .map(|(fu, _)| fu)
     }
@@ -287,13 +317,47 @@ impl ListScheduler {
         let mut finish: Vec<u32> = vec![0; n];
         let mut fu_of: Vec<usize> = vec![0; n];
         let mut unsched_preds: Vec<usize> = dag.ids().map(|i| dag.preds(i).len()).collect();
-        // Instructions whose predecessors are all scheduled, with the
-        // cycle their operands arrive at their assigned cluster.
-        let mut pending: Vec<(InstrId, u32)> = dag
+
+        // Whether an instruction can issue at cycle `t` depends only on
+        // its (cluster, op class) pair and the reservations made so
+        // far, and reservations only accumulate within a cycle — so one
+        // witnessed `free_fu` failure rules the whole pair out for the
+        // rest of the cycle. The ready set is therefore kept as one
+        // min-heap on (priority, urgency, id) *per pair*: each issue
+        // decision arbitrates across the heap tops of the pairs not yet
+        // ruled out, which reproduces exactly the historical
+        // sort-after-every-issue scan ("always issue the best-ranked
+        // eligible instruction") without ever touching the candidates
+        // queued behind a blocked pair. The id is unique, so ordering
+        // is total and the issue sequence — and with it every schedule
+        // — is unchanged.
+        let n_classes = OpClass::ALL.len();
+        let pair_of: Vec<usize> = dag
             .ids()
-            .filter(|&i| unsched_preds[i.index()] == 0)
-            .map(|i| (i, 0))
+            .map(|i| {
+                let class = dag.instr(i).class();
+                let k = OpClass::ALL
+                    .iter()
+                    .position(|&c| c == class)
+                    .expect("every class appears in OpClass::ALL");
+                assignment.cluster(i).index() * n_classes + k
+            })
             .collect();
+        let n_pairs = machine.n_clusters() * n_classes;
+        let mut ready: Vec<BinaryHeap<std::cmp::Reverse<(u32, u32, InstrId)>>> =
+            (0..n_pairs).map(|_| BinaryHeap::new()).collect();
+        for i in dag.ids().filter(|&i| unsched_preds[i.index()] == 0) {
+            ready[pair_of[i.index()]].push(std::cmp::Reverse((
+                priorities[i.index()],
+                urgency[i.index()],
+                i,
+            )));
+        }
+        // Instructions released with operands still in flight wait in a
+        // bucket for their arrival cycle instead of churning through
+        // the ready heaps every cycle in between.
+        let mut arrivals: Vec<Vec<InstrId>> = Vec::new();
+        let mut blocked: Vec<bool> = vec![false; n_pairs];
         let mut n_placed = 0usize;
         let limit = cycle_limit(dag, machine);
 
@@ -302,25 +366,40 @@ impl ListScheduler {
             if t > limit {
                 return Err(ScheduleError::NoProgress { cycle: t });
             }
-            // Issue as many ready instructions as resources allow.
-            pending.sort_by_key(|&(i, _)| (priorities[i.index()], urgency[i.index()], i));
-            let mut k = 0;
-            while k < pending.len() {
-                let (i, ready_at) = pending[k];
-                if ready_at > t {
-                    k += 1;
-                    continue;
+            if let Some(bucket) = arrivals.get_mut(t as usize) {
+                for i in bucket.drain(..) {
+                    ready[pair_of[i.index()]].push(std::cmp::Reverse((
+                        priorities[i.index()],
+                        urgency[i.index()],
+                        i,
+                    )));
                 }
+            }
+            blocked.fill(false);
+            // Issue as many ready instructions as resources allow.
+            loop {
+                let mut best: Option<(usize, (u32, u32, InstrId))> = None;
+                for (p, h) in ready.iter().enumerate() {
+                    if blocked[p] {
+                        continue;
+                    }
+                    if let Some(&std::cmp::Reverse(key)) = h.peek() {
+                        if best.is_none_or(|(_, b)| key < b) {
+                            best = Some((p, key));
+                        }
+                    }
+                }
+                let Some((p, (_, _, i))) = best else { break };
                 let cluster = assignment.cluster(i);
                 let class = dag.instr(i).class();
                 match resources.free_fu(machine, cluster, class, t) {
                     Some(fu) => {
+                        ready[p].pop();
                         resources.reserve(cluster, fu, t);
                         start[i.index()] = Some(t);
                         fu_of[i.index()] = fu;
                         finish[i.index()] = t + effective_latency_in(dag, machine, i, cluster);
                         n_placed += 1;
-                        pending.swap_remove(k);
                         // Move the produced value toward every consumer
                         // cluster as soon as it exists.
                         let mut dest_seen: HashSet<usize> = HashSet::new();
@@ -338,36 +417,49 @@ impl ListScheduler {
                                 );
                             }
                         }
-                        // Release consumers whose last producer this was.
+                        // Release consumers whose last producer this
+                        // was. A zero-latency producer can release a
+                        // consumer into the current cycle; entering its
+                        // ready heap it contends in rank order with
+                        // everything not yet issued, as before. (A
+                        // release into a blocked pair stays queued: it
+                        // could not have issued this cycle anyway.)
                         for &s in dag.succs(i) {
                             unsched_preds[s.index()] -= 1;
                             if unsched_preds[s.index()] == 0 {
                                 let sc = assignment.cluster(s);
-                                let ready = dag
+                                let arrive = dag
                                     .preds(s)
                                     .iter()
-                                    .map(|&p| {
-                                        let pc = assignment.cluster(p);
+                                    .map(|&pr| {
+                                        let pc = assignment.cluster(pr);
                                         if pc == sc {
-                                            finish[p.index()]
+                                            finish[pr.index()]
                                         } else {
                                             comms
-                                                .arrival(p, sc)
+                                                .arrival(pr, sc)
                                                 .expect("comm inserted when producer placed")
                                         }
                                     })
                                     .max()
                                     .unwrap_or(0);
-                                pending.push((s, ready));
+                                if arrive > t {
+                                    let slot = arrive as usize;
+                                    if slot >= arrivals.len() {
+                                        arrivals.resize_with(slot + 1, Vec::new);
+                                    }
+                                    arrivals[slot].push(s);
+                                } else {
+                                    ready[pair_of[s.index()]].push(std::cmp::Reverse((
+                                        priorities[s.index()],
+                                        urgency[s.index()],
+                                        s,
+                                    )));
+                                }
                             }
                         }
-                        // Restart the scan: swap_remove disturbed order
-                        // and new arrivals may now be issueable.
-                        pending
-                            .sort_by_key(|&(i, _)| (priorities[i.index()], urgency[i.index()], i));
-                        k = 0;
                     }
-                    None => k += 1,
+                    None => blocked[p] = true,
                 }
             }
             t += 1;

@@ -39,4 +39,9 @@ echo "==> compile-time scaling guard (200 vs 2000 instrs)"
 # 3x; the dense layout collapsed to 7.3x. Fail past 5x.
 cargo run --release -q -p convergent-bench --bin compiletime -- \
     --sizes 200,2000 --budget-secs 0.5 --no-out --max-ratio 5.0
+echo "==> compile-time scaling guard (2000 vs 10000 instrs)"
+# The bulk row kernels hold the 2000→10000 ratio near 1.5x (the
+# per-cell path sat near 10x). Fail past 3x.
+cargo run --release -q -p convergent-bench --bin compiletime -- \
+    --sizes 2000,10000 --budget-secs 0.75 --no-out --max-ratio 3.0
 echo "check.sh: all green"

@@ -56,17 +56,24 @@ echo "==> compile-time scaling guard (200 vs 2000 instrs, offline)"
 # 3x; the dense layout collapsed to 7.3x. Fail past 5x.
 run run --release -q -p convergent-bench --bin compiletime -- \
     --sizes 200,2000 --budget-secs 0.5 --no-out --max-ratio 5.0
+echo "==> compile-time scaling guard (2000 vs 10000 instrs, offline)"
+# The bulk row kernels hold the 2000→10000 ratio near 1.5x (the
+# per-cell path sat near 10x). Fail past 3x.
+run run --release -q -p convergent-bench --bin compiletime -- \
+    --sizes 2000,10000 --budget-secs 0.75 --no-out --max-ratio 3.0
 if [ "$MIRI" = 1 ]; then
-    echo "==> recording-proxy proptests under miri"
+    echo "==> recording-proxy and row-kernel proptests under miri"
     if cargo miri --version >/dev/null 2>&1; then
         # Undefined behaviour in the WeightOp logging hot path would
         # invalidate every contract verdict; miri checks the proxy's
-        # transparency/fidelity proptests at the bitwise level.
+        # transparency/fidelity proptests at the bitwise level. The
+        # row-kernel differentials drive the bulk kernels' slice
+        # splitting (band storage, rows_mut partitioning) the same way.
         cargo miri test \
             --config 'patch.crates-io.rand.path="devtools/offline-stubs/rand"' \
             --config 'patch.crates-io.proptest.path="devtools/offline-stubs/proptest"' \
             --config 'patch.crates-io.criterion.path="devtools/offline-stubs/criterion"' \
-            --offline -p convergent-core --test recording_proxy
+            --offline -p convergent-core --test recording_proxy --test row_kernels
     else
         echo "offline-check.sh: miri not installed (rustup component add miri); skipping"
     fi

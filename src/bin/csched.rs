@@ -79,6 +79,7 @@ struct Options {
     workload: Option<String>,
     machine: String,
     scheduler: String,
+    threads: usize,
     dump: bool,
     dot: bool,
     pressure: bool,
@@ -88,8 +89,8 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: csched [verify|lint] <input.cdag | --workload NAME> [--machine rawN|vliwN] \
-     [--scheduler convergent|uas|pcc|rawcc|bug] [--dump] [--dot] [--pressure] [--profile] \
-     [--verbose] [--list-workloads]\n\
+     [--scheduler convergent|uas|pcc|rawcc|bug] [--threads N] [--dump] [--dot] [--pressure] \
+     [--profile] [--verbose] [--list-workloads]\n\
      lint only: [--all-workloads] [--json] [--deny warnings] [--pedantic]"
 }
 
@@ -144,6 +145,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         workload: None,
         machine: "vliw4".to_string(),
         scheduler: "convergent".to_string(),
+        threads: 1,
         dump: false,
         dot: false,
         pressure: false,
@@ -164,6 +166,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--workload" => {
                 k += 1;
                 opts.workload = Some(args.get(k).ok_or("--workload takes a value")?.clone());
+            }
+            "--threads" => {
+                k += 1;
+                opts.threads = args
+                    .get(k)
+                    .ok_or("--threads takes a value")?
+                    .parse()
+                    .map_err(|_| "--threads takes a positive integer".to_string())?;
+                if opts.threads == 0 {
+                    return Err("--threads takes a positive integer".to_string());
+                }
             }
             "--list-workloads" => {
                 for w in WORKLOADS {
@@ -191,14 +204,24 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn make_scheduler(name: &str, machine: &Machine) -> Result<Box<dyn Scheduler>, String> {
+fn make_scheduler(
+    name: &str,
+    machine: &Machine,
+    threads: usize,
+) -> Result<Box<dyn Scheduler>, String> {
+    if threads > 1 && name != "convergent" {
+        return Err(format!(
+            "--threads applies to the convergent scheduler only (got '{name}')"
+        ));
+    }
     Ok(match name {
         "convergent" => {
-            if machine.comm().register_mapped {
-                Box::new(ConvergentScheduler::raw_default())
+            let s = if machine.comm().register_mapped {
+                ConvergentScheduler::raw_default()
             } else {
-                Box::new(ConvergentScheduler::vliw_tuned())
-            }
+                ConvergentScheduler::vliw_tuned()
+            };
+            Box::new(s.with_threads(threads))
         }
         "uas" => Box::new(UasScheduler::new()),
         "pcc" => Box::new(PccScheduler::new()),
@@ -440,7 +463,7 @@ fn run_verify(args: &[String]) -> Result<(), String> {
     );
     let mut failures = 0usize;
     for name in &names {
-        let scheduler = make_scheduler(name, &machine)?;
+        let scheduler = make_scheduler(name, &machine, 1)?;
         let schedule = match scheduler.schedule(unit.dag(), &machine) {
             Ok(s) => s,
             Err(e) => {
@@ -501,7 +524,7 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
-    let scheduler = make_scheduler(&opts.scheduler, &machine)?;
+    let scheduler = make_scheduler(&opts.scheduler, &machine, opts.threads)?;
 
     let (schedule, profile) = if opts.profile {
         if opts.scheduler != "convergent" {
@@ -513,7 +536,8 @@ fn run() -> Result<(), String> {
             ConvergentScheduler::raw_default()
         } else {
             ConvergentScheduler::vliw_tuned()
-        };
+        }
+        .with_threads(opts.threads);
         let (out, profile) = sched
             .schedule_profiled(unit.dag(), &machine)
             .map_err(|e| format!("scheduling failed: {e}"))?;
