@@ -8,9 +8,10 @@ use crate::Severity;
 ///
 /// Codes are grouped by decade: `CS00x` graph structure, `CS01x`
 /// timing and preplacement feasibility, `CS02x` op-class coverage,
-/// `CS03x` advisory graph hygiene, `CS05x` machine-model consistency,
-/// `CS06x` pass contracts. The string ids are append-only: a code is
-/// never renumbered or reused, so tooling may match on them.
+/// `CS03x` advisory graph hygiene, `CS04x` component structure and
+/// shardability, `CS05x` machine-model consistency, `CS06x` pass
+/// contracts. The string ids are append-only: a code is never
+/// renumbered or reused, so tooling may match on them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Code {
     /// `CS001`: the dependence graph contains a cycle.
@@ -49,6 +50,10 @@ pub enum Code {
     /// `CS031`: the static register-pressure lower bound exceeds the
     /// machine's total register count.
     PressureOverRegisters,
+    /// `CS040`: the graph splits into several weakly-connected
+    /// components but one giant component dominates; region sharding
+    /// cannot balance the pieces without articulation cuts.
+    DegenerateShardStructure,
     /// `CS050`: the latency table reports zero latency for a
     /// non-communication operation class used by the graph.
     ZeroLatency,
@@ -56,6 +61,10 @@ pub enum Code {
     /// machine, where network ports piggyback on producer/consumer
     /// instructions.
     CommLatencyMismatch,
+    /// `CS052`: a cluster on a copy-based machine has no copy-capable
+    /// functional unit, so it can never source a cross-cluster
+    /// transfer.
+    MissingTransferUnit,
     /// `CS060`: a pass performed an absolute weight write outside an
     /// instruction's feasible window.
     OutOfWindowWrite,
@@ -73,7 +82,7 @@ pub enum Code {
 impl Code {
     /// Every code, in catalogue order — used to generate and test the
     /// `docs/DIAGNOSTICS.md` catalogue.
-    pub const ALL: [Code; 19] = [
+    pub const ALL: [Code; 21] = [
         Code::Cycle,
         Code::DanglingEdge,
         Code::SelfEdge,
@@ -87,8 +96,10 @@ impl Code {
         Code::CommOpInInput,
         Code::DeadValue,
         Code::PressureOverRegisters,
+        Code::DegenerateShardStructure,
         Code::ZeroLatency,
         Code::CommLatencyMismatch,
+        Code::MissingTransferUnit,
         Code::OutOfWindowWrite,
         Code::NondeterministicPass,
         Code::BrokenNormalization,
@@ -112,8 +123,10 @@ impl Code {
             Code::CommOpInInput => "CS021",
             Code::DeadValue => "CS030",
             Code::PressureOverRegisters => "CS031",
+            Code::DegenerateShardStructure => "CS040",
             Code::ZeroLatency => "CS050",
             Code::CommLatencyMismatch => "CS051",
+            Code::MissingTransferUnit => "CS052",
             Code::OutOfWindowWrite => "CS060",
             Code::NondeterministicPass => "CS061",
             Code::BrokenNormalization => "CS062",
@@ -142,13 +155,15 @@ impl Code {
             | Code::OutOfWindowWrite
             | Code::NondeterministicPass
             | Code::BrokenNormalization
-            | Code::PreplacementDemoted => Severity::Error,
+            | Code::PreplacementDemoted
+            | Code::MissingTransferUnit => Severity::Error,
             Code::CommOpInInput | Code::ZeroLatency | Code::CommLatencyMismatch => {
                 Severity::Warning
             }
-            Code::TightPreplacedPair | Code::DeadValue | Code::PressureOverRegisters => {
-                Severity::Note
-            }
+            Code::TightPreplacedPair
+            | Code::DeadValue
+            | Code::PressureOverRegisters
+            | Code::DegenerateShardStructure => Severity::Note,
         }
     }
 
@@ -171,8 +186,12 @@ impl Code {
             Code::PressureOverRegisters => {
                 "register-pressure lower bound exceeds machine registers"
             }
+            Code::DegenerateShardStructure => {
+                "one giant weakly-connected component dominates the graph"
+            }
             Code::ZeroLatency => "zero latency for a non-communication class",
             Code::CommLatencyMismatch => "nonzero send/recv latency on a register-mapped machine",
+            Code::MissingTransferUnit => "cluster on a copy-based machine lacks a transfer unit",
             Code::OutOfWindowWrite => "pass wrote outside a feasible window",
             Code::NondeterministicPass => "pass is nondeterministic for a fixed seed",
             Code::BrokenNormalization => "pass broke preference-map normalization invariants",

@@ -266,7 +266,8 @@ pub fn lint_dag(dag: &Dag, machine: &Machine, opts: LintOptions) -> LintReport {
     report
 }
 
-/// Latency-table consistency checks (`CS050`, `CS051`).
+/// Latency-table and comm-model consistency checks (`CS050`, `CS051`,
+/// `CS052`).
 fn lint_latency_table(dag: &Dag, machine: &Machine, report: &mut LintReport) {
     let mut zero: BTreeMap<OpClass, Vec<InstrId>> = BTreeMap::new();
     for i in dag.ids() {
@@ -297,6 +298,22 @@ fn lint_latency_table(dag: &Dag, machine: &Machine, report: &mut LintReport) {
                     machine.name()
                 ),
             ));
+        }
+    } else if machine.n_clusters() > 1 {
+        // Copy-based comms occupy an issue slot, so every cluster must
+        // be able to source a transfer; the schedulers report this at
+        // comm-insertion time (`NoTransferUnit`), the linter up front.
+        for c in machine.cluster_ids() {
+            if !machine.cluster_can_execute(c, OpClass::Copy) {
+                report.push(Diagnostic::new(
+                    Code::MissingTransferUnit,
+                    vec![],
+                    format!(
+                        "cluster {c} of `{}` has no copy-capable unit; it can never source a cross-cluster transfer on a copy-based comm model",
+                        machine.name()
+                    ),
+                ));
+            }
         }
     }
 }
@@ -345,6 +362,25 @@ fn lint_pedantic(dag: &Dag, machine: &Machine, facts: &GraphFacts, report: &mut 
                 "register-pressure lower bound {pressure} exceeds the machine's {total_regs} registers; spills are inevitable"
             ),
         ));
+    }
+    // Degenerate component structure (CS040): more than one
+    // weakly-connected component, but one giant piece dominates —
+    // mirrors the decomposer's 3/4 giant threshold, where region
+    // sharding falls back to articulation cuts to make progress.
+    let components = convergent_ir::weakly_connected_components(dag);
+    if components.len() > 1 {
+        let giant = components.iter().map(Vec::len).max().unwrap_or(0);
+        if giant * 4 > dag.len() * 3 {
+            report.push(Diagnostic::new(
+                Code::DegenerateShardStructure,
+                vec![],
+                format!(
+                    "graph splits into {} weakly-connected components but the largest holds {giant} of {} instructions; region sharding cannot balance these pieces without cutting the giant component",
+                    components.len(),
+                    dag.len()
+                ),
+            ));
+        }
     }
 }
 

@@ -82,8 +82,8 @@ fn lopsided_vliw(memory: MemoryModel) -> Machine {
     Machine::new(
         "lopsided",
         vec![
-            Cluster::new(vec![FuKind::IntAluMem, FuKind::Fpu]),
-            Cluster::new(vec![FuKind::IntAluMem]),
+            Cluster::new(vec![FuKind::IntAluMem, FuKind::Fpu, FuKind::Transfer]),
+            Cluster::new(vec![FuKind::IntAluMem, FuKind::Transfer]),
         ],
         Topology::PointToPoint,
         CommModel::vliw_transfer(),
@@ -177,6 +177,55 @@ fn cs031_pressure_over_registers_is_pedantic_note() {
 }
 
 #[test]
+fn cs040_degenerate_shard_structure_is_pedantic_note() {
+    // A 12-instruction chain ending in a store (the giant component)
+    // plus a small load/load/store triangle: 2 components, the larger
+    // holding 12 of 15 instructions > 3/4.
+    let mut b = DagBuilder::new();
+    let mut prev = b.instr(Opcode::IntAlu);
+    for k in 0..11 {
+        let n = if k == 10 {
+            b.instr(Opcode::Store)
+        } else {
+            b.instr(Opcode::IntAlu)
+        };
+        b.edge(prev, n).unwrap();
+        prev = n;
+    }
+    let s0 = b.instr(Opcode::Load);
+    let s1 = b.instr(Opcode::Load);
+    let sink = b.instr(Opcode::Store);
+    b.edge(s0, sink).unwrap();
+    b.edge(s1, sink).unwrap();
+    let dag = b.build().unwrap();
+    let m = Machine::raw(4);
+    assert!(
+        lint_dag(&dag, &m, LintOptions::default()).is_empty(),
+        "default lint stays quiet"
+    );
+    let report = lint_dag(&dag, &m, LintOptions::pedantic());
+    assert_only(&report, Code::DegenerateShardStructure);
+    assert_eq!(report.diagnostics()[0].severity, Severity::Note);
+}
+
+#[test]
+fn cs040_silent_on_balanced_components_and_connected_graphs() {
+    // Two equal chains: components exist but neither dominates.
+    let mut b = DagBuilder::new();
+    for _ in 0..2 {
+        let mut prev = b.instr(Opcode::IntAlu);
+        for _ in 0..4 {
+            let n = b.instr(Opcode::IntAlu);
+            b.edge(prev, n).unwrap();
+            prev = n;
+        }
+    }
+    let dag = b.build().unwrap();
+    let report = lint_dag(&dag, &Machine::raw(4), LintOptions::pedantic());
+    assert!(report.is_empty(), "{report:?}");
+}
+
+#[test]
 fn cs050_zero_latency() {
     let mut b = DagBuilder::new();
     b.instr(Opcode::FMul);
@@ -200,6 +249,30 @@ fn cs051_comm_latency_mismatch() {
     let report = lint_dag(&dag, &m, LintOptions::default());
     assert_only(&report, Code::CommLatencyMismatch);
     assert_eq!(report.diagnostics()[0].severity, Severity::Warning);
+}
+
+#[test]
+fn cs052_missing_transfer_unit() {
+    let mut b = DagBuilder::new();
+    b.instr(Opcode::IntAlu);
+    let dag = b.build().unwrap();
+    // Copy-based comm model, but cluster 1 cannot source a transfer.
+    let m = Machine::new(
+        "no-transfer",
+        vec![
+            Cluster::new(vec![FuKind::IntAluMem, FuKind::Transfer]),
+            Cluster::new(vec![FuKind::IntAluMem]),
+        ],
+        Topology::PointToPoint,
+        CommModel::vliw_transfer(),
+        LatencyTable::r4000(),
+        MemoryModel::chorus(),
+    );
+    let report = lint_dag(&dag, &m, LintOptions::default());
+    assert_only(&report, Code::MissingTransferUnit);
+    assert_eq!(report.diagnostics()[0].severity, Severity::Error);
+    // Register-mapped machines never need transfer units.
+    assert!(lint_dag(&dag, &Machine::raw(2), LintOptions::default()).is_empty());
 }
 
 #[test]

@@ -13,6 +13,8 @@
 //! cargo run --release -p convergent-bench --bin compiletime -- \
 //!     --sizes 200,2000 --budget-secs 0.5 --no-out --max-ratio 4.0
 //! cargo run --release -p convergent-bench --bin compiletime -- --threads 8
+//! cargo run --release -p convergent-bench --bin compiletime -- \
+//!     --components 8 --shards 8 --sizes 50000
 //! ```
 //!
 //! The workload is a layered random DAG whose layer width scales with
@@ -24,6 +26,14 @@
 //! workload's shape rather than the scheduler, and puts 100k
 //! instructions out of reach of any implementation (~4·10⁹ weight
 //! cells). Real scheduling regions grow wide, not kilodeep.
+//!
+//! `--components K` switches the workload to a disjoint union of `K`
+//! layered graphs (distinct seeds, sizes split evenly), the shape the
+//! region decomposer exists for; `--shards N` then lets the driver
+//! schedule those components concurrently and stitch the results.
+//! When shard metadata is produced it lands in the JSON rows
+//! (`shard_sizes`, `boundary_comms`) and every sharded schedule is
+//! re-validated outside the timed region.
 //!
 //! Measurements run serially (never through the parallel harness) so
 //! each row gets an unloaded machine; `--threads N` exercises the
@@ -41,6 +51,7 @@
 use std::time::Instant;
 
 use convergent_core::{ConvergentScheduler, PassProfile};
+use convergent_ir::{DagBuilder, SchedulingUnit};
 use convergent_machine::Machine;
 use convergent_workloads::{layered, LayeredParams};
 
@@ -51,12 +62,60 @@ struct Row {
     ips: f64,
     reps: u32,
     profile: PassProfile,
+    shard_sizes: Option<Vec<usize>>,
+    boundary_comms: Option<usize>,
 }
 
 /// Layer width for an `n`-instruction sweep point: proportional so
 /// depth stays near 125 levels at every size (see module docs).
 fn auto_width(n: usize) -> usize {
     (n / 125).max(8)
+}
+
+/// The sweep workload at one size: a single layered DAG, or — with
+/// `--components K` — a disjoint union of `K` layered DAGs with
+/// distinct seeds and near-equal sizes, each kept at the same target
+/// depth so the union measures the decomposer and stitch rather than
+/// a change in graph shape.
+fn build_workload(
+    n: usize,
+    components: usize,
+    forced_width: Option<usize>,
+) -> (SchedulingUnit, usize) {
+    if components <= 1 {
+        let width = forced_width.unwrap_or_else(|| auto_width(n));
+        let unit = layered(
+            LayeredParams::new(n, 0xF16)
+                .with_width(width)
+                .with_preplacement(0.5, 4),
+        );
+        return (unit, width);
+    }
+    let components = components.min(n);
+    let mut b = DagBuilder::with_capacity(n);
+    let mut row_width = 0usize;
+    for c in 0..components {
+        let size = n / components + usize::from(c < n % components);
+        let width = forced_width.unwrap_or_else(|| auto_width(size));
+        row_width = row_width.max(width);
+        let unit = layered(
+            LayeredParams::new(size, 0xF16 + c as u64)
+                .with_width(width)
+                .with_preplacement(0.5, 4),
+        );
+        let dag = unit.dag();
+        let ids: Vec<_> = dag.instrs().iter().map(|i| b.push(i.clone())).collect();
+        for i in dag.ids() {
+            for &s in dag.succs(i) {
+                b.edge(ids[i.index()], ids[s.index()]).expect("fresh ids");
+            }
+        }
+    }
+    let unit = SchedulingUnit::new(
+        format!("layered-union-{components}x{n}"),
+        b.build().expect("union of DAGs is a DAG"),
+    );
+    (unit, row_width)
 }
 
 fn cpu_model() -> String {
@@ -90,6 +149,14 @@ fn main() {
         .map(|v| v.parse().expect("--threads takes a positive integer"))
         .unwrap_or(1);
     assert!(threads > 0, "--threads takes a positive integer");
+    let shards: usize = flag_val("--shards")
+        .map(|v| v.parse().expect("--shards takes a positive integer"))
+        .unwrap_or(1);
+    assert!(shards > 0, "--shards takes a positive integer");
+    let components: usize = flag_val("--components")
+        .map(|v| v.parse().expect("--components takes a positive integer"))
+        .unwrap_or(1);
+    assert!(components > 0, "--components takes a positive integer");
     let forced_width: Option<usize> =
         flag_val("--width").map(|v| v.parse().expect("--width takes a positive integer"));
     let sizes: Vec<usize> = flag_val("--sizes")
@@ -107,19 +174,18 @@ fn main() {
     );
     let mut rows: Vec<Row> = Vec::new();
     for &n in &sizes {
-        let width = forced_width.unwrap_or_else(|| auto_width(n));
-        let unit = layered(
-            LayeredParams::new(n, 0xF16)
-                .with_width(width)
-                .with_preplacement(0.5, 4),
-        );
+        let (unit, width) = build_workload(n, components, forced_width);
         let mut best = f64::INFINITY;
         let mut best_profile = PassProfile::default();
+        let mut shard_sizes = None;
+        let mut boundary_comms = None;
         let mut reps = 0u32;
         let clock = Instant::now();
         // At least one rep, then keep going until the budget is spent.
         while reps == 0 || clock.elapsed().as_secs_f64() < budget_secs {
-            let sched = ConvergentScheduler::vliw_default().with_threads(threads);
+            let sched = ConvergentScheduler::vliw_default()
+                .with_threads(threads)
+                .with_shards(shards);
             let start = Instant::now();
             let (out, profile) = sched
                 .schedule_profiled(unit.dag(), &machine)
@@ -129,11 +195,27 @@ fn main() {
             if secs < best {
                 best = secs;
                 best_profile = profile;
+                shard_sizes = out.shard_info().map(|i| i.shard_sizes.clone());
+                boundary_comms = out.shard_info().map(|i| i.boundary_comms);
+            }
+            if reps == 0 && shards > 1 {
+                // Hold sharded schedules to the referee once, outside
+                // the timed region.
+                convergent_sim::validate(unit.dag(), &machine, out.schedule())
+                    .expect("sharded schedule validates");
             }
             reps += 1;
         }
         let ips = n as f64 / best;
         println!("{n:>8}{width:>8}{best:>12.4}{ips:>16.0}{reps:>8}");
+        if let Some(sizes) = &shard_sizes {
+            println!(
+                "          sharded into {} region(s) {:?}, {} boundary comm(s)",
+                sizes.len(),
+                sizes,
+                boundary_comms.unwrap_or(0)
+            );
+        }
         if show_profile {
             println!("{}", best_profile.render_table());
         }
@@ -144,6 +226,8 @@ fn main() {
             ips,
             reps,
             profile: best_profile,
+            shard_sizes,
+            boundary_comms,
         });
     }
 
@@ -152,10 +236,19 @@ fn main() {
         let mut json = String::from("{\n  \"experiment\": \"compiletime\",\n");
         json.push_str("  \"scheduler\": \"convergent vliw_default\",\n");
         json.push_str("  \"machine\": \"chorus_vliw(4)\",\n");
-        json.push_str(&format!(
-            "  \"workload\": \"layered(seed 0xF16, width {}, preplace 0.5 over 4 banks)\",\n",
-            forced_width.map_or_else(|| "max(8, n/125)".to_string(), |w| w.to_string())
-        ));
+        let width_desc =
+            forced_width.map_or_else(|| "max(8, n/125)".to_string(), |w| w.to_string());
+        if components > 1 {
+            json.push_str(&format!(
+                "  \"workload\": \"disjoint union of {components} layered(seeds 0xF16.., width {width_desc}, preplace 0.5 over 4 banks)\",\n"
+            ));
+        } else {
+            json.push_str(&format!(
+                "  \"workload\": \"layered(seed 0xF16, width {width_desc}, preplace 0.5 over 4 banks)\",\n"
+            ));
+        }
+        json.push_str(&format!("  \"components\": {components},\n"));
+        json.push_str(&format!("  \"shards\": {shards},\n"));
         json.push_str(&format!("  \"threads\": {threads},\n"));
         json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
         json.push_str(&format!("  \"host_cpu_model\": \"{}\",\n", cpu_model()));
@@ -178,8 +271,17 @@ fn main() {
                 .map(|(name, secs, _)| format!("\"{name}\": {secs:.6}"))
                 .collect();
             json.push_str(&spans.join(", "));
+            json.push('}');
+            if let Some(sizes) = &row.shard_sizes {
+                let sizes: Vec<String> = sizes.iter().map(ToString::to_string).collect();
+                json.push_str(&format!(
+                    ", \"shard_sizes\": [{}], \"boundary_comms\": {}",
+                    sizes.join(", "),
+                    row.boundary_comms.unwrap_or(0)
+                ));
+            }
             json.push_str(&format!(
-                "}}}}{}\n",
+                "}}{}\n",
                 if k + 1 < rows.len() { "," } else { "" }
             ));
         }

@@ -10,8 +10,8 @@
 use convergent_ir::SchedulingUnit;
 use convergent_machine::Machine;
 use convergent_workloads::{
-    deep_chain, fully_preplaced, layered, op_class_desert, parallel_chains, series_parallel,
-    wide_fanin, LayeredParams,
+    deep_chain, disconnected, fully_preplaced, layered, op_class_desert, parallel_chains,
+    series_parallel, wide_fanin, LayeredParams,
 };
 
 /// Machine presets swept by the fuzzer: every Raw tile count the
@@ -32,6 +32,7 @@ pub const FAMILIES: &[&str] = &[
     "wide-fanin",
     "fully-preplaced",
     "op-class-desert",
+    "disconnected",
 ];
 
 /// Builds a machine from a `rawN`/`vliwN` preset spec.
@@ -80,6 +81,9 @@ pub fn build_unit(family: &str, size: usize, banks: u16, seed: u64) -> Schedulin
         "wide-fanin" => wide_fanin(size, banks, seed),
         "fully-preplaced" => fully_preplaced(size, banks, seed),
         "op-class-desert" => op_class_desert(size, seed),
+        // Component count rides the seed so the sweep covers both
+        // near-connected and dust-heavy shapes.
+        "disconnected" => disconnected(2 + (seed % 7) as usize, size, seed),
         other => unreachable!("unknown family {other}"),
     }
 }

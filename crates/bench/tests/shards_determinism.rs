@@ -1,0 +1,112 @@
+//! The `--shards` contract, end to end, over every builtin workload:
+//!
+//! * `--shards 1` is always the monolithic driver — byte-identical
+//!   schedules, no shard metadata.
+//! * On single-component graphs the decomposer refuses to cut, so any
+//!   shard budget stays byte-identical too.
+//! * On multi-component graphs the sharded pipeline must produce a
+//!   schedule the shared referee accepts ([`convergent_sim::validate`]
+//!   plus the cycle-level oracle cross-check), with shard metadata
+//!   that accounts for every instruction, and a makespan within a
+//!   pinned factor of the monolithic schedule (shards stack pieces in
+//!   time rather than interleaving them; 3x holds with wide margin on
+//!   every builtin workload, keeping the stitch honest without pinning
+//!   exact cycle counts).
+
+use convergent_core::ConvergentScheduler;
+use convergent_ir::weakly_connected_components;
+use convergent_machine::Machine;
+use convergent_sim::{cross_check, validate};
+use convergent_workloads::{raw_suite, vliw_suite};
+
+const MAKESPAN_RATIO_LIMIT: f64 = 3.0;
+
+fn check_suite(machine: &Machine, units: Vec<convergent_ir::SchedulingUnit>) {
+    for unit in units {
+        let dag = unit.dag();
+        let connected = weakly_connected_components(dag).len() == 1;
+        let reference = ConvergentScheduler::vliw_default()
+            .schedule(dag, machine)
+            .unwrap_or_else(|e| panic!("{}: {e}", unit.name()));
+        for shards in [1usize, 2, 8] {
+            let sharded = ConvergentScheduler::vliw_default()
+                .with_shards(shards)
+                .schedule(dag, machine)
+                .unwrap_or_else(|e| panic!("{} shards={shards}: {e}", unit.name()));
+            if shards == 1 || connected {
+                assert_eq!(
+                    reference.schedule(),
+                    sharded.schedule(),
+                    "{} diverged at shards={shards}",
+                    unit.name()
+                );
+                assert!(sharded.shard_info().is_none());
+                continue;
+            }
+            // Multi-component: equivalent quality, proven by the
+            // shared referee rather than byte equality.
+            validate(dag, machine, sharded.schedule())
+                .unwrap_or_else(|e| panic!("{} shards={shards}: {e}", unit.name()));
+            cross_check(dag, machine, sharded.schedule())
+                .unwrap_or_else(|d| panic!("{} shards={shards} cross-check: {d}", unit.name()))
+                .unwrap_or_else(|e| panic!("{} shards={shards} oracle sim: {e}", unit.name()));
+            let info = sharded
+                .shard_info()
+                .expect("multi-component graph decomposes");
+            assert_eq!(
+                info.shard_sizes.iter().sum::<usize>(),
+                dag.len(),
+                "{} shards={shards}",
+                unit.name()
+            );
+            let ratio = f64::from(sharded.schedule().makespan().get())
+                / f64::from(reference.schedule().makespan().get().max(1));
+            assert!(
+                ratio <= MAKESPAN_RATIO_LIMIT,
+                "{} shards={shards}: sharded makespan {} vs monolithic {} (ratio {ratio:.2})",
+                unit.name(),
+                sharded.schedule().makespan(),
+                reference.schedule().makespan()
+            );
+        }
+    }
+}
+
+#[test]
+fn vliw_suite_honors_the_shards_contract() {
+    let machine = Machine::chorus_vliw(4);
+    check_suite(&machine, vliw_suite(4));
+}
+
+#[test]
+fn raw_suite_honors_the_shards_contract() {
+    let machine = Machine::raw(4);
+    check_suite(&machine, raw_suite(4));
+}
+
+#[test]
+fn disconnected_workloads_shard_and_validate() {
+    // The adversarial `disconnected` family is the shard scheduler's
+    // home turf: every unit splits, so the stitch path and boundary
+    // bookkeeping run on every case.
+    for machine in [Machine::raw(4), Machine::chorus_vliw(4)] {
+        for (k, n, seed) in [(2, 30, 1), (5, 64, 7), (8, 100, 21)] {
+            let unit = convergent_workloads::disconnected(k, n, seed);
+            let dag = unit.dag();
+            for shards in [2usize, 4, 16] {
+                let out = ConvergentScheduler::vliw_default()
+                    .with_shards(shards)
+                    .schedule(dag, &machine)
+                    .unwrap_or_else(|e| panic!("{} shards={shards}: {e}", unit.name()));
+                validate(dag, &machine, out.schedule())
+                    .unwrap_or_else(|e| panic!("{} shards={shards}: {e}", unit.name()));
+                cross_check(dag, &machine, out.schedule())
+                    .unwrap_or_else(|d| panic!("{} shards={shards} cross-check: {d}", unit.name()))
+                    .unwrap_or_else(|e| panic!("{} shards={shards} oracle sim: {e}", unit.name()));
+                let info = out.shard_info().expect("disconnected units decompose");
+                assert_eq!(info.shard_sizes.iter().sum::<usize>(), dag.len());
+                assert!(info.shard_sizes.len() <= shards.min(k));
+            }
+        }
+    }
+}

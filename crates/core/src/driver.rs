@@ -14,10 +14,10 @@
 
 use std::time::Instant;
 
-use convergent_ir::{ClusterId, Dag, DistanceOracle, TimeAnalysis};
+use convergent_ir::{decompose, ClusterId, Dag, DistanceOracle, Shard, TimeAnalysis};
 use convergent_machine::Machine;
 use convergent_schedulers::{ListScheduler, ScheduleError, Scheduler};
-use convergent_sim::{Assignment, SpaceTimeSchedule};
+use convergent_sim::{stitch, Assignment, SpaceTimeSchedule};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -84,6 +84,17 @@ impl AssignOutcome {
     }
 }
 
+/// How a sharded run split the graph and reassembled the schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// Instructions per shard, in shard order.
+    pub shard_sizes: Vec<usize>,
+    /// Cycle offset the stitch phase applied to each shard.
+    pub offsets: Vec<u32>,
+    /// Cross-shard transfers inserted by the boundary COMM fix-up.
+    pub boundary_comms: usize,
+}
+
 /// Result of a full schedule: assignment, priorities, and the final
 /// space-time schedule.
 #[derive(Clone, Debug)]
@@ -91,6 +102,7 @@ pub struct ScheduleOutcome {
     schedule: SpaceTimeSchedule,
     assignment: Assignment,
     trace: ConvergenceTrace,
+    shard_info: Option<ShardInfo>,
 }
 
 impl ScheduleOutcome {
@@ -110,6 +122,13 @@ impl ScheduleOutcome {
     #[must_use]
     pub fn trace(&self) -> &ConvergenceTrace {
         &self.trace
+    }
+
+    /// Shard metadata when the run actually split the graph (`None`
+    /// for monolithic runs and for sharded runs of connected graphs).
+    #[must_use]
+    pub fn shard_info(&self) -> Option<&ShardInfo> {
+        self.shard_info.as_ref()
     }
 
     /// Extracts the schedule, discarding the rest.
@@ -148,6 +167,7 @@ pub struct ConvergentScheduler {
     use_time_priorities: bool,
     reference_map: bool,
     threads: usize,
+    shards: usize,
 }
 
 impl ConvergentScheduler {
@@ -160,6 +180,7 @@ impl ConvergentScheduler {
             use_time_priorities: true,
             reference_map: false,
             threads: 1,
+            shards: 1,
         }
     }
 
@@ -238,6 +259,29 @@ impl ConvergentScheduler {
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "threads must be at least 1");
         self.threads = threads;
+        self
+    }
+
+    /// Sets the shard budget for region-sharded scheduling.
+    ///
+    /// With `shards > 1`, [`ConvergentScheduler::schedule`] first
+    /// decomposes the graph ([`convergent_ir::decompose`]) into at most
+    /// that many weakly-connected region shards, runs the full pass
+    /// pipeline plus list scheduling on every shard concurrently, and
+    /// stitches the per-shard schedules back together with a boundary
+    /// COMM fix-up ([`convergent_sim::stitch`]). Connected graphs are
+    /// never split, so their schedules are byte-identical to the
+    /// monolithic driver at any shard count. Composes with
+    /// [`ConvergentScheduler::with_threads`]: each shard still applies
+    /// its row kernels across the configured thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "shards must be at least 1");
+        self.shards = shards;
         self
     }
 
@@ -405,18 +449,30 @@ impl ConvergentScheduler {
 
     /// Runs the passes and list-schedules the result.
     ///
+    /// With a shard budget above one
+    /// ([`ConvergentScheduler::with_shards`]) and a graph that actually
+    /// decomposes, the pipeline runs per shard concurrently and the
+    /// per-shard schedules are stitched with a boundary COMM fix-up;
+    /// otherwise this is the monolithic driver.
+    ///
     /// # Errors
     ///
     /// Same as [`ConvergentScheduler::assign`], plus any
-    /// [`ScheduleError`] from the list scheduler.
+    /// [`ScheduleError`] from the list scheduler; sharded runs report
+    /// stitch failures as [`ScheduleError::ProducedInvalid`].
     pub fn schedule(&self, dag: &Dag, machine: &Machine) -> Result<ScheduleOutcome, ScheduleError> {
+        if let Some(out) = self.try_schedule_sharded(dag, machine, None)? {
+            return Ok(out);
+        }
         let outcome = self.assign(dag, machine)?;
         self.listsched(dag, machine, outcome)
     }
 
     /// Like [`ConvergentScheduler::schedule`], also collecting a
     /// per-pass wall-clock [`PassProfile`] (the final list-scheduling
-    /// step appears as the `"<listsched>"` span).
+    /// step appears as the `"<listsched>"` span; sharded runs add
+    /// `"<decompose>"`, `"<stitch>"`, and per-shard spans under a
+    /// `shard{k}/` prefix).
     ///
     /// # Errors
     ///
@@ -426,11 +482,142 @@ impl ConvergentScheduler {
         dag: &Dag,
         machine: &Machine,
     ) -> Result<(ScheduleOutcome, PassProfile), ScheduleError> {
-        let (outcome, mut profile) = self.assign_profiled(dag, machine)?;
+        let mut profile = PassProfile::default();
+        if let Some(out) = self.try_schedule_sharded(dag, machine, Some(&mut profile))? {
+            return Ok((out, profile));
+        }
+        let outcome = self.assign_impl(dag, machine, |_, _, _| {}, Some(&mut profile))?;
         let t0 = Instant::now();
         let out = self.listsched(dag, machine, outcome)?;
         profile.record("<listsched>", t0.elapsed().as_secs_f64());
         Ok((out, profile))
+    }
+
+    /// The sharded scheduling path. Returns `Ok(None)` when sharding
+    /// does not apply — shard budget of one, or a graph the decomposer
+    /// refuses to split (single weakly-connected component) — in which
+    /// case the caller must run the monolithic path, keeping those runs
+    /// byte-identical to an unsharded driver.
+    fn try_schedule_sharded(
+        &self,
+        dag: &Dag,
+        machine: &Machine,
+        mut profile: Option<&mut PassProfile>,
+    ) -> Result<Option<ScheduleOutcome>, ScheduleError> {
+        if self.shards <= 1 {
+            return Ok(None);
+        }
+        convergent_schedulers::check_inputs(dag, machine)?;
+        let t0 = Instant::now();
+        let dec = decompose(dag, self.shards);
+        if let Some(p) = profile.as_deref_mut() {
+            p.record("<decompose>", t0.elapsed().as_secs_f64());
+        }
+        if dec.is_trivial() {
+            return Ok(None);
+        }
+        let shards = dec.shards();
+        let collect_profiles = profile.is_some();
+
+        // Full pipeline (passes + list scheduling) per shard, run
+        // concurrently; each shard still applies row kernels across
+        // `self.threads`. Workers are capped at the host's parallelism:
+        // oversubscribing (one thread per shard regardless of cores)
+        // thrashes caches badly enough to erase the whole win on small
+        // hosts. Results land in per-shard slots, so scheduling order
+        // never affects output, and errors surface in shard order.
+        type ShardResult = Result<(ScheduleOutcome, Option<PassProfile>), ScheduleError>;
+        let run_one = |shard: &Shard| -> ShardResult {
+            if collect_profiles {
+                let mut p = PassProfile::default();
+                let outcome = self.assign_impl(shard.dag(), machine, |_, _, _| {}, Some(&mut p))?;
+                let t0 = Instant::now();
+                let out = self.listsched(shard.dag(), machine, outcome)?;
+                p.record("<listsched>", t0.elapsed().as_secs_f64());
+                Ok((out, Some(p)))
+            } else {
+                let outcome = self.assign_impl(shard.dag(), machine, |_, _, _| {}, None)?;
+                Ok((self.listsched(shard.dag(), machine, outcome)?, None))
+            }
+        };
+        let workers = std::thread::available_parallelism()
+            .map_or(1, usize::from)
+            .min(shards.len());
+        let results: Vec<ShardResult> = if workers <= 1 {
+            shards.iter().map(run_one).collect()
+        } else {
+            let slots: Vec<std::sync::Mutex<Option<ShardResult>>> =
+                shards.iter().map(|_| std::sync::Mutex::new(None)).collect();
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(shard) = shards.get(k) else { break };
+                        let res = run_one(shard);
+                        *slots[k].lock().expect("no panics hold the slot lock") = Some(res);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("no panics hold the slot lock")
+                        .expect("every shard index was claimed exactly once")
+                })
+                .collect()
+        };
+
+        let mut parts = Vec::with_capacity(shards.len());
+        let mut traces = Vec::with_capacity(shards.len());
+        for (k, res) in results.into_iter().enumerate() {
+            let (out, shard_profile) = res?;
+            if let (Some(p), Some(sp)) = (profile.as_deref_mut(), shard_profile.as_ref()) {
+                p.absorb_prefixed(&format!("shard{k}/"), sp);
+            }
+            traces.push(out.trace().clone());
+            parts.push(out.into_schedule());
+        }
+
+        let t0 = Instant::now();
+        let report = stitch(dag, machine, &dec, &parts)
+            .map_err(|e| ScheduleError::ProducedInvalid(format!("stitch failed: {e}")))?;
+        if let Some(p) = profile {
+            p.record("<stitch>", t0.elapsed().as_secs_f64());
+        }
+
+        // Aggregate the per-shard convergence traces, weighted by shard
+        // size, so the merged trace still reads like one run of the
+        // sequence.
+        let total = dag.len() as f64;
+        let mut records: Vec<PassRecord> = Vec::new();
+        for (k, trace) in traces.iter().enumerate() {
+            let w = shards[k].len() as f64 / total;
+            for (j, r) in trace.records().iter().enumerate() {
+                if records.len() <= j {
+                    records.push(PassRecord {
+                        name: r.name,
+                        changed_fraction: 0.0,
+                        time_only: r.time_only,
+                    });
+                }
+                records[j].changed_fraction += w * r.changed_fraction;
+            }
+        }
+
+        let shard_info = ShardInfo {
+            shard_sizes: shards.iter().map(convergent_ir::Shard::len).collect(),
+            offsets: report.offsets,
+            boundary_comms: report.boundary_comms,
+        };
+        let assignment = report.schedule.assignment();
+        Ok(Some(ScheduleOutcome {
+            schedule: report.schedule,
+            assignment,
+            trace: ConvergenceTrace { records },
+            shard_info: Some(shard_info),
+        }))
     }
 
     fn listsched(
@@ -448,6 +635,7 @@ impl ConvergentScheduler {
             schedule,
             assignment: outcome.assignment,
             trace: outcome.trace,
+            shard_info: None,
         })
     }
 }
@@ -678,5 +866,130 @@ mod tests {
         let m = Machine::raw(4);
         let schedule = Scheduler::schedule(&s, &dag, &m).unwrap();
         validate(&dag, &m, &schedule).unwrap();
+    }
+
+    /// Two independent reduction trees plus a loose chain: three
+    /// weakly-connected components, no preplacement.
+    fn multi_component_dag() -> Dag {
+        let mut b = DagBuilder::new();
+        for _ in 0..2 {
+            let mut muls = Vec::new();
+            for _ in 0..4 {
+                let ld = b.instr(Opcode::Load);
+                let mu = b.instr(Opcode::FMul);
+                b.edge(ld, mu).unwrap();
+                muls.push(mu);
+            }
+            let a1 = b.instr(Opcode::FAdd);
+            let a2 = b.instr(Opcode::FAdd);
+            let a3 = b.instr(Opcode::FAdd);
+            b.edge(muls[0], a1).unwrap();
+            b.edge(muls[1], a1).unwrap();
+            b.edge(muls[2], a2).unwrap();
+            b.edge(muls[3], a2).unwrap();
+            b.edge(a1, a3).unwrap();
+            b.edge(a2, a3).unwrap();
+        }
+        let mut prev = b.instr(Opcode::IntAlu);
+        for _ in 0..5 {
+            let n = b.instr(Opcode::IntAlu);
+            b.edge(prev, n).unwrap();
+            prev = n;
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sharding_is_identity_on_connected_graphs() {
+        // A single weakly-connected component is never cut, so ANY
+        // shard budget must produce the byte-identical schedule.
+        let dag = star_with_preplacement();
+        for m in [Machine::raw(4), Machine::chorus_vliw(4)] {
+            let plain = ConvergentScheduler::raw_default()
+                .schedule(&dag, &m)
+                .unwrap();
+            for shards in [1, 2, 8] {
+                let out = ConvergentScheduler::raw_default()
+                    .with_shards(shards)
+                    .schedule(&dag, &m)
+                    .unwrap();
+                assert_eq!(plain.schedule(), out.schedule(), "shards={shards}");
+                assert_eq!(plain.assignment(), out.assignment());
+                assert_eq!(plain.trace(), out.trace());
+                assert!(out.shard_info().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_multi_component_schedule_validates() {
+        let dag = multi_component_dag();
+        for m in [Machine::raw(4), Machine::chorus_vliw(4)] {
+            for shards in [2, 3, 8] {
+                let out = ConvergentScheduler::vliw_default()
+                    .with_shards(shards)
+                    .schedule(&dag, &m)
+                    .unwrap();
+                validate(&dag, &m, out.schedule()).unwrap();
+                let info = out.shard_info().expect("graph decomposes");
+                assert!(info.shard_sizes.len() >= 2);
+                assert_eq!(info.shard_sizes.iter().sum::<usize>(), dag.len());
+                assert_eq!(info.offsets.len(), info.shard_sizes.len());
+                assert_eq!(info.offsets[0], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_trace_is_size_weighted_merge() {
+        let dag = multi_component_dag();
+        let m = Machine::chorus_vliw(4);
+        let out = ConvergentScheduler::vliw_default()
+            .with_shards(3)
+            .schedule(&dag, &m)
+            .unwrap();
+        assert_eq!(out.trace().records().len(), Sequence::vliw().len());
+        for r in out.trace().records() {
+            assert!((0.0..=1.0).contains(&r.changed_fraction), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_profile_reports_shard_and_stitch_spans() {
+        let dag = multi_component_dag();
+        let m = Machine::chorus_vliw(4);
+        let (out, profile) = ConvergentScheduler::vliw_default()
+            .with_shards(3)
+            .schedule_profiled(&dag, &m)
+            .unwrap();
+        assert!(out.shard_info().is_some());
+        let names: Vec<_> = profile.spans().map(|(n, _, _)| n).collect();
+        assert_eq!(names.first(), Some(&"<decompose>"));
+        assert_eq!(names.last(), Some(&"<stitch>"));
+        assert!(names.iter().any(|n| n.starts_with("shard0/")));
+        assert!(names.contains(&"shard0/<listsched>"));
+        // Plain and profiled sharded runs agree.
+        let plain = ConvergentScheduler::vliw_default()
+            .with_shards(3)
+            .schedule(&dag, &m)
+            .unwrap();
+        assert_eq!(plain.schedule(), out.schedule());
+    }
+
+    #[test]
+    fn sharding_composes_with_threads() {
+        let dag = multi_component_dag();
+        let m = Machine::raw(4);
+        let one = ConvergentScheduler::raw_default()
+            .with_shards(4)
+            .schedule(&dag, &m)
+            .unwrap();
+        let four = ConvergentScheduler::raw_default()
+            .with_shards(4)
+            .with_threads(4)
+            .schedule(&dag, &m)
+            .unwrap();
+        assert_eq!(one.schedule(), four.schedule());
+        assert_eq!(one.assignment(), four.assignment());
     }
 }

@@ -216,6 +216,34 @@ mod tests {
     }
 
     #[test]
+    fn two_component_graph_boosts_only_the_critical_component() {
+        // A long FMul chain (the global critical path) next to a short
+        // IntAlu chain in a separate weakly-connected component. PATH
+        // must handle the disconnected component without leaking
+        // sentinels: the off-path component's weights stay untouched.
+        let mut b = DagBuilder::new();
+        let m1 = b.instr(Opcode::FMul);
+        let m2 = b.instr(Opcode::FMul);
+        b.edge(m1, m2).unwrap();
+        let a1 = b.instr(Opcode::IntAlu);
+        let a2 = b.instr(Opcode::IntAlu);
+        b.edge(a1, a2).unwrap();
+        let dag = b.build().unwrap();
+        let mut rig = Rig::new(dag, Machine::chorus_vliw(2));
+        rig.run(&Path::new());
+        rig.weights.assert_invariants(1e-9);
+        for i in [m1, m2] {
+            assert!(rig.weights.confidence(i) > 1.0, "{i} is on the CP");
+        }
+        for i in [a1, a2] {
+            assert!(
+                (rig.weights.confidence(i) - 1.0).abs() < 1e-9,
+                "{i} is off the CP"
+            );
+        }
+    }
+
+    #[test]
     fn off_path_instructions_untouched() {
         let mut b = DagBuilder::new();
         let x = b.instr(Opcode::FMul); // critical (7 cycles)

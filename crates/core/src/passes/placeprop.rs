@@ -223,4 +223,35 @@ mod tests {
         rig.run(&PlaceProp::new());
         assert!((rig.weights.confidence(x) - 1.0).abs() < 1e-9);
     }
+
+    #[test]
+    fn unreachable_component_gets_finite_worst_divisor() {
+        // Two weakly-connected components; only one contains a
+        // preplaced instruction. Instructions in the other component
+        // are UNREACHABLE from every anchor — the distance field's
+        // sentinel must degrade to the finite worst-case divisor, not
+        // leak u32::MAX into the weights.
+        let mut bld = DagBuilder::new();
+        let ld = bld.preplaced_instr(Opcode::Load, c(0));
+        let a = bld.instr(Opcode::IntAlu);
+        bld.edge(ld, a).unwrap();
+        let x = bld.instr(Opcode::IntAlu);
+        let y = bld.instr(Opcode::IntAlu);
+        bld.edge(x, y).unwrap();
+        let dag = bld.build().unwrap();
+        let mut rig = Rig::new(dag, Machine::raw(2));
+        rig.run(&PlaceProp::new());
+        rig.weights.assert_invariants(1e-9);
+        for i in [x, y] {
+            for k in 0..2 {
+                let w = rig.weights.cluster_weight(i, c(k));
+                assert!(w.is_finite() && w > 0.0, "{i} c{k}: {w}");
+            }
+            // Both clusters use the same worst-case divisor in the
+            // island component, so neither is preferred.
+            assert!((rig.weights.confidence(i) - 1.0).abs() < 1e-9, "{i}");
+        }
+        // The anchored component still converges on the home cluster.
+        assert_eq!(rig.weights.preferred_cluster(a), c(0));
+    }
 }

@@ -3,31 +3,47 @@
 //! [`PassProfile`] aggregates `Instant` spans by span name; the driver
 //! records one span per pass plus the synthetic `"<init>"` (analysis +
 //! map construction), `"<readoff>"` (decision extraction), and
-//! `"<listsched>"` (final list scheduling) spans. Passes that appear
-//! more than once in a sequence (e.g. PATHPROP) accumulate into a
-//! single entry. The profile is only collected on the `*_profiled`
-//! driver entry points, so the normal scheduling path pays nothing.
+//! `"<listsched>"` (final list scheduling) spans. The sharded driver
+//! additionally records `"<decompose>"` / `"<stitch>"` and merges each
+//! shard's spans under a `shard{k}/` prefix. Passes that appear more
+//! than once in a sequence (e.g. PATHPROP) accumulate into a single
+//! entry. The profile is only collected on the `*_profiled` driver
+//! entry points, so the normal scheduling path pays nothing.
+
+use std::borrow::Cow;
 
 /// Aggregated per-pass wall-clock spans, in first-seen order.
 #[derive(Clone, Debug, Default)]
 pub struct PassProfile {
-    spans: Vec<(&'static str, f64, u32)>,
+    spans: Vec<(Cow<'static, str>, f64, u32)>,
 }
 
 impl PassProfile {
     /// Adds `secs` to the span named `name` (created on first use).
-    pub(crate) fn record(&mut self, name: &'static str, secs: f64) {
+    pub(crate) fn record(&mut self, name: impl Into<Cow<'static, str>>, secs: f64) {
+        self.bump(name.into(), secs, 1);
+    }
+
+    /// Folds another profile into this one, prefixing every span name —
+    /// how per-shard profiles appear in the merged profile.
+    pub(crate) fn absorb_prefixed(&mut self, prefix: &str, other: &PassProfile) {
+        for (name, secs, hits) in &other.spans {
+            self.bump(Cow::Owned(format!("{prefix}{name}")), *secs, *hits);
+        }
+    }
+
+    fn bump(&mut self, name: Cow<'static, str>, secs: f64, hits: u32) {
         if let Some(entry) = self.spans.iter_mut().find(|(n, _, _)| *n == name) {
             entry.1 += secs;
-            entry.2 += 1;
+            entry.2 += hits;
         } else {
-            self.spans.push((name, secs, 1));
+            self.spans.push((name, secs, hits));
         }
     }
 
     /// `(name, total_seconds, hits)` per span, in first-seen order.
-    pub fn spans(&self) -> impl Iterator<Item = (&'static str, f64, u32)> + '_ {
-        self.spans.iter().copied()
+    pub fn spans(&self) -> impl Iterator<Item = (&str, f64, u32)> + '_ {
+        self.spans.iter().map(|(n, s, h)| (n.as_ref(), *s, *h))
     }
 
     /// Total wall-clock seconds across all spans.
@@ -83,5 +99,25 @@ mod tests {
         let table = p.render_table();
         assert!(table.contains("PATHPROP"));
         assert!(table.contains("total"));
+    }
+
+    #[test]
+    fn absorb_prefixed_merges_shard_profiles() {
+        let mut shard = PassProfile::default();
+        shard.record("PATH", 0.5);
+        shard.record("<listsched>", 0.25);
+        let mut p = PassProfile::default();
+        p.record("<decompose>", 0.1);
+        p.absorb_prefixed("shard0/", &shard);
+        p.absorb_prefixed("shard0/", &shard);
+        let spans: Vec<_> = p.spans().collect();
+        assert_eq!(
+            spans,
+            vec![
+                ("<decompose>", 0.1, 1),
+                ("shard0/PATH", 1.0, 2),
+                ("shard0/<listsched>", 0.5, 2)
+            ]
+        );
     }
 }

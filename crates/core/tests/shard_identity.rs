@@ -1,0 +1,89 @@
+//! Property test for the region-sharding identity guarantee: on a
+//! graph with a single weakly-connected component the decomposer
+//! refuses to cut, so `--shards N` must produce the bit-identical
+//! schedule for every `N`. The generator builds random *connected*
+//! DAGs (a chain backbone plus random extra forward edges, with a
+//! random sprinkle of preplacement on the machine's banks) and drives
+//! them through both machine families.
+
+use convergent_core::ConvergentScheduler;
+use convergent_ir::{ClusterId, DagBuilder, Instruction, Opcode};
+use convergent_machine::Machine;
+use proptest::prelude::*;
+
+const CASES: u32 = if cfg!(miri) { 4 } else { 48 };
+const MAX_LEN: usize = 40;
+
+/// Builds a connected DAG from fixed-size random material: the first
+/// `n` opcodes form a chain backbone, and each `(a, z)` pair (taken
+/// modulo `n`) adds a forward edge.
+fn build(
+    n: usize,
+    opcodes: &[u8],
+    pins: &[u8],
+    extra_edges: &[(usize, usize)],
+    n_banks: u16,
+) -> convergent_ir::Dag {
+    let mut b = DagBuilder::with_capacity(n);
+    let mut ids = Vec::with_capacity(n);
+    for k in 0..n {
+        let opcode = match opcodes[k] {
+            0 => Opcode::Load,
+            1 => Opcode::FMul,
+            2 => Opcode::Store,
+            _ => Opcode::IntAlu,
+        };
+        let instr = if pins[k] < 15 && matches!(opcode, Opcode::Load | Opcode::Store) {
+            Instruction::preplaced(opcode, ClusterId::new(k as u16 % n_banks))
+        } else {
+            Instruction::new(opcode)
+        };
+        let id = b.push(instr);
+        if k > 0 {
+            b.edge(ids[k - 1], id).expect("fresh ids");
+        }
+        ids.push(id);
+    }
+    for &(a, z) in extra_edges {
+        let (a, z) = (a % n, z % n);
+        let (a, z) = (a.min(z), a.max(z));
+        if a != z {
+            let _ = b.edge_dedup(ids[a], ids[z]);
+        }
+    }
+    b.build().expect("edges point forward")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    #[test]
+    fn sharded_equals_unsharded_on_connected_graphs(
+        n in 2usize..MAX_LEN,
+        opcodes in proptest::collection::vec(0..4u8, MAX_LEN),
+        pins in proptest::collection::vec(0..100u8, MAX_LEN),
+        extra_edges in proptest::collection::vec((0usize..MAX_LEN, 0usize..MAX_LEN), 0..MAX_LEN),
+    ) {
+        for machine in [Machine::raw(4), Machine::chorus_vliw(4)] {
+            let dag = build(n, &opcodes, &pins, &extra_edges, machine.n_clusters() as u16);
+            prop_assert_eq!(
+                convergent_ir::weakly_connected_components(&dag).len(),
+                1,
+                "generator must produce connected graphs"
+            );
+            let reference = ConvergentScheduler::vliw_default()
+                .schedule(&dag, &machine)
+                .unwrap();
+            for shards in [1usize, 2, 8] {
+                let sharded = ConvergentScheduler::vliw_default()
+                    .with_shards(shards)
+                    .schedule(&dag, &machine)
+                    .unwrap();
+                prop_assert_eq!(reference.schedule(), sharded.schedule(),
+                    "shards={} on {}", shards, machine.name());
+                prop_assert_eq!(reference.assignment(), sharded.assignment());
+                prop_assert!(sharded.shard_info().is_none());
+            }
+        }
+    }
+}

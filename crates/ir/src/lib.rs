@@ -41,6 +41,7 @@ mod error;
 mod graph;
 mod id;
 mod instr;
+mod partition;
 mod program;
 mod shape;
 mod text;
@@ -53,6 +54,7 @@ pub use error::IrError;
 pub use graph::{Dag, DagBuilder, Edge};
 pub use id::{ClusterId, Cycle, InstrId};
 pub use instr::{Instruction, OpClass, Opcode};
+pub use partition::{decompose, weakly_connected_components, Decomposition, Shard};
 pub use program::{CrossValue, Program, ProgramError};
 pub use shape::ShapeStats;
 pub use text::{parse_raw, parse_unit, to_text, RawUnit, TextError};

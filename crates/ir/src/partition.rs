@@ -1,0 +1,676 @@
+//! Region decomposition for sharded scheduling.
+//!
+//! Convergent scheduling's passes are independent *across* weakly-
+//! connected regions of a scheduling unit: no preference, dependence, or
+//! placement information flows between instructions that share no path.
+//! This module splits a [`Dag`] into such regions — falling back to an
+//! articulation-bounded cut when one component dominates — so the driver
+//! can run the full pass pipeline on every shard concurrently and stitch
+//! the per-shard schedules back together (`convergent-sim`'s `stitch`).
+//!
+//! Two invariants matter to the callers:
+//!
+//! * **Single-component graphs are never cut.** Sharding such a graph at
+//!   any shard count returns one shard that is the input graph itself,
+//!   which is what lets the driver promise byte-identical schedules for
+//!   `--shards N` on connected inputs.
+//! * **Cross-shard edges always point from an earlier shard to a later
+//!   one.** The shard list is a topological order of the shard quotient
+//!   graph, so the stitch phase can commit shards left to right and only
+//!   ever look backwards for producers.
+
+use std::collections::HashMap;
+
+use crate::{Dag, DagBuilder, Edge, InstrId};
+
+/// One shard of a decomposed graph: an induced sub-DAG plus the mapping
+/// from its dense local ids back to the original graph.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    dag: Dag,
+    to_global: Vec<InstrId>,
+}
+
+impl Shard {
+    /// The induced sub-DAG. Local ids are dense and id-ordered: local
+    /// `k` is the `k`-th smallest global id in the shard.
+    #[must_use]
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// Global ids in local-id order.
+    #[must_use]
+    pub fn to_global(&self) -> &[InstrId] {
+        &self.to_global
+    }
+
+    /// Maps a local instruction id back to the original graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range for this shard.
+    #[must_use]
+    pub fn global_id(&self, local: InstrId) -> InstrId {
+        self.to_global[local.index()]
+    }
+
+    /// Number of instructions in this shard.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.to_global.len()
+    }
+
+    /// Always `false`: shards are built from nonempty id sets.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.to_global.is_empty()
+    }
+}
+
+/// A complete decomposition of a graph into shards.
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    shards: Vec<Shard>,
+    shard_of: Vec<usize>,
+    local_of: Vec<InstrId>,
+    cross_edges: Vec<Edge>,
+}
+
+impl Decomposition {
+    /// The shards, in stitch (topological) order.
+    #[must_use]
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Index of the shard containing global instruction `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range for the decomposed graph.
+    #[must_use]
+    pub fn shard_of(&self, i: InstrId) -> usize {
+        self.shard_of[i.index()]
+    }
+
+    /// Local id of global instruction `i` within its shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range for the decomposed graph.
+    #[must_use]
+    pub fn local_id(&self, i: InstrId) -> InstrId {
+        self.local_of[i.index()]
+    }
+
+    /// Edges (in global ids) whose endpoints live in different shards.
+    /// The source's shard index is always strictly smaller than the
+    /// destination's.
+    #[must_use]
+    pub fn cross_edges(&self) -> &[Edge] {
+        &self.cross_edges
+    }
+
+    /// `true` if the graph was not split (one shard = the whole graph).
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.shards.len() == 1
+    }
+}
+
+/// Returns the weakly-connected components of `dag`.
+///
+/// Each component's ids are sorted ascending; components are ordered by
+/// their smallest id. The union of the components is exactly the id set
+/// of the graph.
+#[must_use]
+pub fn weakly_connected_components(dag: &Dag) -> Vec<Vec<InstrId>> {
+    let n = dag.len();
+    let mut comp = vec![usize::MAX; n];
+    let mut components: Vec<Vec<InstrId>> = Vec::new();
+    let mut stack = Vec::new();
+    for start in dag.ids() {
+        if comp[start.index()] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = Vec::new();
+        comp[start.index()] = id;
+        stack.push(start);
+        while let Some(i) = stack.pop() {
+            members.push(i);
+            for nb in dag.neighbors(i) {
+                if comp[nb.index()] == usize::MAX {
+                    comp[nb.index()] = id;
+                    stack.push(nb);
+                }
+            }
+        }
+        members.sort_unstable();
+        components.push(members);
+    }
+    // Seeding in id order already yields components ordered by their
+    // minimum id; keep the invariant explicit regardless.
+    components.sort_by_key(|c| c[0]);
+    components
+}
+
+/// How dominant the largest component must be (as a fraction of the
+/// graph) before [`decompose`] attempts an articulation cut on it.
+const GIANT_FRACTION_NUM: usize = 3;
+const GIANT_FRACTION_DEN: usize = 4;
+
+/// Most articulation candidates whose directional split is evaluated;
+/// candidates are ranked by the balance of their DFS-tree separation
+/// first, so the cap costs quality only on adversarial graphs.
+const MAX_CUT_CANDIDATES: usize = 8;
+
+/// Splits `dag` into at most `max_shards` shards.
+///
+/// The shard list is a topological order of the shard quotient graph:
+/// every cross-shard edge points from an earlier shard to a later one.
+///
+/// * `max_shards <= 1`, or a graph with one weakly-connected component:
+///   one shard containing the whole graph, ids mapped identically.
+///   Connected graphs are **never** cut, so sharded scheduling of them
+///   degenerates to the monolithic path.
+/// * Several components: components are bin-packed (largest first into
+///   the lightest bin) into `min(max_shards, n_components)` shards. No
+///   cross-shard edges exist in this case.
+/// * Several components where the largest holds more than 3/4 of the
+///   instructions and shard slots remain: the giant is additionally cut
+///   at its best articulation vertex into up-to-three ordered pieces
+///   (upstream / vertex + mixed / downstream) that become their own
+///   shards, connected by cross-shard edges. If no articulation vertex
+///   separates anything, the giant stays whole.
+#[must_use]
+pub fn decompose(dag: &Dag, max_shards: usize) -> Decomposition {
+    let everything: Vec<InstrId> = dag.ids().collect();
+    if max_shards <= 1 {
+        return assemble(dag, vec![everything]);
+    }
+    let components = weakly_connected_components(dag);
+    if components.len() == 1 {
+        return assemble(dag, vec![everything]);
+    }
+
+    let giant_idx = components
+        .iter()
+        .enumerate()
+        .max_by_key(|(idx, c)| (c.len(), usize::MAX - idx))
+        .map(|(idx, _)| idx)
+        .unwrap_or(0);
+    let giant_len = components[giant_idx].len();
+    let dominates = giant_len * GIANT_FRACTION_DEN > dag.len() * GIANT_FRACTION_NUM;
+    // Cutting the giant needs spare shard slots: its pieces each take
+    // one, and every other component still needs somewhere to go.
+    let has_room = components.len() + 1 < max_shards;
+
+    let mut chain: Vec<Vec<InstrId>> = Vec::new();
+    let mut free: Vec<Vec<InstrId>> = Vec::new();
+    if dominates && has_room {
+        match articulation_cut(dag, &components[giant_idx]) {
+            Some(pieces) => chain = pieces,
+            None => free.push(components[giant_idx].clone()),
+        }
+        for (idx, c) in components.into_iter().enumerate() {
+            if idx != giant_idx {
+                free.push(c);
+            }
+        }
+        free.sort_by_key(|c| c[0]);
+    } else {
+        free = components;
+    }
+
+    let free_bins = pack(free, max_shards.saturating_sub(chain.len()).max(1));
+    // Free bins carry no cross edges so they can go anywhere; the chain
+    // pieces must keep their relative order, so they go last.
+    let mut groups = free_bins;
+    groups.extend(chain);
+    assemble(dag, groups)
+}
+
+/// Bin-packs `groups` (disjoint, unordered id sets) into at most `bins`
+/// bins by longest-processing-time: largest group first, into the
+/// currently lightest bin, ties broken by bin index. Returned bins are
+/// sorted ascending internally and ordered by their minimum id.
+fn pack(mut groups: Vec<Vec<InstrId>>, bins: usize) -> Vec<Vec<InstrId>> {
+    if groups.is_empty() {
+        return Vec::new();
+    }
+    let bins = bins.min(groups.len());
+    groups.sort_by_key(|g| (usize::MAX - g.len(), g[0]));
+    let mut out: Vec<Vec<InstrId>> = vec![Vec::new(); bins];
+    let mut weight = vec![0usize; bins];
+    for g in groups {
+        let lightest = (0..bins).min_by_key(|&b| (weight[b], b)).unwrap_or(0);
+        weight[lightest] += g.len();
+        out[lightest].extend(g);
+    }
+    for bin in &mut out {
+        bin.sort_unstable();
+    }
+    out.sort_by_key(|b| b[0]);
+    out
+}
+
+/// Cuts a weakly-connected node set at its best articulation vertex.
+///
+/// Removing an articulation vertex `v` splits the component into pieces
+/// that each touch only `v`. Pieces whose edges all point *into* `v`
+/// can be scheduled before it, pieces fed only *from* `v` after it, and
+/// pieces with edges both ways must stay with `v`. The returned groups
+/// — `[upstream, v + mixed, downstream]`, empty groups dropped — are
+/// therefore a topological chain. Returns `None` when no articulation
+/// vertex moves any instruction out of the middle group.
+fn articulation_cut(dag: &Dag, comp: &[InstrId]) -> Option<Vec<Vec<InstrId>>> {
+    let candidates = articulation_candidates(dag, comp);
+    let mut best: Option<(usize, Vec<Vec<InstrId>>)> = None;
+    for v in candidates.into_iter().take(MAX_CUT_CANDIDATES) {
+        let Some(groups) = directional_split(dag, comp, v) else {
+            continue;
+        };
+        // Score by how much leaves the middle group; a cut that strands
+        // everything with `v` is no cut at all.
+        let moved: usize = groups
+            .iter()
+            .filter(|g| !g.contains(&v))
+            .map(Vec::len)
+            .sum();
+        if moved == 0 {
+            continue;
+        }
+        if best.as_ref().is_none_or(|(s, _)| moved > *s) {
+            best = Some((moved, groups));
+        }
+    }
+    best.map(|(_, groups)| groups)
+}
+
+/// Articulation vertices of the undirected skeleton of `comp`, ranked
+/// by the balance of the DFS-subtree separation they induce (best
+/// first), ties broken by id.
+fn articulation_candidates(dag: &Dag, comp: &[InstrId]) -> Vec<InstrId> {
+    let n = comp.len();
+    let local: HashMap<InstrId, usize> = comp.iter().enumerate().map(|(k, &i)| (i, k)).collect();
+    let adj: Vec<Vec<usize>> = comp
+        .iter()
+        .map(|&i| {
+            dag.neighbors(i)
+                .filter_map(|g| local.get(&g).copied())
+                .collect()
+        })
+        .collect();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut subtree = vec![1usize; n];
+    let mut parent = vec![usize::MAX; n];
+    // Best separation score per articulation vertex found.
+    let mut arts: HashMap<usize, usize> = HashMap::new();
+    let mut timer = 0usize;
+    // Iterative DFS from local node 0; comp is connected so one root
+    // covers everything.
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    disc[0] = timer;
+    low[0] = timer;
+    timer += 1;
+    let mut root_children = 0usize;
+    while let Some(top) = stack.last_mut() {
+        let (u, cursor) = (top.0, top.1);
+        if cursor < adj[u].len() {
+            top.1 += 1;
+            let w = adj[u][cursor];
+            if disc[w] == usize::MAX {
+                parent[w] = u;
+                disc[w] = timer;
+                low[w] = timer;
+                timer += 1;
+                if u == 0 {
+                    root_children += 1;
+                }
+                stack.push((w, 0));
+            } else if w != parent[u] {
+                low[u] = low[u].min(disc[w]);
+            }
+        } else {
+            stack.pop();
+            if let Some(&(p, _)) = stack.last() {
+                low[p] = low[p].min(low[u]);
+                subtree[p] += subtree[u];
+                if p != 0 && low[u] >= disc[p] {
+                    // Removing p separates u's subtree; score by how
+                    // balanced that separation is.
+                    let sep = subtree[u];
+                    let score = sep.min(n.saturating_sub(1 + sep));
+                    let e = arts.entry(p).or_insert(0);
+                    *e = (*e).max(score);
+                }
+            }
+        }
+    }
+    if root_children > 1 {
+        // The DFS root is an articulation vertex when it has more than
+        // one tree child; any child subtree is a separation witness.
+        let sep = (1..n)
+            .filter(|&w| parent[w] == 0)
+            .map(|w| subtree[w])
+            .min()
+            .unwrap_or(0);
+        arts.insert(0, sep.min(n.saturating_sub(1 + sep)));
+    }
+    let mut ranked: Vec<(usize, usize)> = arts.into_iter().collect();
+    ranked.sort_by_key(|&(u, score)| (usize::MAX - score, comp[u]));
+    ranked.into_iter().map(|(u, _)| comp[u]).collect()
+}
+
+/// Splits `comp` around articulation vertex `v` into the ordered groups
+/// `[upstream, v + mixed, downstream]` (empty groups dropped). Returns
+/// `None` if removing `v` leaves the rest connected (not actually an
+/// articulation vertex for this component).
+fn directional_split(dag: &Dag, comp: &[InstrId], v: InstrId) -> Option<Vec<Vec<InstrId>>> {
+    let mut piece: HashMap<InstrId, usize> = HashMap::new();
+    let mut n_pieces = 0usize;
+    let mut stack = Vec::new();
+    for &start in comp {
+        if start == v || piece.contains_key(&start) {
+            continue;
+        }
+        let id = n_pieces;
+        n_pieces += 1;
+        piece.insert(start, id);
+        stack.push(start);
+        while let Some(i) = stack.pop() {
+            for nb in dag.neighbors(i) {
+                if nb != v && !piece.contains_key(&nb) {
+                    piece.insert(nb, id);
+                    stack.push(nb);
+                }
+            }
+        }
+    }
+    if n_pieces < 2 {
+        return None;
+    }
+    // Classify each piece by the direction of its edges with `v`.
+    let mut feeds_v = vec![false; n_pieces];
+    let mut fed_by_v = vec![false; n_pieces];
+    for &p in dag.preds(v) {
+        if let Some(&id) = piece.get(&p) {
+            feeds_v[id] = true;
+        }
+    }
+    for &s in dag.succs(v) {
+        if let Some(&id) = piece.get(&s) {
+            fed_by_v[id] = true;
+        }
+    }
+    let mut upstream = Vec::new();
+    let mut middle = vec![v];
+    let mut downstream = Vec::new();
+    for &i in comp {
+        if i == v {
+            continue;
+        }
+        let id = piece[&i];
+        match (feeds_v[id], fed_by_v[id]) {
+            (true, false) => upstream.push(i),
+            (false, true) => downstream.push(i),
+            // Mixed pieces (or isolated ones, unreachable for a
+            // connected component) must stay with the vertex.
+            _ => middle.push(i),
+        }
+    }
+    upstream.sort_unstable();
+    middle.sort_unstable();
+    downstream.sort_unstable();
+    let groups: Vec<Vec<InstrId>> = [upstream, middle, downstream]
+        .into_iter()
+        .filter(|g| !g.is_empty())
+        .collect();
+    Some(groups)
+}
+
+/// Builds the final [`Decomposition`] from ordered disjoint id groups
+/// covering the graph.
+fn assemble(dag: &Dag, groups: Vec<Vec<InstrId>>) -> Decomposition {
+    let mut shard_of = vec![usize::MAX; dag.len()];
+    let mut local_of = vec![InstrId::new(0); dag.len()];
+    for (k, group) in groups.iter().enumerate() {
+        for (local, &g) in group.iter().enumerate() {
+            shard_of[g.index()] = k;
+            local_of[g.index()] = InstrId::new(local as u32);
+        }
+    }
+    debug_assert!(shard_of.iter().all(|&s| s != usize::MAX));
+
+    let shards: Vec<Shard> = groups
+        .into_iter()
+        .map(|group| {
+            let mut b = DagBuilder::with_capacity(group.len());
+            for &g in &group {
+                b.push(dag.instr(g).clone());
+            }
+            for &g in &group {
+                for &s in dag.succs(g) {
+                    if shard_of[s.index()] == shard_of[g.index()] {
+                        b.edge(local_of[g.index()], local_of[s.index()])
+                            .expect("induced edge endpoints exist");
+                    }
+                }
+            }
+            Shard {
+                dag: b
+                    .build()
+                    .expect("induced subgraph of a DAG is a nonempty DAG"),
+                to_global: group,
+            }
+        })
+        .collect();
+
+    let cross_edges: Vec<Edge> = dag
+        .edges()
+        .filter(|e| shard_of[e.src.index()] != shard_of[e.dst.index()])
+        .collect();
+    debug_assert!(cross_edges
+        .iter()
+        .all(|e| shard_of[e.src.index()] < shard_of[e.dst.index()]));
+
+    Decomposition {
+        shards,
+        shard_of,
+        local_of,
+        cross_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Opcode;
+
+    /// `k` disjoint chains of length `len`.
+    fn chains(k: usize, len: usize) -> Dag {
+        let mut b = DagBuilder::new();
+        for _ in 0..k {
+            let mut prev = b.instr(Opcode::IntAlu);
+            for _ in 1..len {
+                let next = b.instr(Opcode::IntAlu);
+                b.edge(prev, next).unwrap();
+                prev = next;
+            }
+        }
+        b.build().unwrap()
+    }
+
+    /// A diamond (single component).
+    fn diamond() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.instr(Opcode::Load);
+        let x = b.instr(Opcode::IntAlu);
+        let y = b.instr(Opcode::IntMul);
+        let z = b.instr(Opcode::Store);
+        b.edge(a, x).unwrap();
+        b.edge(a, y).unwrap();
+        b.edge(x, z).unwrap();
+        b.edge(y, z).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn components_of_disjoint_chains() {
+        let d = chains(3, 4);
+        let comps = weakly_connected_components(&d);
+        assert_eq!(comps.len(), 3);
+        for (k, c) in comps.iter().enumerate() {
+            let expect: Vec<InstrId> = (0..4).map(|i| InstrId::new((k * 4 + i) as u32)).collect();
+            assert_eq!(c, &expect);
+        }
+    }
+
+    #[test]
+    fn connected_graph_is_one_component() {
+        let comps = weakly_connected_components(&diamond());
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 4);
+    }
+
+    #[test]
+    fn single_component_never_cut() {
+        for shards in [1, 2, 8, 64] {
+            let d = diamond();
+            let dec = decompose(&d, shards);
+            assert!(dec.is_trivial(), "shards={shards}");
+            assert_eq!(dec.shards()[0].len(), d.len());
+            assert!(dec.cross_edges().is_empty());
+            // Identity mapping.
+            for i in d.ids() {
+                assert_eq!(dec.shard_of(i), 0);
+                assert_eq!(dec.local_id(i), i);
+                assert_eq!(dec.shards()[0].global_id(i), i);
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_components_have_no_cross_edges() {
+        let d = chains(6, 5);
+        let dec = decompose(&d, 3);
+        assert_eq!(dec.shards().len(), 3);
+        assert!(dec.cross_edges().is_empty());
+        // Every instruction appears exactly once, mapped consistently.
+        let mut seen = vec![false; d.len()];
+        for (k, shard) in dec.shards().iter().enumerate() {
+            for (local, &g) in shard.to_global().iter().enumerate() {
+                assert!(!seen[g.index()]);
+                seen[g.index()] = true;
+                assert_eq!(dec.shard_of(g), k);
+                assert_eq!(dec.local_id(g), InstrId::new(local as u32));
+                assert_eq!(
+                    shard.dag().instr(InstrId::new(local as u32)),
+                    d.instr(g),
+                    "instruction payloads survive induction"
+                );
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn packing_balances_shard_sizes() {
+        // 4 chains of 10 into 2 bins: 20/20.
+        let d = chains(4, 10);
+        let dec = decompose(&d, 2);
+        assert_eq!(dec.shards().len(), 2);
+        assert_eq!(dec.shards()[0].len(), 20);
+        assert_eq!(dec.shards()[1].len(), 20);
+    }
+
+    #[test]
+    fn more_shards_than_components_is_capped() {
+        let d = chains(3, 2);
+        let dec = decompose(&d, 16);
+        assert_eq!(dec.shards().len(), 3);
+    }
+
+    #[test]
+    fn induced_edges_survive() {
+        let d = chains(2, 3);
+        let dec = decompose(&d, 2);
+        let total_edges: usize = dec.shards().iter().map(|s| s.dag().edge_count()).sum();
+        assert_eq!(total_edges + dec.cross_edges().len(), d.edge_count());
+        assert_eq!(total_edges, 4);
+    }
+
+    #[test]
+    fn giant_component_is_cut_at_articulation_vertex() {
+        // A bowtie: chain A -> v -> chain C (giant, 9 nodes), plus a
+        // 2-node dust component. The giant holds > 3/4 of the graph, so
+        // with room to spare it gets cut at v.
+        let mut b = DagBuilder::new();
+        let mut prev = b.instr(Opcode::IntAlu);
+        for _ in 1..4 {
+            let next = b.instr(Opcode::IntAlu);
+            b.edge(prev, next).unwrap();
+            prev = next;
+        }
+        let v = b.instr(Opcode::IntMul);
+        b.edge(prev, v).unwrap();
+        let mut tail = v;
+        for _ in 0..4 {
+            let next = b.instr(Opcode::IntAlu);
+            b.edge(tail, next).unwrap();
+            tail = next;
+        }
+        let d1 = b.instr(Opcode::Load);
+        let d2 = b.instr(Opcode::Store);
+        b.edge(d1, d2).unwrap();
+        let d = b.build().unwrap();
+
+        let dec = decompose(&d, 8);
+        assert!(dec.shards().len() >= 3, "giant should be cut");
+        // Cross edges all point forward in shard order.
+        assert!(!dec.cross_edges().is_empty());
+        for e in dec.cross_edges() {
+            assert!(dec.shard_of(e.src) < dec.shard_of(e.dst), "{e:?}");
+        }
+        // Every instruction still appears exactly once.
+        let mut seen = vec![false; d.len()];
+        for shard in dec.shards() {
+            for &g in shard.to_global() {
+                assert!(!seen[g.index()]);
+                seen[g.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn giant_without_room_stays_whole() {
+        // Same bowtie + dust, but only 2 shard slots: no cut, just
+        // packing of the two components.
+        let mut b = DagBuilder::new();
+        let mut prev = b.instr(Opcode::IntAlu);
+        for _ in 1..9 {
+            let next = b.instr(Opcode::IntAlu);
+            b.edge(prev, next).unwrap();
+            prev = next;
+        }
+        let d1 = b.instr(Opcode::Load);
+        let d2 = b.instr(Opcode::Store);
+        b.edge(d1, d2).unwrap();
+        let d = b.build().unwrap();
+        let dec = decompose(&d, 2);
+        assert_eq!(dec.shards().len(), 2);
+        assert!(dec.cross_edges().is_empty());
+    }
+
+    #[test]
+    fn max_shards_one_is_identity() {
+        let d = chains(4, 3);
+        let dec = decompose(&d, 1);
+        assert!(dec.is_trivial());
+        assert_eq!(dec.shards()[0].len(), d.len());
+    }
+}

@@ -50,6 +50,15 @@ pub enum ScheduleError {
         /// The error-severity diagnostics, in lint order.
         diagnostics: Vec<convergent_analysis::Diagnostic>,
     },
+    /// A cross-cluster value needs a copy-capable functional unit on
+    /// `cluster`, but the cluster has none (degenerate machine on a
+    /// copy-based communication model).
+    NoTransferUnit {
+        /// Cluster lacking a copy-capable unit.
+        cluster: ClusterId,
+    },
+    /// The machine has no clusters at all, so nothing can be placed.
+    EmptyMachine,
 }
 
 impl fmt::Display for ScheduleError {
@@ -85,6 +94,13 @@ impl fmt::Display for ScheduleError {
                 let rendered: Vec<String> = diagnostics.iter().map(|d| d.to_string()).collect();
                 write!(f, "input failed lint: {}", rendered.join("; "))
             }
+            ScheduleError::NoTransferUnit { cluster } => {
+                write!(
+                    f,
+                    "cluster {cluster} has no copy-capable transfer unit to carry a cross-cluster value"
+                )
+            }
+            ScheduleError::EmptyMachine => write!(f, "machine has no clusters"),
         }
     }
 }

@@ -167,6 +167,11 @@ impl CommTracker {
 /// Ensures the value of `producer` (already placed, finishing at
 /// `finish` on `from`) reaches cluster `to`, inserting a transfer if
 /// none exists. Returns the arrival cycle.
+///
+/// On a copy-based machine a cluster with no copy-capable unit cannot
+/// source a transfer; that is a property of the machine description,
+/// reported as [`ScheduleError::NoTransferUnit`] rather than a panic
+/// (lint `CS052` rejects such machines up front, this is the backstop).
 pub(crate) fn ensure_comm(
     machine: &Machine,
     resources: &mut ResourceState,
@@ -175,24 +180,24 @@ pub(crate) fn ensure_comm(
     from: ClusterId,
     finish: u32,
     to: ClusterId,
-) -> u32 {
+) -> Result<u32, ScheduleError> {
     debug_assert_ne!(from, to);
     if let Some(a) = comms.arrival(producer, to) {
-        return a;
+        return Ok(a);
     }
     let latency = machine.comm_latency(from, to);
     if machine.comm().register_mapped {
         let arrival = finish + latency;
         comms.record(producer, from, to, finish, None, arrival);
-        arrival
+        Ok(arrival)
     } else {
         let (fu, start) = resources
             .earliest_slot(machine, from, OpClass::Copy, finish)
-            .expect("transfer unit exists on every cluster of a copy-based machine");
+            .ok_or(ScheduleError::NoTransferUnit { cluster: from })?;
         resources.reserve(from, fu, start);
         let arrival = start + latency;
         comms.record(producer, from, to, start, Some(fu), arrival);
-        arrival
+        Ok(arrival)
     }
 }
 
@@ -414,7 +419,7 @@ impl ListScheduler {
                                     cluster,
                                     finish[i.index()],
                                     sc,
-                                );
+                                )?;
                             }
                         }
                         // Release consumers whose last producer this
@@ -705,5 +710,35 @@ mod tests {
             .schedule_with_cp(&dag, &m, &asg)
             .unwrap();
         assert_eq!(s.makespan().get(), 4);
+    }
+
+    #[test]
+    fn missing_transfer_unit_is_an_error_not_a_panic() {
+        use convergent_machine::{Cluster, CommModel, FuKind, LatencyTable, MemoryModel, Topology};
+        // Copy-based comm model, but no cluster owns a copy-capable
+        // unit: a cross-cluster value has no way to travel. The list
+        // scheduler must report this, not unwind.
+        let m = Machine::new(
+            "no-transfer",
+            vec![
+                Cluster::new(vec![FuKind::IntAlu, FuKind::IntAluMem]),
+                Cluster::new(vec![FuKind::IntAlu, FuKind::IntAluMem]),
+            ],
+            Topology::PointToPoint,
+            CommModel::vliw_transfer(),
+            LatencyTable::r4000(),
+            MemoryModel::chorus(),
+        );
+        let mut b = DagBuilder::new();
+        let a = b.instr(Opcode::IntAlu);
+        let d = b.instr(Opcode::IntAlu);
+        b.edge(a, d).unwrap();
+        let dag = b.build().unwrap();
+        let asg = Assignment::from_vec(vec![c(0), c(1)]);
+        let err = ListScheduler::new()
+            .schedule_with_cp(&dag, &m, &asg)
+            .unwrap_err();
+        assert_eq!(err, ScheduleError::NoTransferUnit { cluster: c(0) });
+        assert!(err.to_string().contains("copy-capable"));
     }
 }

@@ -48,7 +48,7 @@ impl RawccScheduler {
         crate::precondition::check_inputs(dag, machine)?;
         let mut vcs = cluster_step(dag, machine)?;
         merge_step(machine, &mut vcs);
-        let assignment = place_step(dag, machine, &vcs);
+        let assignment = place_step(dag, machine, &vcs)?;
         check_assignment(dag, machine, &assignment)?;
         Ok(assignment)
     }
@@ -254,7 +254,15 @@ fn merge_step(machine: &Machine, vcs: &mut VirtualClusters) {
 }
 
 /// Step 3: map virtual clusters to physical clusters.
-fn place_step(dag: &Dag, machine: &Machine, vcs: &VirtualClusters) -> Assignment {
+///
+/// A machine with zero clusters has no legal placement for anything;
+/// that is reported as [`ScheduleError::EmptyMachine`] rather than a
+/// panic.
+fn place_step(
+    dag: &Dag,
+    machine: &Machine,
+    vcs: &VirtualClusters,
+) -> Result<Assignment, ScheduleError> {
     let n_phys = machine.n_clusters();
     let alive: Vec<usize> = (0..vcs.home.len()).filter(|&vc| vcs.alive[vc]).collect();
     let mut phys_of: Vec<Option<ClusterId>> = vec![None; vcs.home.len()];
@@ -292,13 +300,14 @@ fn place_step(dag: &Dag, machine: &Machine, vcs: &VirtualClusters) -> Assignment
                     .sum();
                 (cost, c)
             })
-            .expect("machine has clusters");
+            .ok_or(ScheduleError::EmptyMachine)?;
         phys_of[vc] = Some(best);
         used[best.index()] = true;
     }
-    dag.ids()
+    Ok(dag
+        .ids()
         .map(|i| phys_of[vcs.of[i.index()]].expect("all virtual clusters placed"))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -408,5 +417,25 @@ mod tests {
     #[test]
     fn name_is_stable() {
         assert_eq!(RawccScheduler::new().name(), "rawcc");
+    }
+
+    #[test]
+    fn place_step_reports_empty_machine_instead_of_panicking() {
+        // `Machine::new` rejects zero-cluster machines, so this guard
+        // is unreachable through the public constructors — but the
+        // placement loop itself must degrade to a structured error,
+        // not an `expect`, if that invariant ever changes.
+        let mut b = DagBuilder::new();
+        b.instr(Opcode::IntAlu);
+        let dag = b.build().unwrap();
+        let m = Machine::raw(1);
+        // With a real machine the path succeeds; the error variant
+        // itself renders meaningfully for callers that hit it through
+        // future machine descriptions.
+        assert!(RawccScheduler::new().assign(&dag, &m).is_ok());
+        assert_eq!(
+            ScheduleError::EmptyMachine.to_string(),
+            "machine has no clusters"
+        );
     }
 }

@@ -170,6 +170,13 @@ pub enum SimError {
         /// waiting to issue.
         remaining: usize,
     },
+    /// A boundary transfer needs a copy-capable functional unit on
+    /// `cluster`, but the cluster has none (degenerate machine on a
+    /// copy-based communication model).
+    NoTransferUnit {
+        /// Cluster lacking a copy-capable unit.
+        cluster: ClusterId,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -193,6 +200,9 @@ impl fmt::Display for SimError {
                     f,
                     "simulation made no progress by cycle {cycle} with {remaining} ops pending"
                 )
+            }
+            SimError::NoTransferUnit { cluster } => {
+                write!(f, "cluster {cluster} has no copy-capable transfer unit")
             }
         }
     }

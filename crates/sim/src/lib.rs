@@ -41,6 +41,7 @@ pub mod oracle;
 mod pressure;
 mod route;
 mod schedule;
+mod stitch;
 mod validate;
 
 pub use assignment::Assignment;
@@ -50,6 +51,7 @@ pub use oracle::{cross_check, resimulate, Divergence};
 pub use pressure::{analyze_pressure, PressureReport};
 pub use route::{route_hops, RouterReport};
 pub use schedule::{CommOp, PlacedOp, ScheduleBuilder, SpaceTimeSchedule};
+pub use stitch::{stitch, StitchReport};
 pub use validate::validate;
 
 use convergent_ir::{ClusterId, Dag, InstrId, Instruction};

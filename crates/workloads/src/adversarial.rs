@@ -15,6 +15,10 @@
 //! * [`op_class_desert`] — the whole graph is one op class: on
 //!   machines where few functional units can execute that class,
 //!   capable slots become the scarce resource.
+//! * [`disconnected`] — several weakly-connected components of
+//!   uneven sizes in one unit: distance fields and critical-path
+//!   analyses see `UNREACHABLE` pairs, and the region decomposer
+//!   (`--shards`) gets real pieces to pack.
 //!
 //! All generators are deterministic given their parameters.
 
@@ -123,6 +127,49 @@ pub fn op_class_desert(n_instrs: usize, seed: u64) -> SchedulingUnit {
     )
 }
 
+/// `n_components` weakly-connected components totalling `n_instrs`
+/// instructions. Component sizes are drawn unevenly (each at least
+/// one instruction); inside a component, instructions chain to their
+/// predecessor and pick up a random extra back-edge, so every
+/// component has its own nontrivial critical path while cross-component
+/// distances are all `UNREACHABLE`.
+#[must_use]
+pub fn disconnected(n_components: usize, n_instrs: usize, seed: u64) -> SchedulingUnit {
+    assert!(n_instrs > 0, "need at least one instruction");
+    let n_components = n_components.clamp(1, n_instrs);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Uneven split: every component gets one instruction, the rest are
+    // scattered at random.
+    let mut sizes = vec![1usize; n_components];
+    for _ in n_components..n_instrs {
+        sizes[rng.gen_range(0..n_components)] += 1;
+    }
+    let mut b = DagBuilder::with_capacity(n_instrs);
+    for &size in &sizes {
+        let mut ids = Vec::with_capacity(size);
+        for k in 0..size {
+            let opcode = match rng.gen_range(0..4u8) {
+                0 => Opcode::Load,
+                1 => Opcode::FMul,
+                _ => Opcode::IntAlu,
+            };
+            let id = b.push(Instruction::new(opcode));
+            if k > 0 {
+                b.edge(ids[k - 1], id).expect("fresh ids");
+                if k > 1 && rng.gen_bool(0.3) {
+                    let src = ids[rng.gen_range(0..k - 1)];
+                    let _ = b.edge_dedup(src, id);
+                }
+            }
+            ids.push(id);
+        }
+    }
+    SchedulingUnit::new(
+        format!("disconnected-{n_components}x{n_instrs}"),
+        b.build().expect("edges only point backward"),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +216,24 @@ mod tests {
         let c = wide_fanin(25, 2, 1);
         let d = wide_fanin(25, 2, 1);
         assert_eq!(c.dag().preplaced_count(), d.dag().preplaced_count());
+        let e = disconnected(5, 40, 13);
+        let f = disconnected(5, 40, 13);
+        assert_eq!(e.dag().edge_count(), f.dag().edge_count());
+    }
+
+    #[test]
+    fn disconnected_has_the_requested_component_count() {
+        for (k, n, seed) in [(1, 10, 0), (4, 37, 3), (8, 8, 9), (6, 200, 42)] {
+            let unit = disconnected(k, n, seed);
+            assert_eq!(unit.dag().len(), n);
+            let components = convergent_ir::weakly_connected_components(unit.dag());
+            assert_eq!(components.len(), k, "k={k} n={n} seed={seed}");
+        }
+        // More components than instructions degrades to singletons.
+        let unit = disconnected(10, 3, 1);
+        assert_eq!(
+            convergent_ir::weakly_connected_components(unit.dag()).len(),
+            3
+        );
     }
 }

@@ -36,7 +36,7 @@ mod solver;
 mod stencil;
 mod suite;
 
-pub use adversarial::{deep_chain, fully_preplaced, op_class_desert, wide_fanin};
+pub use adversarial::{deep_chain, disconnected, fully_preplaced, op_class_desert, wide_fanin};
 pub use dense::{fir, mxm, vvmul, yuv, FirParams, MxmParams, VvmulParams, YuvParams};
 pub use random::{layered, parallel_chains, series_parallel, LayeredParams};
 pub use regions::{multi_region_accumulate, MultiRegionParams};

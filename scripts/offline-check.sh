@@ -61,6 +61,22 @@ echo "==> compile-time scaling guard (2000 vs 10000 instrs, offline)"
 # per-cell path sat near 10x). Fail past 3x.
 run run --release -q -p convergent-bench --bin compiletime -- \
     --sizes 2000,10000 --budget-secs 0.75 --no-out --max-ratio 3.0
+echo "==> sharded compile-time scaling guard (8 components, 1000 vs 10000 instrs, offline)"
+# Region sharding keeps per-shard inputs component-sized; the sharded
+# 1000→10000 ratio sits near 2.6x. Fail past 4x.
+run run --release -q -p convergent-bench --bin compiletime -- \
+    --components 8 --shards 8 --sizes 1000,10000 --budget-secs 0.75 --no-out --max-ratio 4.0
+echo "==> sharded-determinism smoke (--shards 1/2/8 identical on a connected builtin, offline)"
+# Connected graphs never decompose, so any shard budget must reproduce
+# the monolithic schedule byte for byte (placement included).
+base="$(run run --release -q --bin csched -- --workload tomcatv --machine vliw4 --verbose)"
+for s in 1 2 8; do
+    got="$(run run --release -q --bin csched -- --workload tomcatv --machine vliw4 --verbose --shards "$s")"
+    if [ "$got" != "$base" ]; then
+        echo "offline-check.sh: FAIL: --shards $s diverged from the unsharded schedule on tomcatv" >&2
+        exit 1
+    fi
+done
 if [ "$MIRI" = 1 ]; then
     echo "==> recording-proxy and row-kernel proptests under miri"
     if cargo miri --version >/dev/null 2>&1; then

@@ -15,6 +15,11 @@
 //!   --pressure                    also report register pressure
 //!   --profile                     print per-pass wall-clock breakdown
 //!                                 (convergent scheduler only)
+//!   --threads N                   intra-pass worker threads
+//!                                 (convergent scheduler only)
+//!   --shards N                    schedule weakly-connected regions
+//!                                 concurrently (convergent only;
+//!                                 identity on connected graphs)
 //!   --verbose                     print per-instruction placement
 //! ```
 //!
@@ -80,6 +85,7 @@ struct Options {
     machine: String,
     scheduler: String,
     threads: usize,
+    shards: usize,
     dump: bool,
     dot: bool,
     pressure: bool,
@@ -89,7 +95,7 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: csched [verify|lint] <input.cdag | --workload NAME> [--machine rawN|vliwN] \
-     [--scheduler convergent|uas|pcc|rawcc|bug] [--threads N] [--dump] [--dot] [--pressure] \
+     [--scheduler convergent|uas|pcc|rawcc|bug] [--threads N] [--shards N] [--dump] [--dot] [--pressure] \
      [--profile] [--verbose] [--list-workloads]\n\
      lint only: [--all-workloads] [--json] [--deny warnings] [--pedantic]"
 }
@@ -146,6 +152,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         machine: "vliw4".to_string(),
         scheduler: "convergent".to_string(),
         threads: 1,
+        shards: 1,
         dump: false,
         dot: false,
         pressure: false,
@@ -178,6 +185,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err("--threads takes a positive integer".to_string());
                 }
             }
+            "--shards" => {
+                k += 1;
+                opts.shards = args
+                    .get(k)
+                    .ok_or("--shards takes a value")?
+                    .parse()
+                    .map_err(|_| "--shards takes a positive integer".to_string())?;
+                if opts.shards == 0 {
+                    return Err("--shards takes a positive integer".to_string());
+                }
+            }
             "--list-workloads" => {
                 for w in WORKLOADS {
                     println!("{w}");
@@ -208,10 +226,16 @@ fn make_scheduler(
     name: &str,
     machine: &Machine,
     threads: usize,
+    shards: usize,
 ) -> Result<Box<dyn Scheduler>, String> {
     if threads > 1 && name != "convergent" {
         return Err(format!(
             "--threads applies to the convergent scheduler only (got '{name}')"
+        ));
+    }
+    if shards > 1 && name != "convergent" {
+        return Err(format!(
+            "--shards applies to the convergent scheduler only (got '{name}')"
         ));
     }
     Ok(match name {
@@ -221,7 +245,7 @@ fn make_scheduler(
             } else {
                 ConvergentScheduler::vliw_tuned()
             };
-            Box::new(s.with_threads(threads))
+            Box::new(s.with_threads(threads).with_shards(shards))
         }
         "uas" => Box::new(UasScheduler::new()),
         "pcc" => Box::new(PccScheduler::new()),
@@ -463,7 +487,7 @@ fn run_verify(args: &[String]) -> Result<(), String> {
     );
     let mut failures = 0usize;
     for name in &names {
-        let scheduler = make_scheduler(name, &machine, 1)?;
+        let scheduler = make_scheduler(name, &machine, 1, 1)?;
         let schedule = match scheduler.schedule(unit.dag(), &machine) {
             Ok(s) => s,
             Err(e) => {
@@ -524,9 +548,9 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
-    let scheduler = make_scheduler(&opts.scheduler, &machine, opts.threads)?;
+    let scheduler = make_scheduler(&opts.scheduler, &machine, opts.threads, opts.shards)?;
 
-    let (schedule, profile) = if opts.profile {
+    let (schedule, profile, shard_note) = if opts.profile {
         if opts.scheduler != "convergent" {
             return Err("--profile is only supported for --scheduler convergent".to_string());
         }
@@ -537,16 +561,25 @@ fn run() -> Result<(), String> {
         } else {
             ConvergentScheduler::vliw_tuned()
         }
-        .with_threads(opts.threads);
+        .with_threads(opts.threads)
+        .with_shards(opts.shards);
         let (out, profile) = sched
             .schedule_profiled(unit.dag(), &machine)
             .map_err(|e| format!("scheduling failed: {e}"))?;
-        (out.into_schedule(), Some(profile))
+        let shard_note = out.shard_info().map(|info| {
+            format!(
+                "{} regions (sizes {:?}), {} boundary comm(s)",
+                info.shard_sizes.len(),
+                info.shard_sizes,
+                info.boundary_comms
+            )
+        });
+        (out.into_schedule(), Some(profile), shard_note)
     } else {
         let schedule = scheduler
             .schedule(unit.dag(), &machine)
             .map_err(|e| format!("scheduling failed: {e}"))?;
-        (schedule, None)
+        (schedule, None, None)
     };
     validate(unit.dag(), &machine, &schedule)
         .map_err(|e| format!("produced schedule failed validation: {e}"))?;
@@ -556,6 +589,9 @@ fn run() -> Result<(), String> {
     println!("{unit}");
     println!("machine:    {machine}");
     println!("scheduler:  {}", scheduler.name());
+    if let Some(note) = &shard_note {
+        println!("shards:     {note}");
+    }
     println!(
         "cycles:     {} (nominal {})",
         report.makespan.get(),
