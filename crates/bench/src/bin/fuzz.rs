@@ -25,7 +25,8 @@
 //! ```text
 //! cargo run --release -p convergent-bench --bin fuzz -- \
 //!     [--seed N] [--budget N] [--jobs N] [--dump-dir PATH] \
-//!     [--family NAME] [--size N] [--machines a,b,c] [--lint-only]
+//!     [--family NAME] [--size N] [--machines a,b,c] [--lint-only] \
+//!     [--trace FILE]
 //! csched verify <dump-dir>/<repro>.cdag --machine <spec> --scheduler <name>
 //! ```
 //!
@@ -37,12 +38,18 @@
 //! end to end) without paying for a full random sweep. `--lint-only`
 //! skips the schedulers entirely and just lints the case stream — the
 //! cheap smoke the check scripts run over hundreds of graphs.
+//!
+//! `--trace FILE` additionally replays the first few cases through the
+//! convergent driver with telemetry on and writes one Perfetto-loadable
+//! Chrome trace (all replays on a shared timeline) — a quick look at
+//! what the driver actually did on fuzzer-shaped inputs.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use convergent_analysis::{lint_unit, LintOptions};
 use convergent_bench::cases::{case_stream, Case, FAMILIES, MACHINES};
 use convergent_bench::parallel::{default_jobs, jobs_from_args, run_cells};
+use convergent_core::telemetry::ChromeTraceSink;
 use convergent_core::ConvergentScheduler;
 use convergent_ir::{to_text, ClusterId, Dag, DagBuilder, Instruction, Opcode, SchedulingUnit};
 use convergent_machine::Machine;
@@ -52,6 +59,11 @@ use convergent_schedulers::{
 use convergent_sim::{cross_check, validate};
 
 const SCHEDULERS: &[&str] = &["convergent", "uas", "pcc", "rawcc", "bug"];
+
+/// How many cases `--trace` replays through the instrumented
+/// convergent driver (rejected cases still advance the timeline but
+/// do not count).
+const TRACE_CASES: usize = 3;
 
 /// Pseudo-scheduler name under which lint findings on *generated*
 /// graphs are reported. Not a real scheduler: lint failures mean the
@@ -312,6 +324,39 @@ fn shrink(unit: &SchedulingUnit, machine: &Machine, scheduler: &str) -> (DagSpec
     }
 }
 
+/// `--trace`: replays the first [`TRACE_CASES`] schedulable cases
+/// through the convergent driver with full telemetry into one shared
+/// Chrome-trace timeline (`advance_base` keeps replays disjoint).
+/// Legitimate rejections just skip ahead; the sweep proper has already
+/// held these cases to the referees.
+fn write_trace(cases: &[Case], path: &str) {
+    let mut sink = ChromeTraceSink::new();
+    let mut traced = 0usize;
+    for case in cases {
+        if traced == TRACE_CASES {
+            break;
+        }
+        let (machine, unit) = case.instantiate();
+        let sched = if machine.comm().register_mapped {
+            ConvergentScheduler::raw_default()
+        } else {
+            ConvergentScheduler::vliw_tuned()
+        };
+        if sched
+            .schedule_with_sink(unit.dag(), &machine, &mut sink)
+            .is_ok()
+        {
+            traced += 1;
+        }
+        sink.advance_base();
+    }
+    sink.save(path).expect("write chrome trace");
+    println!(
+        "fuzz: traced {traced} convergent run(s) to {path} ({} events)",
+        sink.len()
+    );
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = jobs_from_args(&mut args, default_jobs());
@@ -322,6 +367,7 @@ fn main() {
     let mut size: Option<usize> = None;
     let mut machines: Vec<&'static str> = MACHINES.to_vec();
     let mut lint_only = false;
+    let mut trace_path: Option<String> = None;
     let mut k = 0;
     while k < args.len() {
         match args[k].as_str() {
@@ -374,11 +420,19 @@ fn main() {
                     .collect();
             }
             "--lint-only" => lint_only = true,
+            "--trace" => {
+                k += 1;
+                trace_path = Some(args.get(k).cloned().unwrap_or_else(|| {
+                    eprintln!("fuzz: --trace takes a file path");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!("fuzz: unknown option '{other}'");
                 eprintln!(
                     "usage: fuzz [--seed N] [--budget N] [--jobs N] [--dump-dir PATH] \
-                     [--family NAME] [--size N] [--machines a,b,c] [--lint-only]"
+                     [--family NAME] [--size N] [--machines a,b,c] [--lint-only] \
+                     [--trace FILE]"
                 );
                 std::process::exit(2);
             }
@@ -409,6 +463,10 @@ fn main() {
              {rejects} legitimate rejects, {} failures",
             failures.len()
         );
+    }
+
+    if let Some(path) = &trace_path {
+        write_trace(&cases, path);
     }
 
     if failures.is_empty() {

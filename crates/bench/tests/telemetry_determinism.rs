@@ -1,0 +1,89 @@
+//! The telemetry layer's central promise, end to end: observing a run
+//! never changes it. Every builtin workload (the Raw and clustered-VLIW
+//! suites) is scheduled twice — once plainly, once through
+//! `schedule_with_sink` with a full-interest sink (spans + hot-path
+//! counters + convergence metrics) — and the complete space-time
+//! schedules must be bit-identical. The sweep crosses `--threads` and
+//! `--shards` because those paths buffer and replay telemetry from
+//! worker threads, which is exactly where instrumentation could
+//! plausibly perturb ordering.
+
+use convergent_core::telemetry::{TelemetryBuffer, TelemetryEvent};
+use convergent_core::ConvergentScheduler;
+use convergent_machine::Machine;
+use convergent_workloads::{raw_suite, vliw_suite};
+
+fn assert_identical(
+    sched: ConvergentScheduler,
+    unit: &convergent_ir::SchedulingUnit,
+    machine: &Machine,
+    what: &str,
+) {
+    let plain = sched
+        .schedule(unit.dag(), machine)
+        .unwrap_or_else(|e| panic!("{} ({what}): {e}", unit.name()));
+    let mut buf = TelemetryBuffer::new();
+    let observed = sched
+        .schedule_with_sink(unit.dag(), machine, &mut buf)
+        .unwrap_or_else(|e| panic!("{} ({what}, observed): {e}", unit.name()));
+    assert_eq!(
+        plain.schedule(),
+        observed.schedule(),
+        "{} diverged under telemetry ({what})",
+        unit.name()
+    );
+    // The observed run must actually have been observed: at least one
+    // pass span and one counter delta, or the test proves nothing.
+    assert!(
+        buf.events()
+            .iter()
+            .any(|e| matches!(e, TelemetryEvent::Span { .. })),
+        "{} ({what}): no spans recorded",
+        unit.name()
+    );
+    assert!(
+        buf.counter_total().weight_ops() > 0,
+        "{} ({what}): no weight ops counted",
+        unit.name()
+    );
+}
+
+#[test]
+fn vliw_suite_is_bit_identical_with_telemetry_on() {
+    let machine = Machine::chorus_vliw(4);
+    for unit in vliw_suite(4) {
+        for threads in [1, 8] {
+            for shards in [1, 8] {
+                let sched = ConvergentScheduler::vliw_default()
+                    .with_threads(threads)
+                    .with_shards(shards);
+                assert_identical(
+                    sched,
+                    &unit,
+                    &machine,
+                    &format!("threads {threads}, shards {shards}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn raw_suite_is_bit_identical_with_telemetry_on() {
+    let machine = Machine::raw(4);
+    for unit in raw_suite(4) {
+        for threads in [1, 8] {
+            for shards in [1, 8] {
+                let sched = ConvergentScheduler::raw_default()
+                    .with_threads(threads)
+                    .with_shards(shards);
+                assert_identical(
+                    sched,
+                    &unit,
+                    &machine,
+                    &format!("threads {threads}, shards {shards}"),
+                );
+            }
+        }
+    }
+}

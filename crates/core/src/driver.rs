@@ -21,6 +21,10 @@ use convergent_sim::{stitch, Assignment, SpaceTimeSchedule};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::telemetry::{
+    measure, ConvergenceMetrics, CounterTotals, SinkInterest, SpanKind, TelemetryBuffer,
+    TelemetrySink,
+};
 use crate::{PassContext, PassProfile, PassScratch, PreferenceMap, Sequence};
 
 /// Per-pass convergence measurement.
@@ -34,6 +38,54 @@ pub struct PassRecord {
     /// `true` for passes that only adjust temporal preferences
     /// (excluded from the paper's Figures 7 and 9).
     pub time_only: bool,
+    /// Full convergence metrics for this pass, populated only when a
+    /// telemetry sink declared [`SinkInterest::convergence`] (the
+    /// sweep costs a pass worth of map reads). `None` merges shard
+    /// traces and plain runs.
+    pub metrics: Option<ConvergenceMetrics>,
+}
+
+/// The driver's internal telemetry handle: one sink, the run epoch
+/// every span timestamp is relative to, and the sink's interest
+/// (cached once so hot paths never re-ask).
+struct Telemetry<'a> {
+    sink: &'a mut dyn TelemetrySink,
+    epoch: Instant,
+    interest: SinkInterest,
+}
+
+impl<'a> Telemetry<'a> {
+    fn new(sink: &'a mut dyn TelemetrySink) -> Self {
+        let interest = sink.interest();
+        Telemetry {
+            sink,
+            epoch: Instant::now(),
+            interest,
+        }
+    }
+
+    /// A handle sharing another run's epoch — how per-shard buffers
+    /// keep timestamps on the parent run's clock.
+    fn with_epoch(sink: &'a mut dyn TelemetrySink, epoch: Instant) -> Self {
+        let interest = sink.interest();
+        Telemetry {
+            sink,
+            epoch,
+            interest,
+        }
+    }
+
+    /// Emits a span from `start` to now.
+    fn span_from(&mut self, path: &str, kind: SpanKind, start: Instant) {
+        self.span_between(path, kind, start, Instant::now());
+    }
+
+    /// Emits a span with an explicit end.
+    fn span_between(&mut self, path: &str, kind: SpanKind, start: Instant, end: Instant) {
+        let start_secs = start.saturating_duration_since(self.epoch).as_secs_f64();
+        let dur_secs = end.saturating_duration_since(start).as_secs_f64();
+        self.sink.span(path, kind, start_secs, dur_secs);
+    }
 }
 
 /// The per-pass convergence history of one scheduling run.
@@ -333,8 +385,35 @@ impl ConvergentScheduler {
         machine: &Machine,
     ) -> Result<(AssignOutcome, PassProfile), ScheduleError> {
         let mut profile = PassProfile::default();
-        let outcome = self.assign_impl(dag, machine, |_, _, _| {}, Some(&mut profile))?;
+        let outcome = {
+            let mut tel = Telemetry::new(&mut profile);
+            self.assign_impl(dag, machine, |_, _, _| {}, Some(&mut tel))?
+        };
         Ok((outcome, profile))
+    }
+
+    /// Like [`ConvergentScheduler::assign`], streaming telemetry into
+    /// `sink`: stage/pass spans, plus per-pass counter deltas and
+    /// convergence metrics when the sink's
+    /// [interest](TelemetrySink::interest) asks for them. The whole
+    /// call is wrapped in a `"<run>"` span. Telemetry never changes
+    /// the result — the assignment is bit-identical to
+    /// [`ConvergentScheduler::assign`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ConvergentScheduler::assign`].
+    pub fn assign_with_sink(
+        &self,
+        dag: &Dag,
+        machine: &Machine,
+        sink: &mut dyn TelemetrySink,
+    ) -> Result<AssignOutcome, ScheduleError> {
+        let mut tel = Telemetry::new(sink);
+        let t0 = tel.epoch;
+        let outcome = self.assign_impl(dag, machine, |_, _, _| {}, Some(&mut tel))?;
+        tel.span_from("<run>", SpanKind::Run, t0);
+        Ok(outcome)
     }
 
     fn assign_impl(
@@ -342,16 +421,12 @@ impl ConvergentScheduler {
         dag: &Dag,
         machine: &Machine,
         mut observer: impl FnMut(usize, &str, &PreferenceMap),
-        mut profile: Option<&mut PassProfile>,
+        mut tel: Option<&mut Telemetry>,
     ) -> Result<AssignOutcome, ScheduleError> {
-        let mut t0 = Instant::now();
-        let mut lap = move |profile: &mut Option<&mut PassProfile>, name: &'static str| {
-            let now = Instant::now();
-            if let Some(p) = profile.as_deref_mut() {
-                p.record(name, (now - t0).as_secs_f64());
-            }
-            t0 = now;
-        };
+        let interest = tel
+            .as_deref()
+            .map_or_else(SinkInterest::spans_only, |t| t.interest);
+        let t_init = Instant::now();
         convergent_schedulers::check_inputs(dag, machine)?;
 
         let time = TimeAnalysis::compute(dag, |i| machine.latency_of(i));
@@ -361,16 +436,23 @@ impl ConvergentScheduler {
         } else {
             PreferenceMap::new(dag.len(), machine.n_clusters(), n_slots)
         };
+        if interest.counters {
+            weights.enable_counters();
+        }
         let mut dist = DistanceOracle::new();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut scratch = PassScratch::default();
         let mut trace = ConvergenceTrace::default();
         observer(0, "<init>", &weights);
-        lap(&mut profile, "<init>");
+        if let Some(t) = tel.as_deref_mut() {
+            t.span_from("<init>", SpanKind::Stage, t_init);
+        }
+        let mut counter_base = weights.counter_totals();
 
         let mut preferred: Vec<ClusterId> =
             dag.ids().map(|i| weights.preferred_cluster(i)).collect();
         for (k, pass) in self.sequence.passes().iter().enumerate() {
+            let t_pass = Instant::now();
             // With threads > 1, split kernel-capable passes into their
             // sequential prologue plus a row kernel applied to
             // disjoint row chunks across a thread scope. Rows are
@@ -381,6 +463,15 @@ impl ConvergentScheduler {
                 if let Some(kernel) =
                     pass.row_kernel(dag, machine, &time, &mut rng, &weights, &mut scratch)
                 {
+                    let t_kernel = Instant::now();
+                    if let Some(t) = tel.as_deref_mut() {
+                        t.span_between(
+                            &format!("{}/<prologue>", pass.name()),
+                            SpanKind::Phase,
+                            t_pass,
+                            t_kernel,
+                        );
+                    }
                     let kernel = &*kernel;
                     let chunks = weights.rows_mut(self.threads);
                     std::thread::scope(|scope| {
@@ -388,6 +479,13 @@ impl ConvergentScheduler {
                             scope.spawn(move || kernel.apply(&mut chunk));
                         }
                     });
+                    if let Some(t) = tel.as_deref_mut() {
+                        t.span_from(
+                            &format!("{}/<kernel>", pass.name()),
+                            SpanKind::Phase,
+                            t_kernel,
+                        );
+                    }
                     ran_parallel = true;
                 }
             }
@@ -417,19 +515,58 @@ impl ConvergentScheduler {
                     preferred[i.index()] = now;
                 }
             }
+            let changed_fraction = changed as f64 / dag.len() as f64;
+            // Expensive telemetry, gated on interest: the counter
+            // delta this pass produced, and a convergence sweep over
+            // the map. Computed before the pass span is emitted so
+            // the span covers them; *emitted* after it so exporters
+            // see the span first.
+            let t_metrics = Instant::now();
+            let delta = interest
+                .counters
+                .then(|| weights.counter_totals().delta_since(&counter_base));
+            let metrics = interest
+                .convergence
+                .then(|| measure(dag, &weights, changed_fraction));
+            let t_metrics_end = Instant::now();
             trace.records.push(PassRecord {
                 name: pass.name(),
-                changed_fraction: changed as f64 / dag.len() as f64,
+                changed_fraction,
                 time_only: pass.is_time_only(),
+                metrics,
             });
             observer(k + 1, pass.name(), &weights);
-            lap(&mut profile, pass.name());
+            if let Some(t) = tel.as_deref_mut() {
+                t.span_from(pass.name(), SpanKind::Pass, t_pass);
+                if delta.is_some() || metrics.is_some() {
+                    t.span_between(
+                        &format!("{}/<metrics>", pass.name()),
+                        SpanKind::Phase,
+                        t_metrics,
+                        t_metrics_end,
+                    );
+                }
+                if let Some(delta) = &delta {
+                    if !delta.is_zero() {
+                        t.sink.counters(pass.name(), delta);
+                    }
+                }
+                if let Some(m) = &metrics {
+                    t.sink.convergence(pass.name(), m);
+                }
+            }
+            if interest.counters {
+                // Re-snapshot after the metrics sweep so its argmax
+                // reads never pollute the next pass's delta.
+                counter_base = weights.counter_totals();
+            }
         }
 
         // Read off the converged decisions. Preplacement is a
         // correctness constraint: on hard-memory machines the final
         // assignment is forced home no matter what the heuristics
         // said (PLACE's ×100 makes disagreement rare).
+        let t_readoff = Instant::now();
         let hard = machine.memory().preplacement_is_hard();
         let assignment: Assignment = dag
             .ids()
@@ -439,7 +576,15 @@ impl ConvergentScheduler {
             })
             .collect();
         let priorities: Vec<u32> = dag.ids().map(|i| weights.preferred_time(i).get()).collect();
-        lap(&mut profile, "<readoff>");
+        if let Some(t) = tel.as_mut() {
+            t.span_from("<readoff>", SpanKind::Stage, t_readoff);
+            if interest.counters {
+                let delta = weights.counter_totals().delta_since(&counter_base);
+                if !delta.is_zero() {
+                    t.sink.counters("<readoff>", &delta);
+                }
+            }
+        }
         Ok(AssignOutcome {
             assignment,
             priorities,
@@ -461,11 +606,7 @@ impl ConvergentScheduler {
     /// [`ScheduleError`] from the list scheduler; sharded runs report
     /// stitch failures as [`ScheduleError::ProducedInvalid`].
     pub fn schedule(&self, dag: &Dag, machine: &Machine) -> Result<ScheduleOutcome, ScheduleError> {
-        if let Some(out) = self.try_schedule_sharded(dag, machine, None)? {
-            return Ok(out);
-        }
-        let outcome = self.assign(dag, machine)?;
-        self.listsched(dag, machine, outcome)
+        self.schedule_impl(dag, machine, None)
     }
 
     /// Like [`ConvergentScheduler::schedule`], also collecting a
@@ -483,14 +624,54 @@ impl ConvergentScheduler {
         machine: &Machine,
     ) -> Result<(ScheduleOutcome, PassProfile), ScheduleError> {
         let mut profile = PassProfile::default();
-        if let Some(out) = self.try_schedule_sharded(dag, machine, Some(&mut profile))? {
-            return Ok((out, profile));
+        let out = {
+            let mut tel = Telemetry::new(&mut profile);
+            self.schedule_impl(dag, machine, Some(&mut tel))?
+        };
+        Ok((out, profile))
+    }
+
+    /// Like [`ConvergentScheduler::schedule`], streaming telemetry
+    /// into `sink` (see [`ConvergentScheduler::assign_with_sink`]).
+    /// Sharded runs buffer per-shard events on the worker threads and
+    /// replay them in shard order after the join, so event order is
+    /// deterministic; a synthetic `shard{k}` container span brackets
+    /// each shard's events. The whole call is wrapped in a `"<run>"`
+    /// span. Telemetry never changes the schedule — a suite-wide test
+    /// holds it byte-identical to [`ConvergentScheduler::schedule`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ConvergentScheduler::schedule`].
+    pub fn schedule_with_sink(
+        &self,
+        dag: &Dag,
+        machine: &Machine,
+        sink: &mut dyn TelemetrySink,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        let mut tel = Telemetry::new(sink);
+        let t0 = tel.epoch;
+        let out = self.schedule_impl(dag, machine, Some(&mut tel))?;
+        tel.span_from("<run>", SpanKind::Run, t0);
+        Ok(out)
+    }
+
+    fn schedule_impl(
+        &self,
+        dag: &Dag,
+        machine: &Machine,
+        mut tel: Option<&mut Telemetry>,
+    ) -> Result<ScheduleOutcome, ScheduleError> {
+        if let Some(out) = self.try_schedule_sharded(dag, machine, tel.as_deref_mut())? {
+            return Ok(out);
         }
-        let outcome = self.assign_impl(dag, machine, |_, _, _| {}, Some(&mut profile))?;
+        let outcome = self.assign_impl(dag, machine, |_, _, _| {}, tel.as_deref_mut())?;
         let t0 = Instant::now();
         let out = self.listsched(dag, machine, outcome)?;
-        profile.record("<listsched>", t0.elapsed().as_secs_f64());
-        Ok((out, profile))
+        if let Some(t) = tel {
+            t.span_from("<listsched>", SpanKind::Stage, t0);
+        }
+        Ok(out)
     }
 
     /// The sharded scheduling path. Returns `Ok(None)` when sharding
@@ -502,7 +683,7 @@ impl ConvergentScheduler {
         &self,
         dag: &Dag,
         machine: &Machine,
-        mut profile: Option<&mut PassProfile>,
+        mut tel: Option<&mut Telemetry>,
     ) -> Result<Option<ScheduleOutcome>, ScheduleError> {
         if self.shards <= 1 {
             return Ok(None);
@@ -510,14 +691,17 @@ impl ConvergentScheduler {
         convergent_schedulers::check_inputs(dag, machine)?;
         let t0 = Instant::now();
         let dec = decompose(dag, self.shards);
-        if let Some(p) = profile.as_deref_mut() {
-            p.record("<decompose>", t0.elapsed().as_secs_f64());
+        if let Some(t) = tel.as_deref_mut() {
+            t.span_from("<decompose>", SpanKind::Stage, t0);
         }
         if dec.is_trivial() {
             return Ok(None);
         }
         let shards = dec.shards();
-        let collect_profiles = profile.is_some();
+        let interest = tel
+            .as_deref()
+            .map_or_else(SinkInterest::spans_only, |t| t.interest);
+        let epoch = tel.as_deref().map(|t| t.epoch);
 
         // Full pipeline (passes + list scheduling) per shard, run
         // concurrently; each shard still applies row kernels across
@@ -526,15 +710,23 @@ impl ConvergentScheduler {
         // thrashes caches badly enough to erase the whole win on small
         // hosts. Results land in per-shard slots, so scheduling order
         // never affects output, and errors surface in shard order.
-        type ShardResult = Result<(ScheduleOutcome, Option<PassProfile>), ScheduleError>;
+        // Telemetry from worker threads lands in a per-shard
+        // TelemetryBuffer (timestamps on the parent epoch) and is
+        // replayed into the real sink in shard order after the join.
+        type ShardResult = Result<(ScheduleOutcome, Option<TelemetryBuffer>), ScheduleError>;
         let run_one = |shard: &Shard| -> ShardResult {
-            if collect_profiles {
-                let mut p = PassProfile::default();
-                let outcome = self.assign_impl(shard.dag(), machine, |_, _, _| {}, Some(&mut p))?;
-                let t0 = Instant::now();
-                let out = self.listsched(shard.dag(), machine, outcome)?;
-                p.record("<listsched>", t0.elapsed().as_secs_f64());
-                Ok((out, Some(p)))
+            if let Some(epoch) = epoch {
+                let mut buf = TelemetryBuffer::with_interest(interest);
+                let out = {
+                    let mut t = Telemetry::with_epoch(&mut buf, epoch);
+                    let outcome =
+                        self.assign_impl(shard.dag(), machine, |_, _, _| {}, Some(&mut t))?;
+                    let t0 = Instant::now();
+                    let out = self.listsched(shard.dag(), machine, outcome)?;
+                    t.span_from("<listsched>", SpanKind::Stage, t0);
+                    out
+                };
+                Ok((out, Some(buf)))
             } else {
                 let outcome = self.assign_impl(shard.dag(), machine, |_, _, _| {}, None)?;
                 Ok((self.listsched(shard.dag(), machine, outcome)?, None))
@@ -572,9 +764,15 @@ impl ConvergentScheduler {
         let mut parts = Vec::with_capacity(shards.len());
         let mut traces = Vec::with_capacity(shards.len());
         for (k, res) in results.into_iter().enumerate() {
-            let (out, shard_profile) = res?;
-            if let (Some(p), Some(sp)) = (profile.as_deref_mut(), shard_profile.as_ref()) {
-                p.absorb_prefixed(&format!("shard{k}/"), sp);
+            let (out, buf) = res?;
+            if let (Some(t), Some(buf)) = (tel.as_deref_mut(), buf.as_ref()) {
+                // Synthetic container span bracketing the shard's own
+                // events, then the events themselves under `shard{k}/`.
+                if let Some((lo, hi)) = buf.span_extent() {
+                    t.sink
+                        .span(&format!("shard{k}"), SpanKind::Shard, lo, hi - lo);
+                }
+                buf.replay_into(&format!("shard{k}/"), t.sink);
             }
             traces.push(out.trace().clone());
             parts.push(out.into_schedule());
@@ -583,8 +781,17 @@ impl ConvergentScheduler {
         let t0 = Instant::now();
         let report = stitch(dag, machine, &dec, &parts)
             .map_err(|e| ScheduleError::ProducedInvalid(format!("stitch failed: {e}")))?;
-        if let Some(p) = profile {
-            p.record("<stitch>", t0.elapsed().as_secs_f64());
+        if let Some(t) = tel.as_mut() {
+            t.span_from("<stitch>", SpanKind::Stage, t0);
+            if t.interest.counters && report.boundary_comms > 0 {
+                t.sink.counters(
+                    "<stitch>",
+                    &CounterTotals {
+                        boundary_comms: report.boundary_comms as u64,
+                        ..CounterTotals::default()
+                    },
+                );
+            }
         }
 
         // Aggregate the per-shard convergence traces, weighted by shard
@@ -600,6 +807,7 @@ impl ConvergentScheduler {
                         name: r.name,
                         changed_fraction: 0.0,
                         time_only: r.time_only,
+                        metrics: None,
                     });
                 }
                 records[j].changed_fraction += w * r.changed_fraction;
@@ -974,6 +1182,96 @@ mod tests {
             .schedule(&dag, &m)
             .unwrap();
         assert_eq!(plain.schedule(), out.schedule());
+    }
+
+    #[test]
+    fn sink_run_is_bit_identical_and_emits_run_span() {
+        use crate::telemetry::{SinkInterest, TelemetryBuffer, TelemetryEvent};
+        let dag = star_with_preplacement();
+        let m = Machine::chorus_vliw(4);
+        let plain = ConvergentScheduler::vliw_default()
+            .schedule(&dag, &m)
+            .unwrap();
+        let mut buf = TelemetryBuffer::new();
+        let out = ConvergentScheduler::vliw_default()
+            .schedule_with_sink(&dag, &m, &mut buf)
+            .unwrap();
+        assert_eq!(plain.schedule(), out.schedule());
+        assert_eq!(plain.assignment(), out.assignment());
+        // Structure: <init> first, <run> last, one Pass span per pass,
+        // counters and convergence for every pass.
+        let spans: Vec<_> = buf
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Span { path, kind, .. } => Some((path.as_str(), *kind)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.first(), Some(&("<init>", SpanKind::Stage)));
+        assert_eq!(spans.last(), Some(&("<run>", SpanKind::Run)));
+        let passes = spans.iter().filter(|(_, k)| *k == SpanKind::Pass).count();
+        assert_eq!(passes, Sequence::vliw().len());
+        assert_eq!(
+            buf.convergence_entries().count(),
+            Sequence::vliw().len(),
+            "one convergence measurement per pass"
+        );
+        let totals = buf.counter_total();
+        assert!(totals.weight_ops() > 0);
+        assert!(totals.argmax_hits + totals.argmax_misses > 0);
+        // The trace records carry the same metrics.
+        assert!(out.trace().records().iter().all(|r| r.metrics.is_some()));
+        // Spans-only interest produces no counters/convergence and
+        // leaves the trace metrics empty.
+        let mut lean = TelemetryBuffer::with_interest(SinkInterest::spans_only());
+        let out2 = ConvergentScheduler::vliw_default()
+            .schedule_with_sink(&dag, &m, &mut lean)
+            .unwrap();
+        assert_eq!(plain.schedule(), out2.schedule());
+        assert!(lean.counter_total().is_zero());
+        assert_eq!(lean.convergence_entries().count(), 0);
+        assert!(out2.trace().records().iter().all(|r| r.metrics.is_none()));
+    }
+
+    #[test]
+    fn sink_sharded_run_replays_in_shard_order() {
+        use crate::telemetry::{split_shard_prefix, TelemetryBuffer, TelemetryEvent};
+        let dag = multi_component_dag();
+        let m = Machine::chorus_vliw(4);
+        let plain = ConvergentScheduler::vliw_default()
+            .with_shards(3)
+            .schedule(&dag, &m)
+            .unwrap();
+        let mut buf = TelemetryBuffer::new();
+        let out = ConvergentScheduler::vliw_default()
+            .with_shards(3)
+            .schedule_with_sink(&dag, &m, &mut buf)
+            .unwrap();
+        assert_eq!(plain.schedule(), out.schedule());
+        let info = out.shard_info().expect("graph decomposes");
+        // Shard indices appear in nondecreasing order across events,
+        // regardless of worker scheduling.
+        let mut last = 0usize;
+        let mut seen = 0usize;
+        for ev in buf.events() {
+            if let TelemetryEvent::Span { path, kind, .. } = ev {
+                if *kind == SpanKind::Shard {
+                    let (k, rest) = split_shard_prefix(path);
+                    assert_eq!(rest, "");
+                    let k = k.expect("shard span path");
+                    assert!(k >= last, "shard spans out of order");
+                    last = k;
+                    seen += 1;
+                }
+            }
+        }
+        assert_eq!(seen, info.shard_sizes.len());
+        // The stitch counter delta reports the boundary COMMs.
+        assert_eq!(
+            buf.counter_total().boundary_comms as usize,
+            info.boundary_comms
+        );
     }
 
     #[test]

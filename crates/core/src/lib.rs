@@ -56,6 +56,7 @@ mod pass;
 pub mod passes;
 mod profile;
 mod sequence;
+pub mod telemetry;
 pub mod tuner;
 mod weights;
 

@@ -11,11 +11,17 @@
 //! entry points, so the normal scheduling path pays nothing.
 
 use std::borrow::Cow;
+use std::collections::HashMap;
+
+use crate::telemetry::{SpanKind, TelemetrySink};
 
 /// Aggregated per-pass wall-clock spans, in first-seen order.
 #[derive(Clone, Debug, Default)]
 pub struct PassProfile {
     spans: Vec<(Cow<'static, str>, f64, u32)>,
+    /// Name → index into `spans`, so repeated spans (PATHPROP, shard
+    /// replays) aggregate in O(1) instead of a linear rescan.
+    index: HashMap<Cow<'static, str>, usize>,
 }
 
 impl PassProfile {
@@ -24,19 +30,12 @@ impl PassProfile {
         self.bump(name.into(), secs, 1);
     }
 
-    /// Folds another profile into this one, prefixing every span name —
-    /// how per-shard profiles appear in the merged profile.
-    pub(crate) fn absorb_prefixed(&mut self, prefix: &str, other: &PassProfile) {
-        for (name, secs, hits) in &other.spans {
-            self.bump(Cow::Owned(format!("{prefix}{name}")), *secs, *hits);
-        }
-    }
-
     fn bump(&mut self, name: Cow<'static, str>, secs: f64, hits: u32) {
-        if let Some(entry) = self.spans.iter_mut().find(|(n, _, _)| *n == name) {
-            entry.1 += secs;
-            entry.2 += hits;
+        if let Some(&j) = self.index.get(&name) {
+            self.spans[j].1 += secs;
+            self.spans[j].2 += hits;
         } else {
+            self.index.insert(name.clone(), self.spans.len());
             self.spans.push((name, secs, hits));
         }
     }
@@ -79,6 +78,18 @@ impl PassProfile {
     }
 }
 
+/// The original `--profile` consumer, reborn as a [`TelemetrySink`]:
+/// it keeps stage and pass spans (full path, so shard replays land as
+/// `shard{k}/NAME`) and ignores everything else, which reproduces the
+/// pre-telemetry profile tables exactly.
+impl TelemetrySink for PassProfile {
+    fn span(&mut self, path: &str, kind: SpanKind, _start_secs: f64, dur_secs: f64) {
+        if matches!(kind, SpanKind::Stage | SpanKind::Pass) {
+            self.record(path.to_string(), dur_secs);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,21 +113,33 @@ mod tests {
     }
 
     #[test]
-    fn absorb_prefixed_merges_shard_profiles() {
-        let mut shard = PassProfile::default();
-        shard.record("PATH", 0.5);
-        shard.record("<listsched>", 0.25);
+    fn sink_keeps_only_stage_and_pass_spans() {
+        let mut p = PassProfile::default();
+        p.span("<run>", SpanKind::Run, 0.0, 2.0);
+        p.span("shard0", SpanKind::Shard, 0.0, 1.0);
+        p.span("<init>", SpanKind::Stage, 0.0, 0.5);
+        p.span("PATH", SpanKind::Pass, 0.5, 1.0);
+        p.span("PATH/<kernel>", SpanKind::Phase, 0.6, 0.2);
+        let spans: Vec<_> = p.spans().collect();
+        assert_eq!(spans, vec![("<init>", 0.5, 1), ("PATH", 1.0, 1)]);
+    }
+
+    #[test]
+    fn sink_replay_merges_shard_spans() {
+        // Shard buffers replay the same span names repeatedly; the
+        // profile aggregates by full (prefixed) path.
         let mut p = PassProfile::default();
         p.record("<decompose>", 0.1);
-        p.absorb_prefixed("shard0/", &shard);
-        p.absorb_prefixed("shard0/", &shard);
+        p.span("shard0/PATH", SpanKind::Pass, 0.0, 0.5);
+        p.span("shard0/PATH", SpanKind::Pass, 0.5, 0.5);
+        p.span("shard0/<listsched>", SpanKind::Stage, 1.0, 0.25);
         let spans: Vec<_> = p.spans().collect();
         assert_eq!(
             spans,
             vec![
                 ("<decompose>", 0.1, 1),
                 ("shard0/PATH", 1.0, 2),
-                ("shard0/<listsched>", 0.5, 2)
+                ("shard0/<listsched>", 0.25, 1)
             ]
         );
     }

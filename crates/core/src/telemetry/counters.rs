@@ -1,0 +1,423 @@
+//! Hot-path counters: what the scheduler *did*, not how long it took.
+//!
+//! Two layers:
+//!
+//! * [`CounterTotals`] — a plain snapshot of every counter the
+//!   telemetry layer knows about. Cheap to copy, diff, and merge;
+//!   this is what sinks receive (batched once per span, never from
+//!   inside a hot loop).
+//! * [`MapCounters`] — the live accumulator owned by
+//!   [`crate::PreferenceMap`]. Counting is **off by default**: every
+//!   increment site first checks a plain `bool`, so the disabled path
+//!   costs one predictable branch (and the scheduler's byte-identical
+//!   output never depends on the flag — counters only observe). When
+//!   enabled, increments are relaxed atomics so disjoint
+//!   [`crate::WeightRows`] chunks can count from worker threads
+//!   without locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A snapshot of every telemetry counter, batched per span.
+///
+/// Map-owned counters (weight ops, argmax cache, band events) are
+/// filled by [`crate::PreferenceMap`]; harness-owned counters
+/// (boundary COMMs, referee verdicts) are filled by the driver and the
+/// verification tools. All fields are plain totals, so deltas and sums
+/// are field-wise.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterTotals {
+    /// `set` ops (includes the `add` read-modify-write path).
+    pub set: u64,
+    /// Per-cell `scale` ops.
+    pub scale: u64,
+    /// `scale_cluster` ops.
+    pub scale_cluster: u64,
+    /// `scale_time` ops.
+    pub scale_time: u64,
+    /// `set_window` ops.
+    pub set_window: u64,
+    /// `forbid_cluster` ops.
+    pub forbid_cluster: u64,
+    /// `normalize` ops (one per instruction per `normalize_all`).
+    pub normalize: u64,
+    /// `reset_uniform` ops.
+    pub reset_uniform: u64,
+    /// Bulk row-kernel calls (`add_row`, `axpy_row`, `scale_row`,
+    /// `noise_fill`, `scale_clusters_row`) — one count per row visit,
+    /// however many cells the visit touched.
+    pub row_batch: u64,
+    /// Argmax reads answered from a valid cache.
+    pub argmax_hits: u64,
+    /// Argmax reads that forced a fresh marginal scan.
+    pub argmax_misses: u64,
+    /// Cached argmax halves invalidated by a mutation.
+    pub argmax_invalidations: u64,
+    /// Banded-layout band growths (out-of-band absolute writes).
+    pub band_growths: u64,
+    /// Uniform-row densifications on the banded layout.
+    pub band_densifications: u64,
+    /// Cross-shard transfers inserted by the stitch fix-up.
+    pub boundary_comms: u64,
+    /// `validate()` verdicts: schedule accepted.
+    pub validate_ok: u64,
+    /// `validate()` verdicts: schedule rejected.
+    pub validate_fail: u64,
+    /// Oracle cross-checks that agreed with `evaluate()`.
+    pub oracle_agree: u64,
+    /// Oracle cross-checks that disagreed (or failed to replay).
+    pub oracle_disagree: u64,
+}
+
+impl CounterTotals {
+    /// Every counter as `(name, value)`, in a fixed order — the single
+    /// source of truth for exporters.
+    #[must_use]
+    pub fn named(&self) -> [(&'static str, u64); 19] {
+        [
+            ("set", self.set),
+            ("scale", self.scale),
+            ("scale_cluster", self.scale_cluster),
+            ("scale_time", self.scale_time),
+            ("set_window", self.set_window),
+            ("forbid_cluster", self.forbid_cluster),
+            ("normalize", self.normalize),
+            ("reset_uniform", self.reset_uniform),
+            ("row_batch", self.row_batch),
+            ("argmax_hits", self.argmax_hits),
+            ("argmax_misses", self.argmax_misses),
+            ("argmax_invalidations", self.argmax_invalidations),
+            ("band_growths", self.band_growths),
+            ("band_densifications", self.band_densifications),
+            ("boundary_comms", self.boundary_comms),
+            ("validate_ok", self.validate_ok),
+            ("validate_fail", self.validate_fail),
+            ("oracle_agree", self.oracle_agree),
+            ("oracle_disagree", self.oracle_disagree),
+        ]
+    }
+
+    /// Total weight operations of any kind (bulk row visits count
+    /// once).
+    #[must_use]
+    pub fn weight_ops(&self) -> u64 {
+        self.set
+            + self.scale
+            + self.scale_cluster
+            + self.scale_time
+            + self.set_window
+            + self.forbid_cluster
+            + self.normalize
+            + self.reset_uniform
+            + self.row_batch
+    }
+
+    /// Fraction of argmax reads answered from cache, or `None` when
+    /// there were no reads.
+    #[must_use]
+    pub fn argmax_hit_rate(&self) -> Option<f64> {
+        let reads = self.argmax_hits + self.argmax_misses;
+        (reads > 0).then(|| self.argmax_hits as f64 / reads as f64)
+    }
+
+    /// `true` when every counter is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.named().iter().all(|&(_, v)| v == 0)
+    }
+
+    /// Field-wise `self - base` (saturating) — the per-span delta the
+    /// driver emits.
+    #[must_use]
+    pub fn delta_since(&self, base: &CounterTotals) -> CounterTotals {
+        let mut out = CounterTotals::default();
+        for ((name, v), (_, b)) in self.named().iter().zip(base.named().iter()) {
+            out.set_by_name(name, v.saturating_sub(*b));
+        }
+        out
+    }
+
+    /// Field-wise accumulate.
+    pub fn merge(&mut self, other: &CounterTotals) {
+        for (name, v) in other.named() {
+            let cur = self
+                .named()
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map_or(0, |&(_, v)| v);
+            self.set_by_name(name, cur + v);
+        }
+    }
+
+    /// Renders the counters as a flat JSON object (all fields, fixed
+    /// order), plus the derived `weight_ops` total.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (name, v) in self.named() {
+            out.push_str(&format!("\"{name}\":{v},"));
+        }
+        out.push_str(&format!("\"weight_ops\":{}}}", self.weight_ops()));
+        out
+    }
+
+    fn set_by_name(&mut self, name: &str, v: u64) {
+        match name {
+            "set" => self.set = v,
+            "scale" => self.scale = v,
+            "scale_cluster" => self.scale_cluster = v,
+            "scale_time" => self.scale_time = v,
+            "set_window" => self.set_window = v,
+            "forbid_cluster" => self.forbid_cluster = v,
+            "normalize" => self.normalize = v,
+            "reset_uniform" => self.reset_uniform = v,
+            "row_batch" => self.row_batch = v,
+            "argmax_hits" => self.argmax_hits = v,
+            "argmax_misses" => self.argmax_misses = v,
+            "argmax_invalidations" => self.argmax_invalidations = v,
+            "band_growths" => self.band_growths = v,
+            "band_densifications" => self.band_densifications = v,
+            "boundary_comms" => self.boundary_comms = v,
+            "validate_ok" => self.validate_ok = v,
+            "validate_fail" => self.validate_fail = v,
+            "oracle_agree" => self.oracle_agree = v,
+            "oracle_disagree" => self.oracle_disagree = v,
+            _ => unreachable!("unknown counter {name}"),
+        }
+    }
+}
+
+/// The kind of weight operation being counted; see the matching
+/// [`CounterTotals`] fields.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum OpKind {
+    Set,
+    Scale,
+    ScaleCluster,
+    ScaleTime,
+    SetWindow,
+    ForbidCluster,
+    Normalize,
+    ResetUniform,
+    RowBatch,
+}
+
+/// The live counter block owned by [`crate::PreferenceMap`].
+///
+/// Disabled by default: every increment first checks `enabled`, a
+/// plain `bool` that is only flipped via `&mut self` before any
+/// concurrent access starts, so the hot path pays one well-predicted
+/// branch. The counts themselves are relaxed atomics so disjoint row
+/// chunks can share `&MapCounters` across worker threads.
+#[derive(Debug, Default)]
+pub(crate) struct MapCounters {
+    enabled: bool,
+    set: AtomicU64,
+    scale: AtomicU64,
+    scale_cluster: AtomicU64,
+    scale_time: AtomicU64,
+    set_window: AtomicU64,
+    forbid_cluster: AtomicU64,
+    normalize: AtomicU64,
+    reset_uniform: AtomicU64,
+    row_batch: AtomicU64,
+    argmax_hits: AtomicU64,
+    argmax_misses: AtomicU64,
+    argmax_invalidations: AtomicU64,
+}
+
+impl Clone for MapCounters {
+    fn clone(&self) -> Self {
+        let c = |a: &AtomicU64| AtomicU64::new(a.load(Ordering::Relaxed));
+        MapCounters {
+            enabled: self.enabled,
+            set: c(&self.set),
+            scale: c(&self.scale),
+            scale_cluster: c(&self.scale_cluster),
+            scale_time: c(&self.scale_time),
+            set_window: c(&self.set_window),
+            forbid_cluster: c(&self.forbid_cluster),
+            normalize: c(&self.normalize),
+            reset_uniform: c(&self.reset_uniform),
+            row_batch: c(&self.row_batch),
+            argmax_hits: c(&self.argmax_hits),
+            argmax_misses: c(&self.argmax_misses),
+            argmax_invalidations: c(&self.argmax_invalidations),
+        }
+    }
+}
+
+impl MapCounters {
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Counts one weight operation. No-op (one branch) when disabled.
+    #[inline]
+    pub(crate) fn op(&self, kind: OpKind) {
+        if !self.enabled {
+            return;
+        }
+        let field = match kind {
+            OpKind::Set => &self.set,
+            OpKind::Scale => &self.scale,
+            OpKind::ScaleCluster => &self.scale_cluster,
+            OpKind::ScaleTime => &self.scale_time,
+            OpKind::SetWindow => &self.set_window,
+            OpKind::ForbidCluster => &self.forbid_cluster,
+            OpKind::Normalize => &self.normalize,
+            OpKind::ResetUniform => &self.reset_uniform,
+            OpKind::RowBatch => &self.row_batch,
+        };
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one argmax read (hit = answered from a valid cache).
+    /// Callers must gate on [`MapCounters::enabled`] themselves — the
+    /// hit/miss classification needs a cache-flag read that should not
+    /// happen on the disabled path.
+    #[inline]
+    pub(crate) fn argmax_read(&self, hit: bool) {
+        let field = if hit {
+            &self.argmax_hits
+        } else {
+            &self.argmax_misses
+        };
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `n` argmax-cache invalidations (gate on
+    /// [`MapCounters::enabled`] at the call site).
+    #[inline]
+    pub(crate) fn invalidations(&self, n: u64) {
+        if n > 0 {
+            self.argmax_invalidations.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the map-owned counters (band events are owned by
+    /// the banded core and merged by the map).
+    pub(crate) fn totals(&self) -> CounterTotals {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        CounterTotals {
+            set: g(&self.set),
+            scale: g(&self.scale),
+            scale_cluster: g(&self.scale_cluster),
+            scale_time: g(&self.scale_time),
+            set_window: g(&self.set_window),
+            forbid_cluster: g(&self.forbid_cluster),
+            normalize: g(&self.normalize),
+            reset_uniform: g(&self.reset_uniform),
+            row_batch: g(&self.row_batch),
+            argmax_hits: g(&self.argmax_hits),
+            argmax_misses: g(&self.argmax_misses),
+            argmax_invalidations: g(&self.argmax_invalidations),
+            ..CounterTotals::default()
+        }
+    }
+}
+
+/// Always-on band-event stats owned by the banded core. Band growth
+/// and densification are cold row-state transitions (at most a few per
+/// row per schedule), so these are not gated on the enabled flag —
+/// one relaxed increment at a site that just paid a reallocation.
+#[derive(Debug, Default)]
+pub(crate) struct BandStats {
+    pub(crate) growths: AtomicU64,
+    pub(crate) densifications: AtomicU64,
+}
+
+impl Clone for BandStats {
+    fn clone(&self) -> Self {
+        BandStats {
+            growths: AtomicU64::new(self.growths.load(Ordering::Relaxed)),
+            densifications: AtomicU64::new(self.densifications.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl BandStats {
+    #[inline]
+    pub(crate) fn grew(&self) {
+        self.growths.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn densified(&self) {
+        self.densifications.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_delta_and_merge_are_fieldwise() {
+        let mut a = CounterTotals {
+            set: 10,
+            argmax_hits: 4,
+            ..CounterTotals::default()
+        };
+        let b = CounterTotals {
+            set: 3,
+            argmax_hits: 1,
+            band_growths: 2,
+            ..CounterTotals::default()
+        };
+        let d = a.delta_since(&b);
+        assert_eq!(d.set, 7);
+        assert_eq!(d.argmax_hits, 3);
+        assert_eq!(d.band_growths, 0); // saturating
+        a.merge(&b);
+        assert_eq!(a.set, 13);
+        assert_eq!(a.band_growths, 2);
+        assert!(!a.is_zero());
+        assert!(CounterTotals::default().is_zero());
+    }
+
+    #[test]
+    fn weight_ops_and_hit_rate() {
+        let t = CounterTotals {
+            set: 2,
+            row_batch: 3,
+            argmax_hits: 3,
+            argmax_misses: 1,
+            ..CounterTotals::default()
+        };
+        assert_eq!(t.weight_ops(), 5);
+        assert_eq!(t.argmax_hit_rate(), Some(0.75));
+        assert_eq!(CounterTotals::default().argmax_hit_rate(), None);
+    }
+
+    #[test]
+    fn map_counters_disabled_by_default() {
+        let mut c = MapCounters::default();
+        c.op(OpKind::Set);
+        assert!(c.totals().is_zero());
+        c.enable();
+        c.op(OpKind::Set);
+        c.op(OpKind::RowBatch);
+        c.argmax_read(true);
+        c.invalidations(2);
+        let t = c.totals();
+        assert_eq!(t.set, 1);
+        assert_eq!(t.row_batch, 1);
+        assert_eq!(t.argmax_hits, 1);
+        assert_eq!(t.argmax_invalidations, 2);
+    }
+
+    #[test]
+    fn json_lists_every_field() {
+        let t = CounterTotals::default();
+        let j = t.to_json();
+        for (name, _) in t.named() {
+            assert!(j.contains(&format!("\"{name}\":")), "{name} missing");
+        }
+        assert!(j.contains("\"weight_ops\":0"));
+    }
+}

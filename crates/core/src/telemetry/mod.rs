@@ -1,0 +1,51 @@
+//! Telemetry: structured tracing, hot-path counters, and convergence
+//! metrics for the convergent scheduler.
+//!
+//! The paper's central claim is that independent passes *converge*;
+//! this module makes that process observable. Three kinds of signal
+//! flow through one [`TelemetrySink`] trait threaded through
+//! [`ConvergentScheduler`](crate::ConvergentScheduler):
+//!
+//! - **Spans** — the hierarchical timing tree of a run: `<run>` →
+//!   `shard{k}` → stages (`<init>`, `<readoff>`, `<listsched>`,
+//!   `<decompose>`, `<stitch>`) and passes → kernel phases
+//!   (`PASS/<prologue>`, `PASS/<kernel>`, `PASS/<metrics>`). Paths are
+//!   plain strings; shard membership is encoded as a `shard{k}/`
+//!   prefix (see [`split_shard_prefix`]). The legacy
+//!   [`PassProfile`](crate::PassProfile) is now just one sink
+//!   implementation, so `--profile` output is unchanged.
+//! - **Counters** — hot-path event counts batched per pass
+//!   ([`CounterTotals`]): weight ops by kind, argmax-cache
+//!   hits/misses/invalidations, band growths/densifications, boundary
+//!   COMMs, and referee verdicts. The disabled path costs one
+//!   predictable branch per already-cold call site; enabling is
+//!   opt-in per [`PreferenceMap`](crate::PreferenceMap).
+//! - **Convergence metrics** — per-pass measurements over the
+//!   preference map ([`ConvergenceMetrics`]): mean confidence,
+//!   decision churn, preference entropy, preplacement coverage.
+//!   Computed only when a sink declares interest
+//!   ([`SinkInterest::convergence`]), since the sweep costs a full
+//!   pass worth of map reads.
+//!
+//! Two exporters ship with the module: [`ChromeTraceSink`] renders
+//! Perfetto-loadable trace-event JSON (`csched --trace out.json`), and
+//! [`PrometheusSink`] / [`MetricsRegistry`] render a Prometheus
+//! text-exposition snapshot for the future `cschedd` daemon.
+//! Telemetry never alters scheduling decisions — a suite-wide test
+//! proves schedules are byte-identical with sinks attached or not.
+
+mod convergence;
+mod counters;
+mod prom;
+mod sink;
+mod trace_json;
+
+pub use convergence::{measure, ConvergenceMetrics, CONFIDENCE_CAP, CONVERGENCE_SAMPLE_CAP};
+pub use counters::CounterTotals;
+pub(crate) use counters::{BandStats, MapCounters, OpKind};
+pub use prom::{parse_exposition, MetricsRegistry, PrometheusSink, DURATION_BUCKETS};
+pub use sink::{
+    split_shard_prefix, MultiSink, SinkInterest, SpanKind, TelemetryBuffer, TelemetryEvent,
+    TelemetrySink,
+};
+pub use trace_json::{validate_chrome_trace, ChromeTraceSink, TraceStats};

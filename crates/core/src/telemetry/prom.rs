@@ -1,0 +1,665 @@
+//! Prometheus text-exposition snapshot exporter.
+//!
+//! [`MetricsRegistry`] is a small in-process metrics store — counters,
+//! gauges, and histograms with labels — rendered in the Prometheus
+//! text exposition format (version 0.0.4). ROADMAP item 1's `cschedd`
+//! daemon can serve [`MetricsRegistry::render`] verbatim from a
+//! `/metrics` endpoint; until then the registry backs `--json` run
+//! reports and the round-trip tests via [`parse_exposition`].
+//!
+//! [`PrometheusSink`] adapts the registry to the [`TelemetrySink`]
+//! interface: pass spans become per-pass duration histograms, counter
+//! deltas become labeled counter families, and convergence metrics
+//! become gauges (last pass wins).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use super::convergence::ConvergenceMetrics;
+use super::counters::CounterTotals;
+use super::sink::{split_shard_prefix, SinkInterest, SpanKind, TelemetrySink};
+
+/// Default histogram buckets for pass/stage durations (seconds).
+pub const DURATION_BUCKETS: [f64; 7] = [1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0];
+
+/// The value of one labeled sample.
+#[derive(Clone, Debug, PartialEq)]
+enum Sample {
+    Counter(f64),
+    Gauge(f64),
+    Histogram {
+        /// Upper bounds, ascending; an implicit `+Inf` bucket follows.
+        le: Vec<f64>,
+        /// Cumulative counts per bucket (same length as `le`).
+        cumulative: Vec<u64>,
+        sum: f64,
+        count: u64,
+    },
+}
+
+/// One metric family: a help string, a type, and labeled samples.
+#[derive(Clone, Debug, PartialEq)]
+struct Family {
+    help: String,
+    kind: &'static str,
+    /// Keyed by the rendered label set (`{k="v",...}` or empty).
+    samples: BTreeMap<String, Sample>,
+}
+
+/// An in-process metrics store rendering Prometheus text exposition.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    families: BTreeMap<String, Family>,
+}
+
+/// Renders a label set deterministically (sorted by key).
+fn label_key(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = String::from("{");
+    for (k, (name, value)) in sorted.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{name}=\"{}\"", escape_label(value));
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn unescape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        _ => s.parse().ok(),
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// `true` when no metric family holds any sample.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    fn family(&mut self, name: &str, help: &str, kind: &'static str) -> &mut Family {
+        self.families
+            .entry(name.to_string())
+            .or_insert_with(|| Family {
+                help: help.to_string(),
+                kind,
+                samples: BTreeMap::new(),
+            })
+    }
+
+    /// Adds `v` to the counter `name{labels}` (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, help: &str, labels: &[(&str, &str)], v: f64) {
+        let key = label_key(labels);
+        let fam = self.family(name, help, "counter");
+        if let Sample::Counter(total) = fam.samples.entry(key).or_insert(Sample::Counter(0.0)) {
+            *total += v;
+        }
+    }
+
+    /// Sets the gauge `name{labels}` to `v`.
+    pub fn gauge_set(&mut self, name: &str, help: &str, labels: &[(&str, &str)], v: f64) {
+        let key = label_key(labels);
+        let fam = self.family(name, help, "gauge");
+        fam.samples.insert(key, Sample::Gauge(v));
+    }
+
+    /// Observes `v` into the histogram `name{labels}` using
+    /// [`DURATION_BUCKETS`].
+    pub fn histogram_observe(&mut self, name: &str, help: &str, labels: &[(&str, &str)], v: f64) {
+        self.histogram_observe_with(name, help, labels, v, &DURATION_BUCKETS);
+    }
+
+    /// Observes `v` into the histogram `name{labels}` with explicit
+    /// bucket upper bounds (ascending; `+Inf` is implicit).
+    pub fn histogram_observe_with(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        v: f64,
+        buckets: &[f64],
+    ) {
+        let key = label_key(labels);
+        let fam = self.family(name, help, "histogram");
+        let sample = fam.samples.entry(key).or_insert_with(|| Sample::Histogram {
+            le: buckets.to_vec(),
+            cumulative: vec![0; buckets.len()],
+            sum: 0.0,
+            count: 0,
+        });
+        if let Sample::Histogram {
+            le,
+            cumulative,
+            sum,
+            count,
+        } = sample
+        {
+            for (k, &bound) in le.iter().enumerate() {
+                if v <= bound {
+                    cumulative[k] += 1;
+                }
+            }
+            *sum += v;
+            *count += 1;
+        }
+    }
+
+    /// Renders the registry in Prometheus text exposition format 0.0.4.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, fam) in &self.families {
+            let _ = writeln!(
+                out,
+                "# HELP {name} {}",
+                fam.help.replace('\\', "\\\\").replace('\n', "\\n")
+            );
+            let _ = writeln!(out, "# TYPE {name} {}", fam.kind);
+            for (labels, sample) in &fam.samples {
+                match sample {
+                    Sample::Counter(v) | Sample::Gauge(v) => {
+                        let _ = writeln!(out, "{name}{labels} {}", fmt_value(*v));
+                    }
+                    Sample::Histogram {
+                        le,
+                        cumulative,
+                        sum,
+                        count,
+                    } => {
+                        for (k, bound) in le.iter().enumerate() {
+                            let with_le = merge_le(labels, &fmt_value(*bound));
+                            let _ = writeln!(out, "{name}_bucket{with_le} {}", cumulative[k]);
+                        }
+                        let with_le = merge_le(labels, "+Inf");
+                        let _ = writeln!(out, "{name}_bucket{with_le} {count}");
+                        let _ = writeln!(out, "{name}_sum{labels} {}", fmt_value(*sum));
+                        let _ = writeln!(out, "{name}_count{labels} {count}");
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Appends `le="bound"` to a rendered label set.
+fn merge_le(labels: &str, bound: &str) -> String {
+    if labels.is_empty() {
+        format!("{{le=\"{bound}\"}}")
+    } else {
+        format!("{},le=\"{bound}\"}}", &labels[..labels.len() - 1])
+    }
+}
+
+/// Parses text previously produced by [`MetricsRegistry::render`] back
+/// into a registry — the round-trip check for the exposition writer.
+/// Timestamps and unknown comment lines are not supported; `le` bucket
+/// lines are folded back into their histogram sample.
+///
+/// # Errors
+///
+/// A description of the first malformed line.
+pub fn parse_exposition(text: &str) -> Result<MetricsRegistry, String> {
+    let mut reg = MetricsRegistry::new();
+    let mut kinds: BTreeMap<String, String> = BTreeMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .map(|(n, h)| (n, h.to_string()))
+                .unwrap_or((rest, String::new()));
+            let help = unescape_label(&help);
+            reg.families.entry(name.to_string()).or_insert(Family {
+                help,
+                kind: "untyped",
+                samples: BTreeMap::new(),
+            });
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| at("TYPE without a kind"))?;
+            let kind_static: &'static str = match kind {
+                "counter" => "counter",
+                "gauge" => "gauge",
+                "histogram" => "histogram",
+                _ => "untyped",
+            };
+            if let Some(fam) = reg.families.get_mut(name) {
+                fam.kind = kind_static;
+            } else {
+                reg.families.insert(
+                    name.to_string(),
+                    Family {
+                        help: String::new(),
+                        kind: kind_static,
+                        samples: BTreeMap::new(),
+                    },
+                );
+            }
+            kinds.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| at("sample without a value"))?;
+        let sample_name = &line[..name_end];
+        let (labels, value_str) = if line.as_bytes()[name_end] == b'{' {
+            let close = line[name_end..]
+                .find('}')
+                .map(|k| name_end + k)
+                .ok_or_else(|| at("unterminated label set"))?;
+            (&line[name_end..=close], line[close + 1..].trim())
+        } else {
+            ("", line[name_end..].trim())
+        };
+        let value = parse_value(value_str).ok_or_else(|| at("bad sample value"))?;
+        // Histogram sub-samples fold back into the base family.
+        let (base, part) = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let base = sample_name.strip_suffix(suffix)?;
+                (kinds.get(base).map(String::as_str) == Some("histogram"))
+                    .then_some((base, *suffix))
+            })
+            .unwrap_or((sample_name, ""));
+        let fam = reg
+            .families
+            .get_mut(base)
+            .ok_or_else(|| at("sample before HELP/TYPE"))?;
+        match (fam.kind, part) {
+            ("counter", "") => {
+                fam.samples
+                    .insert(labels.to_string(), Sample::Counter(value));
+            }
+            ("histogram", suffix) if !suffix.is_empty() => {
+                let (plain, le) = strip_le(labels);
+                let sample = fam.samples.entry(plain).or_insert(Sample::Histogram {
+                    le: Vec::new(),
+                    cumulative: Vec::new(),
+                    sum: 0.0,
+                    count: 0,
+                });
+                let Sample::Histogram {
+                    le: bounds,
+                    cumulative,
+                    sum,
+                    count,
+                } = sample
+                else {
+                    return Err(at("histogram sample clashes with scalar"));
+                };
+                match suffix {
+                    "_bucket" => {
+                        let bound = le
+                            .and_then(|b| parse_value(&b))
+                            .ok_or_else(|| at("_bucket without le"))?;
+                        if bound.is_finite() {
+                            bounds.push(bound);
+                            cumulative.push(value as u64);
+                        }
+                    }
+                    "_sum" => *sum = value,
+                    "_count" => *count = value as u64,
+                    _ => unreachable!(),
+                }
+            }
+            _ => {
+                // Gauges and untyped scalars.
+                fam.samples.insert(labels.to_string(), Sample::Gauge(value));
+            }
+        }
+    }
+    Ok(reg)
+}
+
+/// Splits a rendered label set into (labels without `le`, the `le`
+/// value if present).
+fn strip_le(labels: &str) -> (String, Option<String>) {
+    if labels.is_empty() {
+        return (String::new(), None);
+    }
+    let inner = &labels[1..labels.len() - 1];
+    let mut kept: Vec<String> = Vec::new();
+    let mut le = None;
+    // Labels were rendered by `label_key`, so values contain no raw
+    // commas outside escapes is NOT guaranteed — split on `",` + scan.
+    let mut rest = inner;
+    while !rest.is_empty() {
+        let eq = match rest.find('=') {
+            Some(k) => k,
+            None => break,
+        };
+        let key = &rest[..eq];
+        let after = &rest[eq + 2..]; // skip ="
+        let mut end = 0;
+        let bytes = after.as_bytes();
+        while end < bytes.len() {
+            match bytes[end] {
+                b'\\' => end += 2,
+                b'"' => break,
+                _ => end += 1,
+            }
+        }
+        let value = &after[..end.min(after.len())];
+        if key == "le" {
+            le = Some(unescape_label(value));
+        } else {
+            kept.push(format!("{key}=\"{value}\""));
+        }
+        rest = after.get(end + 1..).unwrap_or("");
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+    let plain = if kept.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", kept.join(","))
+    };
+    (plain, le)
+}
+
+/// A [`TelemetrySink`] filling a [`MetricsRegistry`].
+#[derive(Clone, Debug, Default)]
+pub struct PrometheusSink {
+    registry: MetricsRegistry,
+}
+
+impl PrometheusSink {
+    /// A sink over an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        PrometheusSink::default()
+    }
+
+    /// The registry accumulated so far.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Consumes the sink, returning its registry.
+    #[must_use]
+    pub fn into_registry(self) -> MetricsRegistry {
+        self.registry
+    }
+
+    fn add_counters(&mut self, shard: &str, delta: &CounterTotals) {
+        let ops: [(&str, u64); 9] = [
+            ("set", delta.set),
+            ("scale", delta.scale),
+            ("scale_cluster", delta.scale_cluster),
+            ("scale_time", delta.scale_time),
+            ("set_window", delta.set_window),
+            ("forbid_cluster", delta.forbid_cluster),
+            ("normalize", delta.normalize),
+            ("reset_uniform", delta.reset_uniform),
+            ("row_batch", delta.row_batch),
+        ];
+        for (kind, v) in ops {
+            if v > 0 {
+                self.registry.counter_add(
+                    "csched_weight_ops_total",
+                    "Preference-map weight operations by kind.",
+                    &[("kind", kind), ("shard", shard)],
+                    v as f64,
+                );
+            }
+        }
+        let cache: [(&str, u64); 3] = [
+            ("hit", delta.argmax_hits),
+            ("miss", delta.argmax_misses),
+            ("invalidation", delta.argmax_invalidations),
+        ];
+        for (event, v) in cache {
+            if v > 0 {
+                self.registry.counter_add(
+                    "csched_argmax_cache_total",
+                    "Argmax cache reads and invalidations.",
+                    &[("event", event), ("shard", shard)],
+                    v as f64,
+                );
+            }
+        }
+        let band: [(&str, u64); 2] = [
+            ("growth", delta.band_growths),
+            ("densification", delta.band_densifications),
+        ];
+        for (event, v) in band {
+            if v > 0 {
+                self.registry.counter_add(
+                    "csched_band_events_total",
+                    "Banded-representation band growths and densifications.",
+                    &[("event", event), ("shard", shard)],
+                    v as f64,
+                );
+            }
+        }
+        if delta.boundary_comms > 0 {
+            self.registry.counter_add(
+                "csched_boundary_comms_total",
+                "COMM instructions stitched across shard boundaries.",
+                &[],
+                delta.boundary_comms as f64,
+            );
+        }
+        let referee: [(&str, u64); 4] = [
+            ("validate_ok", delta.validate_ok),
+            ("validate_fail", delta.validate_fail),
+            ("oracle_agree", delta.oracle_agree),
+            ("oracle_disagree", delta.oracle_disagree),
+        ];
+        for (verdict, v) in referee {
+            if v > 0 {
+                self.registry.counter_add(
+                    "csched_referee_verdicts_total",
+                    "Schedule validation and oracle comparison verdicts.",
+                    &[("verdict", verdict)],
+                    v as f64,
+                );
+            }
+        }
+    }
+}
+
+impl TelemetrySink for PrometheusSink {
+    fn interest(&self) -> SinkInterest {
+        SinkInterest::all()
+    }
+
+    fn span(&mut self, path: &str, kind: SpanKind, _start_secs: f64, dur_secs: f64) {
+        let (_, name) = split_shard_prefix(path);
+        match kind {
+            SpanKind::Pass => self.registry.histogram_observe(
+                "csched_pass_duration_seconds",
+                "Wall-clock duration of one convergent pass.",
+                &[("pass", name)],
+                dur_secs,
+            ),
+            SpanKind::Stage => self.registry.histogram_observe(
+                "csched_stage_duration_seconds",
+                "Wall-clock duration of one driver stage.",
+                &[("stage", name)],
+                dur_secs,
+            ),
+            SpanKind::Run => self.registry.histogram_observe(
+                "csched_run_duration_seconds",
+                "Wall-clock duration of one full scheduling run.",
+                &[],
+                dur_secs,
+            ),
+            SpanKind::Shard | SpanKind::Phase => {}
+        }
+    }
+
+    fn counters(&mut self, path: &str, delta: &CounterTotals) {
+        let (shard, _) = split_shard_prefix(path);
+        let shard_label = shard.map(|k| k.to_string()).unwrap_or_default();
+        self.add_counters(&shard_label, delta);
+    }
+
+    fn convergence(&mut self, path: &str, metrics: &ConvergenceMetrics) {
+        let (_, name) = split_shard_prefix(path);
+        let labels: [(&str, &str); 1] = [("pass", name)];
+        self.registry.gauge_set(
+            "csched_convergence_mean_confidence",
+            "Mean per-instruction preference confidence after the pass.",
+            &labels,
+            metrics.mean_confidence,
+        );
+        self.registry.gauge_set(
+            "csched_convergence_decision_churn",
+            "Fraction of instructions whose preferred cluster changed.",
+            &labels,
+            metrics.decision_churn,
+        );
+        self.registry.gauge_set(
+            "csched_convergence_preference_entropy",
+            "Mean per-instruction preference entropy (nats).",
+            &labels,
+            metrics.preference_entropy,
+        );
+        self.registry.gauge_set(
+            "csched_convergence_preplacement_coverage",
+            "Fraction of preplaced instructions on their home cluster.",
+            &labels,
+            metrics.preplacement_coverage,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("ops_total", "Ops.", &[("kind", "set")], 42.0);
+        reg.counter_add("ops_total", "Ops.", &[("kind", "scale")], 7.0);
+        reg.gauge_set("entropy", "Entropy.", &[("pass", "PATH")], 1.25);
+        reg.histogram_observe("dur_seconds", "Durations.", &[("pass", "COMM")], 0.003);
+        reg.histogram_observe("dur_seconds", "Durations.", &[("pass", "COMM")], 0.25);
+        let text = reg.render();
+        let back = parse_exposition(&text).expect("parses");
+        assert_eq!(back, reg);
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut reg = MetricsRegistry::new();
+        reg.histogram_observe("h", "H.", &[], 5e-5);
+        reg.histogram_observe("h", "H.", &[], 0.5);
+        let text = reg.render();
+        assert!(text.contains("h_bucket{le=\"0.0001\"} 1"));
+        assert!(text.contains("h_bucket{le=\"1\"} 2"));
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("h_count 2"));
+    }
+
+    #[test]
+    fn sink_builds_expected_families() {
+        let mut sink = PrometheusSink::new();
+        sink.span("PATH", SpanKind::Pass, 0.0, 0.002);
+        sink.span("shard1/COMM", SpanKind::Pass, 0.0, 0.001);
+        sink.counters(
+            "PATH",
+            &CounterTotals {
+                set: 3,
+                argmax_hits: 5,
+                ..CounterTotals::default()
+            },
+        );
+        sink.convergence(
+            "PATH",
+            &ConvergenceMetrics {
+                mean_confidence: 2.0,
+                decision_churn: 0.5,
+                preference_entropy: 1.0,
+                preplacement_coverage: 1.0,
+            },
+        );
+        let text = sink.registry().render();
+        assert!(text.contains("csched_pass_duration_seconds_bucket{pass=\"PATH\""));
+        assert!(text.contains("pass=\"COMM\"")); // shard prefix stripped
+        assert!(text.contains("csched_weight_ops_total{kind=\"set\",shard=\"\"} 3"));
+        assert!(text.contains("csched_argmax_cache_total{event=\"hit\",shard=\"\"} 5"));
+        assert!(text.contains("csched_convergence_decision_churn{pass=\"PATH\"} 0.5"));
+        parse_exposition(&text).expect("sink output parses");
+    }
+
+    #[test]
+    fn label_values_escape() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_set("g", "G.", &[("pass", "a\"b\\c")], 1.0);
+        let text = reg.render();
+        assert!(text.contains("g{pass=\"a\\\"b\\\\c\"} 1"));
+        let back = parse_exposition(&text).expect("parses escapes");
+        assert_eq!(back, reg);
+    }
+}

@@ -1,0 +1,426 @@
+//! The sink trait: where the driver's telemetry goes.
+//!
+//! The driver never formats anything — it emits *events* (hierarchical
+//! spans, batched counter deltas, convergence metrics) into a
+//! [`TelemetrySink`] and each sink decides what to keep:
+//! [`crate::PassProfile`] keeps only stage/pass spans (so `--profile`
+//! output is unchanged), [`super::ChromeTraceSink`] keeps everything
+//! as a Perfetto-loadable trace, [`super::PrometheusSink`] folds
+//! everything into a metrics registry. A sink declares up front which
+//! *expensive* event families it wants ([`SinkInterest`]); the driver
+//! skips computing counters/convergence metrics nobody asked for.
+//!
+//! Span paths are plain strings forming a hierarchy by convention:
+//! `<run>` covers the whole schedule call; `shard3` (kind
+//! [`SpanKind::Shard`]) covers one shard, whose inner events are
+//! prefixed `shard3/`; stage spans (`<init>`, `<readoff>`,
+//! `<listsched>`, `<decompose>`, `<stitch>`) and pass spans (`PATH`,
+//! `COMM`, …) sit below; kernel phases appear as `PASS/<prologue>`,
+//! `PASS/<kernel>`, and `PASS/<metrics>`.
+
+use super::convergence::ConvergenceMetrics;
+use super::counters::CounterTotals;
+
+/// The level of a span in the run hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The whole `schedule()` call.
+    Run,
+    /// One shard's slice of a sharded run.
+    Shard,
+    /// A driver stage: `<init>`, `<readoff>`, `<listsched>`,
+    /// `<decompose>`, `<stitch>`.
+    Stage,
+    /// One pass of the sequence.
+    Pass,
+    /// A phase inside a pass (kernel prologue/apply, metric
+    /// computation).
+    Phase,
+}
+
+/// Which expensive event families a sink wants. Spans are always
+/// delivered (they are nearly free); counter deltas and convergence
+/// metrics cost a map sweep or atomic traffic, so the driver only
+/// produces them when at least one sink opts in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SinkInterest {
+    /// Deliver per-span [`CounterTotals`] deltas (enables the map's
+    /// hot-path counters).
+    pub counters: bool,
+    /// Deliver per-pass [`ConvergenceMetrics`] (costs one map sweep
+    /// per pass).
+    pub convergence: bool,
+}
+
+impl SinkInterest {
+    /// Everything on.
+    #[must_use]
+    pub fn all() -> Self {
+        SinkInterest {
+            counters: true,
+            convergence: true,
+        }
+    }
+
+    /// Spans only (the default).
+    #[must_use]
+    pub fn spans_only() -> Self {
+        SinkInterest::default()
+    }
+
+    /// Field-wise or.
+    #[must_use]
+    pub fn union(self, other: SinkInterest) -> SinkInterest {
+        SinkInterest {
+            counters: self.counters || other.counters,
+            convergence: self.convergence || other.convergence,
+        }
+    }
+}
+
+/// Receives telemetry events from the driver. All methods take `&mut
+/// self` and are called from one thread at a time (sharded runs buffer
+/// per shard and replay after the join, in shard order, so event order
+/// is deterministic for a deterministic schedule).
+pub trait TelemetrySink {
+    /// Which expensive event families to produce for this sink.
+    /// Called once per run, before any event.
+    fn interest(&self) -> SinkInterest {
+        SinkInterest::spans_only()
+    }
+
+    /// One completed span. `start_secs` is relative to the run epoch;
+    /// `dur_secs` is the span's wall-clock duration.
+    fn span(&mut self, path: &str, kind: SpanKind, start_secs: f64, dur_secs: f64);
+
+    /// Counter activity attributed to the span `path` (a delta, not a
+    /// running total). Only called when [`SinkInterest::counters`] was
+    /// requested; zero deltas are skipped.
+    fn counters(&mut self, path: &str, delta: &CounterTotals) {
+        let _ = (path, delta);
+    }
+
+    /// Convergence metrics measured after the pass `path`. Only called
+    /// when [`SinkInterest::convergence`] was requested.
+    fn convergence(&mut self, path: &str, metrics: &ConvergenceMetrics) {
+        let _ = (path, metrics);
+    }
+}
+
+/// Splits a `shard{k}/`-prefixed path (or a bare `shard{k}` container
+/// span) into its shard index and the remainder.
+#[must_use]
+pub fn split_shard_prefix(path: &str) -> (Option<usize>, &str) {
+    if let Some(rest) = path.strip_prefix("shard") {
+        let digits = rest.len() - rest.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+        if digits > 0 {
+            if let Ok(k) = rest[..digits].parse::<usize>() {
+                let tail = &rest[digits..];
+                if tail.is_empty() {
+                    return (Some(k), "");
+                }
+                if let Some(inner) = tail.strip_prefix('/') {
+                    return (Some(k), inner);
+                }
+            }
+        }
+    }
+    (None, path)
+}
+
+/// One buffered telemetry event; see [`TelemetryBuffer`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TelemetryEvent {
+    /// A completed span.
+    Span {
+        /// Span path.
+        path: String,
+        /// Hierarchy level.
+        kind: SpanKind,
+        /// Start, seconds from the run epoch.
+        start_secs: f64,
+        /// Duration in seconds.
+        dur_secs: f64,
+    },
+    /// A per-span counter delta.
+    Counters {
+        /// Span path the delta is attributed to.
+        path: String,
+        /// The delta.
+        delta: CounterTotals,
+    },
+    /// Per-pass convergence metrics.
+    Convergence {
+        /// Pass path.
+        path: String,
+        /// The metrics.
+        metrics: ConvergenceMetrics,
+    },
+}
+
+/// A sink that records events for later replay — how sharded runs keep
+/// worker-thread telemetry deterministic (each shard buffers, the
+/// driver replays buffers in shard order after the join), and a handy
+/// programmatic capture for tests and JSON reports.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryBuffer {
+    interest: SinkInterest,
+    events: Vec<TelemetryEvent>,
+}
+
+impl TelemetryBuffer {
+    /// An all-interest buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        TelemetryBuffer::with_interest(SinkInterest::all())
+    }
+
+    /// A buffer requesting only the given event families.
+    #[must_use]
+    pub fn with_interest(interest: SinkInterest) -> Self {
+        TelemetryBuffer {
+            interest,
+            events: Vec::new(),
+        }
+    }
+
+    /// The recorded events, in arrival order.
+    #[must_use]
+    pub fn events(&self) -> &[TelemetryEvent] {
+        &self.events
+    }
+
+    /// Replays every event into `sink`, prefixing each path with
+    /// `prefix`. Timestamps are passed through unchanged (buffers used
+    /// for sharding share the parent run's epoch).
+    pub fn replay_into(&self, prefix: &str, sink: &mut dyn TelemetrySink) {
+        for ev in &self.events {
+            match ev {
+                TelemetryEvent::Span {
+                    path,
+                    kind,
+                    start_secs,
+                    dur_secs,
+                } => sink.span(&format!("{prefix}{path}"), *kind, *start_secs, *dur_secs),
+                TelemetryEvent::Counters { path, delta } => {
+                    sink.counters(&format!("{prefix}{path}"), delta);
+                }
+                TelemetryEvent::Convergence { path, metrics } => {
+                    sink.convergence(&format!("{prefix}{path}"), metrics);
+                }
+            }
+        }
+    }
+
+    /// `(earliest_start, latest_end)` over the buffered spans, or
+    /// `None` if no span was recorded — used to synthesize shard
+    /// container spans.
+    #[must_use]
+    pub fn span_extent(&self) -> Option<(f64, f64)> {
+        let mut extent: Option<(f64, f64)> = None;
+        for ev in &self.events {
+            if let TelemetryEvent::Span {
+                start_secs,
+                dur_secs,
+                ..
+            } = ev
+            {
+                let end = start_secs + dur_secs;
+                extent = Some(match extent {
+                    None => (*start_secs, end),
+                    Some((lo, hi)) => (lo.min(*start_secs), hi.max(end)),
+                });
+            }
+        }
+        extent
+    }
+
+    /// Sum of every buffered counter delta.
+    #[must_use]
+    pub fn counter_total(&self) -> CounterTotals {
+        let mut total = CounterTotals::default();
+        for ev in &self.events {
+            if let TelemetryEvent::Counters { delta, .. } = ev {
+                total.merge(delta);
+            }
+        }
+        total
+    }
+
+    /// The buffered `(path, metrics)` convergence entries, in order.
+    pub fn convergence_entries(&self) -> impl Iterator<Item = (&str, &ConvergenceMetrics)> + '_ {
+        self.events.iter().filter_map(|ev| match ev {
+            TelemetryEvent::Convergence { path, metrics } => Some((path.as_str(), metrics)),
+            _ => None,
+        })
+    }
+}
+
+impl TelemetrySink for TelemetryBuffer {
+    fn interest(&self) -> SinkInterest {
+        self.interest
+    }
+
+    fn span(&mut self, path: &str, kind: SpanKind, start_secs: f64, dur_secs: f64) {
+        self.events.push(TelemetryEvent::Span {
+            path: path.to_string(),
+            kind,
+            start_secs,
+            dur_secs,
+        });
+    }
+
+    fn counters(&mut self, path: &str, delta: &CounterTotals) {
+        self.events.push(TelemetryEvent::Counters {
+            path: path.to_string(),
+            delta: *delta,
+        });
+    }
+
+    fn convergence(&mut self, path: &str, metrics: &ConvergenceMetrics) {
+        self.events.push(TelemetryEvent::Convergence {
+            path: path.to_string(),
+            metrics: *metrics,
+        });
+    }
+}
+
+/// Fans one event stream out to several sinks (e.g. `--profile` and
+/// `--trace` on the same run). Interest is the union of the members'.
+#[derive(Default)]
+pub struct MultiSink<'a> {
+    sinks: Vec<&'a mut dyn TelemetrySink>,
+}
+
+impl<'a> MultiSink<'a> {
+    /// An empty fan-out.
+    #[must_use]
+    pub fn new() -> Self {
+        MultiSink::default()
+    }
+
+    /// Adds a member sink.
+    pub fn push(&mut self, sink: &'a mut dyn TelemetrySink) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of member sinks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// `true` when no sink was added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl TelemetrySink for MultiSink<'_> {
+    fn interest(&self) -> SinkInterest {
+        self.sinks
+            .iter()
+            .fold(SinkInterest::spans_only(), |acc, s| acc.union(s.interest()))
+    }
+
+    fn span(&mut self, path: &str, kind: SpanKind, start_secs: f64, dur_secs: f64) {
+        for s in &mut self.sinks {
+            s.span(path, kind, start_secs, dur_secs);
+        }
+    }
+
+    fn counters(&mut self, path: &str, delta: &CounterTotals) {
+        for s in &mut self.sinks {
+            if s.interest().counters {
+                s.counters(path, delta);
+            }
+        }
+    }
+
+    fn convergence(&mut self, path: &str, metrics: &ConvergenceMetrics) {
+        for s in &mut self.sinks {
+            if s.interest().convergence {
+                s.convergence(path, metrics);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_prefix_parsing() {
+        assert_eq!(split_shard_prefix("shard0/PATH"), (Some(0), "PATH"));
+        assert_eq!(split_shard_prefix("shard12/<init>"), (Some(12), "<init>"));
+        assert_eq!(split_shard_prefix("shard3"), (Some(3), ""));
+        assert_eq!(split_shard_prefix("shardX/PATH"), (None, "shardX/PATH"));
+        assert_eq!(split_shard_prefix("PATH"), (None, "PATH"));
+        assert_eq!(split_shard_prefix("shard1x"), (None, "shard1x"));
+    }
+
+    #[test]
+    fn buffer_records_and_replays_with_prefix() {
+        let mut buf = TelemetryBuffer::new();
+        buf.span("<init>", SpanKind::Stage, 0.0, 0.5);
+        buf.span("PATH", SpanKind::Pass, 0.5, 1.0);
+        buf.counters(
+            "PATH",
+            &CounterTotals {
+                set: 3,
+                ..CounterTotals::default()
+            },
+        );
+        buf.convergence(
+            "PATH",
+            &ConvergenceMetrics {
+                mean_confidence: 1.0,
+                decision_churn: 0.0,
+                preference_entropy: 0.0,
+                preplacement_coverage: 1.0,
+            },
+        );
+        assert_eq!(buf.span_extent(), Some((0.0, 1.5)));
+        assert_eq!(buf.counter_total().set, 3);
+        assert_eq!(buf.convergence_entries().count(), 1);
+
+        let mut replayed = TelemetryBuffer::new();
+        buf.replay_into("shard0/", &mut replayed);
+        assert_eq!(replayed.events().len(), 4);
+        match &replayed.events()[1] {
+            TelemetryEvent::Span {
+                path, start_secs, ..
+            } => {
+                assert_eq!(path, "shard0/PATH");
+                assert_eq!(*start_secs, 0.5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_sink_unions_interest_and_fans_out() {
+        let mut spans_only = TelemetryBuffer::with_interest(SinkInterest::spans_only());
+        let mut all = TelemetryBuffer::new();
+        let mut multi = MultiSink::new();
+        assert!(multi.is_empty());
+        multi.push(&mut spans_only);
+        multi.push(&mut all);
+        assert_eq!(multi.len(), 2);
+        assert_eq!(multi.interest(), SinkInterest::all());
+        multi.span("X", SpanKind::Pass, 0.0, 1.0);
+        multi.counters(
+            "X",
+            &CounterTotals {
+                set: 1,
+                ..CounterTotals::default()
+            },
+        );
+        drop(multi);
+        // The spans-only member never sees counters.
+        assert_eq!(spans_only.events().len(), 1);
+        assert_eq!(all.events().len(), 2);
+    }
+}

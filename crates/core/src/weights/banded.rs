@@ -22,6 +22,7 @@ use convergent_ir::{ClusterId, InstrId};
 
 use super::argmax::{self, ArgmaxCache, EPS, NO_CLUSTER};
 use super::{SCALE_FOLD_MAX, SCALE_FOLD_MIN};
+use crate::telemetry::BandStats;
 
 /// A dense block of `n_clusters × width` raw cells anchored at `lo`.
 ///
@@ -96,13 +97,14 @@ enum Row {
 /// Grows `b` to cover slot `t`, padding new cells with exact zeros.
 /// The growing side gets a margin of the current width (clamped to
 /// `[0, n_slots)`) so `k` consecutive out-of-band writes reallocate
-/// O(log k) times, not k.
-fn grow_band(b: &mut Band, n_clusters: usize, n_slots: usize, t: usize) {
+/// O(log k) times, not k. Returns whether the band actually grew —
+/// the telemetry band-event counter keys off it.
+fn grow_band(b: &mut Band, n_clusters: usize, n_slots: usize, t: usize) -> bool {
     let width = b.width();
     let cur_lo = b.lo as usize;
     let cur_hi = cur_lo + width - 1;
     if (cur_lo..=cur_hi).contains(&t) {
-        return;
+        return false;
     }
     let new_lo = if t < cur_lo {
         t.saturating_sub(width)
@@ -126,6 +128,7 @@ fn grow_band(b: &mut Band, n_clusters: usize, n_slots: usize, t: usize) {
     b.lo = new_lo as u32;
     b.width = new_w as u32;
     b.buf = buf;
+    true
 }
 
 /// Shrinks `b` to exactly `[lo, hi]` (which the band always covers —
@@ -186,7 +189,9 @@ fn raw_get_in(row: &Row, window: (u32, u32), cluster_sum: &[f64], c: usize, t: u
 
 /// Converts a `Uniform` row into an equivalent `Band` anchored at the
 /// window (cells and marginals keep their exact bits); no-op on bands.
-fn densify_in(slot: &mut Row, window: (u32, u32), cluster_sum: &[f64], n_clusters: usize) {
+/// Returns whether a conversion happened — the telemetry band-event
+/// counter keys off it.
+fn densify_in(slot: &mut Row, window: (u32, u32), cluster_sum: &[f64], n_clusters: usize) -> bool {
     if let Row::Uniform { per, tsum } = *slot {
         let (lo, hi) = window;
         let width = (hi - lo + 1) as usize;
@@ -205,6 +210,9 @@ fn densify_in(slot: &mut Row, window: (u32, u32), cluster_sum: &[f64], n_cluster
             width: width as u32,
             buf,
         });
+        true
+    } else {
+        false
     }
 }
 
@@ -276,6 +284,9 @@ pub(crate) struct BandedCore {
     window: Vec<(u32, u32)>,
     cluster_ok: Vec<bool>,
     argmax: Vec<Cell<ArgmaxCache>>,
+    /// Band growth/densification telemetry — always on: both events
+    /// sit on reallocation paths where one relaxed increment is noise.
+    stats: BandStats,
 }
 
 impl BandedCore {
@@ -302,7 +313,24 @@ impl BandedCore {
             window: vec![(0, n_slots as u32 - 1); n_instrs],
             cluster_ok: vec![true; n_instrs * n_clusters],
             argmax: vec![Cell::new(ArgmaxCache::INVALID); n_instrs],
+            stats: BandStats::default(),
         }
+    }
+
+    /// `(growths, densifications)` since construction.
+    pub(crate) fn band_stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        (
+            self.stats.growths.load(Ordering::Relaxed),
+            self.stats.densifications.load(Ordering::Relaxed),
+        )
+    }
+
+    /// `(cluster_valid, time_valid)` of `i`'s argmax cache — the
+    /// telemetry layer's hit/miss/invalidation probe.
+    pub(crate) fn cache_flags(&self, i: InstrId) -> (bool, bool) {
+        let c = self.argmax[i.index()].get();
+        (c.cluster_valid, c.time_valid)
     }
 
     pub(crate) fn n_instrs(&self) -> usize {
@@ -357,12 +385,14 @@ impl BandedCore {
     /// the current window (cells and marginals keep their exact bits).
     fn densify(&mut self, ii: usize) {
         let base = ii * self.n_clusters;
-        densify_in(
+        if densify_in(
             &mut self.rows[ii],
             self.window[ii],
             &self.cluster_sum[base..base + self.n_clusters],
             self.n_clusters,
-        );
+        ) {
+            self.stats.densified();
+        }
     }
 
     pub(crate) fn get(&self, i: InstrId, c: ClusterId, t: u32) -> f64 {
@@ -385,7 +415,9 @@ impl BandedCore {
         let Row::Band(b) = &mut self.rows[ii] else {
             unreachable!("densify leaves a band")
         };
-        grow_band(b, n_clusters, n_slots, tt);
+        if grow_band(b, n_clusters, n_slots, tt) {
+            self.stats.grew();
+        }
         let width = b.width();
         let off = tt - b.lo as usize;
         let (w, ts) = b.parts_mut();
@@ -583,6 +615,50 @@ impl BandedCore {
         self.total[i.index()] * self.scale[i.index()]
     }
 
+    /// Shannon entropy (nats) of row `i`'s normalized cell
+    /// distribution, in one sweep of the stored band (uniform rows in
+    /// closed form): with `w = raw·s`, `H = ln T − (s·Σ raw·ln raw +
+    /// s·ln s·Σ raw) / T`, so the scale factor multiplies once per row
+    /// instead of once per cell.
+    pub(crate) fn row_entropy(&self, i: InstrId) -> f64 {
+        let ii = i.index();
+        let s = self.scale[ii];
+        let total = self.total[ii] * s;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let (raw_sum, raw_wlnw) = match &self.rows[ii] {
+            Row::Uniform { per, .. } => {
+                let (lo, hi) = self.window[ii];
+                let width = f64::from(hi - lo + 1);
+                let base = ii * self.n_clusters;
+                let live = self.cluster_sum[base..base + self.n_clusters]
+                    .iter()
+                    .filter(|&&cs| cs != 0.0)
+                    .count() as f64;
+                let cells = live * width;
+                if *per > 0.0 && cells > 0.0 {
+                    (cells * per, cells * per * per.ln())
+                } else {
+                    (0.0, 0.0)
+                }
+            }
+            Row::Band(b) => {
+                let mut raw_sum = 0.0;
+                let mut raw_wlnw = 0.0;
+                for &raw in b.w() {
+                    if raw > 0.0 {
+                        raw_sum += raw;
+                        raw_wlnw += raw * raw.ln();
+                    }
+                }
+                (raw_sum, raw_wlnw)
+            }
+        };
+        let sum_wlnw = s * raw_wlnw + s * s.ln() * raw_sum;
+        (total.ln() - sum_wlnw / total).max(0.0)
+    }
+
     pub(crate) fn cluster_marginals_into(&self, out: &mut [f64]) {
         let nc = self.n_clusters;
         for ((ii, row), &s) in out.chunks_exact_mut(nc).enumerate().zip(&self.scale) {
@@ -722,6 +798,7 @@ impl BandedCore {
             window: &mut self.window,
             cluster_ok: &mut self.cluster_ok,
             argmax: &mut self.argmax,
+            stats: &self.stats,
         }
     }
 
@@ -763,6 +840,8 @@ pub(crate) struct BandedRows<'a> {
     window: &'a mut [(u32, u32)],
     cluster_ok: &'a mut [bool],
     argmax: &'a mut [Cell<ArgmaxCache>],
+    /// Shared with the core (and sibling views): relaxed atomics.
+    stats: &'a BandStats,
 }
 
 impl<'a> BandedRows<'a> {
@@ -788,6 +867,7 @@ impl<'a> BandedRows<'a> {
                 window: win_a,
                 cluster_ok: ok_a,
                 argmax: am_a,
+                stats: self.stats,
             },
             BandedRows {
                 start: self.start + mid,
@@ -800,6 +880,7 @@ impl<'a> BandedRows<'a> {
                 window: win_b,
                 cluster_ok: ok_b,
                 argmax: am_b,
+                stats: self.stats,
             },
         )
     }
@@ -836,6 +917,13 @@ impl<'a> BandedRows<'a> {
 
     pub(crate) fn cluster_feasible(&self, i: InstrId, c: ClusterId) -> bool {
         self.cluster_ok[self.rel(i) * self.n_clusters + c.index()]
+    }
+
+    /// `(cluster_valid, time_valid)` of `i`'s argmax cache; see
+    /// [`BandedCore::cache_flags`].
+    pub(crate) fn cache_flags(&self, i: InstrId) -> (bool, bool) {
+        let c = self.argmax[self.rel(i)].get();
+        (c.cluster_valid, c.time_valid)
     }
 
     pub(crate) fn top2(&self, i: InstrId) -> (u16, u16) {
@@ -882,12 +970,14 @@ impl<'a> BandedRows<'a> {
         }
         // `delta ≠ 0` implies the cell is nonzero, hence in the band
         // (or in a live uniform window, which densify anchors over).
-        densify_in(
+        if densify_in(
             &mut self.rows[r],
             self.window[r],
             &self.cluster_sum[base..base + nc],
             nc,
-        );
+        ) {
+            self.stats.densified();
+        }
         let Row::Band(b) = &mut self.rows[r] else {
             unreachable!("densify leaves a band")
         };
@@ -937,12 +1027,14 @@ impl<'a> BandedRows<'a> {
                 argmax::invalidate_time(&self.argmax[r]);
                 return;
             }
-            densify_in(
+            if densify_in(
                 &mut self.rows[r],
                 self.window[r],
                 &self.cluster_sum[base..base + nc],
                 nc,
-            );
+            ) {
+                self.stats.densified();
+            }
         }
         let Row::Band(b) = &mut self.rows[r] else {
             unreachable!("densify leaves a band")
@@ -995,16 +1087,20 @@ impl<'a> BandedRows<'a> {
         if d == 0.0 {
             return false;
         }
-        densify_in(
+        if densify_in(
             &mut self.rows[r],
             self.window[r],
             &self.cluster_sum[base..base + nc],
             nc,
-        );
+        ) {
+            self.stats.densified();
+        }
         let Row::Band(b) = &mut self.rows[r] else {
             unreachable!("densify leaves a band")
         };
-        grow_band(b, nc, self.n_slots, t);
+        if grow_band(b, nc, self.n_slots, t) {
+            self.stats.grew();
+        }
         let width = b.width();
         let off = t - b.lo as usize;
         let (w, ts) = b.parts_mut();
@@ -1032,12 +1128,14 @@ impl<'a> BandedRows<'a> {
         if delta == 0.0 {
             return false;
         }
-        densify_in(
+        if densify_in(
             &mut self.rows[r],
             self.window[r],
             &self.cluster_sum[base..base + nc],
             nc,
-        );
+        ) {
+            self.stats.densified();
+        }
         let Row::Band(b) = &mut self.rows[r] else {
             unreachable!("densify leaves a band")
         };
@@ -1082,12 +1180,14 @@ impl<'a> BandedRows<'a> {
         // repr re-match. Visible values are unchanged by the
         // conversion, so the result stays bit-identical to the
         // per-cell loop's.
-        densify_in(
+        if densify_in(
             &mut self.rows[r],
             (lo, hi),
             &self.cluster_sum[base..base + nc],
             nc,
-        );
+        ) {
+            self.stats.densified();
+        }
         let Row::Band(b) = &mut self.rows[r] else {
             unreachable!("densify leaves a band")
         };
@@ -1178,7 +1278,9 @@ impl<'a> BandedRows<'a> {
             }
             // Out-of-band writes grow per cell, in the same sequence
             // the per-cell path would, so band extents stay identical.
-            grow_band(b, nc, self.n_slots, t);
+            if grow_band(b, nc, self.n_slots, t) {
+                self.stats.grew();
+            }
             let bw = b.width();
             let off = t - b.lo as usize;
             let (w, ts) = b.parts_mut();
@@ -1289,12 +1391,14 @@ impl<'a> BandedRows<'a> {
                     row_changed = true;
                     continue;
                 }
-                densify_in(
+                if densify_in(
                     &mut self.rows[r],
                     self.window[r],
                     &self.cluster_sum[base..base + nc],
                     nc,
-                );
+                ) {
+                    self.stats.densified();
+                }
             }
             let Row::Band(b) = &mut self.rows[r] else {
                 unreachable!("densify leaves a band")

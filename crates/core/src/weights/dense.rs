@@ -68,6 +68,13 @@ impl DenseCore {
         self.n_slots
     }
 
+    /// `(cluster_valid, time_valid)` of `i`'s argmax cache — the
+    /// telemetry layer's hit/miss/invalidation probe.
+    pub(crate) fn cache_flags(&self, i: InstrId) -> (bool, bool) {
+        let c = self.argmax[i.index()].get();
+        (c.cluster_valid, c.time_valid)
+    }
+
     #[inline]
     fn idx(&self, i: InstrId, c: ClusterId, t: u32) -> usize {
         debug_assert!(i.index() < self.n_instrs);
@@ -219,6 +226,30 @@ impl DenseCore {
 
     pub(crate) fn total(&self, i: InstrId) -> f64 {
         self.total[i.index()] * self.scale[i.index()]
+    }
+
+    /// Shannon entropy (nats) of row `i`'s normalized cell
+    /// distribution, in one sweep of the raw slice: with `w = raw·s`,
+    /// `H = ln T − (s·Σ raw·ln raw + s·ln s·Σ raw) / T`, so the scale
+    /// factor multiplies once per row instead of once per cell.
+    pub(crate) fn row_entropy(&self, i: InstrId) -> f64 {
+        let ii = i.index();
+        let s = self.scale[ii];
+        let total = self.total[ii] * s;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let base = ii * self.n_clusters * self.n_slots;
+        let mut raw_sum = 0.0;
+        let mut raw_wlnw = 0.0;
+        for &raw in &self.w[base..base + self.n_clusters * self.n_slots] {
+            if raw > 0.0 {
+                raw_sum += raw;
+                raw_wlnw += raw * raw.ln();
+            }
+        }
+        let sum_wlnw = s * raw_wlnw + s * s.ln() * raw_sum;
+        (total.ln() - sum_wlnw / total).max(0.0)
     }
 
     pub(crate) fn cluster_marginals_into(&self, out: &mut [f64]) {
@@ -487,6 +518,13 @@ impl<'a> DenseRows<'a> {
 
     pub(crate) fn cluster_feasible(&self, i: InstrId, c: ClusterId) -> bool {
         self.cluster_ok[self.rel(i) * self.n_clusters + c.index()]
+    }
+
+    /// `(cluster_valid, time_valid)` of `i`'s argmax cache; see
+    /// [`DenseCore::cache_flags`].
+    pub(crate) fn cache_flags(&self, i: InstrId) -> (bool, bool) {
+        let c = self.argmax[self.rel(i)].get();
+        (c.cluster_valid, c.time_valid)
     }
 
     pub(crate) fn top2(&self, i: InstrId) -> (u16, u16) {

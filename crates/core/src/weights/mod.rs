@@ -97,6 +97,8 @@ use argmax::{EPS, NO_CLUSTER};
 use banded::{BandedCore, BandedRows};
 use dense::{DenseCore, DenseRows};
 
+use crate::telemetry::{CounterTotals, MapCounters, OpKind};
+
 /// Bounds on the pending scale factor; `normalize` folds the factor
 /// into the stored row (`materialize`) when it leaves this range so
 /// raw magnitudes never approach `f64` overflow/underflow.
@@ -266,6 +268,9 @@ pub struct PreferenceMap {
     /// When present, every primitive mutation is appended here (the
     /// recording proxy; see [`PreferenceMap::record`]).
     log: Option<Vec<WeightOp>>,
+    /// Telemetry hot-path counters; disabled (one predictable branch
+    /// per mutation) until [`PreferenceMap::enable_counters`].
+    counters: MapCounters,
 }
 
 impl PreferenceMap {
@@ -281,6 +286,7 @@ impl PreferenceMap {
             repr: Repr::Banded(BandedCore::new(n_instrs, n_clusters, n_slots)),
             scratch: Vec::new(),
             log: None,
+            counters: MapCounters::default(),
         }
     }
 
@@ -297,7 +303,53 @@ impl PreferenceMap {
             repr: Repr::Dense(DenseCore::new(n_instrs, n_clusters, n_slots)),
             scratch: Vec::new(),
             log: None,
+            counters: MapCounters::default(),
         }
+    }
+
+    /// Enables the telemetry hot-path counters (weight ops by kind,
+    /// argmax-cache hits/misses/invalidations). Must be called before
+    /// any concurrent row access starts; counting itself is safe to
+    /// share across [`PreferenceMap::rows_mut`] chunks (relaxed
+    /// atomics). Counting never changes weights, so schedules are
+    /// bit-identical with counters on or off.
+    pub fn enable_counters(&mut self) {
+        self.counters.enable();
+    }
+
+    /// `true` once [`PreferenceMap::enable_counters`] was called.
+    #[must_use]
+    pub fn counters_enabled(&self) -> bool {
+        self.counters.enabled()
+    }
+
+    /// Snapshot of the hot-path counters accumulated so far. Band
+    /// growth/densification events (tracked always-on by the banded
+    /// core) are merged in; referee/boundary fields stay zero — the
+    /// driver and harnesses own those.
+    #[must_use]
+    pub fn counter_totals(&self) -> CounterTotals {
+        let mut t = self.counters.totals();
+        if let Repr::Banded(m) = &self.repr {
+            let (g, d) = m.band_stats();
+            t.band_growths = g;
+            t.band_densifications = d;
+        }
+        t
+    }
+
+    /// `(cluster_valid, time_valid)` of `i`'s argmax cache.
+    fn cache_flags(&self, i: InstrId) -> (bool, bool) {
+        core!(self, m => m.cache_flags(i))
+    }
+
+    /// Counts one mutation after the fact: the op itself plus any
+    /// argmax cache it knocked out (valid in `pre`, invalid now).
+    fn note_op(&self, kind: OpKind, i: InstrId, pre: (bool, bool)) {
+        self.counters.op(kind);
+        let (nc, nt) = self.cache_flags(i);
+        self.counters
+            .invalidations(u64::from(pre.0 && !nc) + u64::from(pre.1 && !nt));
     }
 
     /// `true` when this map runs on the dense reference layout.
@@ -361,7 +413,11 @@ impl PreferenceMap {
         if let Some(log) = &mut self.log {
             log.push(WeightOp::Set { i, c, t, value });
         }
+        let pre = self.counters.enabled().then(|| self.cache_flags(i));
         core!(mut self, m => m.set(i, c, t, value));
+        if let Some(pre) = pre {
+            self.note_op(OpKind::Set, i, pre);
+        }
     }
 
     /// Adds `delta` to `W[i, c, t]`, clamping at zero.
@@ -379,7 +435,11 @@ impl PreferenceMap {
         if let Some(log) = &mut self.log {
             log.push(WeightOp::Scale { i, c, t, factor });
         }
+        let pre = self.counters.enabled().then(|| self.cache_flags(i));
         core!(mut self, m => m.scale(i, c, t, factor));
+        if let Some(pre) = pre {
+            self.note_op(OpKind::Scale, i, pre);
+        }
     }
 
     /// Multiplies every time slot of `(i, c)` by `factor` — O(band)
@@ -392,7 +452,11 @@ impl PreferenceMap {
         if let Some(log) = &mut self.log {
             log.push(WeightOp::ScaleCluster { i, c, factor });
         }
+        let pre = self.counters.enabled().then(|| self.cache_flags(i));
         core!(mut self, m => m.scale_cluster(i, c, factor));
+        if let Some(pre) = pre {
+            self.note_op(OpKind::ScaleCluster, i, pre);
+        }
     }
 
     /// Multiplies every cluster's weight at time `t` by `factor`.
@@ -404,7 +468,11 @@ impl PreferenceMap {
         if let Some(log) = &mut self.log {
             log.push(WeightOp::ScaleTime { i, t, factor });
         }
+        let pre = self.counters.enabled().then(|| self.cache_flags(i));
         core!(mut self, m => m.scale_time(i, t, factor));
+        if let Some(pre) = pre {
+            self.note_op(OpKind::ScaleTime, i, pre);
+        }
     }
 
     /// Restricts `i` to time slots `[lo, hi]`, zeroing all weight
@@ -421,7 +489,11 @@ impl PreferenceMap {
         if let Some(log) = &mut self.log {
             log.push(WeightOp::SetWindow { i, lo, hi });
         }
+        let pre = self.counters.enabled().then(|| self.cache_flags(i));
         core!(mut self, m => m.set_window(i, lo, hi));
+        if let Some(pre) = pre {
+            self.note_op(OpKind::SetWindow, i, pre);
+        }
     }
 
     /// The feasible `[lo, hi]` window of `i`.
@@ -435,7 +507,11 @@ impl PreferenceMap {
         if let Some(log) = &mut self.log {
             log.push(WeightOp::ForbidCluster { i, c });
         }
+        let pre = self.counters.enabled().then(|| self.cache_flags(i));
         core!(mut self, m => m.forbid_cluster(i, c));
+        if let Some(pre) = pre {
+            self.note_op(OpKind::ForbidCluster, i, pre);
+        }
     }
 
     /// Returns `true` if cluster `c` may execute `i`.
@@ -460,6 +536,16 @@ impl PreferenceMap {
     #[must_use]
     pub fn total(&self, i: InstrId) -> f64 {
         core!(self, m => m.total(i))
+    }
+
+    /// Shannon entropy (nats) of the normalized `W[i, ·, ·]`
+    /// distribution, computed in one bulk sweep of `i`'s stored cells
+    /// (no per-cell layout dispatch) — the telemetry layer's
+    /// convergence probe. Uniform rows score `ln(cells)`; a fully
+    /// converged row approaches zero.
+    #[must_use]
+    pub fn row_entropy(&self, i: InstrId) -> f64 {
+        core!(self, m => m.row_entropy(i))
     }
 
     /// Writes every instruction's normalized cluster marginal into
@@ -494,6 +580,9 @@ impl PreferenceMap {
     /// Ties break toward the lowest cluster id.
     #[must_use]
     pub fn preferred_cluster(&self, i: InstrId) -> ClusterId {
+        if self.counters.enabled() {
+            self.counters.argmax_read(self.cache_flags(i).0);
+        }
         ClusterId::new(core!(self, m => m.top2(i)).0)
     }
 
@@ -502,6 +591,9 @@ impl PreferenceMap {
     pub fn runnerup_cluster(&self, i: InstrId) -> Option<ClusterId> {
         if self.n_clusters() < 2 {
             return None;
+        }
+        if self.counters.enabled() {
+            self.counters.argmax_read(self.cache_flags(i).0);
         }
         let (_, second) = core!(self, m => m.top2(i));
         debug_assert_ne!(second, NO_CLUSTER);
@@ -512,6 +604,9 @@ impl PreferenceMap {
     /// Ties break toward the earliest slot.
     #[must_use]
     pub fn preferred_time(&self, i: InstrId) -> Cycle {
+        if self.counters.enabled() {
+            self.counters.argmax_read(self.cache_flags(i).1);
+        }
         Cycle::new(core!(self, m => m.top_time(i)))
     }
 
@@ -543,7 +638,11 @@ impl PreferenceMap {
         if let Some(log) = &mut self.log {
             log.push(WeightOp::Normalize { i });
         }
+        let pre = self.counters.enabled().then(|| self.cache_flags(i));
         core!(mut self, m => m.normalize(i));
+        if let Some(pre) = pre {
+            self.note_op(OpKind::Normalize, i, pre);
+        }
     }
 
     /// Folds `i`'s pending scale factor into its stored row, leaving
@@ -568,7 +667,11 @@ impl PreferenceMap {
         if let Some(log) = &mut self.log {
             log.push(WeightOp::ResetUniform { i });
         }
+        let pre = self.counters.enabled().then(|| self.cache_flags(i));
         core!(mut self, m => m.reset_uniform(i));
+        if let Some(pre) = pre {
+            self.note_op(OpKind::ResetUniform, i, pre);
+        }
     }
 
     /// Renormalizes every instruction — O(N) when every total is
@@ -745,9 +848,13 @@ impl PreferenceMap {
             }
             return;
         }
+        let pre = self.counters.enabled().then(|| self.cache_flags(i));
         match &mut self.repr {
             Repr::Banded(m) => m.rows_view().axpy_row(i, c, lo, a, xs),
             Repr::Dense(m) => m.rows_view().axpy_row(i, c, lo, a, xs),
+        }
+        if let Some(pre) = pre {
+            self.note_op(OpKind::RowBatch, i, pre);
         }
     }
 
@@ -765,9 +872,13 @@ impl PreferenceMap {
             }
             return;
         }
+        let pre = self.counters.enabled().then(|| self.cache_flags(i));
         match &mut self.repr {
             Repr::Banded(m) => m.rows_view().scale_row(i, c, lo, factors),
             Repr::Dense(m) => m.rows_view().scale_row(i, c, lo, factors),
+        }
+        if let Some(pre) = pre {
+            self.note_op(OpKind::RowBatch, i, pre);
         }
     }
 
@@ -798,9 +909,13 @@ impl PreferenceMap {
             assert_eq!(k, draws.len(), "one draw per feasible cell");
             return;
         }
+        let pre = self.counters.enabled().then(|| self.cache_flags(i));
         match &mut self.repr {
             Repr::Banded(m) => m.rows_view().noise_fill(i, amplitude, draws),
             Repr::Dense(m) => m.rows_view().noise_fill(i, amplitude, draws),
+        }
+        if let Some(pre) = pre {
+            self.note_op(OpKind::RowBatch, i, pre);
         }
     }
 
@@ -820,9 +935,13 @@ impl PreferenceMap {
             }
             return;
         }
+        let pre = self.counters.enabled().then(|| self.cache_flags(i));
         match &mut self.repr {
             Repr::Banded(m) => m.rows_view().scale_clusters_row(i, factors),
             Repr::Dense(m) => m.rows_view().scale_clusters_row(i, factors),
+        }
+        if let Some(pre) = pre {
+            self.note_op(OpKind::RowBatch, i, pre);
         }
     }
 
@@ -845,12 +964,14 @@ impl PreferenceMap {
             !self.is_recording(),
             "rows_mut would bypass the recording proxy"
         );
+        let counters = &self.counters;
         match &mut self.repr {
             Repr::Banded(m) => m
                 .split_rows(n_chunks)
                 .into_iter()
                 .map(|v| WeightRows {
                     repr: RowsRepr::Banded(v),
+                    counters,
                 })
                 .collect(),
             Repr::Dense(m) => m
@@ -858,6 +979,7 @@ impl PreferenceMap {
                 .into_iter()
                 .map(|v| WeightRows {
                     repr: RowsRepr::Dense(v),
+                    counters,
                 })
                 .collect(),
         }
@@ -1029,6 +1151,9 @@ enum RowsRepr<'a> {
 /// as on the whole map.
 pub struct WeightRows<'a> {
     repr: RowsRepr<'a>,
+    /// Shared with the parent map and sibling views — relaxed atomics,
+    /// so counting composes across threads without synchronization.
+    counters: &'a MapCounters,
 }
 
 macro_rules! rows {
@@ -1044,6 +1169,22 @@ macro_rules! rows {
             RowsRepr::Dense($v) => $body,
         }
     };
+}
+
+impl WeightRows<'_> {
+    /// `(cluster_valid, time_valid)` of `i`'s argmax cache.
+    fn cache_flags(&self, i: InstrId) -> (bool, bool) {
+        rows!(self, v => v.cache_flags(i))
+    }
+
+    /// Counts one mutation after the fact; see
+    /// `PreferenceMap::note_op`.
+    fn note_op(&self, kind: OpKind, i: InstrId, pre: (bool, bool)) {
+        self.counters.op(kind);
+        let (nc, nt) = self.cache_flags(i);
+        self.counters
+            .invalidations(u64::from(pre.0 && !nc) + u64::from(pre.1 && !nt));
+    }
 }
 
 impl RowOps for WeightRows<'_> {
@@ -1069,42 +1210,84 @@ impl RowOps for WeightRows<'_> {
     }
 
     fn preferred_cluster(&self, i: InstrId) -> ClusterId {
+        if self.counters.enabled() {
+            self.counters.argmax_read(self.cache_flags(i).0);
+        }
         ClusterId::new(rows!(self, v => v.top2(i)).0)
     }
 
     fn preferred_time(&self, i: InstrId) -> Cycle {
+        if self.counters.enabled() {
+            self.counters.argmax_read(self.cache_flags(i).1);
+        }
         Cycle::new(rows!(self, v => v.top_time(i)))
     }
 
     fn scale(&mut self, i: InstrId, c: ClusterId, t: u32, factor: f64) {
+        let pre = self.counters.enabled().then(|| self.cache_flags(i));
         rows!(mut self, v => v.scale(i, c, t, factor));
+        if let Some(pre) = pre {
+            self.note_op(OpKind::Scale, i, pre);
+        }
     }
 
     fn scale_cluster(&mut self, i: InstrId, c: ClusterId, factor: f64) {
+        let pre = self.counters.enabled().then(|| self.cache_flags(i));
         rows!(mut self, v => v.scale_cluster(i, c, factor));
+        if let Some(pre) = pre {
+            self.note_op(OpKind::ScaleCluster, i, pre);
+        }
     }
 
     fn add_row(&mut self, i: InstrId, c: ClusterId, lo: u32, xs: &[f64]) {
+        let pre = self.counters.enabled().then(|| self.cache_flags(i));
         rows!(mut self, v => v.axpy_row(i, c, lo, 1.0, xs));
+        if let Some(pre) = pre {
+            self.note_op(OpKind::RowBatch, i, pre);
+        }
     }
 
     fn axpy_row(&mut self, i: InstrId, c: ClusterId, lo: u32, a: f64, xs: &[f64]) {
+        let pre = self.counters.enabled().then(|| self.cache_flags(i));
         rows!(mut self, v => v.axpy_row(i, c, lo, a, xs));
+        if let Some(pre) = pre {
+            self.note_op(OpKind::RowBatch, i, pre);
+        }
     }
 
     fn scale_row(&mut self, i: InstrId, c: ClusterId, lo: u32, factors: &[f64]) {
+        let pre = self.counters.enabled().then(|| self.cache_flags(i));
         rows!(mut self, v => v.scale_row(i, c, lo, factors));
+        if let Some(pre) = pre {
+            self.note_op(OpKind::RowBatch, i, pre);
+        }
     }
 
     fn noise_fill(&mut self, i: InstrId, amplitude: f64, draws: &[f64]) {
+        let pre = self.counters.enabled().then(|| self.cache_flags(i));
         rows!(mut self, v => v.noise_fill(i, amplitude, draws));
+        if let Some(pre) = pre {
+            self.note_op(OpKind::RowBatch, i, pre);
+        }
     }
 
     fn scale_clusters_row(&mut self, i: InstrId, factors: &[f64]) {
+        let pre = self.counters.enabled().then(|| self.cache_flags(i));
         rows!(mut self, v => v.scale_clusters_row(i, factors));
+        if let Some(pre) = pre {
+            self.note_op(OpKind::RowBatch, i, pre);
+        }
     }
 
     fn reinforce_preferred(&mut self, i: InstrId, factor: f64) {
+        // With counters on, take the counted decomposition — it is the
+        // documented bit-exact equivalent of the fused path below.
+        if self.counters.enabled() {
+            let c = self.preferred_cluster(i);
+            let t = self.preferred_time(i);
+            self.scale(i, c, t.get(), factor);
+            return;
+        }
         rows!(mut self, v => {
             let (top, _) = v.top2(i);
             let t = v.top_time(i);
@@ -1113,6 +1296,13 @@ impl RowOps for WeightRows<'_> {
     }
 
     fn comm_row(&mut self, i: InstrId, factors: &[f64], reinforce: Option<f64>) {
+        if self.counters.enabled() {
+            self.scale_clusters_row(i, factors);
+            if let Some(f) = reinforce {
+                self.reinforce_preferred(i, f);
+            }
+            return;
+        }
         rows!(mut self, v => {
             v.scale_clusters_row(i, factors);
             if let Some(f) = reinforce {
@@ -1124,6 +1314,13 @@ impl RowOps for WeightRows<'_> {
     }
 
     fn noise_fill_rows(&mut self, amplitude: f64, draws: &[f64], idx: &[usize]) {
+        if self.counters.enabled() {
+            for i in self.instr_range() {
+                let ii = i as usize;
+                self.noise_fill(InstrId::new(i), amplitude, &draws[idx[ii]..idx[ii + 1]]);
+            }
+            return;
+        }
         rows!(mut self, v => {
             for i in v.start()..v.start() + v.len() {
                 v.noise_fill(InstrId::new(i as u32), amplitude, &draws[idx[i]..idx[i + 1]]);

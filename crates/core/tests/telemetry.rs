@@ -1,0 +1,130 @@
+//! Exporter contracts, held as golden files: the Chrome trace-event
+//! writer must produce this exact byte sequence for a fixed event feed
+//! (so Perfetto keeps loading what we emit), and the Prometheus
+//! text-exposition writer must round-trip through its own parser. A
+//! real driver run is then pushed through both exporters and held to
+//! the schema validator.
+
+use convergent_core::telemetry::{
+    parse_exposition, validate_chrome_trace, ChromeTraceSink, ConvergenceMetrics, CounterTotals,
+    PrometheusSink, SpanKind, TelemetrySink,
+};
+use convergent_core::ConvergentScheduler;
+use convergent_ir::{ClusterId, DagBuilder, Instruction, Opcode};
+use convergent_machine::Machine;
+
+/// A small diamond DAG with one preplaced load — enough structure for
+/// every pass to do real work.
+fn diamond() -> convergent_ir::Dag {
+    let mut b = DagBuilder::new();
+    let a = b.push(Instruction::preplaced(Opcode::Load, ClusterId::new(0)));
+    let l = b.push(Instruction::new(Opcode::IntAlu));
+    let r = b.push(Instruction::new(Opcode::FMul));
+    let s = b.push(Instruction::new(Opcode::Store));
+    b.edge(a, l).unwrap();
+    b.edge(a, r).unwrap();
+    b.edge(l, s).unwrap();
+    b.edge(r, s).unwrap();
+    b.build().unwrap()
+}
+
+/// The golden file: a fixed feed of spans, counters, and convergence
+/// samples must render to exactly these bytes. If this test fails
+/// because the format deliberately changed, re-derive the expectation
+/// with `println!("{json}")` — but know that the schema parts
+/// (`traceEvents`, `ph`/`ts`/`dur` fields, metadata events) are what
+/// Perfetto loads, so they should not change casually.
+#[test]
+fn chrome_trace_golden_file() {
+    let mut sink = ChromeTraceSink::new();
+    sink.span("<init>", SpanKind::Stage, 0.0, 0.000_25);
+    sink.span("PATH", SpanKind::Pass, 0.000_25, 0.001);
+    sink.counters(
+        "PATH",
+        &CounterTotals {
+            scale_cluster: 12,
+            argmax_hits: 3,
+            argmax_misses: 1,
+            ..CounterTotals::default()
+        },
+    );
+    sink.convergence(
+        "PATH",
+        &ConvergenceMetrics {
+            mean_confidence: 1.5,
+            decision_churn: 0.25,
+            preference_entropy: 2.0,
+            preplacement_coverage: 1.0,
+        },
+    );
+    sink.span("shard0/COMM", SpanKind::Pass, 0.001_25, 0.000_5);
+    sink.span("shard0", SpanKind::Shard, 0.001_25, 0.000_5);
+    sink.span("<run>", SpanKind::Run, 0.0, 0.002);
+    let json = sink.write_json();
+    let expected = concat!(
+        "{\"traceEvents\":[\n",
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"ts\":0,\"args\":{\"name\":\"csched\"}},\n",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"ts\":0,\"args\":{\"name\":\"driver\"}},\n",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"ts\":0,\"args\":{\"name\":\"shard0\"}},\n",
+        "{\"name\":\"<init>\",\"cat\":\"stage\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0,\"dur\":250,\"args\":{}},\n",
+        "{\"name\":\"<run>\",\"cat\":\"run\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0,\"dur\":2000,\"args\":{}},\n",
+        "{\"name\":\"PATH\",\"cat\":\"pass\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":250,\"dur\":1000,\"args\":{}},\n",
+        "{\"name\":\"weight ops\",\"cat\":\"counters\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":1250,\"args\":{\"set\":0,\"scale\":0,\"scale_cluster\":12,\"scale_time\":0,\"set_window\":0,\"forbid_cluster\":0,\"normalize\":0,\"reset_uniform\":0,\"row_batch\":0}},\n",
+        "{\"name\":\"argmax cache\",\"cat\":\"counters\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":1250,\"args\":{\"hits\":3,\"misses\":1,\"invalidations\":0}},\n",
+        "{\"name\":\"convergence\",\"cat\":\"convergence\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":1250,\"args\":{\"mean_confidence\":1.5,\"decision_churn\":0.25,\"preference_entropy\":2,\"preplacement_coverage\":1}},\n",
+        "{\"name\":\"COMM\",\"cat\":\"pass\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":1250,\"dur\":500,\"args\":{}},\n",
+        "{\"name\":\"shard0\",\"cat\":\"shard\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":1250,\"dur\":500,\"args\":{}}\n",
+        "]}\n",
+    );
+    assert_eq!(json, expected);
+    // And the golden bytes themselves satisfy the schema validator.
+    let stats = validate_chrome_trace(&json).expect("golden trace validates");
+    assert_eq!(stats.span_events, 5);
+    assert_eq!(stats.counter_events, 3);
+}
+
+/// A real driver run through the Chrome exporter: valid schema,
+/// monotone timestamps (checked by the validator), and a span for
+/// every pass of the sequence that ran.
+#[test]
+fn real_run_trace_validates_and_names_every_pass() {
+    let dag = diamond();
+    let machine = Machine::chorus_vliw(2);
+    let sched = ConvergentScheduler::vliw_default();
+    let mut sink = ChromeTraceSink::new();
+    sched
+        .schedule_with_sink(&dag, &machine, &mut sink)
+        .expect("diamond schedules");
+    let stats = validate_chrome_trace(&sink.write_json()).expect("trace validates");
+    for name in sched.sequence().names() {
+        assert!(
+            stats.span_names.contains(name),
+            "pass {name} has no span in the trace"
+        );
+    }
+    assert!(stats.span_names.contains("<run>"));
+    assert!(stats.span_names.contains("<listsched>"));
+    assert!(stats.counter_events > 0, "no counter samples in the trace");
+}
+
+/// A real driver run through the Prometheus exporter: the rendered
+/// exposition parses back into an equal registry (writer/parser
+/// round-trip on live data, not just hand-built samples).
+#[test]
+fn real_run_prometheus_exposition_round_trips() {
+    let dag = diamond();
+    let machine = Machine::chorus_vliw(2);
+    let mut sink = PrometheusSink::new();
+    ConvergentScheduler::vliw_default()
+        .schedule_with_sink(&dag, &machine, &mut sink)
+        .expect("diamond schedules");
+    let registry = sink.into_registry();
+    assert!(!registry.is_empty());
+    let text = registry.render();
+    assert!(text.contains("csched_pass_duration_seconds"));
+    assert!(text.contains("csched_weight_ops_total"));
+    assert!(text.contains("csched_convergence_decision_churn"));
+    let back = parse_exposition(&text).expect("exposition parses");
+    assert_eq!(back, registry);
+    assert_eq!(back.render(), text);
+}

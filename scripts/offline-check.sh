@@ -77,6 +77,15 @@ for s in 1 2 8; do
         exit 1
     fi
 done
+echo "==> trace smoke (csched --trace parses and names every pass, offline)"
+# trace-check re-parses the Chrome trace with the hand-rolled JSON
+# reader and requires a span for each pass of the vliw4 sequence.
+trace_tmp="$(mktemp /tmp/csched-trace.XXXXXX.json)"
+run run --release -q --bin csched -- --workload tomcatv --machine vliw4 --trace "$trace_tmp" >/dev/null
+run run --release -q --bin csched -- trace-check "$trace_tmp" --machine vliw4
+rm -f "$trace_tmp"
+echo "==> telemetry on/off byte-identity (suite-wide, threads x shards, offline)"
+run test -q -p convergent-bench --test telemetry_determinism
 if [ "$MIRI" = 1 ]; then
     echo "==> recording-proxy and row-kernel proptests under miri"
     if cargo miri --version >/dev/null 2>&1; then

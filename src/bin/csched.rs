@@ -4,6 +4,7 @@
 //! csched <input.cdag | --workload NAME> [options]
 //! csched verify <input.cdag | --workload NAME> [options]
 //! csched lint <input.cdag | --workload NAME | --all-workloads> [options]
+//! csched trace-check <trace.json> [--machine rawN|vliwN]
 //!
 //! options:
 //!   --machine raw<N> | vliw<N>    target machine        (default vliw4)
@@ -15,6 +16,9 @@
 //!   --pressure                    also report register pressure
 //!   --profile                     print per-pass wall-clock breakdown
 //!                                 (convergent scheduler only)
+//!   --trace FILE                  write a Chrome trace-event JSON of the
+//!                                 run (convergent scheduler only; load in
+//!                                 Perfetto / chrome://tracing)
 //!   --threads N                   intra-pass worker threads
 //!                                 (convergent scheduler only)
 //!   --shards N                    schedule weakly-connected regions
@@ -40,7 +44,13 @@
 //! ```text
 //! csched verify repro.cdag --machine raw4
 //! csched verify --workload fir --machine vliw8 --scheduler pcc
+//! csched verify --workload mxm --json
 //! ```
+//!
+//! With `--json`, `verify` emits a machine-readable run report
+//! instead: lint diagnostics, per-scheduler referee results, and — for
+//! the convergent scheduler — the run's telemetry (hot-path counter
+//! totals and per-pass convergence metrics).
 //!
 //! `verify` lints its input first: a malformed `.cdag` (cycle,
 //! dangling edge, impossible preplacement, …) is reported as `CSxxx`
@@ -62,15 +72,26 @@
 //!
 //! ```text
 //!   --all-workloads     lint every builtin workload
-//!   --json              machine-readable report on stdout
+//!   --json              machine-readable report on stdout; also embeds
+//!                       a convergent-run telemetry snapshot (counter
+//!                       totals + convergence metrics) per clean target
 //!   --deny warnings     exit nonzero on warnings, not just errors
 //!   --pedantic          enable the advisory analyses (CS013/CS030/CS031)
 //! ```
+//!
+//! The `trace-check` subcommand validates a `--trace` output file:
+//! well-formed Chrome trace-event JSON, nondecreasing timestamps, and
+//! a span for every pass of the machine-matched sequence.
 
 use std::process::ExitCode;
 
 use convergent_scheduling::analysis::{lint_raw, lint_unit, LintOptions, LintReport};
-use convergent_scheduling::core::{contract, ConvergentScheduler, Sequence};
+use convergent_scheduling::core::telemetry::{
+    validate_chrome_trace, ChromeTraceSink, CounterTotals, MultiSink, TelemetryBuffer,
+    TelemetrySink,
+};
+use convergent_scheduling::core::{contract, ConvergentScheduler, PassProfile, Sequence};
+use convergent_scheduling::ir::Dag;
 use convergent_scheduling::ir::{parse_raw, parse_unit, to_dot, to_text, SchedulingUnit};
 use convergent_scheduling::machine::Machine;
 use convergent_scheduling::schedulers::{
@@ -90,14 +111,18 @@ struct Options {
     dot: bool,
     pressure: bool,
     profile: bool,
+    trace: Option<String>,
+    json: bool,
     verbose: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: csched [verify|lint] <input.cdag | --workload NAME> [--machine rawN|vliwN] \
+    "usage: csched [verify|lint|trace-check] <input.cdag | --workload NAME> [--machine rawN|vliwN] \
      [--scheduler convergent|uas|pcc|rawcc|bug] [--threads N] [--shards N] [--dump] [--dot] [--pressure] \
-     [--profile] [--verbose] [--list-workloads]\n\
-     lint only: [--all-workloads] [--json] [--deny warnings] [--pedantic]"
+     [--profile] [--trace FILE] [--verbose] [--list-workloads]\n\
+     verify also: [--json]\n\
+     lint only: [--all-workloads] [--json] [--deny warnings] [--pedantic]\n\
+     trace-check: csched trace-check <trace.json> [--machine rawN|vliwN]"
 }
 
 const WORKLOADS: &[&str] = &[
@@ -157,6 +182,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         dot: false,
         pressure: false,
         profile: false,
+        trace: None,
+        json: false,
         verbose: false,
     };
     let mut k = 0;
@@ -206,6 +233,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--dot" => opts.dot = true,
             "--pressure" => opts.pressure = true,
             "--profile" => opts.profile = true,
+            "--trace" => {
+                k += 1;
+                opts.trace = Some(args.get(k).ok_or("--trace takes a file path")?.clone());
+            }
+            "--json" => opts.json = true,
             "--verbose" => opts.verbose = true,
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -253,6 +285,54 @@ fn make_scheduler(
         "bug" => Box::new(BugScheduler::new()),
         other => return Err(format!("unknown scheduler '{other}'")),
     })
+}
+
+/// The machine-matched concrete convergent driver — the `--profile` /
+/// `--trace` / telemetry paths need the real type, not `dyn
+/// Scheduler`.
+fn convergent_driver(machine: &Machine, threads: usize, shards: usize) -> ConvergentScheduler {
+    let s = if machine.comm().register_mapped {
+        ConvergentScheduler::raw_default()
+    } else {
+        ConvergentScheduler::vliw_tuned()
+    };
+    s.with_threads(threads).with_shards(shards)
+}
+
+/// Renders a captured telemetry buffer as the `"telemetry"` JSON
+/// object the `--json` reports embed: counter totals (plus the derived
+/// argmax hit rate) and per-pass convergence metrics.
+fn telemetry_to_json(buf: &TelemetryBuffer) -> String {
+    let totals = buf.counter_total();
+    let hit_rate = totals
+        .argmax_hit_rate()
+        .map_or_else(|| "null".to_string(), |r| format!("{r:.6}"));
+    let convergence: Vec<String> = buf
+        .convergence_entries()
+        .map(|(path, m)| {
+            format!(
+                "{{\"pass\":\"{}\",\"metrics\":{}}}",
+                escape_json(path),
+                m.to_json()
+            )
+        })
+        .collect();
+    format!(
+        "{{\"counters\":{},\"argmax_hit_rate\":{hit_rate},\"convergence\":[{}]}}",
+        totals.to_json(),
+        convergence.join(",")
+    )
+}
+
+/// Runs the convergent driver over `dag` with a full-interest buffer
+/// and returns the rendered telemetry JSON, or `null` when scheduling
+/// fails (the caller reports the failure through its own channel).
+fn convergent_telemetry_json(dag: &Dag, machine: &Machine) -> String {
+    let mut buf = TelemetryBuffer::new();
+    match convergent_driver(machine, 1, 1).schedule_with_sink(dag, machine, &mut buf) {
+        Ok(_) => telemetry_to_json(&buf),
+        Err(_) => "null".to_string(),
+    }
 }
 
 fn resolve_unit(opts: &Options, machine: &Machine) -> Result<SchedulingUnit, String> {
@@ -347,17 +427,21 @@ fn run_lint(args: &[String]) -> Result<(), String> {
         LintOptions::default()
     };
 
-    let mut targets: Vec<(String, LintReport)> = Vec::new();
+    let mut targets: Vec<(String, LintReport, Option<SchedulingUnit>)> = Vec::new();
     if let Some(path) = &opts.input {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let raw = parse_raw(&text).map_err(|e| format!("parsing {path}: {e}"))?;
         let report = lint_raw(&raw, &machine, lint_opts);
-        targets.push((raw.name().to_string(), report));
+        let unit = (opts.json && report.errors().next().is_none())
+            .then(|| raw.build())
+            .and_then(Result::ok);
+        targets.push((raw.name().to_string(), report, unit));
     }
     for w in &opts.workloads {
         let unit = builtin_workload(w, machine.n_clusters() as u16)
             .ok_or_else(|| format!("unknown workload '{w}' (try --list-workloads)"))?;
-        targets.push((w.clone(), lint_unit(&unit, &machine, lint_opts)));
+        let report = lint_unit(&unit, &machine, lint_opts);
+        targets.push((w.clone(), report, opts.json.then_some(unit)));
     }
 
     // The sequence `csched` would run on this machine must honor the
@@ -373,9 +457,16 @@ fn run_lint(args: &[String]) -> Result<(), String> {
         let contracts: Vec<String> = contract_diags.iter().map(|d| d.to_json()).collect();
         let targets_json: Vec<String> = targets
             .iter()
-            .map(|(name, report)| {
+            .map(|(name, report, unit)| {
+                // The JSON run report also carries a telemetry snapshot
+                // from one convergent run of each lint-clean target:
+                // counter totals plus per-pass convergence metrics.
+                let telemetry = unit.as_ref().map_or_else(
+                    || "null".to_string(),
+                    |u| convergent_telemetry_json(u.dag(), &machine),
+                );
                 format!(
-                    "{{\"name\":\"{}\",\"diagnostics\":{}}}",
+                    "{{\"name\":\"{}\",\"diagnostics\":{},\"telemetry\":{telemetry}}}",
                     escape_json(name),
                     report.to_json()
                 )
@@ -399,7 +490,7 @@ fn run_lint(args: &[String]) -> Result<(), String> {
                 println!("  {d}");
             }
         }
-        for (name, report) in &targets {
+        for (name, report, _) in &targets {
             let (errors, warnings, notes) = report.counts();
             if report.is_empty() {
                 println!("{name}: clean");
@@ -414,7 +505,7 @@ fn run_lint(args: &[String]) -> Result<(), String> {
 
     let dirty = targets
         .iter()
-        .filter(|(_, r)| !r.is_clean(opts.deny_warnings))
+        .filter(|(_, r, _)| !r.is_clean(opts.deny_warnings))
         .count();
     if dirty > 0 || !contract_diags.is_empty() {
         // Findings are the tool working as intended, not a usage
@@ -436,6 +527,9 @@ fn run_lint(args: &[String]) -> Result<(), String> {
 fn run_verify(args: &[String]) -> Result<(), String> {
     let explicit_scheduler = args.iter().any(|a| a == "--scheduler");
     let opts = parse_args(args)?;
+    if opts.trace.is_some() {
+        return Err("--trace applies to the schedule command, not verify".to_string());
+    }
     let machine = parse_machine(&opts.machine)
         .ok_or_else(|| format!("unknown machine '{}' (use rawN or vliwN)", opts.machine))?;
 
@@ -461,8 +555,10 @@ fn run_verify(args: &[String]) -> Result<(), String> {
         }
         (None, None) => unreachable!("checked in parse_args"),
     };
-    for d in report.diagnostics() {
-        println!("lint: {d}");
+    if !opts.json {
+        for d in report.diagnostics() {
+            println!("lint: {d}");
+        }
     }
     let Some(unit) = unit else {
         let (errors, _, _) = report.counts();
@@ -479,48 +575,161 @@ fn run_verify(args: &[String]) -> Result<(), String> {
             .map(ToString::to_string)
             .collect()
     };
-    println!(
-        "{}: {} instrs, {} edges, machine {machine}",
-        unit.name(),
-        unit.dag().len(),
-        unit.dag().edge_count()
-    );
+    if !opts.json {
+        println!(
+            "{}: {} instrs, {} edges, machine {machine}",
+            unit.name(),
+            unit.dag().len(),
+            unit.dag().edge_count()
+        );
+    }
     let mut failures = 0usize;
+    let mut targets_json: Vec<String> = Vec::new();
     for name in &names {
-        let scheduler = make_scheduler(name, &machine, 1, 1)?;
-        let schedule = match scheduler.schedule(unit.dag(), &machine) {
-            Ok(s) => s,
-            Err(e) => {
-                println!("{name:<12} FAIL scheduling: {e}");
-                failures += 1;
-                continue;
-            }
+        // The convergent driver runs through the telemetry entry point
+        // so the JSON report can embed counter totals and per-pass
+        // convergence metrics; the referee verdicts join the totals.
+        let mut buf = (opts.json && name == "convergent").then(TelemetryBuffer::new);
+        let scheduled = if let Some(buf) = buf.as_mut() {
+            convergent_driver(&machine, 1, 1)
+                .schedule_with_sink(unit.dag(), &machine, buf)
+                .map(|out| out.into_schedule())
+        } else {
+            make_scheduler(name, &machine, 1, 1)?.schedule(unit.dag(), &machine)
         };
-        if let Err(e) = validate(unit.dag(), &machine, &schedule) {
-            println!("{name:<12} FAIL validation: {e}");
+        let mut verdicts = CounterTotals::default();
+        let mut cycles: Option<(u32, u32, u32)> = None;
+        let outcome: Result<(), String> = match scheduled {
+            Err(e) => Err(format!("scheduling: {e}")),
+            Ok(schedule) => match validate(unit.dag(), &machine, &schedule) {
+                Err(e) => {
+                    verdicts.validate_fail = 1;
+                    Err(format!("validation: {e}"))
+                }
+                Ok(()) => {
+                    verdicts.validate_ok = 1;
+                    match cross_check(unit.dag(), &machine, &schedule) {
+                        Ok(Ok(report)) => {
+                            verdicts.oracle_agree = 1;
+                            cycles = Some((
+                                report.makespan.get(),
+                                report.nominal_makespan.get(),
+                                report.network.stall_cycles,
+                            ));
+                            Ok(())
+                        }
+                        Ok(Err(e)) => {
+                            verdicts.oracle_disagree = 1;
+                            Err(format!("simulation: {e}"))
+                        }
+                        Err(d) => {
+                            verdicts.oracle_disagree = 1;
+                            Err(format!("cross-check: {d}"))
+                        }
+                    }
+                }
+            },
+        };
+        if opts.json {
+            let telemetry = buf.map_or_else(
+                || "null".to_string(),
+                |mut buf| {
+                    buf.counters("<referee>", &verdicts);
+                    telemetry_to_json(&buf)
+                },
+            );
+            let (status, error) = match &outcome {
+                Ok(()) => ("ok".to_string(), "null".to_string()),
+                Err(e) => ("fail".to_string(), format!("\"{}\"", escape_json(e))),
+            };
+            let cycles_json = cycles.map_or_else(
+                || "null".to_string(),
+                |(c, n, s)| format!("{{\"cycles\":{c},\"nominal\":{n},\"stall_cycles\":{s}}}"),
+            );
+            targets_json.push(format!(
+                "{{\"scheduler\":\"{}\",\"status\":\"{status}\",\"error\":{error},\"result\":{cycles_json},\"telemetry\":{telemetry}}}",
+                escape_json(name)
+            ));
+        } else {
+            match (&outcome, cycles) {
+                (Ok(()), Some((c, n, s))) => println!(
+                    "{name:<12} ok: {c} cycles (nominal {n}), {s} stalls, simulators agree"
+                ),
+                (Err(e), _) => println!("{name:<12} FAIL {e}"),
+                (Ok(()), None) => unreachable!("ok outcome always has a report"),
+            }
+        }
+        if outcome.is_err() {
             failures += 1;
-            continue;
         }
-        match cross_check(unit.dag(), &machine, &schedule) {
-            Ok(Ok(report)) => println!(
-                "{name:<12} ok: {} cycles (nominal {}), {} stalls, simulators agree",
-                report.makespan.get(),
-                report.nominal_makespan,
-                report.network.stall_cycles
-            ),
-            Ok(Err(e)) => {
-                println!("{name:<12} FAIL simulation: {e}");
-                failures += 1;
-            }
-            Err(d) => {
-                println!("{name:<12} FAIL cross-check: {d}");
-                failures += 1;
-            }
-        }
+    }
+    if opts.json {
+        let lint_json: Vec<String> = report.diagnostics().iter().map(|d| d.to_json()).collect();
+        println!(
+            "{{\"name\":\"{}\",\"machine\":\"{}\",\"instrs\":{},\"edges\":{},\"lint\":[{}],\"targets\":[{}]}}",
+            escape_json(unit.name()),
+            escape_json(machine.name()),
+            unit.dag().len(),
+            unit.dag().edge_count(),
+            lint_json.join(","),
+            targets_json.join(",")
+        );
     }
     if failures > 0 {
         return Err(format!("{failures} of {} schedulers failed", names.len()));
     }
+    Ok(())
+}
+
+/// `csched trace-check`: validate a `--trace` output file — parses as
+/// Chrome trace-event JSON, timestamps nondecreasing, and every pass
+/// of the machine-matched sequence has a span.
+fn run_trace_check(args: &[String]) -> Result<(), String> {
+    let mut file: Option<String> = None;
+    let mut machine_spec = "vliw4".to_string();
+    let mut k = 0;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--machine" => {
+                k += 1;
+                machine_spec = args.get(k).ok_or("--machine takes a value")?.clone();
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => file = Some(other.to_string()),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        k += 1;
+    }
+    let file = file.ok_or("trace-check needs a trace file")?;
+    let machine = parse_machine(&machine_spec)
+        .ok_or_else(|| format!("unknown machine '{machine_spec}' (use rawN or vliwN)"))?;
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("reading {file}: {e}"))?;
+    let stats = validate_chrome_trace(&text).map_err(|e| format!("{file}: {e}"))?;
+    let sequence = if machine.comm().register_mapped {
+        Sequence::raw()
+    } else {
+        Sequence::vliw_tuned()
+    };
+    let missing: std::collections::BTreeSet<&str> = sequence
+        .names()
+        .into_iter()
+        .filter(|n| !stats.span_names.contains(*n))
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "{file}: trace names no span for pass(es) {missing:?} of the {machine} sequence"
+        ));
+    }
+    println!(
+        "{file}: ok — {} events ({} spans, {} counter samples), all {} passes named",
+        stats.total_events,
+        stats.span_events,
+        stats.counter_events,
+        sequence.len()
+    );
     Ok(())
 }
 
@@ -531,6 +740,9 @@ fn run() -> Result<(), String> {
     }
     if args.first().is_some_and(|a| a == "lint") {
         return run_lint(&args[1..]);
+    }
+    if args.first().is_some_and(|a| a == "trace-check") {
+        return run_trace_check(&args[1..]);
     }
     let opts = parse_args(&args)?;
 
@@ -548,24 +760,35 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
+    if opts.json {
+        return Err("--json applies to the verify and lint subcommands".to_string());
+    }
     let scheduler = make_scheduler(&opts.scheduler, &machine, opts.threads, opts.shards)?;
 
-    let (schedule, profile, shard_note) = if opts.profile {
+    let mut trace_sink = opts.trace.as_ref().map(|_| ChromeTraceSink::new());
+    let (schedule, profile, shard_note) = if opts.profile || trace_sink.is_some() {
         if opts.scheduler != "convergent" {
-            return Err("--profile is only supported for --scheduler convergent".to_string());
+            return Err(
+                "--profile/--trace are only supported for --scheduler convergent".to_string(),
+            );
         }
-        // Re-build the concrete driver: `Scheduler` has no profiled
+        // Re-build the concrete driver: `Scheduler` has no telemetry
         // entry point, and only the convergent pipeline has passes.
-        let sched = if machine.comm().register_mapped {
-            ConvergentScheduler::raw_default()
-        } else {
-            ConvergentScheduler::vliw_tuned()
-        }
-        .with_threads(opts.threads)
-        .with_shards(opts.shards);
-        let (out, profile) = sched
-            .schedule_profiled(unit.dag(), &machine)
-            .map_err(|e| format!("scheduling failed: {e}"))?;
+        // `--profile` and `--trace` are just two sinks on one run.
+        let sched = convergent_driver(&machine, opts.threads, opts.shards);
+        let mut profile = opts.profile.then(PassProfile::default);
+        let out = {
+            let mut multi = MultiSink::new();
+            if let Some(p) = profile.as_mut() {
+                multi.push(p);
+            }
+            if let Some(t) = trace_sink.as_mut() {
+                multi.push(t);
+            }
+            sched
+                .schedule_with_sink(unit.dag(), &machine, &mut multi)
+                .map_err(|e| format!("scheduling failed: {e}"))?
+        };
         let shard_note = out.shard_info().map(|info| {
             format!(
                 "{} regions (sizes {:?}), {} boundary comm(s)",
@@ -574,7 +797,7 @@ fn run() -> Result<(), String> {
                 info.boundary_comms
             )
         });
-        (out.into_schedule(), Some(profile), shard_note)
+        (out.into_schedule(), profile, shard_note)
     } else {
         let schedule = scheduler
             .schedule(unit.dag(), &machine)
@@ -585,6 +808,23 @@ fn run() -> Result<(), String> {
         .map_err(|e| format!("produced schedule failed validation: {e}"))?;
     let report =
         evaluate(unit.dag(), &machine, &schedule).map_err(|e| format!("simulation failed: {e}"))?;
+
+    let trace_note = if let (Some(t), Some(path)) = (trace_sink.as_mut(), opts.trace.as_ref()) {
+        // The referee ran after the traced region; append its verdict
+        // as a final counter sample, then write the file.
+        t.note_counters(
+            "referee",
+            &CounterTotals {
+                validate_ok: 1,
+                ..CounterTotals::default()
+            },
+        );
+        let events = t.len();
+        t.save(path).map_err(|e| format!("writing {path}: {e}"))?;
+        Some(format!("{path} ({events} events)"))
+    } else {
+        None
+    };
 
     println!("{unit}");
     println!("machine:    {machine}");
@@ -602,6 +842,9 @@ fn run() -> Result<(), String> {
         report.comm_ops, report.network.link_cycles, report.network.stall_cycles
     );
     println!("issue use:  {:.1}%", report.fu_utilization * 100.0);
+    if let Some(note) = &trace_note {
+        println!("trace:      {note}");
+    }
     if opts.pressure {
         let p = analyze_pressure(unit.dag(), &machine, &schedule);
         println!(
