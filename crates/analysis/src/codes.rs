@@ -54,6 +54,12 @@ pub enum Code {
     /// components but one giant component dominates; region sharding
     /// cannot balance the pieces without articulation cuts.
     DegenerateShardStructure,
+    /// `CS041`: the graph exceeds the default region-size target but
+    /// the best recursive cut the decomposer finds is degenerate —
+    /// mostly cross-shard edges or one shard holding nearly the whole
+    /// graph — so sharded scheduling will fall back to a monolithic
+    /// schedule.
+    DegenerateRegionCut,
     /// `CS050`: the latency table reports zero latency for a
     /// non-communication operation class used by the graph.
     ZeroLatency,
@@ -82,7 +88,7 @@ pub enum Code {
 impl Code {
     /// Every code, in catalogue order — used to generate and test the
     /// `docs/DIAGNOSTICS.md` catalogue.
-    pub const ALL: [Code; 21] = [
+    pub const ALL: [Code; 22] = [
         Code::Cycle,
         Code::DanglingEdge,
         Code::SelfEdge,
@@ -97,6 +103,7 @@ impl Code {
         Code::DeadValue,
         Code::PressureOverRegisters,
         Code::DegenerateShardStructure,
+        Code::DegenerateRegionCut,
         Code::ZeroLatency,
         Code::CommLatencyMismatch,
         Code::MissingTransferUnit,
@@ -124,6 +131,7 @@ impl Code {
             Code::DeadValue => "CS030",
             Code::PressureOverRegisters => "CS031",
             Code::DegenerateShardStructure => "CS040",
+            Code::DegenerateRegionCut => "CS041",
             Code::ZeroLatency => "CS050",
             Code::CommLatencyMismatch => "CS051",
             Code::MissingTransferUnit => "CS052",
@@ -163,7 +171,8 @@ impl Code {
             Code::TightPreplacedPair
             | Code::DeadValue
             | Code::PressureOverRegisters
-            | Code::DegenerateShardStructure => Severity::Note,
+            | Code::DegenerateShardStructure
+            | Code::DegenerateRegionCut => Severity::Note,
         }
     }
 
@@ -188,6 +197,9 @@ impl Code {
             }
             Code::DegenerateShardStructure => {
                 "one giant weakly-connected component dominates the graph"
+            }
+            Code::DegenerateRegionCut => {
+                "oversize graph has no cut the region governor would accept"
             }
             Code::ZeroLatency => "zero latency for a non-communication class",
             Code::CommLatencyMismatch => "nonzero send/recv latency on a register-mapped machine",

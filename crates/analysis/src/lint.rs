@@ -318,7 +318,7 @@ fn lint_latency_table(dag: &Dag, machine: &Machine, report: &mut LintReport) {
     }
 }
 
-/// Advisory analyses (`CS013`, `CS030`, `CS031`).
+/// Advisory analyses (`CS013`, `CS030`, `CS031`, `CS040`, `CS041`).
 fn lint_pedantic(dag: &Dag, machine: &Machine, facts: &GraphFacts, report: &mut LintReport) {
     if machine.memory().preplacement_is_hard() {
         for edge in dag.edges() {
@@ -378,6 +378,42 @@ fn lint_pedantic(dag: &Dag, machine: &Machine, facts: &GraphFacts, report: &mut 
                     "graph splits into {} weakly-connected components but the largest holds {giant} of {} instructions; region sharding cannot balance these pieces without cutting the giant component",
                     components.len(),
                     dag.len()
+                ),
+            ));
+        }
+    }
+    // Degenerate region cut (CS041): the graph exceeds the default
+    // region-size target, so a sharded run would try to cut it — but
+    // the best decomposition is one the driver's cut governor rejects
+    // (mirrored here because `convergent-analysis` cannot depend on
+    // the scheduler crate): more than half of all edges crossing
+    // shards, or the largest shard still above 15/16 of the graph.
+    // Such a run silently falls back to a monolithic schedule.
+    if dag.len() > convergent_ir::DEFAULT_REGION_SIZE {
+        let dec = convergent_ir::decompose_with(dag, &convergent_ir::RegionPolicy::new(2));
+        let cross = dec.cross_edges().len();
+        let total = dag.edge_count();
+        let largest = dec
+            .shards()
+            .iter()
+            .map(convergent_ir::Shard::len)
+            .max()
+            .unwrap_or(dag.len());
+        let rejected = if dec.is_trivial() {
+            true
+        } else if cross == 0 {
+            false
+        } else {
+            cross * 2 > total || largest * 16 > dag.len() * 15
+        };
+        if rejected {
+            report.push(Diagnostic::new(
+                Code::DegenerateRegionCut,
+                vec![],
+                format!(
+                    "graph holds {} instructions (region target {}) but its best cut is degenerate ({cross} of {total} edges crossing, largest region {largest}); sharded runs will fall back to a monolithic schedule",
+                    dag.len(),
+                    convergent_ir::DEFAULT_REGION_SIZE
                 ),
             ));
         }

@@ -226,6 +226,54 @@ fn cs040_silent_on_balanced_components_and_connected_graphs() {
 }
 
 #[test]
+fn cs041_degenerate_region_cut_is_pedantic_note() {
+    // A complete bipartite layer (16 loads each feeding 2040 stores):
+    // larger than the default region target, 2-connected (no
+    // articulation vertex), and its only level cut is hopelessly
+    // unbalanced — the decomposer finds no profitable cut, so a
+    // sharded run falls back to a monolithic schedule.
+    let mut b = DagBuilder::new();
+    let sources: Vec<_> = (0..16).map(|_| b.instr(Opcode::Load)).collect();
+    for _ in 0..2040 {
+        let sink = b.instr(Opcode::Store);
+        for &src in &sources {
+            b.edge(src, sink).unwrap();
+        }
+    }
+    let dag = b.build().unwrap();
+    let m = Machine::raw(4);
+    assert!(
+        lint_dag(&dag, &m, LintOptions::default()).is_empty(),
+        "default lint stays quiet"
+    );
+    let report = lint_dag(&dag, &m, LintOptions::pedantic());
+    assert_only(&report, Code::DegenerateRegionCut);
+    assert_eq!(report.diagnostics()[0].severity, Severity::Note);
+}
+
+#[test]
+fn cs041_silent_when_the_cut_is_acceptable() {
+    // A 2100-instruction chain is over the region target but cuts
+    // cleanly at articulation vertices (balanced pieces, almost no
+    // cross edges): the governor would accept, so the lint stays
+    // quiet.
+    let mut b = DagBuilder::new();
+    let mut prev = b.instr(Opcode::Load);
+    for k in 1..2100 {
+        let n = if k == 2099 {
+            b.instr(Opcode::Store)
+        } else {
+            b.instr(Opcode::IntAlu)
+        };
+        b.edge(prev, n).unwrap();
+        prev = n;
+    }
+    let dag = b.build().unwrap();
+    let report = lint_dag(&dag, &Machine::raw(4), LintOptions::pedantic());
+    assert!(report.is_empty(), "{report:?}");
+}
+
+#[test]
 fn cs050_zero_latency() {
     let mut b = DagBuilder::new();
     b.instr(Opcode::FMul);

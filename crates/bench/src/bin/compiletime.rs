@@ -28,12 +28,17 @@
 //! cells). Real scheduling regions grow wide, not kilodeep.
 //!
 //! `--components K` switches the workload to a disjoint union of `K`
-//! layered graphs (distinct seeds, sizes split evenly), the shape the
-//! region decomposer exists for; `--shards N` then lets the driver
-//! schedule those components concurrently and stitch the results.
+//! layered graphs (distinct seeds, sizes split evenly); `--shards N`
+//! lets the driver schedule regions concurrently and stitch the
+//! results — since the decomposer cuts connected graphs recursively,
+//! this also engages on the default single-component workload.
+//! `--region-size N` overrides the decomposer's target region size.
 //! When shard metadata is produced it lands in the JSON rows
 //! (`shard_sizes`, `boundary_comms`) and every sharded schedule is
-//! re-validated outside the timed region.
+//! re-validated outside the timed region. Every row also records
+//! `shards_effective` — the region count the decomposer actually
+//! produced (1 when the cut was refused or trivial); a mismatch with
+//! the requested `--shards` is warned on stderr.
 //!
 //! Measurements run serially (never through the parallel harness) so
 //! each row gets an unloaded machine; `--threads N` exercises the
@@ -72,6 +77,8 @@ struct Row {
     profile: PassProfile,
     shard_sizes: Option<Vec<usize>>,
     boundary_comms: Option<usize>,
+    /// Regions the decomposer actually produced (1 = monolithic).
+    shards_effective: usize,
     /// Hot-path counter totals from one fully-instrumented rep.
     counters: CounterTotals,
     /// Best wall-clock seconds over the instrumented rep loop; the
@@ -171,6 +178,12 @@ fn main() {
         .map(|v| v.parse().expect("--components takes a positive integer"))
         .unwrap_or(1);
     assert!(components > 0, "--components takes a positive integer");
+    let region_size: Option<usize> = flag_val("--region-size")
+        .map(|v| v.parse().expect("--region-size takes a positive integer"));
+    assert!(
+        region_size != Some(0),
+        "--region-size takes a positive integer"
+    );
     let forced_width: Option<usize> =
         flag_val("--width").map(|v| v.parse().expect("--width takes a positive integer"));
     let sizes: Vec<usize> = flag_val("--sizes")
@@ -182,6 +195,15 @@ fn main() {
         .unwrap_or_else(|| vec![200, 500, 1000, 2000, 5000, 10000, 50000, 100000]);
 
     let machine = Machine::chorus_vliw(4);
+    let make_sched = || {
+        let s = ConvergentScheduler::vliw_default()
+            .with_threads(threads)
+            .with_shards(shards);
+        match region_size {
+            Some(n) => s.with_region_size(n),
+            None => s,
+        }
+    };
     println!(
         "{:>8}{:>8}{:>12}{:>16}{:>8}{:>12}{:>10}{:>10}",
         "instrs", "width", "best (s)", "instrs/sec", "reps", "weight ops", "hit rate", "tel ovh"
@@ -198,9 +220,7 @@ fn main() {
         let clock = Instant::now();
         // At least one rep, then keep going until the budget is spent.
         while reps == 0 || clock.elapsed().as_secs_f64() < budget_secs {
-            let sched = ConvergentScheduler::vliw_default()
-                .with_threads(threads)
-                .with_shards(shards);
+            let sched = make_sched();
             let start = Instant::now();
             let (out, profile) = sched
                 .schedule_profiled(unit.dag(), &machine)
@@ -234,9 +254,7 @@ fn main() {
             let mut tel_reps = 0u32;
             let clock = Instant::now();
             while tel_reps == 0 || clock.elapsed().as_secs_f64() < budget_secs {
-                let sched = ConvergentScheduler::vliw_default()
-                    .with_threads(threads)
-                    .with_shards(shards);
+                let sched = make_sched();
                 let mut buf = TelemetryBuffer::new();
                 let start = Instant::now();
                 {
@@ -264,6 +282,13 @@ fn main() {
             }
             (counters, best_tel)
         };
+        let shards_effective = shard_sizes.as_ref().map_or(1, Vec::len);
+        if shards > 1 && shards_effective != shards {
+            eprintln!(
+                "warning: {n} instrs: requested --shards {shards} but the decomposer \
+                 produced {shards_effective} region(s)"
+            );
+        }
         let ips = n as f64 / best;
         let hit_rate = counters
             .argmax_hit_rate()
@@ -293,6 +318,7 @@ fn main() {
             profile: best_profile,
             shard_sizes,
             boundary_comms,
+            shards_effective,
             counters,
             telemetry_secs,
         });
@@ -321,6 +347,10 @@ fn main() {
         }
         json.push_str(&format!("  \"components\": {components},\n"));
         json.push_str(&format!("  \"shards\": {shards},\n"));
+        json.push_str(&format!(
+            "  \"region_size\": {},\n",
+            region_size.map_or_else(|| "null".to_string(), |n| n.to_string())
+        ));
         json.push_str(&format!("  \"threads\": {threads},\n"));
         json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
         json.push_str(&format!("  \"host_cpu_model\": \"{}\",\n", cpu_model()));
@@ -344,6 +374,7 @@ fn main() {
                 .collect();
             json.push_str(&spans.join(", "));
             json.push('}');
+            json.push_str(&format!(", \"shards_effective\": {}", row.shards_effective));
             if let Some(sizes) = &row.shard_sizes {
                 let sizes: Vec<String> = sizes.iter().map(ToString::to_string).collect();
                 json.push_str(&format!(

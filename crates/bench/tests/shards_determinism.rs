@@ -2,8 +2,9 @@
 //!
 //! * `--shards 1` is always the monolithic driver — byte-identical
 //!   schedules, no shard metadata.
-//! * On single-component graphs the decomposer refuses to cut, so any
-//!   shard budget stays byte-identical too.
+//! * Single-component graphs at or under the region-size target are
+//!   never cut (every builtin suite unit fits the default target of
+//!   2000 instructions), so any shard budget stays byte-identical too.
 //! * On multi-component graphs the sharded pipeline must produce a
 //!   schedule the shared referee accepts ([`convergent_sim::validate`]
 //!   plus the cycle-level oracle cross-check), with shard metadata
@@ -12,6 +13,10 @@
 //!   time rather than interleaving them; 3x holds with wide margin on
 //!   every builtin workload, keeping the stitch honest without pinning
 //!   exact cycle counts).
+//! * Forcing recursive cuts on *connected* graphs with a tiny
+//!   `--region-size` must keep the same referee guarantees, and when
+//!   the cut governor rejects a degenerate cut the fall-back schedule
+//!   must be byte-identical to the monolithic one.
 
 use convergent_core::ConvergentScheduler;
 use convergent_ir::weakly_connected_components;
@@ -82,6 +87,88 @@ fn vliw_suite_honors_the_shards_contract() {
 fn raw_suite_honors_the_shards_contract() {
     let machine = Machine::raw(4);
     check_suite(&machine, raw_suite(4));
+}
+
+#[test]
+fn connected_workloads_recursively_shard_and_validate() {
+    // Force recursive cuts on every connected suite unit by shrinking
+    // the region target to a quarter of the unit. Two legal outcomes
+    // per unit: the governor accepts the cut (schedule must pass the
+    // shared referee with a bounded makespan and fully-accounted shard
+    // metadata) or rejects it (schedule must be byte-identical to the
+    // monolithic one). Both paths must occur across the suites, so the
+    // test cannot silently degenerate into all-fallback.
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    for (machine, units) in [
+        (Machine::raw(4), raw_suite(4)),
+        (Machine::chorus_vliw(4), vliw_suite(4)),
+    ] {
+        for unit in units {
+            let dag = unit.dag();
+            if weakly_connected_components(dag).len() != 1 || dag.len() < 16 {
+                continue;
+            }
+            let reference = ConvergentScheduler::vliw_default()
+                .schedule(dag, &machine)
+                .unwrap_or_else(|e| panic!("{}: {e}", unit.name()));
+            let region = (dag.len() / 4).max(4);
+            let sharded = ConvergentScheduler::vliw_default()
+                .with_shards(8)
+                .with_region_size(region)
+                .schedule(dag, &machine)
+                .unwrap_or_else(|e| panic!("{} region={region}: {e}", unit.name()));
+            match sharded.shard_info() {
+                Some(info) => {
+                    accepted += 1;
+                    assert!(info.shard_sizes.len() > 1, "{}", unit.name());
+                    assert_eq!(
+                        info.shard_sizes.iter().sum::<usize>(),
+                        dag.len(),
+                        "{}",
+                        unit.name()
+                    );
+                    assert!(
+                        info.cross_edges > 0,
+                        "{}: a connected cut crosses",
+                        unit.name()
+                    );
+                    validate(dag, &machine, sharded.schedule())
+                        .unwrap_or_else(|e| panic!("{} region={region}: {e}", unit.name()));
+                    cross_check(dag, &machine, sharded.schedule())
+                        .unwrap_or_else(|d| panic!("{} cross-check: {d}", unit.name()))
+                        .unwrap_or_else(|e| panic!("{} oracle sim: {e}", unit.name()));
+                    let ratio = f64::from(sharded.schedule().makespan().get())
+                        / f64::from(reference.schedule().makespan().get().max(1));
+                    assert!(
+                        ratio <= MAKESPAN_RATIO_LIMIT,
+                        "{} region={region}: sharded makespan {} vs monolithic {} (ratio {ratio:.2})",
+                        unit.name(),
+                        sharded.schedule().makespan(),
+                        reference.schedule().makespan()
+                    );
+                }
+                None => {
+                    rejected += 1;
+                    let verdict = sharded
+                        .governor()
+                        .unwrap_or_else(|| panic!("{}: fallback without a verdict", unit.name()));
+                    assert!(!verdict.accepted(), "{}", unit.name());
+                    assert_eq!(
+                        reference.schedule(),
+                        sharded.schedule(),
+                        "{}: governor fallback must be byte-identical",
+                        unit.name()
+                    );
+                }
+            }
+        }
+    }
+    assert!(accepted > 0, "no suite unit took the recursive-cut path");
+    assert!(
+        rejected > 0,
+        "no suite unit exercised the governor fallback"
+    );
 }
 
 #[test]

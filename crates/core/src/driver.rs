@@ -14,13 +14,16 @@
 
 use std::time::Instant;
 
-use convergent_ir::{decompose, ClusterId, Dag, DistanceOracle, Shard, TimeAnalysis};
+use convergent_ir::{
+    decompose_with, ClusterId, Dag, DistanceOracle, RegionPolicy, Shard, TimeAnalysis,
+};
 use convergent_machine::Machine;
 use convergent_schedulers::{ListScheduler, ScheduleError, Scheduler};
 use convergent_sim::{stitch, Assignment, SpaceTimeSchedule};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::governor::{self, CutAssessment, CutVerdict};
 use crate::telemetry::{
     measure, ConvergenceMetrics, CounterTotals, SinkInterest, SpanKind, TelemetryBuffer,
     TelemetrySink,
@@ -145,6 +148,23 @@ pub struct ShardInfo {
     pub offsets: Vec<u32>,
     /// Cross-shard transfers inserted by the boundary COMM fix-up.
     pub boundary_comms: usize,
+    /// Dependence edges crossing shard boundaries.
+    pub cross_edges: usize,
+    /// Makespan of the stitched schedule.
+    pub stitched_makespan: u32,
+    /// The graph's critical-path length — a machine-independent lower
+    /// bound on any schedule's makespan, what the cut governor compares
+    /// the stitched makespan against.
+    pub cp_lower_bound: u32,
+}
+
+impl ShardInfo {
+    /// Stitched makespan over the critical-path lower bound (≥ 1.0);
+    /// how much schedule length the cut cost at worst.
+    #[must_use]
+    pub fn stitch_ratio(&self) -> f64 {
+        f64::from(self.stitched_makespan) / f64::from(self.cp_lower_bound.max(1))
+    }
 }
 
 /// Result of a full schedule: assignment, priorities, and the final
@@ -155,6 +175,7 @@ pub struct ScheduleOutcome {
     assignment: Assignment,
     trace: ConvergenceTrace,
     shard_info: Option<ShardInfo>,
+    governor: Option<CutAssessment>,
 }
 
 impl ScheduleOutcome {
@@ -177,10 +198,21 @@ impl ScheduleOutcome {
     }
 
     /// Shard metadata when the run actually split the graph (`None`
-    /// for monolithic runs and for sharded runs of connected graphs).
+    /// for monolithic runs and for sharded runs the decomposer or cut
+    /// governor refused).
     #[must_use]
     pub fn shard_info(&self) -> Option<&ShardInfo> {
         self.shard_info.as_ref()
+    }
+
+    /// The cut governor's assessment, when a sharded run projected a
+    /// non-trivial decomposition: `Accepted` on sharded outcomes,
+    /// a rejection on runs that fell back to the monolithic path
+    /// because the cut was degenerate. `None` when no cut was ever on
+    /// the table (monolithic runs, trivial decompositions).
+    #[must_use]
+    pub fn governor(&self) -> Option<&CutAssessment> {
+        self.governor.as_ref()
     }
 
     /// Extracts the schedule, discarding the rest.
@@ -220,6 +252,7 @@ pub struct ConvergentScheduler {
     reference_map: bool,
     threads: usize,
     shards: usize,
+    region_size: Option<usize>,
 }
 
 impl ConvergentScheduler {
@@ -233,6 +266,7 @@ impl ConvergentScheduler {
             reference_map: false,
             threads: 1,
             shards: 1,
+            region_size: None,
         }
     }
 
@@ -317,13 +351,22 @@ impl ConvergentScheduler {
     /// Sets the shard budget for region-sharded scheduling.
     ///
     /// With `shards > 1`, [`ConvergentScheduler::schedule`] first
-    /// decomposes the graph ([`convergent_ir::decompose`]) into at most
-    /// that many weakly-connected region shards, runs the full pass
-    /// pipeline plus list scheduling on every shard concurrently, and
-    /// stitches the per-shard schedules back together with a boundary
-    /// COMM fix-up ([`convergent_sim::stitch`]). Connected graphs are
-    /// never split, so their schedules are byte-identical to the
-    /// monolithic driver at any shard count. Composes with
+    /// decomposes the graph ([`convergent_ir::decompose_with`]) into
+    /// region shards — weakly-connected components packed into at most
+    /// `shards` bins, with any region above the size target
+    /// ([`ConvergentScheduler::with_region_size`]) recursively cut —
+    /// runs the full pass pipeline plus list scheduling on every shard
+    /// concurrently, and stitches the per-shard schedules back together
+    /// with a boundary COMM fix-up ([`convergent_sim::stitch`]).
+    ///
+    /// Connected graphs at or under the region target are never split,
+    /// so their schedules stay byte-identical to the monolithic driver
+    /// at any shard count. Larger connected graphs are cut for
+    /// compile-time, trading byte-identity for bounded region size; a
+    /// cut governor ([`crate::assess`]) rejects degenerate cuts,
+    /// coarsening the region target (doubling it) while the rejection
+    /// is for cross edges before falling back to the monolithic path.
+    /// Composes with
     /// [`ConvergentScheduler::with_threads`]: each shard still applies
     /// its row kernels across the configured thread count.
     ///
@@ -334,6 +377,25 @@ impl ConvergentScheduler {
     pub fn with_shards(mut self, shards: usize) -> Self {
         assert!(shards > 0, "shards must be at least 1");
         self.shards = shards;
+        self
+    }
+
+    /// Sets the region-size target for sharded scheduling: regions
+    /// larger than this are recursively cut while a profitable cut
+    /// exists. Defaults to [`convergent_ir::DEFAULT_REGION_SIZE`].
+    /// Has no effect unless the shard budget is above one. The target
+    /// is a starting point, not a ceiling: when the cut governor
+    /// rejects a cut for excessive cross edges the driver doubles the
+    /// target and retries, so wide layered graphs settle on the
+    /// finest granularity the governor will accept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region_size` is zero.
+    #[must_use]
+    pub fn with_region_size(mut self, region_size: usize) -> Self {
+        assert!(region_size > 0, "region size must be at least 1");
+        self.region_size = Some(region_size);
         self
     }
 
@@ -662,40 +724,89 @@ impl ConvergentScheduler {
         machine: &Machine,
         mut tel: Option<&mut Telemetry>,
     ) -> Result<ScheduleOutcome, ScheduleError> {
-        if let Some(out) = self.try_schedule_sharded(dag, machine, tel.as_deref_mut())? {
+        let (sharded, assessment) = self.try_schedule_sharded(dag, machine, tel.as_deref_mut())?;
+        if let Some(out) = sharded {
             return Ok(out);
         }
         let outcome = self.assign_impl(dag, machine, |_, _, _| {}, tel.as_deref_mut())?;
         let t0 = Instant::now();
-        let out = self.listsched(dag, machine, outcome)?;
+        let mut out = self.listsched(dag, machine, outcome)?;
+        // A rejected cut still surfaces what the governor measured.
+        out.governor = assessment;
         if let Some(t) = tel {
             t.span_from("<listsched>", SpanKind::Stage, t0);
         }
         Ok(out)
     }
 
-    /// The sharded scheduling path. Returns `Ok(None)` when sharding
-    /// does not apply — shard budget of one, or a graph the decomposer
-    /// refuses to split (single weakly-connected component) — in which
-    /// case the caller must run the monolithic path, keeping those runs
-    /// byte-identical to an unsharded driver.
+    /// The sharded scheduling path. Returns `(None, _)` when sharding
+    /// does not apply — shard budget of one, a graph the decomposer
+    /// refuses to split (connected and under the region target, or no
+    /// profitable cut), or no decomposition the cut governor accepts
+    /// even after coarsening the region target — in which case the
+    /// caller must run the monolithic path, keeping those runs
+    /// byte-identical to an unsharded driver. The second element
+    /// carries the governor's assessment of the committed cut, or of
+    /// the last rejected cut when the run fell back.
     fn try_schedule_sharded(
         &self,
         dag: &Dag,
         machine: &Machine,
         mut tel: Option<&mut Telemetry>,
-    ) -> Result<Option<ScheduleOutcome>, ScheduleError> {
+    ) -> Result<(Option<ScheduleOutcome>, Option<CutAssessment>), ScheduleError> {
         if self.shards <= 1 {
-            return Ok(None);
+            return Ok((None, None));
         }
         convergent_schedulers::check_inputs(dag, machine)?;
         let t0 = Instant::now();
-        let dec = decompose(dag, self.shards);
+        // Governor-driven coarsening. A cut rejected for cross edges
+        // means the region target is finer than the graph's layer
+        // width supports — pieces span too few topological levels, so
+        // most dependence edges cross a boundary no matter how the cut
+        // planes are aligned. Doubling the target widens every piece
+        // (halving the cross fraction on layered graphs), so either
+        // some coarser cut passes the governor or the decomposer stops
+        // cutting and the run falls back to the monolithic path,
+        // carrying the last rejected assessment as its verdict.
+        // Imbalance rejections never coarsen: a larger target only
+        // makes the dominant shard bigger.
+        let mut target = self
+            .region_size
+            .unwrap_or(convergent_ir::DEFAULT_REGION_SIZE)
+            .max(1);
+        let mut rejects = 0u64;
+        let mut last_rejected: Option<CutAssessment> = None;
+        let (dec, assessment) = loop {
+            let policy = RegionPolicy::new(self.shards).with_region_size(target);
+            let dec = decompose_with(dag, &policy);
+            if dec.is_trivial() {
+                break (dec, last_rejected);
+            }
+            let a = governor::assess(dag, &dec);
+            if a.accepted() {
+                break (dec, Some(a));
+            }
+            rejects += 1;
+            last_rejected = Some(a);
+            if a.verdict != CutVerdict::RejectedCrossEdges || target >= dag.len() {
+                break (dec, last_rejected);
+            }
+            target = target.saturating_mul(2);
+        };
+        let accepted = assessment.is_some_and(|a| a.accepted());
         if let Some(t) = tel.as_deref_mut() {
             t.span_from("<decompose>", SpanKind::Stage, t0);
+            if t.interest.counters && (accepted || rejects > 0) {
+                let delta = CounterTotals {
+                    governor_accepts: u64::from(accepted),
+                    governor_rejects: rejects,
+                    ..CounterTotals::default()
+                };
+                t.sink.counters("<decompose>", &delta);
+            }
         }
-        if dec.is_trivial() {
-            return Ok(None);
+        if !accepted {
+            return Ok((None, assessment));
         }
         let shards = dec.shards();
         let interest = tel
@@ -814,18 +925,30 @@ impl ConvergentScheduler {
             }
         }
 
+        // The governor's post-hoc quality record: stitched makespan
+        // against the graph-wide critical-path lower bound.
+        let cp_lower_bound = TimeAnalysis::compute(dag, |i| machine.latency_of(i))
+            .critical_path_length()
+            .max(1);
         let shard_info = ShardInfo {
             shard_sizes: shards.iter().map(convergent_ir::Shard::len).collect(),
             offsets: report.offsets,
             boundary_comms: report.boundary_comms,
+            cross_edges: dec.cross_edges().len(),
+            stitched_makespan: report.schedule.makespan().get(),
+            cp_lower_bound,
         };
         let assignment = report.schedule.assignment();
-        Ok(Some(ScheduleOutcome {
-            schedule: report.schedule,
-            assignment,
-            trace: ConvergenceTrace { records },
-            shard_info: Some(shard_info),
-        }))
+        Ok((
+            Some(ScheduleOutcome {
+                schedule: report.schedule,
+                assignment,
+                trace: ConvergenceTrace { records },
+                shard_info: Some(shard_info),
+                governor: assessment,
+            }),
+            assessment,
+        ))
     }
 
     fn listsched(
@@ -844,6 +967,7 @@ impl ConvergentScheduler {
             assignment: outcome.assignment,
             trace: outcome.trace,
             shard_info: None,
+            governor: None,
         })
     }
 }
@@ -1109,8 +1233,9 @@ mod tests {
 
     #[test]
     fn sharding_is_identity_on_connected_graphs() {
-        // A single weakly-connected component is never cut, so ANY
-        // shard budget must produce the byte-identical schedule.
+        // A single weakly-connected component under the region target
+        // is never cut, so ANY shard budget must produce the
+        // byte-identical schedule.
         let dag = star_with_preplacement();
         for m in [Machine::raw(4), Machine::chorus_vliw(4)] {
             let plain = ConvergentScheduler::raw_default()

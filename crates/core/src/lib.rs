@@ -52,6 +52,7 @@
 
 pub mod contract;
 mod driver;
+mod governor;
 mod pass;
 pub mod passes;
 mod profile;
@@ -61,8 +62,9 @@ pub mod tuner;
 mod weights;
 
 pub use driver::{
-    AssignOutcome, ConvergenceTrace, ConvergentScheduler, PassRecord, ScheduleOutcome,
+    AssignOutcome, ConvergenceTrace, ConvergentScheduler, PassRecord, ScheduleOutcome, ShardInfo,
 };
+pub use governor::{assess, CutAssessment, CutVerdict};
 pub use pass::{Pass, PassContext, PassContract, PassScratch, RowKernel};
 pub use profile::PassProfile;
 pub use sequence::Sequence;

@@ -58,6 +58,10 @@ pub struct CounterTotals {
     pub band_densifications: u64,
     /// Cross-shard transfers inserted by the stitch fix-up.
     pub boundary_comms: u64,
+    /// Cut-governor verdicts: decomposition accepted for sharding.
+    pub governor_accepts: u64,
+    /// Cut-governor verdicts: degenerate cut, monolithic fallback.
+    pub governor_rejects: u64,
     /// `validate()` verdicts: schedule accepted.
     pub validate_ok: u64,
     /// `validate()` verdicts: schedule rejected.
@@ -72,7 +76,7 @@ impl CounterTotals {
     /// Every counter as `(name, value)`, in a fixed order — the single
     /// source of truth for exporters.
     #[must_use]
-    pub fn named(&self) -> [(&'static str, u64); 19] {
+    pub fn named(&self) -> [(&'static str, u64); 21] {
         [
             ("set", self.set),
             ("scale", self.scale),
@@ -89,6 +93,8 @@ impl CounterTotals {
             ("band_growths", self.band_growths),
             ("band_densifications", self.band_densifications),
             ("boundary_comms", self.boundary_comms),
+            ("governor_accepts", self.governor_accepts),
+            ("governor_rejects", self.governor_rejects),
             ("validate_ok", self.validate_ok),
             ("validate_fail", self.validate_fail),
             ("oracle_agree", self.oracle_agree),
@@ -177,6 +183,8 @@ impl CounterTotals {
             "band_growths" => self.band_growths = v,
             "band_densifications" => self.band_densifications = v,
             "boundary_comms" => self.boundary_comms = v,
+            "governor_accepts" => self.governor_accepts = v,
+            "governor_rejects" => self.governor_rejects = v,
             "validate_ok" => self.validate_ok = v,
             "validate_fail" => self.validate_fail = v,
             "oracle_agree" => self.oracle_agree = v,

@@ -507,6 +507,20 @@ impl PrometheusSink {
                 delta.boundary_comms as f64,
             );
         }
+        let governor: [(&str, u64); 2] = [
+            ("accept", delta.governor_accepts),
+            ("reject", delta.governor_rejects),
+        ];
+        for (verdict, v) in governor {
+            if v > 0 {
+                self.registry.counter_add(
+                    "csched_governor_verdicts_total",
+                    "Cut-governor verdicts on projected decompositions.",
+                    &[("verdict", verdict)],
+                    v as f64,
+                );
+            }
+        }
         let referee: [(&str, u64); 4] = [
             ("validate_ok", delta.validate_ok),
             ("validate_fail", delta.validate_fail),

@@ -85,7 +85,7 @@ impl ChromeTraceSink {
     }
 
     fn push_counter_groups(&mut self, suffix: &str, delta: &CounterTotals, ts_us: f64) {
-        let groups: [(&str, &[(&str, u64)]); 5] = [
+        let groups: [(&str, &[(&str, u64)]); 6] = [
             (
                 "weight ops",
                 &[
@@ -116,6 +116,13 @@ impl ChromeTraceSink {
                 ],
             ),
             ("boundary comms", &[("inserted", delta.boundary_comms)]),
+            (
+                "governor",
+                &[
+                    ("accepts", delta.governor_accepts),
+                    ("rejects", delta.governor_rejects),
+                ],
+            ),
             (
                 "referee",
                 &[

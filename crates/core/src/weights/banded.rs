@@ -1230,6 +1230,9 @@ impl<'a> BandedRows<'a> {
         }
         self.total[r] = tot;
         if any {
+            // Noise perturbs every feasible cell in both directions
+            // across every cluster; neither half of the cache has a
+            // cheap keep rule, so invalidate blindly.
             argmax::invalidate_cluster(&self.argmax[r]);
             argmax::invalidate_time(&self.argmax[r]);
         }
@@ -1251,9 +1254,22 @@ impl<'a> BandedRows<'a> {
         let s = self.scale[r];
         let mut k = 0usize;
         let mut any = false;
+        let old_csum = self.cluster_sum[base + cc];
+        let pre = self.argmax[r].get();
+        let top = pre.top_time as usize;
+        let mut time_stale = false;
         // Generic path while uniform (covers the densifying write).
         while k < xs.len() && matches!(self.rows[r], Row::Uniform { .. }) {
-            any |= self.add_cell(r, cc, lo as usize + k, a * xs[k]);
+            let t = lo as usize + k;
+            let x = a * xs[k];
+            if self.add_cell(r, cc, t, x) {
+                any = true;
+                // Clamping at zero never flips the direction of the
+                // move, so the sign of `a·x` is the sign of `d`: the
+                // cached leader survives slots that only fall while
+                // it only rises.
+                time_stale |= if t == top { x < 0.0 } else { x > 0.0 };
+            }
             k += 1;
         }
         while k < xs.len() {
@@ -1289,10 +1305,13 @@ impl<'a> BandedRows<'a> {
             self.cluster_sum[base + cc] += d;
             self.total[r] += d;
             any = true;
+            time_stale |= if t == top { d < 0.0 } else { d > 0.0 };
         }
         if any {
-            argmax::invalidate_cluster(&self.argmax[r]);
-            argmax::invalidate_time(&self.argmax[r]);
+            argmax::note_cluster_write(&self.argmax[r], cc, self.cluster_sum[base + cc] > old_csum);
+            if time_stale {
+                argmax::invalidate_time(&self.argmax[r]);
+            }
         }
     }
 
@@ -1313,8 +1332,19 @@ impl<'a> BandedRows<'a> {
         );
         let mut k = 0usize;
         let mut any = false;
+        let old_csum = self.cluster_sum[base + cc];
+        let pre = self.argmax[r].get();
+        let top = pre.top_time as usize;
+        let mut time_stale = false;
         while k < factors.len() && matches!(self.rows[r], Row::Uniform { .. }) {
-            any |= self.scale_cell(r, cc, lo as usize + k, factors[k]);
+            let t = lo as usize + k;
+            let f = factors[k];
+            if self.scale_cell(r, cc, t, f) {
+                any = true;
+                // A changed cell moved in the direction of `f − 1`;
+                // same keep rule as `axpy_row`.
+                time_stale |= if t == top { f < 1.0 } else { f > 1.0 };
+            }
             k += 1;
         }
         while k < factors.len() {
@@ -1344,10 +1374,13 @@ impl<'a> BandedRows<'a> {
             self.cluster_sum[base + cc] += d;
             self.total[r] += d;
             any = true;
+            time_stale |= if t == top { d < 0.0 } else { d > 0.0 };
         }
         if any {
-            argmax::invalidate_cluster(&self.argmax[r]);
-            argmax::invalidate_time(&self.argmax[r]);
+            argmax::note_cluster_write(&self.argmax[r], cc, self.cluster_sum[base + cc] > old_csum);
+            if time_stale {
+                argmax::invalidate_time(&self.argmax[r]);
+            }
         }
     }
 
@@ -1389,6 +1422,7 @@ impl<'a> BandedRows<'a> {
                     }
                     self.cluster_sum[base + c] = 0.0;
                     row_changed = true;
+                    argmax::note_cluster_write(&self.argmax[r], c, false);
                     continue;
                 }
                 if densify_in(
@@ -1406,6 +1440,7 @@ impl<'a> BandedRows<'a> {
             let bw = b.width();
             let (w, bts) = b.parts_mut();
             let wrow = &mut w[c * bw..(c + 1) * bw];
+            let old_sum = self.cluster_sum[base + c];
             let mut new_sum = 0.0;
             let mut changed = false;
             for (cell, ts) in wrow.iter_mut().zip(bts.iter_mut()) {
@@ -1421,11 +1456,13 @@ impl<'a> BandedRows<'a> {
             if changed {
                 self.cluster_sum[base + c] = new_sum;
                 row_changed = true;
+                argmax::note_cluster_write(&self.argmax[r], c, new_sum > old_sum);
             }
         }
         if row_changed {
             self.total[r] = self.cluster_sum[base..base + nc].iter().sum();
-            argmax::invalidate_cluster(&self.argmax[r]);
+            // Time marginals moved in both directions across clusters;
+            // no cheap exact rule (same as `scale_cluster`).
             argmax::invalidate_time(&self.argmax[r]);
         }
     }

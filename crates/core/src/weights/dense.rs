@@ -672,6 +672,9 @@ impl<'a> DenseRows<'a> {
         }
         self.total[r] = tot;
         if any {
+            // Noise perturbs every feasible cell in both directions
+            // across every cluster; neither half of the cache has a
+            // cheap keep rule, so invalidate blindly.
             argmax::invalidate_cluster(&self.argmax[r]);
             argmax::invalidate_time(&self.argmax[r]);
         }
@@ -689,9 +692,13 @@ impl<'a> DenseRows<'a> {
         let s = self.scale[r];
         let wrow = &mut self.w[(r * nc + cc) * ns..(r * nc + cc + 1) * ns];
         let trow = &mut self.time_sum[r * ns..(r + 1) * ns];
-        let mut csum = self.cluster_sum[r * nc + cc];
+        let old_csum = self.cluster_sum[r * nc + cc];
+        let mut csum = old_csum;
         let mut tot = self.total[r];
         let mut any = false;
+        let pre = self.argmax[r].get();
+        let top = pre.top_time as usize;
+        let mut time_stale = false;
         for (k, &x) in xs.iter().enumerate() {
             let t = lo as usize + k;
             let raw_cur = wrow[t];
@@ -705,13 +712,18 @@ impl<'a> DenseRows<'a> {
                 csum += d;
                 tot += d;
                 any = true;
+                // The cached leader survives slots that only fall
+                // while it only rises; anything else needs a rescan.
+                time_stale |= if t == top { d < 0.0 } else { d > 0.0 };
             }
         }
         if any {
             self.cluster_sum[r * nc + cc] = csum;
             self.total[r] = tot;
-            argmax::invalidate_cluster(&self.argmax[r]);
-            argmax::invalidate_time(&self.argmax[r]);
+            argmax::note_cluster_write(&self.argmax[r], cc, csum > old_csum);
+            if time_stale {
+                argmax::invalidate_time(&self.argmax[r]);
+            }
         }
     }
 
@@ -731,9 +743,13 @@ impl<'a> DenseRows<'a> {
         );
         let wrow = &mut self.w[(r * nc + cc) * ns..(r * nc + cc + 1) * ns];
         let trow = &mut self.time_sum[r * ns..(r + 1) * ns];
-        let mut csum = self.cluster_sum[r * nc + cc];
+        let old_csum = self.cluster_sum[r * nc + cc];
+        let mut csum = old_csum;
         let mut tot = self.total[r];
         let mut any = false;
+        let pre = self.argmax[r].get();
+        let top = pre.top_time as usize;
+        let mut time_stale = false;
         for (k, &f) in factors.iter().enumerate() {
             let t = lo as usize + k;
             let old = wrow[t];
@@ -745,13 +761,18 @@ impl<'a> DenseRows<'a> {
                 csum += d;
                 tot += d;
                 any = true;
+                // Same keep rule as `axpy_row`: only a falling leader
+                // or a rising rival can change the time argmax.
+                time_stale |= if t == top { d < 0.0 } else { d > 0.0 };
             }
         }
         if any {
             self.cluster_sum[r * nc + cc] = csum;
             self.total[r] = tot;
-            argmax::invalidate_cluster(&self.argmax[r]);
-            argmax::invalidate_time(&self.argmax[r]);
+            argmax::note_cluster_write(&self.argmax[r], cc, csum > old_csum);
+            if time_stale {
+                argmax::invalidate_time(&self.argmax[r]);
+            }
         }
     }
 
@@ -782,6 +803,7 @@ impl<'a> DenseRows<'a> {
                 continue;
             }
             let wrow = &mut self.w[(r * nc + c) * ns..(r * nc + c + 1) * ns];
+            let old_sum = self.cluster_sum[cbase + c];
             let mut new_sum = 0.0;
             let mut changed = false;
             for t in 0..ns {
@@ -797,11 +819,13 @@ impl<'a> DenseRows<'a> {
             if changed {
                 self.cluster_sum[cbase + c] = new_sum;
                 row_changed = true;
+                argmax::note_cluster_write(&self.argmax[r], c, new_sum > old_sum);
             }
         }
         if row_changed {
             self.total[r] = self.cluster_sum[cbase..cbase + nc].iter().sum();
-            argmax::invalidate_cluster(&self.argmax[r]);
+            // Time marginals moved in both directions across clusters;
+            // no cheap exact rule (same as `scale_cluster`).
             argmax::invalidate_time(&self.argmax[r]);
         }
     }

@@ -54,7 +54,10 @@ pub use error::IrError;
 pub use graph::{Dag, DagBuilder, Edge};
 pub use id::{ClusterId, Cycle, InstrId};
 pub use instr::{Instruction, OpClass, Opcode};
-pub use partition::{decompose, weakly_connected_components, Decomposition, Shard};
+pub use partition::{
+    decompose, decompose_with, weakly_connected_components, Decomposition, RegionPolicy, Shard,
+    DEFAULT_REGION_SIZE,
+};
 pub use program::{CrossValue, Program, ProgramError};
 pub use shape::ShapeStats;
 pub use text::{parse_raw, parse_unit, to_text, RawUnit, TextError};

@@ -3,17 +3,29 @@
 //! Convergent scheduling's passes are independent *across* weakly-
 //! connected regions of a scheduling unit: no preference, dependence, or
 //! placement information flows between instructions that share no path.
-//! This module splits a [`Dag`] into such regions — falling back to an
-//! articulation-bounded cut when one component dominates — so the driver
-//! can run the full pass pipeline on every shard concurrently and stitch
-//! the per-shard schedules back together (`convergent-sim`'s `stitch`).
+//! The driver is superlinear in region size, though, so beyond grouping
+//! components this module also cuts *connected* regions down to a target
+//! size ([`RegionPolicy::region_size`]): the largest oversize region is
+//! split repeatedly — at an articulation vertex when one separates a
+//! useful fraction, falling back to a k-way chop along the graph's
+//! global topological levels — until every region fits or no
+//! profitable cut remains. Chopping every entry at *global* level
+//! boundaries keeps all cut planes aligned with the graph's layer
+//! structure, so separate chops share boundaries instead of inventing
+//! skewed local ones, which keeps the stitched cross-edge bill low. The
+//! driver can then run the full pass pipeline on every shard
+//! concurrently and stitch the per-shard schedules back together
+//! (`convergent-sim`'s `stitch`).
 //!
 //! Two invariants matter to the callers:
 //!
-//! * **Single-component graphs are never cut.** Sharding such a graph at
-//!   any shard count returns one shard that is the input graph itself,
-//!   which is what lets the driver promise byte-identical schedules for
-//!   `--shards N` on connected inputs.
+//! * **Connected graphs at or under the region target are never cut.**
+//!   Sharding such a graph at any shard count returns one shard that is
+//!   the input graph itself, which is what lets the driver promise
+//!   byte-identical schedules for `--shards N` on small connected
+//!   inputs. Larger connected graphs *are* cut, trading byte-identity
+//!   for bounded region size; the driver's cut governor guards the
+//!   quality of that trade.
 //! * **Cross-shard edges always point from an earlier shard to a later
 //!   one.** The shard list is a topological order of the shard quotient
 //!   graph, so the stitch phase can commit shards left to right and only
@@ -22,6 +34,112 @@
 use std::collections::HashMap;
 
 use crate::{Dag, DagBuilder, Edge, InstrId};
+
+/// Default region-size target for [`decompose`], in instructions.
+///
+/// Tuned from the `compiletime` bench sweep: per-instruction throughput
+/// is near its peak up to ~2000 instructions and falls superlinearly
+/// past it (268k instrs/s at 2000 vs 75k at 100k on the 1-vCPU bench
+/// host), so 2000 is the knee where cutting starts to pay.
+pub const DEFAULT_REGION_SIZE: usize = 2000;
+
+/// Hard cap on the number of regions a single decomposition may
+/// produce, bounding pathological recursion on adversarial graphs.
+const MAX_REGIONS: usize = 1024;
+
+/// Fraction of an entry that a recursive articulation cut must move out
+/// of its largest piece to count as progress: the largest piece must
+/// hold at most `7/8` of the entry, else the cut is rejected and the
+/// level cut is tried instead.
+const CUT_PROGRESS_NUM: usize = 7;
+const CUT_PROGRESS_DEN: usize = 8;
+
+/// Reusable scratch for the cut helpers: stamp arrays sized to the
+/// graph make membership tests and flood fills O(1) per step with no
+/// per-entry hashing or allocation — decompose stays near-linear even
+/// when the recursion touches the same nodes several times.
+struct Scratch {
+    /// `mark[i] == stamp` iff node `i` belongs to the current entry.
+    mark: Vec<u32>,
+    /// Dense local index of node `i` within the current entry (valid
+    /// only where `mark` matches).
+    local: Vec<u32>,
+    /// `visit[i] == vstamp` iff the current flood fill reached `i`.
+    visit: Vec<u32>,
+    /// Piece id assigned by the current flood fill (valid where
+    /// `visit` matches).
+    piece: Vec<u32>,
+    stamp: u32,
+    vstamp: u32,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Scratch {
+            mark: vec![0; n],
+            local: vec![0; n],
+            visit: vec![0; n],
+            piece: vec![0; n],
+            stamp: 0,
+            vstamp: 0,
+        }
+    }
+
+    /// Marks `ids` as the current entry and assigns dense local
+    /// indices in slice order.
+    fn set_entry(&mut self, ids: &[InstrId]) {
+        self.stamp += 1;
+        for (k, &g) in ids.iter().enumerate() {
+            self.mark[g.index()] = self.stamp;
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                self.local[g.index()] = k as u32;
+            }
+        }
+    }
+
+    fn contains(&self, g: InstrId) -> bool {
+        self.mark[g.index()] == self.stamp
+    }
+}
+
+/// Controls how [`decompose_with`] splits a graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegionPolicy {
+    /// Concurrency budget: the cap on bins that disconnected components
+    /// are packed into. Recursive cuts of oversize regions may produce
+    /// more shards than this — extra shards simply queue on the worker
+    /// pool — but `max_shards <= 1` disables decomposition entirely.
+    pub max_shards: usize,
+    /// Target region size in instructions; regions larger than this are
+    /// recursively cut while profitable cuts exist. `None` uses
+    /// [`DEFAULT_REGION_SIZE`].
+    pub region_size: Option<usize>,
+}
+
+impl RegionPolicy {
+    /// Policy with the default region-size target.
+    #[must_use]
+    pub fn new(max_shards: usize) -> Self {
+        Self {
+            max_shards,
+            region_size: None,
+        }
+    }
+
+    /// Sets an explicit region-size target.
+    #[must_use]
+    pub fn with_region_size(mut self, region_size: usize) -> Self {
+        self.region_size = Some(region_size);
+        self
+    }
+
+    /// The effective region-size target (never zero).
+    #[must_use]
+    pub fn target_region_size(&self) -> usize {
+        self.region_size.unwrap_or(DEFAULT_REGION_SIZE).max(1)
+    }
+}
 
 /// One shard of a decomposed graph: an induced sub-DAG plus the mapping
 /// from its dense local ids back to the original graph.
@@ -166,70 +284,279 @@ const GIANT_FRACTION_DEN: usize = 4;
 /// first, so the cap costs quality only on adversarial graphs.
 const MAX_CUT_CANDIDATES: usize = 8;
 
-/// Splits `dag` into at most `max_shards` shards.
+/// Splits `dag` into shards under the default [`RegionPolicy`] for
+/// `max_shards` (region-size target [`DEFAULT_REGION_SIZE`]).
+///
+/// See [`decompose_with`] for the full contract.
+#[must_use]
+pub fn decompose(dag: &Dag, max_shards: usize) -> Decomposition {
+    decompose_with(dag, &RegionPolicy::new(max_shards))
+}
+
+/// Splits `dag` into shards under `policy`.
 ///
 /// The shard list is a topological order of the shard quotient graph:
 /// every cross-shard edge points from an earlier shard to a later one.
 ///
-/// * `max_shards <= 1`, or a graph with one weakly-connected component:
-///   one shard containing the whole graph, ids mapped identically.
-///   Connected graphs are **never** cut, so sharded scheduling of them
-///   degenerates to the monolithic path.
+/// * `max_shards <= 1`, or a connected graph at or under the region
+///   target: one shard containing the whole graph, ids mapped
+///   identically (sharded scheduling degenerates to the monolithic
+///   path, byte-identically).
 /// * Several components: components are bin-packed (largest first into
-///   the lightest bin) into `min(max_shards, n_components)` shards. No
-///   cross-shard edges exist in this case.
-/// * Several components where the largest holds more than 3/4 of the
-///   instructions and shard slots remain: the giant is additionally cut
-///   at its best articulation vertex into up-to-three ordered pieces
-///   (upstream / vertex + mixed / downstream) that become their own
-///   shards, connected by cross-shard edges. If no articulation vertex
-///   separates anything, the giant stays whole.
+///   the lightest bin) into at most `max_shards` bins — more when the
+///   total exceeds `max_shards` regions of the target size. A dominant
+///   giant component (more than 3/4 of the instructions, with shard
+///   slots to spare) is first cut at its best articulation vertex.
+/// * Any region larger than the target — a big connected graph, a big
+///   piece of the giant, a heavy bin — is recursively cut: at its best
+///   articulation vertex when one moves at least 1/8 of the region out
+///   of the largest piece, else chopped into runs of consecutive
+///   global topological levels of at most the target size. Regions
+///   where neither cut qualifies stay whole ("no profitable cut").
 #[must_use]
-pub fn decompose(dag: &Dag, max_shards: usize) -> Decomposition {
+pub fn decompose_with(dag: &Dag, policy: &RegionPolicy) -> Decomposition {
     let everything: Vec<InstrId> = dag.ids().collect();
-    if max_shards <= 1 {
+    if policy.max_shards <= 1 {
         return assemble(dag, vec![everything]);
     }
+    let target = policy.target_region_size();
     let components = weakly_connected_components(dag);
-    if components.len() == 1 {
+    if components.len() == 1 && components[0].len() <= target {
         return assemble(dag, vec![everything]);
     }
+    let mut scratch = Scratch::new(dag.len());
+    // Longest-path levels over the whole graph, shared by every level
+    // chop below.
+    let mut levels = vec![0u32; dag.len()];
+    for &g in dag.topo_order() {
+        let l = dag
+            .preds(g)
+            .iter()
+            .map(|p| levels[p.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        levels[g.index()] = l;
+    }
 
-    let giant_idx = components
-        .iter()
-        .enumerate()
-        .max_by_key(|(idx, c)| (c.len(), usize::MAX - idx))
-        .map(|(idx, _)| idx)
-        .unwrap_or(0);
-    let giant_len = components[giant_idx].len();
-    let dominates = giant_len * GIANT_FRACTION_DEN > dag.len() * GIANT_FRACTION_NUM;
-    // Cutting the giant needs spare shard slots: its pieces each take
-    // one, and every other component still needs somewhere to go.
-    let has_room = components.len() + 1 < max_shards;
+    // Entries are ordered groups; `free` entries are whole components
+    // (no cross edges) that may be packed together at the end, the rest
+    // are cut pieces that must keep their position in the sequence.
+    struct Entry {
+        ids: Vec<InstrId>,
+        free: bool,
+        tried: bool,
+    }
+    let mut entries: Vec<Entry> = Vec::new();
 
-    let mut chain: Vec<Vec<InstrId>> = Vec::new();
-    let mut free: Vec<Vec<InstrId>> = Vec::new();
-    if dominates && has_room {
-        match articulation_cut(dag, &components[giant_idx]) {
-            Some(pieces) => chain = pieces,
-            None => free.push(components[giant_idx].clone()),
+    if components.len() == 1 {
+        entries.push(Entry {
+            ids: everything,
+            free: true,
+            tried: false,
+        });
+    } else {
+        let giant_idx = components
+            .iter()
+            .enumerate()
+            .max_by_key(|(idx, c)| (c.len(), usize::MAX - idx))
+            .map(|(idx, _)| idx)
+            .unwrap_or(0);
+        let giant_len = components[giant_idx].len();
+        let dominates = giant_len * GIANT_FRACTION_DEN > dag.len() * GIANT_FRACTION_NUM;
+        // Cutting the giant needs spare shard slots: its pieces each
+        // take one, and every other component still needs somewhere to
+        // go.
+        let has_room = components.len() + 1 < policy.max_shards;
+
+        let mut chain: Vec<Vec<InstrId>> = Vec::new();
+        let mut free: Vec<Vec<InstrId>> = Vec::new();
+        if dominates && has_room {
+            match articulation_cut(dag, &components[giant_idx], &mut scratch) {
+                Some(pieces) => chain = pieces,
+                None => free.push(components[giant_idx].clone()),
+            }
+            for (idx, c) in components.into_iter().enumerate() {
+                if idx != giant_idx {
+                    free.push(c);
+                }
+            }
+            free.sort_by_key(|c| c[0]);
+        } else {
+            free = components;
         }
-        for (idx, c) in components.into_iter().enumerate() {
-            if idx != giant_idx {
-                free.push(c);
+        // Free components carry no cross edges so they can go anywhere;
+        // the chain pieces must keep their relative order, so they go
+        // last.
+        for ids in free {
+            entries.push(Entry {
+                ids,
+                free: true,
+                tried: false,
+            });
+        }
+        for ids in chain {
+            entries.push(Entry {
+                ids,
+                free: false,
+                tried: false,
+            });
+        }
+    }
+
+    // Recursively cut the largest oversize entry until everything fits
+    // the target or nothing profitable remains.
+    while entries.len() < MAX_REGIONS {
+        let Some(k) = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.ids.len() > target && !e.tried)
+            .max_by_key(|(k, e)| (e.ids.len(), usize::MAX - k))
+            .map(|(k, _)| k)
+        else {
+            break;
+        };
+        match cut_entry(dag, &entries[k].ids, target, &levels, &mut scratch) {
+            Some(pieces) if entries.len() + pieces.len() - 1 <= MAX_REGIONS => {
+                // Replace the entry in place: pieces are internally
+                // topologically ordered and inherit the entry's
+                // position relative to everything else, so the global
+                // quotient order stays topological.
+                let tail: Vec<Entry> = entries.drain(k + 1..).collect();
+                entries.pop();
+                entries.extend(pieces.into_iter().map(|ids| Entry {
+                    ids,
+                    free: false,
+                    tried: false,
+                }));
+                entries.extend(tail);
+            }
+            _ => entries[k].tried = true,
+        }
+    }
+
+    // Pack the free components; cut pieces keep their order.
+    let n_chain = entries.iter().filter(|e| !e.free).count();
+    let free: Vec<Vec<InstrId>> = entries
+        .iter()
+        .filter(|e| e.free)
+        .map(|e| e.ids.clone())
+        .collect();
+    let total_free: usize = free.iter().map(Vec::len).sum();
+    let allowed = policy.max_shards.saturating_sub(n_chain).max(1);
+    let bins = allowed.max(total_free.div_ceil(target));
+    let mut groups = pack(free, bins);
+    groups.extend(entries.into_iter().filter(|e| !e.free).map(|e| e.ids));
+    assemble(dag, groups)
+}
+
+/// Cuts one oversize entry (a weakly-connected-or-not ordered id group)
+/// into at least two ordered pieces, or returns `None` when no
+/// profitable cut exists.
+///
+/// Strategies, in order:
+/// 1. Locally disconnected entries (possible for pieces of earlier
+///    cuts) are packed by local component into enough bins to average
+///    the target size.
+/// 2. An articulation cut, accepted only when its largest piece holds
+///    at most 7/8 of the entry.
+/// 3. A k-way chop along the graph's global topological levels
+///    ([`level_chop`]).
+fn cut_entry(
+    dag: &Dag,
+    ids: &[InstrId],
+    target: usize,
+    levels: &[u32],
+    scratch: &mut Scratch,
+) -> Option<Vec<Vec<InstrId>>> {
+    let comps = local_components(dag, ids, scratch);
+    if comps.len() > 1 {
+        return Some(pack(comps, ids.len().div_ceil(target).max(2)));
+    }
+    if let Some(groups) = articulation_cut(dag, ids, scratch) {
+        let largest = groups.iter().map(Vec::len).max().unwrap_or(0);
+        if largest * CUT_PROGRESS_DEN <= ids.len() * CUT_PROGRESS_NUM {
+            return Some(groups);
+        }
+    }
+    level_chop(ids, levels, target)
+}
+
+/// Weakly-connected components of the subgraph induced on `ids`; each
+/// sorted ascending, ordered by minimum id.
+fn local_components(dag: &Dag, ids: &[InstrId], scratch: &mut Scratch) -> Vec<Vec<InstrId>> {
+    scratch.set_entry(ids);
+    scratch.vstamp += 1;
+    let vs = scratch.vstamp;
+    let mut components: Vec<Vec<InstrId>> = Vec::new();
+    let mut stack = Vec::new();
+    for &start in ids {
+        if scratch.visit[start.index()] == vs {
+            continue;
+        }
+        let mut members = Vec::new();
+        scratch.visit[start.index()] = vs;
+        stack.push(start);
+        while let Some(i) = stack.pop() {
+            members.push(i);
+            for nb in dag.neighbors(i) {
+                if scratch.contains(nb) && scratch.visit[nb.index()] != vs {
+                    scratch.visit[nb.index()] = vs;
+                    stack.push(nb);
+                }
             }
         }
-        free.sort_by_key(|c| c[0]);
-    } else {
-        free = components;
+        members.sort_unstable();
+        components.push(members);
     }
+    components.sort_by_key(|c| c[0]);
+    components
+}
 
-    let free_bins = pack(free, max_shards.saturating_sub(chain.len()).max(1));
-    // Free bins carry no cross edges so they can go anywhere; the chain
-    // pieces must keep their relative order, so they go last.
-    let mut groups = free_bins;
-    groups.extend(chain);
-    assemble(dag, groups)
+/// Chops an entry into runs of consecutive *global* topological levels,
+/// each holding at most `target` instructions (a single oversize level
+/// stays whole — the level boundary is the finest legal cut plane).
+///
+/// Global longest-path levels strictly increase along every edge, so
+/// pieces in ascending level order form a topological chain, and using
+/// the same level scale for every entry keeps all chop planes aligned
+/// with the graph's layer structure. Returns `None` when the chop makes
+/// no progress: fewer than two pieces, or a piece still holding more
+/// than 7/8 of the entry (e.g. a star, where one level dominates).
+fn level_chop(ids: &[InstrId], levels: &[u32], target: usize) -> Option<Vec<Vec<InstrId>>> {
+    if ids.len() < 2 {
+        return None;
+    }
+    let mut sorted: Vec<InstrId> = ids.to_vec();
+    sorted.sort_unstable_by_key(|&g| (levels[g.index()], g));
+    let mut pieces: Vec<Vec<InstrId>> = Vec::new();
+    let mut cur: Vec<InstrId> = Vec::new();
+    let mut k = 0usize;
+    while k < sorted.len() {
+        let level = levels[sorted[k].index()];
+        let mut j = k;
+        while j < sorted.len() && levels[sorted[j].index()] == level {
+            j += 1;
+        }
+        if !cur.is_empty() && cur.len() + (j - k) > target {
+            pieces.push(std::mem::take(&mut cur));
+        }
+        cur.extend_from_slice(&sorted[k..j]);
+        k = j;
+    }
+    if !cur.is_empty() {
+        pieces.push(cur);
+    }
+    if pieces.len() < 2 {
+        return None;
+    }
+    let largest = pieces.iter().map(Vec::len).max().unwrap_or(0);
+    if largest * CUT_PROGRESS_DEN > ids.len() * CUT_PROGRESS_NUM {
+        return None;
+    }
+    for piece in &mut pieces {
+        piece.sort_unstable();
+    }
+    Some(pieces)
 }
 
 /// Bin-packs `groups` (disjoint, unordered id sets) into at most `bins`
@@ -265,11 +592,16 @@ fn pack(mut groups: Vec<Vec<InstrId>>, bins: usize) -> Vec<Vec<InstrId>> {
 /// — `[upstream, v + mixed, downstream]`, empty groups dropped — are
 /// therefore a topological chain. Returns `None` when no articulation
 /// vertex moves any instruction out of the middle group.
-fn articulation_cut(dag: &Dag, comp: &[InstrId]) -> Option<Vec<Vec<InstrId>>> {
-    let candidates = articulation_candidates(dag, comp);
+fn articulation_cut(
+    dag: &Dag,
+    comp: &[InstrId],
+    scratch: &mut Scratch,
+) -> Option<Vec<Vec<InstrId>>> {
+    scratch.set_entry(comp);
+    let candidates = articulation_candidates(dag, comp, scratch);
     let mut best: Option<(usize, Vec<Vec<InstrId>>)> = None;
     for v in candidates.into_iter().take(MAX_CUT_CANDIDATES) {
-        let Some(groups) = directional_split(dag, comp, v) else {
+        let Some(groups) = directional_split(dag, comp, v, scratch) else {
             continue;
         };
         // Score by how much leaves the middle group; a cut that strands
@@ -292,14 +624,17 @@ fn articulation_cut(dag: &Dag, comp: &[InstrId]) -> Option<Vec<Vec<InstrId>>> {
 /// Articulation vertices of the undirected skeleton of `comp`, ranked
 /// by the balance of the DFS-subtree separation they induce (best
 /// first), ties broken by id.
-fn articulation_candidates(dag: &Dag, comp: &[InstrId]) -> Vec<InstrId> {
+fn articulation_candidates(dag: &Dag, comp: &[InstrId], scratch: &Scratch) -> Vec<InstrId> {
     let n = comp.len();
-    let local: HashMap<InstrId, usize> = comp.iter().enumerate().map(|(k, &i)| (i, k)).collect();
+    // The caller (`articulation_cut`) has already marked `comp` as the
+    // current entry, so membership and dense local indices come from
+    // the scratch stamps.
     let adj: Vec<Vec<usize>> = comp
         .iter()
         .map(|&i| {
             dag.neighbors(i)
-                .filter_map(|g| local.get(&g).copied())
+                .filter(|&g| scratch.contains(g))
+                .map(|g| scratch.local[g.index()] as usize)
                 .collect()
         })
         .collect();
@@ -369,22 +704,33 @@ fn articulation_candidates(dag: &Dag, comp: &[InstrId]) -> Vec<InstrId> {
 /// `[upstream, v + mixed, downstream]` (empty groups dropped). Returns
 /// `None` if removing `v` leaves the rest connected (not actually an
 /// articulation vertex for this component).
-fn directional_split(dag: &Dag, comp: &[InstrId], v: InstrId) -> Option<Vec<Vec<InstrId>>> {
-    let mut piece: HashMap<InstrId, usize> = HashMap::new();
-    let mut n_pieces = 0usize;
+fn directional_split(
+    dag: &Dag,
+    comp: &[InstrId],
+    v: InstrId,
+    scratch: &mut Scratch,
+) -> Option<Vec<Vec<InstrId>>> {
+    // `comp` may be a strict subset of a weakly-connected component (a
+    // piece of an earlier cut), so the flood fill must stay inside the
+    // induced subgraph — the caller's entry stamps say what's inside.
+    scratch.vstamp += 1;
+    let vs = scratch.vstamp;
+    let mut n_pieces = 0u32;
     let mut stack = Vec::new();
     for &start in comp {
-        if start == v || piece.contains_key(&start) {
+        if start == v || scratch.visit[start.index()] == vs {
             continue;
         }
         let id = n_pieces;
         n_pieces += 1;
-        piece.insert(start, id);
+        scratch.visit[start.index()] = vs;
+        scratch.piece[start.index()] = id;
         stack.push(start);
         while let Some(i) = stack.pop() {
             for nb in dag.neighbors(i) {
-                if nb != v && !piece.contains_key(&nb) {
-                    piece.insert(nb, id);
+                if nb != v && scratch.contains(nb) && scratch.visit[nb.index()] != vs {
+                    scratch.visit[nb.index()] = vs;
+                    scratch.piece[nb.index()] = id;
                     stack.push(nb);
                 }
             }
@@ -394,16 +740,16 @@ fn directional_split(dag: &Dag, comp: &[InstrId], v: InstrId) -> Option<Vec<Vec<
         return None;
     }
     // Classify each piece by the direction of its edges with `v`.
-    let mut feeds_v = vec![false; n_pieces];
-    let mut fed_by_v = vec![false; n_pieces];
+    let mut feeds_v = vec![false; n_pieces as usize];
+    let mut fed_by_v = vec![false; n_pieces as usize];
     for &p in dag.preds(v) {
-        if let Some(&id) = piece.get(&p) {
-            feeds_v[id] = true;
+        if scratch.visit[p.index()] == vs {
+            feeds_v[scratch.piece[p.index()] as usize] = true;
         }
     }
     for &s in dag.succs(v) {
-        if let Some(&id) = piece.get(&s) {
-            fed_by_v[id] = true;
+        if scratch.visit[s.index()] == vs {
+            fed_by_v[scratch.piece[s.index()] as usize] = true;
         }
     }
     let mut upstream = Vec::new();
@@ -413,7 +759,7 @@ fn directional_split(dag: &Dag, comp: &[InstrId], v: InstrId) -> Option<Vec<Vec<
         if i == v {
             continue;
         }
-        let id = piece[&i];
+        let id = scratch.piece[i.index()] as usize;
         match (feeds_v[id], fed_by_v[id]) {
             (true, false) => upstream.push(i),
             (false, true) => downstream.push(i),
@@ -672,5 +1018,131 @@ mod tests {
         let dec = decompose(&d, 1);
         assert!(dec.is_trivial());
         assert_eq!(dec.shards()[0].len(), d.len());
+    }
+
+    /// Asserts the true-partition invariants: every instruction in
+    /// exactly one shard, every edge intra-shard or recorded as a
+    /// forward cross edge.
+    fn assert_partition(dag: &Dag, dec: &Decomposition) {
+        let mut seen = vec![false; dag.len()];
+        for (k, shard) in dec.shards().iter().enumerate() {
+            for (local, &g) in shard.to_global().iter().enumerate() {
+                assert!(!seen[g.index()], "{g:?} appears twice");
+                seen[g.index()] = true;
+                assert_eq!(dec.shard_of(g), k);
+                assert_eq!(dec.local_id(g), InstrId::new(local as u32));
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every instr is in some shard");
+        let intra: usize = dec.shards().iter().map(|s| s.dag().edge_count()).sum();
+        assert_eq!(intra + dec.cross_edges().len(), dag.edge_count());
+        for e in dec.cross_edges() {
+            assert!(dec.shard_of(e.src) < dec.shard_of(e.dst), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn connected_chain_is_cut_to_target() {
+        let d = chains(1, 100);
+        let dec = decompose_with(&d, &RegionPolicy::new(8).with_region_size(25));
+        assert!(!dec.is_trivial());
+        assert!(dec.shards().len() >= 4);
+        for s in dec.shards() {
+            assert!(s.len() <= 25, "shard of {} exceeds target", s.len());
+        }
+        assert_partition(&d, &dec);
+    }
+
+    #[test]
+    fn connected_graph_under_target_stays_whole() {
+        let d = chains(1, 100);
+        for shards in [2, 8, 64] {
+            let dec = decompose_with(&d, &RegionPolicy::new(shards).with_region_size(100));
+            assert!(dec.is_trivial(), "shards={shards}");
+        }
+        // The default target keeps every small connected graph whole.
+        assert!(decompose(&d, 8).is_trivial());
+    }
+
+    #[test]
+    fn star_has_no_profitable_cut() {
+        // A wide fan-in star: the only articulation vertex is the hub,
+        // whose removal strands 7/8+ of the graph in one piece, and the
+        // level structure is too shallow to balance. No profitable cut
+        // exists, so the graph stays whole despite exceeding the
+        // target.
+        let mut b = DagBuilder::new();
+        let sink = b.instr(Opcode::IntAlu);
+        for _ in 0..39 {
+            let leaf = b.instr(Opcode::Load);
+            b.edge(leaf, sink).unwrap();
+        }
+        let d = b.build().unwrap();
+        let dec = decompose_with(&d, &RegionPolicy::new(8).with_region_size(8));
+        assert!(dec.is_trivial());
+        assert!(dec.cross_edges().is_empty());
+    }
+
+    #[test]
+    fn level_cut_splits_biconnected_layers() {
+        // 10 layers of 4, complete bipartite between consecutive
+        // layers: no articulation vertex anywhere, so only the level
+        // cut applies.
+        let mut b = DagBuilder::new();
+        let mut prev: Vec<InstrId> = (0..4).map(|_| b.instr(Opcode::IntAlu)).collect();
+        for _ in 1..10 {
+            let next: Vec<InstrId> = (0..4).map(|_| b.instr(Opcode::IntAlu)).collect();
+            for &p in &prev {
+                for &n in &next {
+                    b.edge(p, n).unwrap();
+                }
+            }
+            prev = next;
+        }
+        let d = b.build().unwrap();
+        let dec = decompose_with(&d, &RegionPolicy::new(8).with_region_size(10));
+        assert!(!dec.is_trivial());
+        for s in dec.shards() {
+            assert!(s.len() <= 10, "shard of {} exceeds target", s.len());
+        }
+        assert_partition(&d, &dec);
+    }
+
+    #[test]
+    fn free_packing_exceeds_shard_budget_to_meet_target() {
+        // 100 chains of 40 (4000 instrs) at max_shards=2 with a target
+        // of 1000: the packer opens 4 bins rather than two 2000-instr
+        // shards — max_shards is a concurrency budget, not a cap on
+        // region count.
+        let d = chains(100, 40);
+        let dec = decompose_with(&d, &RegionPolicy::new(2).with_region_size(1000));
+        assert_eq!(dec.shards().len(), 4);
+        for s in dec.shards() {
+            assert!(s.len() <= 1000);
+        }
+        assert_partition(&d, &dec);
+    }
+
+    #[test]
+    fn recursive_cut_pieces_keep_quotient_order() {
+        // Two long chains and some dust: both chains get cut
+        // recursively; every cross edge must still point forward.
+        let mut b = DagBuilder::new();
+        for _ in 0..2 {
+            let mut prev = b.instr(Opcode::IntAlu);
+            for _ in 1..60 {
+                let next = b.instr(Opcode::IntAlu);
+                b.edge(prev, next).unwrap();
+                prev = next;
+            }
+        }
+        b.instr(Opcode::Load);
+        let d = b.build().unwrap();
+        let dec = decompose_with(&d, &RegionPolicy::new(8).with_region_size(16));
+        assert!(dec.shards().len() > 2);
+        for s in dec.shards() {
+            assert!(s.len() <= 16, "shard of {} exceeds target", s.len());
+        }
+        assert_partition(&d, &dec);
     }
 }

@@ -12,10 +12,19 @@
 //!    satisfied.
 //! 2. A *boundary COMM fix-up* inserts the transfers that carry values
 //!    across shard boundaries — the shard schedulers never saw those
-//!    edges. Transfers depart the producer's cluster, are deduplicated
-//!    per `(producer, destination cluster)`, and on copy-based machines
-//!    occupy the earliest free copy-capable slot; if no slot meets the
-//!    consumer's deadline, `δ` is raised until one does.
+//!    edges. Availability is tracked per `(value, cluster)` in every
+//!    direction the value has already travelled: the producer's placed
+//!    cluster, every cluster a shard-internal COMM forwarded it to, and
+//!    the destinations of boundary transfers inserted earlier (so later
+//!    consumers can relay from those instead of going back to the
+//!    producer). Each new transfer departs whichever known location
+//!    arrives earliest at the consumer, is deduplicated per
+//!    `(producer, destination cluster)`, and on copy-based machines
+//!    occupies the earliest free copy-capable slot; if no slot meets
+//!    the consumer's deadline, `δ` is raised until one does. A
+//!    location with no copy-capable unit is skipped in favour of the
+//!    next-best one, so stitching only fails when *no* cluster holding
+//!    the value can send it.
 //!
 //! Shifting a shard uniformly preserves its internal dependences and
 //! resource shape, and rebuilding against the *global* graph can only
@@ -42,6 +51,61 @@ pub struct StitchReport {
     pub boundary_comms: usize,
 }
 
+/// Marks cycle `t` busy in a per-lane occupancy bitmap, growing it on
+/// demand (absent words are free).
+fn set_busy(words: &mut Vec<u64>, t: u32) {
+    let w = (t / 64) as usize;
+    if words.len() <= w {
+        words.resize(w + 1, 0);
+    }
+    words[w] |= 1u64 << (t % 64);
+}
+
+/// Earliest cycle `t >= start` (and `t <= limit`, when bounded) at
+/// which some lane of a cluster is free in both occupancy bitmaps,
+/// testing 64 cycles per word. Returns the lane's position within the
+/// cluster's copy-lane list and the cycle; ties on the cycle go to the
+/// earliest lane, matching a cycle-by-cycle scan in lane order. With
+/// `limit == None` the scan always lands: words past a bitmap's end are
+/// free, so it terminates just past the busiest lane's frontier.
+fn first_free_slot(
+    busy_a: &[Vec<u64>],
+    busy_b: &[Vec<u64>],
+    base: usize,
+    n_lanes: usize,
+    start: u32,
+    limit: Option<u32>,
+) -> Option<(usize, u32)> {
+    debug_assert!(n_lanes > 0, "slot scan on a cluster with no copy lanes");
+    let mut t = start;
+    loop {
+        if limit.is_some_and(|l| t > l) {
+            return None;
+        }
+        let w = (t / 64) as usize;
+        let head = !0u64 << (t % 64);
+        let mut best: Option<(u32, usize)> = None;
+        for li in 0..n_lanes {
+            let a = busy_a[base + li].get(w).copied().unwrap_or(0);
+            let b = busy_b[base + li].get(w).copied().unwrap_or(0);
+            let free = !(a | b) & head;
+            if free != 0 {
+                let cand = (w as u32) * 64 + free.trailing_zeros();
+                if best.is_none_or(|(bt, _)| cand < bt) {
+                    best = Some((cand, li));
+                }
+            }
+        }
+        if let Some((bt, li)) = best {
+            return match limit {
+                Some(l) if bt > l => None,
+                _ => Some((li, bt)),
+            };
+        }
+        t = (w as u32 + 1) * 64;
+    }
+}
+
 /// Merges per-shard schedules into one schedule for `dag`.
 ///
 /// `parts[k]` must be a schedule for `decomposition.shards()[k].dag()`
@@ -64,6 +128,29 @@ pub fn stitch(
 ) -> Result<StitchReport, SimError> {
     let shards = decomposition.shards();
     assert_eq!(parts.len(), shards.len(), "one schedule per shard required");
+
+    /// Records that `g` is available on cluster `c` at cycle `t`,
+    /// min-merging with any earlier arrival.
+    fn note_avail(
+        avail: &mut HashMap<(InstrId, u16), u32>,
+        locs: &mut HashMap<InstrId, Vec<u16>>,
+        g: InstrId,
+        c: u16,
+        t: u32,
+    ) {
+        use std::collections::hash_map::Entry;
+        match avail.entry((g, c)) {
+            Entry::Occupied(mut e) => {
+                if t < *e.get() {
+                    e.insert(t);
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(t);
+                locs.entry(g).or_default().push(c);
+            }
+        }
+    }
 
     // Incoming cross edges per destination shard.
     let mut incoming: Vec<Vec<Edge>> = vec![Vec::new(); shards.len()];
@@ -89,13 +176,23 @@ pub fn stitch(
         .collect();
     let register_mapped = machine.comm().register_mapped;
 
-    // Committed issue slots, the per-lane frontier (first cycle past
-    // every committed slot of that lane), and value availability of
-    // cross-shard producers per cluster.
-    let mut occupied: HashSet<(u16, usize, u32)> = HashSet::new();
+    // Flat indexing for per-copy-lane occupancy bitmaps: cluster `c`'s
+    // copy lanes occupy `lane_base[c] .. lane_base[c + 1]`.
+    let mut lane_base: Vec<usize> = Vec::with_capacity(copy_fus.len() + 1);
+    lane_base.push(0);
+    for lanes in &copy_fus {
+        lane_base.push(lane_base.last().unwrap() + lanes.len());
+    }
+    // Committed copy-lane occupancy (one bit per cycle per lane), the
+    // per-lane frontier (first cycle past every committed slot of that
+    // lane), and value availability of cross-shard producers per
+    // cluster. `locs` lists every cluster a value is known to reach
+    // (sorted, for deterministic scans); the cycle it arrives there
+    // lives in `avail`.
+    let mut committed_busy: Vec<Vec<u64>> = vec![Vec::new(); *lane_base.last().unwrap()];
     let mut frontier: HashMap<(u16, usize), u32> = HashMap::new();
     let mut avail: HashMap<(InstrId, u16), u32> = HashMap::new();
-    let mut placed_cluster: HashMap<InstrId, ClusterId> = HashMap::new();
+    let mut locs: HashMap<InstrId, Vec<u16>> = HashMap::new();
 
     let mut builder = ScheduleBuilder::new(dag);
     let mut offsets = Vec::with_capacity(shards.len());
@@ -126,36 +223,79 @@ pub fn stitch(
             }
         }
         // Dependence lower bound: the earliest any cross-shard value
-        // could reach its consumer's cluster.
+        // could reach its consumer's cluster from its best known
+        // location.
         for e in &incoming[k] {
             let op = part.op(decomposition.local_id(e.dst));
-            let need = match avail.get(&(e.src, op.cluster.raw())) {
-                Some(&t) => t,
-                None => {
-                    let c_u = placed_cluster[&e.src];
-                    avail[&(e.src, c_u.raw())] + machine.comm_latency(c_u, op.cluster)
-                }
-            };
+            let need = locs[&e.src]
+                .iter()
+                .map(|&c| {
+                    let loc = ClusterId::new(c);
+                    avail[&(e.src, c)] + machine.comm_latency(loc, op.cluster)
+                })
+                .min()
+                .expect("cross-shard producer committed before its consumers");
             delta = delta.max(need.saturating_sub(op.start.get()));
         }
 
         // Plan boundary transfers, raising `delta` until every deadline
-        // is met. Raising `delta` only relaxes deadlines (transfer
-        // slots do not move later), so this terminates.
+        // is met. Each round plans the whole shard and accumulates the
+        // *worst* deadline shortfall, which is a sound lower bound on
+        // the required rise (it is measured against committed slots
+        // only, never the shard's own cells, which shift with `delta`).
+        // When the shard's own dense head is the blocker the shortfall
+        // degenerates to 1, so a linear search would replan the whole
+        // shard once per cycle of the final gap; instead the search
+        // gallops (doubling the step while infeasible) and then binary
+        // searches the untested range, committing the smallest `delta`
+        // a round proves feasible — logarithmic replans in the gap with
+        // the same fixpoint a cycle-by-cycle crawl reaches.
+        let mut lo_bound = delta;
+        let mut gallop: u32 = 0;
+        let mut refine_hi: Option<u32> = None;
+        // Two per-round occupancy overlays on top of `committed_busy`:
+        // `round_busy` holds the shard's own cells (shifted by the
+        // round's `delta`) plus transfers placed this round — what a
+        // real placement must avoid. `claim_busy` holds placed plus
+        // *projected* transfers only: misses measure their shortfall
+        // against committed slots and this round's claims, never the
+        // shard's own cells (those shift with `delta`, so counting them
+        // would overshoot the rise by the length of the shard's packed
+        // prefix), and each miss claims a distinct slot so the round's
+        // shortfall prices copy-lane bandwidth, not just the first
+        // free hole.
+        let mut round_busy: Vec<Vec<u64>> = vec![Vec::new(); *lane_base.last().unwrap()];
+        let mut claim_busy: Vec<Vec<u64>> = vec![Vec::new(); *lane_base.last().unwrap()];
         'place: loop {
+            for words in round_busy.iter_mut().chain(claim_busy.iter_mut()) {
+                words.clear();
+            }
             let mut cells: HashSet<(u16, usize, u32)> =
                 HashSet::with_capacity(part.ops().len() + part.comms().len());
             for op in part.ops() {
-                cells.insert((op.cluster.raw(), op.fu, op.start.get() + delta));
+                let t = op.start.get() + delta;
+                cells.insert((op.cluster.raw(), op.fu, t));
+                if let Some(li) = copy_fus[op.cluster.index()]
+                    .iter()
+                    .position(|&f| f == op.fu)
+                {
+                    set_busy(&mut round_busy[lane_base[op.cluster.index()] + li], t);
+                }
             }
             for comm in part.comms() {
                 if let Some(fu) = comm.fu {
-                    cells.insert((comm.from.raw(), fu, comm.start.get() + delta));
+                    let t = comm.start.get() + delta;
+                    cells.insert((comm.from.raw(), fu, t));
+                    if let Some(li) = copy_fus[comm.from.index()].iter().position(|&f| f == fu) {
+                        set_busy(&mut round_busy[lane_base[comm.from.index()] + li], t);
+                    }
                 }
             }
             let mut new_comms: Vec<(InstrId, ClusterId, ClusterId, u32, Option<usize>)> =
                 Vec::new();
             let mut trial_avail: HashMap<(InstrId, u16), u32> = HashMap::new();
+            let mut trial_locs: HashMap<InstrId, Vec<u16>> = HashMap::new();
+            let mut shortfall: u32 = 0;
             for e in &incoming[k] {
                 let op = part.op(decomposition.local_id(e.dst));
                 let c_w = op.cluster;
@@ -164,66 +304,144 @@ pub fn stitch(
                     .get(&(e.src, c_w.raw()))
                     .or_else(|| trial_avail.get(&(e.src, c_w.raw())));
                 if let Some(&t) = known {
-                    if t <= deadline {
-                        continue;
-                    }
-                    delta += t - deadline;
-                    continue 'place;
+                    shortfall = shortfall.max(t.saturating_sub(deadline));
+                    continue;
                 }
-                let c_u = placed_cluster[&e.src];
-                let ready = avail[&(e.src, c_u.raw())];
+                // Source the transfer from whichever known location —
+                // committed or planned this round — reaches `c_w`
+                // first (ties broken by cluster id).
+                let mut sources: Vec<(u32, u16, u32)> = locs
+                    .get(&e.src)
+                    .into_iter()
+                    .flatten()
+                    .map(|&c| (avail[&(e.src, c)], c))
+                    .chain(
+                        trial_locs
+                            .get(&e.src)
+                            .into_iter()
+                            .flatten()
+                            .map(|&c| (trial_avail[&(e.src, c)], c)),
+                    )
+                    .map(|(t, c)| (t + machine.comm_latency(ClusterId::new(c), c_w), c, t))
+                    .collect();
+                sources.sort_unstable();
+                let first = *sources
+                    .first()
+                    .expect("cross-shard producer committed before its consumers");
+                // Copy-based transfers must depart a cluster with a
+                // copy-capable lane; fall back past locations that
+                // have none.
+                let (_, c_u_raw, ready) = if register_mapped {
+                    first
+                } else {
+                    *sources
+                        .iter()
+                        .find(|&&(_, c, _)| !copy_fus[usize::from(c)].is_empty())
+                        .ok_or(SimError::NoTransferUnit {
+                            cluster: ClusterId::new(first.1),
+                        })?
+                };
+                let c_u = ClusterId::new(c_u_raw);
                 let lat = machine.comm_latency(c_u, c_w);
                 if register_mapped {
                     // Register-mapped networks: the transfer occupies
                     // no issue slot; inject as soon as the value is
                     // produced.
                     let arrival = ready + lat;
-                    if arrival > deadline {
-                        delta += arrival - deadline;
-                        continue 'place;
-                    }
+                    shortfall = shortfall.max(arrival.saturating_sub(deadline));
                     new_comms.push((e.src, c_u, c_w, ready, None));
                     trial_avail.insert((e.src, c_w.raw()), arrival);
+                    trial_locs.entry(e.src).or_default().push(c_w.raw());
                 } else {
+                    // Earliest free copy slot no later than the
+                    // deadline; scanning past it is pointless, the
+                    // transfer would miss anyway.
                     let lanes = &copy_fus[c_u.index()];
-                    if lanes.is_empty() {
-                        return Err(SimError::NoTransferUnit { cluster: c_u });
+                    let base = lane_base[c_u.index()];
+                    let found = deadline.checked_sub(lat).and_then(|lim| {
+                        first_free_slot(
+                            &committed_busy,
+                            &round_busy,
+                            base,
+                            lanes.len(),
+                            ready,
+                            Some(lim),
+                        )
+                    });
+                    if let Some((li, t)) = found {
+                        let fu = lanes[li];
+                        cells.insert((c_u.raw(), fu, t));
+                        set_busy(&mut round_busy[base + li], t);
+                        set_busy(&mut claim_busy[base + li], t);
+                        new_comms.push((e.src, c_u, c_w, t, Some(fu)));
+                        trial_avail.insert((e.src, c_w.raw()), t + lat);
+                        trial_locs.entry(e.src).or_default().push(c_w.raw());
+                    } else {
+                        // No slot meets the deadline this round:
+                        // project the transfer onto the earliest slot
+                        // free of committed cells and of this round's
+                        // other claims, and let the resulting shortfall
+                        // drive the search. A miss whose projection
+                        // already meets the deadline (pure own-cell
+                        // interference) still forces a rise of one, so
+                        // every round makes progress.
+                        let (li2, t2) = first_free_slot(
+                            &committed_busy,
+                            &claim_busy,
+                            base,
+                            lanes.len(),
+                            ready,
+                            None,
+                        )
+                        .expect("unbounded slot scan lands past the lane frontier");
+                        set_busy(&mut claim_busy[base + li2], t2);
+                        shortfall = shortfall.max((t2 + lat).saturating_sub(deadline).max(1));
+                        trial_avail.insert((e.src, c_w.raw()), t2 + lat);
+                        trial_locs.entry(e.src).or_default().push(c_w.raw());
                     }
-                    let mut t = ready;
-                    let fu = loop {
-                        let free = lanes.iter().copied().find(|&f| {
-                            let cell = (c_u.raw(), f, t);
-                            !occupied.contains(&cell) && !cells.contains(&cell)
-                        });
-                        match free {
-                            Some(f) => break f,
-                            None => t += 1,
-                        }
-                    };
-                    if t + lat > deadline {
-                        delta += t + lat - deadline;
-                        continue 'place;
-                    }
-                    cells.insert((c_u.raw(), fu, t));
-                    new_comms.push((e.src, c_u, c_w, t, Some(fu)));
-                    trial_avail.insert((e.src, c_w.raw()), t + lat);
                 }
+            }
+            if shortfall > 0 {
+                lo_bound = lo_bound.max(delta + shortfall);
+                delta = match refine_hi {
+                    // Mid-point infeasible: halve the untested range,
+                    // or fall back to the known-feasible top when the
+                    // lower bound catches up to it.
+                    Some(hi) if lo_bound >= hi => {
+                        refine_hi = None;
+                        hi
+                    }
+                    Some(hi) => lo_bound + (hi - lo_bound) / 2,
+                    None => {
+                        gallop = gallop.saturating_mul(2).max(1);
+                        lo_bound + (gallop - 1)
+                    }
+                };
+                continue 'place;
+            }
+            if delta > lo_bound {
+                // Feasible, but the gallop may have overshot the
+                // smallest workable offset: binary-search down to it.
+                refine_hi = Some(delta);
+                delta = lo_bound + (delta - lo_bound) / 2;
+                continue 'place;
             }
 
             // Commit the shard at this offset.
-            for &cell in &cells {
-                let lane = frontier.entry((cell.0, cell.1)).or_insert(0);
-                *lane = (*lane).max(cell.2 + 1);
+            for &(c, fu, t) in &cells {
+                let lane = frontier.entry((c, fu)).or_insert(0);
+                *lane = (*lane).max(t + 1);
+                if let Some(li) = copy_fus[usize::from(c)].iter().position(|&f| f == fu) {
+                    set_busy(&mut committed_busy[lane_base[usize::from(c)] + li], t);
+                }
             }
-            occupied.extend(cells);
             for op in part.ops() {
                 let g = shard.global_id(op.instr);
                 builder.place(g, op.cluster, op.fu, Cycle::new(op.start.get() + delta));
                 if cross_sources.contains(&g) {
                     let finish =
                         op.start.get() + delta + effective_latency_in(dag, machine, g, op.cluster);
-                    avail.insert((g, op.cluster.raw()), finish);
-                    placed_cluster.insert(g, op.cluster);
+                    note_avail(&mut avail, &mut locs, g, op.cluster.raw(), finish);
                 }
             }
             for comm in part.comms() {
@@ -237,16 +455,14 @@ pub fn stitch(
                 );
                 if cross_sources.contains(&g) {
                     let arrival = comm.start.get() + delta + comm.latency;
-                    let known = avail.entry((g, comm.to.raw())).or_insert(arrival);
-                    *known = (*known).min(arrival);
+                    note_avail(&mut avail, &mut locs, g, comm.to.raw(), arrival);
                 }
             }
             for (producer, from, to, start, fu) in new_comms {
                 builder.comm(producer, from, to, Cycle::new(start), fu);
                 boundary_comms += 1;
                 let arrival = start + machine.comm_latency(from, to);
-                let known = avail.entry((producer, to.raw())).or_insert(arrival);
-                *known = (*known).min(arrival);
+                note_avail(&mut avail, &mut locs, producer, to.raw(), arrival);
             }
             offsets.push(delta);
             break;
@@ -415,6 +631,92 @@ mod tests {
             }
         }
         best.0
+    }
+
+    #[test]
+    fn boundary_transfer_relays_from_nearest_known_location() {
+        // A line mesh where multi-hop latency is superadditive (1 to a
+        // neighbour, +4 per extra hop): going 0 → 2 directly costs 5,
+        // but hopping through a value already copied to tile 1 costs
+        // 1 + 1. The fix-up must depart tile 1, not the producer's
+        // tile 0.
+        use convergent_machine::{Cluster, CommModel, LatencyTable, MemoryModel, Topology};
+        let m = Machine::new(
+            "relay-line-3",
+            (0..3).map(|_| Cluster::raw_tile()).collect(),
+            Topology::Mesh {
+                width: 3,
+                height: 1,
+            },
+            CommModel {
+                base_latency: 1,
+                per_hop: 4,
+                register_mapped: true,
+            },
+            LatencyTable::r4000(),
+            MemoryModel::raw(),
+        );
+        // Giant chain plus dust so decompose cuts the chain.
+        let mut b = DagBuilder::new();
+        let mut prev = b.instr(Opcode::IntAlu);
+        for _ in 1..9 {
+            let next = b.instr(Opcode::IntAlu);
+            b.edge(prev, next).unwrap();
+            prev = next;
+        }
+        let d1 = b.instr(Opcode::Load);
+        let d2 = b.instr(Opcode::Store);
+        b.edge(d1, d2).unwrap();
+        let dag = b.build().unwrap();
+        let dec = decompose(&dag, 8);
+        // The chain is cut at articulation vertex 4: pieces {0..3},
+        // {4}, {5..8}. Route the downstream edge 4 → 5.
+        let cross = *dec
+            .cross_edges()
+            .iter()
+            .max_by_key(|e| e.dst)
+            .expect("the chain cut produces cross edges");
+        let k_src = dec.shard_of(cross.src);
+        let k_dst = dec.shard_of(cross.dst);
+        let parts: Vec<SpaceTimeSchedule> = dec
+            .shards()
+            .iter()
+            .enumerate()
+            .map(|(k, s)| {
+                let cluster = if k == k_dst {
+                    ClusterId::new(2)
+                } else {
+                    ClusterId::new(0)
+                };
+                let mut sb = ScheduleBuilder::new(s.dag());
+                let mut t = 0u32;
+                for &i in s.dag().topo_order() {
+                    sb.place(i, cluster, 0, Cycle::new(t));
+                    let finish = t + effective_latency_in(s.dag(), &m, i, cluster);
+                    if k == k_src && s.global_id(i) == cross.src {
+                        // Shard-internal copy: the boundary value also
+                        // reaches tile 1 right after it is produced.
+                        sb.comm(i, cluster, ClusterId::new(1), Cycle::new(finish), None);
+                    }
+                    t += (finish - t).max(1);
+                }
+                sb.build(&m).unwrap()
+            })
+            .collect();
+        let report = stitch(&dag, &m, &dec, &parts).unwrap();
+        validate(&dag, &m, &report.schedule).unwrap();
+        assert_eq!(report.boundary_comms, 1);
+        let inserted = report
+            .schedule
+            .comms()
+            .iter()
+            .find(|c| c.to == ClusterId::new(2))
+            .expect("a transfer into tile 2 exists");
+        assert_eq!(
+            inserted.from,
+            ClusterId::new(1),
+            "relay beats the direct hop"
+        );
     }
 
     #[test]

@@ -49,9 +49,16 @@ echo "==> sharded compile-time scaling guard (8 components, 1000 vs 10000 instrs
 # 1000→10000 ratio sits near 2.6x. Fail past 4x.
 cargo run --release -q -p convergent-bench --bin compiletime -- \
     --components 8 --shards 8 --sizes 1000,10000 --budget-secs 0.75 --no-out --max-ratio 4.0
+echo "==> connected compile-time scaling guard (--shards 8, 10000 vs 100000 instrs)"
+# Recursive region cuts keep connected layered graphs in region-sized
+# pieces; the sharded 10000→100000 ratio sits near 1.7x (the
+# monolithic driver is superlinear past 3x). Fail past 3x.
+cargo run --release -q -p convergent-bench --bin compiletime -- \
+    --shards 8 --sizes 10000,100000 --budget-secs 0.75 --no-out --max-ratio 3.0
 echo "==> sharded-determinism smoke (--shards 1/2/8 identical on a connected builtin)"
-# Connected graphs never decompose, so any shard budget must reproduce
-# the monolithic schedule byte for byte (placement included).
+# Connected graphs at or under the region target (tomcatv is well
+# under the default 2000) are never cut, so any shard budget must
+# reproduce the monolithic schedule byte for byte (placement included).
 base="$(cargo run --release -q --bin csched -- --workload tomcatv --machine vliw4 --verbose)"
 for s in 1 2 8; do
     got="$(cargo run --release -q --bin csched -- --workload tomcatv --machine vliw4 --verbose --shards "$s")"
@@ -60,6 +67,16 @@ for s in 1 2 8; do
         exit 1
     fi
 done
+echo "==> governor-fallback smoke (degenerate cut falls back to the monolithic schedule)"
+# Forcing a tiny region target on fir makes every candidate cut
+# mostly-crossing; the governor must reject it and the fallback must
+# be byte-identical to the monolithic schedule.
+fir_base="$(cargo run --release -q --bin csched -- --workload fir --machine vliw4 --verbose)"
+fir_got="$(cargo run --release -q --bin csched -- --workload fir --machine vliw4 --verbose --shards 8 --region-size 16)"
+if [ "$fir_got" != "$fir_base" ]; then
+    echo "check.sh: FAIL: governor fallback diverged from the unsharded schedule on fir" >&2
+    exit 1
+fi
 echo "==> trace smoke (csched --trace parses and names every pass)"
 # trace-check re-parses the Chrome trace with the hand-rolled JSON
 # reader and requires a span for each pass of the vliw4 sequence.

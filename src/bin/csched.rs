@@ -21,9 +21,12 @@
 //!                                 Perfetto / chrome://tracing)
 //!   --threads N                   intra-pass worker threads
 //!                                 (convergent scheduler only)
-//!   --shards N                    schedule weakly-connected regions
-//!                                 concurrently (convergent only;
-//!                                 identity on connected graphs)
+//!   --shards N                    schedule graph regions concurrently
+//!                                 (convergent only; identity when the
+//!                                 graph fits one region)
+//!   --region-size N               target instructions per region when
+//!                                 sharding (convergent only; default
+//!                                 tuned from the compile-time bench)
 //!   --verbose                     print per-instruction placement
 //! ```
 //!
@@ -90,7 +93,9 @@ use convergent_scheduling::core::telemetry::{
     validate_chrome_trace, ChromeTraceSink, CounterTotals, MultiSink, TelemetryBuffer,
     TelemetrySink,
 };
-use convergent_scheduling::core::{contract, ConvergentScheduler, PassProfile, Sequence};
+use convergent_scheduling::core::{
+    contract, ConvergentScheduler, CutVerdict, PassProfile, Sequence,
+};
 use convergent_scheduling::ir::Dag;
 use convergent_scheduling::ir::{parse_raw, parse_unit, to_dot, to_text, SchedulingUnit};
 use convergent_scheduling::machine::Machine;
@@ -107,6 +112,7 @@ struct Options {
     scheduler: String,
     threads: usize,
     shards: usize,
+    region_size: Option<usize>,
     dump: bool,
     dot: bool,
     pressure: bool,
@@ -118,7 +124,7 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: csched [verify|lint|trace-check] <input.cdag | --workload NAME> [--machine rawN|vliwN] \
-     [--scheduler convergent|uas|pcc|rawcc|bug] [--threads N] [--shards N] [--dump] [--dot] [--pressure] \
+     [--scheduler convergent|uas|pcc|rawcc|bug] [--threads N] [--shards N] [--region-size N] [--dump] [--dot] [--pressure] \
      [--profile] [--trace FILE] [--verbose] [--list-workloads]\n\
      verify also: [--json]\n\
      lint only: [--all-workloads] [--json] [--deny warnings] [--pedantic]\n\
@@ -178,6 +184,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         scheduler: "convergent".to_string(),
         threads: 1,
         shards: 1,
+        region_size: None,
         dump: false,
         dot: false,
         pressure: false,
@@ -223,6 +230,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err("--shards takes a positive integer".to_string());
                 }
             }
+            "--region-size" => {
+                k += 1;
+                let n: usize = args
+                    .get(k)
+                    .ok_or("--region-size takes a value")?
+                    .parse()
+                    .map_err(|_| "--region-size takes a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--region-size takes a positive integer".to_string());
+                }
+                opts.region_size = Some(n);
+            }
             "--list-workloads" => {
                 for w in WORKLOADS {
                     println!("{w}");
@@ -259,6 +278,7 @@ fn make_scheduler(
     machine: &Machine,
     threads: usize,
     shards: usize,
+    region_size: Option<usize>,
 ) -> Result<Box<dyn Scheduler>, String> {
     if threads > 1 && name != "convergent" {
         return Err(format!(
@@ -270,15 +290,13 @@ fn make_scheduler(
             "--shards applies to the convergent scheduler only (got '{name}')"
         ));
     }
+    if region_size.is_some() && name != "convergent" {
+        return Err(format!(
+            "--region-size applies to the convergent scheduler only (got '{name}')"
+        ));
+    }
     Ok(match name {
-        "convergent" => {
-            let s = if machine.comm().register_mapped {
-                ConvergentScheduler::raw_default()
-            } else {
-                ConvergentScheduler::vliw_tuned()
-            };
-            Box::new(s.with_threads(threads).with_shards(shards))
-        }
+        "convergent" => Box::new(convergent_driver(machine, threads, shards, region_size)),
         "uas" => Box::new(UasScheduler::new()),
         "pcc" => Box::new(PccScheduler::new()),
         "rawcc" => Box::new(RawccScheduler::new()),
@@ -290,13 +308,22 @@ fn make_scheduler(
 /// The machine-matched concrete convergent driver — the `--profile` /
 /// `--trace` / telemetry paths need the real type, not `dyn
 /// Scheduler`.
-fn convergent_driver(machine: &Machine, threads: usize, shards: usize) -> ConvergentScheduler {
+fn convergent_driver(
+    machine: &Machine,
+    threads: usize,
+    shards: usize,
+    region_size: Option<usize>,
+) -> ConvergentScheduler {
     let s = if machine.comm().register_mapped {
         ConvergentScheduler::raw_default()
     } else {
         ConvergentScheduler::vliw_tuned()
     };
-    s.with_threads(threads).with_shards(shards)
+    let s = s.with_threads(threads).with_shards(shards);
+    match region_size {
+        Some(n) => s.with_region_size(n),
+        None => s,
+    }
 }
 
 /// Renders a captured telemetry buffer as the `"telemetry"` JSON
@@ -329,7 +356,7 @@ fn telemetry_to_json(buf: &TelemetryBuffer) -> String {
 /// fails (the caller reports the failure through its own channel).
 fn convergent_telemetry_json(dag: &Dag, machine: &Machine) -> String {
     let mut buf = TelemetryBuffer::new();
-    match convergent_driver(machine, 1, 1).schedule_with_sink(dag, machine, &mut buf) {
+    match convergent_driver(machine, 1, 1, None).schedule_with_sink(dag, machine, &mut buf) {
         Ok(_) => telemetry_to_json(&buf),
         Err(_) => "null".to_string(),
     }
@@ -591,11 +618,11 @@ fn run_verify(args: &[String]) -> Result<(), String> {
         // convergence metrics; the referee verdicts join the totals.
         let mut buf = (opts.json && name == "convergent").then(TelemetryBuffer::new);
         let scheduled = if let Some(buf) = buf.as_mut() {
-            convergent_driver(&machine, 1, 1)
+            convergent_driver(&machine, 1, 1, None)
                 .schedule_with_sink(unit.dag(), &machine, buf)
                 .map(|out| out.into_schedule())
         } else {
-            make_scheduler(name, &machine, 1, 1)?.schedule(unit.dag(), &machine)
+            make_scheduler(name, &machine, 1, 1, None)?.schedule(unit.dag(), &machine)
         };
         let mut verdicts = CounterTotals::default();
         let mut cycles: Option<(u32, u32, u32)> = None;
@@ -763,7 +790,13 @@ fn run() -> Result<(), String> {
     if opts.json {
         return Err("--json applies to the verify and lint subcommands".to_string());
     }
-    let scheduler = make_scheduler(&opts.scheduler, &machine, opts.threads, opts.shards)?;
+    let scheduler = make_scheduler(
+        &opts.scheduler,
+        &machine,
+        opts.threads,
+        opts.shards,
+        opts.region_size,
+    )?;
 
     let mut trace_sink = opts.trace.as_ref().map(|_| ChromeTraceSink::new());
     let (schedule, profile, shard_note) = if opts.profile || trace_sink.is_some() {
@@ -775,7 +808,7 @@ fn run() -> Result<(), String> {
         // Re-build the concrete driver: `Scheduler` has no telemetry
         // entry point, and only the convergent pipeline has passes.
         // `--profile` and `--trace` are just two sinks on one run.
-        let sched = convergent_driver(&machine, opts.threads, opts.shards);
+        let sched = convergent_driver(&machine, opts.threads, opts.shards, opts.region_size);
         let mut profile = opts.profile.then(PassProfile::default);
         let out = {
             let mut multi = MultiSink::new();
@@ -789,14 +822,31 @@ fn run() -> Result<(), String> {
                 .schedule_with_sink(unit.dag(), &machine, &mut multi)
                 .map_err(|e| format!("scheduling failed: {e}"))?
         };
-        let shard_note = out.shard_info().map(|info| {
-            format!(
-                "{} regions (sizes {:?}), {} boundary comm(s)",
+        let shard_note = match (out.shard_info(), out.governor()) {
+            (Some(info), _) => Some(format!(
+                "{} regions (sizes {:?}), {} boundary comm(s), {} cross edge(s), \
+                 stitch {:.2}x critical path",
                 info.shard_sizes.len(),
                 info.shard_sizes,
-                info.boundary_comms
-            )
-        });
+                info.boundary_comms,
+                info.cross_edges,
+                info.stitch_ratio()
+            )),
+            (None, Some(a)) => Some(format!(
+                "monolithic (governor rejected the cut: {}, {}/{} cross edges, \
+                 largest region {} of {})",
+                match a.verdict {
+                    CutVerdict::RejectedCrossEdges => "cross-edge fraction",
+                    CutVerdict::RejectedImbalance => "imbalance",
+                    CutVerdict::Accepted => "accepted",
+                },
+                a.cross_edges,
+                a.total_edges,
+                a.largest_shard,
+                unit.dag().len()
+            )),
+            (None, None) => None,
+        };
         (out.into_schedule(), profile, shard_note)
     } else {
         let schedule = scheduler
