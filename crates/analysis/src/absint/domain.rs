@@ -1,0 +1,238 @@
+//! The abstract preference-map domain.
+//!
+//! Concrete state is a map `W[i, c, t]` of non-negative weights, plus
+//! per-instruction feasibility windows `[lo, hi]` and a normalization
+//! invariant (`Σ W[i] = 1` after every driver step). The abstraction
+//! keeps one summary row for all instructions:
+//!
+//! * the possible per-cell weight range as an [`Interval`],
+//! * whether windows have been established ([`WindowFact`]),
+//! * whether the row is currently normalized ([`NormStatus`]),
+//! * whether cluster symmetry can already be broken (a row whose
+//!   cluster marginals may differ; uniform rows argmax to cluster 0).
+//!
+//! Joins are component-wise; every component is a finite lattice (or
+//! the interval hull), so forward propagation over a straight-line
+//! sequence terminates trivially.
+
+/// A closed interval `[lo, hi]` over the extended non-negative reals.
+///
+/// Intervals over-approximate the set of values a weight, a scale
+/// factor, or a written cell can take. `lo > hi` never occurs for
+/// intervals built through the constructors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Smallest possible value.
+    pub lo: f64,
+    /// Largest possible value.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The interval holding exactly `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN.
+    #[must_use]
+    pub fn point(v: f64) -> Self {
+        assert!(!v.is_nan(), "interval endpoints must not be NaN");
+        Interval { lo: v, hi: v }
+    }
+
+    /// The interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is NaN or `lo > hi`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "endpoints must not be NaN");
+        assert!(lo <= hi, "interval endpoints out of order: [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The unit interval `[0, 1]` — a normalized cell's range.
+    #[must_use]
+    pub fn unit() -> Self {
+        Interval { lo: 0.0, hi: 1.0 }
+    }
+
+    /// Any strictly positive finite factor — the widest interval a
+    /// data-dependent but sign- and finiteness-guarded scale factor
+    /// (LOAD's `1/load`, COMM's neighbor skew) can take.
+    #[must_use]
+    pub fn positive_finite() -> Self {
+        Interval {
+            lo: f64::MIN_POSITIVE,
+            hi: f64::MAX,
+        }
+    }
+
+    /// `true` if `v` lies in the interval.
+    #[must_use]
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Smallest interval containing both `self` and `other`.
+    #[must_use]
+    pub fn join(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Interval product (both operands non-negative in this domain, so
+    /// the endpoints multiply directly). Saturates to `f64::MAX`
+    /// instead of overflowing to infinity.
+    #[must_use]
+    pub fn mul(&self, other: &Interval) -> Interval {
+        let sat = |v: f64| if v.is_finite() { v } else { f64::MAX };
+        Interval {
+            lo: sat(self.lo * other.lo),
+            hi: sat(self.hi * other.hi),
+        }
+    }
+
+    /// `true` when both endpoints are finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    /// `true` when no value in the interval is negative.
+    #[must_use]
+    pub fn is_nonneg(&self) -> bool {
+        self.lo >= 0.0
+    }
+
+    /// `true` when every value in the interval is strictly positive.
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        self.lo > 0.0
+    }
+}
+
+/// Whether feasibility windows have been established yet.
+///
+/// Windows are tighten-only facts: once some pass runs
+/// `EstablishWindows` they exist for the rest of the sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WindowFact {
+    /// No pass has established windows; every slot is nominally
+    /// feasible and "in-window" reads see the full `[0, H]` range.
+    Unestablished,
+    /// Some earlier pass ran `EstablishWindows`.
+    Established,
+}
+
+/// Whether the abstract row currently satisfies the normalization
+/// invariant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NormStatus {
+    /// `Σ W[i] = 1` and every cell is in `[0, 1]`.
+    Normalized,
+    /// A pass has written since the last normalization; cells are
+    /// bounded by the row's value interval but the sum is arbitrary.
+    Dirty,
+}
+
+/// The abstract per-row state threaded through a sequence walk.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AbsRow {
+    /// Range of any single cell's weight.
+    pub value: Interval,
+    /// Whether feasibility windows exist yet.
+    pub windows: WindowFact,
+    /// Whether the row is normalized right now.
+    pub norm: NormStatus,
+    /// Whether cluster marginals can already differ (symmetry broken).
+    pub symmetry_broken: bool,
+}
+
+impl AbsRow {
+    /// The driver's initial state: a fresh uniform normalized map, no
+    /// windows, full symmetry.
+    #[must_use]
+    pub fn initial() -> Self {
+        AbsRow {
+            value: Interval::unit(),
+            windows: WindowFact::Unestablished,
+            norm: NormStatus::Normalized,
+            symmetry_broken: false,
+        }
+    }
+
+    /// The driver's normalization step: cells return to `[0, 1]`,
+    /// everything else survives.
+    pub fn normalize(&mut self) {
+        self.value = Interval::unit();
+        self.norm = NormStatus::Normalized;
+    }
+
+    /// Component-wise join (least upper bound) with `other`.
+    #[must_use]
+    pub fn join(&self, other: &AbsRow) -> AbsRow {
+        AbsRow {
+            value: self.value.join(&other.value),
+            windows: self.windows.min(other.windows),
+            norm: self.norm.max(other.norm),
+            symmetry_broken: self.symmetry_broken || other.symmetry_broken,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_basics() {
+        let u = Interval::unit();
+        assert!(u.contains(0.0) && u.contains(1.0) && !u.contains(1.1));
+        assert!(u.is_finite() && u.is_nonneg() && !u.is_positive());
+        assert!(Interval::point(1.2).is_positive());
+        let j = Interval::point(0.5).join(&Interval::point(2.0));
+        assert_eq!(j, Interval::new(0.5, 2.0));
+    }
+
+    #[test]
+    fn interval_mul_saturates() {
+        let big = Interval::new(1.0, f64::MAX);
+        let prod = big.mul(&big);
+        assert!(prod.is_finite());
+        assert_eq!(prod.hi, f64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn reversed_interval_panics() {
+        let _ = Interval::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn row_join_is_pessimistic() {
+        let mut a = AbsRow::initial();
+        a.windows = WindowFact::Established;
+        a.symmetry_broken = true;
+        let b = AbsRow::initial();
+        let j = a.join(&b);
+        // Windows only count when both branches established them;
+        // symmetry counts when either branch broke it.
+        assert_eq!(j.windows, WindowFact::Unestablished);
+        assert!(j.symmetry_broken);
+        assert_eq!(j.norm, NormStatus::Normalized);
+    }
+
+    #[test]
+    fn normalize_resets_value_range() {
+        let mut r = AbsRow::initial();
+        r.value = Interval::new(0.0, 100.0);
+        r.norm = NormStatus::Dirty;
+        r.normalize();
+        assert_eq!(r.value, Interval::unit());
+        assert_eq!(r.norm, NormStatus::Normalized);
+    }
+}

@@ -1,0 +1,347 @@
+//! Forward dataflow over a pass sequence: the `CS07x` pipeline lints.
+//!
+//! A sequence is straight-line, so the "fixpoint" is reached in one
+//! monotone forward sweep of the abstract state ([`AbsRow`]) through
+//! every pass's effect summary. The sweep tracks which facts each pass
+//! *needs* versus which facts the prefix has *established* and reports
+//! the mismatches:
+//!
+//! | code | hazard |
+//! |---|---|
+//! | `CS070` | windows read or written before any pass establishes them |
+//! | `CS071` | a pass that is dead at its position |
+//! | `CS072` | an explicit trailing normalization (the driver's job) |
+//! | `CS073` | randomized noise after a deterministic bias pass |
+//! | `CS074` | no pass can ever break cluster symmetry |
+//!
+//! Opaque summaries poison the relevant facts conservatively: an
+//! unknown pass might establish windows or break symmetry, so no
+//! `CS070`/`CS074` claim is made past one.
+
+use crate::absint::domain::{AbsRow, NormStatus, WindowFact};
+use crate::absint::effects::{Determinism, EffectOp, PassEffect, PassSummary};
+use crate::{Code, Diagnostic, LintReport};
+
+/// `true` when the pass's summary says it touches feasibility windows
+/// (reads them to guard writes, or targets in-window cells).
+fn uses_windows(eff: &PassEffect) -> bool {
+    eff.reads_windows
+        || eff.ops.iter().any(|op| {
+            matches!(
+                op,
+                EffectOp::Absolute {
+                    in_window: true,
+                    ..
+                }
+            )
+        })
+}
+
+/// `true` when some op draws on the RNG.
+fn is_randomized(eff: &PassEffect) -> bool {
+    eff.ops.iter().any(|op| {
+        matches!(
+            op,
+            EffectOp::Absolute {
+                randomized: true,
+                ..
+            }
+        )
+    })
+}
+
+/// `true` when the pass is dead at a point where windows are already
+/// established: it only (re-)establishes windows and squashes
+/// incapable clusters, both idempotent facts.
+fn only_reestablishes(eff: &PassEffect) -> bool {
+    !eff.ops.is_empty()
+        && eff
+            .ops
+            .iter()
+            .all(|op| matches!(op, EffectOp::EstablishWindows | EffectOp::Forbid { .. }))
+}
+
+/// `true` when every op scales whole cluster columns — a no-op once
+/// normalization runs on a single-cluster machine.
+fn only_scales_clusters(eff: &PassEffect) -> bool {
+    !eff.ops.is_empty()
+        && eff
+            .ops
+            .iter()
+            .all(|op| matches!(op, EffectOp::ScaleClusters { .. }))
+}
+
+/// Applies one pass's effect summary to the abstract row state,
+/// followed by the driver's normalization.
+fn transfer(row: &mut AbsRow, eff: &PassEffect) {
+    if eff.opaque {
+        // Unknown pass: assume it may establish windows and break
+        // symmetry, and leave the value range at the normalized hull.
+        row.windows = WindowFact::Established;
+        row.symmetry_broken = true;
+        row.normalize();
+        return;
+    }
+    for op in &eff.ops {
+        match op {
+            EffectOp::EstablishWindows => row.windows = WindowFact::Established,
+            EffectOp::Absolute { value, .. } => {
+                row.value = row.value.join(value);
+                row.norm = NormStatus::Dirty;
+            }
+            EffectOp::ScaleClusters { factor }
+            | EffectOp::ScaleCells { factor }
+            | EffectOp::ScaleTimes { factor } => {
+                row.value = row.value.mul(factor);
+                row.norm = NormStatus::Dirty;
+            }
+            EffectOp::Forbid { .. } => row.norm = NormStatus::Dirty,
+            EffectOp::Normalize => row.normalize(),
+        }
+    }
+    if eff.breaks_symmetry {
+        row.symmetry_broken = true;
+    }
+    row.normalize();
+}
+
+/// Runs the pipeline dataflow analysis over `passes` for a target with
+/// `n_clusters` clusters and reports every `CS07x` hazard.
+#[must_use]
+pub fn analyze_pipeline(passes: &[PassSummary], n_clusters: usize) -> LintReport {
+    let mut report = LintReport::new();
+    let mut row = AbsRow::initial();
+    // Set once a deterministic (non-RNG) pass breaks symmetry; a
+    // randomized pass after that point erodes the established bias.
+    let mut deterministic_bias = false;
+    let mut any_opaque = false;
+
+    for (k, pass) in passes.iter().enumerate() {
+        let eff = &pass.effect;
+        if eff.opaque {
+            any_opaque = true;
+            transfer(&mut row, eff);
+            continue;
+        }
+
+        if row.windows == WindowFact::Unestablished
+            && uses_windows(eff)
+            && !eff.ops.contains(&EffectOp::EstablishWindows)
+        {
+            report.push(Diagnostic::new(
+                Code::WindowsReadBeforeEstablished,
+                vec![],
+                format!(
+                    "pass {k} ({}) uses feasibility windows, but no earlier pass \
+                     establishes them (run a TIME pass such as INITTIME first)",
+                    pass.name
+                ),
+            ));
+        }
+
+        if row.windows == WindowFact::Established && only_reestablishes(eff) {
+            report.push(Diagnostic::new(
+                Code::DeadPass,
+                vec![],
+                format!(
+                    "pass {k} ({}) only re-establishes windows already established \
+                     by an earlier pass; it has no effect here",
+                    pass.name
+                ),
+            ));
+        } else if n_clusters == 1 && only_scales_clusters(eff) {
+            report.push(Diagnostic::new(
+                Code::DeadPass,
+                vec![],
+                format!(
+                    "pass {k} ({}) only scales cluster columns, which normalization \
+                     cancels on a single-cluster machine",
+                    pass.name
+                ),
+            ));
+        }
+
+        if matches!(eff.ops.last(), Some(EffectOp::Normalize)) {
+            report.push(Diagnostic::new(
+                Code::RedundantNormalization,
+                vec![],
+                format!(
+                    "pass {k} ({}) ends with an explicit normalization; the driver \
+                     normalizes after every pass anyway",
+                    pass.name
+                ),
+            ));
+        }
+
+        if deterministic_bias && is_randomized(eff) {
+            report.push(Diagnostic::new(
+                Code::NoiseAfterBias,
+                vec![],
+                format!(
+                    "pass {k} ({}) injects randomized noise after a deterministic \
+                     bias pass already broke symmetry; run noise first",
+                    pass.name
+                ),
+            ));
+        }
+
+        if eff.breaks_symmetry
+            && matches!(eff.determinism, Determinism::PureGraph)
+            && !is_randomized(eff)
+        {
+            deterministic_bias = true;
+        }
+        transfer(&mut row, eff);
+    }
+
+    if n_clusters > 1 && !any_opaque && !row.symmetry_broken && !passes.is_empty() {
+        report.push(Diagnostic::new(
+            Code::UndecidableConfidence,
+            vec![],
+            format!(
+                "no pass in the {}-pass sequence can break cluster symmetry on a \
+                 {n_clusters}-cluster machine; cluster preferences stay tied and \
+                 every argmax falls back to cluster 0",
+                passes.len()
+            ),
+        ));
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::absint::domain::Interval;
+    use crate::absint::effects::ContractClaims;
+
+    fn pass(name: &str, eff: PassEffect) -> PassSummary {
+        PassSummary::new(name, ContractClaims::default(), eff)
+    }
+
+    fn inittime() -> PassSummary {
+        let claims = ContractClaims {
+            establishes_windows: true,
+            ..ContractClaims::default()
+        };
+        PassSummary::new(
+            "INITTIME",
+            claims,
+            PassEffect::new(vec![
+                EffectOp::EstablishWindows,
+                EffectOp::Forbid {
+                    only_incapable: true,
+                },
+            ]),
+        )
+    }
+
+    fn noise() -> PassSummary {
+        pass(
+            "NOISE",
+            PassEffect::new(vec![EffectOp::Absolute {
+                in_window: true,
+                value: Interval::new(0.0, 2.0),
+                randomized: true,
+                preserves_support: true,
+            }])
+            .with_determinism(Determinism::SeededRng)
+            .reads_windows()
+            .breaks_symmetry(),
+        )
+    }
+
+    fn first() -> PassSummary {
+        pass(
+            "FIRST",
+            PassEffect::new(vec![EffectOp::ScaleClusters {
+                factor: Interval::point(1.2),
+            }])
+            .breaks_symmetry(),
+        )
+    }
+
+    #[test]
+    fn clean_pipeline_is_clean() {
+        let report = analyze_pipeline(&[inittime(), noise(), first()], 4);
+        assert!(report.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn windows_before_time_is_flagged() {
+        let report = analyze_pipeline(&[noise(), inittime()], 4);
+        let codes: Vec<_> = report.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::WindowsReadBeforeEstablished]);
+    }
+
+    #[test]
+    fn repeated_inittime_is_dead() {
+        let report = analyze_pipeline(&[inittime(), inittime(), first()], 4);
+        let codes: Vec<_> = report.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::DeadPass]);
+    }
+
+    #[test]
+    fn cluster_scaling_is_dead_on_one_cluster() {
+        let report = analyze_pipeline(&[inittime(), noise(), first()], 1);
+        let codes: Vec<_> = report.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::DeadPass]);
+        // The same sequence is fine on two clusters.
+        assert!(analyze_pipeline(&[inittime(), noise(), first()], 2).is_empty());
+    }
+
+    #[test]
+    fn noise_after_deterministic_bias_is_flagged() {
+        let report = analyze_pipeline(&[inittime(), first(), noise()], 4);
+        let codes: Vec<_> = report.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::NoiseAfterBias]);
+    }
+
+    #[test]
+    fn trailing_normalize_is_redundant() {
+        let p = pass(
+            "NORM",
+            PassEffect::new(vec![
+                EffectOp::ScaleClusters {
+                    factor: Interval::point(2.0),
+                },
+                EffectOp::Normalize,
+            ])
+            .breaks_symmetry(),
+        );
+        let report = analyze_pipeline(&[inittime(), p], 4);
+        let codes: Vec<_> = report.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::RedundantNormalization]);
+    }
+
+    #[test]
+    fn symmetric_sequence_never_decides() {
+        let emph = pass(
+            "EMPHCP",
+            PassEffect::new(vec![EffectOp::ScaleTimes {
+                factor: Interval::point(1.2),
+            }])
+            .time_only(),
+        );
+        let report = analyze_pipeline(&[inittime(), emph], 4);
+        let codes: Vec<_> = report.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::UndecidableConfidence]);
+        // A single-cluster machine has nothing to decide.
+        assert!(analyze_pipeline(&[inittime()], 1).is_empty());
+    }
+
+    #[test]
+    fn opaque_pass_suppresses_whole_sequence_claims() {
+        let report = analyze_pipeline(&[pass("?", PassEffect::opaque())], 4);
+        assert!(report.is_empty(), "{report:?}");
+        // Windows-before-TIME is also forgiven past an opaque pass.
+        let report = analyze_pipeline(&[pass("?", PassEffect::opaque()), noise()], 4);
+        assert!(report.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn empty_sequence_is_clean() {
+        assert!(analyze_pipeline(&[], 4).is_empty());
+    }
+}

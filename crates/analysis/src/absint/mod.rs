@@ -1,0 +1,36 @@
+//! Abstract interpretation of pass effects.
+//!
+//! `core::contract` replays each pass through a recording proxy on two
+//! probe graphs — an *empirical* check that can only refute, never
+//! prove. This module closes the gap for passes that publish an
+//! effect summary: [`PassEffect`] describes, as intervals and
+//! qualitative facts, every `WeightOp` shape the pass can emit on
+//! *any* input, and [`prove_contract`] symbolically executes that
+//! summary over the abstract preference-map domain to prove (or
+//! statically refute) each [`ContractClaims`] clause for all inputs.
+//! When the summary is too coarse — or absent ([`PassEffect::opaque`])
+//! — the verdict is an explicit [`Verdict::Unproven`] and callers fall
+//! back to the recording proxy.
+//!
+//! On top of the per-pass proofs, [`analyze_pipeline`] runs a forward
+//! dataflow analysis over a whole pass sequence's summaries and emits
+//! the `CS07x` diagnostics: window reads before establishment, dead
+//! passes, redundant normalization, noise-after-bias ordering hazards,
+//! and sequences that can never reach decidable confidence.
+//!
+//! The split mirrors the classic absint layering: [`domain`] holds the
+//! abstract values (intervals, the per-row lattice), [`effects`] the
+//! transfer functions per effect op, and [`fixpoint`] the sequence
+//! walk (straight-line, so the fixpoint is reached in one monotone
+//! forward sweep).
+
+pub mod domain;
+pub mod effects;
+pub mod fixpoint;
+
+pub use domain::{AbsRow, Interval, NormStatus, WindowFact};
+pub use effects::{
+    prove_contract, ContractClaims, ContractProof, Determinism, EffectOp, PassEffect, PassSummary,
+    Verdict,
+};
+pub use fixpoint::analyze_pipeline;

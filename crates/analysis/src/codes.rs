@@ -10,8 +10,9 @@ use crate::Severity;
 /// timing and preplacement feasibility, `CS02x` op-class coverage,
 /// `CS03x` advisory graph hygiene, `CS04x` component structure and
 /// shardability, `CS05x` machine-model consistency, `CS06x` pass
-/// contracts. The string ids are append-only: a code is never
-/// renumbered or reused, so tooling may match on them.
+/// contracts, `CS07x` pipeline dataflow (ordering and redundancy
+/// hazards in a pass sequence). The string ids are append-only: a
+/// code is never renumbered or reused, so tooling may match on them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Code {
     /// `CS001`: the dependence graph contains a cycle.
@@ -83,12 +84,30 @@ pub enum Code {
     /// `CS063`: a pass forbade (or zeroed) the home cluster of a
     /// preplaced instruction.
     PreplacementDemoted,
+    /// `CS070`: a pass reads or writes inside feasibility windows
+    /// before any pass in the sequence establishes them.
+    WindowsReadBeforeEstablished,
+    /// `CS071`: a pass whose entire effect is dead at its position —
+    /// a repeated window-establishing pass, or a cluster-only scaling
+    /// pass on a single-cluster target.
+    DeadPass,
+    /// `CS072`: a pass ends with an explicit normalization of a map
+    /// the driver normalizes anyway after every pass.
+    RedundantNormalization,
+    /// `CS073`: a randomized (noise) pass runs after a deterministic
+    /// symmetry-breaking pass, eroding the bias the earlier pass
+    /// established.
+    NoiseAfterBias,
+    /// `CS074`: no pass in the sequence can break cluster symmetry on
+    /// a multi-cluster target, so preferences never reach decidable
+    /// confidence.
+    UndecidableConfidence,
 }
 
 impl Code {
     /// Every code, in catalogue order — used to generate and test the
     /// `docs/DIAGNOSTICS.md` catalogue.
-    pub const ALL: [Code; 22] = [
+    pub const ALL: [Code; 27] = [
         Code::Cycle,
         Code::DanglingEdge,
         Code::SelfEdge,
@@ -111,6 +130,11 @@ impl Code {
         Code::NondeterministicPass,
         Code::BrokenNormalization,
         Code::PreplacementDemoted,
+        Code::WindowsReadBeforeEstablished,
+        Code::DeadPass,
+        Code::RedundantNormalization,
+        Code::NoiseAfterBias,
+        Code::UndecidableConfidence,
     ];
 
     /// The stable string id, e.g. `"CS001"`.
@@ -139,6 +163,11 @@ impl Code {
             Code::NondeterministicPass => "CS061",
             Code::BrokenNormalization => "CS062",
             Code::PreplacementDemoted => "CS063",
+            Code::WindowsReadBeforeEstablished => "CS070",
+            Code::DeadPass => "CS071",
+            Code::RedundantNormalization => "CS072",
+            Code::NoiseAfterBias => "CS073",
+            Code::UndecidableConfidence => "CS074",
         }
     }
 
@@ -165,14 +194,19 @@ impl Code {
             | Code::BrokenNormalization
             | Code::PreplacementDemoted
             | Code::MissingTransferUnit => Severity::Error,
-            Code::CommOpInInput | Code::ZeroLatency | Code::CommLatencyMismatch => {
-                Severity::Warning
-            }
+            Code::CommOpInInput
+            | Code::ZeroLatency
+            | Code::CommLatencyMismatch
+            | Code::WindowsReadBeforeEstablished
+            | Code::DeadPass
+            | Code::NoiseAfterBias
+            | Code::UndecidableConfidence => Severity::Warning,
             Code::TightPreplacedPair
             | Code::DeadValue
             | Code::PressureOverRegisters
             | Code::DegenerateShardStructure
-            | Code::DegenerateRegionCut => Severity::Note,
+            | Code::DegenerateRegionCut
+            | Code::RedundantNormalization => Severity::Note,
         }
     }
 
@@ -208,6 +242,13 @@ impl Code {
             Code::NondeterministicPass => "pass is nondeterministic for a fixed seed",
             Code::BrokenNormalization => "pass broke preference-map normalization invariants",
             Code::PreplacementDemoted => "pass forbade a preplaced instruction's home cluster",
+            Code::WindowsReadBeforeEstablished => {
+                "pass uses feasibility windows before any pass establishes them"
+            }
+            Code::DeadPass => "pass has no effect at its position in the sequence",
+            Code::RedundantNormalization => "explicit normalization is redundant with the driver's",
+            Code::NoiseAfterBias => "randomized pass runs after a deterministic bias pass",
+            Code::UndecidableConfidence => "no pass in the sequence can break cluster symmetry",
         }
     }
 }
@@ -230,6 +271,8 @@ mod tests {
         assert_eq!(ids.len(), Code::ALL.len());
         assert_eq!(Code::Cycle.id(), "CS001");
         assert_eq!(Code::PreplacementDemoted.id(), "CS063");
+        assert_eq!(Code::WindowsReadBeforeEstablished.id(), "CS070");
+        assert_eq!(Code::UndecidableConfidence.id(), "CS074");
     }
 
     #[test]

@@ -10,11 +10,16 @@
 //! [`Code`] catalogue (see `docs/DIAGNOSTICS.md` at the workspace
 //! root).
 //!
-//! The third leg of the triple — the pass sequence — is verified by
-//! `convergent_core::contract`, which records every `PreferenceMap`
-//! write a pass performs on small probe graphs and emits the `CS06x`
-//! codes defined here. The `csched lint` subcommand composes both
-//! layers.
+//! The third leg of the triple — the pass sequence — is covered by two
+//! cooperating layers. The [`absint`] module proves each pass's
+//! declared contract *for all inputs* from its effect summary
+//! ([`prove_contract`]) and runs a whole-sequence dataflow analysis
+//! ([`analyze_pipeline`]) that emits the `CS07x` pipeline codes.
+//! Where a summary is too coarse (an [`Verdict::Unproven`] clause),
+//! `convergent_core::contract` falls back to recording every
+//! `PreferenceMap` write on small probe graphs and emits the `CS06x`
+//! codes defined here. The `csched lint` and `csched analyze`
+//! subcommands compose all the layers.
 //!
 //! Entry points:
 //!
@@ -33,11 +38,16 @@
 
 #![warn(missing_docs)]
 
+pub mod absint;
 mod codes;
 mod diag;
 mod facts;
 mod lint;
 
+pub use absint::{
+    analyze_pipeline, prove_contract, AbsRow, ContractClaims, ContractProof, Determinism, EffectOp,
+    Interval, NormStatus, PassEffect, PassSummary, Verdict, WindowFact,
+};
 pub use codes::Code;
 pub use diag::{Diagnostic, LintReport, Severity};
 pub use facts::GraphFacts;

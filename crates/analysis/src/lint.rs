@@ -16,13 +16,29 @@ pub struct LintOptions {
     /// comm-tight preplaced pairs (`CS013`). Off by default — these
     /// fire on legitimate synthetic workloads and are informational.
     pub pedantic: bool,
+    /// The region-size target the scheduler will actually run with
+    /// (`csched --region-size`). The shardability analyses (`CS041`)
+    /// judge cuts against this target; `None` uses
+    /// [`convergent_ir::DEFAULT_REGION_SIZE`], matching the
+    /// scheduler's own default.
+    pub region_size: Option<usize>,
 }
 
 impl LintOptions {
     /// Options with the advisory analyses enabled.
     #[must_use]
     pub fn pedantic() -> Self {
-        LintOptions { pedantic: true }
+        LintOptions {
+            pedantic: true,
+            ..LintOptions::default()
+        }
+    }
+
+    /// Sets the region-size target the shardability analyses assume.
+    #[must_use]
+    pub fn with_region_size(mut self, region_size: usize) -> Self {
+        self.region_size = Some(region_size);
+        self
     }
 }
 
@@ -261,7 +277,7 @@ pub fn lint_dag(dag: &Dag, machine: &Machine, opts: LintOptions) -> LintReport {
     lint_latency_table(dag, machine, &mut report);
 
     if opts.pedantic {
-        lint_pedantic(dag, machine, &facts, &mut report);
+        lint_pedantic(dag, machine, &facts, opts, &mut report);
     }
     report
 }
@@ -319,7 +335,13 @@ fn lint_latency_table(dag: &Dag, machine: &Machine, report: &mut LintReport) {
 }
 
 /// Advisory analyses (`CS013`, `CS030`, `CS031`, `CS040`, `CS041`).
-fn lint_pedantic(dag: &Dag, machine: &Machine, facts: &GraphFacts, report: &mut LintReport) {
+fn lint_pedantic(
+    dag: &Dag,
+    machine: &Machine,
+    facts: &GraphFacts,
+    opts: LintOptions,
+    report: &mut LintReport,
+) {
     if machine.memory().preplacement_is_hard() {
         for edge in dag.edges() {
             let (a, b) = (edge.src, edge.dst);
@@ -382,15 +404,22 @@ fn lint_pedantic(dag: &Dag, machine: &Machine, facts: &GraphFacts, report: &mut 
             ));
         }
     }
-    // Degenerate region cut (CS041): the graph exceeds the default
-    // region-size target, so a sharded run would try to cut it — but
-    // the best decomposition is one the driver's cut governor rejects
-    // (mirrored here because `convergent-analysis` cannot depend on
-    // the scheduler crate): more than half of all edges crossing
-    // shards, or the largest shard still above 15/16 of the graph.
-    // Such a run silently falls back to a monolithic schedule.
-    if dag.len() > convergent_ir::DEFAULT_REGION_SIZE {
-        let dec = convergent_ir::decompose_with(dag, &convergent_ir::RegionPolicy::new(2));
+    // Degenerate region cut (CS041): the graph exceeds the effective
+    // region-size target (the `--region-size` override when given,
+    // the scheduler default otherwise), so a sharded run would try to
+    // cut it — but the best decomposition is one the driver's cut
+    // governor rejects (mirrored here because `convergent-analysis`
+    // cannot depend on the scheduler crate): more than half of all
+    // edges crossing shards, or the largest shard still above 15/16
+    // of the graph. Such a run silently falls back to a monolithic
+    // schedule.
+    let mut policy = convergent_ir::RegionPolicy::new(2);
+    if let Some(rs) = opts.region_size {
+        policy = policy.with_region_size(rs);
+    }
+    let target = policy.target_region_size();
+    if dag.len() > target {
+        let dec = convergent_ir::decompose_with(dag, &policy);
         let cross = dec.cross_edges().len();
         let total = dag.edge_count();
         let largest = dec
@@ -411,9 +440,8 @@ fn lint_pedantic(dag: &Dag, machine: &Machine, facts: &GraphFacts, report: &mut 
                 Code::DegenerateRegionCut,
                 vec![],
                 format!(
-                    "graph holds {} instructions (region target {}) but its best cut is degenerate ({cross} of {total} edges crossing, largest region {largest}); sharded runs will fall back to a monolithic schedule",
+                    "graph holds {} instructions (region target {target}) but its best cut is degenerate ({cross} of {total} edges crossing, largest region {largest}); sharded runs will fall back to a monolithic schedule",
                     dag.len(),
-                    convergent_ir::DEFAULT_REGION_SIZE
                 ),
             ));
         }

@@ -1,0 +1,187 @@
+//! Property tests for the abstract preference-map domain: lattice laws
+//! for [`Interval`] and [`AbsRow`] joins, soundness of interval
+//! multiplication, and decade-discipline of the pipeline analysis
+//! (random pipelines never panic and only ever report `CS07x` codes,
+//! deterministically).
+//!
+//! These run under Miri in `offline-check.sh --miri`, so the case
+//! count drops there.
+
+use convergent_analysis::{
+    analyze_pipeline, AbsRow, ContractClaims, Determinism, EffectOp, Interval, NormStatus,
+    PassEffect, PassSummary, WindowFact,
+};
+use proptest::prelude::*;
+
+const CASES: u32 = if cfg!(miri) { 8 } else { 128 };
+
+/// Builds a well-ordered interval from two arbitrary endpoints.
+fn interval(a: f64, b: f64) -> Interval {
+    Interval::new(a.min(b), a.max(b))
+}
+
+/// `true` when `big` contains every value of `small`.
+fn contains_interval(big: &Interval, small: &Interval) -> bool {
+    big.lo <= small.lo && small.hi <= big.hi
+}
+
+/// `true` when `hi` is at or above `lo` in the `AbsRow` lattice order
+/// (the order `join` computes least upper bounds for): a wider value
+/// hull, windows no more established, normalization no cleaner,
+/// symmetry no less broken.
+fn row_at_or_above(hi: &AbsRow, lo: &AbsRow) -> bool {
+    contains_interval(&hi.value, &lo.value)
+        && hi.windows <= lo.windows
+        && hi.norm >= lo.norm
+        && (hi.symmetry_broken || !lo.symmetry_broken)
+}
+
+/// One of the synthetic row states the join laws quantify over.
+fn row(endpoints: (f64, f64), windows: bool, dirty: bool, broken: bool) -> AbsRow {
+    let mut r = AbsRow::initial();
+    r.value = interval(endpoints.0, endpoints.1);
+    r.windows = if windows {
+        WindowFact::Established
+    } else {
+        WindowFact::Unestablished
+    };
+    r.norm = if dirty {
+        NormStatus::Dirty
+    } else {
+        NormStatus::Normalized
+    };
+    r.symmetry_broken = broken;
+    r
+}
+
+/// A small palette of effect summaries shaped like the builtin passes;
+/// `kind` indexes into it so a random `Vec<u8>` becomes a pipeline.
+fn summary_palette(kind: u8) -> PassSummary {
+    let eff = match kind % 6 {
+        0 => PassEffect::new(vec![EffectOp::EstablishWindows]),
+        1 => PassEffect::new(vec![EffectOp::Absolute {
+            in_window: true,
+            value: Interval::new(0.0, 2.0),
+            randomized: true,
+            preserves_support: true,
+        }])
+        .with_determinism(Determinism::SeededRng)
+        .reads_windows()
+        .breaks_symmetry(),
+        2 => PassEffect::new(vec![EffectOp::ScaleClusters {
+            factor: Interval::point(1.2),
+        }])
+        .breaks_symmetry(),
+        3 => PassEffect::new(vec![EffectOp::ScaleTimes {
+            factor: Interval::point(1.5),
+        }])
+        .time_only(),
+        4 => PassEffect::new(vec![
+            EffectOp::ScaleCells {
+                factor: Interval::new(0.5, 2.0),
+            },
+            EffectOp::Normalize,
+        ])
+        .breaks_symmetry(),
+        _ => PassEffect::opaque(),
+    };
+    PassSummary::new("P", ContractClaims::default(), eff)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    #[test]
+    fn interval_join_laws(
+        a in (0.0f64..100.0, 0.0f64..100.0),
+        b in (0.0f64..100.0, 0.0f64..100.0),
+        c in (0.0f64..100.0, 0.0f64..100.0),
+    ) {
+        let (a, b, c) = (interval(a.0, a.1), interval(b.0, b.1), interval(c.0, c.1));
+        // Idempotent, commutative, associative.
+        prop_assert_eq!(a.join(&a), a);
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+        // Least upper bound: contains both operands, and any other
+        // upper bound contains the join.
+        let j = a.join(&b);
+        prop_assert!(contains_interval(&j, &a) && contains_interval(&j, &b));
+        let wide = a.join(&b).join(&c);
+        prop_assert!(contains_interval(&wide, &j));
+    }
+
+    #[test]
+    fn interval_mul_is_sound_and_monotone(
+        a in (0.0f64..50.0, 0.0f64..50.0),
+        b in (0.0f64..50.0, 0.0f64..50.0),
+        c in (0.0f64..50.0, 0.0f64..50.0),
+        t in (0.0f64..1.0, 0.0f64..1.0),
+    ) {
+        let (a, b, c) = (interval(a.0, a.1), interval(b.0, b.1), interval(c.0, c.1));
+        // Soundness: the product of any point of `a` with any point of
+        // `b` lies in `a.mul(b)` (sampled at interpolated points).
+        let va = a.lo + t.0 * (a.hi - a.lo);
+        let vb = b.lo + t.1 * (b.hi - b.lo);
+        prop_assert!(a.mul(&b).contains(va * vb));
+        // Monotone in its arguments: widening an operand widens the
+        // product.
+        let prod = a.mul(&c);
+        let wider = a.join(&b).mul(&c);
+        prop_assert!(contains_interval(&wider, &prod));
+        // Commutative in this non-negative domain.
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn row_join_laws(
+        av in (0.0f64..10.0, 0.0f64..10.0), abits in 0u8..8,
+        bv in (0.0f64..10.0, 0.0f64..10.0), bbits in 0u8..8,
+    ) {
+        let a = row(av, abits & 1 != 0, abits & 2 != 0, abits & 4 != 0);
+        let b = row(bv, bbits & 1 != 0, bbits & 2 != 0, bbits & 4 != 0);
+        // Idempotent and commutative.
+        prop_assert_eq!(a.join(&a), a);
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        // Upper bound for both operands in the lattice order.
+        let j = a.join(&b);
+        prop_assert!(row_at_or_above(&j, &a));
+        prop_assert!(row_at_or_above(&j, &b));
+    }
+
+    #[test]
+    fn normalize_is_idempotent_and_resets_the_hull(
+        v in (0.0f64..1000.0, 0.0f64..1000.0),
+        bits in 0u8..4,
+    ) {
+        let (w, broken) = (bits & 1 != 0, bits & 2 != 0);
+        let mut r = row(v, w, true, broken);
+        r.normalize();
+        prop_assert_eq!(r.value, Interval::unit());
+        prop_assert_eq!(r.norm, NormStatus::Normalized);
+        // Windows and symmetry facts survive normalization.
+        prop_assert_eq!(r.windows, if w { WindowFact::Established } else { WindowFact::Unestablished });
+        prop_assert_eq!(r.symmetry_broken, broken);
+        let once = r;
+        r.normalize();
+        prop_assert_eq!(r, once);
+    }
+
+    #[test]
+    fn pipeline_analysis_is_total_and_stays_in_its_decade(
+        kinds in proptest::collection::vec(0u8..12, 0..8),
+        n_clusters in 1usize..6,
+    ) {
+        let passes: Vec<PassSummary> = kinds.iter().map(|&k| summary_palette(k)).collect();
+        let report = analyze_pipeline(&passes, n_clusters);
+        for d in report.diagnostics() {
+            let id = d.code.id();
+            prop_assert!(id.starts_with("CS07"), "unexpected code {id} from pipeline analysis");
+        }
+        // Deterministic: the same pipeline reports the same codes.
+        let again = analyze_pipeline(&passes, n_clusters);
+        let codes = |r: &convergent_analysis::LintReport| {
+            r.diagnostics().iter().map(|d| d.code).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(codes(&report), codes(&again));
+    }
+}

@@ -1,8 +1,12 @@
 //! One fixture per diagnostic code: each triggers exactly the code it
-//! is named after (the graph-and-machine codes; the `CS06x`
-//! pass-contract codes have their fixtures in `convergent-core`).
+//! is named after (the graph-and-machine codes and the `CS07x`
+//! pipeline-dataflow codes; the `CS06x` pass-contract codes have
+//! their fixtures in `convergent-core`).
 
-use convergent_analysis::{lint_dag, lint_raw, Code, LintOptions, Severity};
+use convergent_analysis::{
+    analyze_pipeline, lint_dag, lint_raw, Code, ContractClaims, Determinism, EffectOp, Interval,
+    LintOptions, PassEffect, PassSummary, Severity,
+};
 use convergent_ir::{parse_raw, ClusterId, DagBuilder, Opcode};
 use convergent_machine::{
     Cluster, CommModel, FuKind, LatencyTable, Machine, MemoryModel, Topology,
@@ -321,6 +325,110 @@ fn cs052_missing_transfer_unit() {
     assert_eq!(report.diagnostics()[0].severity, Severity::Error);
     // Register-mapped machines never need transfer units.
     assert!(lint_dag(&dag, &Machine::raw(2), LintOptions::default()).is_empty());
+}
+
+// --- CS07x: pipeline dataflow over pass-effect summaries ---------------
+//
+// These drive `analyze_pipeline` with synthetic summaries shaped like
+// the builtin passes (a window-establishing TIME pass, a seeded noise
+// pass, a deterministic cluster bias) so each fixture isolates one
+// ordering or redundancy hazard.
+
+fn summary(name: &str, eff: PassEffect) -> PassSummary {
+    PassSummary::new(name, ContractClaims::default(), eff)
+}
+
+fn time_pass() -> PassSummary {
+    summary(
+        "INITTIME",
+        PassEffect::new(vec![EffectOp::EstablishWindows]),
+    )
+}
+
+fn noise_pass() -> PassSummary {
+    summary(
+        "NOISE",
+        PassEffect::new(vec![EffectOp::Absolute {
+            in_window: true,
+            value: Interval::new(0.0, 2.0),
+            randomized: true,
+            preserves_support: true,
+        }])
+        .with_determinism(Determinism::SeededRng)
+        .reads_windows()
+        .breaks_symmetry(),
+    )
+}
+
+fn bias_pass() -> PassSummary {
+    summary(
+        "FIRST",
+        PassEffect::new(vec![EffectOp::ScaleClusters {
+            factor: Interval::point(1.2),
+        }])
+        .breaks_symmetry(),
+    )
+}
+
+#[test]
+fn cs070_windows_read_before_established() {
+    let report = analyze_pipeline(&[noise_pass(), time_pass(), bias_pass()], 4);
+    assert_only(&report, Code::WindowsReadBeforeEstablished);
+    assert_eq!(report.diagnostics()[0].severity, Severity::Warning);
+    // The fixed ordering is clean.
+    assert!(analyze_pipeline(&[time_pass(), noise_pass(), bias_pass()], 4).is_empty());
+}
+
+#[test]
+fn cs071_dead_pass() {
+    // A second INITTIME only re-establishes windows the first already
+    // established.
+    let report = analyze_pipeline(&[time_pass(), time_pass(), bias_pass()], 4);
+    assert_only(&report, Code::DeadPass);
+    assert_eq!(report.diagnostics()[0].severity, Severity::Warning);
+}
+
+#[test]
+fn cs072_redundant_normalization() {
+    let trailing_norm = summary(
+        "FIRST-NORM",
+        PassEffect::new(vec![
+            EffectOp::ScaleClusters {
+                factor: Interval::point(1.2),
+            },
+            EffectOp::Normalize,
+        ])
+        .breaks_symmetry(),
+    );
+    let report = analyze_pipeline(&[time_pass(), trailing_norm], 4);
+    assert_only(&report, Code::RedundantNormalization);
+    assert_eq!(report.diagnostics()[0].severity, Severity::Note);
+}
+
+#[test]
+fn cs073_noise_after_bias() {
+    let report = analyze_pipeline(&[time_pass(), bias_pass(), noise_pass()], 4);
+    assert_only(&report, Code::NoiseAfterBias);
+    assert_eq!(report.diagnostics()[0].severity, Severity::Warning);
+}
+
+#[test]
+fn cs074_undecidable_confidence() {
+    // Window establishment plus a pure time-axis emphasis: nothing
+    // ever distinguishes one cluster from another.
+    let emph = summary(
+        "EMPHCP",
+        PassEffect::new(vec![EffectOp::ScaleTimes {
+            factor: Interval::point(1.2),
+        }])
+        .time_only(),
+    );
+    let report = analyze_pipeline(&[time_pass(), emph], 4);
+    assert_only(&report, Code::UndecidableConfidence);
+    assert_eq!(report.diagnostics()[0].severity, Severity::Warning);
+    // An opaque pass might break symmetry, so no claim is made.
+    let opaque = summary("?", PassEffect::opaque());
+    assert!(analyze_pipeline(&[time_pass(), opaque], 4).is_empty());
 }
 
 #[test]

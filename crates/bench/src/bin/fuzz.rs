@@ -47,10 +47,10 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use convergent_analysis::{lint_unit, LintOptions};
-use convergent_bench::cases::{case_stream, Case, FAMILIES, MACHINES};
+use convergent_bench::cases::{case_stream, machine_from_spec, Case, FAMILIES, MACHINES};
 use convergent_bench::parallel::{default_jobs, jobs_from_args, run_cells};
 use convergent_core::telemetry::ChromeTraceSink;
-use convergent_core::ConvergentScheduler;
+use convergent_core::{sequence_proof_counts, verify_sequence, ConvergentScheduler, Sequence};
 use convergent_ir::{to_text, ClusterId, Dag, DagBuilder, Instruction, Opcode, SchedulingUnit};
 use convergent_machine::Machine;
 use convergent_schedulers::{
@@ -357,6 +357,46 @@ fn write_trace(cases: &[Case], path: &str) {
     );
 }
 
+/// Verify the convergent sequences the sweep will exercise — static
+/// proofs first, probes only for clauses the abstract interpreter
+/// leaves unproven — before a single case is generated. A contract
+/// violation here taints every downstream schedule, so the sweep
+/// refuses to start.
+fn verify_convergent_sequences(machines: &[&'static str]) {
+    let mut checked: Vec<&'static str> = Vec::new();
+    for spec in machines {
+        let machine = machine_from_spec(spec);
+        let name = if machine.comm().register_mapped {
+            "raw"
+        } else {
+            "vliw-tuned"
+        };
+        if checked.contains(&name) {
+            continue;
+        }
+        checked.push(name);
+        let seq = if machine.comm().register_mapped {
+            Sequence::raw()
+        } else {
+            Sequence::vliw_tuned()
+        };
+        let (proven, fallback) = sequence_proof_counts(&seq);
+        let diags = verify_sequence(&seq, &machine);
+        if diags.is_empty() {
+            println!(
+                "fuzz: sequence {name} contracts hold on {spec}: \
+                 {proven} clause(s) proven statically, {fallback} via probes"
+            );
+        } else {
+            eprintln!("fuzz: sequence {name} violates its contracts on {spec}:");
+            for d in &diags {
+                eprintln!("  {d}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = jobs_from_args(&mut args, default_jobs());
@@ -438,6 +478,10 @@ fn main() {
             }
         }
         k += 1;
+    }
+
+    if !lint_only {
+        verify_convergent_sequences(&machines);
     }
 
     let cases = case_stream(seed, budget, family, size, &machines);

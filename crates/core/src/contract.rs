@@ -1,22 +1,39 @@
-//! Empirical pass-contract verification.
+//! Pass-contract verification: static proof first, probes second.
 //!
 //! A [`crate::Pass`] declares a [`PassContract`]; this module checks
-//! the declaration by *running* the pass on small probe graphs with
-//! the recording `PreferenceMap` proxy enabled and inspecting the
-//! captured [`WeightOp`] log. A contract-violating pass is thereby
-//! flagged at `csched lint` time — as a structured `CS06x` diagnostic
-//! — rather than surfacing later as a fuzz counterexample or a wrong
-//! schedule.
+//! the declaration along two routes:
+//!
+//! 1. **Static** — the pass's [`crate::Pass::effect`] summary is fed
+//!    to the abstract interpreter
+//!    ([`convergent_analysis::prove_contract`]), which tries to decide
+//!    each clause *for all inputs*. A clause it proves needs no run at
+//!    all; a clause the summary itself violates is rejected outright
+//!    (`RefutedStatic`, still a `CS06x` diagnostic) without ever
+//!    constructing a scheduler.
+//! 2. **Empirical** — clauses the summary is too coarse (or absent:
+//!    the default opaque summary) to decide fall back to *running* the
+//!    pass on small probe graphs with the recording `PreferenceMap`
+//!    proxy enabled and inspecting the captured [`WeightOp`] log.
+//!
+//! Either way a contract-violating pass is flagged at `csched lint` /
+//! `csched analyze` time — as a structured `CS06x` diagnostic — rather
+//! than surfacing later as a fuzz counterexample or a wrong schedule.
+//! Every builtin pass carries a precise effect summary, so the builtin
+//! sequences verify without a single probe run; third-party passes
+//! that don't override [`crate::Pass::effect`] get the pre-existing
+//! empirical behaviour unchanged.
 //!
 //! The probes are deliberately tiny (a latency-diverse chain and a
-//! preplaced diamond) so the whole builtin sequence verifies in well
-//! under a millisecond; they are not meant to be adversarial
+//! preplaced diamond) so a fully opaque sequence still verifies in
+//! well under a millisecond; they are not meant to be adversarial
 //! workloads but to exercise the operations every heuristic performs:
 //! windows, preplacement, cross-cluster tension, and slack.
 
 use std::collections::HashSet;
 
-use convergent_analysis::{Code, Diagnostic};
+use convergent_analysis::{
+    prove_contract, Code, ContractClaims, ContractProof, Diagnostic, PassSummary, Verdict,
+};
 use convergent_ir::{ClusterId, Dag, DagBuilder, DistanceOracle, Opcode, TimeAnalysis};
 use convergent_machine::Machine;
 use rand::rngs::StdRng;
@@ -129,18 +146,154 @@ fn run_recorded(
     }
 }
 
-/// Verifies `pass` against its declared [`PassContract`] on the probe
-/// graphs, returning one `CS06x` diagnostic per violated clause per
-/// probe.
+/// Converts a declared [`PassContract`] into the analysis-side
+/// [`ContractClaims`] mirror (field for field).
+fn claims_of(c: &PassContract) -> ContractClaims {
+    ContractClaims {
+        establishes_windows: c.establishes_windows,
+        window_respecting: c.window_respecting,
+        deterministic: c.deterministic,
+        normalization_preserving: c.normalization_preserving,
+        preplacement_monotone: c.preplacement_monotone,
+    }
+}
+
+/// Bundles a pass's name, claimed contract, and effect summary into
+/// the [`PassSummary`] the abstract interpreter consumes.
+#[must_use]
+pub fn summarize_pass(pass: &dyn Pass) -> PassSummary {
+    PassSummary::new(pass.name(), claims_of(&pass.contract()), pass.effect())
+}
+
+/// Summarizes every pass of `seq`, in order — the input shape for
+/// [`convergent_analysis::analyze_pipeline`] and `csched analyze`.
+#[must_use]
+pub fn summarize_sequence(seq: &Sequence) -> Vec<PassSummary> {
+    seq.passes()
+        .iter()
+        .map(|p| summarize_pass(p.as_ref()))
+        .collect()
+}
+
+/// Runs only the static half: per-clause verdicts plus any
+/// `RefutedStatic` diagnostics, no probe ever executed.
+#[must_use]
+pub fn prove_pass(pass: &dyn Pass) -> (ContractProof, Vec<Diagnostic>) {
+    prove_contract(&summarize_pass(pass))
+}
+
+/// Static proof totals for a whole sequence: `(proven, fallback)`
+/// clause counts, where `fallback` counts clauses that were *not*
+/// proven (Unproven and RefutedStatic alike). Feeds the
+/// `contracts_proven` / `contracts_unproven` telemetry counters.
+#[must_use]
+pub fn sequence_proof_counts(seq: &Sequence) -> (u64, u64) {
+    let mut proven = 0u64;
+    let mut fallback = 0u64;
+    for pass in seq.passes() {
+        let (proof, _) = prove_pass(pass.as_ref());
+        let (p, u, r) = proof.counts();
+        proven += p as u64;
+        fallback += (u + r) as u64;
+    }
+    (proven, fallback)
+}
+
+/// Which contract clauses the empirical probes should still check.
+/// (`establishes_windows` has no empirical check — it only changes the
+/// probe setup — so it has no mask bit.)
+#[derive(Clone, Copy)]
+struct ClauseMask {
+    window_respecting: bool,
+    preplacement_monotone: bool,
+    normalization_preserving: bool,
+    deterministic: bool,
+}
+
+impl ClauseMask {
+    const ALL: ClauseMask = ClauseMask {
+        window_respecting: true,
+        preplacement_monotone: true,
+        normalization_preserving: true,
+        deterministic: true,
+    };
+
+    fn any(&self) -> bool {
+        self.window_respecting
+            || self.preplacement_monotone
+            || self.normalization_preserving
+            || self.deterministic
+    }
+}
+
+/// Verifies `pass` against its declared [`PassContract`], static proof
+/// first: clauses the effect summary proves are skipped, clauses it
+/// refutes are reported without running anything, and only the
+/// remainder fall back to the recorded probe runs. Returns one `CS06x`
+/// diagnostic per violated clause (per probe, for empirical findings).
 #[must_use]
 pub fn verify_pass(pass: &dyn Pass, machine: &Machine) -> Vec<Diagnostic> {
+    let (proof, mut diags) = prove_pass(pass);
+    let needs_probe = |v: Verdict| v == Verdict::Unproven;
+    let mask = ClauseMask {
+        window_respecting: needs_probe(proof.window_respecting),
+        preplacement_monotone: needs_probe(proof.preplacement_monotone),
+        normalization_preserving: needs_probe(proof.normalization_preserving),
+        deterministic: needs_probe(proof.deterministic),
+    };
+    if mask.any() {
+        diags.extend(verify_pass_filtered(pass, machine, mask));
+    }
+    diags
+}
+
+/// Verifies `pass` purely empirically — every claimed clause checked
+/// on the probe graphs, ignoring the effect summary. This is the
+/// pre-static behaviour, kept public as the ground truth the
+/// soundness tests compare the prover against: a clause the abstract
+/// interpreter proves must never produce a diagnostic here.
+#[must_use]
+pub fn verify_pass_empirically(pass: &dyn Pass, machine: &Machine) -> Vec<Diagnostic> {
+    verify_pass_filtered(pass, machine, ClauseMask::ALL)
+}
+
+/// Runs every clause check for `pass` on one *specific* graph instead
+/// of the builtin probes — the hook the fuzz-stream soundness test
+/// uses to confront statically proven clauses with arbitrary
+/// generated graphs. Returns the same `CS06x` diagnostics as
+/// [`verify_pass_empirically`], labelled with `graph_name`.
+#[must_use]
+pub fn verify_pass_on(
+    pass: &dyn Pass,
+    machine: &Machine,
+    graph_name: &str,
+    dag: &Dag,
+) -> Vec<Diagnostic> {
+    check_on_probe(pass, machine, graph_name, dag, ClauseMask::ALL)
+}
+
+fn verify_pass_filtered(pass: &dyn Pass, machine: &Machine, mask: ClauseMask) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (probe, dag) in probes(machine) {
+        diags.extend(check_on_probe(pass, machine, probe, &dag, mask));
+    }
+    diags
+}
+
+fn check_on_probe(
+    pass: &dyn Pass,
+    machine: &Machine,
+    probe: &str,
+    dag: &Dag,
+    mask: ClauseMask,
+) -> Vec<Diagnostic> {
     let contract = pass.contract();
     let name = pass.name();
     let mut diags = Vec::new();
-    for (probe, dag) in probes(machine) {
-        let run = run_recorded(pass, &contract, &dag, machine);
+    {
+        let run = run_recorded(pass, &contract, dag, machine);
 
-        if contract.window_respecting && !contract.establishes_windows {
+        if mask.window_respecting && contract.window_respecting && !contract.establishes_windows {
             let mut windows = run.windows_before.clone();
             for op in &run.log {
                 match *op {
@@ -172,7 +325,7 @@ pub fn verify_pass(pass: &dyn Pass, machine: &Machine) -> Vec<Diagnostic> {
             }
         }
 
-        if contract.preplacement_monotone {
+        if mask.preplacement_monotone && contract.preplacement_monotone {
             for op in &run.log {
                 let (i, c, what) = match *op {
                     WeightOp::ForbidCluster { i, c } => (i, c, format!("forbid_cluster({i}, {c})")),
@@ -199,7 +352,7 @@ pub fn verify_pass(pass: &dyn Pass, machine: &Machine) -> Vec<Diagnostic> {
             }
         }
 
-        if contract.normalization_preserving {
+        if mask.normalization_preserving && contract.normalization_preserving {
             if let Err(msg) = run.weights.check_invariants(INVARIANT_TOL) {
                 diags.push(Diagnostic::new(
                     Code::BrokenNormalization,
@@ -211,8 +364,8 @@ pub fn verify_pass(pass: &dyn Pass, machine: &Machine) -> Vec<Diagnostic> {
             }
         }
 
-        if contract.deterministic {
-            let rerun = run_recorded(pass, &contract, &dag, machine);
+        if mask.deterministic && contract.deterministic {
+            let rerun = run_recorded(pass, &contract, dag, machine);
             if rerun.log != run.log {
                 diags.push(Diagnostic::new(
                     Code::NondeterministicPass,
@@ -265,5 +418,85 @@ mod tests {
                 machine.name()
             );
         }
+    }
+
+    #[test]
+    fn every_builtin_pass_proves_statically() {
+        // The acceptance bar for the builtin roster: no clause falls
+        // back to the empirical probes, none is refuted.
+        for seq in [Sequence::raw(), Sequence::vliw(), Sequence::vliw_tuned()] {
+            for pass in seq.passes() {
+                let (proof, diags) = prove_pass(pass.as_ref());
+                assert!(proof.all_proven(), "{}: {proof:?} {diags:?}", pass.name());
+                assert!(diags.is_empty(), "{}: {diags:?}", pass.name());
+            }
+            let (proven, fallback) = sequence_proof_counts(&seq);
+            assert_eq!(proven, 5 * seq.len() as u64);
+            assert_eq!(fallback, 0);
+        }
+    }
+
+    #[test]
+    fn static_proofs_agree_with_probes_for_builtins() {
+        // Soundness on the probe graphs themselves: everything the
+        // prover waves through must also pass the recorded run.
+        for (seq, machine) in [
+            (Sequence::raw(), Machine::raw(4)),
+            (Sequence::vliw_tuned(), Machine::chorus_vliw(4)),
+        ] {
+            for pass in seq.passes() {
+                let diags = verify_pass_empirically(pass.as_ref(), &machine);
+                assert!(diags.is_empty(), "{}: {diags:?}", pass.name());
+            }
+        }
+    }
+
+    #[test]
+    fn opaque_pass_still_verifies_empirically() {
+        // A pass with the default opaque effect() goes down the
+        // recorded-probe path and comes back clean if it behaves.
+        struct Honest;
+        impl Pass for Honest {
+            fn name(&self) -> &'static str {
+                "HONEST"
+            }
+            fn run(&self, ctx: &mut PassContext<'_>) {
+                for i in ctx.dag.ids() {
+                    ctx.weights.scale_cluster(i, ClusterId::new(0), 1.5);
+                }
+            }
+        }
+        let (proof, _) = prove_pass(&Honest);
+        assert!(!proof.all_proven(), "opaque must not auto-prove");
+        assert!(verify_pass(&Honest, &Machine::raw(4)).is_empty());
+    }
+
+    #[test]
+    fn statically_refuted_pass_is_rejected_without_probes() {
+        // An effect summary that *declares* an out-of-window absolute
+        // write is rejected by the prover alone; run() is never
+        // invoked (it would panic).
+        struct Broken;
+        impl Pass for Broken {
+            fn name(&self) -> &'static str {
+                "BROKEN-PROBE"
+            }
+            fn run(&self, _ctx: &mut PassContext<'_>) {
+                unreachable!("statically refuted pass must not be probed");
+            }
+            fn effect(&self) -> convergent_analysis::PassEffect {
+                use convergent_analysis::{EffectOp, Interval, PassEffect};
+                PassEffect::new(vec![EffectOp::Absolute {
+                    in_window: false,
+                    value: Interval::new(0.0, 1.0),
+                    randomized: false,
+                    preserves_support: true,
+                }])
+            }
+        }
+        let diags = verify_pass(&Broken, &Machine::raw(4));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::OutOfWindowWrite);
+        assert!(diags[0].message.contains("statically"));
     }
 }

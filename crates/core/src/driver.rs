@@ -508,6 +508,24 @@ impl ConvergentScheduler {
         observer(0, "<init>", &weights);
         if let Some(t) = tel.as_deref_mut() {
             t.span_from("<init>", SpanKind::Stage, t_init);
+            if t.interest.counters {
+                // Static contract coverage of the sequence about to
+                // run: clauses the abstract interpreter proved vs.
+                // clauses left to the empirical probes. Sampled once
+                // per region (per driver run), so sharded schedules
+                // report per-region coverage.
+                let (proven, unproven) = crate::contract::sequence_proof_counts(&self.sequence);
+                if proven + unproven > 0 {
+                    t.sink.counters(
+                        "<contracts>",
+                        &CounterTotals {
+                            contracts_proven: proven,
+                            contracts_unproven: unproven,
+                            ..CounterTotals::default()
+                        },
+                    );
+                }
+            }
         }
         let mut counter_base = weights.counter_totals();
 

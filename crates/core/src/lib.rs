@@ -61,6 +61,13 @@ pub mod telemetry;
 pub mod tuner;
 mod weights;
 
+pub use contract::{
+    prove_pass, sequence_proof_counts, summarize_pass, summarize_sequence, verify_pass,
+    verify_pass_empirically, verify_pass_on, verify_sequence,
+};
+pub use convergent_analysis::{
+    ContractProof, Determinism, EffectOp, Interval, PassEffect, PassSummary, Verdict,
+};
 pub use driver::{
     AssignOutcome, ConvergenceTrace, ConvergentScheduler, PassRecord, ScheduleOutcome, ShardInfo,
 };

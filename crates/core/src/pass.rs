@@ -11,6 +11,7 @@
 //! Passes must not assume anything about which passes ran before them;
 //! that independence is the framework's point.
 
+use convergent_analysis::PassEffect;
 use convergent_ir::{Dag, DistanceOracle, TimeAnalysis};
 use convergent_machine::Machine;
 use rand::rngs::StdRng;
@@ -193,5 +194,17 @@ pub trait Pass: Send + Sync {
     /// [`crate::passes`] except INITTIME satisfies as-is.
     fn contract(&self) -> PassContract {
         PassContract::default()
+    }
+
+    /// The pass's abstract effect summary: an over-approximation of
+    /// every `WeightOp` shape it can emit, phrased in the
+    /// `convergent_analysis::absint` domain. The contract verifier
+    /// tries to *prove* each [`Pass::contract`] clause from this
+    /// summary for all inputs; clauses it cannot decide fall back to
+    /// the empirical recording-proxy probes. The default — an opaque
+    /// summary — keeps every clause on the empirical path, so
+    /// third-party passes need not opt in.
+    fn effect(&self) -> PassEffect {
+        PassEffect::opaque()
     }
 }

@@ -35,6 +35,7 @@
 //! state-identical to the historical two-loop form because both the
 //! skew scaling and the reinforcement read-off touch only row `i`.
 
+use convergent_analysis::{EffectOp, Interval, PassEffect};
 use convergent_ir::{Dag, InstrId, TimeAnalysis};
 use convergent_machine::Machine;
 use rand::rngs::StdRng;
@@ -198,6 +199,29 @@ impl Pass for Comm {
             n_clusters,
             reinforce: self.reinforce_preferred,
         }))
+    }
+
+    fn effect(&self) -> PassEffect {
+        // Neighbor-marginal skews: floored at SKEW_FLOOR, bounded by
+        // the (finite) neighbor count, so strictly positive and
+        // finite. The optional reinforcement doubles one preferred
+        // cell per row — on a fully uniform map the argmax tie-break
+        // picks a cluster deterministically, which is what makes the
+        // reinforced variant a symmetry breaker.
+        let mut ops = vec![EffectOp::ScaleClusters {
+            factor: Interval::new(SKEW_FLOOR, f64::MAX),
+        }];
+        if self.reinforce_preferred {
+            ops.push(EffectOp::ScaleCells {
+                factor: Interval::point(2.0),
+            });
+        }
+        let eff = PassEffect::new(ops);
+        if self.reinforce_preferred {
+            eff.breaks_symmetry()
+        } else {
+            eff
+        }
     }
 }
 

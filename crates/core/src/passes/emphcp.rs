@@ -13,6 +13,8 @@
 //! temporal preferences, so it is excluded from the convergence plots
 //! (Figures 7 and 9).
 
+use convergent_analysis::{EffectOp, Interval, PassEffect};
+
 use crate::{Pass, PassContext};
 
 /// The EMPHCP pass. See the module docs.
@@ -67,6 +69,16 @@ impl Pass for EmphCp {
                 ctx.weights.scale_time(i, level, self.factor);
             }
         }
+    }
+
+    fn effect(&self) -> PassEffect {
+        // A constant boost of each instruction's level time row; the
+        // same factor hits every cluster, so spatial marginals keep
+        // their ratios.
+        PassEffect::new(vec![EffectOp::ScaleTimes {
+            factor: Interval::point(self.factor),
+        }])
+        .time_only()
     }
 }
 

@@ -12,6 +12,7 @@
 //!
 //! The pass is a no-op on machines without a data-home cluster (Raw).
 
+use convergent_analysis::{EffectOp, Interval, PassEffect};
 use convergent_ir::{Dag, TimeAnalysis};
 use convergent_machine::Machine;
 use rand::rngs::StdRng;
@@ -101,6 +102,15 @@ impl Pass for First {
             home,
             factor: self.factor,
         }))
+    }
+
+    fn effect(&self) -> PassEffect {
+        // A constant boost of the data-home cluster column (no-op on
+        // machines without one).
+        PassEffect::new(vec![EffectOp::ScaleClusters {
+            factor: Interval::point(self.factor),
+        }])
+        .breaks_symmetry()
     }
 }
 

@@ -8,6 +8,8 @@
 //! by squashing the weights for the unfeasible clusters" — we fold
 //! that in here, since both are hard feasibility facts.
 
+use convergent_analysis::{EffectOp, PassEffect};
+
 use crate::{Pass, PassContext, PassContract};
 
 /// The INITTIME pass. See the module docs.
@@ -46,6 +48,18 @@ impl Pass for InitTime {
             establishes_windows: true,
             ..PassContract::default()
         }
+    }
+
+    fn effect(&self) -> PassEffect {
+        // Windows from the timing analysis, plus squashing clusters
+        // that cannot execute the instruction's class — both hard
+        // feasibility facts derived from the graph alone.
+        PassEffect::new(vec![
+            EffectOp::EstablishWindows,
+            EffectOp::Forbid {
+                only_incapable: true,
+            },
+        ])
     }
 }
 

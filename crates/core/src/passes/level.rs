@@ -21,6 +21,7 @@
 //! `iclosest`; we follow the name and the stated intent — nearest
 //! wins — and flag the discrepancy here.)
 
+use convergent_analysis::{EffectOp, Interval, PassEffect};
 use convergent_ir::{ClusterId, InstrId, UNREACHABLE};
 
 use crate::{Pass, PassContext};
@@ -97,6 +98,16 @@ impl Pass for LevelDistribute {
             }
             band_start += g;
         }
+    }
+
+    fn effect(&self) -> PassEffect {
+        // A constant boost of each instruction's chosen bin cluster;
+        // the round-robin deal assigns different clusters to tied
+        // instructions, breaking symmetry.
+        PassEffect::new(vec![EffectOp::ScaleClusters {
+            factor: Interval::point(self.boost),
+        }])
+        .breaks_symmetry()
     }
 }
 

@@ -11,6 +11,7 @@
 //! leaning on it: `Σ_i W[i]`'s normalized cluster marginal. Loads are
 //! snapshotted before scaling so the pass is order-independent.
 
+use convergent_analysis::{EffectOp, Interval, PassEffect};
 use convergent_ir::ClusterId;
 
 use crate::{Pass, PassContext};
@@ -47,6 +48,16 @@ impl Pass for LoadBalance {
                     .scale_cluster(i, ClusterId::new(c as u16), 1.0 / load[c]);
             }
         }
+    }
+
+    fn effect(&self) -> PassEffect {
+        // `1 / load(c)` with loads floored at `f64::MIN_POSITIVE`:
+        // data-dependent but always strictly positive and finite. The
+        // same factor applies to every instruction's column `c`, so
+        // the pass cannot break cluster-marginal ties by itself.
+        PassEffect::new(vec![EffectOp::ScaleClusters {
+            factor: Interval::positive_finite(),
+        }])
     }
 }
 

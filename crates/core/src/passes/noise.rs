@@ -28,6 +28,7 @@
 //! replays each instruction's slice through [`RowOps::noise_fill`],
 //! a pure row operation threads can apply to disjoint row chunks.
 
+use convergent_analysis::{Determinism, EffectOp, Interval, PassEffect};
 use convergent_ir::{Dag, TimeAnalysis};
 use convergent_machine::Machine;
 use rand::rngs::StdRng;
@@ -136,6 +137,25 @@ impl Pass for Noise {
             draws: &scratch.a,
             idx: &scratch.idx,
         }))
+    }
+
+    fn effect(&self) -> PassEffect {
+        // Each feasible in-window cell gets `cur + amplitude·U(0,1)`:
+        // an additive, support-preserving write bounded by a
+        // normalized cell (≤ 1) plus the amplitude.
+        let eff = PassEffect::new(vec![EffectOp::Absolute {
+            in_window: true,
+            value: Interval::new(0.0, 1.0 + self.amplitude),
+            randomized: true,
+            preserves_support: true,
+        }])
+        .with_determinism(Determinism::SeededRng)
+        .reads_windows();
+        if self.amplitude > 0.0 {
+            eff.breaks_symmetry()
+        } else {
+            eff
+        }
     }
 }
 

@@ -13,6 +13,7 @@
 //! ∀ (i ∈ CP, t):  W[i, t, cc(i)] ← 3 · W[i, t, cc(i)]
 //! ```
 
+use convergent_analysis::{EffectOp, Interval, PassEffect};
 use convergent_ir::{ClusterId, CriticalPath, InstrId};
 
 use crate::{Pass, PassContext};
@@ -97,6 +98,15 @@ impl Pass for Path {
                 .expect("anchors is non-empty");
             self.boost(ctx, i, cc);
         }
+    }
+
+    fn effect(&self) -> PassEffect {
+        // A constant, feasibility-guarded boost of each critical-path
+        // instruction's chosen cluster column.
+        PassEffect::new(vec![EffectOp::ScaleClusters {
+            factor: Interval::point(self.factor),
+        }])
+        .breaks_symmetry()
     }
 }
 

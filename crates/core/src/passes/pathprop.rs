@@ -15,6 +15,7 @@
 //! profile — blending raw time rows would leak weight outside the
 //! walked instruction's INITTIME window.
 
+use convergent_analysis::{EffectOp, Interval, PassEffect};
 use convergent_ir::{ClusterId, InstrId};
 
 use crate::{Pass, PassContext};
@@ -108,6 +109,20 @@ impl Pass for PathProp {
             self.walk(ctx, ih, conf_h, &src_marginal, Direction::Down);
             self.walk(ctx, ih, conf_h, &src_marginal, Direction::Up);
         }
+    }
+
+    fn effect(&self) -> PassEffect {
+        // `set_cluster_marginal` reshapes a walked row to a blend of
+        // two normalized marginals — an in-window absolute write of a
+        // value in [0, 1] that keeps `blend`·own, so a positive cell
+        // stays positive whenever the pass keeps any of the old value.
+        PassEffect::new(vec![EffectOp::Absolute {
+            in_window: true,
+            value: Interval::unit(),
+            randomized: false,
+            preserves_support: self.blend > 0.0,
+        }])
+        .reads_windows()
     }
 }
 

@@ -8,6 +8,8 @@
 //! ∀ (i ∈ PREPLACED, t):  W[i, t, cp(i)] ← 100 · W[i, t, cp(i)]
 //! ```
 
+use convergent_analysis::{EffectOp, Interval, PassEffect};
+
 use crate::{Pass, PassContext};
 
 /// The PLACE pass. See the module docs.
@@ -61,6 +63,15 @@ impl Pass for Place {
                 ctx.weights.scale_cluster(i, home, self.factor);
             }
         }
+    }
+
+    fn effect(&self) -> PassEffect {
+        // A constant boost of each preplaced instruction's home
+        // cluster column.
+        PassEffect::new(vec![EffectOp::ScaleClusters {
+            factor: Interval::point(self.factor),
+        }])
+        .breaks_symmetry()
     }
 }
 

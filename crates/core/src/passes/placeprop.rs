@@ -20,6 +20,7 @@
 
 use std::collections::VecDeque;
 
+use convergent_analysis::{EffectOp, Interval, PassEffect};
 use convergent_ir::{ClusterId, Dag, InstrId, TimeAnalysis, UNREACHABLE};
 use convergent_machine::Machine;
 use rand::rngs::StdRng;
@@ -123,6 +124,16 @@ impl Pass for PlaceProp {
             factors: &scratch.a,
             n_clusters,
         }))
+    }
+
+    fn effect(&self) -> PassEffect {
+        // `1 / dist(i, c)` with distances floored at 1 and capped by
+        // the worst finite distance plus one: factors in (0, 1].
+        // Distances differ per cluster, so the pass pulls ties apart.
+        PassEffect::new(vec![EffectOp::ScaleClusters {
+            factor: Interval::new(1.0 / (f64::from(u32::MAX) + 1.0), 1.0),
+        }])
+        .breaks_symmetry()
     }
 }
 

@@ -17,6 +17,7 @@
 //! it. It is a no-op on schedules whose estimated pressure already
 //! fits.
 
+use convergent_analysis::{EffectOp, Interval, PassEffect};
 use convergent_ir::InstrId;
 
 use crate::{Pass, PassContext};
@@ -151,6 +152,18 @@ impl Pass for RegPressure {
                 }
             }
         }
+    }
+
+    fn effect(&self) -> PassEffect {
+        // A constant penalty on a deferred producer's early in-window
+        // time slots. The same factor hits every cluster of a slot,
+        // but different slots get different treatment, so spatial
+        // marginals can shift: not a time-only pass (see the
+        // `is_time_only` test below).
+        PassEffect::new(vec![EffectOp::ScaleTimes {
+            factor: Interval::point(self.penalty),
+        }])
+        .reads_windows()
     }
 }
 

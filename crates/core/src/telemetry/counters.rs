@@ -70,13 +70,19 @@ pub struct CounterTotals {
     pub oracle_agree: u64,
     /// Oracle cross-checks that disagreed (or failed to replay).
     pub oracle_disagree: u64,
+    /// Contract clauses the abstract interpreter proved for all
+    /// inputs (no probe run needed).
+    pub contracts_proven: u64,
+    /// Contract clauses that fell back to the empirical probes
+    /// (Unproven) or were statically refuted.
+    pub contracts_unproven: u64,
 }
 
 impl CounterTotals {
     /// Every counter as `(name, value)`, in a fixed order — the single
     /// source of truth for exporters.
     #[must_use]
-    pub fn named(&self) -> [(&'static str, u64); 21] {
+    pub fn named(&self) -> [(&'static str, u64); 23] {
         [
             ("set", self.set),
             ("scale", self.scale),
@@ -99,6 +105,8 @@ impl CounterTotals {
             ("validate_fail", self.validate_fail),
             ("oracle_agree", self.oracle_agree),
             ("oracle_disagree", self.oracle_disagree),
+            ("contracts_proven", self.contracts_proven),
+            ("contracts_unproven", self.contracts_unproven),
         ]
     }
 
@@ -189,6 +197,8 @@ impl CounterTotals {
             "validate_fail" => self.validate_fail = v,
             "oracle_agree" => self.oracle_agree = v,
             "oracle_disagree" => self.oracle_disagree = v,
+            "contracts_proven" => self.contracts_proven = v,
+            "contracts_unproven" => self.contracts_unproven = v,
             _ => unreachable!("unknown counter {name}"),
         }
     }

@@ -537,6 +537,20 @@ impl PrometheusSink {
                 );
             }
         }
+        let contracts: [(&str, u64); 2] = [
+            ("proven", delta.contracts_proven),
+            ("unproven", delta.contracts_unproven),
+        ];
+        for (status, v) in contracts {
+            if v > 0 {
+                self.registry.counter_add(
+                    "csched_contract_clauses_total",
+                    "Pass-contract clauses by static proof status.",
+                    &[("status", status)],
+                    v as f64,
+                );
+            }
+        }
     }
 }
 

@@ -85,7 +85,7 @@ impl ChromeTraceSink {
     }
 
     fn push_counter_groups(&mut self, suffix: &str, delta: &CounterTotals, ts_us: f64) {
-        let groups: [(&str, &[(&str, u64)]); 6] = [
+        let groups: [(&str, &[(&str, u64)]); 7] = [
             (
                 "weight ops",
                 &[
@@ -130,6 +130,13 @@ impl ChromeTraceSink {
                     ("validate_fail", delta.validate_fail),
                     ("oracle_agree", delta.oracle_agree),
                     ("oracle_disagree", delta.oracle_disagree),
+                ],
+            ),
+            (
+                "contracts",
+                &[
+                    ("proven", delta.contracts_proven),
+                    ("unproven", delta.contracts_unproven),
                 ],
             ),
         ];

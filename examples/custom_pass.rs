@@ -45,6 +45,20 @@ impl Pass for KeepIncrementsWithMemory {
             }
         }
     }
+
+    // Optional but worth the five lines: a summary of the update shape
+    // lets `csched analyze` (and `verify_pass`) prove the contract
+    // clauses statically instead of falling back to recorded probe
+    // runs. Each vote multiplies one cluster column by `factor`
+    // (possibly several times), which is a per-cluster scale with a
+    // positive factor — and since it targets a specific cluster it can
+    // pull symmetric ties apart.
+    fn effect(&self) -> PassEffect {
+        PassEffect::new(vec![EffectOp::ScaleClusters {
+            factor: Interval::new(1.0_f64.min(self.factor), f64::MAX),
+        }])
+        .breaks_symmetry()
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

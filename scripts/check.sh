@@ -27,6 +27,16 @@ cargo fmt --check
 echo "==> lint smoke: builtin workloads (--deny warnings)"
 cargo run --release -q --bin csched -- lint --all-workloads --machine raw4 --deny warnings
 cargo run --release -q --bin csched -- lint --all-workloads --machine vliw4 --deny warnings
+echo "==> analyze smoke: builtin sequences fully proven (--deny warnings)"
+cargo run --release -q --bin csched -- analyze --machine raw4 \
+    --sequence raw --sequence vliw --sequence vliw-tuned --deny warnings
+# The deliberately broken probe pass must be rejected *statically* —
+# nonzero exit, no scheduler constructed.
+if cargo run --release -q --bin csched -- analyze --machine raw4 \
+    --with-broken-probe >/dev/null 2>&1; then
+    echo "check.sh: FAIL: analyze accepted a statically refuted probe pass" >&2
+    exit 1
+fi
 echo "==> lint smoke: 500 fuzz graphs (seed 0)"
 cargo run --release -q -p convergent-bench --bin fuzz -- --seed 0 --budget 500 --lint-only
 echo "==> fuzz smoke (seed 0, 200 cases)"
@@ -86,4 +96,20 @@ cargo run --release -q --bin csched -- trace-check "$trace_tmp" --machine vliw4
 rm -f "$trace_tmp"
 echo "==> telemetry on/off byte-identity (suite-wide, threads x shards)"
 cargo test -q -p convergent-bench --test telemetry_determinism
+if [ "${TSAN:-0}" = 1 ]; then
+    echo "==> ThreadSanitizer: parallel driver + telemetry (TSAN=1 opt-in)"
+    # The intra-pass parallelism (bulk row kernels, sharded regions)
+    # and the telemetry sinks are the only threaded code; tsan needs
+    # nightly (-Zsanitizer) and an explicit --target so build scripts
+    # stay uninstrumented.
+    if rustup run nightly rustc --version >/dev/null 2>&1; then
+        host="$(rustc -vV | sed -n 's/^host: //p')"
+        RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -q \
+            --target "$host" -p convergent-core --lib
+        RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -q \
+            --target "$host" -p convergent-bench --test telemetry_determinism
+    else
+        echo "check.sh: nightly toolchain not installed (rustup toolchain install nightly); skipping tsan"
+    fi
+fi
 echo "check.sh: all green"

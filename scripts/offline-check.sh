@@ -44,6 +44,16 @@ cargo fmt --check
 echo "==> lint smoke: builtin workloads (--deny warnings, offline)"
 run run --release -q --bin csched -- lint --all-workloads --machine raw4 --deny warnings
 run run --release -q --bin csched -- lint --all-workloads --machine vliw4 --deny warnings
+echo "==> analyze smoke: builtin sequences fully proven (--deny warnings, offline)"
+run run --release -q --bin csched -- analyze --machine raw4 \
+    --sequence raw --sequence vliw --sequence vliw-tuned --deny warnings
+# The deliberately broken probe pass must be rejected *statically* —
+# nonzero exit, no scheduler constructed.
+if run run --release -q --bin csched -- analyze --machine raw4 \
+    --with-broken-probe >/dev/null 2>&1; then
+    echo "offline-check.sh: FAIL: analyze accepted a statically refuted probe pass" >&2
+    exit 1
+fi
 echo "==> lint smoke: 500 fuzz graphs (seed 0, offline)"
 run run --release -q -p convergent-bench --bin fuzz -- --seed 0 --budget 500 --lint-only
 echo "==> fuzz smoke (seed 0, 200 cases, offline)"
@@ -104,7 +114,7 @@ rm -f "$trace_tmp"
 echo "==> telemetry on/off byte-identity (suite-wide, threads x shards, offline)"
 run test -q -p convergent-bench --test telemetry_determinism
 if [ "$MIRI" = 1 ]; then
-    echo "==> recording-proxy and row-kernel proptests under miri"
+    echo "==> recording-proxy, row-kernel, and abstract-domain proptests under miri"
     if cargo miri --version >/dev/null 2>&1; then
         # Undefined behaviour in the WeightOp logging hot path would
         # invalidate every contract verdict; miri checks the proxy's
@@ -116,8 +126,37 @@ if [ "$MIRI" = 1 ]; then
             --config 'patch.crates-io.proptest.path="devtools/offline-stubs/proptest"' \
             --config 'patch.crates-io.criterion.path="devtools/offline-stubs/criterion"' \
             --offline -p convergent-core --test recording_proxy --test row_kernels
+        # The abstract interpreter's lattice laws underpin every
+        # `Proven` verdict the contract checker skips probes for.
+        cargo miri test \
+            --config 'patch.crates-io.rand.path="devtools/offline-stubs/rand"' \
+            --config 'patch.crates-io.proptest.path="devtools/offline-stubs/proptest"' \
+            --config 'patch.crates-io.criterion.path="devtools/offline-stubs/criterion"' \
+            --offline -p convergent-analysis --test absint
     else
         echo "offline-check.sh: miri not installed (rustup component add miri); skipping"
+    fi
+fi
+if [ "${TSAN:-0}" = 1 ]; then
+    echo "==> ThreadSanitizer: parallel driver + telemetry (TSAN=1 opt-in, offline)"
+    # The intra-pass parallelism (bulk row kernels, sharded regions)
+    # and the telemetry sinks are the only threaded code; tsan needs
+    # nightly (-Zsanitizer) and an explicit --target so build scripts
+    # stay uninstrumented.
+    if rustup run nightly rustc --version >/dev/null 2>&1; then
+        host="$(rustc -vV | sed -n 's/^host: //p')"
+        RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -q \
+            --config 'patch.crates-io.rand.path="devtools/offline-stubs/rand"' \
+            --config 'patch.crates-io.proptest.path="devtools/offline-stubs/proptest"' \
+            --config 'patch.crates-io.criterion.path="devtools/offline-stubs/criterion"' \
+            --offline --target "$host" -p convergent-core --lib
+        RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -q \
+            --config 'patch.crates-io.rand.path="devtools/offline-stubs/rand"' \
+            --config 'patch.crates-io.proptest.path="devtools/offline-stubs/proptest"' \
+            --config 'patch.crates-io.criterion.path="devtools/offline-stubs/criterion"' \
+            --offline --target "$host" -p convergent-bench --test telemetry_determinism
+    else
+        echo "offline-check.sh: nightly toolchain not installed (rustup toolchain install nightly); skipping tsan"
     fi
 fi
 echo "offline-check.sh: all green"

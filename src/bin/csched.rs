@@ -4,6 +4,7 @@
 //! csched <input.cdag | --workload NAME> [options]
 //! csched verify <input.cdag | --workload NAME> [options]
 //! csched lint <input.cdag | --workload NAME | --all-workloads> [options]
+//! csched analyze [--sequence raw|vliw|vliw-tuned] [options]
 //! csched trace-check <trace.json> [--machine rawN|vliwN]
 //!
 //! options:
@@ -80,6 +81,35 @@
 //!                       totals + convergence metrics) per clean target
 //!   --deny warnings     exit nonzero on warnings, not just errors
 //!   --pedantic          enable the advisory analyses (CS013/CS030/CS031)
+//!   --region-size N     judge shardability (CS041) against this region
+//!                       target instead of the scheduler default
+//! ```
+//!
+//! The `analyze` subcommand runs the abstract pass-effect interpreter
+//! over pass *sequences* — no input graph and no scheduler run at all.
+//! Each pass's declared effect summary is symbolically executed to
+//! prove (or statically refute) its contract clauses, and the whole
+//! pipeline is checked for dataflow smells (`CS07x`: windows read
+//! before established, dead passes, redundant trailing normalization,
+//! noise after deterministic bias, undecidable confidence):
+//!
+//! ```text
+//! csched analyze --machine raw4
+//! csched analyze --sequence vliw-tuned --deny warnings
+//! csched analyze --sequence raw --sequence vliw --json
+//! ```
+//!
+//! Analyze-specific options:
+//!
+//! ```text
+//!   --sequence NAME       analyze a builtin sequence (raw, vliw,
+//!                         vliw-tuned; repeatable). Default: the
+//!                         machine-matched sequence
+//!   --json                machine-readable report on stdout
+//!   --deny warnings       exit nonzero on warnings, not just errors
+//!   --with-broken-probe   append a deliberately broken probe pass
+//!                         (out-of-window absolute write) — exercises
+//!                         the static refutation path end to end
 //! ```
 //!
 //! The `trace-check` subcommand validates a `--trace` output file:
@@ -88,7 +118,10 @@
 
 use std::process::ExitCode;
 
-use convergent_scheduling::analysis::{lint_raw, lint_unit, LintOptions, LintReport};
+use convergent_scheduling::analysis::{
+    analyze_pipeline, lint_raw, lint_unit, prove_contract, ContractClaims, EffectOp, Interval,
+    LintOptions, LintReport, PassEffect, PassSummary, Severity, Verdict,
+};
 use convergent_scheduling::core::telemetry::{
     validate_chrome_trace, ChromeTraceSink, CounterTotals, MultiSink, TelemetryBuffer,
     TelemetrySink,
@@ -123,11 +156,13 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: csched [verify|lint|trace-check] <input.cdag | --workload NAME> [--machine rawN|vliwN] \
+    "usage: csched [verify|lint|analyze|trace-check] <input.cdag | --workload NAME> [--machine rawN|vliwN] \
      [--scheduler convergent|uas|pcc|rawcc|bug] [--threads N] [--shards N] [--region-size N] [--dump] [--dot] [--pressure] \
      [--profile] [--trace FILE] [--verbose] [--list-workloads]\n\
      verify also: [--json]\n\
-     lint only: [--all-workloads] [--json] [--deny warnings] [--pedantic]\n\
+     lint only: [--all-workloads] [--json] [--deny warnings] [--pedantic] [--region-size N]\n\
+     analyze: csched analyze [--machine rawN|vliwN] [--sequence raw|vliw|vliw-tuned] [--json] \
+     [--deny warnings] [--with-broken-probe]\n\
      trace-check: csched trace-check <trace.json> [--machine rawN|vliwN]"
 }
 
@@ -381,6 +416,7 @@ struct LintArgs {
     json: bool,
     deny_warnings: bool,
     pedantic: bool,
+    region_size: Option<usize>,
 }
 
 fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
@@ -391,6 +427,7 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
         json: false,
         deny_warnings: false,
         pedantic: false,
+        region_size: None,
     };
     let mut k = 0;
     while k < args.len() {
@@ -421,6 +458,18 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
                 }
             }
             "--pedantic" => opts.pedantic = true,
+            "--region-size" => {
+                k += 1;
+                let n: usize = args
+                    .get(k)
+                    .ok_or("--region-size takes a value")?
+                    .parse()
+                    .map_err(|_| "--region-size takes a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--region-size takes a positive integer".to_string());
+                }
+                opts.region_size = Some(n);
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -448,11 +497,16 @@ fn run_lint(args: &[String]) -> Result<(), String> {
     let opts = parse_lint_args(args)?;
     let machine = parse_machine(&opts.machine)
         .ok_or_else(|| format!("unknown machine '{}' (use rawN or vliwN)", opts.machine))?;
-    let lint_opts = if opts.pedantic {
+    let mut lint_opts = if opts.pedantic {
         LintOptions::pedantic()
     } else {
         LintOptions::default()
     };
+    if let Some(rs) = opts.region_size {
+        // The shardability analyses must judge cuts against the
+        // region target the scheduler will actually run with.
+        lint_opts = lint_opts.with_region_size(rs);
+    }
 
     let mut targets: Vec<(String, LintReport, Option<SchedulingUnit>)> = Vec::new();
     if let Some(path) = &opts.input {
@@ -530,17 +584,228 @@ fn run_lint(args: &[String]) -> Result<(), String> {
         }
     }
 
+    // One exit-code rule for lint and analyze alike: nonzero iff any
+    // diagnostic — target or contract — reaches the denied severity
+    // (errors always; warnings too under `--deny warnings`; notes
+    // never). Contract findings get the same threshold rather than
+    // being unconditionally fatal.
+    let threshold = deny_threshold(opts.deny_warnings);
     let dirty = targets
         .iter()
         .filter(|(_, r, _)| !r.is_clean(opts.deny_warnings))
         .count();
-    if dirty > 0 || !contract_diags.is_empty() {
+    let contract_dirty = contract_diags
+        .iter()
+        .filter(|d| d.severity >= threshold)
+        .count();
+    if dirty > 0 || contract_dirty > 0 {
         // Findings are the tool working as intended, not a usage
         // error: report and exit without the usage banner.
         eprintln!(
-            "csched: lint failed: {dirty} of {} target(s) dirty, {} contract violation(s)",
+            "csched: lint failed: {dirty} of {} target(s) dirty, {contract_dirty} contract violation(s)",
             targets.len(),
-            contract_diags.len()
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// The severity at which findings start failing the run.
+fn deny_threshold(deny_warnings: bool) -> Severity {
+    if deny_warnings {
+        Severity::Warning
+    } else {
+        Severity::Error
+    }
+}
+
+struct AnalyzeArgs {
+    machine: String,
+    sequences: Vec<String>,
+    json: bool,
+    deny_warnings: bool,
+    with_broken_probe: bool,
+}
+
+fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, String> {
+    let mut opts = AnalyzeArgs {
+        machine: "vliw4".to_string(),
+        sequences: Vec::new(),
+        json: false,
+        deny_warnings: false,
+        with_broken_probe: false,
+    };
+    let mut k = 0;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--machine" => {
+                k += 1;
+                opts.machine = args.get(k).ok_or("--machine takes a value")?.clone();
+            }
+            "--sequence" => {
+                k += 1;
+                opts.sequences
+                    .push(args.get(k).ok_or("--sequence takes a value")?.clone());
+            }
+            "--json" => opts.json = true,
+            "--deny" => {
+                k += 1;
+                match args.get(k).map(String::as_str) {
+                    Some("warnings") => opts.deny_warnings = true,
+                    other => {
+                        return Err(format!(
+                            "--deny takes 'warnings', got {}",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                }
+            }
+            "--with-broken-probe" => opts.with_broken_probe = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        k += 1;
+    }
+    Ok(opts)
+}
+
+fn builtin_sequence(name: &str) -> Option<Sequence> {
+    Some(match name {
+        "raw" => Sequence::raw(),
+        "vliw" => Sequence::vliw(),
+        "vliw-tuned" => Sequence::vliw_tuned(),
+        _ => return None,
+    })
+}
+
+/// A deliberately broken probe pass summary: an absolute write that
+/// escapes the feasible window. The abstract interpreter must refute
+/// `window_respecting` (`CS060`) without constructing a scheduler.
+fn broken_probe_summary() -> PassSummary {
+    PassSummary::new(
+        "BROKEN-PROBE",
+        ContractClaims::default(),
+        PassEffect::new(vec![EffectOp::Absolute {
+            in_window: false,
+            value: Interval::new(0.0, 1.0),
+            randomized: false,
+            preserves_support: true,
+        }]),
+    )
+}
+
+fn verdict_str(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Proven => "proven",
+        Verdict::Unproven => "unproven",
+        Verdict::RefutedStatic => "refuted",
+    }
+}
+
+/// `csched analyze`: symbolically execute pass sequences through the
+/// abstract interpreter — per-pass contract proofs plus pipeline
+/// dataflow lints (`CS07x`) — without ever running a scheduler.
+fn run_analyze(args: &[String]) -> Result<(), String> {
+    let opts = parse_analyze_args(args)?;
+    let machine = parse_machine(&opts.machine)
+        .ok_or_else(|| format!("unknown machine '{}' (use rawN or vliwN)", opts.machine))?;
+    let seq_names: Vec<String> = if opts.sequences.is_empty() {
+        // The sequence `csched` would actually run on this machine.
+        let name = if machine.comm().register_mapped {
+            "raw"
+        } else {
+            "vliw-tuned"
+        };
+        vec![name.to_string()]
+    } else {
+        opts.sequences.clone()
+    };
+
+    let mut dirty = 0usize;
+    let mut seq_json: Vec<String> = Vec::new();
+    for name in &seq_names {
+        let seq = builtin_sequence(name)
+            .ok_or_else(|| format!("unknown sequence '{name}' (use raw, vliw, or vliw-tuned)"))?;
+        let mut summaries = contract::summarize_sequence(&seq);
+        if opts.with_broken_probe {
+            summaries.push(broken_probe_summary());
+        }
+
+        let mut report = LintReport::new();
+        let mut proven = 0usize;
+        let mut unproven = 0usize;
+        let mut refuted = 0usize;
+        let mut pass_json: Vec<String> = Vec::new();
+        let mut pass_lines: Vec<String> = Vec::new();
+        for s in &summaries {
+            let (proof, diags) = prove_contract(s);
+            let (p, u, r) = proof.counts();
+            proven += p;
+            unproven += u;
+            refuted += r;
+            if opts.json {
+                let clauses: Vec<String> = proof
+                    .clauses()
+                    .iter()
+                    .map(|&(clause, v)| format!("\"{clause}\":\"{}\"", verdict_str(v)))
+                    .collect();
+                pass_json.push(format!(
+                    "{{\"name\":\"{}\",\"clauses\":{{{}}}}}",
+                    escape_json(&s.name),
+                    clauses.join(",")
+                ));
+            } else if !proof.all_proven() {
+                let fallbacks: Vec<String> = proof
+                    .clauses()
+                    .iter()
+                    .filter(|&&(_, v)| v != Verdict::Proven)
+                    .map(|&(clause, v)| format!("{clause}: {}", verdict_str(v)))
+                    .collect();
+                pass_lines.push(format!("  {}: {}", s.name, fallbacks.join(", ")));
+            }
+            for d in diags {
+                report.push(d);
+            }
+        }
+        report.merge(analyze_pipeline(&summaries, machine.n_clusters()));
+
+        if opts.json {
+            seq_json.push(format!(
+                "{{\"sequence\":\"{}\",\"passes\":[{}],\"clauses\":{{\"proven\":{proven},\"unproven\":{unproven},\"refuted\":{refuted}}},\"diagnostics\":{}}}",
+                escape_json(name),
+                pass_json.join(","),
+                report.to_json()
+            ));
+        } else {
+            println!(
+                "sequence {name} ({} passes): {proven} clause(s) proven, {unproven} unproven, {refuted} refuted",
+                summaries.len()
+            );
+            for line in &pass_lines {
+                println!("{line}");
+            }
+            for d in report.diagnostics() {
+                println!("  {d}");
+            }
+        }
+        if !report.is_clean(opts.deny_warnings) {
+            dirty += 1;
+        }
+    }
+    if opts.json {
+        println!(
+            "{{\"machine\":\"{}\",\"sequences\":[{}]}}",
+            escape_json(machine.name()),
+            seq_json.join(",")
+        );
+    }
+    if dirty > 0 {
+        eprintln!(
+            "csched: analyze failed: {dirty} of {} sequence(s) dirty",
+            seq_names.len()
         );
         std::process::exit(1);
     }
@@ -767,6 +1032,9 @@ fn run() -> Result<(), String> {
     }
     if args.first().is_some_and(|a| a == "lint") {
         return run_lint(&args[1..]);
+    }
+    if args.first().is_some_and(|a| a == "analyze") {
+        return run_analyze(&args[1..]);
     }
     if args.first().is_some_and(|a| a == "trace-check") {
         return run_trace_check(&args[1..]);

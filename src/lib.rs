@@ -44,7 +44,8 @@ pub mod prelude {
         lint_dag, lint_raw, lint_unit, Code, Diagnostic, LintOptions, LintReport, Severity,
     };
     pub use convergent_core::{
-        ConvergentScheduler, Pass, PassContext, PassContract, PreferenceMap, Sequence,
+        ConvergentScheduler, EffectOp, Interval, Pass, PassContext, PassContract, PassEffect,
+        PreferenceMap, Sequence,
     };
     pub use convergent_ir::{
         ClusterId, Cycle, Dag, DagBuilder, InstrId, Instruction, OpClass, Opcode, Program,
